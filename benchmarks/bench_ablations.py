@@ -1,0 +1,31 @@
+"""Design-choice ablations (DESIGN.md §3, beyond the paper's figures).
+
+Swaps one Hadar design decision at a time on the standard static
+workload: exact DP vs greedy-only, payoff- vs literal cost-branch,
+communication model on/off, normalized vs raw utility, plus YARN-CS with
+strict FIFO for context on the paper's 7-15× ratios.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.ablations import run_ablations
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablations(benchmark, scale_name):
+    run = benchmark.pedantic(
+        lambda: run_ablations(scale_name), rounds=1, iterations=1
+    )
+    table = run.table()
+    print_table("Ablations — one design change at a time", table.render())
+
+    jct = {label: v["mean_jct_h"] for label, v in table.rows}
+    # The normalized utility is load-bearing: the raw paper-literal form
+    # must not beat it (cross-model scale problem, DESIGN.md §2).
+    assert jct["hadar"] <= jct["hadar-raw-utility"] * 1.05
+    # Greedy-only stays in the same ballpark as the exact DP (the DP's
+    # benefit concentrates in small-queue tails).
+    assert jct["hadar-greedy-only"] <= jct["hadar"] * 1.5
+    # Strict-FIFO YARN is the worst configuration in the lineup.
+    assert jct["yarn-strict"] >= jct["hadar"]

@@ -1,0 +1,31 @@
+"""Fig. 1 — the motivation toy example.
+
+Paper: Hadar's task-level mixing gives per-round throughputs
+(26.27, 15, 10) vs Gavel's (20, 10, 10) and ≈20% lower average JCT on a
+{2×V100, 3×P100, 1×K80} cluster with three jobs.
+"""
+
+from benchmarks.conftest import print_table
+from repro.experiments.motivation import run_motivation_example
+
+
+def test_fig1_motivation(benchmark):
+    outcomes = benchmark.pedantic(run_motivation_example, rounds=1, iterations=1)
+
+    lines = []
+    for name in ("hadar", "gavel"):
+        o = outcomes[name]
+        tp = {k: round(v, 2) for k, v in sorted(o.avg_round_throughput.items())}
+        lines.append(
+            f"{name:6s} epochs/round per job: {tp}   "
+            f"mean JCT: {o.mean_jct_rounds:.2f} rounds"
+        )
+    improvement = outcomes["gavel"].mean_jct_rounds / outcomes["hadar"].mean_jct_rounds
+    lines.append(f"Hadar avg-JCT improvement over Gavel: {improvement:.2f}×  (paper ≈1.2×)")
+    print_table("Fig. 1 — motivation example", "\n".join(lines))
+
+    # The paper's qualitative claims.
+    assert outcomes["hadar"].avg_round_throughput[0] > outcomes[
+        "gavel"
+    ].avg_round_throughput[0]
+    assert improvement > 1.05

@@ -1,0 +1,51 @@
+"""Fig. 3 — cumulative jobs completed along the timeline (JCT).
+
+Paper (480 jobs, 60 GPUs): static trace — Hadar's average JCT is 7× better
+than YARN-CS, 1.8× than Gavel, 2.5× than Tiresias (medians 15×/2.1×/3×);
+continuous trace — 5× / 1.5× / 2.3×.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import comparison_run, fig3_jct_cdfs
+from repro.metrics.jct import jct_stats
+
+
+def _report(pattern: str, scale_name: str) -> None:
+    run = comparison_run(pattern, scale_name)
+    series = fig3_jct_cdfs(pattern, scale_name)
+    lines = []
+    for name, s in series.items():
+        lines.append(
+            f"{name:9s} mean JCT {s.mean_jct_h:8.2f} h   median {s.median_jct_h:8.2f} h"
+        )
+    hadar = jct_stats(run.results["hadar"]).mean
+    for other in ("gavel", "tiresias", "yarn-cs"):
+        factor = jct_stats(run.results[other]).mean / hadar
+        lines.append(f"Hadar mean-JCT improvement over {other}: {factor:.2f}×")
+    print_table(f"Fig. 3 ({pattern} trace) — JCT", "\n".join(lines))
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_static(benchmark, scale_name):
+    benchmark.pedantic(
+        lambda: comparison_run("static", scale_name), rounds=1, iterations=1
+    )
+    _report("static", scale_name)
+    run = comparison_run("static", scale_name)
+    hadar = jct_stats(run.results["hadar"]).mean
+    for other in ("gavel", "tiresias", "yarn-cs"):
+        assert jct_stats(run.results[other]).mean > hadar, other
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_continuous(benchmark, scale_name):
+    benchmark.pedantic(
+        lambda: comparison_run("continuous", scale_name), rounds=1, iterations=1
+    )
+    _report("continuous", scale_name)
+    run = comparison_run("continuous", scale_name)
+    hadar = jct_stats(run.results["hadar"]).mean
+    for other in ("gavel", "tiresias", "yarn-cs"):
+        assert jct_stats(run.results[other]).mean > hadar, other

@@ -1,0 +1,29 @@
+"""Fig. 4 — cluster-wide GPU utilization of the four schedulers.
+
+Paper: YARN-CS highest (non-preemptive greedy admission), Hadar similar
+to YARN-CS, Gavel and Tiresias lower (single-type gangs strand
+heterogeneous spare devices).  Utilization is measured over the
+contended windows (queue non-empty); see
+``repro.metrics.utilization.utilization_summary``.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import comparison_run, fig4_utilization
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_utilization(benchmark, scale_name):
+    benchmark.pedantic(
+        lambda: comparison_run("static", scale_name), rounds=1, iterations=1
+    )
+    table = fig4_utilization("static", scale_name)
+    print_table("Fig. 4 — GPU utilization (contended windows)", table.render(float_fmt="{:.1%}"))
+
+    util = {label: values["utilization"] for label, values in table.rows}
+    # Hadar keeps utilization at the top of the pack...
+    assert util["hadar"] >= util["gavel"] - 0.02
+    assert util["hadar"] >= util["yarn-cs"] - 0.05
+    # ...and everyone is actually busy while jobs wait.
+    assert all(u > 0.5 for u in util.values())

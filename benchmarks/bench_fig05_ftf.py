@@ -1,0 +1,25 @@
+"""Fig. 5 — finish-time fairness (FTF).
+
+Paper: Hadar improves average FTF 1.5× over Gavel and 1.8× over Tiresias.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import comparison_run, fig5_ftf
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_ftf(benchmark, scale_name):
+    benchmark.pedantic(
+        lambda: comparison_run("static", scale_name), rounds=1, iterations=1
+    )
+    table = fig5_ftf("static", scale_name)
+    lines = [table.render()]
+    for other in ("gavel", "tiresias"):
+        factor = table.value(other, "ftf_mean") / table.value("hadar", "ftf_mean")
+        lines.append(f"Hadar mean-FTF improvement over {other}: {factor:.2f}×")
+    print_table("Fig. 5 — finish-time fairness", "\n".join(lines))
+
+    assert table.value("hadar", "ftf_mean") < table.value("gavel", "ftf_mean")
+    assert table.value("hadar", "ftf_mean") < table.value("tiresias", "ftf_mean")

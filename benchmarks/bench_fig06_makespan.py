@@ -1,0 +1,25 @@
+"""Fig. 6 — makespan with Hadar steered to the makespan objective.
+
+Paper: 1.5× shorter than Gavel, 2× shorter than Tiresias, demonstrating
+the framework's objective generality (Sec. III-A).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import fig6_makespan
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_makespan(benchmark, scale_name):
+    table = benchmark.pedantic(
+        lambda: fig6_makespan(scale_name), rounds=1, iterations=1
+    )
+    lines = [table.render()]
+    for other in ("gavel", "tiresias"):
+        factor = table.value(other, "makespan_h") / table.value("hadar", "makespan_h")
+        lines.append(f"Hadar makespan improvement over {other}: {factor:.2f}×")
+    print_table("Fig. 6 — makespan (makespan objective)", "\n".join(lines))
+
+    assert table.value("hadar", "makespan_h") < table.value("gavel", "makespan_h")
+    assert table.value("hadar", "makespan_h") < table.value("tiresias", "makespan_h")

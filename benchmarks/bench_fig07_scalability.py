@@ -1,0 +1,44 @@
+"""Fig. 7 — scheduling-decision latency as jobs (and the cluster) scale.
+
+Paper: Hadar's decision time scales like Gavel's from 32 to 2048 active
+jobs, staying under 7 minutes per round at 2048 jobs.  We time one cold
+decision per queue size; the default sweep stops at 512 jobs
+(``REPRO_SCALE=full`` extends to the paper's 2048).
+"""
+
+import os
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.scalability import measure_decision_times
+
+_COUNTS = (
+    (32, 64, 128, 256, 512, 1024, 2048)
+    if os.environ.get("REPRO_SCALE") == "full"
+    else (32, 64, 128, 256, 512)
+)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_scalability(benchmark):
+    timings = benchmark.pedantic(
+        lambda: measure_decision_times(_COUNTS), rounds=1, iterations=1
+    )
+    lines = ["jobs    GPUs    hadar (s)  gavel (s)"]
+    for t in timings:
+        lines.append(
+            f"{t.num_jobs:5d}  {t.cluster_gpus:5d}   "
+            f"{t.seconds['hadar']:9.3f}  {t.seconds['gavel']:9.3f}"
+        )
+    print_table("Fig. 7 — decision latency scaling", "\n".join(lines))
+
+    # Paper claim: even the largest sweep point stays well under a round.
+    assert all(t.seconds["hadar"] < 420.0 for t in timings)
+    # Sub-quadratic-ish growth: 16× more jobs < 500× more time.
+    first, last = timings[0], timings[-1]
+    jobs_factor = last.num_jobs / first.num_jobs
+    time_factor = max(last.seconds["hadar"], 1e-4) / max(
+        first.seconds["hadar"], 1e-4
+    )
+    assert time_factor < 30 * jobs_factor

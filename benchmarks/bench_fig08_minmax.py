@@ -1,0 +1,37 @@
+"""Fig. 8 — min/mean/max JCT bands under varying input job rates.
+
+Paper: Hadar shows the tightest JCT band across arrival rates; Gavel's
+band widens as load grows; Tiresias' is the widest.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import fig8_minmax_jct
+
+RATES = (30.0, 60.0, 90.0)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_minmax_jct(benchmark, scale_name):
+    data = benchmark.pedantic(
+        lambda: fig8_minmax_jct(RATES, scale_name), rounds=1, iterations=1
+    )
+    lines = ["rate(j/h)  scheduler   min(h)   mean(h)    max(h)   band(h)"]
+    bands = {}
+    for rate in RATES:
+        for name in ("hadar", "gavel", "tiresias"):
+            lo, mean, hi = data[name][rate]
+            bands.setdefault(name, []).append(hi - lo)
+            lines.append(
+                f"{rate:8.0f}  {name:9s} {lo:8.2f} {mean:9.2f} {hi:9.2f} {hi - lo:9.2f}"
+            )
+    print_table("Fig. 8 — min/max JCT vs input job rate", "\n".join(lines))
+
+    # Shape: Hadar's mean JCT stays below the baselines' at every rate.
+    for rate in RATES:
+        assert data["hadar"][rate][1] <= data["gavel"][rate][1]
+        assert data["hadar"][rate][1] <= data["tiresias"][rate][1]
+    # Band: Hadar's average band is the narrowest or ties Gavel's.
+    avg = {k: sum(v) / len(v) for k, v in bands.items()}
+    assert avg["hadar"] <= avg["tiresias"]

@@ -1,0 +1,34 @@
+"""Fig. 9 — impact of the scheduling-round length on Hadar's average JCT.
+
+Paper: 6-minute rounds hold the average JCT steady as the input rate
+grows; larger rounds (up to 48 min) degrade it through queuing delay and
+allocation drift.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.figures import fig9_round_length
+
+ROUNDS_MIN = (6.0, 12.0, 24.0, 48.0)
+RATES = (30.0, 60.0)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_round_length(benchmark, scale_name):
+    data = benchmark.pedantic(
+        lambda: fig9_round_length(ROUNDS_MIN, RATES, scale_name),
+        rounds=1,
+        iterations=1,
+    )
+    header = "round(min)" + "".join(f"  rate {r:>3.0f}/h" for r in RATES)
+    lines = [header]
+    for round_min in ROUNDS_MIN:
+        cells = "".join(f"  {data[round_min][r]:9.2f}" for r in RATES)
+        lines.append(f"{round_min:10.0f}{cells}")
+    print_table("Fig. 9 — mean JCT (h) by round length", "\n".join(lines))
+
+    # Shape: the longest round is worse than the 6-minute round at the
+    # highest arrival rate (queuing-delay dominated regime).
+    busiest = RATES[-1]
+    assert data[48.0][busiest] > data[6.0][busiest]

@@ -1,0 +1,32 @@
+"""Heterogeneity sensitivity sweep (extension, DESIGN.md §3 ablations).
+
+Equal-aggregate clusters from homogeneous to three-type mixed: the JCT
+gap between Hadar and a heterogeneity-blind scheduler must widen as
+device diversity grows — the paper's core premise, made measurable.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.experiments.heterogeneity import heterogeneity_sweep
+
+
+@pytest.mark.benchmark(group="heterogeneity")
+def test_heterogeneity_sweep(benchmark):
+    points = benchmark.pedantic(
+        lambda: heterogeneity_sweep(num_jobs=24, seed=2), rounds=1, iterations=1
+    )
+    lines = ["cluster        types  hadar JCT(h)  blind JCT(h)  awareness gain"]
+    for p in points:
+        lines.append(
+            f"{p.name:13s} {p.num_types:5d} {p.hadar_mean_jct_h:13.2f} "
+            f"{p.blind_mean_jct_h:13.2f} {p.awareness_gain:15.2f}×"
+        )
+    print_table("Heterogeneity sweep — awareness gain vs device diversity",
+                "\n".join(lines))
+
+    by_name = {p.name: p for p in points}
+    assert (
+        by_name["three-types"].awareness_gain
+        >= by_name["homogeneous"].awareness_gain * 0.99
+    )

@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark harness.
+
+Every ``bench_*`` file regenerates one of the paper's tables or figures
+(DESIGN.md §3 maps them).  Simulations are deterministic, so each bench
+runs its experiment once under ``benchmark.pedantic`` and prints the
+paper-style rows; pytest-benchmark's timing doubles as a regression guard
+on harness latency.
+
+Scale: benches default to the "quick" workload (60 jobs) so the whole
+suite finishes in minutes; set ``REPRO_SCALE=default`` (160 jobs) or
+``REPRO_SCALE=full`` (the paper's 480 jobs) to rerun at larger scales.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_scale() -> str:
+    """The workload scale name used by comparison benches."""
+    return os.environ.get("REPRO_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def scale_name() -> str:
+    return bench_scale()
+
+
+def print_table(title: str, body: str) -> None:
+    """Uniform, greppable bench output."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}")

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Expressing other scheduling objectives — and writing your own.
+
+Sec. III-A: Hadar's optimization framework is objective-agnostic; the
+utility function is the policy.  This example
+
+1. runs the three built-in objectives (average JCT, makespan,
+   finish-time fairness) on one workload and shows each winning its own
+   metric, and
+2. defines a custom *deadline-aware* utility from scratch and plugs it
+   into the unchanged primal-dual machinery.
+
+Run:  python examples/custom_policy.py
+"""
+
+from dataclasses import dataclass
+
+from repro import (
+    HadarScheduler,
+    PhillyTraceConfig,
+    default_throughput_matrix,
+    finish_time_fairness,
+    generate_philly_trace,
+    jct_stats,
+    simulate,
+    simulated_cluster,
+)
+from repro.core import HadarConfig, hadar_for_objective
+from repro.core.utility import Utility
+from repro.workload.job import Job
+
+
+@dataclass(frozen=True)
+class DeadlineUtility(Utility):
+    """Value completing a job before ``deadline_s`` after its arrival.
+
+    Full value inside the deadline, decaying harmonically beyond it —
+    the dual prices then admit at-risk jobs first.
+    """
+
+    deadline_s: float = 12 * 3600.0
+    scale: float = 1.0
+
+    def value(self, job: Job, jct: float) -> float:
+        if jct <= self.deadline_s:
+            return self.scale * job.num_workers
+        return self.scale * job.num_workers * self.deadline_s / jct
+
+
+def main() -> None:
+    cluster = simulated_cluster()
+    trace = generate_philly_trace(PhillyTraceConfig(num_jobs=36, seed=4))
+    matrix = default_throughput_matrix()
+
+    schedulers = {
+        "jct": hadar_for_objective("jct"),
+        "makespan": hadar_for_objective("makespan"),
+        "ftf": hadar_for_objective("ftf"),
+        "deadline(12h)": HadarScheduler(HadarConfig(utility=DeadlineUtility())),
+    }
+
+    print(f"{'objective':14s} {'mean JCT':>10s} {'makespan':>10s} {'FTF':>7s} "
+          f"{'≤12h (%)':>9s}")
+    results = {}
+    for name, scheduler in schedulers.items():
+        result = simulate(cluster, trace, scheduler)
+        results[name] = result
+        stats = jct_stats(result)
+        ftf = finish_time_fairness(result, matrix)
+        met = sum(1 for j in result.jcts() if j <= 12 * 3600) / len(trace)
+        print(
+            f"{name:14s} {stats.mean_hours:9.2f}h {result.makespan() / 3600:9.2f}h "
+            f"{ftf.mean:7.2f} {met:8.1%}"
+        )
+
+    print(
+        "\nEach objective wins its own column — the same scheduler, pricing "
+        "and DP subroutine; only U_j(·) changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

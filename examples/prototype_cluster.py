@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""The AWS prototype experiment (Sec. IV-B, Table III, Fig. 10).
+
+Eight single-GPU instances (2×T4, 2×K520, 2×K80, 2×V100) running ten
+jobs from the Table II model zoo, with checkpoint costs modelled from
+each model's checkpoint size over the instances' SSDs (Table IV
+calibration).
+
+Run:  python examples/prototype_cluster.py
+"""
+
+from repro import prototype_cluster
+from repro.experiments.prototype import prototype_trace, run_prototype
+
+
+def main() -> None:
+    cluster = prototype_cluster()
+    trace = prototype_trace()
+    print(f"Cluster: {cluster}")
+    print("Workload:")
+    for job in trace:
+        print(
+            f"  job {job.job_id}: {job.model.name:12s} W={job.num_workers} "
+            f"E={job.epochs}"
+        )
+
+    results = run_prototype()
+    print("\nTable III — average JCT and makespan (hours):")
+    print(results.table3.render())
+
+    print("\nFig. 10 — GPU utilization over contended windows:")
+    print(results.fig10.render(float_fmt="{:.1%}"))
+
+    for kind in ("physical", "simulated"):
+        gain = results.table3.value(f"gavel/{kind}", "jct_h") / results.table3.value(
+            f"hadar/{kind}", "jct_h"
+        )
+        print(f"\n[{kind}] Hadar JCT gain over Gavel: {gain:.2f}× (paper: 2.3×)")
+
+
+if __name__ == "__main__":
+    main()

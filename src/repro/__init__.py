@@ -1,0 +1,113 @@
+"""repro — a reproduction of *Hadar: Heterogeneity-Aware Optimization-Based
+Online Scheduling for Deep Learning Cluster* (IPDPS 2024).
+
+Quickstart::
+
+    from repro import (
+        HadarScheduler, GavelScheduler, simulated_cluster,
+        PhillyTraceConfig, generate_philly_trace, simulate, jct_stats,
+    )
+
+    cluster = simulated_cluster()
+    trace = generate_philly_trace(PhillyTraceConfig(num_jobs=60, seed=1))
+    result = simulate(cluster, trace, HadarScheduler())
+    print(jct_stats(result))
+
+Subpackages: :mod:`repro.cluster` (resources), :mod:`repro.workload`
+(models/traces), :mod:`repro.sim` (engine), :mod:`repro.core` (Hadar),
+:mod:`repro.baselines` (Gavel / Tiresias / YARN-CS), :mod:`repro.metrics`,
+:mod:`repro.theory`, and :mod:`repro.experiments` (figure/table harness).
+"""
+
+from repro.baselines import (
+    GavelConfig,
+    GavelScheduler,
+    RandomScheduler,
+    TiresiasConfig,
+    TiresiasScheduler,
+    YarnCapacityScheduler,
+)
+from repro.cluster import (
+    Allocation,
+    Cluster,
+    ClusterState,
+    CommunicationModel,
+    GPUType,
+    Node,
+    prototype_cluster,
+    simulated_cluster,
+)
+from repro.core import (
+    HadarConfig,
+    HadarScheduler,
+    ProfilingScheduler,
+    ThroughputEstimator,
+    hadar_for_objective,
+)
+from repro.metrics import (
+    finish_time_fairness,
+    jct_cdf,
+    jct_stats,
+    utilization_summary,
+)
+from repro.sim import (
+    FixedDelayCheckpoint,
+    StragglerModel,
+    ModelAwareCheckpoint,
+    NoOverheadCheckpoint,
+    Scheduler,
+    SchedulerContext,
+    SimulationResult,
+    simulate,
+)
+from repro.workload import (
+    Job,
+    PhillyTraceConfig,
+    ThroughputMatrix,
+    Trace,
+    default_throughput_matrix,
+    generate_philly_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "Cluster",
+    "ClusterState",
+    "CommunicationModel",
+    "FixedDelayCheckpoint",
+    "GPUType",
+    "GavelConfig",
+    "GavelScheduler",
+    "HadarConfig",
+    "HadarScheduler",
+    "Job",
+    "ModelAwareCheckpoint",
+    "NoOverheadCheckpoint",
+    "Node",
+    "PhillyTraceConfig",
+    "ProfilingScheduler",
+    "RandomScheduler",
+    "StragglerModel",
+    "ThroughputEstimator",
+    "Scheduler",
+    "SchedulerContext",
+    "SimulationResult",
+    "ThroughputMatrix",
+    "TiresiasConfig",
+    "TiresiasScheduler",
+    "Trace",
+    "YarnCapacityScheduler",
+    "default_throughput_matrix",
+    "finish_time_fairness",
+    "generate_philly_trace",
+    "hadar_for_objective",
+    "jct_cdf",
+    "jct_stats",
+    "prototype_cluster",
+    "simulate",
+    "simulated_cluster",
+    "utilization_summary",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Baseline schedulers the paper compares against.
+
+* :mod:`repro.baselines.gavel` — Gavel (OSDI'20): job-level
+  heterogeneity-aware allocation-matrix scheduling (the closest
+  state of the art and the paper's main comparison);
+* :mod:`repro.baselines.tiresias` — Tiresias (NSDI'19): discretized
+  two-queue least-attained-service, heterogeneity-blind;
+* :mod:`repro.baselines.yarn` — YARN-CS: the production capacity
+  scheduler, FIFO and non-preemptive;
+* :mod:`repro.baselines.random_sched` — a seeded random-packing
+  scheduler used as a sanity floor in tests and ablations;
+* :mod:`repro.baselines.packing` — shared gang-packing helpers.
+"""
+
+from repro.baselines.gavel import GavelConfig, GavelScheduler
+from repro.baselines.packing import pack_gang, pack_gang_single_type
+from repro.baselines.random_sched import RandomScheduler
+from repro.baselines.srtf import SRTFScheduler
+from repro.baselines.tiresias import TiresiasConfig, TiresiasScheduler
+from repro.baselines.yarn import YarnCapacityScheduler, YarnConfig
+
+__all__ = [
+    "GavelConfig",
+    "GavelScheduler",
+    "RandomScheduler",
+    "SRTFScheduler",
+    "TiresiasConfig",
+    "TiresiasScheduler",
+    "YarnCapacityScheduler",
+    "YarnConfig",
+    "pack_gang",
+    "pack_gang_single_type",
+]

@@ -1,0 +1,23 @@
+"""Gavel (OSDI'20) — job-level heterogeneity-aware baseline.
+
+* :mod:`repro.baselines.gavel.policy` — the max-min (LAS) allocation
+  matrix optimization over normalized effective throughputs;
+* :mod:`repro.baselines.gavel.solver` — an exact LP solver (SciPy HiGHS)
+  and an in-repo iterative water-filling approximation used as fallback
+  and cross-check;
+* :mod:`repro.baselines.gavel.scheduler` — the round-based realization:
+  ``priority = Y[j,r] / rounds_received[j,r]`` with homogeneous-type
+  gangs.
+"""
+
+from repro.baselines.gavel.policy import max_min_allocation_matrix
+from repro.baselines.gavel.scheduler import GavelConfig, GavelScheduler
+from repro.baselines.gavel.solver import solve_max_min_lp, water_filling_allocation
+
+__all__ = [
+    "GavelConfig",
+    "GavelScheduler",
+    "max_min_allocation_matrix",
+    "solve_max_min_lp",
+    "water_filling_allocation",
+]

@@ -1,0 +1,63 @@
+"""A seeded random-packing scheduler.
+
+Not part of the paper's comparison — it is the sanity *floor* used by
+tests and ablations: any scheduler worth its name should beat random
+placement, and several engine invariants (gang, capacity, progress
+conservation) are exercised against its arbitrary-but-valid decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.baselines.packing import pack_gang
+from repro.cluster.allocation import Allocation
+from repro.sim.interface import Scheduler, SchedulerContext
+
+__all__ = ["RandomScheduler"]
+
+
+class RandomScheduler(Scheduler):
+    """Shuffle the active jobs, pack gangs until capacity runs out."""
+
+    round_based = True
+    reacts_to_events = False
+
+    def __init__(self, seed: int = 0):
+        self._seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def name(self) -> str:
+        return "random"
+
+    def reset(self) -> None:
+        self._rng = np.random.default_rng(self._seed)
+
+    def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
+        active = list(ctx.active)
+        if not active:
+            return {}
+        self._rng.shuffle(active)
+        state = ctx.fresh_state()
+        target: dict[int, Allocation] = {}
+        for rt in active:
+            usable = [
+                t for t in ctx.cluster.gpu_types
+                if ctx.matrix.supports(rt.job.model.name, t)
+            ]
+            if not usable:
+                continue
+            # Random per-job type preference keeps placements diverse.
+            order = list(usable)
+            self._rng.shuffle(order)
+            gang = pack_gang(
+                state, rt.job.num_workers, allowed_types=usable, preferred_types=order
+            )
+            if gang is None:
+                continue
+            state.allocate(gang)
+            target[rt.job_id] = gang
+        return target

@@ -1,0 +1,71 @@
+"""SRTF — a heterogeneity-aware shortest-remaining-time-first strawman.
+
+Not in the paper's lineup; included as an extension baseline that
+separates Hadar's two advantages.  SRTF shares Hadar's *ordering* (it
+serves the jobs with the least remaining ideal runtime first, which
+minimizes average JCT under preemption) and is heterogeneity-aware in
+*placement* (fastest usable type first), but it lacks the dual-price
+machinery and only mixes types within the fastest-first greedy fill.
+Comparing Hadar against SRTF in the ablation bench isolates what the
+primal-dual pricing and DP contribute beyond plain SRPT.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.cluster.allocation import Allocation
+from repro.sim.interface import Scheduler, SchedulerContext
+from repro.sim.progress import JobRuntime
+
+__all__ = ["SRTFScheduler"]
+
+
+class SRTFScheduler(Scheduler):
+    """Preemptive shortest-remaining-first with fastest-type-first packing."""
+
+    round_based = True
+    reacts_to_events = False
+
+    @property
+    def name(self) -> str:
+        return "srtf"
+
+    def _remaining_ideal(self, rt: JobRuntime, ctx: SchedulerContext) -> float:
+        rate = ctx.matrix.max_rate(rt.job.model.name, candidates=ctx.cluster.gpu_types)
+        return rt.remaining_iterations / (rt.job.num_workers * rate)
+
+    def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
+        active = sorted(
+            ctx.active,
+            key=lambda rt: (self._remaining_ideal(rt, ctx), rt.job_id),
+        )
+        state = ctx.fresh_state()
+        target: dict[int, Allocation] = {}
+        for rt in active:
+            model = rt.job.model.name
+            usable = sorted(
+                (t for t in ctx.cluster.gpu_types if ctx.matrix.supports(model, t)),
+                key=lambda t: (-ctx.matrix.rate(model, t), t),
+            )
+            slots = [
+                (node_id, type_name, free)
+                for (node_id, type_name), free in state.free_slots()
+                if type_name in usable
+            ]
+            slots.sort(key=lambda s: (usable.index(s[1]), s[0]))
+            need = rt.job.num_workers
+            picks: list[tuple[int, str, int]] = []
+            for node_id, type_name, free in slots:
+                take = min(free, need)
+                if take:
+                    picks.append((node_id, type_name, take))
+                    need -= take
+                if need == 0:
+                    break
+            if need:
+                continue
+            gang = Allocation.from_pairs(picks)
+            state.allocate(gang)
+            target[rt.job_id] = gang
+        return target

@@ -1,0 +1,112 @@
+"""Tiresias (NSDI'19) — discretized two-queue least-attained-service.
+
+The paper's configuration: "Tiresias is configured with two priority
+queues and its PromoteKnob disabled".  Jobs start in the high-priority
+queue; once a job's *attained service* (GPU-seconds received) crosses the
+queue threshold it is demoted to the low-priority queue for the rest of
+its life (no promotion back — the disabled knob).  Within a queue jobs
+are served FIFO by arrival.  Scheduling is preemptive and round-based.
+
+Like Gavel, Tiresias places each gang on a single device type (the paper:
+"Tiresias also suffers from the same limitation as Gavel" — heterogeneous
+spare GPUs stay idle even when their total count would satisfy a queued
+job) but, being heterogeneity-blind, it picks the type by availability
+rather than by measured speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.baselines.packing import pack_gang_single_type
+from repro.cluster.allocation import Allocation
+from repro.sim.interface import Scheduler, SchedulerContext
+from repro.sim.progress import JobRuntime
+
+__all__ = ["TiresiasConfig", "TiresiasScheduler"]
+
+
+@dataclass(frozen=True, slots=True)
+class TiresiasConfig:
+    """Tiresias knobs.
+
+    ``queue_threshold_gpu_s`` is the attained-service boundary between
+    the two discretized queues (the paper's setup uses coarse GPU-time
+    thresholds; one GPU-hour separates the short-job queue from the
+    rest of our S/M/L/XL mix).
+    """
+
+    queue_threshold_gpu_s: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.queue_threshold_gpu_s <= 0:
+            raise ValueError("queue_threshold_gpu_s must be positive")
+
+
+class TiresiasScheduler(Scheduler):
+    """Two-queue discretized LAS, PromoteKnob disabled."""
+
+    round_based = True
+    reacts_to_events = False
+
+    def __init__(self, config: Optional[TiresiasConfig] = None):
+        self.config = config or TiresiasConfig()
+        self._demoted: set[int] = set()
+
+    @property
+    def name(self) -> str:
+        return "tiresias"
+
+    def reset(self) -> None:
+        self._demoted.clear()
+
+    # ------------------------------------------------------------------ API --
+    def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
+        active = list(ctx.active)
+        if not active:
+            return {}
+
+        # Demotion is one-way: once over the threshold, always low queue.
+        for rt in active:
+            if rt.attained_service >= self.config.queue_threshold_gpu_s:
+                self._demoted.add(rt.job_id)
+
+        def queue_index(rt: JobRuntime) -> int:
+            return 1 if rt.job_id in self._demoted else 0
+
+        # Queue 0 first; FIFO by arrival within a queue.
+        active.sort(key=lambda rt: (queue_index(rt), rt.job.arrival_time, rt.job_id))
+
+        state = ctx.fresh_state()
+        target: dict[int, Allocation] = {}
+        for rt in active:
+            gang = self._pack_single_type(ctx, state, rt)
+            if gang is None:
+                continue
+            state.allocate(gang)
+            target[rt.job_id] = gang
+        return target
+
+    def _pack_single_type(self, ctx, state, rt) -> Allocation | None:
+        """A homogeneous gang on whichever type has the most free devices.
+
+        Tiresias predates heterogeneous scheduling: like Gavel it places a
+        gang on a single device type ("Tiresias also suffers from the same
+        limitation", Sec. IV-A-2), but it picks the type by *availability*,
+        not speed — it is heterogeneity-blind.
+        """
+        best: Allocation | None = None
+        best_free = -1
+        free_by_type = state.free_by_type()
+        for type_name in sorted(ctx.cluster.gpu_types):
+            if not ctx.matrix.supports(rt.job.model.name, type_name):
+                continue
+            free = free_by_type.get(type_name, 0)
+            if free < rt.job.num_workers or free <= best_free:
+                continue
+            gang = pack_gang_single_type(state, rt.job.num_workers, type_name)
+            if gang is not None:
+                best = gang
+                best_free = free
+        return best

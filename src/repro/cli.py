@@ -1,0 +1,285 @@
+"""Command-line interface.
+
+Everything the library does, driveable from a shell::
+
+    repro generate-trace --num-jobs 100 --pattern continuous --out t.csv
+    repro simulate --trace t.csv --scheduler hadar
+    repro compare --num-jobs 60
+    repro motivation
+    repro report --scale default --out EXPERIMENTS.md
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import (
+    GavelScheduler,
+    RandomScheduler,
+    TiresiasScheduler,
+    YarnCapacityScheduler,
+)
+from repro.cluster.cluster import Cluster, prototype_cluster, simulated_cluster
+from repro.core import HadarScheduler, ProfilingScheduler, hadar_for_objective
+from repro.metrics.fairness import finish_time_fairness
+from repro.metrics.jct import jct_stats
+from repro.metrics.utilization import utilization_summary
+from repro.sim.engine import simulate
+from repro.sim.interface import Scheduler
+from repro.sim.stragglers import StragglerModel
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.throughput import default_throughput_matrix
+from repro.workload.trace import Trace
+
+__all__ = ["main", "build_parser"]
+
+SCHEDULERS = ("hadar", "hadar-makespan", "hadar-ftf", "gavel", "tiresias",
+              "yarn-cs", "srtf", "random")
+
+
+def make_scheduler(name: str, *, profiling: bool = False) -> Scheduler:
+    """Instantiate a scheduler by CLI name."""
+    base: Scheduler
+    if name == "hadar":
+        base = HadarScheduler()
+    elif name == "hadar-makespan":
+        base = hadar_for_objective("makespan")
+    elif name == "hadar-ftf":
+        base = hadar_for_objective("ftf")
+    elif name == "gavel":
+        base = GavelScheduler()
+    elif name == "tiresias":
+        base = TiresiasScheduler()
+    elif name == "yarn-cs":
+        base = YarnCapacityScheduler()
+    elif name == "srtf":
+        from repro.baselines import SRTFScheduler
+
+        base = SRTFScheduler()
+    elif name == "random":
+        base = RandomScheduler()
+    else:
+        raise ValueError(f"unknown scheduler {name!r}; choose from {SCHEDULERS}")
+    return ProfilingScheduler(base) if profiling else base
+
+
+def make_cluster(name: str) -> Cluster:
+    if name == "simulated":
+        return simulated_cluster()
+    if name == "prototype":
+        return prototype_cluster()
+    raise ValueError(f"unknown cluster {name!r}; choose 'simulated' or 'prototype'")
+
+
+def _load_trace(args: argparse.Namespace) -> Trace:
+    if args.trace:
+        if str(args.trace).endswith(".jsonl"):
+            return Trace.from_jsonl(args.trace)
+        return Trace.from_csv(args.trace)
+    return generate_philly_trace(
+        PhillyTraceConfig(
+            num_jobs=args.num_jobs,
+            arrival_pattern=args.pattern,
+            jobs_per_hour=args.rate,
+            seed=args.seed,
+        )
+    )
+
+
+# ------------------------------------------------------------- subcommands --
+def cmd_generate_trace(args: argparse.Namespace) -> int:
+    trace = generate_philly_trace(
+        PhillyTraceConfig(
+            num_jobs=args.num_jobs,
+            arrival_pattern=args.pattern,
+            jobs_per_hour=args.rate,
+            seed=args.seed,
+        )
+    )
+    if str(args.out).endswith(".jsonl"):
+        trace.to_jsonl(args.out)
+    else:
+        trace.to_csv(args.out)
+    print(f"wrote {len(trace)} jobs to {args.out} ({trace})")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    cluster = make_cluster(args.cluster)
+    trace = _load_trace(args)
+    scheduler = make_scheduler(args.scheduler, profiling=args.profiling)
+    stragglers = (
+        StragglerModel(incidence_per_hour=args.straggler_rate, seed=args.seed)
+        if args.straggler_rate > 0
+        else None
+    )
+    result = simulate(
+        cluster,
+        trace,
+        scheduler,
+        round_length=args.round_min * 60.0,
+        stragglers=stragglers,
+    )
+    stats = jct_stats(result)
+    util = utilization_summary(result, contended=True)
+    ftf = finish_time_fairness(result, default_throughput_matrix())
+    print(f"scheduler : {result.scheduler_name}")
+    print(f"jobs done : {len(result.completed)}/{len(trace)}"
+          + ("  (TRUNCATED)" if result.truncated else ""))
+    print(f"mean JCT  : {stats.mean_hours:.2f} h   median {stats.median_hours:.2f} h"
+          f"   p95 {stats.p95 / 3600:.2f} h")
+    print(f"makespan  : {result.makespan() / 3600:.2f} h")
+    print(f"wait      : {stats.mean_total_waiting / 3600:.2f} h mean")
+    print(f"util      : {util.overall:.1%} (contended windows)")
+    print(f"FTF       : mean {ftf.mean:.2f}   max {ftf.max:.2f}")
+    if args.json:
+        from repro.metrics.export import save_result_json
+
+        save_result_json(result, args.json)
+        print(f"json      : {args.json}")
+    return 0 if not result.truncated else 1
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_comparison
+
+    cluster = make_cluster(args.cluster)
+    trace = _load_trace(args)
+    lineup = {
+        name: (lambda n=name: make_scheduler(n))
+        for name in args.schedulers.split(",")
+    }
+    run = run_comparison(cluster, trace, lineup, round_length=args.round_min * 60.0)
+    print(run.table().render())
+    return 0
+
+
+def cmd_gantt(args: argparse.Namespace) -> int:
+    from repro.metrics.timeline import render_gantt
+
+    cluster = make_cluster(args.cluster)
+    trace = _load_trace(args)
+    scheduler = make_scheduler(args.scheduler)
+    result = simulate(cluster, trace, scheduler, round_length=args.round_min * 60.0)
+    print(render_gantt(result, width=args.width, max_jobs=args.max_jobs))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.workload.analysis import offered_load, summarize_trace
+
+    trace = _load_trace(args)
+    cluster = make_cluster(args.cluster)
+    s = summarize_trace(trace)
+    print(f"jobs            : {s.num_jobs}")
+    print(f"total work      : {s.total_gpu_hours:.1f} V100-GPU-hours")
+    print(f"by category     : "
+          + ", ".join(f"{c}={n}" for c, n in sorted(s.jobs_by_category.items())))
+    print(f"gang sizes      : "
+          + ", ".join(f"{w}×GPU:{n}" for w, n in s.demand_histogram.items()))
+    print(f"arrival rate    : {s.mean_arrival_rate_per_hour:.1f} jobs/h")
+    print(f"peak demand     : {s.max_concurrent_demand} GPUs "
+          f"(cluster has {cluster.total_gpus})")
+    print(f"offered load    : {offered_load(trace, cluster):.2f}")
+    return 0
+
+
+def cmd_motivation(args: argparse.Namespace) -> int:
+    from repro.experiments.motivation import run_motivation_example
+
+    out = run_motivation_example()
+    for name in ("hadar", "gavel"):
+        o = out[name]
+        tp = {f"J{k + 1}": round(v, 2) for k, v in sorted(o.avg_round_throughput.items())}
+        print(f"{name:6s}: {tp}   mean JCT = {o.mean_jct_rounds:.2f} rounds")
+    gain = out["gavel"].mean_jct_rounds / out["hadar"].mean_jct_rounds
+    print(f"Hadar avg-JCT improvement: {gain:.2f}×")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.reporting import generate_report
+
+    report = generate_report(args.scale)
+    with open(args.out, "w") as fh:
+        fh.write(report)
+    print(f"wrote {args.out}")
+    return 0
+
+
+# ------------------------------------------------------------------ parser --
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hadar reproduction: trace-driven DL-cluster scheduling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--trace", default=None, help="CSV/JSONL trace to load")
+        p.add_argument("--num-jobs", type=int, default=60)
+        p.add_argument("--pattern", choices=["static", "continuous"], default="static")
+        p.add_argument("--rate", type=float, default=60.0, help="jobs/hour (continuous)")
+        p.add_argument("--seed", type=int, default=1)
+
+    p = sub.add_parser("generate-trace", help="write a synthetic Philly-style trace")
+    add_workload_args(p)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=cmd_generate_trace)
+
+    p = sub.add_parser("simulate", help="run one scheduler over a workload")
+    add_workload_args(p)
+    p.add_argument("--scheduler", choices=SCHEDULERS, default="hadar")
+    p.add_argument("--cluster", choices=["simulated", "prototype"], default="simulated")
+    p.add_argument("--round-min", type=float, default=6.0, help="round length (minutes)")
+    p.add_argument("--profiling", action="store_true",
+                   help="estimate throughputs online instead of using ground truth")
+    p.add_argument("--straggler-rate", type=float, default=0.0,
+                   help="straggler onsets per job-hour (0 = off)")
+    p.add_argument("--json", default=None, help="also dump the result as JSON")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="run a scheduler lineup over one workload")
+    add_workload_args(p)
+    p.add_argument("--cluster", choices=["simulated", "prototype"], default="simulated")
+    p.add_argument("--round-min", type=float, default=6.0)
+    p.add_argument("--schedulers", default="hadar,gavel,tiresias,yarn-cs")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("gantt", help="render a schedule as a text Gantt chart")
+    add_workload_args(p)
+    p.add_argument("--scheduler", choices=SCHEDULERS, default="hadar")
+    p.add_argument("--cluster", choices=["simulated", "prototype"], default="simulated")
+    p.add_argument("--round-min", type=float, default=6.0)
+    p.add_argument("--width", type=int, default=80)
+    p.add_argument("--max-jobs", type=int, default=40)
+    p.set_defaults(func=cmd_gantt)
+
+    p = sub.add_parser("analyze", help="summarize a workload trace")
+    add_workload_args(p)
+    p.add_argument("--cluster", choices=["simulated", "prototype"], default="simulated")
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("motivation", help="run the Fig. 1 toy example")
+    p.set_defaults(func=cmd_motivation)
+
+    p = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p.add_argument("--scale", choices=["quick", "default", "full"], default="quick")
+    p.add_argument("--out", default="EXPERIMENTS.md")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

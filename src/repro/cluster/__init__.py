@@ -1,0 +1,46 @@
+"""Cluster substrate: heterogeneous GPU inventory, placement, and topology.
+
+This package models everything the schedulers need to know about the
+physical resources of a deep-learning cluster:
+
+* :mod:`repro.cluster.gpu` — the accelerator catalog (V100, P100, K80, T4,
+  K520, ...) with per-device attributes;
+* :mod:`repro.cluster.node` — machines holding typed GPU inventories;
+* :mod:`repro.cluster.cluster` — the cluster itself plus builders for the
+  paper's simulated (15 nodes / 60 GPUs) and prototype (8 GPUs on AWS)
+  configurations;
+* :mod:`repro.cluster.allocation` — task-level placements: which GPUs of
+  which type on which node a job's gang occupies;
+* :mod:`repro.cluster.state` — mutable free-capacity bookkeeping used while
+  a scheduler builds a round's allocation;
+* :mod:`repro.cluster.topology` — the communication-cost model (ring
+  allreduce across servers) that penalizes non-consolidated gangs.
+"""
+
+from repro.cluster.allocation import Allocation, EMPTY_ALLOCATION
+from repro.cluster.cluster import (
+    Cluster,
+    homogeneous_node_cluster,
+    prototype_cluster,
+    simulated_cluster,
+)
+from repro.cluster.gpu import GPU_CATALOG, GPUType, gpu_type
+from repro.cluster.node import Node
+from repro.cluster.state import ClusterState
+from repro.cluster.topology import CommunicationModel, ring_allreduce_seconds
+
+__all__ = [
+    "Allocation",
+    "EMPTY_ALLOCATION",
+    "Cluster",
+    "ClusterState",
+    "CommunicationModel",
+    "GPU_CATALOG",
+    "GPUType",
+    "Node",
+    "gpu_type",
+    "homogeneous_node_cluster",
+    "prototype_cluster",
+    "ring_allreduce_seconds",
+    "simulated_cluster",
+]

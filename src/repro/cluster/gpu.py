@@ -1,0 +1,91 @@
+"""Accelerator catalog.
+
+The paper's simulated cluster mixes NVIDIA V100, P100, and K80 GPUs; the
+AWS prototype adds T4 and GRID K520 devices.  Schedulers only ever consume
+the *type name* (throughput matrices are keyed by it), but the per-device
+attributes recorded here feed two substrates:
+
+* the communication model uses ``pcie_gbps`` for intra-server gradient
+  exchange;
+* the checkpoint model and documentation use ``memory_gb`` /
+  ``peak_fp32_tflops`` to sanity-check that relative throughputs are
+  plausible.
+
+Device figures are public datasheet values (approximate where NVIDIA quotes
+ranges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUType", "GPU_CATALOG", "gpu_type", "register_gpu_type"]
+
+
+@dataclass(frozen=True, slots=True)
+class GPUType:
+    """A model of accelerator, e.g. an NVIDIA V100.
+
+    Attributes
+    ----------
+    name:
+        Canonical short name used as the key everywhere (``"V100"``).
+    memory_gb:
+        On-board memory in GiB.
+    peak_fp32_tflops:
+        Peak single-precision throughput; only used for documentation and
+        sanity checks, never by scheduling logic.
+    pcie_gbps:
+        Host-interconnect bandwidth in Gbit/s (PCIe generation dependent),
+        used by the intra-server leg of the communication model.
+    release_year:
+        Year of introduction; orders device generations in reports.
+    """
+
+    name: str
+    memory_gb: float
+    peak_fp32_tflops: float
+    pcie_gbps: float
+    release_year: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+def _catalog() -> dict[str, GPUType]:
+    types = [
+        # The three types of the paper's simulated cluster.
+        GPUType("V100", memory_gb=16.0, peak_fp32_tflops=14.0, pcie_gbps=128.0, release_year=2017),
+        GPUType("P100", memory_gb=16.0, peak_fp32_tflops=9.3, pcie_gbps=128.0, release_year=2016),
+        GPUType("K80", memory_gb=12.0, peak_fp32_tflops=4.1, pcie_gbps=64.0, release_year=2014),
+        # The two extra types of the AWS prototype cluster.
+        GPUType("T4", memory_gb=16.0, peak_fp32_tflops=8.1, pcie_gbps=64.0, release_year=2018),
+        GPUType("K520", memory_gb=4.0, peak_fp32_tflops=2.4, pcie_gbps=32.0, release_year=2013),
+        # Extension type for scalability / sensitivity experiments.
+        GPUType("A100", memory_gb=40.0, peak_fp32_tflops=19.5, pcie_gbps=256.0, release_year=2020),
+    ]
+    return {t.name: t for t in types}
+
+
+GPU_CATALOG: dict[str, GPUType] = _catalog()
+
+
+def gpu_type(name: str) -> GPUType:
+    """Look up a GPU type by name, raising a helpful error on a typo."""
+    try:
+        return GPU_CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_CATALOG))
+        raise KeyError(f"unknown GPU type {name!r}; known types: {known}") from None
+
+
+def register_gpu_type(gpu: GPUType, *, overwrite: bool = False) -> None:
+    """Add a custom accelerator type to the catalog.
+
+    Downstream users simulating other hardware (TPUs, newer GPUs) register
+    it here so that clusters, throughput tables, and reports recognise the
+    name.
+    """
+    if gpu.name in GPU_CATALOG and not overwrite:
+        raise ValueError(f"GPU type {gpu.name!r} already registered")
+    GPU_CATALOG[gpu.name] = gpu

@@ -1,0 +1,65 @@
+"""Machines (servers) holding typed GPU inventories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.cluster.gpu import gpu_type
+
+__all__ = ["Node"]
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """One server in the cluster.
+
+    A node owns a fixed inventory of accelerators, e.g. ``{"V100": 4}`` for
+    a homogeneous 4-GPU box or ``{"V100": 2, "K80": 2}`` for a mixed one.
+    Nodes are immutable; all transient occupancy lives in
+    :class:`repro.cluster.state.ClusterState`.
+
+    Attributes
+    ----------
+    node_id:
+        Dense integer id, unique within a cluster.
+    gpus:
+        Mapping from GPU-type name to the number of that type installed.
+    network_gbps:
+        NIC bandwidth used by the cross-server leg of the communication
+        model (25 Gbit/s is a typical cloud instance NIC).
+    """
+
+    node_id: int
+    gpus: Mapping[str, int] = field(default_factory=dict)
+    network_gbps: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError(f"node_id must be non-negative, got {self.node_id}")
+        if self.network_gbps <= 0:
+            raise ValueError(f"network_gbps must be positive, got {self.network_gbps}")
+        cleaned: dict[str, int] = {}
+        for name, count in self.gpus.items():
+            gpu_type(name)  # validates the name
+            if count < 0:
+                raise ValueError(f"negative GPU count for {name!r} on node {self.node_id}")
+            if count > 0:
+                cleaned[name] = int(count)
+        object.__setattr__(self, "gpus", cleaned)
+
+    @property
+    def total_gpus(self) -> int:
+        """Total number of accelerators installed on this node."""
+        return sum(self.gpus.values())
+
+    def count(self, type_name: str) -> int:
+        """Number of GPUs of ``type_name`` installed (0 if none)."""
+        return self.gpus.get(type_name, 0)
+
+    def has_type(self, type_name: str) -> bool:
+        return self.count(type_name) > 0
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        inv = ", ".join(f"{n}×{t}" for t, n in sorted(self.gpus.items()))
+        return f"Node({self.node_id}: {inv})"

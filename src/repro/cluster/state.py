@@ -1,0 +1,143 @@
+"""Mutable free-capacity bookkeeping.
+
+A :class:`ClusterState` tracks, per ``(node, gpu_type)`` slot, how many
+devices are free.  Schedulers mutate a state while constructing a round's
+allocation (Hadar's DP explores states recursively and therefore relies on
+cheap :meth:`ClusterState.copy` and a canonical :meth:`ClusterState.key`
+for memoization); the simulation engine keeps one authoritative state for
+"what is running right now".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cluster.allocation import Allocation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["ClusterState"]
+
+
+class ClusterState:
+    """Free GPU counts per ``(node_id, gpu_type)`` slot.
+
+    The slot list is fixed at construction (from the cluster's inventory);
+    only the free counts change.  All mutation goes through
+    :meth:`allocate` / :meth:`release`, which enforce capacity invariants.
+    """
+
+    __slots__ = ("_capacity", "_free")
+
+    def __init__(self, capacity: dict[tuple[int, str], int]):
+        for slot, cap in capacity.items():
+            if cap < 0:
+                raise ValueError(f"negative capacity for slot {slot}")
+        self._capacity: dict[tuple[int, str], int] = dict(capacity)
+        self._free: dict[tuple[int, str], int] = dict(capacity)
+
+    @classmethod
+    def from_cluster(cls, cluster: "Cluster") -> "ClusterState":
+        capacity = {
+            (node.node_id, type_name): count
+            for node in cluster.nodes
+            for type_name, count in node.gpus.items()
+        }
+        return cls(capacity)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def slots(self) -> tuple[tuple[int, str], ...]:
+        """All ``(node_id, type)`` slots, sorted deterministically."""
+        return tuple(sorted(self._capacity))
+
+    def capacity(self, node_id: int, type_name: str) -> int:
+        return self._capacity.get((node_id, type_name), 0)
+
+    def free(self, node_id: int, type_name: str) -> int:
+        return self._free.get((node_id, type_name), 0)
+
+    def used(self, node_id: int, type_name: str) -> int:
+        return self.capacity(node_id, type_name) - self.free(node_id, type_name)
+
+    def free_by_type(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for (_, type_name), count in self._free.items():
+            out[type_name] = out.get(type_name, 0) + count
+        return out
+
+    def used_by_type(self) -> dict[str, int]:
+        free = self.free_by_type()
+        out: dict[str, int] = {}
+        for (_, type_name), cap in self._capacity.items():
+            out[type_name] = out.get(type_name, 0) + cap
+        return {t: out[t] - free.get(t, 0) for t in out}
+
+    def total_free(self) -> int:
+        return sum(self._free.values())
+
+    def total_capacity(self) -> int:
+        return sum(self._capacity.values())
+
+    def total_used(self) -> int:
+        return self.total_capacity() - self.total_free()
+
+    def is_full(self) -> bool:
+        """True when no GPU of any type is free."""
+        return self.total_free() == 0
+
+    def free_slots(self) -> Iterable[tuple[tuple[int, str], int]]:
+        """Yield ``((node_id, type), free_count)`` for slots with free GPUs."""
+        for slot in sorted(self._free):
+            count = self._free[slot]
+            if count > 0:
+                yield slot, count
+
+    # -- mutation ---------------------------------------------------------
+    def can_fit(self, allocation: Allocation) -> bool:
+        """Whether the placement fits in the currently free devices."""
+        return all(
+            self._free.get(slot, 0) >= count
+            for slot, count in allocation.placements.items()
+        )
+
+    def allocate(self, allocation: Allocation) -> None:
+        """Claim the devices of ``allocation``; raises if any slot lacks room."""
+        if not self.can_fit(allocation):
+            raise ValueError(f"allocation does not fit free capacity: {allocation}")
+        for slot, count in allocation.placements.items():
+            self._free[slot] -= count
+
+    def release(self, allocation: Allocation) -> None:
+        """Return the devices of ``allocation``; raises on over-release."""
+        for slot, count in allocation.placements.items():
+            cap = self._capacity.get(slot, 0)
+            new_free = self._free.get(slot, 0) + count
+            if new_free > cap:
+                raise ValueError(
+                    f"release overflows capacity at slot {slot}: {new_free} > {cap}"
+                )
+        for slot, count in allocation.placements.items():
+            self._free[slot] += count
+
+    # -- copies / keys ----------------------------------------------------
+    def copy(self) -> "ClusterState":
+        clone = ClusterState.__new__(ClusterState)
+        clone._capacity = self._capacity  # immutable by convention: shared
+        clone._free = dict(self._free)
+        return clone
+
+    def key(self) -> tuple[int, ...]:
+        """Canonical hashable snapshot of free counts (for DP memoization)."""
+        return tuple(self._free[slot] for slot in sorted(self._free))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClusterState):
+            return NotImplemented
+        return self._capacity == other._capacity and self._free == other._free
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        by_type = self.free_by_type()
+        parts = ", ".join(f"{t}:{c} free" for t, c in sorted(by_type.items()))
+        return f"ClusterState({parts})"

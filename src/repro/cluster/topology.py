@@ -1,0 +1,179 @@
+"""Communication-cost model for data-parallel gangs.
+
+Data-parallel DNN training synchronizes gradients once per iteration.  A
+gang consolidated on one server exchanges gradients over PCIe/NVLink; a
+gang spanning servers pays a ring-allreduce over the (much slower) network
+NICs.  The paper folds this into the "communication cost" that
+``FIND_ALLOC`` adds to non-consolidated candidate allocations (Algorithm 2
+line 27) and that depresses the realized throughput of spread-out gangs.
+
+We model the classic bandwidth-optimal ring allreduce: each of the ``n``
+participants sends and receives ``2 (n-1)/n × model_bytes`` over the
+bottleneck link, so
+
+    t_allreduce = 2 (n-1)/n × model_bytes / bottleneck_bytes_per_s + latency
+
+The *throughput penalty* of an allocation is then
+``t_compute / (t_compute + t_allreduce_extra)`` where
+``t_allreduce_extra`` is the additional sync time relative to a
+consolidated placement — 1.0 for single-server gangs, < 1 otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.allocation import Allocation
+
+__all__ = ["CommunicationModel", "ring_allreduce_seconds"]
+
+
+def ring_allreduce_seconds(
+    model_bytes: float,
+    participants: int,
+    bandwidth_gbps: float,
+    *,
+    latency_s: float = 0.0005,
+) -> float:
+    """Time for one ring allreduce of ``model_bytes`` over ``participants``.
+
+    ``bandwidth_gbps`` is the per-link bottleneck bandwidth in Gbit/s.
+    With one participant there is nothing to reduce and the cost is zero.
+    """
+    if participants <= 1 or model_bytes <= 0:
+        return 0.0
+    if bandwidth_gbps <= 0:
+        raise ValueError("bandwidth must be positive")
+    bytes_per_s = bandwidth_gbps * 1e9 / 8.0
+    volume = 2.0 * (participants - 1) / participants * model_bytes
+    return volume / bytes_per_s + latency_s * (participants - 1)
+
+
+@dataclass(frozen=True, slots=True)
+class CommunicationModel:
+    """Cluster interconnect parameters.
+
+    Attributes
+    ----------
+    intra_node_gbps:
+        Effective per-GPU bandwidth for gradient exchange inside one
+        server (PCIe 3.0 x16-ish).
+    cross_node_gbps:
+        Effective NIC bandwidth between servers.
+    latency_s:
+        Per-hop latency added per allreduce step.
+    enabled:
+        When False the model reports zero cost / unit penalty everywhere;
+        used by the ablation benchmarks.
+    """
+
+    intra_node_gbps: float = 100.0
+    cross_node_gbps: float = 25.0
+    latency_s: float = 0.0005
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.intra_node_gbps <= 0 or self.cross_node_gbps <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    # -- raw sync times ---------------------------------------------------
+    def sync_seconds(self, allocation: Allocation, model_bytes: float) -> float:
+        """Per-iteration gradient synchronization time for a placement."""
+        if not self.enabled or not allocation:
+            return 0.0
+        n = allocation.total_workers
+        if len(allocation.node_ids) <= 1:
+            bw = self.intra_node_gbps
+        else:
+            bw = self.cross_node_gbps
+        return ring_allreduce_seconds(model_bytes, n, bw, latency_s=self.latency_s)
+
+    def extra_sync_seconds(self, allocation: Allocation, model_bytes: float) -> float:
+        """Sync time *beyond* what a consolidated gang of the same size pays."""
+        if not self.enabled or not allocation or allocation.is_consolidated:
+            return 0.0
+        n = allocation.total_workers
+        spread = ring_allreduce_seconds(
+            model_bytes, n, self.cross_node_gbps, latency_s=self.latency_s
+        )
+        packed = ring_allreduce_seconds(
+            model_bytes, n, self.intra_node_gbps, latency_s=self.latency_s
+        )
+        return max(0.0, spread - packed)
+
+    def extra_sync_seconds_n(
+        self, workers: int, multi_node: bool, model_bytes: float
+    ) -> float:
+        """Allocation-free variant of :meth:`extra_sync_seconds`.
+
+        Hot path for the scheduler's candidate search, which knows only
+        (gang size, spans-servers?) before materializing an allocation.
+        """
+        if not self.enabled or not multi_node or workers <= 1:
+            return 0.0
+        spread = ring_allreduce_seconds(
+            model_bytes, workers, self.cross_node_gbps, latency_s=self.latency_s
+        )
+        packed = ring_allreduce_seconds(
+            model_bytes, workers, self.intra_node_gbps, latency_s=self.latency_s
+        )
+        return max(0.0, spread - packed)
+
+    def throughput_penalty_n(
+        self,
+        workers: int,
+        multi_node: bool,
+        model_bytes: float,
+        iteration_seconds: float,
+    ) -> float:
+        """Allocation-free variant of :meth:`throughput_penalty`."""
+        extra = self.extra_sync_seconds_n(workers, multi_node, model_bytes)
+        if extra <= 0.0:
+            return 1.0
+        if iteration_seconds <= 0:
+            raise ValueError("iteration_seconds must be positive")
+        return iteration_seconds / (iteration_seconds + extra)
+
+    # -- throughput penalty -------------------------------------------------
+    def throughput_penalty(
+        self,
+        allocation: Allocation,
+        model_bytes: float,
+        iteration_seconds: float,
+    ) -> float:
+        """Multiplier in ``(0, 1]`` applied to a gang's iteration rate.
+
+        ``iteration_seconds`` is the pure-compute time of one iteration at
+        the gang's bottleneck device (``1 / x_j(t)``).  Consolidated gangs
+        (and disabled models) return exactly 1.0.
+        """
+        extra = self.extra_sync_seconds(allocation, model_bytes)
+        if extra <= 0.0:
+            return 1.0
+        if iteration_seconds <= 0:
+            raise ValueError("iteration_seconds must be positive")
+        return iteration_seconds / (iteration_seconds + extra)
+
+    def cost_multiplier(
+        self,
+        allocation: Allocation,
+        model_bytes: float,
+        iteration_seconds: float,
+    ) -> float:
+        """Price-space communication surcharge factor (>= 1).
+
+        A gang slowed to fraction ``p`` of its consolidated rate occupies
+        its devices ``1/p`` times longer per unit of work, so its
+        effective resource price scales by ``1/p``.  ``FIND_ALLOC`` uses
+        ``(multiplier - 1) × base_cost`` as the additive ``comm. cost``
+        term of Algorithm 2 line 27.
+        """
+        p = self.throughput_penalty(allocation, model_bytes, iteration_seconds)
+        return 1.0 / p
+
+    @staticmethod
+    def disabled() -> "CommunicationModel":
+        """A no-op model (zero comm cost; unit penalties)."""
+        return CommunicationModel(enabled=False)

@@ -1,0 +1,217 @@
+"""``DP_allocation`` — the dual subroutine (Algorithm 2, lines 1-21).
+
+Walks the queue job-by-job; at each job it branches on *allocate* (via
+``FIND_ALLOC``, which already filters non-positive payoffs) versus *skip*,
+and keeps the better branch.  Sub-problems are memoized on
+``(queue index, canonical free-capacity vector)`` — the paper's "we always
+save the result ... to avoid recomputing the same subproblem".
+
+Two branch objectives are supported (see DESIGN.md §2, interpretation
+notes):
+
+* ``"payoff"`` (default): maximize total payoff ``Σ (U_j − cost_j)``,
+  the objective the primal-dual derivation (Eq. 4) implies;
+* ``"cost"``: the literal line-18 reading — keep the branch with smaller
+  accumulated cost, counting an unallocated job's forgone utility as
+  cost.  Retained for the ablation benchmark.
+
+Beyond ``queue_limit`` jobs (or ``state_limit`` memo entries) the exact
+recursion is replaced by a **payoff-density greedy**: jobs are ranked by
+payoff per requested worker on the round-initial prices, then allocated
+in rank order against the (exponentially rising) prices.  This is the
+switch that gives the near-Gavel scaling of Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterState
+from repro.core.find_alloc import AllocationCandidate, DelayEstimator, find_alloc
+from repro.core.pricing import PriceBook
+from repro.core.utility import Utility
+from repro.sim.progress import JobRuntime
+from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["DPConfig", "DPAllocator"]
+
+
+@dataclass(frozen=True, slots=True)
+class DPConfig:
+    """Limits and objective selection for the dual subroutine."""
+
+    queue_limit: int = 10
+    """Largest queue solved with the exact memoized recursion."""
+    state_limit: int = 8_000
+    """Memo-size cap; overflow falls back to the greedy mid-flight."""
+    branch_objective: str = "payoff"
+    """``"payoff"`` (primal-dual reading) or ``"cost"`` (literal line 18)."""
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        if self.state_limit < 1:
+            raise ValueError("state_limit must be positive")
+        if self.branch_objective not in {"payoff", "cost"}:
+            raise ValueError(
+                f"branch_objective must be 'payoff' or 'cost', "
+                f"got {self.branch_objective!r}"
+            )
+
+
+class _MemoOverflow(Exception):
+    """Raised internally when the exact DP exceeds its state budget."""
+
+
+@dataclass
+class DPAllocator:
+    """One round's allocation solver (prices and time are frozen per round)."""
+
+    prices: PriceBook
+    matrix: ThroughputMatrix
+    cluster: Cluster
+    utility: Utility
+    now: float
+    delay_estimator: DelayEstimator
+    config: DPConfig = DPConfig()
+
+    def allocate(
+        self, queue: Sequence[JobRuntime], state: ClusterState
+    ) -> dict[int, AllocationCandidate]:
+        """Admit and place jobs from ``queue``; mutates ``state`` with the result."""
+        queue = list(queue)
+        if not queue:
+            return {}
+        if len(queue) <= self.config.queue_limit:
+            try:
+                chosen = self._solve_exact(queue, state)
+            except _MemoOverflow:
+                chosen = self._solve_greedy(queue, state.copy())
+            else:
+                if self.config.branch_objective == "payoff":
+                    # The recursion explores jobs in queue order; the greedy
+                    # reorders by payoff density and occasionally finds a
+                    # better packing.  Both are cheap at this queue size —
+                    # keep whichever earns more.
+                    alt = self._solve_greedy(queue, state.copy())
+                    if sum(c.payoff for c in alt.values()) > sum(
+                        c.payoff for c in chosen.values()
+                    ):
+                        chosen = alt
+        else:
+            chosen = self._solve_greedy(queue, state.copy())
+        for cand in chosen.values():
+            state.allocate(cand.allocation)
+        return chosen
+
+    # -- exact memoized recursion -------------------------------------------------
+    def _solve_exact(
+        self, queue: list[JobRuntime], state: ClusterState
+    ) -> dict[int, AllocationCandidate]:
+        memo: dict[
+            tuple[int, tuple[int, ...]],
+            tuple[float, dict[int, AllocationCandidate]],
+        ] = {}
+        maximize = self.config.branch_objective == "payoff"
+
+        def recurse(
+            idx: int, branch_state: ClusterState
+        ) -> tuple[float, dict[int, AllocationCandidate]]:
+            if idx >= len(queue) or branch_state.is_full():
+                return 0.0, {}
+            key = (idx, branch_state.key())
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+            if len(memo) > self.config.state_limit:
+                raise _MemoOverflow
+
+            rt = queue[idx]
+            # Branch 1: skip this job.
+            skip_value, skip_plan = recurse(idx + 1, branch_state)
+            if not maximize:
+                # Literal cost objective: an unserved job forfeits its utility.
+                skip_value = skip_value + self._forgone_utility(rt)
+            best = (skip_value, skip_plan)
+
+            # Branch 2: allocate via FIND_ALLOC.
+            cand = find_alloc(
+                rt,
+                branch_state,
+                self.prices,
+                self.matrix,
+                self.cluster,
+                self.utility,
+                self.now,
+                self.delay_estimator,
+            )
+            if cand is not None:
+                sub_state = branch_state.copy()
+                sub_state.allocate(cand.allocation)
+                sub_value, sub_plan = recurse(idx + 1, sub_state)
+                take_value = (
+                    cand.payoff + sub_value if maximize else cand.cost + sub_value
+                )
+                better = take_value > best[0] if maximize else take_value < best[0]
+                if better:
+                    plan = dict(sub_plan)
+                    plan[rt.job_id] = cand
+                    best = (take_value, plan)
+
+            memo[key] = best
+            return best
+
+        _, plan = recurse(0, state)
+        return plan
+
+    def _forgone_utility(self, rt: JobRuntime) -> float:
+        """Cost-objective surrogate for leaving a job unserved this round."""
+        model = rt.job.model.name
+        best = self.matrix.max_rate(model)
+        jct = (
+            max(self.now - rt.job.arrival_time, 0.0)
+            + rt.remaining_iterations / (best * rt.job.num_workers)
+        )
+        return self.utility.value_for(rt, jct, self.now)
+
+    # -- payoff-density greedy -------------------------------------------------
+    def _solve_greedy(
+        self, queue: list[JobRuntime], state: ClusterState
+    ) -> dict[int, AllocationCandidate]:
+        # Rank once on round-initial prices: payoff per requested worker.
+        ranked: list[tuple[float, int, JobRuntime]] = []
+        for rt in queue:
+            cand = find_alloc(
+                rt,
+                state,
+                self.prices,
+                self.matrix,
+                self.cluster,
+                self.utility,
+                self.now,
+                self.delay_estimator,
+            )
+            if cand is not None:
+                density = cand.payoff / rt.job.num_workers
+                ranked.append((-density, rt.job_id, rt))
+        ranked.sort()
+
+        chosen: dict[int, AllocationCandidate] = {}
+        for _, _, rt in ranked:
+            cand = find_alloc(
+                rt,
+                state,
+                self.prices,
+                self.matrix,
+                self.cluster,
+                self.utility,
+                self.now,
+                self.delay_estimator,
+            )
+            if cand is None:
+                continue  # prices rose past this job's payoff; filtered out
+            state.allocate(cand.allocation)
+            chosen[rt.job_id] = cand
+        return chosen

@@ -1,0 +1,236 @@
+"""``FIND_ALLOC`` — the per-job allocation search (Algorithm 2, lines 22-34).
+
+For one job and one cluster state, generate candidate gangs of exactly
+``W_j`` workers, cost them against the dual price book, and return the
+payoff-maximizing candidate — or ``None`` when no candidate earns a
+positive payoff ``μ_j`` (the job is filtered out this round).
+
+Candidates come in the paper's two families:
+
+* **consolidated** ("packed"): the whole gang on a single server, taking
+  the fastest (and, as an alternative, the cheapest) free device types
+  on that server — line 24;
+* **non-consolidated**: the gang spread across servers.  For each
+  possible *bottleneck* type ``b`` we restrict to device types at least
+  as fast as ``b`` (anything slower would lower the sync-barrier rate, and
+  anything faster than necessary is pure surcharge) and pick the ``W_j``
+  cheapest / fastest free devices cluster-wide — line 25.  Cross-server
+  candidates carry the ring-allreduce communication surcharge — line 27.
+
+The candidate's estimated JCT feeds the job utility; payoff is utility
+minus the price-book cost (line 29).  Keeping a running job's existing
+placement is always a candidate (with no reallocation delay), which is
+what makes allocations sticky when nothing better appears.
+
+Performance note: this sits inside Hadar's DP recursion and runs hundreds
+of thousands of times per simulation, so candidates stay as raw pick
+tuples — prices are computed once per call, rates once per GPU type, and
+an :class:`~repro.cluster.allocation.Allocation` object is materialized
+only for the winning candidate (see the HPC guide's "profile, then
+optimize the bottleneck").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterState
+from repro.core.pricing import PriceBook
+from repro.core.utility import Utility
+from repro.sim.progress import JobRuntime
+from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["AllocationCandidate", "find_alloc"]
+
+DelayEstimator = Callable[[JobRuntime, Allocation], float]
+"""Estimated pause (checkpoint save+load) if the job moves to a new gang."""
+
+_Picks = tuple[tuple[int, str, int], ...]
+"""Raw candidate: sorted ((node_id, type, count), ...) triples."""
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationCandidate:
+    """One costed gang proposal."""
+
+    allocation: Allocation
+    cost: float
+    utility: float
+    payoff: float
+    rate: float
+    """Realized gang iterations/second (bottleneck × W × comm penalty)."""
+    estimated_jct: float
+
+    @property
+    def is_admittable(self) -> bool:
+        return self.payoff > 0.0
+
+
+def _greedy_take(
+    ordered_slots: list[tuple[int, str, int]], workers: int
+) -> Optional[_Picks]:
+    """Take ``workers`` devices walking ``(node, type, free)`` in order."""
+    need = workers
+    picks: list[tuple[int, str, int]] = []
+    for node_id, type_name, free in ordered_slots:
+        take = free if free < need else need
+        if take > 0:
+            picks.append((node_id, type_name, take))
+            need -= take
+        if need == 0:
+            return tuple(sorted(picks))
+    return None
+
+
+def find_alloc(
+    rt: JobRuntime,
+    state: ClusterState,
+    prices: PriceBook,
+    matrix: ThroughputMatrix,
+    cluster: Cluster,
+    utility: Utility,
+    now: float,
+    delay_estimator: DelayEstimator,
+) -> Optional[AllocationCandidate]:
+    """The best positive-payoff gang for one job, or ``None`` (line 33).
+
+    ``delay_estimator`` charges the reallocation pause for any candidate
+    that differs from the job's current placement; the current placement
+    itself (when it still fits ``state``) is evaluated delay-free, making
+    stable allocations naturally preferred.
+    """
+    job = rt.job
+    model = job.model.name
+    w = job.num_workers
+
+    # -- per-call precomputation ------------------------------------------------
+    free_slots: list[tuple[int, str, int]] = [
+        (node_id, type_name, free)
+        for (node_id, type_name), free in state.free_slots()
+    ]
+    rate_of: dict[str, float] = {}
+    for _, type_name, _ in free_slots:
+        if type_name not in rate_of:
+            rate_of[type_name] = matrix.rate(model, type_name)
+    usable_desc = sorted(
+        (t for t, r in rate_of.items() if r > 0.0),
+        key=lambda t: (-rate_of[t], t),
+    )
+    if not usable_desc:
+        return None
+    price_of: dict[tuple[int, str], float] = {
+        (node_id, type_name): prices.price(node_id, type_name, state)
+        for node_id, type_name, _ in free_slots
+    }
+
+    candidates: set[_Picks] = set()
+
+    # -- consolidated (line 24): whole gang on one server ----------------------
+    per_node: dict[int, list[tuple[int, str, int]]] = {}
+    for node_id, type_name, free in free_slots:
+        if rate_of[type_name] > 0.0:
+            per_node.setdefault(node_id, []).append((node_id, type_name, free))
+    for node_id, slots in per_node.items():
+        if sum(free for *_, free in slots) < w:
+            continue
+        fast = sorted(slots, key=lambda s: (-rate_of[s[1]], s[1]))
+        picks = _greedy_take(fast, w)
+        if picks is not None:
+            candidates.add(picks)
+        cheap = sorted(slots, key=lambda s: (price_of[(s[0], s[1])], s[1]))
+        picks = _greedy_take(cheap, w)
+        if picks is not None:
+            candidates.add(picks)
+
+    # -- cross-server (line 25): one pair of candidates per bottleneck type ----
+    for i in range(len(usable_desc)):
+        allowed = set(usable_desc[: i + 1])
+        slots = [s for s in free_slots if s[1] in allowed]
+        if sum(free for *_, free in slots) < w:
+            continue
+        cheap = sorted(
+            slots, key=lambda s: (price_of[(s[0], s[1])], -rate_of[s[1]], s[0])
+        )
+        picks = _greedy_take(cheap, w)
+        if picks is not None:
+            candidates.add(picks)
+        fast = sorted(
+            slots, key=lambda s: (-rate_of[s[1]], price_of[(s[0], s[1])], s[0])
+        )
+        picks = _greedy_take(fast, w)
+        if picks is not None:
+            candidates.add(picks)
+
+    # -- keep the current placement when it still fits --------------------------
+    current_picks: Optional[_Picks] = None
+    if rt.allocation and state.can_fit(rt.allocation):
+        current_picks = tuple(
+            sorted(
+                (node_id, type_name, count)
+                for (node_id, type_name), count in rt.allocation.placements.items()
+            )
+        )
+        if all(rate_of.get(t, matrix.rate(model, t)) > 0.0 for _, t, _ in current_picks):
+            candidates.add(current_picks)
+
+    if not candidates:
+        return None
+
+    # -- evaluate raw candidates -------------------------------------------------
+    model_bytes = job.model.model_bytes
+    comm = cluster.comm
+    age = now - job.arrival_time
+    if age < 0.0:
+        age = 0.0
+    remaining = rt.remaining_iterations
+
+    best_key: Optional[tuple] = None
+    best: Optional[tuple[_Picks, float, float, float, float, float]] = None
+    move_delay: Optional[float] = None  # same for every non-current candidate
+    for picks in candidates:
+        bottleneck = min(rate_of.get(t) or matrix.rate(model, t) for _, t, _ in picks)
+        if bottleneck <= 0.0:
+            continue
+        nodes = {n for n, _, _ in picks}
+        multi_node = len(nodes) > 1
+        penalty = comm.throughput_penalty_n(w, multi_node, model_bytes, 1.0 / bottleneck)
+        rate = bottleneck * w * penalty
+        if picks == current_picks and rt.slowdown < 1.0:
+            # Keeping a straggling gang keeps its degradation; a fresh
+            # placement starts with healthy workers (straggler awareness).
+            rate *= rt.slowdown
+        base_cost = sum(
+            (price_of[(n, t)] if (n, t) in price_of else prices.price(n, t, state)) * c
+            for n, t, c in picks
+        )
+        cost = base_cost / penalty  # comm surcharge: slower gang = pricier time
+        if picks == current_picks:
+            delay = 0.0
+        else:
+            if move_delay is None:
+                move_delay = delay_estimator(rt, Allocation.from_pairs(picks))
+            delay = move_delay
+        jct = age + delay + remaining / rate
+        u = utility.value_for(rt, jct, now)
+        payoff = u - cost
+        if payoff <= 0.0:
+            continue
+        key = (-payoff, cost, multi_node, picks)
+        if best_key is None or key < best_key:
+            best_key = key
+            best = (picks, cost, u, payoff, rate, jct)
+
+    if best is None:
+        return None
+    picks, cost, u, payoff, rate, jct = best
+    return AllocationCandidate(
+        allocation=Allocation.from_pairs(picks),
+        cost=cost,
+        utility=u,
+        payoff=payoff,
+        rate=rate,
+        estimated_jct=jct,
+    )

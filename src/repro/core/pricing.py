@@ -1,0 +1,203 @@
+"""Dual resource prices — Eq. (5) with the calibration of Eqs. (6)-(8).
+
+The price of a type-``r`` device on server ``h`` rises exponentially with
+the fraction of that server's type-``r`` devices already committed in the
+round:
+
+    k_h^r(γ) = U_min^r · (U_max^r / U_min^r)^(γ / c_h^r)
+
+starting at ``U_min^r`` (low enough to admit any job onto an idle server)
+and reaching ``U_max^r`` at saturation (high enough that no job's payoff
+stays positive).  ``U_max^r`` / ``U_min^r`` are the extreme per-worker
+utilities achievable on type ``r`` across the queued workload (Eqs. 6-7),
+with ``t_j^min`` / ``t_j^max`` the fastest/slowest gang completion times
+(Eq. 8) and ``η`` the scaling factor that bounds the initial dual
+objective (the competitive-ratio proof needs ``Σ_h Σ_r c_h^r / η ≤
+t_j^max · W_j`` for all jobs).
+
+A :class:`PriceBook` is immutable; the occupancy ``γ`` is read from the
+:class:`~repro.cluster.state.ClusterState` the caller passes in, so the
+DP's branch exploration needs no price mutation or rollback.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.state import ClusterState
+from repro.core.utility import Utility
+from repro.sim.progress import JobRuntime
+from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["PricingConfig", "PriceBook"]
+
+
+@dataclass(frozen=True, slots=True)
+class PricingConfig:
+    """Calibration knobs (defaults follow the paper's analysis).
+
+    Attributes
+    ----------
+    eta:
+        The η of Eq. (7).  ``None`` auto-calibrates the smallest η
+        satisfying the proof's premise (and at least 1).
+    min_ratio:
+        Lower clamp on ``U_max^r / U_min^r``; keeps the price curve
+        strictly increasing even for degenerate single-job workloads.
+    horizon_slack:
+        Multiplier on the online horizon estimate ``T`` (the serial
+        worst-case drain time of the current queue).
+    """
+
+    eta: float | None = None
+    min_ratio: float = math.e
+    horizon_slack: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.eta is not None and self.eta <= 0:
+            raise ValueError("eta must be positive")
+        if self.min_ratio <= 1.0:
+            raise ValueError("min_ratio must exceed 1")
+        if self.horizon_slack <= 0:
+            raise ValueError("horizon_slack must be positive")
+
+
+@dataclass(frozen=True)
+class PriceBook:
+    """Per-GPU-type price bounds; prices are evaluated against a state."""
+
+    u_min: Mapping[str, float]
+    u_max: Mapping[str, float]
+    eta: float
+
+    def __post_init__(self) -> None:
+        for r, lo in self.u_min.items():
+            hi = self.u_max.get(r, 0.0)
+            if lo < 0 or hi < 0:
+                raise ValueError(f"negative utility bound for type {r!r}")
+            if lo > hi:
+                raise ValueError(
+                    f"U_min ({lo}) exceeds U_max ({hi}) for type {r!r}"
+                )
+
+    # -- Eq. (5) -----------------------------------------------------------
+    def price(self, node_id: int, type_name: str, state: ClusterState) -> float:
+        """Current unit price of a type-``type_name`` device on ``node_id``.
+
+        ``γ`` is read off ``state`` as ``capacity − free``.
+        """
+        lo = self.u_min.get(type_name, 0.0)
+        hi = self.u_max.get(type_name, 0.0)
+        if hi <= 0.0:
+            return 0.0  # no queued job can use this type; it is free
+        cap = state.capacity(node_id, type_name)
+        if cap <= 0:
+            return hi  # slot does not exist: prohibitively priced
+        gamma = cap - state.free(node_id, type_name)
+        return lo * (hi / lo) ** (gamma / cap)
+
+    def cost_of(self, allocation: Allocation, state: ClusterState) -> float:
+        """Σ price × count at the *pre-allocation* prices (Definition 1)."""
+        return sum(
+            self.price(node_id, type_name, state) * count
+            for (node_id, type_name), count in allocation.placements.items()
+        )
+
+    def alpha(self) -> float:
+        """The competitive-ratio factor ``α = max_r(1, ln(U_max^r/U_min^r))``."""
+        best = 1.0
+        for r, hi in self.u_max.items():
+            lo = self.u_min.get(r, 0.0)
+            if lo > 0 and hi > lo:
+                best = max(best, math.log(hi / lo))
+        return best
+
+    # -- Eqs. (6)-(8) -----------------------------------------------------------
+    @classmethod
+    def calibrate(
+        cls,
+        jobs: Sequence[JobRuntime],
+        matrix: ThroughputMatrix,
+        utility: Utility,
+        state: ClusterState,
+        now: float,
+        config: PricingConfig = PricingConfig(),
+    ) -> "PriceBook":
+        """Build price bounds from the current workload (online Algorithm 1).
+
+        Uses each job's *remaining* iterations so partially-trained jobs
+        are priced by the work they still need.  ``T`` (the horizon at
+        which a job earns its smallest utility) is estimated online as
+        ``now + horizon_slack × Σ_j t_j^max`` — the serial worst-case
+        drain time of the current queue on the slowest devices.
+        """
+        types = sorted({t for (_, t) in state.slots})
+        usable = [rt for rt in jobs if rt.remaining_iterations > 0]
+        if not usable:
+            zero = {t: 0.0 for t in types}
+            return cls(u_min=zero, u_max=dict(zero), eta=1.0)
+
+        # t_j^min / t_j^max per job (Eq. 8), restricted to present types.
+        t_max: dict[int, float] = {}
+        for rt in usable:
+            model = rt.job.model.name
+            rates = [matrix.rate(model, t) for t in types if matrix.supports(model, t)]
+            if not rates:
+                raise ValueError(
+                    f"job {rt.job_id} ({model}) runs on no GPU type in the cluster"
+                )
+            t_max[rt.job_id] = rt.remaining_iterations / (
+                rt.job.num_workers * min(rates)
+            )
+
+        horizon = now + config.horizon_slack * sum(t_max.values())
+
+        # η (auto): smallest value satisfying Σ_h Σ_r c_h^r / η ≤ t_j^max W_j ∀j.
+        if config.eta is not None:
+            eta = config.eta
+        else:
+            total_capacity = state.total_capacity()
+            eta = max(
+                (
+                    total_capacity / (t_max[rt.job_id] * rt.job.num_workers)
+                    for rt in usable
+                ),
+                default=1.0,
+            )
+            eta = max(eta, 1.0)
+
+        u_max: dict[str, float] = {}
+        u_min: dict[str, float] = {}
+        for r in types:
+            hi = 0.0
+            lo = math.inf
+            for rt in usable:
+                job = rt.job
+                rate = matrix.rate(job.model.name, r)
+                if rate <= 0.0:
+                    continue
+                # Fastest completion *using type r*: full gang of type r.
+                t_min_r = rt.remaining_iterations / (job.num_workers * rate)
+                jct_best = max(now - job.arrival_time, 0.0) + t_min_r
+                hi = max(hi, utility.value_for(rt, jct_best, now) / job.num_workers)
+                # Smallest utility: the job drags on until the horizon.
+                jct_worst = max(horizon - job.arrival_time, jct_best)
+                lo = min(
+                    lo,
+                    utility.value_for(rt, jct_worst, now)
+                    / (t_max[job.job_id] * job.num_workers),
+                )
+            if hi <= 0.0 or not math.isfinite(lo):
+                u_max[r] = 0.0
+                u_min[r] = 0.0
+                continue
+            lo = lo / (4.0 * eta)
+            # Keep the price curve strictly increasing (α ≥ 1 regime).
+            lo = min(lo, hi / config.min_ratio)
+            lo = max(lo, 1e-300)
+            u_max[r] = hi
+            u_min[r] = lo
+        return cls(u_min=u_min, u_max=u_max, eta=eta)

@@ -1,0 +1,28 @@
+"""The experiment harness behind ``benchmarks/`` and EXPERIMENTS.md.
+
+One module per evaluation artifact family:
+
+* :mod:`repro.experiments.config` — workload scales (quick / default /
+  full = the paper's 480 jobs) and shared experiment settings;
+* :mod:`repro.experiments.runner` — run a scheduler lineup over a trace
+  and collect a metric table;
+* :mod:`repro.experiments.motivation` — the Fig. 1 toy example;
+* :mod:`repro.experiments.figures` — Figs. 3, 4, 5, 6, 8, 9;
+* :mod:`repro.experiments.scalability` — Fig. 7 decision-latency scaling;
+* :mod:`repro.experiments.prototype` — the 8-GPU AWS testbed experiments
+  (Table III, Fig. 10) on the simulated prototype cluster;
+* :mod:`repro.experiments.overhead` — Table IV preemption overheads;
+* :mod:`repro.experiments.ablations` — design-choice ablations beyond the
+  paper (DP vs greedy, branch objective, comm model, utilities).
+"""
+
+from repro.experiments.config import ExperimentScale, resolve_scale, standard_lineup
+from repro.experiments.runner import ComparisonRun, run_comparison
+
+__all__ = [
+    "ComparisonRun",
+    "ExperimentScale",
+    "resolve_scale",
+    "run_comparison",
+    "standard_lineup",
+]

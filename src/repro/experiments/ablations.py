@@ -1,0 +1,90 @@
+"""Design-choice ablations (beyond the paper's own figures).
+
+DESIGN.md calls out four places where Hadar's behaviour rests on a
+specific design decision; each ablation swaps exactly one of them and
+re-runs the standard static comparison workload:
+
+* ``greedy-only`` — disable the exact DP (queue_limit = 0): measures what
+  the memoized include/exclude recursion buys over pure payoff-density
+  greedy;
+* ``cost-branch`` — the literal Algorithm-2 line-18 branch objective
+  (minimize accumulated cost) instead of the primal-dual payoff reading;
+* ``no-comm`` — communication-cost model disabled: non-consolidated
+  gangs become free, quantifying how much the surcharge steers
+  placement;
+* ``raw-utility`` — the paper's literal ``E_j N_j / jct`` utility instead
+  of the work-normalized default: shows the cross-model scale problem;
+* ``yarn-strict`` — YARN-CS with head-of-line blocking instead of
+  concurrent admission (context for the paper's 7-15× YARN ratios);
+* ``srtf`` — heterogeneity-aware shortest-remaining-first without the
+  dual prices/DP: isolates what the primal-dual machinery adds over the
+  ordering heuristic;
+* ``gavel-max-sum`` — Gavel with the utilitarian (total-throughput)
+  policy instead of max-min;
+* ``hadar-eta-{lo,hi}`` — the price-calibration scaling factor η pinned
+  an order of magnitude below/above its auto value (price-sensitivity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.baselines import (
+    SRTFScheduler,
+    YarnCapacityScheduler,
+    YarnConfig,
+)
+from repro.baselines.gavel import GavelConfig, GavelScheduler
+from repro.cluster.cluster import simulated_cluster
+from repro.cluster.topology import CommunicationModel
+from repro.core import DPConfig, HadarConfig, HadarScheduler
+from repro.core.pricing import PricingConfig
+from repro.core.utility import EffectiveThroughputUtility
+from repro.experiments.config import resolve_scale
+from repro.experiments.runner import ComparisonRun, run_comparison
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+
+__all__ = ["run_ablations"]
+
+
+def run_ablations(scale_name: Optional[str] = None, seed: int = 1) -> ComparisonRun:
+    """Run the ablation lineup on the standard static workload."""
+    scale = resolve_scale(scale_name)
+    trace = generate_philly_trace(
+        PhillyTraceConfig(
+            num_jobs=scale.num_jobs, arrival_pattern="static", seed=seed
+        )
+    )
+    cluster = simulated_cluster()
+    no_comm_cluster = simulated_cluster(comm=CommunicationModel.disabled())
+
+    lineup = {
+        "hadar": HadarScheduler,
+        "hadar-greedy-only": lambda: HadarScheduler(
+            HadarConfig(dp=DPConfig(queue_limit=0))
+        ),
+        "hadar-cost-branch": lambda: HadarScheduler(
+            HadarConfig(dp=DPConfig(branch_objective="cost"))
+        ),
+        "hadar-raw-utility": lambda: HadarScheduler(
+            HadarConfig(utility=EffectiveThroughputUtility())
+        ),
+        "yarn-strict": lambda: YarnCapacityScheduler(YarnConfig(strict_fifo=True)),
+        "srtf": SRTFScheduler,
+        "gavel-max-sum": lambda: GavelScheduler(GavelConfig(policy="max-sum")),
+        "hadar-eta-lo": lambda: HadarScheduler(
+            HadarConfig(pricing=PricingConfig(eta=1.0))
+        ),
+        "hadar-eta-hi": lambda: HadarScheduler(
+            HadarConfig(pricing=PricingConfig(eta=1000.0))
+        ),
+    }
+    run = run_comparison(cluster, trace, lineup)
+    # The comm ablation needs a different cluster object; run it separately
+    # and merge.
+    no_comm = run_comparison(
+        no_comm_cluster, trace, {"hadar-no-comm": HadarScheduler}
+    )
+    run.results.update(no_comm.results)
+    return run

@@ -1,0 +1,199 @@
+"""Reproduction entry points for Figs. 3, 4, 5, 6, 8, and 9.
+
+Each function regenerates the data series / summary rows behind one
+figure; the corresponding ``benchmarks/bench_fig*.py`` file times it and
+prints the rows.  The static comparison run backing Figs. 3a, 4, and 5
+is computed once per process and cached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import lru_cache
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.baselines import GavelScheduler, TiresiasScheduler
+from repro.cluster.cluster import simulated_cluster
+from repro.core import HadarScheduler, hadar_for_objective
+from repro.experiments.config import ExperimentScale, resolve_scale, standard_lineup
+from repro.experiments.runner import ComparisonRun, run_comparison
+from repro.metrics.jct import jct_cdf, jct_stats
+from repro.metrics.summary import ComparisonTable
+from repro.sim.engine import SimulationResult, simulate
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+
+__all__ = [
+    "comparison_run",
+    "fig3_jct_cdfs",
+    "fig4_utilization",
+    "fig5_ftf",
+    "fig6_makespan",
+    "fig8_minmax_jct",
+    "fig9_round_length",
+]
+
+
+def _trace_config(
+    scale: ExperimentScale, pattern: str, seed: int = 1
+) -> PhillyTraceConfig:
+    return PhillyTraceConfig(
+        num_jobs=scale.num_jobs,
+        arrival_pattern=pattern,
+        jobs_per_hour=scale.jobs_per_hour,
+        seed=seed,
+    )
+
+
+@lru_cache(maxsize=8)
+def comparison_run(
+    pattern: str = "static", scale_name: Optional[str] = None, seed: int = 1
+) -> ComparisonRun:
+    """The four-scheduler comparison backing Figs. 3, 4, and 5 (cached)."""
+    scale = resolve_scale(scale_name)
+    cluster = simulated_cluster()
+    trace = generate_philly_trace(_trace_config(scale, pattern, seed))
+    return run_comparison(cluster, trace, standard_lineup())
+
+
+# ----------------------------------------------------------------- Fig. 3 --
+@dataclass(frozen=True)
+class Fig3Series:
+    """One scheduler's completion-CDF curve plus its JCT summary."""
+
+    times_h: np.ndarray
+    fraction_complete: np.ndarray
+    mean_jct_h: float
+    median_jct_h: float
+
+
+def fig3_jct_cdfs(
+    pattern: str = "static", scale_name: Optional[str] = None
+) -> dict[str, Fig3Series]:
+    """Fig. 3: cumulative fraction of jobs completed along the timeline."""
+    run = comparison_run(pattern, scale_name)
+    out: dict[str, Fig3Series] = {}
+    for name, result in run.results.items():
+        times, frac = jct_cdf(result, num_points=60)
+        stats = jct_stats(result)
+        out[name] = Fig3Series(
+            times_h=times / 3600.0,
+            fraction_complete=frac,
+            mean_jct_h=stats.mean_hours,
+            median_jct_h=stats.median_hours,
+        )
+    return out
+
+
+# ----------------------------------------------------------------- Fig. 4 --
+def fig4_utilization(
+    pattern: str = "static", scale_name: Optional[str] = None
+) -> ComparisonTable:
+    """Fig. 4: cluster-wide GPU utilization of the four schedulers."""
+    run = comparison_run(pattern, scale_name)
+    table = ComparisonTable(columns=["utilization"])
+    for name, result in run.results.items():
+        from repro.metrics.utilization import utilization_summary
+
+        table.add_row(name, {"utilization": utilization_summary(result, contended=True).overall})
+    return table
+
+
+# ----------------------------------------------------------------- Fig. 5 --
+def fig5_ftf(
+    pattern: str = "static", scale_name: Optional[str] = None
+) -> ComparisonTable:
+    """Fig. 5: finish-time fairness of Hadar vs. Gavel vs. Tiresias."""
+    from repro.metrics.fairness import finish_time_fairness
+    from repro.workload.throughput import default_throughput_matrix
+
+    run = comparison_run(pattern, scale_name)
+    matrix = default_throughput_matrix()
+    table = ComparisonTable(columns=["ftf_mean", "ftf_max"])
+    for name in ("hadar", "gavel", "tiresias"):
+        ftf = finish_time_fairness(run.results[name], matrix)
+        table.add_row(name, {"ftf_mean": ftf.mean, "ftf_max": ftf.max})
+    return table
+
+
+# ----------------------------------------------------------------- Fig. 6 --
+def fig6_makespan(scale_name: Optional[str] = None) -> ComparisonTable:
+    """Fig. 6: makespan with Hadar steered to the makespan objective."""
+    scale = resolve_scale(scale_name)
+    cluster = simulated_cluster()
+    trace = generate_philly_trace(_trace_config(scale, "static"))
+    lineup = {
+        "hadar": lambda: hadar_for_objective("makespan"),
+        "gavel": GavelScheduler,
+        "tiresias": TiresiasScheduler,
+    }
+    run = run_comparison(cluster, trace, lineup)
+    table = ComparisonTable(columns=["makespan_h"])
+    for name, result in run.results.items():
+        table.add_row(name, {"makespan_h": result.makespan() / 3600.0})
+    return table
+
+
+# ----------------------------------------------------------------- Fig. 8 --
+def fig8_minmax_jct(
+    rates_per_hour: tuple[float, ...] = (30.0, 60.0, 90.0, 120.0),
+    scale_name: Optional[str] = None,
+    seed: int = 1,
+) -> dict[str, dict[float, tuple[float, float, float]]]:
+    """Fig. 8: (min, mean, max) JCT hours per scheduler per input job rate."""
+    scale = resolve_scale(scale_name)
+    cluster = simulated_cluster()
+    out: dict[str, dict[float, tuple[float, float, float]]] = {
+        "hadar": {},
+        "gavel": {},
+        "tiresias": {},
+    }
+    factories = {
+        "hadar": HadarScheduler,
+        "gavel": GavelScheduler,
+        "tiresias": TiresiasScheduler,
+    }
+    for rate in rates_per_hour:
+        cfg = replace(
+            _trace_config(scale, "continuous", seed), jobs_per_hour=rate
+        )
+        trace = generate_philly_trace(cfg)
+        for name, factory in factories.items():
+            result = simulate(cluster, trace, factory())
+            stats = jct_stats(result)
+            out[name][rate] = (
+                stats.min / 3600.0,
+                stats.mean_hours,
+                stats.max / 3600.0,
+            )
+    return out
+
+
+# ----------------------------------------------------------------- Fig. 9 --
+def fig9_round_length(
+    round_lengths_min: tuple[float, ...] = (6.0, 12.0, 24.0, 48.0),
+    rates_per_hour: tuple[float, ...] = (30.0, 60.0, 90.0),
+    scale_name: Optional[str] = None,
+    seed: int = 1,
+) -> dict[float, dict[float, float]]:
+    """Fig. 9: Hadar's mean JCT (hours) per round length per job rate.
+
+    Returns ``{round_length_min: {jobs_per_hour: mean_jct_h}}``.
+    """
+    scale = resolve_scale(scale_name)
+    cluster = simulated_cluster()
+    out: dict[float, dict[float, float]] = {}
+    for round_min in round_lengths_min:
+        row: dict[float, float] = {}
+        for rate in rates_per_hour:
+            cfg = replace(
+                _trace_config(scale, "continuous", seed), jobs_per_hour=rate
+            )
+            trace = generate_philly_trace(cfg)
+            result = simulate(
+                cluster, trace, HadarScheduler(), round_length=round_min * 60.0
+            )
+            row[rate] = jct_stats(result).mean_hours
+        out[round_min] = row
+    return out

@@ -1,0 +1,78 @@
+"""Cluster-heterogeneity sensitivity sweep (extension experiment).
+
+The paper's whole premise is that heterogeneity-*awareness* matters more
+the more heterogeneous the cluster is.  This sweep makes that claim
+measurable: it compares Hadar against a heterogeneity-blind baseline on
+a family of equal-aggregate-throughput clusters ranging from homogeneous
+(all one type) to maximally mixed, and reports how the JCT gap opens as
+device diversity grows.
+
+Cluster family: each configuration has the same *V100-equivalent*
+aggregate capacity (so total ideal work throughput is constant); only
+the composition changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines import TiresiasScheduler
+from repro.cluster.cluster import Cluster, homogeneous_node_cluster
+from repro.core import HadarScheduler
+from repro.metrics.jct import jct_stats
+from repro.sim.engine import simulate
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.trace import Trace
+
+__all__ = ["HeterogeneityPoint", "heterogeneity_sweep", "CLUSTER_FAMILY"]
+
+#: name -> GPU counts.  Aggregate V100-equivalents are roughly matched
+#: using the zoo-average relative speeds (P100 ≈ 0.5 V100, K80 ≈ 0.17).
+CLUSTER_FAMILY: dict[str, dict[str, int]] = {
+    "homogeneous": {"V100": 36},
+    "two-types": {"V100": 24, "P100": 24},
+    "three-types": {"V100": 20, "P100": 20, "K80": 24},
+}
+
+
+@dataclass(frozen=True, slots=True)
+class HeterogeneityPoint:
+    """One cluster configuration's outcome."""
+
+    name: str
+    num_types: int
+    hadar_mean_jct_h: float
+    blind_mean_jct_h: float
+
+    @property
+    def awareness_gain(self) -> float:
+        """Blind / Hadar mean JCT — how much awareness buys here."""
+        if self.hadar_mean_jct_h <= 0:
+            return float("inf")
+        return self.blind_mean_jct_h / self.hadar_mean_jct_h
+
+
+def heterogeneity_sweep(
+    num_jobs: int = 40,
+    seed: int = 1,
+    trace: Optional[Trace] = None,
+) -> list[HeterogeneityPoint]:
+    """Run Hadar vs the heterogeneity-blind Tiresias over the family."""
+    base_trace = trace or generate_philly_trace(
+        PhillyTraceConfig(num_jobs=num_jobs, arrival_pattern="static", seed=seed)
+    )
+    points: list[HeterogeneityPoint] = []
+    for name, counts in CLUSTER_FAMILY.items():
+        cluster: Cluster = homogeneous_node_cluster(counts, gpus_per_node=4)
+        hadar = simulate(cluster, base_trace, HadarScheduler())
+        blind = simulate(cluster, base_trace, TiresiasScheduler())
+        points.append(
+            HeterogeneityPoint(
+                name=name,
+                num_types=len(counts),
+                hadar_mean_jct_h=jct_stats(hadar).mean_hours,
+                blind_mean_jct_h=jct_stats(blind).mean_hours,
+            )
+        )
+    return points

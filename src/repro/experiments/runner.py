@@ -1,0 +1,83 @@
+"""Run a scheduler lineup over one workload and tabulate the metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.metrics.fairness import finish_time_fairness
+from repro.metrics.jct import jct_stats
+from repro.metrics.summary import ComparisonTable
+from repro.metrics.utilization import utilization_summary
+from repro.sim.checkpoint import CheckpointModel
+from repro.sim.engine import DEFAULT_ROUND_LENGTH_S, SimulationResult, simulate
+from repro.sim.interface import Scheduler
+from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
+from repro.workload.trace import Trace
+
+__all__ = ["ComparisonRun", "run_comparison"]
+
+METRIC_COLUMNS = (
+    "mean_jct_h",
+    "median_jct_h",
+    "makespan_h",
+    "mean_wait_h",
+    "utilization",
+    "ftf_mean",
+)
+
+
+@dataclass
+class ComparisonRun:
+    """Results of running several schedulers over the same workload."""
+
+    results: dict[str, SimulationResult] = field(default_factory=dict)
+
+    def table(self) -> ComparisonTable:
+        """The standard six-metric comparison table."""
+        table = ComparisonTable(columns=list(METRIC_COLUMNS))
+        matrix = default_throughput_matrix()
+        for name, result in self.results.items():
+            stats = jct_stats(result)
+            util = utilization_summary(result, contended=True)
+            ftf = finish_time_fairness(result, matrix)
+            table.add_row(
+                name,
+                {
+                    "mean_jct_h": stats.mean_hours,
+                    "median_jct_h": stats.median_hours,
+                    "makespan_h": result.makespan() / 3600.0,
+                    "mean_wait_h": stats.mean_total_waiting / 3600.0,
+                    "utilization": util.overall,
+                    "ftf_mean": ftf.mean,
+                },
+            )
+        return table
+
+    def improvement(self, column: str, better: str = "hadar", worse: str = "gavel") -> float:
+        """Lower-is-better improvement factor between two schedulers."""
+        return self.table().improvement(column, better, worse)
+
+
+def run_comparison(
+    cluster: Cluster,
+    trace: Trace,
+    schedulers: Mapping[str, Callable[[], Scheduler]],
+    *,
+    matrix: Optional[ThroughputMatrix] = None,
+    round_length: float = DEFAULT_ROUND_LENGTH_S,
+    checkpoint: Optional[CheckpointModel] = None,
+) -> ComparisonRun:
+    """Simulate every scheduler in ``schedulers`` over the same workload."""
+    run = ComparisonRun()
+    for name, factory in schedulers.items():
+        run.results[name] = simulate(
+            cluster,
+            trace,
+            factory(),
+            matrix=matrix,
+            round_length=round_length,
+            checkpoint=checkpoint,
+        )
+    return run

@@ -1,0 +1,90 @@
+"""Fig. 7 — scheduler decision latency as jobs (and the cluster) scale.
+
+The paper measures "the running time of our scheduling algorithm to
+generate decisions" from 32 to 2048 active jobs, growing the cluster with
+the job count, and finds Hadar scales like Gavel (< 7 minutes per round
+even at 2048 jobs; ours are far faster because the substrate is leaner).
+
+We measure exactly that: one cold scheduling decision over a queue of
+``n`` fresh jobs on a cluster scaled ``∝ n``, for Hadar (greedy dual
+subroutine at this queue size) and Gavel (allocation-matrix LP plus the
+priority realization).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.baselines import GavelScheduler
+from repro.cluster.cluster import simulated_cluster
+from repro.core import HadarScheduler
+from repro.sim.interface import Scheduler, SchedulerContext
+from repro.sim.progress import JobRuntime, JobState
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+
+__all__ = ["DecisionTiming", "measure_decision_times", "DEFAULT_JOB_COUNTS"]
+
+DEFAULT_JOB_COUNTS = (32, 64, 128, 256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionTiming:
+    """Wall-clock seconds for one scheduling decision."""
+
+    num_jobs: int
+    cluster_gpus: int
+    seconds: dict[str, float]  # scheduler name -> decision latency
+
+
+def _context_for(num_jobs: int, seed: int) -> SchedulerContext:
+    # Cluster grows with the job count (paper: "The cluster size increases
+    # as the number of jobs increases"); 32 jobs ↔ the base 60-GPU cluster.
+    scale = max(1, num_jobs // 32)
+    cluster = simulated_cluster(scale=scale)
+    trace = generate_philly_trace(
+        PhillyTraceConfig(num_jobs=num_jobs, arrival_pattern="static", seed=seed)
+    )
+    waiting = []
+    for job in trace:
+        rt = JobRuntime(job=job)
+        rt.state = JobState.QUEUED
+        waiting.append(rt)
+    from repro.workload.throughput import default_throughput_matrix
+
+    return SchedulerContext(
+        now=0.0,
+        cluster=cluster,
+        matrix=default_throughput_matrix(),
+        round_length=360.0,
+        waiting=tuple(waiting),
+        running=(),
+    )
+
+
+def measure_decision_times(
+    job_counts: tuple[int, ...] = DEFAULT_JOB_COUNTS,
+    *,
+    seed: int = 1,
+    repeats: int = 1,
+) -> list[DecisionTiming]:
+    """Time one cold decision per scheduler per queue size."""
+    out: list[DecisionTiming] = []
+    for n in job_counts:
+        ctx = _context_for(n, seed)
+        seconds: dict[str, float] = {}
+        scheduler: Scheduler
+        for scheduler in (HadarScheduler(), GavelScheduler()):
+            best = float("inf")
+            for _ in range(max(1, repeats)):
+                scheduler.reset()
+                t0 = time.perf_counter()
+                scheduler.schedule(ctx)
+                best = min(best, time.perf_counter() - t0)
+            seconds[scheduler.name] = best
+        out.append(
+            DecisionTiming(
+                num_jobs=n, cluster_gpus=ctx.cluster.total_gpus, seconds=seconds
+            )
+        )
+    return out

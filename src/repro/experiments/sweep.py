@@ -1,0 +1,96 @@
+"""Generic parameter sweeps over simulations.
+
+A tiny declarative layer the figure harness and downstream users share:
+define a grid of named parameters, a builder that turns one grid point
+into a simulation, and get back a tidy list of records (one per point ×
+metric).  Keeps the Fig. 8/9-style sweep loops out of user code.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.metrics.fairness import finish_time_fairness
+from repro.metrics.jct import jct_stats
+from repro.metrics.utilization import utilization_summary
+from repro.sim.engine import SimulationResult
+from repro.workload.throughput import default_throughput_matrix
+
+__all__ = ["SweepPoint", "ParameterSweep"]
+
+RunBuilder = Callable[[Mapping[str, Any]], SimulationResult]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's parameters and measured metrics."""
+
+    params: Mapping[str, Any]
+    metrics: Mapping[str, float]
+
+    def __getitem__(self, key: str) -> Any:
+        if key in self.params:
+            return self.params[key]
+        return self.metrics[key]
+
+
+@dataclass
+class ParameterSweep:
+    """A cartesian sweep definition.
+
+    Example::
+
+        sweep = ParameterSweep(
+            grid={"rate": (30.0, 60.0), "round_min": (6.0, 24.0)},
+            build=lambda p: simulate(cluster, trace_for(p["rate"]),
+                                     HadarScheduler(),
+                                     round_length=p["round_min"] * 60),
+        )
+        points = sweep.run()
+    """
+
+    grid: Mapping[str, Sequence[Any]]
+    build: RunBuilder
+    extra_metrics: dict[str, Callable[[SimulationResult], float]] = field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        if not self.grid:
+            raise ValueError("grid must define at least one parameter")
+        for name, values in self.grid.items():
+            if not values:
+                raise ValueError(f"parameter {name!r} has no values")
+
+    def points(self) -> list[dict[str, Any]]:
+        """The cartesian product of the grid, in deterministic order."""
+        names = sorted(self.grid)
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(self.grid[n] for n in names))
+        ]
+
+    def run(self) -> list[SweepPoint]:
+        """Execute every grid point and collect the standard metrics."""
+        matrix = default_throughput_matrix()
+        out: list[SweepPoint] = []
+        for params in self.points():
+            result = self.build(params)
+            stats = jct_stats(result)
+            metrics: dict[str, float] = {
+                "mean_jct_h": stats.mean_hours,
+                "median_jct_h": stats.median_hours,
+                "max_jct_h": stats.max / 3600.0,
+                "min_jct_h": stats.min / 3600.0,
+                "makespan_h": result.makespan() / 3600.0,
+                "mean_wait_h": stats.mean_total_waiting / 3600.0,
+                "utilization": utilization_summary(result, contended=True).overall,
+                "ftf_mean": finish_time_fairness(result, matrix).mean,
+                "completed": float(len(result.completed)),
+            }
+            for name, fn in self.extra_metrics.items():
+                metrics[name] = float(fn(result))
+            out.append(SweepPoint(params=params, metrics=metrics))
+        return out

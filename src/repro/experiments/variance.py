@@ -1,0 +1,101 @@
+"""Seed-variance analysis: are the headline conclusions seed-robust?
+
+The paper reports single-trace numbers; a reproduction should show the
+improvement factors are not artifacts of one random workload.  This
+module re-runs the Hadar-vs-baseline comparison across several trace
+seeds and reports, per metric, the mean improvement factor with its
+spread — the numbers quoted in EXPERIMENTS.md's robustness note.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.cluster import simulated_cluster
+from repro.experiments.config import resolve_scale, standard_lineup
+from repro.experiments.runner import run_comparison
+from repro.metrics.fairness import finish_time_fairness
+from repro.metrics.jct import jct_stats
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.throughput import default_throughput_matrix
+
+__all__ = ["ImprovementStats", "seed_variance"]
+
+
+@dataclass(frozen=True, slots=True)
+class ImprovementStats:
+    """Distribution of one improvement factor across seeds."""
+
+    metric: str
+    baseline: str
+    factors: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.factors))
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.factors))
+
+    @property
+    def min(self) -> float:
+        return float(np.min(self.factors))
+
+    @property
+    def always_above_one(self) -> bool:
+        """True when Hadar won this metric on *every* seed."""
+        return all(f > 1.0 for f in self.factors)
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        return (
+            f"{self.metric} vs {self.baseline}: "
+            f"{self.mean:.2f}×±{self.std:.2f} (min {self.min:.2f}×)"
+        )
+
+
+def seed_variance(
+    seeds: Sequence[int] = (1, 2, 3),
+    scale_name: Optional[str] = None,
+    baselines: Sequence[str] = ("gavel", "tiresias", "yarn-cs"),
+) -> Mapping[tuple[str, str], ImprovementStats]:
+    """Hadar's improvement factors over each baseline, across seeds.
+
+    Returns ``{(metric, baseline): ImprovementStats}`` for mean JCT,
+    median JCT, and mean FTF.
+    """
+    if not seeds:
+        raise ValueError("at least one seed required")
+    scale = resolve_scale(scale_name)
+    cluster = simulated_cluster()
+    matrix = default_throughput_matrix()
+    lineup = standard_lineup()
+    per_seed: dict[tuple[str, str], list[float]] = {}
+    for seed in seeds:
+        trace = generate_philly_trace(
+            PhillyTraceConfig(
+                num_jobs=scale.num_jobs, arrival_pattern="static", seed=seed
+            )
+        )
+        run = run_comparison(cluster, trace, lineup)
+        hadar_stats = jct_stats(run.results["hadar"])
+        hadar_ftf = finish_time_fairness(run.results["hadar"], matrix).mean
+        for baseline in baselines:
+            base_stats = jct_stats(run.results[baseline])
+            base_ftf = finish_time_fairness(run.results[baseline], matrix).mean
+            per_seed.setdefault(("mean_jct", baseline), []).append(
+                base_stats.mean / hadar_stats.mean
+            )
+            per_seed.setdefault(("median_jct", baseline), []).append(
+                base_stats.median / hadar_stats.median
+            )
+            per_seed.setdefault(("ftf_mean", baseline), []).append(
+                base_ftf / hadar_ftf
+            )
+    return {
+        key: ImprovementStats(metric=key[0], baseline=key[1], factors=tuple(vals))
+        for key, vals in per_seed.items()
+    }

@@ -1,0 +1,34 @@
+"""Evaluation metrics (Sec. IV).
+
+* :mod:`repro.metrics.jct` — average/median/percentile job completion
+  time, queuing delay, and JCT CDFs (Figs. 3, 8, 9);
+* :mod:`repro.metrics.fairness` — Themis finish-time fairness against an
+  analytic isolated-share estimator (Fig. 5);
+* :mod:`repro.metrics.utilization` — cluster-wide GPU utilization
+  (Figs. 4, 10);
+* :mod:`repro.metrics.summary` — cross-scheduler comparison tables used
+  by the benchmark harness to print paper-style rows.
+"""
+
+from repro.metrics.export import result_to_dict, save_result_json
+from repro.metrics.fairness import finish_time_fairness, isolated_duration
+from repro.metrics.jct import JCTStats, jct_cdf, jct_stats
+from repro.metrics.summary import ComparisonTable, ratio
+from repro.metrics.timeline import job_intervals, render_gantt, type_occupancy
+from repro.metrics.utilization import utilization_summary
+
+__all__ = [
+    "ComparisonTable",
+    "JCTStats",
+    "finish_time_fairness",
+    "isolated_duration",
+    "jct_cdf",
+    "jct_stats",
+    "job_intervals",
+    "render_gantt",
+    "type_occupancy",
+    "ratio",
+    "result_to_dict",
+    "save_result_json",
+    "utilization_summary",
+]

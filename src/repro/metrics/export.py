@@ -1,0 +1,87 @@
+"""Export simulation results for downstream analysis.
+
+Flattens a :class:`~repro.sim.engine.SimulationResult` into plain JSON:
+one record per job (timing, placement churn, waiting, straggler counts)
+plus the run-level aggregates.  The inverse of nothing — exports are for
+notebooks/plotting, not for resuming simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.metrics.fairness import finish_time_fairness
+from repro.metrics.jct import jct_stats
+from repro.metrics.utilization import utilization_summary
+from repro.sim.engine import SimulationResult
+from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
+
+__all__ = ["result_to_dict", "save_result_json"]
+
+
+def result_to_dict(
+    result: SimulationResult, matrix: ThroughputMatrix | None = None
+) -> dict[str, Any]:
+    """A JSON-serializable snapshot of one simulation."""
+    matrix = matrix or default_throughput_matrix()
+    stats = jct_stats(result)
+    util = utilization_summary(result, contended=True)
+    ftf = finish_time_fairness(result, matrix)
+    jobs = []
+    for rt in sorted(result.runtimes.values(), key=lambda r: r.job_id):
+        jobs.append(
+            {
+                "job_id": rt.job_id,
+                "model": rt.job.model.name,
+                "num_workers": rt.job.num_workers,
+                "arrival_time_s": rt.job.arrival_time,
+                "first_start_s": rt.first_start_time,
+                "finish_time_s": rt.finish_time,
+                "jct_s": rt.completion_time,
+                "waiting_s": rt.waiting_seconds,
+                "overhead_s": rt.overhead_seconds,
+                "preemptions": rt.preemptions,
+                "allocation_changes": rt.allocation_changes,
+                "straggler_events": rt.straggler_events,
+                "attained_gpu_s": rt.attained_service,
+                "completed": rt.finish_time is not None,
+            }
+        )
+    return {
+        "scheduler": result.scheduler_name,
+        "round_length_s": result.round_length,
+        "cluster": {
+            "nodes": result.cluster.num_nodes,
+            "gpus": result.cluster.total_gpus,
+            "by_type": result.cluster.capacity_by_type(),
+        },
+        "truncated": result.truncated,
+        "summary": {
+            "jobs_total": len(result.runtimes),
+            "jobs_completed": len(result.completed),
+            "mean_jct_s": stats.mean,
+            "median_jct_s": stats.median,
+            "p95_jct_s": stats.p95,
+            "makespan_s": result.makespan(),
+            "mean_waiting_s": stats.mean_total_waiting,
+            "utilization_contended": util.overall,
+            "ftf_mean": ftf.mean,
+            "ftf_max": ftf.max,
+            "scheduling_invocations": result.scheduling_invocations,
+            "rounds_with_change": result.rounds_with_change,
+            "mean_decision_s": result.mean_decision_seconds(),
+        },
+        "jobs": jobs,
+    }
+
+
+def save_result_json(
+    result: SimulationResult,
+    path: str | Path,
+    matrix: ThroughputMatrix | None = None,
+) -> None:
+    """Write :func:`result_to_dict` output to ``path`` (pretty-printed)."""
+    payload = result_to_dict(result, matrix)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

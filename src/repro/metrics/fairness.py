@@ -1,0 +1,89 @@
+"""Finish-time fairness (Themis) — Fig. 5.
+
+FTF of job ``j``: ``ρ_j = (f_j − a_j) / (f_j^isolated − a_j)`` — the
+shared-cluster JCT over the JCT the job would see on a private ``1/n``
+slice of the cluster, ``n`` being the number of jobs sharing it.  ρ close
+to 1 is fair; large ρ means the job was starved relative to its
+entitlement.  Lower average ρ is better (the paper reports Hadar
+improving average FTF 1.5× over Gavel).
+
+The isolated run is estimated analytically (no nested simulation): the
+slice grants the job ``min(W_j, max(1, ⌊total_gpus / n⌋))`` workers of
+its best GPU type with zero queuing — the same estimator Themis uses in
+spirit, deterministic and scheduler-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.sim.engine import SimulationResult
+from repro.workload.job import Job
+from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["isolated_duration", "finish_time_fairness", "FTFStats"]
+
+
+def isolated_duration(
+    job: Job,
+    cluster: Cluster,
+    matrix: ThroughputMatrix,
+    num_sharers: int,
+) -> float:
+    """Estimated runtime of ``job`` on a private 1/``num_sharers`` slice."""
+    if num_sharers < 1:
+        raise ValueError("num_sharers must be at least 1")
+    share = max(1, cluster.total_gpus // num_sharers)
+    workers = min(job.num_workers, share)
+    rate = matrix.max_rate(
+        job.model.name, candidates=cluster.gpu_types
+    )
+    return job.total_iterations / (workers * rate)
+
+
+@dataclass(frozen=True, slots=True)
+class FTFStats:
+    """Aggregate finish-time-fairness figures for one simulation."""
+
+    count: int
+    mean: float
+    median: float
+    max: float
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        return (
+            f"FTFStats(n={self.count}, mean={self.mean:.2f}, "
+            f"median={self.median:.2f}, max={self.max:.2f})"
+        )
+
+
+def finish_time_fairness(
+    result: SimulationResult,
+    matrix: ThroughputMatrix,
+    *,
+    num_sharers: int | None = None,
+) -> FTFStats:
+    """FTF statistics over the completed jobs of a run.
+
+    ``num_sharers`` defaults to the trace size (the paper's ``n`` = jobs
+    executed on the cluster).
+    """
+    n = num_sharers if num_sharers is not None else max(1, len(result.runtimes))
+    rhos = []
+    for rt in result.completed:
+        iso = isolated_duration(rt.job, result.cluster, matrix, n)
+        jct = rt.completion_time
+        assert jct is not None  # completed jobs always carry one
+        rhos.append(jct / max(iso, 1e-9))
+    if not rhos:
+        return FTFStats(0, 0.0, 0.0, 0.0)
+    arr = np.asarray(rhos, dtype=float)
+    return FTFStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        max=float(arr.max()),
+    )

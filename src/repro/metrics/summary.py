@@ -1,0 +1,74 @@
+"""Cross-scheduler comparison tables.
+
+The benchmark harness prints paper-style rows ("Hadar improves average
+JCT by 1.8× over Gavel") from :class:`ComparisonTable`: a small
+column-oriented table with aligned text rendering and convenience ratio
+accessors.  Kept dependency-free so benches can dump results straight to
+stdout and the EXPERIMENTS.md tables can be pasted from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+__all__ = ["ComparisonTable", "ratio"]
+
+
+def ratio(baseline: float, improved: float) -> float:
+    """Improvement factor "baseline / improved" (e.g. JCT speedup).
+
+    Returns ``inf`` when ``improved`` is 0 and ``baseline`` positive, and
+    1.0 when both are 0.
+    """
+    if improved == 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / improved
+
+
+@dataclass
+class ComparisonTable:
+    """Rows = schedulers (or sweep points), columns = metrics."""
+
+    columns: Sequence[str]
+    rows: list[tuple[str, dict[str, float]]] = field(default_factory=list)
+
+    def add_row(self, label: str, values: Mapping[str, float]) -> None:
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise ValueError(f"unknown columns: {sorted(unknown)}")
+        self.rows.append((label, dict(values)))
+
+    def value(self, label: str, column: str) -> float:
+        for row_label, values in self.rows:
+            if row_label == label:
+                return values[column]
+        raise KeyError(f"no row {label!r}")
+
+    def improvement(self, column: str, better: str, worse: str) -> float:
+        """Factor by which ``better`` improves over ``worse`` on ``column``.
+
+        Assumes lower-is-better (JCT, makespan, FTF); for higher-is-better
+        metrics pass the arguments swapped.
+        """
+        return ratio(self.value(worse, column), self.value(better, column))
+
+    def render(self, *, float_fmt: str = "{:.3f}") -> str:
+        """Aligned plain-text table."""
+        headers = ["scheduler", *self.columns]
+        body = [
+            [label, *(float_fmt.format(values.get(c, float("nan"))) for c in self.columns)]
+            for label, values in self.rows
+        ]
+        widths = [
+            max(len(str(cell)) for cell in col)
+            for col in zip(headers, *body)
+        ] if body else [len(h) for h in headers]
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+        lines = [fmt_line(headers), fmt_line(["-" * w for w in widths])]
+        lines += [fmt_line(row) for row in body]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        return self.render()

@@ -1,0 +1,107 @@
+"""Schedule timelines: per-job placement history views and a text Gantt.
+
+Built from the placement history the engine records on every allocation
+change.  Two views:
+
+* :func:`job_intervals` — merged ``(start, end, Allocation)`` intervals
+  for one job (the raw material for plots and placement analyses);
+* :func:`render_gantt` — a terminal Gantt chart of the whole run, one
+  row per job, one character per time bucket, letters encoding the GPU
+  type mix of the gang in that bucket.  Handy for eyeballing preemption
+  churn and type migration in examples and bug reports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.allocation import Allocation
+from repro.sim.engine import SimulationResult
+from repro.sim.progress import JobRuntime
+
+__all__ = ["job_intervals", "render_gantt", "type_occupancy"]
+
+
+def job_intervals(
+    rt: JobRuntime, end_time: Optional[float] = None
+) -> list[tuple[float, float, Allocation]]:
+    """Merged placement intervals for one job.
+
+    Each entry covers ``[start, end)`` during which the job held exactly
+    ``allocation`` (empty allocations — queued stretches — are skipped).
+    ``end_time`` closes a still-open final interval (defaults to the
+    job's finish time, or the last history timestamp).
+    """
+    out: list[tuple[float, float, Allocation]] = []
+    history = rt.history
+    if not history:
+        return out
+    default_end = rt.finish_time if rt.finish_time is not None else history[-1][0]
+    closing = end_time if end_time is not None else default_end
+    for i, (start, alloc) in enumerate(history):
+        if not alloc:
+            continue
+        end = history[i + 1][0] if i + 1 < len(history) else closing
+        if end > start:
+            out.append((start, end, alloc))
+    return out
+
+
+def _mix_char(allocation: Allocation) -> str:
+    """One character summarizing a gang's type mix."""
+    types = sorted(allocation.gpu_types)
+    if not types:
+        return "."
+    if len(types) > 1:
+        return "*"  # mixed-type gang — Hadar's signature
+    return types[0][0]  # V / P / K / T / A
+
+
+def render_gantt(
+    result: SimulationResult,
+    *,
+    width: int = 80,
+    max_jobs: int = 40,
+) -> str:
+    """A text Gantt chart of the run.
+
+    Legend: ``.`` idle/queued, a type's initial (``V``/``P``/``K``/...)
+    for a homogeneous gang, ``*`` for a mixed-type gang.
+    """
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    horizon = result.makespan() or result.end_time
+    if horizon <= 0:
+        return "(empty schedule)"
+    bucket = horizon / width
+    lines = [
+        f"time: 0 .. {horizon / 3600:.1f} h   "
+        f"({bucket / 60:.1f} min/char; '*' = mixed-type gang)"
+    ]
+    shown = sorted(result.runtimes.values(), key=lambda rt: rt.job_id)[:max_jobs]
+    for rt in shown:
+        row = ["."] * width
+        for start, end, alloc in job_intervals(rt, end_time=horizon):
+            lo = min(width - 1, int(start / bucket))
+            hi = min(width, max(lo + 1, int(end / bucket + 0.999)))
+            ch = _mix_char(alloc)
+            for k in range(lo, hi):
+                row[k] = ch
+        label = f"j{rt.job_id:<4d} {rt.job.model.name[:10]:<10s} W={rt.job.num_workers:<2d}"
+        lines.append(f"{label} |{''.join(row)}|")
+    if len(result.runtimes) > max_jobs:
+        lines.append(f"... ({len(result.runtimes) - max_jobs} more jobs not shown)")
+    return "\n".join(lines)
+
+
+def type_occupancy(
+    result: SimulationResult, type_name: str, at: float
+) -> int:
+    """Devices of ``type_name`` held by running jobs at time ``at``."""
+    total = 0
+    for rt in result.runtimes.values():
+        for start, end, alloc in job_intervals(rt, end_time=result.end_time):
+            if start <= at < end:
+                total += alloc.count_by_type().get(type_name, 0)
+                break
+    return total

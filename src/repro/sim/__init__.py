@@ -1,0 +1,58 @@
+"""Discrete-event simulation substrate.
+
+The engine is a *continuous-rate* discrete-event simulator: between events
+every running job advances at a constant iteration rate, so progress is
+integrated exactly (no time-step discretization).  Events are job
+arrivals, round boundaries, and (re-schedulable) predicted completions.
+
+* :mod:`repro.sim.events` — the event heap;
+* :mod:`repro.sim.progress` — per-job runtime state (iterations done,
+  current allocation/rate, pause windows, bookkeeping for metrics);
+* :mod:`repro.sim.checkpoint` — preemption/reallocation overhead models
+  (the paper's fixed 10 s simulation delay and the model-size-aware
+  variant behind Table IV);
+* :mod:`repro.sim.interface` — the scheduler-facing API
+  (:class:`SchedulerContext` in, allocation map out);
+* :mod:`repro.sim.telemetry` — busy-GPU time series for utilization;
+* :mod:`repro.sim.engine` — the simulator itself.
+"""
+
+from repro.sim.checkpoint import (
+    CheckpointModel,
+    FixedDelayCheckpoint,
+    ModelAwareCheckpoint,
+    NoOverheadCheckpoint,
+)
+from repro.sim.engine import SimulationEngine, SimulationResult, simulate
+from repro.sim.events import EventQueue
+from repro.sim.interface import Scheduler, SchedulerContext
+from repro.sim.progress import JobRuntime, JobState
+from repro.sim.replay import (
+    RecordingScheduler,
+    ReplayScheduler,
+    load_decisions,
+    save_decisions,
+)
+from repro.sim.stragglers import StragglerModel
+from repro.sim.telemetry import UtilizationRecorder
+
+__all__ = [
+    "CheckpointModel",
+    "EventQueue",
+    "FixedDelayCheckpoint",
+    "JobRuntime",
+    "JobState",
+    "ModelAwareCheckpoint",
+    "NoOverheadCheckpoint",
+    "RecordingScheduler",
+    "ReplayScheduler",
+    "Scheduler",
+    "SchedulerContext",
+    "SimulationEngine",
+    "SimulationResult",
+    "StragglerModel",
+    "UtilizationRecorder",
+    "load_decisions",
+    "save_decisions",
+    "simulate",
+]

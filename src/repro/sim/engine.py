@@ -1,0 +1,520 @@
+"""The trace-driven simulation engine.
+
+A continuous-rate discrete-event simulator (see DESIGN.md §4): running
+jobs advance at constant rates between events; events are job arrivals,
+round boundaries (for round-based schedulers), and predicted completions.
+On every event the engine
+
+1. integrates all running jobs' progress exactly up to the event time,
+2. finalizes any jobs that just completed (freeing their devices),
+3. lets the scheduler react where its contract says so, and
+4. re-predicts completion times for jobs whose rate or pause changed.
+
+The engine validates every scheduler decision against the gang constraint
+(1e) and cluster capacity (1d) — a buggy scheduler fails loudly instead of
+silently overcommitting.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
+from repro.cluster.cluster import Cluster
+from repro.sim.checkpoint import CheckpointModel, FixedDelayCheckpoint
+from repro.sim.events import EventKind, EventQueue
+from repro.sim.interface import Scheduler, SchedulerContext, realized_rate, validate_gang
+from repro.sim.progress import JobRuntime, JobState
+from repro.sim.stragglers import StragglerModel
+from repro.sim.telemetry import UtilizationRecorder
+from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
+from repro.workload.trace import Trace
+
+__all__ = ["SimulationEngine", "SimulationResult", "simulate", "SchedulerProtocolError"]
+
+DEFAULT_ROUND_LENGTH_S = 360.0
+"""The paper's 6-minute scheduling round."""
+
+
+class SchedulerProtocolError(RuntimeError):
+    """A scheduler returned an invalid decision (gang/capacity violation)."""
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished (or truncated) simulation produced."""
+
+    scheduler_name: str
+    cluster: Cluster
+    round_length: float
+    runtimes: dict[int, JobRuntime]
+    telemetry: UtilizationRecorder
+    end_time: float
+    scheduling_invocations: int
+    decision_seconds: list[float]
+    truncated: bool = False
+    rounds_with_change: int = 0
+    """Rounds in which at least one job's allocation changed (Sec. IV-A-5)."""
+
+    # -- convenience views -----------------------------------------------------
+    @property
+    def completed(self) -> list[JobRuntime]:
+        done = [rt for rt in self.runtimes.values() if rt.finish_time is not None]
+        done.sort(key=lambda rt: rt.job_id)
+        return done
+
+    @property
+    def all_completed(self) -> bool:
+        return len(self.completed) == len(self.runtimes)
+
+    def jcts(self) -> list[float]:
+        """Job completion times ``f_j − a_j`` of finished jobs, job-id order."""
+        return [rt.completion_time for rt in self.completed]  # type: ignore[misc]
+
+    def makespan(self) -> float:
+        """Latest finish time (0 if nothing finished)."""
+        return max((rt.finish_time for rt in self.completed), default=0.0)
+
+    def queuing_delays(self) -> list[float]:
+        """Arrival-to-first-allocation delays of finished jobs."""
+        return [
+            rt.queuing_delay
+            for rt in self.completed
+            if rt.queuing_delay is not None
+        ]
+
+    def total_waiting(self) -> list[float]:
+        """Lifetime queued (allocation-less) seconds of finished jobs.
+
+        The paper's "queuing delay" comparison (Hadar shortens it 13%
+        vs. Gavel) is about time jobs sit without devices, which for
+        time-sharing schedulers keeps accruing between their rounds —
+        this series captures that; :meth:`queuing_delays` only covers
+        the wait before the first allocation.
+        """
+        return [rt.waiting_seconds for rt in self.completed]
+
+    def gpu_utilization(self) -> float:
+        """Mean allocated fraction of the cluster over [0, makespan]."""
+        horizon = self.makespan() or self.end_time
+        if horizon <= 0:
+            return 0.0
+        return self.telemetry.average_utilization(
+            self.cluster.total_gpus, 0.0, horizon
+        )
+
+    def mean_decision_seconds(self) -> float:
+        if not self.decision_seconds:
+            return 0.0
+        return sum(self.decision_seconds) / len(self.decision_seconds)
+
+
+@dataclass
+class SimulationEngine:
+    """One simulation run binding a cluster, trace, and scheduler."""
+
+    cluster: Cluster
+    trace: Trace
+    scheduler: Scheduler
+    matrix: ThroughputMatrix = field(default_factory=default_throughput_matrix)
+    round_length: float = DEFAULT_ROUND_LENGTH_S
+    checkpoint: CheckpointModel = field(default_factory=FixedDelayCheckpoint)
+    max_time: float = 10 * 365 * 24 * 3600.0
+    stragglers: Optional[StragglerModel] = None
+    """Optional failure injection; see :mod:`repro.sim.stragglers`."""
+
+    def __post_init__(self) -> None:
+        if self.round_length <= 0:
+            raise ValueError("round_length must be positive")
+        if self.max_time <= 0:
+            raise ValueError("max_time must be positive")
+        for job in self.trace:
+            if job.num_workers > self.cluster.total_gpus:
+                raise ValueError(
+                    f"job {job.job_id} requests {job.num_workers} workers but the "
+                    f"cluster only has {self.cluster.total_gpus} GPUs"
+                )
+
+    # ------------------------------------------------------------------ run --
+    def run(self) -> SimulationResult:
+        self.scheduler.reset()
+        self._straggler_rng = self.stragglers.rng() if self.stragglers else None
+        runtimes: dict[int, JobRuntime] = {
+            job.job_id: JobRuntime(job=job) for job in self.trace
+        }
+        state = self.cluster.fresh_state()
+        events = EventQueue()
+        telemetry = UtilizationRecorder()
+        telemetry.record(0.0, state.used_by_type())
+
+        for job in self.trace:
+            events.push(job.arrival_time, EventKind.ARRIVAL, payload=job.job_id)
+        if self.scheduler.round_based and len(self.trace):
+            first_round = self._round_at_or_after(self.trace[0].arrival_time)
+            events.push(first_round, EventKind.ROUND_BOUNDARY)
+
+        completed = 0
+        now = 0.0
+        invocations = 0
+        rounds_with_change = 0
+        decision_seconds: list[float] = []
+        truncated = False
+
+        while events and completed < len(runtimes):
+            event = events.pop()
+            if event.time > self.max_time:
+                truncated = True
+                break
+            if event.kind is EventKind.COMPLETION:
+                rt = runtimes[event.payload]
+                if event.generation != rt.generation or rt.state is JobState.COMPLETE:
+                    continue  # stale prediction
+            elif event.kind in (
+                EventKind.STRAGGLER_ONSET,
+                EventKind.STRAGGLER_RECOVERY,
+            ):
+                rt = runtimes[event.payload]
+                if event.generation != rt.alloc_epoch or rt.state is not JobState.RUNNING:
+                    continue  # the gang moved or finished; the fault is moot
+            now = event.time
+
+            for rt in runtimes.values():
+                if rt.state in (JobState.RUNNING, JobState.QUEUED):
+                    rt.advance_to(now)
+            completed += self._finalize_completions(runtimes, state, telemetry, now)
+
+            needs_scheduler = False
+            if event.kind is EventKind.ARRIVAL:
+                rt = runtimes[event.payload]
+                rt.state = JobState.QUEUED
+                rt.last_integrated = now
+                needs_scheduler = self.scheduler.reacts_to_events
+            elif event.kind is EventKind.COMPLETION:
+                needs_scheduler = self.scheduler.reacts_to_events
+            elif event.kind is EventKind.ROUND_BOUNDARY:
+                needs_scheduler = True
+                self._push_next_round(events, runtimes, completed, now)
+            elif event.kind is EventKind.STRAGGLER_ONSET:
+                self._apply_straggler_onset(runtimes[event.payload], events, now)
+            elif event.kind is EventKind.STRAGGLER_RECOVERY:
+                self._apply_straggler_recovery(runtimes[event.payload], events, now)
+
+            if needs_scheduler and completed < len(runtimes):
+                changed = self._invoke_scheduler(
+                    runtimes, state, events, telemetry, now, decision_seconds
+                )
+                invocations += 1
+                if event.kind is EventKind.ROUND_BOUNDARY and changed:
+                    rounds_with_change += 1
+            telemetry.record_queue(
+                now,
+                sum(1 for rt in runtimes.values() if rt.state is JobState.QUEUED),
+            )
+
+        if completed < len(runtimes):
+            truncated = True
+        end_time = max(
+            (rt.finish_time for rt in runtimes.values() if rt.finish_time), default=now
+        )
+        telemetry.record(end_time, state.used_by_type())
+        telemetry.record_queue(
+            end_time,
+            sum(1 for rt in runtimes.values() if rt.state is JobState.QUEUED),
+        )
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            cluster=self.cluster,
+            round_length=self.round_length,
+            runtimes=runtimes,
+            telemetry=telemetry,
+            end_time=end_time,
+            scheduling_invocations=invocations,
+            decision_seconds=decision_seconds,
+            truncated=truncated,
+            rounds_with_change=rounds_with_change,
+        )
+
+    # -------------------------------------------------------------- helpers --
+    def _round_at_or_after(self, t: float) -> float:
+        """The first round boundary at or after time ``t``."""
+        return math.ceil(t / self.round_length - 1e-12) * self.round_length
+
+    def _push_next_round(
+        self,
+        events: EventQueue,
+        runtimes: Mapping[int, JobRuntime],
+        completed: int,
+        now: float,
+    ) -> None:
+        """Schedule the next boundary, skipping idle gaps before far arrivals."""
+        if completed >= len(runtimes):
+            return
+        active = any(
+            rt.state in (JobState.QUEUED, JobState.RUNNING)
+            for rt in runtimes.values()
+        )
+        if active:
+            events.push(now + self.round_length, EventKind.ROUND_BOUNDARY)
+            return
+        pending = [
+            rt.job.arrival_time
+            for rt in runtimes.values()
+            if rt.state is JobState.PENDING
+        ]
+        if pending:
+            nxt = self._round_at_or_after(min(pending))
+            if nxt <= now:
+                nxt = now + self.round_length
+            events.push(nxt, EventKind.ROUND_BOUNDARY)
+
+    def _finalize_completions(
+        self,
+        runtimes: Mapping[int, JobRuntime],
+        state,
+        telemetry: UtilizationRecorder,
+        now: float,
+    ) -> int:
+        """Mark done jobs complete, free their devices; returns the count."""
+        finished = 0
+        for rt in runtimes.values():
+            if rt.state is JobState.RUNNING and rt.is_done:
+                rt.state = JobState.COMPLETE
+                rt.finish_time = now
+                rt.rate = 0.0
+                rt.generation += 1
+                if rt.allocation:
+                    state.release(rt.allocation)
+                    rt.allocation = EMPTY_ALLOCATION
+                rt.record_placement(now, EMPTY_ALLOCATION)
+                finished += 1
+        if finished:
+            telemetry.record(now, state.used_by_type())
+        return finished
+
+    def _invoke_scheduler(
+        self,
+        runtimes: dict[int, JobRuntime],
+        state,
+        events: EventQueue,
+        telemetry: UtilizationRecorder,
+        now: float,
+        decision_seconds: list[float],
+    ) -> bool:
+        """Run one scheduling decision and apply the diff; True if changed."""
+        waiting = tuple(
+            sorted(
+                (rt for rt in runtimes.values() if rt.state is JobState.QUEUED),
+                key=lambda rt: (rt.job.arrival_time, rt.job_id),
+            )
+        )
+        running = tuple(
+            sorted(
+                (rt for rt in runtimes.values() if rt.state is JobState.RUNNING),
+                key=lambda rt: (rt.job.arrival_time, rt.job_id),
+            )
+        )
+        ctx = SchedulerContext(
+            now=now,
+            cluster=self.cluster,
+            matrix=self.matrix,
+            round_length=self.round_length,
+            waiting=waiting,
+            running=running,
+        )
+        t0 = _time.perf_counter()
+        target = dict(self.scheduler.schedule(ctx))
+        decision_seconds.append(_time.perf_counter() - t0)
+
+        self._validate_target(target, runtimes)
+        changed = self._apply_target(target, runtimes, state, events, now)
+        telemetry.record(now, state.used_by_type())
+        return changed
+
+    def _validate_target(
+        self, target: Mapping[int, Allocation], runtimes: Mapping[int, JobRuntime]
+    ) -> None:
+        for job_id, alloc in target.items():
+            if job_id not in runtimes:
+                raise SchedulerProtocolError(f"unknown job id {job_id} in decision")
+            rt = runtimes[job_id]
+            if rt.state is JobState.COMPLETE and alloc:
+                raise SchedulerProtocolError(
+                    f"scheduler allocated completed job {job_id}"
+                )
+            if rt.state is JobState.PENDING and alloc:
+                raise SchedulerProtocolError(
+                    f"scheduler allocated job {job_id} before its arrival"
+                )
+            try:
+                validate_gang(rt.job, alloc)
+            except ValueError as exc:
+                raise SchedulerProtocolError(str(exc)) from exc
+        # Joint capacity check on a fresh state.
+        probe = self.cluster.fresh_state()
+        for job_id, alloc in target.items():
+            if not alloc:
+                continue
+            if not probe.can_fit(alloc):
+                raise SchedulerProtocolError(
+                    f"decision overcommits capacity at job {job_id}: {alloc}"
+                )
+            probe.allocate(alloc)
+
+    def _apply_target(
+        self,
+        target: dict[int, Allocation],
+        runtimes: dict[int, JobRuntime],
+        state,
+        events: EventQueue,
+        now: float,
+    ) -> bool:
+        """Two-phase diff: release every changed job, then place the new gangs."""
+        changed_jobs: list[tuple[JobRuntime, Allocation]] = []
+        kept_jobs: list[JobRuntime] = []
+        for rt in runtimes.values():
+            if rt.state in (JobState.PENDING, JobState.COMPLETE):
+                continue
+            new = target.get(rt.job_id, EMPTY_ALLOCATION)
+            if new == rt.allocation:
+                if rt.state is JobState.RUNNING and rt.allocation:
+                    kept_jobs.append(rt)
+                continue
+            changed_jobs.append((rt, new))
+
+        for rt, _ in changed_jobs:
+            if rt.allocation:
+                state.release(rt.allocation)
+
+        for rt, new in changed_jobs:
+            old = rt.allocation
+            if new:
+                state.allocate(new)  # validated jointly above
+                delay = self.checkpoint.reallocation_delay(rt.job, old, new)
+                rt.allocation = new
+                rt.state = JobState.RUNNING
+                rt.rate = realized_rate(rt.job, new, self.matrix, self.cluster)
+                rt.resume_time = now + delay
+                rt.overhead_seconds += delay
+                rt.allocation_changes += 1
+                rt.slowdown = 1.0  # fresh workers start healthy
+                rt.alloc_epoch += 1
+                self._schedule_straggler_onset(rt, events, now)
+                if rt.first_start_time is None:
+                    rt.first_start_time = now
+                if old:
+                    rt.preemptions += 1
+            else:
+                rt.allocation = EMPTY_ALLOCATION
+                rt.state = JobState.QUEUED
+                rt.rate = 0.0
+                rt.preemptions += 1
+            rt.generation += 1
+            rt.record_placement(now, rt.allocation)
+            self._predict_completion(rt, events, now)
+
+        # Jobs keeping their allocation still pay the periodic checkpoint save.
+        for rt in kept_jobs:
+            steady = self.checkpoint.steady_state_overhead(rt.job)
+            if steady > 0:
+                rt.resume_time = max(rt.resume_time, now) + steady
+                rt.overhead_seconds += steady
+                rt.generation += 1
+                self._predict_completion(rt, events, now)
+            self._bookkeep_round(rt)
+        for rt, new in changed_jobs:
+            if new:
+                self._bookkeep_round(rt)
+        return bool(changed_jobs)
+
+    def _bookkeep_round(self, rt: JobRuntime) -> None:
+        """Track per-type round counts (consumed by Gavel-style priorities)."""
+        if not rt.allocation:
+            return
+        rt.rounds_scheduled += 1
+        model = rt.job.model.name
+        bottleneck = min(
+            rt.allocation.gpu_types, key=lambda t: self.matrix.rate(model, t)
+        )
+        rt.rounds_by_type[bottleneck] = rt.rounds_by_type.get(bottleneck, 0) + 1
+
+    # ------------------------------------------------------------ stragglers --
+    def _schedule_straggler_onset(
+        self, rt: JobRuntime, events: EventQueue, now: float
+    ) -> None:
+        if self.stragglers is None:
+            return
+        delay = self.stragglers.sample_onset_delay(self._straggler_rng)
+        events.push(
+            now + delay,
+            EventKind.STRAGGLER_ONSET,
+            payload=rt.job_id,
+            generation=rt.alloc_epoch,
+        )
+
+    def _apply_straggler_onset(
+        self, rt: JobRuntime, events: EventQueue, now: float
+    ) -> None:
+        assert self.stragglers is not None
+        rt.slowdown = self.stragglers.slowdown_factor
+        rt.rate *= self.stragglers.slowdown_factor
+        rt.straggler_events += 1
+        rt.generation += 1
+        self._predict_completion(rt, events, now)
+        events.push(
+            now + self.stragglers.duration_s,
+            EventKind.STRAGGLER_RECOVERY,
+            payload=rt.job_id,
+            generation=rt.alloc_epoch,
+        )
+
+    def _apply_straggler_recovery(
+        self, rt: JobRuntime, events: EventQueue, now: float
+    ) -> None:
+        if rt.slowdown >= 1.0:
+            return  # already cleared by a reallocation
+        rt.rate /= rt.slowdown
+        rt.slowdown = 1.0
+        rt.generation += 1
+        self._predict_completion(rt, events, now)
+        # The gang is healthy again; the next fault starts its clock now.
+        self._schedule_straggler_onset(rt, events, now)
+
+    def _predict_completion(
+        self, rt: JobRuntime, events: EventQueue, now: float
+    ) -> None:
+        when = rt.predicted_completion(now)
+        if when is not None:
+            events.push(
+                when, EventKind.COMPLETION, payload=rt.job_id, generation=rt.generation
+            )
+
+
+def simulate(
+    cluster: Cluster,
+    trace: Trace,
+    scheduler: Scheduler,
+    *,
+    matrix: Optional[ThroughputMatrix] = None,
+    round_length: float = DEFAULT_ROUND_LENGTH_S,
+    checkpoint: Optional[CheckpointModel] = None,
+    max_time: Optional[float] = None,
+    stragglers: Optional[StragglerModel] = None,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`SimulationEngine`."""
+    kwargs = {}
+    if max_time is not None:
+        kwargs["max_time"] = max_time
+    engine = SimulationEngine(
+        cluster=cluster,
+        trace=trace,
+        scheduler=scheduler,
+        matrix=matrix or default_throughput_matrix(),
+        round_length=round_length,
+        checkpoint=checkpoint or FixedDelayCheckpoint(),
+        stragglers=stragglers,
+        **kwargs,
+    )
+    return engine.run()

@@ -1,0 +1,85 @@
+"""Event kinds and the simulation event heap.
+
+Completions are *predictions*: whenever a job's rate changes the engine
+pushes a fresh completion event carrying a per-job generation counter and
+lazily discards stale ones on pop (the standard "lazy deletion" pattern —
+cheaper than a decrease-key heap and exact).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Optional
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(IntEnum):
+    """Event kinds; the integer value breaks ties at equal timestamps.
+
+    Ordering at a shared timestamp matters: completions must be processed
+    before a round boundary at the same instant (the job is done and its
+    devices are free for the new round), and arrivals before the boundary
+    so a job arriving exactly on the tick is schedulable in that round.
+    """
+
+    COMPLETION = 0
+    ARRIVAL = 1
+    ROUND_BOUNDARY = 2
+    STRAGGLER_ONSET = 3
+    STRAGGLER_RECOVERY = 4
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class Event:
+    """One scheduled occurrence.
+
+    Sort key is ``(time, kind, seq)``; ``payload`` is the job id for
+    arrivals/completions and unused for round boundaries.  ``generation``
+    validates completion predictions.
+    """
+
+    time: float
+    kind: EventKind
+    seq: int = field(compare=True)
+    payload: int = field(default=-1, compare=False)
+    generation: int = field(default=0, compare=False)
+
+
+class EventQueue:
+    """A deterministic min-heap of events."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        payload: int = -1,
+        generation: int = 0,
+    ) -> Event:
+        if time < 0:
+            raise ValueError(f"event time must be non-negative, got {time}")
+        event = Event(time, kind, next(self._counter), payload, generation)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or None when empty."""
+        return self._heap[0].time if self._heap else None

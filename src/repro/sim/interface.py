@@ -1,0 +1,139 @@
+"""The scheduler-facing simulation API.
+
+Every scheduler (Hadar and the baselines) implements :class:`Scheduler`:
+given a :class:`SchedulerContext` snapshot, return the *target* allocation
+map ``{job_id: Allocation}`` for the jobs that should hold GPUs next.  The
+engine diffs the target against reality, applying preemption overheads to
+every changed job.  Jobs absent from the map hold nothing.
+
+:func:`realized_rate` centralizes the paper's progress model (constraints
+1a-1b): a gang's iteration rate is the *bottleneck* per-worker rate across
+the GPU types it touches, times the gang size, times the communication
+penalty for non-consolidated placements.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.state import ClusterState
+from repro.sim.progress import JobRuntime
+from repro.workload.job import Job
+from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["SchedulerContext", "Scheduler", "realized_rate", "validate_gang"]
+
+
+def realized_rate(
+    job: Job,
+    allocation: Allocation,
+    matrix: ThroughputMatrix,
+    cluster: Cluster,
+) -> float:
+    """Iterations/second of a full gang under the paper's progress model.
+
+    ``x_j(t) = min_r { X_j^r : gang uses type r }`` (the parameter-sync
+    barrier, constraint 1b), total rate ``x_j(t) × W_j`` (constraint 1a),
+    scaled by the ring-allreduce penalty when the gang spans servers.
+    """
+    if not allocation:
+        return 0.0
+    model = job.model.name
+    rates = [matrix.rate(model, t) for t in allocation.gpu_types]
+    if min(rates) <= 0.0:
+        bad = [t for t in allocation.gpu_types if matrix.rate(model, t) <= 0.0]
+        raise ValueError(f"model {model!r} cannot run on GPU type(s) {bad}")
+    bottleneck = min(rates)
+    penalty = cluster.comm.throughput_penalty(
+        allocation, job.model.model_bytes, 1.0 / bottleneck
+    )
+    return bottleneck * allocation.total_workers * penalty
+
+
+def validate_gang(job: Job, allocation: Allocation) -> None:
+    """Enforce the all-or-nothing constraint (1e): 0 or exactly ``W_j`` workers."""
+    n = allocation.total_workers
+    if n not in (0, job.num_workers):
+        raise ValueError(
+            f"job {job.job_id} requires 0 or {job.num_workers} workers, "
+            f"allocation has {n}"
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerContext:
+    """Everything a scheduler may look at when making a decision.
+
+    Runtimes are handed out directly (not copies) so schedulers can read
+    progress/served-time statistics; schedulers must treat them as
+    read-only and communicate decisions exclusively through the returned
+    allocation map.
+    """
+
+    now: float
+    cluster: Cluster
+    matrix: ThroughputMatrix
+    round_length: float
+    waiting: Sequence[JobRuntime]
+    running: Sequence[JobRuntime]
+
+    @property
+    def active(self) -> tuple[JobRuntime, ...]:
+        """All schedulable jobs: queued first, then running, arrival order."""
+        combined = list(self.waiting) + list(self.running)
+        combined.sort(key=lambda rt: (rt.job.arrival_time, rt.job_id))
+        return tuple(combined)
+
+    def fresh_state(self) -> ClusterState:
+        """An all-free state: schedulers that re-plan from scratch start here."""
+        return self.cluster.fresh_state()
+
+    def occupied_state(self) -> ClusterState:
+        """State with the *running* jobs' current allocations claimed."""
+        state = self.cluster.fresh_state()
+        for rt in self.running:
+            if rt.allocation:
+                state.allocate(rt.allocation)
+        return state
+
+    def runtime(self, job_id: int) -> JobRuntime:
+        for rt in self.active:
+            if rt.job_id == job_id:
+                return rt
+        raise KeyError(f"no active job {job_id}")
+
+
+class Scheduler(ABC):
+    """Base class for all cluster schedulers.
+
+    Class attributes declare *when* the engine consults the scheduler:
+
+    * ``round_based`` — invoked at every round boundary (Hadar, Gavel,
+      Tiresias);
+    * ``reacts_to_events`` — additionally invoked on every job arrival and
+      completion (YARN-CS, which admits work the moment capacity frees).
+    """
+
+    round_based: bool = True
+    reacts_to_events: bool = False
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short display name used in reports (``"hadar"``, ``"gavel"``...)."""
+
+    @abstractmethod
+    def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
+        """Return the target allocation for every job that should run.
+
+        The returned map must satisfy, for each entry, the gang constraint
+        (exactly ``W_j`` workers) and jointly fit cluster capacity; the
+        engine verifies both and raises on violations.
+        """
+
+    def reset(self) -> None:
+        """Clear any cross-round internal state (called once per simulation)."""

@@ -1,0 +1,147 @@
+"""Per-job runtime state.
+
+A :class:`JobRuntime` wraps an immutable :class:`~repro.workload.job.Job`
+with everything that changes during simulation: iterations completed, the
+current allocation and its realized rate, pause windows for checkpoint
+overhead, and the bookkeeping metrics consume afterwards (queuing delay,
+preemption count, attained service).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
+from repro.workload.job import Job
+
+__all__ = ["JobState", "JobRuntime"]
+
+_COMPLETION_EPS = 1e-6
+"""Iterations within this of the target count as done (float-integration slack)."""
+
+
+class JobState(Enum):
+    """Lifecycle of a job inside the simulator."""
+
+    PENDING = "pending"  # not yet arrived
+    QUEUED = "queued"  # arrived, waiting for an allocation
+    RUNNING = "running"  # holds its full gang
+    COMPLETE = "complete"
+
+
+@dataclass
+class JobRuntime:
+    """Mutable simulation state of one job."""
+
+    job: Job
+    state: JobState = JobState.PENDING
+    iterations_done: float = 0.0
+    allocation: Allocation = EMPTY_ALLOCATION
+    rate: float = 0.0
+    """Realized iterations/second of the whole gang (bottleneck × W × comm
+    penalty × current slowdown)."""
+    slowdown: float = 1.0
+    """Straggler degradation of the *current* gang (1.0 = healthy); moving
+    the job resets it (fresh workers)."""
+    straggler_events: int = 0
+    """Straggler onsets this job has suffered (failure-injection metric)."""
+    resume_time: float = 0.0
+    """Time until which the job is paused for checkpoint/restart overhead."""
+    last_integrated: float = 0.0
+    """Timestamp up to which ``iterations_done`` is accurate."""
+    generation: int = 0
+    """Bumped on every rate change; validates completion predictions."""
+    alloc_epoch: int = 0
+    """Bumped only on allocation *changes*; validates straggler events."""
+    first_start_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    preemptions: int = 0
+    allocation_changes: int = 0
+    overhead_seconds: float = 0.0
+    """Total seconds spent paused on checkpoint save/load/warmup."""
+    attained_service: float = 0.0
+    """GPU-seconds of service received so far (Tiresias' LAS statistic)."""
+    waiting_seconds: float = 0.0
+    """Total time spent queued (arrived, holding no allocation)."""
+    rounds_scheduled: int = 0
+    rounds_by_type: dict[str, int] = field(default_factory=dict)
+    """Rounds in which the gang's *bottleneck* type was each type (Gavel priority)."""
+    history: list[tuple[float, "Allocation"]] = field(default_factory=list)
+    """(time, allocation) at every placement change, in order; the empty
+    allocation marks preemptions and completion.  Feeds the timeline views."""
+
+    def record_placement(self, time: float, allocation: Allocation) -> None:
+        """Append a placement change (deduplicating repeats)."""
+        if self.history and self.history[-1][1] == allocation:
+            return
+        self.history.append((time, allocation))
+
+    # -- work accounting -----------------------------------------------------
+    @property
+    def job_id(self) -> int:
+        return self.job.job_id
+
+    @property
+    def remaining_iterations(self) -> float:
+        return max(0.0, self.job.total_iterations - self.iterations_done)
+
+    @property
+    def is_done(self) -> bool:
+        return self.remaining_iterations <= _COMPLETION_EPS
+
+    @property
+    def is_running(self) -> bool:
+        return self.state is JobState.RUNNING
+
+    @property
+    def is_waiting(self) -> bool:
+        return self.state is JobState.QUEUED
+
+    # -- integration -----------------------------------------------------------
+    def advance_to(self, now: float) -> None:
+        """Integrate progress up to ``now`` at the current constant rate."""
+        if now < self.last_integrated - 1e-9:
+            raise ValueError(
+                f"time went backwards for job {self.job_id}: "
+                f"{now} < {self.last_integrated}"
+            )
+        if self.state is JobState.RUNNING and self.rate > 0.0:
+            active = max(0.0, now - max(self.last_integrated, self.resume_time))
+            self.iterations_done = min(
+                float(self.job.total_iterations),
+                self.iterations_done + self.rate * active,
+            )
+            self.attained_service += active * self.allocation.total_workers
+        elif self.state is JobState.QUEUED:
+            self.waiting_seconds += max(0.0, now - self.last_integrated)
+        self.last_integrated = max(self.last_integrated, now)
+
+    def predicted_completion(self, now: float) -> Optional[float]:
+        """When the job will finish at the current rate (None if stalled)."""
+        if self.state is not JobState.RUNNING or self.rate <= 0.0:
+            return None
+        start = max(now, self.resume_time)
+        return start + self.remaining_iterations / self.rate
+
+    # -- metric views ------------------------------------------------------------
+    @property
+    def completion_time(self) -> Optional[float]:
+        """JCT ``f_j − a_j`` once finished, else None."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.job.arrival_time
+
+    @property
+    def queuing_delay(self) -> Optional[float]:
+        """Time from arrival to first allocation, else None if never started."""
+        if self.first_start_time is None:
+            return None
+        return self.first_start_time - self.job.arrival_time
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        return (
+            f"JobRuntime(job={self.job_id}, {self.state.value}, "
+            f"{self.iterations_done:.0f}/{self.job.total_iterations} iters)"
+        )

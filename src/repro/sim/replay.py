@@ -1,0 +1,134 @@
+"""Decision recording and replay.
+
+Debugging and regression tooling: wrap any scheduler in a
+:class:`RecordingScheduler` to capture the exact decision sequence of a
+run, then re-execute it verbatim with :class:`ReplayScheduler` — e.g. to
+re-run a problematic schedule under a different checkpoint model, to
+bisect an engine change, or to assert a refactor is decision-identical.
+
+Replay is positional: the n-th invocation replays the n-th recorded
+decision.  The engine's event sequence is deterministic for a fixed
+(cluster, trace, scheduler contract), so replays line up exactly; a
+replay that runs out of recorded decisions keeps everything unchanged
+(and reports it via :attr:`ReplayScheduler.exhausted`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.cluster.allocation import Allocation
+from repro.sim.interface import Scheduler, SchedulerContext
+
+__all__ = ["RecordingScheduler", "ReplayScheduler", "save_decisions", "load_decisions"]
+
+Decision = dict[int, Allocation]
+
+
+class RecordingScheduler(Scheduler):
+    """Record every decision the wrapped scheduler makes."""
+
+    def __init__(self, inner: Scheduler):
+        self.inner = inner
+        self.decisions: list[Decision] = []
+
+    @property
+    def name(self) -> str:
+        return f"{self.inner.name}+recording"
+
+    @property
+    def round_based(self) -> bool:  # type: ignore[override]
+        return self.inner.round_based
+
+    @property
+    def reacts_to_events(self) -> bool:  # type: ignore[override]
+        return self.inner.reacts_to_events
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self.decisions.clear()
+
+    def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
+        target = dict(self.inner.schedule(ctx))
+        self.decisions.append(dict(target))
+        return target
+
+
+class ReplayScheduler(Scheduler):
+    """Re-issue a recorded decision sequence verbatim.
+
+    ``round_based`` / ``reacts_to_events`` must match the recording
+    scheduler's contract so invocations line up 1:1.
+    """
+
+    def __init__(
+        self,
+        decisions: Sequence[Decision],
+        *,
+        round_based: bool = True,
+        reacts_to_events: bool = False,
+    ):
+        self._decisions = [dict(d) for d in decisions]
+        self._cursor = 0
+        self.exhausted = False
+        self.round_based = round_based
+        self.reacts_to_events = reacts_to_events
+
+    @property
+    def name(self) -> str:
+        return "replay"
+
+    def reset(self) -> None:
+        self._cursor = 0
+        self.exhausted = False
+
+    def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
+        if self._cursor >= len(self._decisions):
+            self.exhausted = True
+            # Keep the world as it is: re-assert current placements.
+            return {rt.job_id: rt.allocation for rt in ctx.running}
+        decision = self._decisions[self._cursor]
+        self._cursor += 1
+        # Drop entries for jobs that no longer exist in this run's context
+        # (defensive: replaying against a different trace is user error,
+        # but the engine's validation gives clearer failures than a crash
+        # here would).
+        active_ids = {rt.job_id for rt in ctx.active}
+        return {j: a for j, a in decision.items() if j in active_ids}
+
+
+# ------------------------------------------------------------------- disk --
+def save_decisions(decisions: Sequence[Decision], path: str | Path) -> None:
+    """Persist a decision sequence as JSON-lines."""
+    with Path(path).open("w") as fh:
+        for decision in decisions:
+            payload = {
+                str(job_id): [
+                    [node_id, type_name, count]
+                    for (node_id, type_name), count in alloc.placements.items()
+                ]
+                for job_id, alloc in decision.items()
+            }
+            fh.write(json.dumps(payload) + "\n")
+
+
+def load_decisions(path: str | Path) -> list[Decision]:
+    """Inverse of :func:`save_decisions`."""
+    out: list[Decision] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            payload = json.loads(line)
+            out.append(
+                {
+                    int(job_id): Allocation.from_pairs(
+                        (int(n), str(t), int(c)) for n, t, c in placements
+                    )
+                    for job_id, placements in payload.items()
+                }
+            )
+    return out

@@ -1,0 +1,65 @@
+"""Straggler injection (failure model).
+
+The paper credits part of Hadar's continuous-trace advantage to "its
+awareness of straggling tasks": a worker that degrades (thermal
+throttling, noisy neighbour, failing host) drags its whole gang down to
+the straggler's pace through the synchronization barrier, and a
+reallocation-capable scheduler should move the job.
+
+:class:`StragglerModel` injects exactly that: while a job runs, straggler
+onsets arrive as a Poisson process; an onset multiplies the gang's rate
+by ``slowdown_factor`` for ``duration_s`` (or until the job is moved —
+fresh workers start clean).  The engine exposes the degradation through
+``JobRuntime.slowdown``, which Hadar's ``FIND_ALLOC`` applies to the
+keep-current-allocation candidate — making migration away from a
+straggling gang pay off exactly when the physics say it should.
+
+All randomness is seeded and independent of scheduling decisions' order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StragglerModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class StragglerModel:
+    """Poisson straggler onsets with fixed-duration slowdowns.
+
+    Attributes
+    ----------
+    incidence_per_hour:
+        Expected onsets per *running job* per hour.
+    slowdown_factor:
+        Gang rate multiplier while straggling (0 < f < 1).
+    duration_s:
+        How long an untreated straggler lasts; moving the job clears it
+        immediately (new workers).
+    seed:
+        Seed for the model's dedicated RNG stream.
+    """
+
+    incidence_per_hour: float = 0.1
+    slowdown_factor: float = 0.4
+    duration_s: float = 1800.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.incidence_per_hour <= 0:
+            raise ValueError("incidence_per_hour must be positive")
+        if not 0 < self.slowdown_factor < 1:
+            raise ValueError("slowdown_factor must be in (0, 1)")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator for one simulation run."""
+        return np.random.default_rng(self.seed)
+
+    def sample_onset_delay(self, rng: np.random.Generator) -> float:
+        """Seconds from (re)start until this gang's next straggler onset."""
+        return float(rng.exponential(3600.0 / self.incidence_per_hour))

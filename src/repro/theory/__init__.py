@@ -1,0 +1,29 @@
+"""Theory toolkit (Sec. III-D).
+
+* :mod:`repro.theory.competitive` — compute the competitive-ratio factor
+  ``α = max_r(1, ln(U_max^r/U_min^r))`` and the ``2α`` bound for a
+  workload, and check Lemma 1's primal/dual increment condition on a
+  recorded run;
+* :mod:`repro.theory.validation` — numeric checkers for the price
+  function's structural properties (boundary values, monotonicity, the
+  differential allocation-cost relationship of Definition 2).
+"""
+
+from repro.theory.audit import AuditSummary, summarize_audit, verify_increments
+from repro.theory.competitive import alpha_for_pricebook, competitive_bound
+from repro.theory.validation import (
+    check_allocation_cost_relationship,
+    check_price_boundaries,
+    check_price_monotonicity,
+)
+
+__all__ = [
+    "AuditSummary",
+    "alpha_for_pricebook",
+    "check_allocation_cost_relationship",
+    "check_price_boundaries",
+    "check_price_monotonicity",
+    "competitive_bound",
+    "summarize_audit",
+    "verify_increments",
+]

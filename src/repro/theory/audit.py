@@ -1,0 +1,76 @@
+"""Empirical primal-dual audit of recorded Hadar runs (Lemmas 1-2).
+
+A :class:`~repro.core.scheduler.RoundAudit` trail (recorded with
+``HadarConfig(record_audit=True)``) lets us *measure* the increment
+condition the competitive proof rests on:
+
+    P_j − P_{j−1} ≥ (1/α) (D_j − D_{j−1})        (Lemma 2)
+
+aggregated per round: the admitted jobs' total utility must be at least
+``1/α`` of (their payoffs + the capacity-weighted dual-price rise).
+:func:`verify_increments` checks every round; :func:`summarize_audit`
+reports the worst observed ratio and the realized empirical competitive
+slack — useful both as a regression test on the pricing implementation
+and as an illustration of how loose the 2α worst-case bound is in
+practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.scheduler import RoundAudit
+
+__all__ = ["AuditSummary", "verify_increments", "summarize_audit"]
+
+_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class AuditSummary:
+    """Aggregate view of a recorded run's primal/dual accounting."""
+
+    rounds: int
+    rounds_with_admissions: int
+    total_primal: float
+    total_dual: float
+    worst_ratio: float
+    """min over rounds of primal_increment / (dual_increment / α)."""
+    max_alpha: float
+
+    @property
+    def empirical_competitive_slack(self) -> float:
+        """``total_primal / total_dual`` — ≥ 1/α is guaranteed; closer to
+        1 means the bound is tight on this workload."""
+        if self.total_dual <= 0:
+            return float("inf")
+        return self.total_primal / self.total_dual
+
+
+def verify_increments(audit: Sequence[RoundAudit]) -> bool:
+    """Every recorded round satisfies ``primal ≥ dual / α``."""
+    for record in audit:
+        bound = record.dual_increment / max(record.alpha, 1.0)
+        if record.primal_increment < bound * (1.0 - _REL_TOL) - 1e-12:
+            return False
+    return True
+
+
+def summarize_audit(audit: Sequence[RoundAudit]) -> AuditSummary:
+    """Aggregate an audit trail (empty trails give a trivial summary)."""
+    if not audit:
+        return AuditSummary(0, 0, 0.0, 0.0, float("inf"), 1.0)
+    worst = float("inf")
+    for record in audit:
+        bound = record.dual_increment / max(record.alpha, 1.0)
+        if bound > 0:
+            worst = min(worst, record.primal_increment / bound)
+    return AuditSummary(
+        rounds=len(audit),
+        rounds_with_admissions=sum(1 for r in audit if r.jobs_admitted),
+        total_primal=sum(r.primal_increment for r in audit),
+        total_dual=sum(r.dual_increment for r in audit),
+        worst_ratio=worst,
+        max_alpha=max(r.alpha for r in audit),
+    )

@@ -1,0 +1,55 @@
+"""Competitive-ratio computation (Theorem 2).
+
+Hadar is ``2α``-competitive with ``α = max_{r∈[R]}(1, ln(U_max^r /
+U_min^r))``: the online total utility is at least ``OPT / 2α``.  These
+helpers compute α from a calibrated price book or directly from a
+workload, so experiments can report the guarantee alongside the measured
+performance.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.core.pricing import PriceBook, PricingConfig
+from repro.core.utility import Utility
+from repro.sim.progress import JobRuntime
+from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["alpha_for_pricebook", "alpha_for_workload", "competitive_bound"]
+
+
+def alpha_for_pricebook(prices: PriceBook) -> float:
+    """``α = max_r(1, ln(U_max^r / U_min^r))`` for a calibrated price book."""
+    return prices.alpha()
+
+
+def alpha_for_workload(
+    jobs: Sequence[JobRuntime],
+    cluster: Cluster,
+    matrix: ThroughputMatrix,
+    utility: Utility,
+    now: float = 0.0,
+    config: PricingConfig = PricingConfig(),
+) -> float:
+    """Calibrate prices for a workload snapshot and return its α."""
+    prices = PriceBook.calibrate(
+        jobs=jobs,
+        matrix=matrix,
+        utility=utility,
+        state=cluster.fresh_state(),
+        now=now,
+        config=config,
+    )
+    return prices.alpha()
+
+
+def competitive_bound(alpha: float) -> float:
+    """The Theorem 2 guarantee ``2α`` (total utility ≥ OPT / 2α)."""
+    if alpha < 1.0:
+        raise ValueError(f"alpha must be at least 1, got {alpha}")
+    if not math.isfinite(alpha):
+        raise ValueError("alpha must be finite")
+    return 2.0 * alpha

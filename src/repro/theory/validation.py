@@ -1,0 +1,106 @@
+"""Numeric validation of the price function's structural properties.
+
+The competitive analysis rests on three properties of Eq. (5):
+
+1. **boundaries** — ``k(0) = U_min^r`` and ``k(c) = U_max^r``: the price
+   starts low enough to admit any job onto an idle server and saturates
+   high enough to block further admissions;
+2. **monotonicity** — the price is non-decreasing in the committed
+   amount γ;
+3. **the differential allocation-cost relationship** (Definition 2) —
+   ``k(γ) · dγ ≥ (c/α) · dk(γ)`` with ``α = ln(U_max/U_min)``
+   (Lemma 3), checked numerically on a γ grid.
+
+These checkers are used by the property-based test-suite and exposed for
+downstream users who swap in custom price functions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.cluster.state import ClusterState
+from repro.core.pricing import PriceBook
+
+__all__ = [
+    "check_price_boundaries",
+    "check_price_monotonicity",
+    "check_allocation_cost_relationship",
+]
+
+_REL_TOL = 1e-9
+
+
+def _price_curve(
+    prices: PriceBook, type_name: str, capacity: int
+) -> np.ndarray:
+    """k(γ) for γ = 0..capacity on a synthetic single-slot state."""
+    values = []
+    state = ClusterState({(0, type_name): capacity})
+    from repro.cluster.allocation import Allocation
+
+    for gamma in range(capacity + 1):
+        values.append(prices.price(0, type_name, state))
+        if gamma < capacity:
+            state.allocate(Allocation.single(0, type_name, 1))
+    return np.asarray(values)
+
+
+def check_price_boundaries(
+    prices: PriceBook, type_name: str, capacity: int
+) -> bool:
+    """``k(0) == U_min^r`` and ``k(c) == U_max^r`` (within tolerance)."""
+    lo = prices.u_min.get(type_name, 0.0)
+    hi = prices.u_max.get(type_name, 0.0)
+    curve = _price_curve(prices, type_name, capacity)
+    if hi <= 0.0:
+        return bool(np.all(curve == 0.0))
+    return math.isclose(curve[0], lo, rel_tol=_REL_TOL) and math.isclose(
+        curve[-1], hi, rel_tol=_REL_TOL
+    )
+
+
+def check_price_monotonicity(
+    prices: PriceBook, type_name: str, capacity: int
+) -> bool:
+    """k(γ) is non-decreasing in γ."""
+    curve = _price_curve(prices, type_name, capacity)
+    return bool(np.all(np.diff(curve) >= -_REL_TOL * np.abs(curve[:-1])))
+
+
+def check_allocation_cost_relationship(
+    prices: PriceBook,
+    type_name: str,
+    capacity: int,
+    *,
+    grid: int = 200,
+) -> bool:
+    """Definition 2 on a dense γ grid: ``k(γ) ≥ (c/α) · k'(γ)``.
+
+    For the exponential price function ``k(γ) = U_min (U_max/U_min)^(γ/c)``
+    the derivative is ``k'(γ) = k(γ) · ln(U_max/U_min) / c``, so the
+    relationship holds with equality at ``α = ln(U_max/U_min)`` (Lemma 3);
+    the numeric check uses central differences to stay implementation-
+    agnostic.
+    """
+    lo = prices.u_min.get(type_name, 0.0)
+    hi = prices.u_max.get(type_name, 0.0)
+    if hi <= 0.0 or lo <= 0.0 or hi <= lo:
+        return True  # degenerate flat price: dk = 0 and the bound is trivial
+    log_ratio = math.log(hi / lo)
+    alpha = max(1.0, log_ratio)
+    # The relationship holds with *equality* for the exponential price, so
+    # the finite-difference step must be fine relative to the curve's
+    # steepness (aΔ ≪ 1 keeps the secant within O((aΔ)²) of k at the
+    # midpoint, a = ln(ratio)/c).
+    n = max(grid, int(200 * log_ratio))
+    gammas = np.linspace(0.0, float(capacity), n)
+    k = lo * (hi / lo) ** (gammas / capacity)
+    midpoints = (gammas[:-1] + gammas[1:]) / 2.0
+    k_mid = lo * (hi / lo) ** (midpoints / capacity)
+    secant = np.diff(k) / np.diff(gammas)
+    lhs = k_mid
+    rhs = (capacity / alpha) * secant
+    return bool(np.all(lhs >= rhs * (1.0 - 1e-3)))

@@ -1,0 +1,53 @@
+"""Workload substrate: DNN models, throughput matrices, jobs, and traces.
+
+* :mod:`repro.workload.models` — the Table II model zoo (ResNet-50,
+  ResNet-18, LSTM, CycleGAN, Transformer, plus an A3C extension) with
+  parameter counts and checkpoint sizes;
+* :mod:`repro.workload.throughput` — per-(model, GPU-type) training
+  throughput ``X_j^r`` shaped after Gavel's published measurements;
+* :mod:`repro.workload.categories` — the paper's S/M/L/XL GPU-hour
+  buckets;
+* :mod:`repro.workload.job` — immutable job specifications (arrival,
+  gang size ``W_j``, epochs ``E_j``, iterations/epoch ``N_j``);
+* :mod:`repro.workload.trace` — trace containers and CSV/JSONL I/O;
+* :mod:`repro.workload.arrivals` — static and Poisson arrival processes;
+* :mod:`repro.workload.philly` — the synthetic Microsoft/Philly-style
+  trace generator used throughout the evaluation.
+"""
+
+from repro.workload.analysis import WorkloadSummary, offered_load, summarize_trace
+from repro.workload.arrivals import poisson_arrivals, static_arrivals
+from repro.workload.msr import load_msr_trace, rows_to_trace
+from repro.workload.categories import CATEGORIES, SizeCategory, category_for_gpu_hours
+from repro.workload.job import Job
+from repro.workload.models import MODEL_ZOO, ModelSpec, model_spec
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.throughput import (
+    DEFAULT_THROUGHPUTS,
+    ThroughputMatrix,
+    default_throughput_matrix,
+)
+from repro.workload.trace import Trace
+
+__all__ = [
+    "CATEGORIES",
+    "DEFAULT_THROUGHPUTS",
+    "Job",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "PhillyTraceConfig",
+    "SizeCategory",
+    "ThroughputMatrix",
+    "Trace",
+    "WorkloadSummary",
+    "category_for_gpu_hours",
+    "default_throughput_matrix",
+    "generate_philly_trace",
+    "load_msr_trace",
+    "offered_load",
+    "rows_to_trace",
+    "summarize_trace",
+    "model_spec",
+    "poisson_arrivals",
+    "static_arrivals",
+]

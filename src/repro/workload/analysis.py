@@ -1,0 +1,105 @@
+"""Workload analysis utilities.
+
+Summaries of a trace's temporal and spatial structure — the quantities
+the production-workload studies the paper cites ([21], [22]) report:
+demand distribution, GPU-hour histogram per size category, offered load
+against a cluster, arrival-rate estimates.  Used by examples and by the
+experiment reports to characterize the synthetic workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.workload.categories import CATEGORIES
+from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
+from repro.workload.trace import Trace
+
+__all__ = ["WorkloadSummary", "summarize_trace", "offered_load"]
+
+
+@dataclass(frozen=True)
+class WorkloadSummary:
+    """Aggregate statistics of one trace."""
+
+    num_jobs: int
+    total_gpu_hours: float
+    """Σ over jobs of work on the reference (V100) type."""
+    gpu_hours_by_category: Mapping[str, float]
+    jobs_by_category: Mapping[str, int]
+    demand_histogram: Mapping[int, int]
+    """gang size -> job count."""
+    mean_arrival_rate_per_hour: float
+    """0 for a static trace."""
+    max_concurrent_demand: int
+    """Σ W_j — the worst-case simultaneous GPU demand."""
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        cats = ", ".join(
+            f"{c}:{n}" for c, n in sorted(self.jobs_by_category.items())
+        )
+        return (
+            f"WorkloadSummary({self.num_jobs} jobs, "
+            f"{self.total_gpu_hours:.0f} GPU-h, {cats})"
+        )
+
+
+def summarize_trace(
+    trace: Trace, matrix: ThroughputMatrix | None = None
+) -> WorkloadSummary:
+    """Compute a :class:`WorkloadSummary` for a trace."""
+    matrix = matrix or default_throughput_matrix()
+    gpu_hours_by_cat: dict[str, float] = {c: 0.0 for c in CATEGORIES}
+    jobs_by_cat: dict[str, int] = {c: 0 for c in CATEGORIES}
+    demand: dict[int, int] = {}
+    total_hours = 0.0
+    for job in trace:
+        rate = matrix.rate(job.model.name, "V100")
+        hours = (
+            job.total_iterations / (3600.0 * rate) if rate > 0 else 0.0
+        )
+        total_hours += hours
+        cat = job.model.size_category
+        gpu_hours_by_cat[cat] = gpu_hours_by_cat.get(cat, 0.0) + hours
+        jobs_by_cat[cat] = jobs_by_cat.get(cat, 0) + 1
+        demand[job.num_workers] = demand.get(job.num_workers, 0) + 1
+
+    arrivals = np.asarray([j.arrival_time for j in trace], dtype=float)
+    if arrivals.size >= 2 and arrivals[-1] > arrivals[0]:
+        rate = (arrivals.size - 1) / (arrivals[-1] - arrivals[0]) * 3600.0
+    else:
+        rate = 0.0
+    return WorkloadSummary(
+        num_jobs=len(trace),
+        total_gpu_hours=total_hours,
+        gpu_hours_by_category=gpu_hours_by_cat,
+        jobs_by_category=jobs_by_cat,
+        demand_histogram=dict(sorted(demand.items())),
+        mean_arrival_rate_per_hour=float(rate),
+        max_concurrent_demand=trace.total_workers_requested,
+    )
+
+
+def offered_load(
+    trace: Trace,
+    cluster: Cluster,
+    matrix: ThroughputMatrix | None = None,
+) -> float:
+    """Total V100-equivalent GPU-hours per cluster GPU-hour of horizon.
+
+    A rough contention indicator: > 1 over the busy window means the
+    workload necessarily queues.  For static traces (horizon 0) this is
+    total work / cluster size, in hours — i.e. the ideal drain time.
+    """
+    summary = summarize_trace(trace, matrix)
+    gpus = cluster.total_gpus
+    if gpus == 0:
+        raise ValueError("cluster has no GPUs")
+    horizon_h = trace.horizon / 3600.0
+    if horizon_h <= 0:
+        return summary.total_gpu_hours / gpus
+    return summary.total_gpu_hours / (gpus * horizon_h)

@@ -1,0 +1,40 @@
+"""Arrival processes (Sec. IV-A).
+
+The paper evaluates two patterns:
+
+* **static** — all jobs present at t=0;
+* **continuous** — a Poisson process with inter-arrival rate ``λ``
+  (jobs/hour in our API, matching the Fig. 8/9 "input job rate" axes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["static_arrivals", "poisson_arrivals"]
+
+
+def static_arrivals(num_jobs: int) -> np.ndarray:
+    """All-zero arrival times (the static pattern)."""
+    if num_jobs < 0:
+        raise ValueError("num_jobs must be non-negative")
+    return np.zeros(num_jobs, dtype=float)
+
+
+def poisson_arrivals(
+    num_jobs: int,
+    jobs_per_hour: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Cumulative Poisson arrival times in seconds.
+
+    ``jobs_per_hour`` is the arrival rate λ; inter-arrival gaps are
+    i.i.d. exponential with mean ``3600 / λ`` seconds.
+    """
+    if num_jobs < 0:
+        raise ValueError("num_jobs must be non-negative")
+    if jobs_per_hour <= 0:
+        raise ValueError("jobs_per_hour must be positive")
+    mean_gap_s = 3600.0 / jobs_per_hour
+    gaps = rng.exponential(scale=mean_gap_s, size=num_jobs)
+    return np.cumsum(gaps)

@@ -1,0 +1,58 @@
+"""The paper's S/M/L/XL job-size buckets (Sec. IV-A).
+
+Jobs from the Microsoft trace carry only (arrival, GPU demand, duration);
+the paper groups them by total GPU-hours — Small (0-1], Medium (1-10],
+Large (10-50], XLarge (60-100] — and assigns each group the Table II
+models.  The gap between 50 and 60 GPU-hours is in the paper's own
+bucketing; :func:`category_for_gpu_hours` assigns that gap to XLarge so
+the mapping is total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SizeCategory", "CATEGORIES", "category_for_gpu_hours"]
+
+
+@dataclass(frozen=True, slots=True)
+class SizeCategory:
+    """One GPU-hour bucket and the models eligible for it.
+
+    ``gpu_hours_lo`` is exclusive, ``gpu_hours_hi`` inclusive, matching
+    "0-1 GPU-hours" style ranges.
+    """
+
+    label: str
+    gpu_hours_lo: float
+    gpu_hours_hi: float
+    models: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError(f"category {self.label!r} needs at least one model")
+        if not 0 <= self.gpu_hours_lo < self.gpu_hours_hi:
+            raise ValueError(
+                f"bad GPU-hour range ({self.gpu_hours_lo}, {self.gpu_hours_hi}]"
+            )
+
+    def contains(self, gpu_hours: float) -> bool:
+        return self.gpu_hours_lo < gpu_hours <= self.gpu_hours_hi
+
+
+CATEGORIES: dict[str, SizeCategory] = {
+    "S": SizeCategory("S", 0.0, 1.0, ("resnet18",)),
+    "M": SizeCategory("M", 1.0, 10.0, ("cyclegan",)),
+    "L": SizeCategory("L", 10.0, 50.0, ("lstm", "transformer")),
+    "XL": SizeCategory("XL", 50.0, 100.0, ("resnet50",)),
+}
+
+
+def category_for_gpu_hours(gpu_hours: float) -> SizeCategory:
+    """Bucket a GPU-hour figure; values above 100 clamp to XLarge."""
+    if gpu_hours <= 0:
+        raise ValueError(f"gpu_hours must be positive, got {gpu_hours}")
+    for cat in CATEGORIES.values():
+        if cat.contains(gpu_hours):
+            return cat
+    return CATEGORIES["XL"]

@@ -1,0 +1,118 @@
+"""Immutable job specifications.
+
+A :class:`Job` captures exactly the paper's per-job inputs (Table I):
+arrival time ``a_j``, gang size ``W_j``, epochs ``E_j``, iterations per
+epoch ``N_j``, and the model whose throughput row gives ``X_j^r``.  All
+runtime state (progress, current allocation) lives in the simulator's
+:class:`repro.sim.progress.JobRuntime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+from repro.workload.models import ModelSpec, model_spec
+from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["Job"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """One DNN training job submitted to the cluster.
+
+    Attributes
+    ----------
+    job_id:
+        Dense integer id, unique within a trace.
+    model:
+        The workload type; decides the throughput row and checkpoint cost.
+    arrival_time:
+        Submission time ``a_j`` in seconds from the trace origin.
+    num_workers:
+        Gang size ``W_j``: the job runs with exactly this many workers or
+        none at all (all-or-nothing constraint (1e)).
+    epochs:
+        ``E_j`` — passes over the data.
+    iters_per_epoch:
+        ``N_j`` — data chunks (mini-batch iterations) per epoch.
+    """
+
+    job_id: int
+    model: ModelSpec
+    arrival_time: float
+    num_workers: int
+    epochs: int
+    iters_per_epoch: int
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError("job_id must be non-negative")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        if self.epochs < 1 or self.iters_per_epoch < 1:
+            raise ValueError("epochs and iters_per_epoch must be at least 1")
+
+    # -- work accounting ----------------------------------------------------
+    @property
+    def total_iterations(self) -> int:
+        """``E_j × N_j`` — iterations to complete the job."""
+        return self.epochs * self.iters_per_epoch
+
+    def min_duration(self, matrix: ThroughputMatrix) -> float:
+        """``t_j^min`` (Eq. 8): runtime with the full gang on the fastest type."""
+        rate = matrix.max_rate(self.model.name)
+        return self.total_iterations / (self.num_workers * rate)
+
+    def max_duration(self, matrix: ThroughputMatrix) -> float:
+        """``t_j^max`` (Eq. 8): runtime with the full gang on the slowest type."""
+        rate = matrix.min_rate(self.model.name)
+        return self.total_iterations / (self.num_workers * rate)
+
+    def duration_on_type(self, matrix: ThroughputMatrix, type_name: str) -> float:
+        """Runtime with the full gang on a homogeneous ``type_name`` gang."""
+        rate = matrix.rate(self.model.name, type_name)
+        if rate <= 0:
+            raise ValueError(f"model {self.model.name!r} unusable on {type_name!r}")
+        return self.total_iterations / (self.num_workers * rate)
+
+    def reference_gpu_hours(self, matrix: ThroughputMatrix, type_name: str = "V100") -> float:
+        """Total GPU-hours if run entirely on ``type_name`` devices."""
+        return self.num_workers * self.duration_on_type(matrix, type_name) / 3600.0
+
+    # -- serialization --------------------------------------------------------
+    def to_record(self) -> dict[str, object]:
+        """Flat dict for trace serialization."""
+        return {
+            "job_id": self.job_id,
+            "model": self.model.name,
+            "arrival_time": self.arrival_time,
+            "num_workers": self.num_workers,
+            "epochs": self.epochs,
+            "iters_per_epoch": self.iters_per_epoch,
+        }
+
+    @staticmethod
+    def from_record(record: Mapping[str, object]) -> "Job":
+        """Inverse of :meth:`to_record`."""
+        return Job(
+            job_id=int(record["job_id"]),  # type: ignore[arg-type]
+            model=model_spec(str(record["model"])),
+            arrival_time=float(record["arrival_time"]),  # type: ignore[arg-type]
+            num_workers=int(record["num_workers"]),  # type: ignore[arg-type]
+            epochs=int(record["epochs"]),  # type: ignore[arg-type]
+            iters_per_epoch=int(record["iters_per_epoch"]),  # type: ignore[arg-type]
+        )
+
+    def with_arrival(self, arrival_time: float) -> "Job":
+        """Copy of this job submitted at a different time."""
+        return replace(self, arrival_time=arrival_time)
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        return (
+            f"Job({self.job_id}: {self.model.name}, W={self.num_workers}, "
+            f"E={self.epochs}, N={self.iters_per_epoch}, a={self.arrival_time:.0f}s)"
+        )

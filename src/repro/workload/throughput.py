@@ -1,0 +1,175 @@
+"""Per-(model, GPU-type) training throughput ``X_j^r``.
+
+The paper takes each workload's measured iterations/second on every GPU
+type from Gavel's public measurements (Sec. IV-A: "we leverage its
+throughput measurements from Gavel as our scheduling input").  We embed a
+matrix that preserves the published *ratios* — e.g. ResNet-50 runs ~10×
+faster on a V100 than a K80, while the A3C-style RL workload only gains
+~2× — which is what the scheduling behaviour depends on.  Absolute values
+are in plausible iterations/second for the Table II batch sizes.
+
+The :class:`ThroughputMatrix` is the only throughput interface the rest of
+the system uses; tests construct small synthetic matrices directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["ThroughputMatrix", "DEFAULT_THROUGHPUTS", "default_throughput_matrix"]
+
+
+#: iterations / second, per worker, keyed [model][gpu_type].
+DEFAULT_THROUGHPUTS: dict[str, dict[str, float]] = {
+    #                 V100    P100    K80     T4     K520    A100
+    "resnet50": {"V100": 2.00, "P100": 0.66, "K80": 0.20, "T4": 0.90, "K520": 0.080, "A100": 3.60},
+    "resnet18": {"V100": 16.0, "P100": 8.00, "K80": 2.90, "T4": 7.50, "K520": 1.200, "A100": 25.0},
+    "lstm":     {"V100": 6.80, "P100": 3.80, "K80": 1.50, "T4": 3.20, "K520": 0.700, "A100": 10.0},
+    "cyclegan": {"V100": 3.00, "P100": 1.20, "K80": 0.33, "T4": 1.30, "K520": 0.120, "A100": 5.20},
+    "transformer": {"V100": 15.0, "P100": 7.00, "K80": 2.20, "T4": 6.50, "K520": 0.900, "A100": 24.0},
+    "a3c":      {"V100": 4.00, "P100": 3.20, "K80": 2.00, "T4": 3.00, "K520": 1.400, "A100": 4.80},
+}
+
+
+@dataclass(frozen=True)
+class ThroughputMatrix:
+    """Dense lookup of per-worker iteration rates.
+
+    Rows are models, columns GPU types; missing (model, type) pairs mean
+    the model cannot run on that device (e.g. out of memory) and lookups
+    return 0.  The matrix is immutable; :meth:`scaled` and
+    :meth:`restricted` derive new ones.
+    """
+
+    rates: Mapping[str, Mapping[str, float]]
+
+    def __post_init__(self) -> None:
+        frozen: dict[str, dict[str, float]] = {}
+        for model, row in self.rates.items():
+            clean: dict[str, float] = {}
+            for type_name, rate in row.items():
+                if rate < 0:
+                    raise ValueError(
+                        f"negative throughput for ({model}, {type_name}): {rate}"
+                    )
+                clean[type_name] = float(rate)
+            frozen[model] = clean
+        object.__setattr__(self, "rates", frozen)
+        # Cache the per-model extremes over *all* known types; best_type /
+        # max_rate with no candidate restriction sit on scheduler hot paths.
+        best: dict[str, str] = {}
+        worst: dict[str, str] = {}
+        for model, row in frozen.items():
+            usable = [(r, t) for t, r in row.items() if r > 0.0]
+            if usable:
+                best[model] = max(usable, key=lambda p: (p[0], p[1]))[1]
+                worst[model] = min(usable, key=lambda p: (p[0], p[1]))[1]
+        object.__setattr__(self, "_best_type", best)
+        object.__setattr__(self, "_worst_type", worst)
+
+    # -- lookups -----------------------------------------------------------
+    def rate(self, model: str, type_name: str) -> float:
+        """Iterations/second of one worker of ``model`` on ``type_name``.
+
+        Returns 0.0 when the pair is unknown (device unusable for model).
+        """
+        return self.rates.get(model, {}).get(type_name, 0.0)
+
+    def supports(self, model: str, type_name: str) -> bool:
+        return self.rate(model, type_name) > 0.0
+
+    def models(self) -> tuple[str, ...]:
+        return tuple(sorted(self.rates))
+
+    def gpu_types(self) -> tuple[str, ...]:
+        names = {t for row in self.rates.values() for t in row}
+        return tuple(sorted(names))
+
+    def best_type(self, model: str, candidates: Iterable[str] | None = None) -> str:
+        """The fastest GPU type for a model (optionally among candidates)."""
+        if candidates is None:
+            cached = self._best_type.get(model)  # type: ignore[attr-defined]
+            if cached is None:
+                raise ValueError(f"model {model!r} runs on no known GPU type")
+            return cached
+        types = list(candidates)
+        usable = [(self.rate(model, t), t) for t in types if self.supports(model, t)]
+        if not usable:
+            raise ValueError(f"model {model!r} runs on none of {types}")
+        # Tie-break on name for determinism.
+        return max(usable, key=lambda pair: (pair[0], pair[1]))[1]
+
+    def worst_type(self, model: str, candidates: Iterable[str] | None = None) -> str:
+        """The slowest *usable* GPU type for a model."""
+        if candidates is None:
+            cached = self._worst_type.get(model)  # type: ignore[attr-defined]
+            if cached is None:
+                raise ValueError(f"model {model!r} runs on no known GPU type")
+            return cached
+        types = list(candidates)
+        usable = [(self.rate(model, t), t) for t in types if self.supports(model, t)]
+        if not usable:
+            raise ValueError(f"model {model!r} runs on none of {types}")
+        return min(usable, key=lambda pair: (pair[0], pair[1]))[1]
+
+    def max_rate(self, model: str, candidates: Iterable[str] | None = None) -> float:
+        return self.rate(model, self.best_type(model, candidates))
+
+    def min_rate(self, model: str, candidates: Iterable[str] | None = None) -> float:
+        return self.rate(model, self.worst_type(model, candidates))
+
+    def speedup(self, model: str, fast: str, slow: str) -> float:
+        """Ratio ``X[model, fast] / X[model, slow]``."""
+        denom = self.rate(model, slow)
+        if denom <= 0:
+            raise ValueError(f"model {model!r} unusable on {slow!r}")
+        return self.rate(model, fast) / denom
+
+    def as_array(
+        self, models: Iterable[str], types: Iterable[str]
+    ) -> np.ndarray:
+        """Dense ``len(models) × len(types)`` float array (0 = unusable).
+
+        Used by the Gavel LP, which is the hot vectorized path.
+        """
+        models = list(models)
+        types = list(types)
+        out = np.zeros((len(models), len(types)), dtype=float)
+        for i, m in enumerate(models):
+            row = self.rates.get(m, {})
+            for j, t in enumerate(types):
+                out[i, j] = row.get(t, 0.0)
+        return out
+
+    # -- derivations ---------------------------------------------------------
+    def scaled(self, factor: float) -> "ThroughputMatrix":
+        """All rates multiplied by ``factor`` (> 0)."""
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        return ThroughputMatrix(
+            {m: {t: r * factor for t, r in row.items()} for m, row in self.rates.items()}
+        )
+
+    def restricted(self, types: Iterable[str]) -> "ThroughputMatrix":
+        """Matrix restricted to a subset of GPU types."""
+        keep = set(types)
+        return ThroughputMatrix(
+            {
+                m: {t: r for t, r in row.items() if t in keep}
+                for m, row in self.rates.items()
+            }
+        )
+
+    def with_model(self, model: str, row: Mapping[str, float]) -> "ThroughputMatrix":
+        """Matrix with one model's row added/replaced."""
+        rates = {m: dict(r) for m, r in self.rates.items()}
+        rates[model] = dict(row)
+        return ThroughputMatrix(rates)
+
+
+def default_throughput_matrix() -> ThroughputMatrix:
+    """The embedded Gavel-shaped measurement matrix."""
+    return ThroughputMatrix(DEFAULT_THROUGHPUTS)

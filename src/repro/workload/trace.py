@@ -1,0 +1,135 @@
+"""Trace containers and on-disk formats.
+
+A :class:`Trace` is an ordered collection of :class:`~repro.workload.job.Job`
+records.  Two formats are supported:
+
+* CSV with the header
+  ``job_id,model,arrival_time,num_workers,epochs,iters_per_epoch`` —
+  the shape of the public Philly trace after the paper's preprocessing;
+* JSON-lines with one job record per line.
+
+Both round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.workload.job import Job
+
+__all__ = ["Trace"]
+
+_CSV_FIELDS = ("job_id", "model", "arrival_time", "num_workers", "epochs", "iters_per_epoch")
+
+
+@dataclass(frozen=True)
+class Trace:
+    """An immutable, arrival-ordered job trace."""
+
+    jobs: Sequence[Job]
+
+    def __post_init__(self) -> None:
+        jobs = tuple(sorted(self.jobs, key=lambda j: (j.arrival_time, j.job_id)))
+        ids = [j.job_id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in trace")
+        object.__setattr__(self, "jobs", jobs)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, idx: int) -> Job:
+        return self.jobs[idx]
+
+    def job(self, job_id: int) -> Job:
+        for j in self.jobs:
+            if j.job_id == job_id:
+                return j
+        raise KeyError(f"no job with id {job_id}")
+
+    # -- views -----------------------------------------------------------
+    @property
+    def horizon(self) -> float:
+        """Latest arrival time (0 for an empty trace)."""
+        return max((j.arrival_time for j in self.jobs), default=0.0)
+
+    @property
+    def total_workers_requested(self) -> int:
+        return sum(j.num_workers for j in self.jobs)
+
+    def is_static(self) -> bool:
+        """True when every job arrives at t=0 (the paper's static pattern)."""
+        return all(j.arrival_time == 0.0 for j in self.jobs)
+
+    def filtered(self, predicate: Callable[[Job], bool]) -> "Trace":
+        return Trace([j for j in self.jobs if predicate(j)])
+
+    def head(self, n: int) -> "Trace":
+        """The first ``n`` jobs by arrival order."""
+        return Trace(self.jobs[:n])
+
+    def shifted_to_zero(self) -> "Trace":
+        """All arrivals translated so the first job arrives at t=0."""
+        if not self.jobs:
+            return self
+        origin = self.jobs[0].arrival_time
+        return Trace([j.with_arrival(j.arrival_time - origin) for j in self.jobs])
+
+    def as_static(self) -> "Trace":
+        """Every arrival collapsed to t=0 (the static arrival pattern)."""
+        return Trace([j.with_arrival(0.0) for j in self.jobs])
+
+    @staticmethod
+    def concat(traces: Iterable["Trace"]) -> "Trace":
+        jobs: list[Job] = []
+        for t in traces:
+            jobs.extend(t.jobs)
+        return Trace(jobs)
+
+    # -- CSV ---------------------------------------------------------------
+    def to_csv(self, path: str | Path) -> None:
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=_CSV_FIELDS)
+            writer.writeheader()
+            for job in self.jobs:
+                writer.writerow(job.to_record())
+
+    @staticmethod
+    def from_csv(path: str | Path) -> "Trace":
+        path = Path(path)
+        with path.open(newline="") as fh:
+            reader = csv.DictReader(fh)
+            missing = set(_CSV_FIELDS) - set(reader.fieldnames or [])
+            if missing:
+                raise ValueError(f"trace CSV missing columns: {sorted(missing)}")
+            return Trace([Job.from_record(row) for row in reader])
+
+    # -- JSONL ---------------------------------------------------------------
+    def to_jsonl(self, path: str | Path) -> None:
+        path = Path(path)
+        with path.open("w") as fh:
+            for job in self.jobs:
+                fh.write(json.dumps(job.to_record()) + "\n")
+
+    @staticmethod
+    def from_jsonl(path: str | Path) -> "Trace":
+        path = Path(path)
+        jobs = []
+        with path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    jobs.append(Job.from_record(json.loads(line)))
+        return Trace(jobs)
+
+    def __str__(self) -> str:  # pragma: no cover - repr helper
+        kind = "static" if self.is_static() else "continuous"
+        return f"Trace({len(self.jobs)} jobs, {kind}, horizon={self.horizon:.0f}s)"

@@ -1,0 +1,67 @@
+"""Unit tests for the shared gang-packing helpers."""
+
+import pytest
+
+from repro.baselines.packing import pack_gang, pack_gang_single_type
+from repro.cluster.allocation import Allocation
+
+
+class TestPackGang:
+    def test_fills_fullest_node_first(self, small_cluster):
+        state = small_cluster.fresh_state()
+        gang = pack_gang(state, 3)
+        assert gang is not None
+        assert gang.total_workers == 3
+        # Nodes all have 3 free; the tie-break picks node 0 alone.
+        assert gang.is_consolidated
+
+    def test_spans_nodes_when_needed(self, small_cluster):
+        state = small_cluster.fresh_state()
+        gang = pack_gang(state, 7)
+        assert gang is not None
+        assert gang.total_workers == 7
+        assert len(gang.node_ids) >= 3
+
+    def test_none_when_capacity_short(self, small_cluster):
+        state = small_cluster.fresh_state()
+        assert pack_gang(state, 10) is None  # only 9 GPUs exist
+
+    def test_allowed_types_respected(self, small_cluster):
+        state = small_cluster.fresh_state()
+        gang = pack_gang(state, 3, allowed_types=["P100"])
+        assert gang is not None
+        assert gang.gpu_types == {"P100"}
+
+    def test_preferred_types_order(self, small_cluster):
+        state = small_cluster.fresh_state()
+        gang = pack_gang(state, 1, preferred_types=["K80", "V100", "P100"])
+        assert gang is not None
+        assert gang.gpu_types == {"K80"}
+
+    def test_respects_existing_occupancy(self, small_cluster):
+        state = small_cluster.fresh_state()
+        state.allocate(Allocation({(0, "V100"): 2, (1, "V100"): 2}))
+        gang = pack_gang(state, 4, allowed_types=["V100"])
+        assert gang is None
+
+    def test_workers_validation(self, small_cluster):
+        with pytest.raises(ValueError):
+            pack_gang(small_cluster.fresh_state(), 0)
+
+
+class TestPackSingleType:
+    def test_single_type_gang(self, small_cluster):
+        state = small_cluster.fresh_state()
+        gang = pack_gang_single_type(state, 4, "V100")
+        assert gang is not None
+        assert gang.gpu_types == {"V100"}
+        assert gang.total_workers == 4
+        assert gang.node_ids == {0, 1}
+
+    def test_none_when_type_short(self, small_cluster):
+        state = small_cluster.fresh_state()
+        assert pack_gang_single_type(state, 5, "V100") is None
+        assert pack_gang_single_type(state, 3, "K80") is None
+
+    def test_unknown_type(self, small_cluster):
+        assert pack_gang_single_type(small_cluster.fresh_state(), 1, "A100") is None

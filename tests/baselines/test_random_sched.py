@@ -1,0 +1,28 @@
+"""Unit tests for the random sanity-floor scheduler."""
+
+from repro.baselines.random_sched import RandomScheduler
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+
+
+class TestRandomScheduler:
+    def test_completes_trace(self, no_comm_cluster, matrix, tiny_trace):
+        result = simulate(no_comm_cluster, tiny_trace, RandomScheduler(seed=3),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        assert result.all_completed
+
+    def test_deterministic_per_seed(self, no_comm_cluster, matrix, tiny_trace):
+        a = simulate(no_comm_cluster, tiny_trace, RandomScheduler(seed=5), matrix=matrix)
+        b = simulate(no_comm_cluster, tiny_trace, RandomScheduler(seed=5), matrix=matrix)
+        assert a.jcts() == b.jcts()
+
+    def test_seed_changes_behaviour(self, no_comm_cluster, matrix, philly_trace_small):
+        a = simulate(no_comm_cluster, philly_trace_small, RandomScheduler(seed=1), matrix=matrix)
+        b = simulate(no_comm_cluster, philly_trace_small, RandomScheduler(seed=2), matrix=matrix)
+        assert a.jcts() != b.jcts()
+
+    def test_reset_restores_stream(self, no_comm_cluster, matrix, tiny_trace):
+        sched = RandomScheduler(seed=9)
+        a = simulate(no_comm_cluster, tiny_trace, sched, matrix=matrix)
+        b = simulate(no_comm_cluster, tiny_trace, sched, matrix=matrix)  # reset() inside
+        assert a.jcts() == b.jcts()

@@ -1,0 +1,99 @@
+"""Unit tests for the Tiresias baseline."""
+
+import pytest
+
+from repro.baselines.tiresias import TiresiasConfig, TiresiasScheduler
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestConfig:
+    def test_default_threshold(self):
+        assert TiresiasConfig().queue_threshold_gpu_s == 3600.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TiresiasConfig(queue_threshold_gpu_s=0.0)
+
+
+class TestScheduling:
+    def test_completes_trace(self, no_comm_cluster, matrix, tiny_trace):
+        result = simulate(
+            no_comm_cluster, tiny_trace, TiresiasScheduler(), matrix=matrix
+        )
+        assert result.all_completed
+
+    def test_single_type_gangs(self, no_comm_cluster, matrix, philly_trace_small):
+        """Tiresias shares Gavel's single-type limitation (Sec. IV-A-2)."""
+        seen: list[frozenset] = []
+
+        class Spy(TiresiasScheduler):
+            def schedule(self, ctx):
+                target = super().schedule(ctx)
+                seen.extend(a.gpu_types for a in target.values() if a)
+                return target
+
+        trace = Trace([j for j in philly_trace_small if j.num_workers <= 3])
+        simulate(no_comm_cluster, trace, Spy(), matrix=matrix,
+                 checkpoint=NoOverheadCheckpoint())
+        assert seen and all(len(t) == 1 for t in seen)
+
+    def test_availability_not_speed_driven(self, no_comm_cluster, matrix):
+        """Heterogeneity-blind: picks the most-available type, not the
+        fastest.  On the small cluster V100 has 4 free, so a lone job gets
+        V100 only by the availability count — shrink V100 to verify."""
+        from repro.cluster.cluster import Cluster
+        from repro.cluster.node import Node
+        from repro.cluster.topology import CommunicationModel
+
+        cluster = Cluster(
+            [Node(0, {"V100": 1}), Node(1, {"K80": 3})],
+            comm=CommunicationModel.disabled(),
+        )
+        trace = Trace([make_job(0, "resnet50", workers=1, epochs=1)])
+        result = simulate(cluster, trace, TiresiasScheduler(), matrix=matrix,
+                          checkpoint=NoOverheadCheckpoint())
+        rt = result.runtimes[0]
+        # K80 has more free devices → chosen, despite being 10× slower.
+        expected = trace[0].total_iterations / matrix.rate("resnet50", "K80")
+        assert rt.finish_time == pytest.approx(expected, rel=1e-6)
+
+    def test_demotion_is_one_way(self, no_comm_cluster, matrix):
+        """A job that crossed the threshold stays demoted (PromoteKnob off)."""
+        scheduler = TiresiasScheduler(TiresiasConfig(queue_threshold_gpu_s=60.0))
+        # Long enough to span several rounds so demotion checks fire.
+        trace = Trace(
+            [
+                make_job(0, "resnet18", workers=4, epochs=200),
+                make_job(1, "resnet18", workers=4, epochs=200),
+            ]
+        )
+        result = simulate(no_comm_cluster, trace, scheduler, matrix=matrix,
+                          checkpoint=NoOverheadCheckpoint())
+        assert result.all_completed
+        assert scheduler._demoted  # both ran long enough to demote
+
+    def test_short_jobs_jump_demoted_long_jobs(self, no_comm_cluster, matrix):
+        """LAS: a newcomer with zero attained service preempts a demoted
+        long-runner."""
+        scheduler = TiresiasScheduler(TiresiasConfig(queue_threshold_gpu_s=600.0))
+        long_job = make_job(0, "resnet18", workers=4, epochs=60)
+        short_job = make_job(1, "resnet18", arrival=3600.0, workers=4, epochs=1)
+        result = simulate(
+            no_comm_cluster, Trace([long_job, short_job]), scheduler,
+            matrix=matrix, checkpoint=NoOverheadCheckpoint(),
+        )
+        rt_short = result.runtimes[1]
+        # The short job started at the first boundary after its arrival,
+        # not after the long job finished.
+        assert rt_short.queuing_delay is not None
+        assert rt_short.queuing_delay < 2 * 360.0
+
+    def test_reset(self):
+        scheduler = TiresiasScheduler()
+        scheduler._demoted.add(1)
+        scheduler.reset()
+        assert not scheduler._demoted

@@ -1,0 +1,61 @@
+"""Unit tests for the YARN-CS baseline."""
+
+import pytest
+
+from repro.baselines.yarn import YarnCapacityScheduler, YarnConfig
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestBehaviour:
+    def test_event_driven_admission(self, no_comm_cluster, matrix):
+        """Jobs start the moment they arrive when capacity is free."""
+        trace = Trace([make_job(0, "resnet18", arrival=100.0, workers=1, epochs=1)])
+        result = simulate(no_comm_cluster, trace, YarnCapacityScheduler(),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        assert result.runtimes[0].first_start_time == pytest.approx(100.0)
+
+    def test_non_preemptive(self, no_comm_cluster, matrix, philly_trace_small):
+        trace = Trace([j for j in philly_trace_small if j.num_workers <= 4])
+        result = simulate(no_comm_cluster, trace, YarnCapacityScheduler(),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        assert result.all_completed
+        assert all(rt.preemptions == 0 for rt in result.runtimes.values())
+        assert all(rt.allocation_changes <= 1 for rt in result.runtimes.values())
+
+    def test_backfill_lets_small_jobs_pass(self, no_comm_cluster, matrix):
+        """Default (concurrent) mode: a huge head job does not block a
+        1-GPU job behind it."""
+        big = make_job(0, "resnet18", workers=8, epochs=10)
+        blocker = make_job(1, "resnet18", arrival=1.0, workers=8, epochs=10)
+        small = make_job(2, "resnet18", arrival=2.0, workers=1, epochs=1)
+        result = simulate(
+            no_comm_cluster, Trace([big, blocker, small]),
+            YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        rt = result.runtimes[2]
+        assert rt.first_start_time == pytest.approx(2.0)
+
+    def test_strict_fifo_blocks_behind_head(self, no_comm_cluster, matrix):
+        big = make_job(0, "resnet18", workers=8, epochs=10)
+        blocker = make_job(1, "resnet18", arrival=1.0, workers=8, epochs=10)
+        small = make_job(2, "resnet18", arrival=2.0, workers=1, epochs=1)
+        result = simulate(
+            no_comm_cluster, Trace([big, blocker, small]),
+            YarnCapacityScheduler(YarnConfig(strict_fifo=True)), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        rt_small = result.runtimes[2]
+        rt_blocker = result.runtimes[1]
+        # The small job cannot start before the blocked head starts.
+        assert rt_small.first_start_time >= rt_blocker.first_start_time
+
+    def test_completes_trace(self, no_comm_cluster, matrix, tiny_trace):
+        result = simulate(no_comm_cluster, tiny_trace, YarnCapacityScheduler(),
+                          matrix=matrix)
+        assert result.all_completed
+        assert result.scheduler_name == "yarn-cs"

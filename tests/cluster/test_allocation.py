@@ -1,0 +1,76 @@
+"""Unit tests for Allocation."""
+
+import pytest
+
+from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
+
+
+class TestConstruction:
+    def test_basic(self):
+        alloc = Allocation({(0, "V100"): 2, (1, "K80"): 1})
+        assert alloc.total_workers == 3
+        assert alloc.gpu_types == {"V100", "K80"}
+        assert alloc.node_ids == {0, 1}
+
+    def test_zero_counts_dropped(self):
+        alloc = Allocation({(0, "V100"): 2, (1, "K80"): 0})
+        assert (1, "K80") not in alloc.placements
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Allocation({(0, "V100"): -1})
+
+    def test_empty_is_falsy(self):
+        assert not EMPTY_ALLOCATION
+        assert bool(Allocation({(0, "V100"): 1}))
+
+    def test_from_pairs_merges_duplicates(self):
+        alloc = Allocation.from_pairs([(0, "V100", 1), (0, "V100", 2)])
+        assert alloc.placements[(0, "V100")] == 3
+
+    def test_single(self):
+        assert Allocation.single(2, "K80", 3).count_on_node(2) == 3
+
+
+class TestIdentity:
+    def test_equality_ignores_dict_order(self):
+        a = Allocation({(0, "V100"): 1, (1, "K80"): 2})
+        b = Allocation({(1, "K80"): 2, (0, "V100"): 1})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert Allocation({(0, "V100"): 1}) != Allocation({(0, "V100"): 2})
+
+    def test_usable_in_sets(self):
+        s = {Allocation({(0, "V100"): 1}), Allocation({(0, "V100"): 1})}
+        assert len(s) == 1
+
+    def test_iteration_is_sorted(self):
+        alloc = Allocation({(1, "K80"): 1, (0, "V100"): 1})
+        keys = [k for k, _ in alloc]
+        assert keys == sorted(keys)
+
+
+class TestViews:
+    def test_consolidated(self):
+        assert Allocation({(0, "V100"): 2, (0, "K80"): 1}).is_consolidated
+        assert not Allocation({(0, "V100"): 1, (1, "V100"): 1}).is_consolidated
+        assert EMPTY_ALLOCATION.is_consolidated
+
+    def test_homogeneous(self):
+        assert Allocation({(0, "V100"): 1, (1, "V100"): 1}).is_homogeneous
+        assert not Allocation({(0, "V100"): 1, (0, "K80"): 1}).is_homogeneous
+        assert EMPTY_ALLOCATION.is_homogeneous
+
+    def test_count_by_type(self):
+        alloc = Allocation({(0, "V100"): 2, (1, "V100"): 1, (1, "K80"): 1})
+        assert alloc.count_by_type() == {"V100": 3, "K80": 1}
+
+    def test_merged_with(self):
+        a = Allocation({(0, "V100"): 1})
+        b = Allocation({(0, "V100"): 1, (1, "K80"): 2})
+        merged = a.merged_with(b)
+        assert merged.placements == {(0, "V100"): 2, (1, "K80"): 2}
+        # Inputs untouched.
+        assert a.total_workers == 1

@@ -1,0 +1,49 @@
+"""Unit tests for the accelerator catalog."""
+
+import pytest
+
+from repro.cluster.gpu import GPU_CATALOG, GPUType, gpu_type, register_gpu_type
+
+
+class TestCatalog:
+    def test_paper_types_present(self):
+        for name in ("V100", "P100", "K80", "T4", "K520"):
+            assert name in GPU_CATALOG
+
+    def test_lookup_returns_same_object(self):
+        assert gpu_type("V100") is GPU_CATALOG["V100"]
+
+    def test_unknown_type_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="V100"):
+            gpu_type("H100-nope")
+
+    def test_catalog_generations_ordered_sanely(self):
+        # Newer NVIDIA datacenter generations are faster.
+        assert gpu_type("V100").peak_fp32_tflops > gpu_type("P100").peak_fp32_tflops
+        assert gpu_type("P100").peak_fp32_tflops > gpu_type("K80").peak_fp32_tflops
+
+    def test_str(self):
+        assert str(gpu_type("K80")) == "K80"
+
+
+class TestRegister:
+    def test_register_and_lookup(self):
+        custom = GPUType("TPUv3-test", 16.0, 123.0, 64.0, 2018)
+        register_gpu_type(custom)
+        try:
+            assert gpu_type("TPUv3-test") is custom
+        finally:
+            del GPU_CATALOG["TPUv3-test"]
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_gpu_type(GPUType("V100", 16.0, 14.0, 128.0, 2017))
+
+    def test_duplicate_with_overwrite(self):
+        original = GPU_CATALOG["A100"]
+        replacement = GPUType("A100", 80.0, 19.5, 256.0, 2020)
+        register_gpu_type(replacement, overwrite=True)
+        try:
+            assert gpu_type("A100").memory_gb == 80.0
+        finally:
+            GPU_CATALOG["A100"] = original

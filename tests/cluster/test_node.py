@@ -1,0 +1,51 @@
+"""Unit tests for Node."""
+
+import pytest
+
+from repro.cluster.node import Node
+
+
+class TestConstruction:
+    def test_basic(self):
+        node = Node(3, {"V100": 4})
+        assert node.node_id == 3
+        assert node.total_gpus == 4
+        assert node.count("V100") == 4
+
+    def test_mixed_inventory(self):
+        node = Node(0, {"V100": 2, "K80": 2})
+        assert node.total_gpus == 4
+        assert node.has_type("V100") and node.has_type("K80")
+        assert not node.has_type("P100")
+
+    def test_zero_counts_dropped(self):
+        node = Node(0, {"V100": 2, "K80": 0})
+        assert "K80" not in node.gpus
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Node(-1, {"V100": 1})
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="negative GPU count"):
+            Node(0, {"V100": -1})
+
+    def test_unknown_gpu_type_rejected(self):
+        with pytest.raises(KeyError):
+            Node(0, {"NOT-A-GPU": 1})
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(ValueError, match="network_gbps"):
+            Node(0, {"V100": 1}, network_gbps=0.0)
+
+    def test_empty_node_allowed(self):
+        assert Node(0, {}).total_gpus == 0
+
+
+class TestQueries:
+    def test_count_missing_type_is_zero(self):
+        assert Node(0, {"V100": 2}).count("K80") == 0
+
+    def test_str_lists_inventory(self):
+        s = str(Node(1, {"K80": 2, "V100": 1}))
+        assert "K80" in s and "V100" in s

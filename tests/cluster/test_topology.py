@@ -1,0 +1,93 @@
+"""Unit tests for the communication-cost model."""
+
+import pytest
+
+from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
+from repro.cluster.topology import CommunicationModel, ring_allreduce_seconds
+
+MB = 1e6
+
+
+class TestRingAllreduce:
+    def test_single_participant_is_free(self):
+        assert ring_allreduce_seconds(100 * MB, 1, 25.0) == 0.0
+
+    def test_zero_bytes_is_free(self):
+        assert ring_allreduce_seconds(0.0, 4, 25.0) == 0.0
+
+    def test_scales_with_model_size(self):
+        small = ring_allreduce_seconds(10 * MB, 4, 25.0)
+        big = ring_allreduce_seconds(100 * MB, 4, 25.0)
+        assert big > small
+
+    def test_scales_inverse_with_bandwidth(self):
+        slow = ring_allreduce_seconds(100 * MB, 4, 10.0)
+        fast = ring_allreduce_seconds(100 * MB, 4, 100.0)
+        assert slow > fast
+
+    def test_volume_factor_saturates_at_2x(self):
+        # 2(n-1)/n approaches 2 from below; time grows sublinearly in n.
+        t2 = ring_allreduce_seconds(100 * MB, 2, 25.0, latency_s=0.0)
+        t16 = ring_allreduce_seconds(100 * MB, 16, 25.0, latency_s=0.0)
+        assert t2 < t16 < 2.0 * t2
+
+    def test_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            ring_allreduce_seconds(MB, 2, 0.0)
+
+
+class TestCommunicationModel:
+    def test_consolidated_gang_unpenalized(self):
+        comm = CommunicationModel()
+        alloc = Allocation({(0, "V100"): 4})
+        assert comm.throughput_penalty(alloc, 100 * MB, 0.5) == 1.0
+        assert comm.cost_multiplier(alloc, 100 * MB, 0.5) == 1.0
+
+    def test_spread_gang_penalized(self):
+        comm = CommunicationModel()
+        alloc = Allocation({(0, "V100"): 2, (1, "V100"): 2})
+        p = comm.throughput_penalty(alloc, 100 * MB, 0.5)
+        assert 0.0 < p < 1.0
+        assert comm.cost_multiplier(alloc, 100 * MB, 0.5) == pytest.approx(1.0 / p)
+
+    def test_penalty_worse_for_bigger_models(self):
+        comm = CommunicationModel()
+        alloc = Allocation({(0, "V100"): 2, (1, "V100"): 2})
+        p_small = comm.throughput_penalty(alloc, 10 * MB, 0.5)
+        p_big = comm.throughput_penalty(alloc, 200 * MB, 0.5)
+        assert p_big < p_small
+
+    def test_penalty_milder_for_slower_compute(self):
+        # A slow iteration amortizes the same sync time better.
+        comm = CommunicationModel()
+        alloc = Allocation({(0, "V100"): 2, (1, "V100"): 2})
+        p_fast_iter = comm.throughput_penalty(alloc, 100 * MB, 0.1)
+        p_slow_iter = comm.throughput_penalty(alloc, 100 * MB, 5.0)
+        assert p_slow_iter > p_fast_iter
+
+    def test_disabled_model_is_free(self):
+        comm = CommunicationModel.disabled()
+        alloc = Allocation({(0, "V100"): 2, (1, "V100"): 2})
+        assert comm.throughput_penalty(alloc, 500 * MB, 0.1) == 1.0
+        assert comm.sync_seconds(alloc, 500 * MB) == 0.0
+
+    def test_empty_allocation_free(self):
+        comm = CommunicationModel()
+        assert comm.sync_seconds(EMPTY_ALLOCATION, 100 * MB) == 0.0
+
+    def test_allocation_free_variant_agrees(self):
+        comm = CommunicationModel()
+        alloc = Allocation({(0, "V100"): 2, (1, "V100"): 2})
+        via_alloc = comm.throughput_penalty(alloc, 100 * MB, 0.5)
+        via_n = comm.throughput_penalty_n(4, True, 100 * MB, 0.5)
+        assert via_alloc == pytest.approx(via_n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CommunicationModel(intra_node_gbps=0.0)
+        with pytest.raises(ValueError):
+            CommunicationModel(latency_s=-1.0)
+        comm = CommunicationModel()
+        alloc = Allocation({(0, "V100"): 1, (1, "V100"): 1})
+        with pytest.raises(ValueError):
+            comm.throughput_penalty(alloc, 100 * MB, 0.0)

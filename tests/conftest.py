@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster, prototype_cluster, simulated_cluster
+from repro.cluster.node import Node
+from repro.cluster.topology import CommunicationModel
+from repro.workload.job import Job
+from repro.workload.models import model_spec
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
+from repro.workload.trace import Trace
+
+
+@pytest.fixture
+def matrix() -> ThroughputMatrix:
+    return default_throughput_matrix()
+
+
+@pytest.fixture
+def small_cluster() -> Cluster:
+    """Two mixed nodes + one homogeneous node: 4 V100, 3 P100, 2 K80."""
+    return Cluster(
+        [
+            Node(0, {"V100": 2, "K80": 1}),
+            Node(1, {"V100": 2, "P100": 1}),
+            Node(2, {"P100": 2, "K80": 1}),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_cluster() -> Cluster:
+    return simulated_cluster()
+
+
+@pytest.fixture
+def aws_cluster() -> Cluster:
+    return prototype_cluster()
+
+
+@pytest.fixture
+def no_comm_cluster(small_cluster: Cluster) -> Cluster:
+    return Cluster(small_cluster.nodes, comm=CommunicationModel.disabled())
+
+
+def make_job(
+    job_id: int = 0,
+    model: str = "resnet18",
+    arrival: float = 0.0,
+    workers: int = 1,
+    epochs: int = 2,
+    iters_per_epoch: int | None = None,
+) -> Job:
+    spec = model_spec(model)
+    return Job(
+        job_id=job_id,
+        model=spec,
+        arrival_time=arrival,
+        num_workers=workers,
+        epochs=epochs,
+        iters_per_epoch=iters_per_epoch or spec.iters_per_epoch,
+    )
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """Three small jobs arriving together."""
+    return Trace(
+        [
+            make_job(0, "resnet18", workers=1, epochs=2),
+            make_job(1, "cyclegan", workers=2, epochs=1),
+            make_job(2, "transformer", workers=2, epochs=2),
+        ]
+    )
+
+
+@pytest.fixture
+def philly_trace_small() -> Trace:
+    return generate_philly_trace(
+        PhillyTraceConfig(num_jobs=12, arrival_pattern="static", seed=7)
+    )

@@ -1,0 +1,134 @@
+"""Unit tests for the throughput estimator and profiling wrapper."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.core import HadarScheduler, ProfilingScheduler, ThroughputEstimator
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.sim.progress import JobRuntime, JobState
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestEstimator:
+    def test_prior_is_optimistic(self):
+        est = ThroughputEstimator(optimistic_rate=10.0)
+        assert est.rate("resnet50", "K80") == 10.0
+        assert est.observations("resnet50", "K80") == 0
+
+    def test_first_observation_replaces_prior(self):
+        est = ThroughputEstimator()
+        est.observe("resnet50", "K80", 0.2)
+        assert est.rate("resnet50", "K80") == pytest.approx(0.2)
+
+    def test_ewma_blends(self):
+        est = ThroughputEstimator(smoothing=0.5)
+        est.observe("m", "V100", 2.0)
+        est.observe("m", "V100", 4.0)
+        assert est.rate("m", "V100") == pytest.approx(3.0)
+        assert est.observations("m", "V100") == 2
+
+    def test_nonpositive_observation_ignored(self):
+        est = ThroughputEstimator()
+        est.observe("m", "V100", 0.0)
+        assert est.observations("m", "V100") == 0
+
+    def test_observe_gang_attributes_bottleneck(self):
+        est = ThroughputEstimator()
+        est.observe("m", "V100", 10.0)
+        est.observe("m", "K80", 1.0)
+        rt = JobRuntime(job=make_job(model="resnet18", workers=3))
+        alloc = Allocation({(0, "V100"): 2, (0, "K80"): 1})
+        # Gang advanced 360 iters in 120 s with 3 workers → 1 it/s/worker,
+        # attributed to the believed-slowest type (K80).
+        est.observe_gang(rt, alloc, delta_iters=360.0, delta_seconds=120.0)
+        assert est.observations("resnet18", "K80") == 1
+        assert est.observations("resnet18", "V100") == 0
+
+    def test_short_windows_skipped(self):
+        est = ThroughputEstimator(min_observation_s=30.0)
+        rt = JobRuntime(job=make_job())
+        alloc = Allocation({(0, "V100"): 1})
+        est.observe_gang(rt, alloc, delta_iters=10.0, delta_seconds=5.0)
+        assert est.observations("resnet18", "V100") == 0
+
+    def test_matrix_export(self):
+        est = ThroughputEstimator(optimistic_rate=7.0)
+        est.observe("m", "V100", 3.0)
+        m = est.matrix(["m"], ["V100", "K80"])
+        assert m.rate("m", "V100") == pytest.approx(3.0)
+        assert m.rate("m", "K80") == pytest.approx(7.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThroughputEstimator(optimistic_rate=0.0)
+        with pytest.raises(ValueError):
+            ThroughputEstimator(smoothing=0.0)
+        with pytest.raises(ValueError):
+            ThroughputEstimator(min_observation_s=-1.0)
+
+    def test_reset(self):
+        est = ThroughputEstimator()
+        est.observe("m", "V100", 1.0)
+        est.reset()
+        assert est.observations("m", "V100") == 0
+
+
+class TestProfilingScheduler:
+    def test_wraps_name_and_contract(self):
+        wrapped = ProfilingScheduler(HadarScheduler())
+        assert wrapped.name == "hadar+profiling"
+        assert wrapped.round_based is True
+        assert wrapped.reacts_to_events is False
+
+    def test_completes_and_converges(self, no_comm_cluster, matrix):
+        """Profiled Hadar finishes everything and its estimates approach
+        the true rates for the types it exercised."""
+        trace = Trace(
+            [
+                make_job(0, "resnet50", workers=2, epochs=2),
+                make_job(1, "resnet18", workers=2, epochs=8),
+            ]
+        )
+        wrapped = ProfilingScheduler(HadarScheduler())
+        result = simulate(
+            no_comm_cluster, trace, wrapped, matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        assert result.all_completed
+        est = wrapped.estimator
+        observed = [
+            (m, t)
+            for (m, t), n in est._counts.items()  # noqa: SLF001 - test introspection
+            if n > 0
+        ]
+        assert observed, "profiling must have produced measurements"
+        for model, type_name in observed:
+            true = matrix.rate(model, type_name)
+            assert est.rate(model, type_name) == pytest.approx(true, rel=0.2)
+
+    def test_profiled_close_to_oracle(self, no_comm_cluster, matrix, philly_trace_small):
+        """Scheduling on estimates costs little vs ground-truth rates."""
+        oracle = simulate(
+            no_comm_cluster, philly_trace_small, HadarScheduler(), matrix=matrix
+        )
+        profiled = simulate(
+            no_comm_cluster,
+            philly_trace_small,
+            ProfilingScheduler(HadarScheduler()),
+            matrix=matrix,
+        )
+        assert profiled.all_completed
+        from repro.metrics.jct import jct_stats
+
+        assert jct_stats(profiled).mean <= 1.5 * jct_stats(oracle).mean
+
+    def test_reset_clears_everything(self):
+        wrapped = ProfilingScheduler(HadarScheduler())
+        wrapped.estimator.observe("m", "V100", 1.0)
+        wrapped._last_seen[0] = (0.0, 0.0, Allocation({(0, "V100"): 1}))
+        wrapped.reset()
+        assert wrapped.estimator.observations("m", "V100") == 0
+        assert not wrapped._last_seen

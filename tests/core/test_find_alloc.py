@@ -1,0 +1,180 @@
+"""Unit tests for FIND_ALLOC."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.core.find_alloc import find_alloc
+from repro.core.pricing import PriceBook
+from repro.core.utility import NormalizedThroughputUtility
+from repro.sim.progress import JobRuntime, JobState
+
+from tests.conftest import make_job
+
+
+def queued(job):
+    rt = JobRuntime(job=job)
+    rt.state = JobState.QUEUED
+    return rt
+
+
+NO_DELAY = lambda rt, alloc: 0.0  # noqa: E731
+TEN_S = lambda rt, alloc: 10.0  # noqa: E731
+
+
+@pytest.fixture
+def utility():
+    return NormalizedThroughputUtility()
+
+
+def prices_for(jobs, cluster, matrix, utility):
+    return PriceBook.calibrate(
+        jobs=jobs, matrix=matrix, utility=utility,
+        state=cluster.fresh_state(), now=0.0,
+    )
+
+
+class TestBasicSelection:
+    def test_prefers_fastest_type_when_idle(
+        self, no_comm_cluster, matrix, utility
+    ):
+        rt = queued(make_job(0, "resnet50", workers=2))
+        prices = prices_for([rt], no_comm_cluster, matrix, utility)
+        cand = find_alloc(
+            rt, no_comm_cluster.fresh_state(), prices, matrix,
+            no_comm_cluster, utility, 0.0, NO_DELAY,
+        )
+        assert cand is not None
+        assert cand.allocation.gpu_types == {"V100"}
+        assert cand.allocation.total_workers == 2
+
+    def test_gang_size_always_exact(self, no_comm_cluster, matrix, utility):
+        for w in (1, 2, 4):
+            rt = queued(make_job(0, "resnet18", workers=w))
+            prices = prices_for([rt], no_comm_cluster, matrix, utility)
+            cand = find_alloc(
+                rt, no_comm_cluster.fresh_state(), prices, matrix,
+                no_comm_cluster, utility, 0.0, NO_DELAY,
+            )
+            assert cand is not None
+            assert cand.allocation.total_workers == w
+
+    def test_returns_none_when_nothing_fits(
+        self, no_comm_cluster, matrix, utility
+    ):
+        rt = queued(make_job(0, "resnet18", workers=2))
+        state = no_comm_cluster.fresh_state()
+        # Drain every slot.
+        for slot, free in list(state.free_slots()):
+            state.allocate(Allocation({slot: free}))
+        prices = prices_for([rt], no_comm_cluster, matrix, utility)
+        assert (
+            find_alloc(rt, state, prices, matrix, no_comm_cluster, utility,
+                       0.0, NO_DELAY)
+            is None
+        )
+
+    def test_mixed_gang_when_fast_types_scarce(
+        self, no_comm_cluster, matrix, utility
+    ):
+        """Hadar's signature move: top up a gang with slower types."""
+        rt = queued(make_job(0, "resnet18", workers=6))
+        state = no_comm_cluster.fresh_state()
+        # Take 3 of the 4 V100s: no 6-gang of V100s possible (and no type
+        # has 6 devices), so the gang must mix.
+        state.allocate(Allocation({(0, "V100"): 2, (1, "V100"): 1}))
+        prices = prices_for([rt], no_comm_cluster, matrix, utility)
+        cand = find_alloc(
+            rt, state, prices, matrix, no_comm_cluster, utility, 0.0, NO_DELAY
+        )
+        assert cand is not None
+        assert len(cand.allocation.gpu_types) >= 2
+
+    def test_rate_is_bottleneck_times_gang(
+        self, no_comm_cluster, matrix, utility
+    ):
+        rt = queued(make_job(0, "resnet18", workers=2))
+        prices = prices_for([rt], no_comm_cluster, matrix, utility)
+        cand = find_alloc(
+            rt, no_comm_cluster.fresh_state(), prices, matrix,
+            no_comm_cluster, utility, 0.0, NO_DELAY,
+        )
+        assert cand is not None
+        slowest = min(matrix.rate("resnet18", t) for t in cand.allocation.gpu_types)
+        assert cand.rate == pytest.approx(slowest * 2)
+
+
+class TestStickiness:
+    def test_current_allocation_kept_when_equivalent(
+        self, no_comm_cluster, matrix, utility
+    ):
+        """With a reallocation penalty, keeping the current gang wins ties."""
+        rt = queued(make_job(0, "resnet18", workers=2))
+        rt.state = JobState.RUNNING
+        rt.allocation = Allocation({(1, "V100"): 2})  # already on V100s
+        prices = prices_for([rt], no_comm_cluster, matrix, utility)
+        cand = find_alloc(
+            rt, no_comm_cluster.fresh_state(), prices, matrix,
+            no_comm_cluster, utility, 3600.0, TEN_S,
+        )
+        assert cand is not None
+        assert cand.allocation == rt.allocation
+
+    def test_upgrade_worth_the_delay(self, no_comm_cluster, matrix, utility):
+        """A K80→V100 move pays 10 s but saves hours: it must move."""
+        rt = queued(make_job(0, "resnet50", workers=2, epochs=2))
+        rt.state = JobState.RUNNING
+        rt.allocation = Allocation({(0, "K80"): 1, (2, "K80"): 1})
+        prices = prices_for([rt], no_comm_cluster, matrix, utility)
+        cand = find_alloc(
+            rt, no_comm_cluster.fresh_state(), prices, matrix,
+            no_comm_cluster, utility, 3600.0, TEN_S,
+        )
+        assert cand is not None
+        assert cand.allocation != rt.allocation
+        assert cand.allocation.gpu_types == {"V100"}
+
+
+class TestPayoffFilter:
+    def test_saturated_prices_block_admission(
+        self, no_comm_cluster, matrix, utility
+    ):
+        """At U_max prices everywhere, payoffs go non-positive (line 33)."""
+        rt = queued(make_job(0, "resnet18", workers=1))
+        book = prices_for([rt], no_comm_cluster, matrix, utility)
+        # Force saturation: a synthetic book where U_min == U_max == huge.
+        huge = {t: 1e12 for t in ("V100", "P100", "K80")}
+        saturated = PriceBook(u_min=dict(huge), u_max=dict(huge), eta=book.eta)
+        cand = find_alloc(
+            rt, no_comm_cluster.fresh_state(), saturated, matrix,
+            no_comm_cluster, utility, 0.0, NO_DELAY,
+        )
+        assert cand is None
+
+    def test_positive_payoff_on_idle_cluster(
+        self, no_comm_cluster, matrix, utility
+    ):
+        rt = queued(make_job(0, "cyclegan", workers=1))
+        prices = prices_for([rt], no_comm_cluster, matrix, utility)
+        cand = find_alloc(
+            rt, no_comm_cluster.fresh_state(), prices, matrix,
+            no_comm_cluster, utility, 0.0, NO_DELAY,
+        )
+        assert cand is not None
+        assert cand.payoff > 0
+        assert cand.utility == pytest.approx(cand.payoff + cand.cost)
+
+
+class TestCommAwareness:
+    def test_consolidation_preferred_for_chatty_models(
+        self, small_cluster, matrix, utility
+    ):
+        """With the comm model on, a single-server gang beats an equally
+        fast cross-server one."""
+        rt = queued(make_job(0, "resnet18", workers=2))
+        prices = prices_for([rt], small_cluster, matrix, utility)
+        cand = find_alloc(
+            rt, small_cluster.fresh_state(), prices, matrix,
+            small_cluster, utility, 0.0, NO_DELAY,
+        )
+        assert cand is not None
+        assert cand.allocation.is_consolidated

@@ -1,0 +1,92 @@
+"""Unit and behavioural tests for the Hadar scheduler."""
+
+import pytest
+
+from repro.core import HadarConfig, HadarScheduler
+from repro.core.dp import DPConfig
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestScheduling:
+    def test_simple_trace_completes(self, no_comm_cluster, matrix, tiny_trace):
+        result = simulate(
+            no_comm_cluster, tiny_trace, HadarScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        assert result.all_completed
+        assert result.scheduler_name == "hadar"
+
+    def test_uses_fast_types_first(self, no_comm_cluster, matrix):
+        """A lone resnet50 job must land on V100s, its 10×-faster type."""
+        trace = Trace([make_job(0, "resnet50", workers=2, epochs=1)])
+        result = simulate(
+            no_comm_cluster, trace, HadarScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        rt = result.runtimes[0]
+        expected = trace[0].total_iterations / (2 * matrix.rate("resnet50", "V100"))
+        # Finish time == one-round-aligned ideal V100 runtime.
+        assert rt.finish_time == pytest.approx(expected, rel=1e-6)
+
+    def test_deterministic(self, no_comm_cluster, matrix, philly_trace_small):
+        a = simulate(no_comm_cluster, philly_trace_small, HadarScheduler(), matrix=matrix)
+        b = simulate(no_comm_cluster, philly_trace_small, HadarScheduler(), matrix=matrix)
+        assert a.jcts() == b.jcts()
+
+    def test_alpha_exposed_after_scheduling(self, no_comm_cluster, matrix, tiny_trace):
+        scheduler = HadarScheduler()
+        simulate(no_comm_cluster, tiny_trace, scheduler, matrix=matrix)
+        assert scheduler.last_alpha >= 1.0
+        assert scheduler.last_prices is not None
+
+    def test_reset_clears_state(self):
+        scheduler = HadarScheduler()
+        scheduler.last_alpha = 5.0
+        scheduler.reset()
+        assert scheduler.last_alpha == 1.0
+        assert scheduler.last_prices is None
+
+    def test_no_reallocate_running_mode(self, no_comm_cluster, matrix, tiny_trace):
+        config = HadarConfig(reallocate_running=False)
+        result = simulate(
+            no_comm_cluster, tiny_trace, HadarScheduler(config), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        assert result.all_completed
+        # Running jobs are pinned: no preemptions ever.
+        assert all(rt.preemptions == 0 for rt in result.runtimes.values())
+
+    def test_most_rounds_change_free(self, no_comm_cluster, matrix):
+        """Stickiness: a lone job must not bounce between placements."""
+        trace = Trace([make_job(0, "resnet18", workers=2, epochs=40)])
+        result = simulate(no_comm_cluster, trace, HadarScheduler(), matrix=matrix)
+        rt = result.runtimes[0]
+        assert rt.preemptions == 0
+        assert rt.allocation_changes == 1  # the initial placement only
+
+    def test_greedy_config_passthrough(self, no_comm_cluster, matrix, tiny_trace):
+        config = HadarConfig(dp=DPConfig(queue_limit=0))
+        result = simulate(
+            no_comm_cluster, tiny_trace, HadarScheduler(config), matrix=matrix
+        )
+        assert result.all_completed
+
+
+class TestTaskLevelHeterogeneity:
+    def test_mixes_types_when_blocked_otherwise(self, no_comm_cluster, matrix):
+        """The paper's headline capability: a 6-GPU gang on a cluster where
+        no single type has 6 devices free."""
+        trace = Trace([make_job(0, "resnet18", workers=6, epochs=1)])
+        result = simulate(
+            no_comm_cluster, trace, HadarScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        rt = result.runtimes[0]
+        assert rt.finish_time is not None
+        # It ran — which no single-type scheduler could do on this cluster
+        # (max 4 of any type) — and the engine enforced the gang size.
+        assert rt.allocation_changes >= 1

@@ -1,0 +1,40 @@
+"""Unit tests for the objective factories."""
+
+import pytest
+
+from repro.core.policies import OBJECTIVES, hadar_for_objective
+from repro.core.utility import (
+    FinishTimeFairnessUtility,
+    MakespanUtility,
+    NormalizedThroughputUtility,
+)
+
+
+class TestFactory:
+    def test_jct(self):
+        sched = hadar_for_objective("jct")
+        assert isinstance(sched.config.utility, NormalizedThroughputUtility)
+
+    def test_makespan(self):
+        sched = hadar_for_objective("makespan")
+        assert isinstance(sched.config.utility, MakespanUtility)
+
+    def test_ftf(self):
+        sched = hadar_for_objective("ftf")
+        assert isinstance(sched.config.utility, FinishTimeFairnessUtility)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="jct"):
+            hadar_for_objective("latency")
+
+    def test_objectives_constant_consistent(self):
+        for obj in OBJECTIVES:
+            assert hadar_for_objective(obj).name == "hadar"
+
+    def test_base_config_preserved(self):
+        from repro.core import HadarConfig
+        from repro.core.dp import DPConfig
+
+        base = HadarConfig(dp=DPConfig(queue_limit=3))
+        sched = hadar_for_objective("jct", base_config=base)
+        assert sched.config.dp.queue_limit == 3

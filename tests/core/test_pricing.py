@@ -1,0 +1,154 @@
+"""Unit tests for the dual price book (Eqs. 5-8)."""
+
+import math
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.state import ClusterState
+from repro.core.pricing import PriceBook, PricingConfig
+from repro.core.utility import NormalizedThroughputUtility
+from repro.sim.progress import JobRuntime, JobState
+
+from tests.conftest import make_job
+
+
+def queued(job):
+    rt = JobRuntime(job=job)
+    rt.state = JobState.QUEUED
+    return rt
+
+
+@pytest.fixture
+def calibrated(small_cluster, matrix):
+    jobs = [
+        queued(make_job(0, "resnet18", workers=2, epochs=2)),
+        queued(make_job(1, "resnet50", workers=4, epochs=1)),
+        queued(make_job(2, "cyclegan", workers=1, epochs=1)),
+    ]
+    return PriceBook.calibrate(
+        jobs=jobs,
+        matrix=matrix,
+        utility=NormalizedThroughputUtility(),
+        state=small_cluster.fresh_state(),
+        now=0.0,
+    )
+
+
+class TestPriceFunction:
+    def test_boundaries(self, calibrated):
+        """Eq. (5): k(0)=U_min, k(c)=U_max."""
+        state = ClusterState({(0, "V100"): 4})
+        assert calibrated.price(0, "V100", state) == pytest.approx(
+            calibrated.u_min["V100"]
+        )
+        state.allocate(Allocation.single(0, "V100", 4))
+        assert calibrated.price(0, "V100", state) == pytest.approx(
+            calibrated.u_max["V100"]
+        )
+
+    def test_monotone_in_gamma(self, calibrated):
+        state = ClusterState({(0, "V100"): 4})
+        prices = []
+        for _ in range(5):
+            prices.append(calibrated.price(0, "V100", state))
+            if state.free(0, "V100"):
+                state.allocate(Allocation.single(0, "V100", 1))
+        assert prices == sorted(prices)
+        assert prices[0] < prices[-1]
+
+    def test_exponential_shape(self, calibrated):
+        """k(γ)/k(γ-1) is the constant (U_max/U_min)^(1/c)."""
+        state = ClusterState({(0, "V100"): 4})
+        prices = []
+        for _ in range(5):
+            prices.append(calibrated.price(0, "V100", state))
+            if state.free(0, "V100"):
+                state.allocate(Allocation.single(0, "V100", 1))
+        ratios = [prices[i + 1] / prices[i] for i in range(4)]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+    def test_cost_of_sums_slots(self, calibrated, small_cluster):
+        state = small_cluster.fresh_state()
+        alloc = Allocation({(0, "V100"): 2, (2, "K80"): 1})
+        expected = (
+            2 * calibrated.price(0, "V100", state)
+            + calibrated.price(2, "K80", state)
+        )
+        assert calibrated.cost_of(alloc, state) == pytest.approx(expected)
+
+    def test_unknown_type_is_free(self, calibrated):
+        state = ClusterState({(0, "V100"): 4})
+        book = PriceBook(u_min={"V100": 1.0}, u_max={"V100": 2.0}, eta=1.0)
+        assert book.price(0, "A100", state) == 0.0
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            PriceBook(u_min={"V100": 2.0}, u_max={"V100": 1.0}, eta=1.0)
+        with pytest.raises(ValueError):
+            PriceBook(u_min={"V100": -1.0}, u_max={"V100": 1.0}, eta=1.0)
+
+
+class TestCalibration:
+    def test_bounds_positive_and_ordered(self, calibrated):
+        for r in ("V100", "P100", "K80"):
+            assert 0 < calibrated.u_min[r] < calibrated.u_max[r]
+
+    def test_faster_types_command_higher_max_price(self, calibrated):
+        # A V100 can generate more utility per worker than a K80.
+        assert calibrated.u_max["V100"] > calibrated.u_max["K80"]
+
+    def test_alpha_at_least_one(self, calibrated):
+        assert calibrated.alpha() >= 1.0
+
+    def test_min_ratio_enforced(self, small_cluster, matrix):
+        jobs = [queued(make_job(0, "resnet18", workers=1, epochs=1))]
+        book = PriceBook.calibrate(
+            jobs, matrix, NormalizedThroughputUtility(),
+            small_cluster.fresh_state(), 0.0,
+            PricingConfig(min_ratio=math.e),
+        )
+        for r in book.u_max:
+            if book.u_max[r] > 0:
+                assert book.u_max[r] / book.u_min[r] >= math.e * (1 - 1e-9)
+
+    def test_empty_workload_gives_zero_prices(self, small_cluster, matrix):
+        book = PriceBook.calibrate(
+            [], matrix, NormalizedThroughputUtility(),
+            small_cluster.fresh_state(), 0.0,
+        )
+        state = small_cluster.fresh_state()
+        assert book.price(0, "V100", state) == 0.0
+        assert book.alpha() == 1.0
+
+    def test_partial_progress_lowers_remaining_work_pricing(
+        self, small_cluster, matrix
+    ):
+        rt = queued(make_job(0, "resnet18", workers=1, epochs=10))
+        fresh = PriceBook.calibrate(
+            [rt], matrix, NormalizedThroughputUtility(),
+            small_cluster.fresh_state(), 0.0,
+        )
+        rt.iterations_done = 0.9 * rt.job.total_iterations
+        nearly = PriceBook.calibrate(
+            [rt], matrix, NormalizedThroughputUtility(),
+            small_cluster.fresh_state(), 0.0,
+        )
+        # Less remaining work → shorter t^min → higher per-worker peak utility.
+        assert nearly.u_max["V100"] > fresh.u_max["V100"]
+
+    def test_explicit_eta_respected(self, small_cluster, matrix):
+        jobs = [queued(make_job(0, "resnet18", workers=1, epochs=1))]
+        book = PriceBook.calibrate(
+            jobs, matrix, NormalizedThroughputUtility(),
+            small_cluster.fresh_state(), 0.0, PricingConfig(eta=7.0),
+        )
+        assert book.eta == 7.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PricingConfig(eta=0.0)
+        with pytest.raises(ValueError):
+            PricingConfig(min_ratio=1.0)
+        with pytest.raises(ValueError):
+            PricingConfig(horizon_slack=0.0)

@@ -1,0 +1,105 @@
+"""Unit tests for the utility functions."""
+
+import pytest
+
+from repro.core.utility import (
+    EffectiveThroughputUtility,
+    FinishTimeFairnessUtility,
+    MakespanUtility,
+    NormalizedThroughputUtility,
+)
+from repro.sim.progress import JobRuntime
+from repro.workload.throughput import default_throughput_matrix
+
+from tests.conftest import make_job
+
+
+class TestEffectiveThroughput:
+    def test_paper_definition(self):
+        u = EffectiveThroughputUtility()
+        job = make_job(epochs=2, iters_per_epoch=500)
+        # E·N / jct.
+        assert u(job, 100.0) == pytest.approx(10.0)
+
+    def test_decreasing_in_jct(self):
+        u = EffectiveThroughputUtility()
+        job = make_job()
+        assert u(job, 10.0) > u(job, 20.0)
+
+    def test_weight(self):
+        job = make_job(epochs=1, iters_per_epoch=100)
+        assert EffectiveThroughputUtility(weight=2.0)(job, 10.0) == pytest.approx(20.0)
+
+    def test_invalid_jct(self):
+        with pytest.raises(ValueError):
+            EffectiveThroughputUtility()(make_job(), 0.0)
+
+
+class TestNormalizedThroughput:
+    def test_w_over_jct(self):
+        u = NormalizedThroughputUtility()
+        job = make_job(workers=4)
+        assert u(job, 8.0) == pytest.approx(0.5)
+
+    def test_density_is_model_agnostic(self):
+        """Payoff density 1/jct: equal-JCT jobs tie regardless of model."""
+        u = NormalizedThroughputUtility()
+        fast = make_job(0, "resnet18", workers=2)
+        slow = make_job(1, "resnet50", workers=2)
+        assert u(fast, 100.0) == pytest.approx(u(slow, 100.0))
+
+    def test_density_prefers_shorter(self):
+        u = NormalizedThroughputUtility()
+        job = make_job(workers=1)
+        assert u(job, 60.0) > u(job, 3600.0)
+
+
+class TestMakespan:
+    @pytest.fixture
+    def utility(self, matrix):
+        return MakespanUtility(matrix=matrix)
+
+    def test_decreasing_in_jct_per_job(self, utility):
+        job = make_job()
+        assert utility(job, 10.0) > utility(job, 20.0)
+
+    def test_longest_remaining_ranks_first(self, utility, matrix):
+        """LPT: with equal JCT estimates, more remaining work → more utility
+        per worker."""
+        short = JobRuntime(job=make_job(0, "resnet18", epochs=1))
+        long = JobRuntime(job=make_job(1, "resnet18", epochs=50))
+        jct = 3600.0
+        assert utility.value_for(long, jct, 0.0) > utility.value_for(short, jct, 0.0)
+
+    def test_value_for_uses_remaining(self, utility):
+        rt = JobRuntime(job=make_job(epochs=10))
+        fresh = utility.value_for(rt, 100.0, 0.0)
+        rt.iterations_done = rt.job.total_iterations * 0.9
+        nearly_done = utility.value_for(rt, 100.0, 0.0)
+        assert nearly_done < fresh
+
+
+class TestFinishTimeFairness:
+    @pytest.fixture
+    def utility(self, matrix):
+        return FinishTimeFairnessUtility(matrix=matrix)
+
+    def test_isolated_duration_uses_best_type(self, utility, matrix):
+        job = make_job(model="resnet50", workers=1, epochs=1, iters_per_epoch=100)
+        expected = 100.0 / (1 * matrix.max_rate("resnet50"))
+        assert utility.isolated_duration(job) == pytest.approx(expected)
+
+    def test_share_validation(self, matrix):
+        with pytest.raises(ValueError):
+            FinishTimeFairnessUtility(matrix=matrix, isolated_share=0.0)
+
+    def test_decreasing_in_jct_per_job(self, utility):
+        job = make_job()
+        assert utility(job, 10.0) > utility(job, 20.0)
+
+    def test_drifted_job_gains_weight(self, utility):
+        """The same job, evaluated later without progress, matters more."""
+        rt = JobRuntime(job=make_job(epochs=5))
+        early = utility.value_for(rt, 7200.0, now=0.0)
+        late = utility.value_for(rt, 7200.0, now=36000.0)
+        assert late > early

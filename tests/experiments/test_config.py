@@ -1,0 +1,36 @@
+"""Unit tests for experiment scales and the lineup."""
+
+import pytest
+
+from repro.experiments.config import SCALES, resolve_scale, standard_lineup
+
+
+class TestScales:
+    def test_full_scale_is_papers(self):
+        assert SCALES["full"].num_jobs == 480
+
+    def test_resolve_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert resolve_scale().name == "quick"
+
+    def test_resolve_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert resolve_scale("full").name == "full"
+
+    def test_resolve_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert resolve_scale().name == "default"
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="quick"):
+            resolve_scale("gigantic")
+
+
+class TestLineup:
+    def test_four_paper_schedulers(self):
+        lineup = standard_lineup()
+        assert set(lineup) == {"hadar", "gavel", "tiresias", "yarn-cs"}
+
+    def test_factories_make_fresh_instances(self):
+        lineup = standard_lineup()
+        assert lineup["hadar"]() is not lineup["hadar"]()

@@ -1,0 +1,65 @@
+"""Smoke tests for the figure-harness entry points at quick scale.
+
+The heavyweight sweeps are covered by the benchmark suite; these tests
+pin the harness APIs (shapes, caching, assertion-free execution) on the
+smallest workload so refactors are caught in the unit run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    comparison_run,
+    fig3_jct_cdfs,
+    fig4_utilization,
+    fig5_ftf,
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _warm_cache():
+    # One shared static comparison at quick scale backs every test here.
+    comparison_run("static", "quick")
+
+
+class TestComparisonRun:
+    def test_cached_across_calls(self):
+        a = comparison_run("static", "quick")
+        b = comparison_run("static", "quick")
+        assert a is b  # lru_cache hit
+
+    def test_four_schedulers_completed(self):
+        run = comparison_run("static", "quick")
+        assert set(run.results) == {"hadar", "gavel", "tiresias", "yarn-cs"}
+        assert all(r.all_completed for r in run.results.values())
+
+
+class TestFig3:
+    def test_series_shapes(self):
+        series = fig3_jct_cdfs("static", "quick")
+        for s in series.values():
+            assert len(s.times_h) == len(s.fraction_complete) == 60
+            assert np.all(np.diff(s.fraction_complete) >= 0)
+            assert s.fraction_complete[-1] == pytest.approx(1.0)
+            assert s.mean_jct_h > 0
+
+    def test_hadar_wins(self):
+        series = fig3_jct_cdfs("static", "quick")
+        assert series["hadar"].mean_jct_h <= min(
+            series[n].mean_jct_h for n in ("gavel", "tiresias", "yarn-cs")
+        )
+
+
+class TestFig4And5:
+    def test_fig4_table(self):
+        table = fig4_utilization("static", "quick")
+        labels = [label for label, _ in table.rows]
+        assert set(labels) == {"hadar", "gavel", "tiresias", "yarn-cs"}
+        for label in labels:
+            assert 0.0 < table.value(label, "utilization") <= 1.0
+
+    def test_fig5_table(self):
+        table = fig5_ftf("static", "quick")
+        labels = [label for label, _ in table.rows]
+        assert labels == ["hadar", "gavel", "tiresias"]
+        assert table.value("hadar", "ftf_mean") <= table.value("gavel", "ftf_mean")

@@ -1,0 +1,43 @@
+"""Tests for the heterogeneity sensitivity sweep."""
+
+import pytest
+
+from repro.experiments.heterogeneity import (
+    CLUSTER_FAMILY,
+    HeterogeneityPoint,
+    heterogeneity_sweep,
+)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return heterogeneity_sweep(num_jobs=16, seed=2)
+
+    def test_one_point_per_family_member(self, points):
+        assert [p.name for p in points] == list(CLUSTER_FAMILY)
+
+    def test_all_points_have_positive_jcts(self, points):
+        for p in points:
+            assert p.hadar_mean_jct_h > 0
+            assert p.blind_mean_jct_h > 0
+
+    def test_awareness_gain_grows_with_diversity(self, points):
+        """The core claim: heterogeneity-awareness pays more on more
+        heterogeneous clusters."""
+        by_name = {p.name: p for p in points}
+        assert (
+            by_name["three-types"].awareness_gain
+            > by_name["homogeneous"].awareness_gain * 0.99
+        )
+
+    def test_homogeneous_cluster_near_parity(self, points):
+        """With one device type there is nothing to be aware of; the gap
+        reduces to scheduling-discipline differences only."""
+        homo = points[0]
+        assert homo.name == "homogeneous"
+        assert homo.awareness_gain < 3.0
+
+    def test_gain_property(self):
+        p = HeterogeneityPoint("x", 1, hadar_mean_jct_h=2.0, blind_mean_jct_h=6.0)
+        assert p.awareness_gain == pytest.approx(3.0)

@@ -1,0 +1,50 @@
+"""Tests for the Fig. 1 motivation example."""
+
+import pytest
+
+from repro.experiments.motivation import run_motivation_example, toy_setup
+
+
+class TestToySetup:
+    def test_cluster_matches_figure(self):
+        cluster, trace, matrix = toy_setup()
+        assert cluster.capacity_by_type() == {"V100": 2, "P100": 3, "K80": 1}
+        assert [j.num_workers for j in trace] == [3, 2, 2]
+        assert [j.epochs for j in trace] == [80, 30, 50]
+
+    def test_j1_narrative_rates(self):
+        """J1 on 2×V100 + 1×K80 runs at min(40, 30) = 30 epochs/round."""
+        _, _, matrix = toy_setup()
+        per_round_v = matrix.rate("toy-j1", "V100") * 360.0 * 3
+        per_round_k = matrix.rate("toy-j1", "K80") * 360.0 * 3
+        assert min(per_round_v, per_round_k) == pytest.approx(30.0, rel=1e-6)
+
+
+class TestOutcome:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return run_motivation_example()
+
+    def test_both_schedulers_complete(self, outcomes):
+        for o in outcomes.values():
+            assert o.result.all_completed
+
+    def test_hadar_mixes_types_for_j1(self, outcomes):
+        """Hadar achieves the paper's J1 throughput of 30 epochs/round by
+        mixing V100s with the K80 — impossible for Gavel."""
+        assert outcomes["hadar"].avg_round_throughput[0] == pytest.approx(30.0, rel=0.05)
+
+    def test_hadar_beats_gavel_on_avg_jct(self, outcomes):
+        """The paper's headline: ≈20% average-JCT improvement."""
+        improvement = (
+            outcomes["gavel"].mean_jct_rounds / outcomes["hadar"].mean_jct_rounds
+        )
+        assert improvement > 1.05
+
+    def test_j2_j1_faster_under_hadar(self, outcomes):
+        """Fig. 1's J1 and J2 finish sooner under Hadar than under Gavel."""
+        for job_id in (0, 1):
+            assert (
+                outcomes["hadar"].jct_rounds[job_id]
+                < outcomes["gavel"].jct_rounds[job_id]
+            )

@@ -1,0 +1,52 @@
+"""Tests for the prototype (Table III / Fig. 10) experiment."""
+
+import pytest
+
+from repro.experiments.prototype import prototype_trace, run_prototype
+
+
+class TestTrace:
+    def test_ten_jobs_all_table2_models(self):
+        trace = prototype_trace()
+        assert len(trace) == 10
+        models = {j.model.name for j in trace}
+        assert models == {"resnet50", "resnet18", "lstm", "cyclegan", "transformer"}
+
+    def test_gangs_fit_single_types(self):
+        """Gavel needs ≤2 workers per job on the 2-per-type prototype."""
+        assert all(j.num_workers <= 2 for j in prototype_trace())
+
+
+class TestResults:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_prototype()
+
+    def test_table3_rows(self, results):
+        labels = {label for label, _ in results.table3.rows}
+        assert labels == {
+            f"{s}/{k}"
+            for s in ("hadar", "gavel", "tiresias")
+            for k in ("physical", "simulated")
+        }
+
+    def test_hadar_wins_jct_both_kinds(self, results):
+        for kind in ("physical", "simulated"):
+            hadar = results.table3.value(f"hadar/{kind}", "jct_h")
+            gavel = results.table3.value(f"gavel/{kind}", "jct_h")
+            tiresias = results.table3.value(f"tiresias/{kind}", "jct_h")
+            assert hadar < gavel < tiresias
+
+    def test_sim_physical_agree_within_10pct(self, results):
+        """Table III: 'the JCT differs within 10% between the simulation
+        and prototype experiments'."""
+        for sched in ("hadar", "gavel", "tiresias"):
+            phys = results.table3.value(f"{sched}/physical", "jct_h")
+            sim = results.table3.value(f"{sched}/simulated", "jct_h")
+            assert abs(phys - sim) / sim < 0.10
+
+    def test_fig10_has_three_schedulers(self, results):
+        labels = [label for label, _ in results.fig10.rows]
+        assert labels == ["hadar", "gavel", "tiresias"]
+        for label in labels:
+            assert 0.0 < results.fig10.value(label, "utilization") <= 1.0

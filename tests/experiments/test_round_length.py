@@ -1,0 +1,48 @@
+"""Tests for the round-length advisor."""
+
+import pytest
+
+from repro.experiments.round_length import recommended_round_length
+from repro.sim.checkpoint import FixedDelayCheckpoint, ModelAwareCheckpoint
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestAdvisor:
+    def test_paper_regime_lands_near_six_minutes(self):
+        """The Table II workload + SSD checkpoint model recommends a round
+        in the paper's 6-7 minute band."""
+        trace = generate_philly_trace(PhillyTraceConfig(num_jobs=120, seed=1))
+        advice = recommended_round_length(trace, ModelAwareCheckpoint())
+        assert 4.0 <= advice.round_length_min <= 10.0
+
+    def test_overhead_bound_scales_with_checkpoint_cost(self):
+        trace = Trace([make_job(0, "resnet50", epochs=50)])
+        cheap = recommended_round_length(trace, FixedDelayCheckpoint(1.0))
+        pricey = recommended_round_length(trace, FixedDelayCheckpoint(30.0))
+        assert pricey.round_length_s > cheap.round_length_s
+        assert pricey.overhead_floor_s == pytest.approx(30.0 / 0.02)
+
+    def test_floor_respected(self):
+        trace = Trace([make_job(0, "resnet18", epochs=1)])
+        advice = recommended_round_length(
+            trace, FixedDelayCheckpoint(0.0), floor_s=120.0
+        )
+        assert advice.round_length_s >= 120.0
+
+    def test_validation(self):
+        trace = Trace([make_job(0)])
+        with pytest.raises(ValueError):
+            recommended_round_length(trace, max_overhead_fraction=0.0)
+        with pytest.raises(ValueError):
+            recommended_round_length(trace, max_queuing_fraction=1.0)
+        with pytest.raises(ValueError):
+            recommended_round_length(Trace([]))
+
+    def test_advice_fields_consistent(self):
+        trace = generate_philly_trace(PhillyTraceConfig(num_jobs=20, seed=3))
+        advice = recommended_round_length(trace)
+        assert advice.worst_reallocation_s > 0
+        assert advice.round_length_min == pytest.approx(advice.round_length_s / 60.0)

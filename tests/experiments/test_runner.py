@@ -1,0 +1,35 @@
+"""Unit tests for the comparison runner."""
+
+import pytest
+
+from repro.baselines import YarnCapacityScheduler
+from repro.core import HadarScheduler
+from repro.experiments.runner import run_comparison
+from repro.sim.checkpoint import NoOverheadCheckpoint
+
+
+@pytest.fixture
+def run(no_comm_cluster, tiny_trace):
+    return run_comparison(
+        no_comm_cluster,
+        tiny_trace,
+        {"hadar": HadarScheduler, "yarn-cs": YarnCapacityScheduler},
+        checkpoint=NoOverheadCheckpoint(),
+    )
+
+
+class TestRunner:
+    def test_all_schedulers_ran(self, run):
+        assert set(run.results) == {"hadar", "yarn-cs"}
+        assert all(r.all_completed for r in run.results.values())
+
+    def test_table_has_all_rows_and_columns(self, run):
+        table = run.table()
+        labels = [label for label, _ in table.rows]
+        assert labels == ["hadar", "yarn-cs"]
+        for col in ("mean_jct_h", "makespan_h", "utilization", "ftf_mean"):
+            assert table.value("hadar", col) >= 0.0
+
+    def test_improvement_helper(self, run):
+        factor = run.improvement("mean_jct_h", better="hadar", worse="yarn-cs")
+        assert factor > 0.0

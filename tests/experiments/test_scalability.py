@@ -1,0 +1,16 @@
+"""Tests for the Fig. 7 decision-latency measurement."""
+
+from repro.experiments.scalability import measure_decision_times
+
+
+class TestScalability:
+    def test_small_sweep(self):
+        timings = measure_decision_times((8, 32))
+        assert [t.num_jobs for t in timings] == [8, 32]
+        for t in timings:
+            assert set(t.seconds) == {"hadar", "gavel"}
+            assert all(v >= 0.0 for v in t.seconds.values())
+
+    def test_cluster_grows_with_jobs(self):
+        timings = measure_decision_times((32, 64))
+        assert timings[1].cluster_gpus == 2 * timings[0].cluster_gpus

@@ -1,0 +1,66 @@
+"""Tests for the generic parameter sweep."""
+
+import pytest
+
+from repro.core import HadarScheduler
+from repro.experiments.sweep import ParameterSweep, SweepPoint
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+
+
+class TestSweep:
+    @pytest.fixture
+    def sweep(self, no_comm_cluster, tiny_trace):
+        def build(params):
+            return simulate(
+                no_comm_cluster,
+                tiny_trace,
+                HadarScheduler(),
+                round_length=params["round_min"] * 60.0,
+                checkpoint=NoOverheadCheckpoint(),
+            )
+
+        return ParameterSweep(
+            grid={"round_min": (6.0, 24.0), "variant": ("a",)},
+            build=build,
+        )
+
+    def test_points_cartesian_and_ordered(self, sweep):
+        points = sweep.points()
+        assert points == [
+            {"round_min": 6.0, "variant": "a"},
+            {"round_min": 24.0, "variant": "a"},
+        ]
+
+    def test_run_collects_standard_metrics(self, sweep):
+        results = sweep.run()
+        assert len(results) == 2
+        for point in results:
+            assert point["completed"] == 3.0
+            assert point["mean_jct_h"] > 0
+            assert point["round_min"] in (6.0, 24.0)
+
+    def test_extra_metrics(self, no_comm_cluster, tiny_trace):
+        sweep = ParameterSweep(
+            grid={"x": (1,)},
+            build=lambda p: simulate(
+                no_comm_cluster, tiny_trace, HadarScheduler(),
+                checkpoint=NoOverheadCheckpoint(),
+            ),
+            extra_metrics={"invocations": lambda r: r.scheduling_invocations},
+        )
+        (point,) = sweep.run()
+        assert point["invocations"] >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterSweep(grid={}, build=lambda p: None)
+        with pytest.raises(ValueError):
+            ParameterSweep(grid={"a": ()}, build=lambda p: None)
+
+    def test_point_getitem_falls_through(self):
+        p = SweepPoint(params={"a": 1}, metrics={"m": 2.0})
+        assert p["a"] == 1
+        assert p["m"] == 2.0
+        with pytest.raises(KeyError):
+            p["nope"]

@@ -1,0 +1,43 @@
+"""Tests for the seed-variance analysis."""
+
+import pytest
+
+from repro.experiments.variance import ImprovementStats, seed_variance
+
+
+class TestImprovementStats:
+    def test_aggregates(self):
+        s = ImprovementStats("mean_jct", "gavel", (1.2, 1.4, 1.0))
+        assert s.mean == pytest.approx(1.2)
+        assert s.min == pytest.approx(1.0)
+        assert not s.always_above_one
+        assert ImprovementStats("m", "b", (1.1, 1.2)).always_above_one
+
+
+class TestSeedVariance:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        # Two small seeds at quick scale keep this test affordable.
+        import os
+
+        os.environ.setdefault("REPRO_SCALE", "quick")
+        return seed_variance(seeds=(1, 2), scale_name="quick")
+
+    def test_all_metric_baseline_pairs_present(self, stats):
+        metrics = {key[0] for key in stats}
+        baselines = {key[1] for key in stats}
+        assert metrics == {"mean_jct", "median_jct", "ftf_mean"}
+        assert baselines == {"gavel", "tiresias", "yarn-cs"}
+
+    def test_factor_count_matches_seeds(self, stats):
+        for s in stats.values():
+            assert len(s.factors) == 2
+
+    def test_hadar_wins_on_average_everywhere(self, stats):
+        """The paper's conclusions hold in expectation across seeds."""
+        for s in stats.values():
+            assert s.mean > 1.0, str(s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            seed_variance(seeds=())

@@ -1,0 +1,80 @@
+"""Integration: feature combinations a real deployment would run together.
+
+Profiling + stragglers + model-aware checkpoints + audit, all at once —
+the configuration closest to the paper's physical prototype — must stay
+internally consistent.
+"""
+
+import pytest
+
+from repro.core import HadarConfig, HadarScheduler, ProfilingScheduler
+from repro.metrics.export import result_to_dict
+from repro.metrics.jct import jct_stats
+from repro.metrics.timeline import job_intervals
+from repro.sim.checkpoint import ModelAwareCheckpoint
+from repro.sim.engine import simulate
+from repro.sim.stragglers import StragglerModel
+from repro.theory.audit import summarize_audit, verify_increments
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+
+
+@pytest.fixture(scope="module")
+def kitchen_sink():
+    from repro.cluster.cluster import prototype_cluster
+
+    cluster = prototype_cluster()
+    trace = generate_philly_trace(
+        PhillyTraceConfig(num_jobs=8, seed=3, max_workers=2)
+    )
+    inner = HadarScheduler(HadarConfig(record_audit=True))
+    scheduler = ProfilingScheduler(inner)
+    result = simulate(
+        cluster,
+        trace,
+        scheduler,
+        checkpoint=ModelAwareCheckpoint(),
+        stragglers=StragglerModel(incidence_per_hour=1.0, seed=7),
+    )
+    return result, inner, scheduler
+
+
+class TestKitchenSink:
+    def test_everything_completes(self, kitchen_sink):
+        result, _, _ = kitchen_sink
+        assert result.all_completed
+        assert result.scheduler_name == "hadar+profiling"
+
+    def test_work_conserved(self, kitchen_sink):
+        result, _, _ = kitchen_sink
+        for rt in result.runtimes.values():
+            assert rt.iterations_done == pytest.approx(
+                rt.job.total_iterations, rel=1e-6
+            )
+
+    def test_audit_still_sound(self, kitchen_sink):
+        """Lemmas 1-2 hold even when scheduling on *estimated* rates."""
+        _, inner, _ = kitchen_sink
+        assert inner.audit
+        assert verify_increments(inner.audit)
+        assert summarize_audit(inner.audit).worst_ratio >= 1.0 - 1e-6
+
+    def test_estimator_learned_something(self, kitchen_sink):
+        _, _, scheduler = kitchen_sink
+        observed = sum(scheduler.estimator._counts.values())  # noqa: SLF001
+        assert observed >= 1
+
+    def test_timeline_and_export_consistent(self, kitchen_sink):
+        result, _, _ = kitchen_sink
+        exported = result_to_dict(result)
+        assert exported["summary"]["jobs_completed"] == len(result.runtimes)
+        for rt in result.runtimes.values():
+            intervals = job_intervals(rt)
+            assert intervals
+            # Intervals end no later than the recorded finish.
+            assert intervals[-1][1] <= (rt.finish_time or 0) + 1e-6
+
+    def test_metrics_finite(self, kitchen_sink):
+        result, _, _ = kitchen_sink
+        stats = jct_stats(result)
+        assert 0 < stats.mean < float("inf")
+        assert result.makespan() > 0

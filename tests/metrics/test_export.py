@@ -1,0 +1,71 @@
+"""Unit tests for result export."""
+
+import json
+
+import pytest
+
+from repro.core import HadarScheduler
+from repro.metrics.export import result_to_dict, save_result_json
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+    from repro.cluster.topology import CommunicationModel
+    from repro.workload.trace import Trace
+
+    from tests.conftest import make_job
+
+    cluster = Cluster(
+        [Node(0, {"V100": 2, "K80": 1}), Node(1, {"P100": 3})],
+        comm=CommunicationModel.disabled(),
+    )
+    trace = Trace(
+        [
+            make_job(0, "resnet18", workers=1, epochs=2),
+            make_job(1, "cyclegan", workers=2, epochs=1),
+        ]
+    )
+    return simulate(cluster, trace, HadarScheduler(),
+                    checkpoint=NoOverheadCheckpoint())
+
+
+class TestDict:
+    def test_structure(self, result):
+        d = result_to_dict(result)
+        assert d["scheduler"] == "hadar"
+        assert d["cluster"]["gpus"] == 6
+        assert len(d["jobs"]) == 2
+        assert d["summary"]["jobs_completed"] == 2
+        assert not d["truncated"]
+
+    def test_job_records_consistent(self, result):
+        d = result_to_dict(result)
+        for record in d["jobs"]:
+            assert record["completed"]
+            assert record["jct_s"] == pytest.approx(
+                record["finish_time_s"] - record["arrival_time_s"]
+            )
+            assert record["first_start_s"] >= record["arrival_time_s"]
+
+    def test_summary_matches_metrics(self, result):
+        from repro.metrics.jct import jct_stats
+
+        d = result_to_dict(result)
+        assert d["summary"]["mean_jct_s"] == pytest.approx(jct_stats(result).mean)
+        assert d["summary"]["makespan_s"] == pytest.approx(result.makespan())
+
+    def test_json_serializable(self, result):
+        json.dumps(result_to_dict(result))
+
+
+class TestSave:
+    def test_save_and_load(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result_json(result, path)
+        loaded = json.loads(path.read_text())
+        assert loaded["scheduler"] == "hadar"
+        assert len(loaded["jobs"]) == 2

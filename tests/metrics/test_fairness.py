@@ -1,0 +1,81 @@
+"""Unit tests for finish-time fairness."""
+
+import pytest
+
+from repro.baselines.yarn import YarnCapacityScheduler
+from repro.metrics.fairness import finish_time_fairness, isolated_duration
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestIsolatedDuration:
+    def test_uses_best_type_and_share(self, small_cluster, matrix):
+        job = make_job(0, "resnet18", workers=4, epochs=1, iters_per_epoch=100)
+        # 9 GPUs / 3 sharers = 3-GPU slice < W=4 → 3 workers on V100 (16 it/s).
+        d = isolated_duration(job, small_cluster, matrix, num_sharers=3)
+        assert d == pytest.approx(100 / (3 * 16.0))
+
+    def test_share_floor_of_one(self, small_cluster, matrix):
+        job = make_job(0, "resnet18", workers=1, epochs=1, iters_per_epoch=160)
+        d = isolated_duration(job, small_cluster, matrix, num_sharers=1000)
+        assert d == pytest.approx(10.0)
+
+    def test_small_gang_keeps_its_size(self, small_cluster, matrix):
+        job = make_job(0, "resnet18", workers=1, epochs=1, iters_per_epoch=160)
+        # Slice bigger than the gang: the job still runs with W=1.
+        d = isolated_duration(job, small_cluster, matrix, num_sharers=2)
+        assert d == pytest.approx(10.0)
+
+    def test_validation(self, small_cluster, matrix):
+        with pytest.raises(ValueError):
+            isolated_duration(make_job(), small_cluster, matrix, num_sharers=0)
+
+
+class TestFTF:
+    def test_uncontended_run_close_to_isolated(self, no_comm_cluster, matrix):
+        """A lone job under a heterogeneity-aware scheduler has ρ ≈ 1."""
+        from repro.core import HadarScheduler
+
+        trace = Trace([make_job(0, "resnet18", workers=1, epochs=2)])
+        result = simulate(no_comm_cluster, trace, HadarScheduler(),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        ftf = finish_time_fairness(result, matrix)
+        assert ftf.count == 1
+        assert ftf.mean == pytest.approx(1.0, abs=0.05)
+
+    def test_het_blind_scheduler_pays_in_rho(self, no_comm_cluster, matrix):
+        """YARN places the same lone job on whatever is free (K80 here),
+        inflating its slowdown relative to the isolated best-type run."""
+        trace = Trace([make_job(0, "resnet18", workers=1, epochs=2)])
+        result = simulate(no_comm_cluster, trace, YarnCapacityScheduler(),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        ftf = finish_time_fairness(result, matrix)
+        assert ftf.mean > 2.0
+
+    def test_contention_raises_rho(self, no_comm_cluster, matrix):
+        jobs = [make_job(i, "resnet18", workers=4, epochs=10) for i in range(4)]
+        result = simulate(no_comm_cluster, Trace(jobs), YarnCapacityScheduler(),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        ftf = finish_time_fairness(result, matrix)
+        assert ftf.max > 1.0
+        assert ftf.mean <= ftf.max
+        assert ftf.median <= ftf.max
+
+    def test_empty(self, no_comm_cluster, matrix):
+        result = simulate(no_comm_cluster, Trace([]), YarnCapacityScheduler(),
+                          matrix=matrix)
+        ftf = finish_time_fairness(result, matrix)
+        assert ftf.count == 0
+
+    def test_explicit_sharers(self, no_comm_cluster, matrix):
+        trace = Trace([make_job(0, "resnet18", workers=1, epochs=2)])
+        result = simulate(no_comm_cluster, trace, YarnCapacityScheduler(),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        few = finish_time_fairness(result, matrix, num_sharers=1)
+        many = finish_time_fairness(result, matrix, num_sharers=100)
+        # More sharers → smaller isolated slice... but floored at the gang
+        # size here, so both equal; just check the API accepts the knob.
+        assert few.count == many.count == 1

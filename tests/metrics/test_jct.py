@@ -1,0 +1,85 @@
+"""Unit tests for JCT statistics and the Fig. 3 CDF."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.yarn import YarnCapacityScheduler
+from repro.metrics.jct import jct_cdf, jct_stats
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def result(no_comm_cluster, matrix):
+    trace = Trace(
+        [
+            make_job(0, "resnet18", workers=1, epochs=1),
+            make_job(1, "resnet18", workers=1, epochs=2),
+            make_job(2, "resnet18", workers=1, epochs=4),
+        ]
+    )
+    return simulate(no_comm_cluster, trace, YarnCapacityScheduler(),
+                    matrix=matrix, checkpoint=NoOverheadCheckpoint())
+
+
+class TestStats:
+    def test_basic_fields(self, result):
+        stats = jct_stats(result)
+        assert stats.count == 3
+        assert stats.min <= stats.median <= stats.max
+        assert stats.mean > 0
+        assert stats.mean_hours == pytest.approx(stats.mean / 3600.0)
+
+    def test_matches_raw_jcts(self, result):
+        stats = jct_stats(result)
+        jcts = np.asarray(result.jcts())
+        assert stats.mean == pytest.approx(jcts.mean())
+        assert stats.median == pytest.approx(np.median(jcts))
+        assert stats.p95 == pytest.approx(np.percentile(jcts, 95))
+
+    def test_zero_queuing_on_idle_cluster(self, result):
+        stats = jct_stats(result)
+        assert stats.mean_queuing_delay == pytest.approx(0.0)
+        assert stats.mean_total_waiting == pytest.approx(0.0)
+
+    def test_empty_result(self, no_comm_cluster, matrix):
+        empty = simulate(no_comm_cluster, Trace([]), YarnCapacityScheduler(),
+                         matrix=matrix)
+        stats = jct_stats(empty)
+        assert stats.count == 0
+        assert stats.mean == 0.0
+
+
+class TestCDF:
+    def test_monotone_and_bounded(self, result):
+        times, frac = jct_cdf(result, num_points=20)
+        assert len(times) == 20
+        assert np.all(np.diff(frac) >= 0)
+        assert frac[0] >= 0.0
+        assert frac[-1] == pytest.approx(1.0)
+
+    def test_counts_fraction_of_all_jobs(self, no_comm_cluster, matrix):
+        # A truncated run: one of two jobs never finishes.
+        class OnlyFirst(YarnCapacityScheduler):
+            def schedule(self, ctx):
+                target = super().schedule(ctx)
+                target.pop(1, None)
+                return target
+
+        trace = Trace(
+            [
+                make_job(0, "resnet18", workers=1, epochs=1),
+                make_job(1, "resnet18", workers=1, epochs=1),
+            ]
+        )
+        result = simulate(no_comm_cluster, trace, OnlyFirst(), matrix=matrix,
+                          max_time=7200.0)
+        _, frac = jct_cdf(result)
+        assert frac[-1] == pytest.approx(0.5)
+
+    def test_validation(self, result):
+        with pytest.raises(ValueError):
+            jct_cdf(result, num_points=1)

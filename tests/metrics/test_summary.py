@@ -1,0 +1,54 @@
+"""Unit tests for the comparison-table helper."""
+
+import math
+
+import pytest
+
+from repro.metrics.summary import ComparisonTable, ratio
+
+
+class TestRatio:
+    def test_improvement_factor(self):
+        assert ratio(10.0, 5.0) == pytest.approx(2.0)
+
+    def test_zero_improved(self):
+        assert ratio(10.0, 0.0) == math.inf
+        assert ratio(0.0, 0.0) == 1.0
+
+
+class TestTable:
+    @pytest.fixture
+    def table(self):
+        t = ComparisonTable(columns=["jct", "makespan"])
+        t.add_row("hadar", {"jct": 2.0, "makespan": 10.0})
+        t.add_row("gavel", {"jct": 4.0, "makespan": 15.0})
+        return t
+
+    def test_value(self, table):
+        assert table.value("hadar", "jct") == 2.0
+        with pytest.raises(KeyError):
+            table.value("nope", "jct")
+
+    def test_improvement(self, table):
+        assert table.improvement("jct", better="hadar", worse="gavel") == 2.0
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(ValueError, match="unknown columns"):
+            table.add_row("x", {"nope": 1.0})
+
+    def test_render_is_aligned_text(self, table):
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("scheduler")
+        assert "hadar" in text and "gavel" in text
+        # All lines equal width thanks to the ljust alignment.
+        assert len({len(line.rstrip()) <= len(lines[0]) for line in lines}) >= 1
+
+    def test_missing_cell_renders_nan(self):
+        t = ComparisonTable(columns=["a", "b"])
+        t.add_row("x", {"a": 1.0})
+        assert "nan" in t.render()
+
+    def test_empty_table_renders_headers(self):
+        t = ComparisonTable(columns=["a"])
+        assert "scheduler" in t.render()

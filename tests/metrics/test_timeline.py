@@ -1,0 +1,103 @@
+"""Unit tests for timeline views and the text Gantt."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.core import HadarScheduler
+from repro.metrics.timeline import job_intervals, render_gantt, type_occupancy
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.sim.progress import JobRuntime
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+@pytest.fixture(scope="module")
+def result():
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.node import Node
+    from repro.cluster.topology import CommunicationModel
+
+    cluster = Cluster(
+        [Node(0, {"V100": 2}), Node(1, {"K80": 2})],
+        comm=CommunicationModel.disabled(),
+    )
+    trace = Trace(
+        [
+            make_job(0, "resnet18", workers=2, epochs=4),
+            make_job(1, "resnet18", workers=2, epochs=2),
+        ]
+    )
+    return simulate(cluster, trace, HadarScheduler(),
+                    checkpoint=NoOverheadCheckpoint())
+
+
+class TestIntervals:
+    def test_intervals_cover_runtime(self, result):
+        for rt in result.runtimes.values():
+            intervals = job_intervals(rt)
+            assert intervals, "completed jobs must have run somewhere"
+            total = sum(end - start for start, end, _ in intervals)
+            # Held time ≥ active service time (pauses hold devices too).
+            assert total * rt.job.num_workers >= rt.attained_service - 1e-6
+
+    def test_intervals_ordered_and_disjoint(self, result):
+        for rt in result.runtimes.values():
+            intervals = job_intervals(rt)
+            for (s1, e1, _), (s2, e2, _) in zip(intervals, intervals[1:]):
+                assert e1 <= s2 + 1e-9
+                assert s1 < e1 and s2 < e2
+
+    def test_empty_history(self):
+        rt = JobRuntime(job=make_job())
+        assert job_intervals(rt) == []
+
+    def test_queued_stretch_skipped(self):
+        rt = JobRuntime(job=make_job())
+        alloc = Allocation.single(0, "V100", 1)
+        rt.record_placement(0.0, alloc)
+        rt.record_placement(100.0, Allocation({}))
+        rt.record_placement(200.0, alloc)
+        rt.finish_time = 300.0
+        intervals = job_intervals(rt)
+        assert [(s, e) for s, e, _ in intervals] == [(0.0, 100.0), (200.0, 300.0)]
+
+
+class TestGantt:
+    def test_renders_rows_per_job(self, result):
+        text = render_gantt(result, width=40)
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(result.runtimes)
+        assert all("|" in line for line in lines[1:])
+
+    def test_type_letters_present(self, result):
+        text = render_gantt(result, width=40)
+        # Both V100 and K80 were used somewhere in this contended run.
+        assert "V" in text or "*" in text
+
+    def test_max_jobs_truncates(self, result):
+        text = render_gantt(result, width=40, max_jobs=1)
+        assert "more jobs not shown" in text
+
+    def test_width_validation(self, result):
+        with pytest.raises(ValueError):
+            render_gantt(result, width=5)
+
+    def test_empty_run(self, no_comm_cluster):
+        from repro.baselines.yarn import YarnCapacityScheduler
+
+        empty = simulate(no_comm_cluster, Trace([]), YarnCapacityScheduler())
+        assert render_gantt(empty) == "(empty schedule)"
+
+
+class TestOccupancy:
+    def test_occupancy_bounded_by_capacity(self, result):
+        mid = result.makespan() / 2
+        v = type_occupancy(result, "V100", mid)
+        k = type_occupancy(result, "K80", mid)
+        assert 0 <= v <= 2
+        assert 0 <= k <= 2
+
+    def test_occupancy_zero_after_makespan(self, result):
+        assert type_occupancy(result, "V100", result.makespan() + 1.0) == 0

@@ -1,0 +1,57 @@
+"""Unit tests for the utilization summary."""
+
+import pytest
+
+from repro.baselines.yarn import YarnCapacityScheduler
+from repro.metrics.utilization import utilization_summary
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def full_then_drain(no_comm_cluster, matrix):
+    """One 9-GPU gang for 1 epoch, then one 1-GPU job twice as long."""
+    jobs = [
+        make_job(0, "resnet18", workers=9, epochs=4),
+        make_job(1, "resnet18", workers=1, epochs=8),
+    ]
+    return simulate(no_comm_cluster, Trace(jobs), YarnCapacityScheduler(),
+                    matrix=matrix, checkpoint=NoOverheadCheckpoint())
+
+
+class TestSummary:
+    def test_full_window(self, full_then_drain):
+        s = utilization_summary(full_then_drain)
+        assert 0.0 < s.overall < 1.0
+        assert s.horizon == pytest.approx(full_then_drain.makespan())
+        assert set(s.by_type) == {"K80", "P100", "V100"}
+
+    def test_quantile_window_shorter(self, full_then_drain):
+        full = utilization_summary(full_then_drain)
+        p50 = utilization_summary(full_then_drain, horizon_quantile=0.5)
+        assert p50.horizon < full.horizon
+        assert p50.overall >= full.overall  # tail was the idle part
+
+    def test_contended_mode(self, no_comm_cluster, matrix):
+        jobs = [
+            make_job(0, "resnet18", workers=9, epochs=4),
+            make_job(1, "resnet18", workers=9, epochs=4),
+        ]
+        result = simulate(no_comm_cluster, Trace(jobs), YarnCapacityScheduler(),
+                          matrix=matrix, checkpoint=NoOverheadCheckpoint())
+        s = utilization_summary(result, contended=True)
+        # While job 1 waited, all 9 GPUs ran job 0.
+        assert s.overall == pytest.approx(1.0)
+
+    def test_validation(self, full_then_drain):
+        with pytest.raises(ValueError):
+            utilization_summary(full_then_drain, horizon_quantile=0.0)
+
+    def test_empty_result(self, no_comm_cluster, matrix):
+        result = simulate(no_comm_cluster, Trace([]), YarnCapacityScheduler(),
+                          matrix=matrix)
+        s = utilization_summary(result)
+        assert s.overall == 0.0

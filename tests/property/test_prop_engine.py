@@ -1,0 +1,97 @@
+"""Property-based tests: end-to-end engine invariants under random
+workloads and random-but-valid scheduling decisions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.random_sched import RandomScheduler
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.topology import CommunicationModel
+from repro.sim.checkpoint import FixedDelayCheckpoint
+from repro.sim.engine import simulate
+from repro.workload.job import Job
+from repro.workload.models import model_spec
+from repro.workload.throughput import default_throughput_matrix
+from repro.workload.trace import Trace
+
+MODELS = ("resnet18", "cyclegan", "transformer", "a3c")
+
+
+@st.composite
+def traces(draw):
+    jobs = []
+    for job_id in range(draw(st.integers(1, 6))):
+        jobs.append(
+            Job(
+                job_id=job_id,
+                model=model_spec(draw(st.sampled_from(MODELS))),
+                arrival_time=draw(st.floats(0.0, 2000.0)),
+                num_workers=draw(st.sampled_from([1, 2, 4])),
+                epochs=draw(st.integers(1, 3)),
+                iters_per_epoch=draw(st.integers(50, 2000)),
+            )
+        )
+    return Trace(jobs)
+
+
+CLUSTER = Cluster(
+    [Node(0, {"V100": 2, "K80": 2}), Node(1, {"P100": 4})],
+    comm=CommunicationModel.disabled(),
+)
+MATRIX = default_throughput_matrix()
+
+
+@given(trace=traces(), seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_engine_invariants_under_random_scheduling(trace, seed):
+    result = simulate(
+        CLUSTER,
+        trace,
+        RandomScheduler(seed=seed),
+        matrix=MATRIX,
+        round_length=360.0,
+        checkpoint=FixedDelayCheckpoint(10.0),
+    )
+    assert result.all_completed
+    for rt in result.runtimes.values():
+        job = rt.job
+        # Work conservation: exactly E·N iterations were executed.
+        assert rt.iterations_done == pytest.approx(job.total_iterations, rel=1e-6)
+        # Causality: a_j ≤ first start ≤ finish.
+        assert rt.finish_time is not None and rt.first_start_time is not None
+        assert job.arrival_time <= rt.first_start_time <= rt.finish_time
+        # JCT lower bound: the job cannot beat its ideal gang speed.
+        ideal = job.total_iterations / (
+            job.num_workers * MATRIX.max_rate(job.model.name)
+        )
+        assert rt.completion_time >= ideal * (1 - 1e-9)
+        # Overheads and waiting are consistent with the timeline.
+        assert rt.waiting_seconds >= -1e-9
+        assert rt.overhead_seconds >= 10.0 * (rt.allocation_changes > 0) - 1e-9
+
+
+@given(trace=traces(), seed=st.integers(0, 100))
+@settings(max_examples=15, deadline=None)
+def test_busy_gpu_seconds_equals_sum_of_held_time(trace, seed):
+    """Telemetry integral == Σ per-job (held GPUs × held time).
+
+    Attained service excludes pause windows, so busy-time must be at
+    least the attained service and at most attained + overhead·W.
+    """
+    result = simulate(
+        CLUSTER,
+        trace,
+        RandomScheduler(seed=seed),
+        matrix=MATRIX,
+        round_length=360.0,
+        checkpoint=FixedDelayCheckpoint(10.0),
+    )
+    busy = result.telemetry.busy_gpu_seconds(0.0, result.end_time)
+    lo = sum(rt.attained_service for rt in result.runtimes.values())
+    hi = sum(
+        rt.attained_service + rt.overhead_seconds * rt.job.num_workers
+        for rt in result.runtimes.values()
+    )
+    assert lo - 1e-6 <= busy <= hi + 1e-6

@@ -1,0 +1,57 @@
+"""Property-based tests: the throughput estimator's EWMA behaviour."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import ThroughputEstimator
+
+
+@given(
+    observations=st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30),
+    smoothing=st.floats(0.05, 1.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_estimate_stays_within_observed_range(observations, smoothing):
+    """An EWMA never leaves the convex hull of its inputs."""
+    est = ThroughputEstimator(smoothing=smoothing)
+    for obs in observations:
+        est.observe("m", "V100", obs)
+    value = est.rate("m", "V100")
+    assert min(observations) - 1e-9 <= value <= max(observations) + 1e-9
+    assert est.observations("m", "V100") == len(observations)
+
+
+@given(true_rate=st.floats(0.1, 50.0), smoothing=st.floats(0.2, 1.0))
+@settings(max_examples=60, deadline=None)
+def test_constant_signal_converges_exactly(true_rate, smoothing):
+    est = ThroughputEstimator(smoothing=smoothing)
+    for _ in range(40):
+        est.observe("m", "K80", true_rate)
+    assert est.rate("m", "K80") == pytest.approx(true_rate, rel=1e-6)
+
+
+@given(
+    noisy=st.lists(st.floats(0.9, 1.1), min_size=20, max_size=60),
+)
+@settings(max_examples=40, deadline=None)
+def test_noise_is_smoothed_toward_the_band(noisy):
+    est = ThroughputEstimator(smoothing=0.3)
+    for obs in noisy:
+        est.observe("m", "P100", obs * 4.0)
+    assert est.rate("m", "P100") == pytest.approx(4.0, rel=0.15)
+
+
+@given(
+    models=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=20),
+    types=st.lists(st.sampled_from(["V100", "K80"]), min_size=1, max_size=20),
+)
+@settings(max_examples=40, deadline=None)
+def test_estimates_isolated_per_pair(models, types):
+    """Observations for one (model, type) never leak into another."""
+    est = ThroughputEstimator(optimistic_rate=99.0)
+    est.observe("a", "V100", 1.0)
+    for m, t in zip(models, types):
+        if (m, t) != ("a", "V100"):
+            est.observe(m, t, 7.0)
+    assert est.rate("a", "V100") == pytest.approx(1.0)

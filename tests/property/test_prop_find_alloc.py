@@ -1,0 +1,117 @@
+"""Property-based tests: FIND_ALLOC and DP_allocation invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.topology import CommunicationModel
+from repro.core.dp import DPAllocator, DPConfig
+from repro.core.find_alloc import find_alloc
+from repro.core.pricing import PriceBook
+from repro.core.utility import NormalizedThroughputUtility
+from repro.sim.progress import JobRuntime, JobState
+from repro.workload.models import model_spec
+from repro.workload.job import Job
+from repro.workload.throughput import default_throughput_matrix
+
+MATRIX = default_throughput_matrix()
+UTILITY = NormalizedThroughputUtility()
+NO_DELAY = lambda rt, alloc: 0.0  # noqa: E731
+
+CLUSTER = Cluster(
+    [
+        Node(0, {"V100": 2, "K80": 2}),
+        Node(1, {"P100": 3}),
+        Node(2, {"V100": 2, "P100": 1}),
+    ],
+    comm=CommunicationModel.disabled(),
+)
+MODELS = ("resnet18", "resnet50", "cyclegan", "transformer", "a3c")
+
+
+@st.composite
+def queues(draw):
+    n = draw(st.integers(1, 6))
+    out = []
+    for i in range(n):
+        job = Job(
+            job_id=i,
+            model=model_spec(draw(st.sampled_from(MODELS))),
+            arrival_time=0.0,
+            num_workers=draw(st.sampled_from([1, 2, 4])),
+            epochs=draw(st.integers(1, 5)),
+            iters_per_epoch=draw(st.integers(100, 3000)),
+        )
+        rt = JobRuntime(job=job)
+        rt.state = JobState.QUEUED
+        out.append(rt)
+    return out
+
+
+def prices_for(queue):
+    return PriceBook.calibrate(
+        queue, MATRIX, UTILITY, CLUSTER.fresh_state(), 0.0
+    )
+
+
+@given(queue=queues(), occupied=st.integers(0, 5))
+@settings(max_examples=50, deadline=None)
+def test_find_alloc_invariants(queue, occupied):
+    """FIND_ALLOC: exact gang size, fits free capacity, positive payoff."""
+    state = CLUSTER.fresh_state()
+    # Occupy a few V100s to vary the search space.
+    take = min(occupied, 2)
+    if take:
+        state.allocate(Allocation({(0, "V100"): take}))
+    prices = prices_for(queue)
+    rt = queue[0]
+    cand = find_alloc(
+        rt, state, prices, MATRIX, CLUSTER, UTILITY, 0.0, NO_DELAY
+    )
+    if cand is None:
+        return
+    assert cand.allocation.total_workers == rt.job.num_workers
+    assert state.can_fit(cand.allocation)
+    assert cand.payoff > 0
+    assert cand.rate > 0
+    assert cand.utility == pytest.approx(cand.payoff + cand.cost)
+
+
+@given(queue=queues())
+@settings(max_examples=40, deadline=None)
+def test_dp_plan_always_feasible(queue):
+    """The DP's chosen plan fits capacity jointly and honours gangs."""
+    prices = prices_for(queue)
+    allocator = DPAllocator(
+        prices=prices, matrix=MATRIX, cluster=CLUSTER, utility=UTILITY,
+        now=0.0, delay_estimator=NO_DELAY, config=DPConfig(queue_limit=6),
+    )
+    state = CLUSTER.fresh_state()
+    chosen = allocator.allocate(list(queue), state)
+    probe = CLUSTER.fresh_state()
+    for job_id, cand in chosen.items():
+        rt = next(r for r in queue if r.job_id == job_id)
+        assert cand.allocation.total_workers == rt.job.num_workers
+        probe.allocate(cand.allocation)  # raises if jointly infeasible
+    assert probe.key() == state.key()
+
+
+@given(queue=queues())
+@settings(max_examples=25, deadline=None)
+def test_exact_dp_payoff_dominates_greedy(queue):
+    prices = prices_for(queue)
+
+    def total_payoff(config):
+        allocator = DPAllocator(
+            prices=prices, matrix=MATRIX, cluster=CLUSTER, utility=UTILITY,
+            now=0.0, delay_estimator=NO_DELAY, config=config,
+        )
+        chosen = allocator.allocate(list(queue), CLUSTER.fresh_state())
+        return sum(c.payoff for c in chosen.values())
+
+    exact = total_payoff(DPConfig(queue_limit=8))
+    greedy = total_payoff(DPConfig(queue_limit=0))
+    assert exact >= greedy - 1e-9

@@ -1,0 +1,78 @@
+"""Property-based tests: the MSR-format loader's preprocessing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.msr import rows_to_trace
+from repro.workload.throughput import default_throughput_matrix
+
+MATRIX = default_throughput_matrix()
+
+
+@st.composite
+def msr_rows(draw):
+    n = draw(st.integers(0, 20))
+    rows = []
+    for i in range(n):
+        rows.append(
+            {
+                "jobid": f"j{i}",
+                "submitted_time": draw(st.floats(0.0, 1e7)),
+                "num_gpus": draw(st.integers(0, 64)),
+                "runtime_s": draw(st.floats(0.0, 4e5)),
+            }
+        )
+    return rows
+
+
+@given(rows=msr_rows(), seed=st.integers(0, 100))
+@settings(max_examples=50, deadline=None)
+def test_loader_invariants(rows, seed):
+    trace = rows_to_trace(rows, seed=seed, max_workers=16)
+    valid = [r for r in rows if r["num_gpus"] >= 1 and r["runtime_s"] > 0]
+    assert len(trace) == len(valid)
+    if not valid:
+        return
+    # Arrivals re-based to zero and ordered.
+    arrivals = [j.arrival_time for j in trace]
+    assert min(arrivals) == pytest.approx(0.0)
+    assert arrivals == sorted(arrivals)
+    for job in trace:
+        assert 1 <= job.num_workers <= 16
+        assert job.epochs >= 1
+
+
+@given(rows=msr_rows(), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_loader_deterministic(rows, seed):
+    assert list(rows_to_trace(rows, seed=seed)) == list(rows_to_trace(rows, seed=seed))
+
+
+@given(
+    gpus=st.integers(1, 16),
+    runtime_h=st.floats(0.2, 40.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_gpu_hours_approximately_preserved(gpus, runtime_h):
+    """The converted job carries the recorded GPU-hours (± epoch rounding)."""
+    rows = [
+        {
+            "jobid": "x",
+            "submitted_time": 0.0,
+            "num_gpus": gpus,
+            "runtime_s": runtime_h * 3600.0,
+        }
+    ]
+    trace = rows_to_trace(rows, seed=0)
+    job = trace[0]
+    recorded = gpus * runtime_h
+    measured = job.total_iterations / (
+        3600.0 * MATRIX.rate(job.model.name, "V100")
+    )
+    # Epoch rounding bounds the error by half an epoch's worth of work
+    # (plus the one-epoch floor for tiny jobs).
+    epoch_hours = job.iters_per_epoch / (
+        3600.0 * MATRIX.rate(job.model.name, "V100")
+    )
+    assert abs(measured - recorded) <= max(0.5 * epoch_hours + 1e-6, epoch_hours - recorded)

@@ -1,0 +1,65 @@
+"""Property-based tests: gang packing helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.packing import pack_gang, pack_gang_single_type
+from repro.cluster.state import ClusterState
+
+TYPES = ("V100", "P100", "K80")
+
+
+@st.composite
+def states(draw):
+    caps = {}
+    for node in range(draw(st.integers(1, 5))):
+        for t in TYPES:
+            c = draw(st.integers(0, 4))
+            if c:
+                caps[(node, t)] = c
+    if not caps:
+        caps[(0, "V100")] = 2
+    return ClusterState(caps)
+
+
+@given(state=states(), workers=st.integers(1, 12))
+@settings(max_examples=80, deadline=None)
+def test_pack_gang_exact_or_none(state, workers):
+    """pack_gang returns exactly `workers` devices within free capacity,
+    and returns None only when the free total genuinely falls short."""
+    total_free = state.total_free()
+    gang = pack_gang(state, workers)
+    if gang is None:
+        assert total_free < workers
+    else:
+        assert gang.total_workers == workers
+        assert state.can_fit(gang)
+
+
+@given(state=states(), workers=st.integers(1, 12))
+@settings(max_examples=80, deadline=None)
+def test_pack_single_type_exact_or_none(state, workers):
+    for t in TYPES:
+        gang = pack_gang_single_type(state, workers, t)
+        free_of_type = state.free_by_type().get(t, 0)
+        if gang is None:
+            assert free_of_type < workers
+        else:
+            assert gang.total_workers == workers
+            assert gang.gpu_types == {t}
+            assert state.can_fit(gang)
+
+
+@given(state=states(), workers=st.integers(1, 12))
+@settings(max_examples=60, deadline=None)
+def test_pack_gang_minimizes_span_greedily(state, workers):
+    """The consolidation heuristic: if some single node could host the
+    whole gang, the packed gang is consolidated."""
+    gang = pack_gang(state, workers)
+    if gang is None:
+        return
+    per_node_free: dict[int, int] = {}
+    for (node, _), free in state.free_slots():
+        per_node_free[node] = per_node_free.get(node, 0) + free
+    if max(per_node_free.values(), default=0) >= workers:
+        assert gang.is_consolidated

@@ -1,0 +1,67 @@
+"""Property-based tests: the dual price function (Eq. 5)."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.state import ClusterState
+from repro.core.pricing import PriceBook
+
+bounds = st.tuples(
+    st.floats(1e-6, 1e6), st.floats(1e-6, 1e6)
+).map(lambda p: (min(p), max(p)))
+
+
+@given(b=bounds, capacity=st.integers(1, 16))
+@settings(max_examples=80, deadline=None)
+def test_price_monotone_and_bounded(b, capacity):
+    lo, hi = b
+    assume(hi >= lo)
+    book = PriceBook(u_min={"V100": lo}, u_max={"V100": hi}, eta=1.0)
+    state = ClusterState({(0, "V100"): capacity})
+    prices = []
+    for _ in range(capacity + 1):
+        prices.append(book.price(0, "V100", state))
+        if state.free(0, "V100"):
+            state.allocate(Allocation.single(0, "V100", 1))
+    # Bounds: k(0) = U_min, k(c) = U_max; monotone in between.
+    assert prices[0] == pytest.approx(lo)
+    assert prices[-1] == pytest.approx(hi)
+    assert all(a <= b_ * (1 + 1e-12) for a, b_ in zip(prices, prices[1:]))
+
+
+@given(b=bounds, capacity=st.integers(1, 16))
+@settings(max_examples=80, deadline=None)
+def test_alpha_formula(b, capacity):
+    lo, hi = b
+    book = PriceBook(u_min={"V100": lo}, u_max={"V100": hi}, eta=1.0)
+    expected = max(1.0, math.log(hi / lo)) if hi > lo > 0 else 1.0
+    assert book.alpha() == pytest.approx(expected)
+
+
+@given(
+    b=bounds,
+    capacity=st.integers(1, 8),
+    counts=st.lists(st.integers(1, 3), min_size=1, max_size=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_cost_of_is_linear_in_counts(b, capacity, counts):
+    """cost_of sums price × count over slots at the *pre-allocation* price."""
+    lo, hi = b
+    slots = {(i, "V100"): capacity for i in range(len(counts))}
+    book = PriceBook(
+        u_min={"V100": lo}, u_max={"V100": hi}, eta=1.0
+    )
+    state = ClusterState(slots)
+    alloc = Allocation(
+        {(i, "V100"): min(c, capacity) for i, c in enumerate(counts)}
+    )
+    expected = sum(
+        book.price(i, "V100", state) * min(c, capacity)
+        for i, c in enumerate(counts)
+    )
+    assert book.cost_of(alloc, state) == pytest.approx(expected)
+

@@ -1,0 +1,62 @@
+"""Property-based tests: the Gavel max-min solvers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.baselines.gavel.solver import (
+    min_scaled_throughput,
+    solve_max_min_lp,
+    water_filling_allocation,
+)
+
+
+@st.composite
+def instances(draw):
+    jobs = draw(st.integers(1, 5))
+    types = draw(st.integers(1, 4))
+    speeds = draw(
+        hnp.arrays(
+            float,
+            (jobs, types),
+            elements=st.floats(0.0, 1.0, allow_nan=False),
+        )
+    )
+    # Every job must run somewhere; pin its best column to 1.
+    for j in range(jobs):
+        speeds[j, draw(st.integers(0, types - 1))] = 1.0
+    workers = draw(
+        hnp.arrays(float, (jobs,), elements=st.sampled_from([1.0, 2.0, 4.0]))
+    )
+    capacity = draw(
+        hnp.arrays(float, (types,), elements=st.sampled_from([1.0, 2.0, 4.0, 8.0]))
+    )
+    return speeds, workers, capacity
+
+
+def check_feasible(y, speeds, workers, capacity):
+    assert np.all(y >= -1e-8)
+    assert np.all(y.sum(axis=1) <= 1.0 + 1e-6)
+    assert np.all((y * workers[:, None]).sum(axis=0) <= capacity + 1e-6)
+
+
+@given(inst=instances())
+@settings(max_examples=40, deadline=None)
+def test_lp_feasible_and_bounded(inst):
+    speeds, workers, capacity = inst
+    y = solve_max_min_lp(speeds, workers, capacity)
+    check_feasible(y, speeds, workers, capacity)
+    # Normalized throughput can never exceed 1 (full time on the best type).
+    assert min_scaled_throughput(y, speeds) <= 1.0 + 1e-6
+
+
+@given(inst=instances())
+@settings(max_examples=25, deadline=None)
+def test_water_filling_feasible_and_dominated_by_lp(inst):
+    speeds, workers, capacity = inst
+    y_wf = water_filling_allocation(speeds, workers, capacity, step=0.05)
+    check_feasible(y_wf, speeds, workers, capacity)
+    m_lp = min_scaled_throughput(solve_max_min_lp(speeds, workers, capacity), speeds)
+    m_wf = min_scaled_throughput(y_wf, speeds)
+    assert m_wf <= m_lp + 1e-6

@@ -1,0 +1,87 @@
+"""Property-based tests: ClusterState invariants under arbitrary
+allocate/release sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.allocation import Allocation
+from repro.cluster.state import ClusterState
+
+TYPES = ("V100", "P100", "K80")
+
+
+@st.composite
+def capacities(draw):
+    n_nodes = draw(st.integers(1, 4))
+    caps = {}
+    for node in range(n_nodes):
+        for t in TYPES:
+            c = draw(st.integers(0, 4))
+            if c:
+                caps[(node, t)] = c
+    if not caps:
+        caps[(0, "V100")] = 1
+    return caps
+
+
+@st.composite
+def sub_allocation(draw, free: dict):
+    """An allocation drawn within the currently-free capacity."""
+    picks = {}
+    for slot, avail in free.items():
+        if avail > 0 and draw(st.booleans()):
+            picks[slot] = draw(st.integers(1, avail))
+    return Allocation(picks)
+
+
+@given(caps=capacities(), data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_allocate_release_never_violates_bounds(caps, data):
+    """0 ≤ free ≤ capacity after any valid allocate/release interleaving."""
+    state = ClusterState(caps)
+    live: list[Allocation] = []
+    for _ in range(data.draw(st.integers(1, 10))):
+        do_alloc = data.draw(st.booleans()) or not live
+        if do_alloc:
+            free = {slot: state.free(*slot) for slot in caps}
+            alloc = data.draw(sub_allocation(free))
+            if alloc and state.can_fit(alloc):
+                state.allocate(alloc)
+                live.append(alloc)
+        elif live:
+            idx = data.draw(st.integers(0, len(live) - 1))
+            state.release(live.pop(idx))
+        for slot, cap in caps.items():
+            assert 0 <= state.free(*slot) <= cap
+    # Conservation: used equals what the live allocations hold.
+    held = sum(a.total_workers for a in live)
+    assert state.total_used() == held
+
+
+@given(caps=capacities(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_copy_isolation(caps, data):
+    state = ClusterState(caps)
+    free = {slot: state.free(*slot) for slot in caps}
+    alloc = data.draw(sub_allocation(free))
+    clone = state.copy()
+    if alloc and clone.can_fit(alloc):
+        clone.allocate(alloc)
+    assert state.total_used() == 0
+    assert state.key() == ClusterState(caps).key()
+
+
+@given(caps=capacities(), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_key_roundtrip(caps, data):
+    """key() is a faithful fingerprint: equal states ⇔ equal keys."""
+    a = ClusterState(caps)
+    b = ClusterState(caps)
+    free = {slot: a.free(*slot) for slot in caps}
+    alloc = data.draw(sub_allocation(free))
+    if alloc:
+        a.allocate(alloc)
+        assert a.key() != b.key()
+        b.allocate(alloc)
+    assert a.key() == b.key()
+    assert a == b

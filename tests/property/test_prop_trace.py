@@ -1,0 +1,74 @@
+"""Property-based tests: trace serialization and generator determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.job import Job
+from repro.workload.models import MODEL_ZOO, model_spec
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.trace import Trace
+
+
+@st.composite
+def jobs_strategy(draw):
+    n = draw(st.integers(0, 8))
+    return [
+        Job(
+            job_id=i,
+            model=model_spec(draw(st.sampled_from(sorted(MODEL_ZOO)))),
+            arrival_time=draw(st.floats(0.0, 1e6, allow_nan=False)),
+            num_workers=draw(st.integers(1, 16)),
+            epochs=draw(st.integers(1, 200)),
+            iters_per_epoch=draw(st.integers(1, 5000)),
+        )
+        for i in range(n)
+    ]
+
+
+@given(jobs=jobs_strategy())
+@settings(max_examples=40, deadline=None)
+def test_csv_roundtrip_exact(jobs, tmp_path_factory):
+    trace = Trace(jobs)
+    path = tmp_path_factory.mktemp("traces") / "t.csv"
+    trace.to_csv(path)
+    assert list(Trace.from_csv(path)) == list(trace)
+
+
+@given(jobs=jobs_strategy())
+@settings(max_examples=40, deadline=None)
+def test_jsonl_roundtrip_exact(jobs, tmp_path_factory):
+    trace = Trace(jobs)
+    path = tmp_path_factory.mktemp("traces") / "t.jsonl"
+    trace.to_jsonl(path)
+    assert list(Trace.from_jsonl(path)) == list(trace)
+
+
+@given(jobs=jobs_strategy())
+@settings(max_examples=40, deadline=None)
+def test_trace_always_arrival_sorted(jobs):
+    trace = Trace(jobs)
+    arrivals = [j.arrival_time for j in trace]
+    assert arrivals == sorted(arrivals)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    num_jobs=st.integers(0, 40),
+    pattern=st.sampled_from(["static", "continuous"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_philly_generator_fully_deterministic(seed, num_jobs, pattern):
+    cfg = PhillyTraceConfig(num_jobs=num_jobs, arrival_pattern=pattern, seed=seed)
+    assert list(generate_philly_trace(cfg)) == list(generate_philly_trace(cfg))
+
+
+@given(seed=st.integers(0, 1000), num_jobs=st.integers(1, 30))
+@settings(max_examples=30, deadline=None)
+def test_philly_jobs_within_bounds(seed, num_jobs):
+    cfg = PhillyTraceConfig(num_jobs=num_jobs, seed=seed)
+    for job in generate_philly_trace(cfg):
+        assert 1 <= job.num_workers <= cfg.max_workers
+        assert job.epochs >= 1
+        assert job.model.name in MODEL_ZOO
+        assert job.arrival_time == pytest.approx(0.0)

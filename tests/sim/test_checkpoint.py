@@ -1,0 +1,85 @@
+"""Unit tests for the checkpoint overhead models."""
+
+import pytest
+
+from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
+from repro.sim.checkpoint import (
+    FixedDelayCheckpoint,
+    ModelAwareCheckpoint,
+    NoOverheadCheckpoint,
+)
+
+from tests.conftest import make_job
+
+A = Allocation.single(0, "V100", 1)
+B = Allocation.single(1, "V100", 1)
+
+
+class TestNoOverhead:
+    def test_always_zero(self):
+        ck = NoOverheadCheckpoint()
+        job = make_job()
+        assert ck.reallocation_delay(job, A, B) == 0.0
+        assert ck.steady_state_overhead(job) == 0.0
+
+
+class TestFixedDelay:
+    def test_paper_default_is_10s(self):
+        assert FixedDelayCheckpoint().delay_s == 10.0
+
+    def test_charged_only_on_change(self):
+        ck = FixedDelayCheckpoint(10.0)
+        job = make_job()
+        assert ck.reallocation_delay(job, A, B) == 10.0
+        assert ck.reallocation_delay(job, EMPTY_ALLOCATION, A) == 10.0
+        assert ck.reallocation_delay(job, A, A) == 0.0
+        assert ck.steady_state_overhead(job) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedDelayCheckpoint(-1.0)
+
+
+class TestModelAware:
+    def test_fresh_start_skips_save(self):
+        ck = ModelAwareCheckpoint()
+        job = make_job(model="resnet50")
+        fresh = ck.reallocation_delay(job, EMPTY_ALLOCATION, A)
+        moved = ck.reallocation_delay(job, A, B)
+        # A fresh start loads + warms up but has nothing to save.
+        assert moved > fresh
+
+    def test_same_allocation_pays_save_only(self):
+        ck = ModelAwareCheckpoint()
+        job = make_job(model="resnet50")
+        assert ck.reallocation_delay(job, A, A) == pytest.approx(
+            ck.steady_state_overhead(job)
+        )
+
+    def test_bigger_checkpoint_costs_more(self):
+        ck = ModelAwareCheckpoint()
+        lstm = make_job(model="lstm")  # largest checkpoint in the zoo
+        gan = make_job(model="cyclegan")
+        assert ck.steady_state_overhead(lstm) > ck.steady_state_overhead(gan)
+
+    def test_table4_resnet50_row(self):
+        """Table IV: ResNet-50 ≈ 2.1% with reallocation, 0.33% without."""
+        ck = ModelAwareCheckpoint()
+        job = make_job(model="resnet50")
+        with_realloc = ck.reallocation_delay(job, A, B) / 360.0
+        without = ck.steady_state_overhead(job) / 360.0
+        assert with_realloc == pytest.approx(0.021, abs=0.002)
+        assert without == pytest.approx(0.0033, abs=0.0005)
+
+    def test_table4_ordering(self):
+        """Table IV orders with-reallocation overheads: R50 > LSTM > R18 > T > GAN."""
+        ck = ModelAwareCheckpoint()
+        o = {
+            name: ck.reallocation_delay(make_job(model=name), A, B)
+            for name in ("resnet50", "resnet18", "lstm", "cyclegan", "transformer")
+        }
+        assert o["resnet50"] > o["lstm"] > o["resnet18"] > o["transformer"] > o["cyclegan"]
+
+    def test_bandwidth_validation(self):
+        with pytest.raises(ValueError):
+            ModelAwareCheckpoint(write_mib_s=0.0)

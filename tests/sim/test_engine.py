@@ -1,0 +1,286 @@
+"""Unit tests for the simulation engine.
+
+Uses small stub schedulers so every quantity is analytically checkable.
+"""
+
+import pytest
+
+from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.cluster.topology import CommunicationModel
+from repro.sim.checkpoint import FixedDelayCheckpoint, NoOverheadCheckpoint
+from repro.sim.engine import SchedulerProtocolError, simulate
+from repro.sim.interface import Scheduler
+from repro.workload.throughput import ThroughputMatrix
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+L = 360.0  # round length used throughout
+
+
+@pytest.fixture
+def cluster():
+    """Two nodes, 2 V100 each, no communication cost."""
+    return Cluster(
+        [Node(0, {"V100": 2}), Node(1, {"V100": 2})],
+        comm=CommunicationModel.disabled(),
+    )
+
+
+@pytest.fixture
+def matrix():
+    # resnet18 at a round number for easy arithmetic: 1 iter/s per worker.
+    return ThroughputMatrix({"resnet18": {"V100": 1.0}, "cyclegan": {"V100": 1.0}})
+
+
+class GreedyFifo(Scheduler):
+    """Round-based: give every job (arrival order) V100s while they fit."""
+
+    round_based = True
+    reacts_to_events = False
+
+    @property
+    def name(self):
+        return "greedy-fifo"
+
+    def schedule(self, ctx):
+        state = ctx.fresh_state()
+        target = {}
+        for rt in ctx.active:
+            picks = []
+            need = rt.job.num_workers
+            for (node, t), free in state.free_slots():
+                take = min(free, need)
+                picks.append((node, t, take))
+                need -= take
+                if need == 0:
+                    break
+            if need == 0:
+                alloc = Allocation.from_pairs(picks)
+                state.allocate(alloc)
+                target[rt.job_id] = alloc
+        return target
+
+
+class TestBasicCompletion:
+    def test_single_job_exact_finish(self, cluster, matrix):
+        # 720 iterations at 1 it/s × 2 workers → 360 s.
+        job = make_job(0, "resnet18", workers=2, epochs=1, iters_per_epoch=720)
+        result = simulate(
+            cluster, Trace([job]), GreedyFifo(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        rt = result.runtimes[0]
+        assert rt.finish_time == pytest.approx(360.0)
+        assert result.jcts() == [pytest.approx(360.0)]
+        assert result.makespan() == pytest.approx(360.0)
+        assert result.all_completed
+
+    def test_checkpoint_delay_shifts_finish(self, cluster, matrix):
+        job = make_job(0, "resnet18", workers=2, epochs=1, iters_per_epoch=720)
+        result = simulate(
+            cluster, Trace([job]), GreedyFifo(), matrix=matrix,
+            round_length=L, checkpoint=FixedDelayCheckpoint(10.0),
+        )
+        assert result.runtimes[0].finish_time == pytest.approx(370.0)
+        assert result.runtimes[0].overhead_seconds == pytest.approx(10.0)
+
+    def test_mid_round_arrival_waits_for_boundary(self, cluster, matrix):
+        # Arrives at t=100; the round-based scheduler only acts at t=360.
+        job = make_job(0, "resnet18", arrival=100.0, workers=1, epochs=1,
+                       iters_per_epoch=360)
+        result = simulate(
+            cluster, Trace([job]), GreedyFifo(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        rt = result.runtimes[0]
+        assert rt.first_start_time == pytest.approx(360.0)
+        assert rt.finish_time == pytest.approx(720.0)
+        assert rt.queuing_delay == pytest.approx(260.0)
+        assert rt.waiting_seconds == pytest.approx(260.0)
+
+    def test_far_future_arrival_skips_idle_rounds(self, cluster, matrix):
+        early = make_job(0, "resnet18", workers=1, epochs=1, iters_per_epoch=360)
+        late = make_job(1, "resnet18", arrival=50 * L, workers=1, epochs=1,
+                        iters_per_epoch=360)
+        result = simulate(
+            cluster, Trace([early, late]), GreedyFifo(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        assert result.runtimes[1].finish_time == pytest.approx(51 * L)
+        # No scheduler invocations during the idle gap: at most a handful.
+        assert result.scheduling_invocations < 10
+
+
+class TestContention:
+    def test_two_jobs_share_then_queue(self, cluster, matrix):
+        # Each wants 4 GPUs = the whole cluster: strictly sequential.
+        jobs = [
+            make_job(0, "resnet18", workers=4, epochs=1, iters_per_epoch=1440),
+            make_job(1, "resnet18", workers=4, epochs=1, iters_per_epoch=1440),
+        ]
+        result = simulate(
+            cluster, Trace(jobs), GreedyFifo(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        f0 = result.runtimes[0].finish_time
+        f1 = result.runtimes[1].finish_time
+        assert f0 == pytest.approx(360.0)  # 1440 iters / (1×4)
+        # Job 1 starts at the boundary where job 0's devices are free.
+        assert f1 == pytest.approx(720.0)
+        assert result.runtimes[1].waiting_seconds == pytest.approx(360.0)
+
+    def test_preemption_counted(self, cluster, matrix):
+        class Flipper(GreedyFifo):
+            """Moves the job between nodes every round."""
+
+            def __init__(self):
+                self.flip = False
+
+            def schedule(self, ctx):
+                self.flip = not self.flip
+                node = 0 if self.flip else 1
+                return {
+                    rt.job_id: Allocation.single(node, "V100", rt.job.num_workers)
+                    for rt in ctx.active
+                }
+
+        job = make_job(0, "resnet18", workers=2, epochs=1, iters_per_epoch=1440)
+        result = simulate(
+            cluster, Trace([job]), Flipper(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        rt = result.runtimes[0]
+        assert rt.preemptions >= 1
+        assert rt.allocation_changes >= 2
+        assert result.rounds_with_change >= 2
+
+
+class TestProtocolEnforcement:
+    def _run(self, cluster, matrix, scheduler, workers=2):
+        job = make_job(0, "resnet18", workers=workers, epochs=1, iters_per_epoch=720)
+        return simulate(cluster, Trace([job]), scheduler, matrix=matrix,
+                        round_length=L)
+
+    def test_partial_gang_rejected(self, cluster, matrix):
+        class Bad(GreedyFifo):
+            def schedule(self, ctx):
+                return {0: Allocation.single(0, "V100", 1)}  # W=2 job
+
+        with pytest.raises(SchedulerProtocolError, match="requires 0 or 2"):
+            self._run(cluster, matrix, Bad())
+
+    def test_overcommit_rejected(self, cluster, matrix):
+        class Bad(GreedyFifo):
+            def schedule(self, ctx):
+                return {0: Allocation.single(0, "V100", 99)}
+
+        job = make_job(0, "resnet18", workers=99, epochs=1, iters_per_epoch=10)
+        with pytest.raises(ValueError):
+            # 99 workers exceeds total capacity → rejected at engine init.
+            simulate(cluster, Trace([job]), Bad(), matrix=matrix)
+
+    def test_capacity_violation_rejected(self, cluster, matrix):
+        class Bad(GreedyFifo):
+            def schedule(self, ctx):
+                # Both jobs on the same 2 GPUs.
+                return {
+                    rt.job_id: Allocation.single(0, "V100", 2) for rt in ctx.active
+                }
+
+        jobs = [
+            make_job(0, "resnet18", workers=2, epochs=1, iters_per_epoch=720),
+            make_job(1, "resnet18", workers=2, epochs=1, iters_per_epoch=720),
+        ]
+        with pytest.raises(SchedulerProtocolError, match="overcommit"):
+            simulate(cluster, Trace(jobs), Bad(), matrix=matrix, round_length=L)
+
+    def test_unknown_job_rejected(self, cluster, matrix):
+        class Bad(GreedyFifo):
+            def schedule(self, ctx):
+                return {42: Allocation.single(0, "V100", 2)}
+
+        with pytest.raises(SchedulerProtocolError, match="unknown job"):
+            self._run(cluster, matrix, Bad())
+
+    def test_pending_job_rejected(self, cluster, matrix):
+        class Bad(GreedyFifo):
+            def schedule(self, ctx):
+                return {1: Allocation.single(0, "V100", 1)}
+
+        jobs = [
+            make_job(0, "resnet18", workers=1, epochs=1, iters_per_epoch=720),
+            make_job(1, "resnet18", arrival=10 * L, workers=1, epochs=1,
+                     iters_per_epoch=720),
+        ]
+        with pytest.raises(SchedulerProtocolError, match="before its arrival"):
+            simulate(cluster, Trace(jobs), Bad(), matrix=matrix, round_length=L)
+
+
+class TestTruncation:
+    def test_max_time_truncates(self, cluster, matrix):
+        class Never(GreedyFifo):
+            def schedule(self, ctx):
+                return {}
+
+        job = make_job(0, "resnet18", workers=1, epochs=1, iters_per_epoch=100)
+        result = simulate(
+            cluster, Trace([job]), Never(), matrix=matrix,
+            round_length=L, max_time=10 * L,
+        )
+        assert result.truncated
+        assert not result.all_completed
+
+
+class TestEventDriven:
+    def test_yarn_style_immediate_admission(self, cluster, matrix):
+        class EventFifo(GreedyFifo):
+            round_based = False
+            reacts_to_events = True
+
+            def schedule(self, ctx):
+                target = {rt.job_id: rt.allocation for rt in ctx.running}
+                state = ctx.occupied_state()
+                for rt in ctx.waiting:
+                    alloc = Allocation.single(0, "V100", rt.job.num_workers)
+                    if state.can_fit(alloc):
+                        state.allocate(alloc)
+                        target[rt.job_id] = alloc
+                return target
+
+        # Arrives mid-round but starts immediately (no boundary wait).
+        job = make_job(0, "resnet18", arrival=100.0, workers=1, epochs=1,
+                       iters_per_epoch=360)
+        result = simulate(
+            cluster, Trace([job]), EventFifo(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        assert result.runtimes[0].first_start_time == pytest.approx(100.0)
+        assert result.runtimes[0].finish_time == pytest.approx(460.0)
+
+
+class TestTelemetryWiring:
+    def test_busy_series_reflects_allocations(self, cluster, matrix):
+        job = make_job(0, "resnet18", workers=4, epochs=1, iters_per_epoch=1440)
+        result = simulate(
+            cluster, Trace([job]), GreedyFifo(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        busy = result.telemetry.busy_gpu_seconds(0.0, result.makespan())
+        assert busy == pytest.approx(4 * 360.0)
+        assert result.gpu_utilization() == pytest.approx(1.0)
+
+    def test_queue_series_recorded(self, cluster, matrix):
+        jobs = [
+            make_job(0, "resnet18", workers=4, epochs=1, iters_per_epoch=1440),
+            make_job(1, "resnet18", workers=4, epochs=1, iters_per_epoch=1440),
+        ]
+        result = simulate(
+            cluster, Trace(jobs), GreedyFifo(), matrix=matrix,
+            round_length=L, checkpoint=NoOverheadCheckpoint(),
+        )
+        windows = result.telemetry.contended_windows(result.makespan())
+        # Job 1 waits during job 0's round.
+        assert windows and windows[0][0] == pytest.approx(0.0)

@@ -1,0 +1,62 @@
+"""Unit tests for the event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, payload=1)
+        q.push(1.0, EventKind.ARRIVAL, payload=2)
+        q.push(3.0, EventKind.ARRIVAL, payload=3)
+        assert [q.pop().payload for _ in range(3)] == [2, 3, 1]
+
+    def test_kind_breaks_time_ties(self):
+        """At one instant: completions, then arrivals, then the boundary."""
+        q = EventQueue()
+        q.push(2.0, EventKind.ROUND_BOUNDARY)
+        q.push(2.0, EventKind.ARRIVAL, payload=7)
+        q.push(2.0, EventKind.COMPLETION, payload=8)
+        kinds = [q.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.COMPLETION,
+            EventKind.ARRIVAL,
+            EventKind.ROUND_BOUNDARY,
+        ]
+
+    def test_fifo_within_same_time_and_kind(self):
+        q = EventQueue()
+        for payload in (10, 11, 12):
+            q.push(1.0, EventKind.ARRIVAL, payload=payload)
+        assert [q.pop().payload for _ in range(3)] == [10, 11, 12]
+
+
+class TestQueueBasics:
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(0.0, EventKind.ARRIVAL)
+        assert q and len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(4.2, EventKind.ARRIVAL)
+        assert q.peek_time() == 4.2
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.ARRIVAL)
+
+    def test_generation_carried(self):
+        q = EventQueue()
+        ev = q.push(1.0, EventKind.COMPLETION, payload=3, generation=9)
+        assert isinstance(ev, Event)
+        popped = q.pop()
+        assert popped.generation == 9 and popped.payload == 3

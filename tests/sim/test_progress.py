@@ -1,0 +1,93 @@
+"""Unit tests for JobRuntime progress integration."""
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.sim.progress import JobRuntime, JobState
+
+from tests.conftest import make_job
+
+
+def running_runtime(rate: float = 10.0, total_iters: int = 1000) -> JobRuntime:
+    rt = JobRuntime(job=make_job(epochs=1, iters_per_epoch=total_iters))
+    rt.state = JobState.RUNNING
+    rt.allocation = Allocation.single(0, "V100", 1)
+    rt.rate = rate
+    return rt
+
+
+class TestIntegration:
+    def test_constant_rate(self):
+        rt = running_runtime(rate=10.0)
+        rt.advance_to(5.0)
+        assert rt.iterations_done == pytest.approx(50.0)
+        assert rt.remaining_iterations == pytest.approx(950.0)
+
+    def test_pause_window_respected(self):
+        rt = running_runtime(rate=10.0)
+        rt.resume_time = 3.0
+        rt.advance_to(5.0)
+        assert rt.iterations_done == pytest.approx(20.0)  # only 2 s active
+
+    def test_progress_clamped_at_total(self):
+        rt = running_runtime(rate=10.0, total_iters=30)
+        rt.advance_to(100.0)
+        assert rt.iterations_done == 30.0
+        assert rt.is_done
+
+    def test_queued_job_accrues_waiting(self):
+        rt = JobRuntime(job=make_job())
+        rt.state = JobState.QUEUED
+        rt.advance_to(7.0)
+        assert rt.waiting_seconds == pytest.approx(7.0)
+        assert rt.iterations_done == 0.0
+
+    def test_attained_service_counts_gang(self):
+        rt = running_runtime(rate=1.0)
+        rt.allocation = Allocation.single(0, "V100", 4)
+        rt.advance_to(10.0)
+        assert rt.attained_service == pytest.approx(40.0)
+
+    def test_time_backwards_rejected(self):
+        rt = running_runtime()
+        rt.advance_to(5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            rt.advance_to(4.0)
+
+    def test_idempotent_at_same_time(self):
+        rt = running_runtime(rate=10.0)
+        rt.advance_to(5.0)
+        rt.advance_to(5.0)
+        assert rt.iterations_done == pytest.approx(50.0)
+
+
+class TestPrediction:
+    def test_predicted_completion(self):
+        rt = running_runtime(rate=10.0, total_iters=100)
+        assert rt.predicted_completion(0.0) == pytest.approx(10.0)
+
+    def test_prediction_accounts_for_pause(self):
+        rt = running_runtime(rate=10.0, total_iters=100)
+        rt.resume_time = 4.0
+        assert rt.predicted_completion(0.0) == pytest.approx(14.0)
+
+    def test_no_prediction_when_stalled(self):
+        rt = JobRuntime(job=make_job())
+        assert rt.predicted_completion(0.0) is None
+        rt.state = JobState.RUNNING
+        rt.rate = 0.0
+        assert rt.predicted_completion(0.0) is None
+
+
+class TestMetricViews:
+    def test_completion_time(self):
+        rt = JobRuntime(job=make_job(arrival=100.0))
+        assert rt.completion_time is None
+        rt.finish_time = 400.0
+        assert rt.completion_time == pytest.approx(300.0)
+
+    def test_queuing_delay(self):
+        rt = JobRuntime(job=make_job(arrival=50.0))
+        assert rt.queuing_delay is None
+        rt.first_start_time = 80.0
+        assert rt.queuing_delay == pytest.approx(30.0)

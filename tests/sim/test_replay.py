@@ -1,0 +1,81 @@
+"""Unit tests for decision recording and replay."""
+
+import pytest
+
+from repro.baselines.yarn import YarnCapacityScheduler
+from repro.core import HadarScheduler
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.sim.replay import (
+    RecordingScheduler,
+    ReplayScheduler,
+    load_decisions,
+    save_decisions,
+)
+
+
+class TestRecordReplay:
+    def test_replay_is_decision_identical(self, no_comm_cluster, matrix, philly_trace_small):
+        rec = RecordingScheduler(HadarScheduler())
+        original = simulate(no_comm_cluster, philly_trace_small, rec, matrix=matrix)
+        replay = simulate(
+            no_comm_cluster, philly_trace_small,
+            ReplayScheduler(rec.decisions), matrix=matrix,
+        )
+        assert replay.jcts() == original.jcts()
+        assert replay.makespan() == original.makespan()
+
+    def test_recording_preserves_contract(self):
+        rec = RecordingScheduler(YarnCapacityScheduler())
+        assert rec.round_based is False
+        assert rec.reacts_to_events is True
+        assert rec.name == "yarn-cs+recording"
+
+    def test_event_driven_replay(self, no_comm_cluster, matrix, tiny_trace):
+        rec = RecordingScheduler(YarnCapacityScheduler())
+        original = simulate(no_comm_cluster, tiny_trace, rec, matrix=matrix,
+                            checkpoint=NoOverheadCheckpoint())
+        replay = simulate(
+            no_comm_cluster, tiny_trace,
+            ReplayScheduler(rec.decisions, round_based=False, reacts_to_events=True),
+            matrix=matrix, checkpoint=NoOverheadCheckpoint(),
+        )
+        assert replay.jcts() == original.jcts()
+
+    def test_exhausted_replay_keeps_world(self, no_comm_cluster, matrix, tiny_trace):
+        """Running out of recorded decisions freezes placements instead of
+        crashing; the run is truncated but consistent."""
+        rec = RecordingScheduler(HadarScheduler())
+        simulate(no_comm_cluster, tiny_trace, rec, matrix=matrix)
+        # Replay only the first decision; everything after keeps state.
+        replay_sched = ReplayScheduler(rec.decisions[:1])
+        result = simulate(no_comm_cluster, tiny_trace, replay_sched, matrix=matrix)
+        assert replay_sched.exhausted
+        assert len(result.completed) >= 1  # the initially placed jobs finish
+
+    def test_reset_rewinds_cursor(self, no_comm_cluster, matrix, tiny_trace):
+        rec = RecordingScheduler(HadarScheduler())
+        simulate(no_comm_cluster, tiny_trace, rec, matrix=matrix)
+        replayer = ReplayScheduler(rec.decisions)
+        a = simulate(no_comm_cluster, tiny_trace, replayer, matrix=matrix)
+        b = simulate(no_comm_cluster, tiny_trace, replayer, matrix=matrix)
+        assert a.jcts() == b.jcts()
+
+    def test_recording_reset_clears(self):
+        rec = RecordingScheduler(HadarScheduler())
+        rec.decisions.append({})
+        rec.reset()
+        assert rec.decisions == []
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, no_comm_cluster, matrix, tiny_trace, tmp_path):
+        rec = RecordingScheduler(HadarScheduler())
+        original = simulate(no_comm_cluster, tiny_trace, rec, matrix=matrix)
+        path = tmp_path / "decisions.jsonl"
+        save_decisions(rec.decisions, path)
+        loaded = load_decisions(path)
+        assert loaded == rec.decisions
+        replay = simulate(no_comm_cluster, tiny_trace, ReplayScheduler(loaded),
+                          matrix=matrix)
+        assert replay.jcts() == original.jcts()

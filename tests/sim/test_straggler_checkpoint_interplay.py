@@ -1,0 +1,70 @@
+"""Regression tests for the straggler × checkpoint interplay.
+
+Straggler events validate against the *allocation epoch* rather than the
+completion generation: a `ModelAwareCheckpoint` bumps the generation on
+every round's steady-state save, which must NOT cancel pending straggler
+onsets — only actually moving the gang may.
+"""
+
+import pytest
+
+from repro.baselines.yarn import YarnCapacityScheduler
+from repro.core import HadarScheduler
+from repro.sim.checkpoint import ModelAwareCheckpoint
+from repro.sim.engine import simulate
+from repro.sim.stragglers import StragglerModel
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestInterplay:
+    def test_stragglers_fire_under_model_aware_checkpoints(
+        self, no_comm_cluster, matrix
+    ):
+        """Steady-state checkpoint saves (generation bumps every round)
+        must not starve the straggler machinery."""
+        trace = Trace([make_job(0, "lstm", workers=2, epochs=60)])
+        result = simulate(
+            no_comm_cluster, trace, YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=ModelAwareCheckpoint(),
+            stragglers=StragglerModel(incidence_per_hour=8.0, seed=4),
+        )
+        assert result.all_completed
+        assert result.runtimes[0].straggler_events >= 1
+
+    def test_migration_clears_slowdown(self, no_comm_cluster, matrix):
+        """After Hadar moves a straggling gang, the job runs at full rate
+        (fresh workers): its realized JCT beats staying degraded."""
+        trace = Trace([make_job(0, "resnet18", workers=2, epochs=150)])
+        model = StragglerModel(
+            incidence_per_hour=3.0, slowdown_factor=0.05,
+            duration_s=10 * 3600.0, seed=6,
+        )
+        migrating = simulate(
+            no_comm_cluster, trace, HadarScheduler(), matrix=matrix,
+            checkpoint=ModelAwareCheckpoint(), stragglers=model,
+        )
+        pinned = simulate(
+            no_comm_cluster, trace, YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=ModelAwareCheckpoint(), stragglers=model,
+        )
+        assert migrating.all_completed and pinned.all_completed
+        if pinned.runtimes[0].straggler_events:
+            assert migrating.jcts()[0] < pinned.jcts()[0]
+
+    def test_work_conserved_under_both_models(self, no_comm_cluster, matrix):
+        trace = Trace(
+            [make_job(i, "resnet18", workers=2, epochs=30) for i in range(3)]
+        )
+        result = simulate(
+            no_comm_cluster, trace, HadarScheduler(), matrix=matrix,
+            checkpoint=ModelAwareCheckpoint(),
+            stragglers=StragglerModel(incidence_per_hour=6.0, seed=8),
+        )
+        assert result.all_completed
+        for rt in result.runtimes.values():
+            assert rt.iterations_done == pytest.approx(
+                rt.job.total_iterations, rel=1e-6
+            )
+            assert 0.0 < rt.slowdown <= 1.0 or rt.finish_time is not None

@@ -1,0 +1,133 @@
+"""Unit and behavioural tests for straggler injection."""
+
+import pytest
+
+from repro.baselines.yarn import YarnCapacityScheduler
+from repro.core import HadarScheduler
+from repro.sim.checkpoint import NoOverheadCheckpoint
+from repro.sim.engine import simulate
+from repro.sim.stragglers import StragglerModel
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StragglerModel(incidence_per_hour=0.0)
+        with pytest.raises(ValueError):
+            StragglerModel(slowdown_factor=1.0)
+        with pytest.raises(ValueError):
+            StragglerModel(slowdown_factor=0.0)
+        with pytest.raises(ValueError):
+            StragglerModel(duration_s=0.0)
+
+    def test_onset_sampling_matches_rate(self):
+        model = StragglerModel(incidence_per_hour=2.0, seed=1)
+        rng = model.rng()
+        delays = [model.sample_onset_delay(rng) for _ in range(4000)]
+        mean = sum(delays) / len(delays)
+        assert mean == pytest.approx(1800.0, rel=0.1)
+
+    def test_rng_seeded(self):
+        model = StragglerModel(seed=7)
+        a = [model.sample_onset_delay(model.rng()) for _ in range(3)]
+        b = [model.sample_onset_delay(model.rng()) for _ in range(3)]
+        assert a == b
+
+
+class TestInjection:
+    def test_stragglers_slow_nonpreemptive_jobs(self, no_comm_cluster, matrix):
+        """Under YARN (never migrates) stragglers strictly lengthen JCTs."""
+        trace = Trace([make_job(0, "resnet18", workers=2, epochs=100)])
+        clean = simulate(
+            no_comm_cluster, trace, YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        faulty = simulate(
+            no_comm_cluster, trace, YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+            stragglers=StragglerModel(
+                incidence_per_hour=10.0, slowdown_factor=0.25, seed=2
+            ),
+        )
+        assert faulty.all_completed
+        rt = faulty.runtimes[0]
+        assert rt.straggler_events >= 1
+        assert faulty.jcts()[0] > clean.jcts()[0]
+        # Work is still conserved exactly.
+        assert rt.iterations_done == pytest.approx(
+            rt.job.total_iterations, rel=1e-6
+        )
+
+    def test_recovery_restores_rate(self, no_comm_cluster, matrix):
+        """A short-duration straggler costs bounded time: JCT grows by at
+        most (1/f − 1) × duration per onset."""
+        trace = Trace([make_job(0, "resnet18", workers=2, epochs=100)])
+        model = StragglerModel(
+            incidence_per_hour=4.0, slowdown_factor=0.5, duration_s=300.0, seed=3
+        )
+        clean = simulate(
+            no_comm_cluster, trace, YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(),
+        )
+        faulty = simulate(
+            no_comm_cluster, trace, YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(), stragglers=model,
+        )
+        rt = faulty.runtimes[0]
+        max_extra = rt.straggler_events * (1 / model.slowdown_factor - 1) * model.duration_s
+        assert faulty.jcts()[0] <= clean.jcts()[0] + max_extra + 1e-6
+
+    def test_deterministic_given_seed(self, no_comm_cluster, matrix, tiny_trace):
+        model = StragglerModel(incidence_per_hour=5.0, seed=11)
+        a = simulate(no_comm_cluster, tiny_trace, YarnCapacityScheduler(),
+                     matrix=matrix, stragglers=model)
+        b = simulate(no_comm_cluster, tiny_trace, YarnCapacityScheduler(),
+                     matrix=matrix, stragglers=model)
+        assert a.jcts() == b.jcts()
+
+
+class TestStragglerAwareness:
+    def test_hadar_migrates_away(self, no_comm_cluster, matrix):
+        """The paper's claim: Hadar reallocates straggling jobs.  With a
+        long-lived severe straggler and free capacity elsewhere, Hadar
+        must preempt and move the job."""
+        trace = Trace([make_job(0, "resnet18", workers=2, epochs=200)])
+        model = StragglerModel(
+            incidence_per_hour=6.0,
+            slowdown_factor=0.1,
+            duration_s=7200.0,
+            seed=5,
+        )
+        result = simulate(
+            no_comm_cluster, trace, HadarScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(), stragglers=model,
+        )
+        rt = result.runtimes[0]
+        assert result.all_completed
+        assert rt.straggler_events >= 1
+        # Migration happened: more than the initial placement.
+        assert rt.allocation_changes >= 2
+
+    def test_hadar_beats_nonmigrating_baseline_under_faults(
+        self, no_comm_cluster, matrix
+    ):
+        trace = Trace(
+            [make_job(i, "resnet18", workers=2, epochs=120) for i in range(3)]
+        )
+        model = StragglerModel(
+            incidence_per_hour=4.0, slowdown_factor=0.1, duration_s=7200.0, seed=9
+        )
+        hadar = simulate(
+            no_comm_cluster, trace, HadarScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(), stragglers=model,
+        )
+        yarn = simulate(
+            no_comm_cluster, trace, YarnCapacityScheduler(), matrix=matrix,
+            checkpoint=NoOverheadCheckpoint(), stragglers=model,
+        )
+        from repro.metrics.jct import jct_stats
+
+        assert jct_stats(hadar).mean < jct_stats(yarn).mean

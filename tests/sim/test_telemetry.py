@@ -1,0 +1,98 @@
+"""Unit tests for the utilization recorder."""
+
+import pytest
+
+from repro.sim.telemetry import UtilizationRecorder
+
+
+class TestRecording:
+    def test_compacts_unchanged_levels(self):
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 2})
+        rec.record(5.0, {"V100": 2})
+        assert len(rec.times) == 1
+
+    def test_same_instant_overwrites(self):
+        rec = UtilizationRecorder()
+        rec.record(1.0, {"V100": 2})
+        rec.record(1.0, {"V100": 4})
+        assert rec.used_total == [4]
+
+    def test_backwards_time_rejected(self):
+        rec = UtilizationRecorder()
+        rec.record(5.0, {"V100": 1})
+        with pytest.raises(ValueError, match="backwards"):
+            rec.record(4.0, {"V100": 1})
+
+
+class TestIntegrals:
+    def make(self):
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 4})  # [0, 10): 4 busy
+        rec.record(10.0, {"V100": 2})  # [10, 20): 2 busy
+        rec.record(20.0, {})  # [20, ∞): idle
+        return rec
+
+    def test_busy_gpu_seconds(self):
+        rec = self.make()
+        assert rec.busy_gpu_seconds(0.0, 20.0) == pytest.approx(60.0)
+        assert rec.busy_gpu_seconds(0.0, 30.0) == pytest.approx(60.0)
+        assert rec.busy_gpu_seconds(5.0, 15.0) == pytest.approx(30.0)
+
+    def test_average_utilization(self):
+        rec = self.make()
+        # 60 GPU-s over 20 s on a 4-GPU cluster → 75%.
+        assert rec.average_utilization(4, 0.0, 20.0) == pytest.approx(0.75)
+
+    def test_by_type(self):
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 2, "K80": 1})
+        rec.record(10.0, {"V100": 1})
+        busy = rec.busy_gpu_seconds_by_type(0.0, 20.0)
+        assert busy["V100"] == pytest.approx(30.0)
+        assert busy["K80"] == pytest.approx(10.0)
+        util = rec.utilization_by_type({"V100": 2, "K80": 2}, 0.0, 20.0)
+        assert util["V100"] == pytest.approx(0.75)
+        assert util["K80"] == pytest.approx(0.25)
+
+    def test_empty_recorder(self):
+        rec = UtilizationRecorder()
+        assert rec.busy_gpu_seconds(0.0, 10.0) == 0.0
+        assert rec.average_utilization(4, 0.0, 10.0) == 0.0
+
+    def test_validation(self):
+        rec = self.make()
+        with pytest.raises(ValueError):
+            rec.busy_gpu_seconds(10.0, 0.0)
+        with pytest.raises(ValueError):
+            rec.average_utilization(0, 0.0, 10.0)
+
+
+class TestQueueSeries:
+    def test_contended_windows(self):
+        rec = UtilizationRecorder()
+        rec.record_queue(0.0, 3)
+        rec.record_queue(10.0, 0)
+        rec.record_queue(25.0, 2)
+        rec.record_queue(30.0, 0)
+        assert rec.contended_windows(40.0) == [(0.0, 10.0), (25.0, 30.0)]
+
+    def test_contended_utilization(self):
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 4})
+        rec.record(10.0, {"V100": 1})
+        rec.record_queue(0.0, 5)
+        rec.record_queue(10.0, 0)
+        # Only [0, 10) is contended; it ran 4/4 GPUs.
+        assert rec.contended_utilization(4, 50.0) == pytest.approx(1.0)
+
+    def test_no_contention_returns_zero(self):
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 4})
+        rec.record_queue(0.0, 0)
+        assert rec.contended_utilization(4, 10.0) == 0.0
+
+    def test_queue_depth_validation(self):
+        rec = UtilizationRecorder()
+        with pytest.raises(ValueError):
+            rec.record_queue(0.0, -1)

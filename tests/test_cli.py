@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, make_cluster, make_scheduler
+
+
+class TestFactories:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("hadar", "hadar"),
+            ("hadar-makespan", "hadar"),
+            ("hadar-ftf", "hadar"),
+            ("gavel", "gavel"),
+            ("tiresias", "tiresias"),
+            ("yarn-cs", "yarn-cs"),
+            ("random", "random"),
+        ],
+    )
+    def test_make_scheduler(self, name, expected):
+        assert make_scheduler(name).name == expected
+
+    def test_profiling_wrapper(self):
+        assert make_scheduler("hadar", profiling=True).name == "hadar+profiling"
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(ValueError):
+            make_scheduler("slurm")
+
+    def test_make_cluster(self):
+        assert make_cluster("simulated").total_gpus == 60
+        assert make_cluster("prototype").total_gpus == 8
+        with pytest.raises(ValueError):
+            make_cluster("moon-base")
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.scheduler == "hadar"
+        assert args.round_min == 6.0
+
+
+class TestCommands:
+    def test_generate_trace_roundtrip(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        rc = main(["generate-trace", "--num-jobs", "5", "--out", str(out)])
+        assert rc == 0
+        from repro.workload.trace import Trace
+
+        assert len(Trace.from_csv(out)) == 5
+
+    def test_generate_trace_jsonl(self, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["generate-trace", "--num-jobs", "3", "--out", str(out)]) == 0
+        from repro.workload.trace import Trace
+
+        assert len(Trace.from_jsonl(out)) == 3
+
+    def test_simulate_from_trace_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.csv"
+        main(["generate-trace", "--num-jobs", "4", "--out", str(out)])
+        rc = main(
+            ["simulate", "--trace", str(out), "--scheduler", "yarn-cs"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "mean JCT" in captured
+        assert "yarn-cs" in captured
+
+    def test_simulate_with_stragglers_and_profiling(self, capsys):
+        rc = main(
+            [
+                "simulate", "--num-jobs", "4", "--seed", "2",
+                "--scheduler", "hadar", "--profiling",
+                "--straggler-rate", "2.0",
+            ]
+        )
+        assert rc == 0
+        assert "hadar+profiling" in capsys.readouterr().out
+
+    def test_compare(self, capsys):
+        rc = main(
+            [
+                "compare", "--num-jobs", "6", "--seed", "3",
+                "--schedulers", "yarn-cs,random",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "yarn-cs" in out and "random" in out
+
+    def test_gantt(self, capsys):
+        rc = main(["gantt", "--num-jobs", "4", "--seed", "5", "--width", "30"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "|" in out and "min/char" in out
+
+    def test_analyze(self, capsys):
+        rc = main(["analyze", "--num-jobs", "8", "--seed", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "offered load" in out and "by category" in out
+
+    def test_simulate_json_export(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        rc = main(
+            ["simulate", "--num-jobs", "3", "--seed", "1",
+             "--scheduler", "random", "--json", str(out)]
+        )
+        assert rc == 0
+        import json
+
+        assert json.loads(out.read_text())["scheduler"] == "random"
+
+    def test_motivation(self, capsys):
+        assert main(["motivation"]) == 0
+        out = capsys.readouterr().out
+        assert "hadar" in out and "improvement" in out

@@ -1,0 +1,77 @@
+"""Tests for the empirical primal-dual audit (Lemmas 1-2)."""
+
+import pytest
+
+from repro.core import HadarConfig, HadarScheduler
+from repro.core.scheduler import RoundAudit
+from repro.sim.engine import simulate
+from repro.theory.audit import summarize_audit, verify_increments
+
+from tests.conftest import make_job
+from repro.workload.trace import Trace
+
+
+class TestVerify:
+    def test_good_record_passes(self):
+        good = [RoundAudit(0.0, 10.0, 15.0, 2.0, 3, 5.0, 5.0)]
+        assert verify_increments(good)  # 10 ≥ 15/2
+
+    def test_bad_record_fails(self):
+        bad = [RoundAudit(0.0, 5.0, 15.0, 2.0, 3, 5.0, 5.0)]
+        assert not verify_increments(bad)  # 5 < 7.5
+
+    def test_empty_passes(self):
+        assert verify_increments([])
+
+
+class TestSummary:
+    def test_empty(self):
+        s = summarize_audit([])
+        assert s.rounds == 0
+        assert s.empirical_competitive_slack == float("inf")
+
+    def test_aggregation(self):
+        audit = [
+            RoundAudit(0.0, 10.0, 12.0, 2.0, 2, 4.0, 6.0),
+            RoundAudit(360.0, 0.0, 0.0, 2.0, 0, 0.0, 0.0),
+        ]
+        s = summarize_audit(audit)
+        assert s.rounds == 2
+        assert s.rounds_with_admissions == 1
+        assert s.total_primal == 10.0
+        assert s.worst_ratio == pytest.approx(10.0 / 6.0)
+
+
+class TestLiveRuns:
+    @pytest.mark.parametrize("workers", [(1, 1, 1), (4, 4, 2)])
+    def test_increment_condition_holds_live(
+        self, no_comm_cluster, matrix, workers
+    ):
+        """Lemma 2's inequality holds on every round of real runs."""
+        trace = Trace(
+            [
+                make_job(i, model, workers=w, epochs=3)
+                for i, (model, w) in enumerate(
+                    zip(("resnet18", "cyclegan", "transformer"), workers)
+                )
+            ]
+        )
+        scheduler = HadarScheduler(HadarConfig(record_audit=True))
+        result = simulate(no_comm_cluster, trace, scheduler, matrix=matrix)
+        assert result.all_completed
+        assert scheduler.audit, "audit must be recorded"
+        assert verify_increments(scheduler.audit)
+        summary = summarize_audit(scheduler.audit)
+        assert summary.worst_ratio >= 1.0 - 1e-6
+        assert summary.max_alpha >= 1.0
+
+    def test_audit_off_by_default(self, no_comm_cluster, matrix, tiny_trace):
+        scheduler = HadarScheduler()
+        simulate(no_comm_cluster, tiny_trace, scheduler, matrix=matrix)
+        assert scheduler.audit == []
+
+    def test_reset_clears_audit(self):
+        scheduler = HadarScheduler(HadarConfig(record_audit=True))
+        scheduler.audit.append(RoundAudit(0.0, 1.0, 1.0, 1.0, 1, 1.0, 0.0))
+        scheduler.reset()
+        assert scheduler.audit == []

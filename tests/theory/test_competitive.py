@@ -1,0 +1,95 @@
+"""Unit tests for the competitive-ratio toolkit (Theorem 2)."""
+
+import math
+
+import pytest
+
+from repro.core.pricing import PriceBook
+from repro.core.utility import NormalizedThroughputUtility
+from repro.sim.progress import JobRuntime, JobState
+from repro.theory.competitive import (
+    alpha_for_pricebook,
+    alpha_for_workload,
+    competitive_bound,
+)
+from repro.theory.validation import (
+    check_allocation_cost_relationship,
+    check_price_boundaries,
+    check_price_monotonicity,
+)
+
+from tests.conftest import make_job
+
+
+def queued(job):
+    rt = JobRuntime(job=job)
+    rt.state = JobState.QUEUED
+    return rt
+
+
+@pytest.fixture
+def book():
+    return PriceBook(
+        u_min={"V100": 1.0, "K80": 0.5},
+        u_max={"V100": math.e**2, "K80": 0.5 * math.e},
+        eta=1.0,
+    )
+
+
+class TestAlpha:
+    def test_alpha_is_max_log_ratio(self, book):
+        # V100 ratio e² → ln = 2; K80 ratio e → ln = 1; α = 2.
+        assert alpha_for_pricebook(book) == pytest.approx(2.0)
+
+    def test_alpha_floor_of_one(self):
+        flat = PriceBook(u_min={"V100": 1.0}, u_max={"V100": 1.0}, eta=1.0)
+        assert alpha_for_pricebook(flat) == 1.0
+
+    def test_alpha_for_workload(self, small_cluster, matrix):
+        jobs = [queued(make_job(i, "resnet18", workers=1)) for i in range(3)]
+        alpha = alpha_for_workload(
+            jobs, small_cluster, matrix, NormalizedThroughputUtility()
+        )
+        assert alpha >= 1.0
+        assert math.isfinite(alpha)
+
+    def test_bound_is_2alpha(self):
+        assert competitive_bound(1.0) == 2.0
+        assert competitive_bound(3.5) == 7.0
+        with pytest.raises(ValueError):
+            competitive_bound(0.5)
+        with pytest.raises(ValueError):
+            competitive_bound(float("inf"))
+
+
+class TestPriceValidation:
+    def test_boundaries(self, book):
+        assert check_price_boundaries(book, "V100", capacity=8)
+        assert check_price_boundaries(book, "K80", capacity=4)
+
+    def test_monotonicity(self, book):
+        assert check_price_monotonicity(book, "V100", capacity=8)
+
+    def test_allocation_cost_relationship(self, book):
+        """Lemma 3: the exponential price satisfies Definition 2."""
+        assert check_allocation_cost_relationship(book, "V100", capacity=8)
+        assert check_allocation_cost_relationship(book, "K80", capacity=4)
+
+    def test_degenerate_type_trivially_holds(self):
+        zero = PriceBook(u_min={"X": 0.0}, u_max={"X": 0.0}, eta=1.0)
+        assert check_price_boundaries(zero, "X", capacity=4)
+        assert check_allocation_cost_relationship(zero, "X", capacity=4)
+
+    def test_calibrated_book_passes_everything(self, small_cluster, matrix):
+        jobs = [
+            queued(make_job(0, "resnet18", workers=2, epochs=2)),
+            queued(make_job(1, "resnet50", workers=4, epochs=1)),
+        ]
+        book = PriceBook.calibrate(
+            jobs, matrix, NormalizedThroughputUtility(),
+            small_cluster.fresh_state(), 0.0,
+        )
+        for r in ("V100", "P100", "K80"):
+            assert check_price_boundaries(book, r, 4)
+            assert check_price_monotonicity(book, r, 4)
+            assert check_allocation_cost_relationship(book, r, 4)

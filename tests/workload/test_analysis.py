@@ -1,0 +1,81 @@
+"""Unit tests for the workload analysis utilities."""
+
+import pytest
+
+from repro.workload.analysis import offered_load, summarize_trace
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+class TestSummarize:
+    def test_empty_trace(self):
+        s = summarize_trace(Trace([]))
+        assert s.num_jobs == 0
+        assert s.total_gpu_hours == 0.0
+
+    def test_counts_by_category(self):
+        trace = Trace(
+            [
+                make_job(0, "resnet18"),  # S
+                make_job(1, "resnet50"),  # XL
+                make_job(2, "resnet50"),  # XL
+            ]
+        )
+        s = summarize_trace(trace)
+        assert s.jobs_by_category["S"] == 1
+        assert s.jobs_by_category["XL"] == 2
+        assert s.num_jobs == 3
+
+    def test_gpu_hours_from_reference_rate(self, matrix):
+        # resnet18 at 16 it/s on V100: 16×3600 iters = 1 GPU-hour.
+        job = make_job(0, "resnet18", workers=4, epochs=1, iters_per_epoch=16 * 3600)
+        s = summarize_trace(Trace([job]), matrix)
+        assert s.total_gpu_hours == pytest.approx(1.0)
+
+    def test_demand_histogram(self):
+        trace = Trace(
+            [
+                make_job(0, workers=1),
+                make_job(1, workers=1),
+                make_job(2, workers=4),
+            ]
+        )
+        s = summarize_trace(trace)
+        assert s.demand_histogram == {1: 2, 4: 1}
+        assert s.max_concurrent_demand == 6
+
+    def test_arrival_rate(self):
+        trace = Trace(
+            [make_job(i, arrival=i * 360.0) for i in range(11)]
+        )
+        s = summarize_trace(trace)
+        # 10 gaps of 360 s → 10 jobs/hour.
+        assert s.mean_arrival_rate_per_hour == pytest.approx(10.0)
+
+    def test_static_trace_rate_zero(self):
+        trace = generate_philly_trace(PhillyTraceConfig(num_jobs=5, seed=0))
+        assert summarize_trace(trace).mean_arrival_rate_per_hour == 0.0
+
+
+class TestOfferedLoad:
+    def test_static_trace_gives_drain_time(self, paper_cluster, matrix):
+        job = make_job(0, "resnet18", workers=1, epochs=1, iters_per_epoch=16 * 3600)
+        # 1 GPU-hour over 60 GPUs → 1/60 h ideal drain.
+        assert offered_load(Trace([job]), paper_cluster, matrix) == pytest.approx(1 / 60)
+
+    def test_continuous_trace_is_dimensionless(self, paper_cluster):
+        trace = generate_philly_trace(
+            PhillyTraceConfig(
+                num_jobs=40, arrival_pattern="continuous", jobs_per_hour=60, seed=1
+            )
+        )
+        load = offered_load(trace, paper_cluster)
+        assert load > 0.0
+
+    def test_empty_cluster_rejected(self, matrix):
+        from repro.cluster.cluster import Cluster
+
+        with pytest.raises(ValueError):
+            offered_load(Trace([make_job(0)]), Cluster([]), matrix)

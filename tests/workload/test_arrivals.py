@@ -1,0 +1,47 @@
+"""Unit tests for arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.workload.arrivals import poisson_arrivals, static_arrivals
+
+
+class TestStatic:
+    def test_all_zero(self):
+        arr = static_arrivals(5)
+        assert arr.shape == (5,)
+        assert np.all(arr == 0.0)
+
+    def test_empty(self):
+        assert static_arrivals(0).size == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            static_arrivals(-1)
+
+
+class TestPoisson:
+    def test_monotone_nondecreasing(self):
+        rng = np.random.default_rng(0)
+        arr = poisson_arrivals(100, 60.0, rng)
+        assert np.all(np.diff(arr) >= 0)
+        assert np.all(arr > 0)
+
+    def test_rate_matches_mean_gap(self):
+        rng = np.random.default_rng(1)
+        arr = poisson_arrivals(20000, 120.0, rng)
+        gaps = np.diff(np.concatenate([[0.0], arr]))
+        # λ = 120/h → mean gap 30 s.
+        assert gaps.mean() == pytest.approx(30.0, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = poisson_arrivals(10, 60.0, np.random.default_rng(42))
+        b = poisson_arrivals(10, 60.0, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, 0.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1, 60.0, rng)

@@ -1,0 +1,49 @@
+"""Unit tests for the S/M/L/XL buckets."""
+
+import pytest
+
+from repro.workload.categories import CATEGORIES, SizeCategory, category_for_gpu_hours
+
+
+class TestBuckets:
+    def test_paper_ranges(self):
+        assert CATEGORIES["S"].gpu_hours_hi == 1.0
+        assert CATEGORIES["M"].gpu_hours_hi == 10.0
+        assert CATEGORIES["L"].gpu_hours_hi == 50.0
+        assert CATEGORIES["XL"].gpu_hours_hi == 100.0
+
+    @pytest.mark.parametrize(
+        "hours,label",
+        [(0.5, "S"), (1.0, "S"), (1.1, "M"), (10.0, "M"), (25.0, "L"),
+         (50.0, "L"), (55.0, "XL"), (75.0, "XL"), (100.0, "XL")],
+    )
+    def test_bucketing(self, hours, label):
+        assert category_for_gpu_hours(hours).label == label
+
+    def test_above_range_clamps_to_xl(self):
+        assert category_for_gpu_hours(500.0).label == "XL"
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            category_for_gpu_hours(0.0)
+
+    def test_table2_model_assignment(self):
+        assert CATEGORIES["S"].models == ("resnet18",)
+        assert CATEGORIES["M"].models == ("cyclegan",)
+        assert set(CATEGORIES["L"].models) == {"lstm", "transformer"}
+        assert CATEGORIES["XL"].models == ("resnet50",)
+
+    def test_contains_boundaries(self):
+        cat = CATEGORIES["M"]
+        assert not cat.contains(1.0)  # lo is exclusive
+        assert cat.contains(10.0)  # hi is inclusive
+
+
+class TestValidation:
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            SizeCategory("X", 0.0, 1.0, ())
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            SizeCategory("X", 2.0, 1.0, ("resnet18",))

@@ -1,0 +1,61 @@
+"""Unit tests for Job."""
+
+import pytest
+
+from repro.workload.job import Job
+from repro.workload.models import model_spec
+from repro.workload.throughput import default_throughput_matrix
+
+from tests.conftest import make_job
+
+
+class TestAccounting:
+    def test_total_iterations(self):
+        job = make_job(epochs=3, iters_per_epoch=100)
+        assert job.total_iterations == 300
+
+    def test_min_max_duration(self, matrix):
+        job = make_job(model="resnet50", workers=2, epochs=1, iters_per_epoch=100)
+        # A100 is resnet50's best (3.6 it/s), K520 its worst (0.08 it/s).
+        assert job.min_duration(matrix) == pytest.approx(100 / (2 * 3.6))
+        assert job.max_duration(matrix) == pytest.approx(100 / (2 * 0.08))
+        assert job.min_duration(matrix) < job.max_duration(matrix)
+
+    def test_duration_on_type(self, matrix):
+        job = make_job(model="resnet50", workers=4, epochs=1, iters_per_epoch=80)
+        assert job.duration_on_type(matrix, "K80") == pytest.approx(80 / (4 * 0.2))
+        with pytest.raises(ValueError):
+            # resnet50 row has no "nonexistent" entry.
+            job.duration_on_type(matrix, "nonexistent")
+
+    def test_reference_gpu_hours(self, matrix):
+        job = make_job(model="resnet18", workers=2, epochs=1, iters_per_epoch=16 * 3600)
+        # 16·3600 iterations at 16 it/s × 2 workers → 1800 s → 1 GPU-hour.
+        assert job.reference_gpu_hours(matrix) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_fields(self):
+        spec = model_spec("resnet18")
+        with pytest.raises(ValueError):
+            Job(-1, spec, 0.0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            Job(0, spec, -1.0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            Job(0, spec, 0.0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            Job(0, spec, 0.0, 1, 0, 1)
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        job = make_job(3, "transformer", arrival=120.5, workers=4, epochs=7)
+        restored = Job.from_record(job.to_record())
+        assert restored == job
+
+    def test_with_arrival(self):
+        job = make_job(arrival=100.0)
+        moved = job.with_arrival(0.0)
+        assert moved.arrival_time == 0.0
+        assert moved.job_id == job.job_id
+        assert job.arrival_time == 100.0

@@ -1,0 +1,70 @@
+"""Unit tests for the model zoo."""
+
+import pytest
+
+from repro.workload.models import MODEL_ZOO, ModelSpec, model_spec
+
+
+class TestZoo:
+    def test_table2_models_present(self):
+        for name in ("resnet50", "resnet18", "lstm", "cyclegan", "transformer"):
+            assert name in MODEL_ZOO
+
+    def test_table2_size_categories(self):
+        assert model_spec("resnet50").size_category == "XL"
+        assert model_spec("resnet18").size_category == "S"
+        assert model_spec("lstm").size_category == "L"
+        assert model_spec("cyclegan").size_category == "M"
+        assert model_spec("transformer").size_category == "L"
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError, match="resnet50"):
+            model_spec("alexnet")
+
+    def test_model_bytes_from_params(self):
+        m = model_spec("resnet50")
+        assert m.model_bytes == pytest.approx(25.6e6 * 4.0)
+
+    def test_checkpoint_bytes_from_mib(self):
+        m = model_spec("lstm")
+        assert m.checkpoint_bytes == pytest.approx(3060.0 * 1024**2)
+
+    def test_lstm_checkpoint_largest(self):
+        # Table IV: LSTM has the largest save-only overhead → biggest ckpt.
+        lstm = model_spec("lstm").checkpoint_mib
+        assert all(
+            lstm >= m.checkpoint_mib for m in MODEL_ZOO.values()
+        )
+
+
+class TestValidation:
+    def _spec(self, **overrides):
+        base = dict(
+            name="x",
+            task="t",
+            dataset="d",
+            params_millions=1.0,
+            size_category="S",
+            iters_per_epoch=10,
+            checkpoint_mib=10.0,
+            restart_warmup_s=1.0,
+        )
+        base.update(overrides)
+        return ModelSpec(**base)
+
+    def test_valid(self):
+        assert self._spec().name == "x"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("params_millions", 0.0),
+            ("iters_per_epoch", 0),
+            ("size_category", "XXL"),
+            ("checkpoint_mib", 0.0),
+            ("restart_warmup_s", -1.0),
+        ],
+    )
+    def test_invalid(self, field, value):
+        with pytest.raises(ValueError):
+            self._spec(**{field: value})

@@ -1,0 +1,87 @@
+"""Unit tests for the MSR/Philly-format trace loader."""
+
+import pytest
+
+from repro.workload.msr import load_msr_trace, rows_to_trace
+
+
+def _row(jobid, submitted, gpus, runtime):
+    return {
+        "jobid": jobid,
+        "submitted_time": submitted,
+        "num_gpus": gpus,
+        "runtime_s": runtime,
+    }
+
+
+class TestRowsToTrace:
+    def test_basic_conversion(self):
+        rows = [
+            _row("a", 1000.0, 1, 1800.0),  # 0.5 GPU-h → S
+            _row("b", 1360.0, 4, 36000.0),  # 40 GPU-h → L
+        ]
+        trace = rows_to_trace(rows, seed=1)
+        assert len(trace) == 2
+        assert trace[0].arrival_time == 0.0  # re-based to the first arrival
+        assert trace[1].arrival_time == pytest.approx(360.0)
+        assert trace[0].model.size_category == "S"
+        assert trace[1].model.size_category == "L"
+
+    def test_gpu_hours_preserved(self, matrix):
+        rows = [_row("a", 0.0, 2, 7200.0)]  # 4 GPU-hours → M bucket
+        trace = rows_to_trace(rows, seed=0, matrix=matrix)
+        job = trace[0]
+        measured = job.total_iterations / (
+            3600.0 * matrix.rate(job.model.name, "V100")
+        )
+        assert measured == pytest.approx(4.0, rel=0.05)  # epoch rounding
+
+    def test_invalid_records_skipped(self):
+        rows = [
+            _row("dead", 0.0, 0, 100.0),
+            _row("instant", 0.0, 2, 0.0),
+            _row("ok", 50.0, 1, 3600.0),
+        ]
+        trace = rows_to_trace(rows)
+        assert len(trace) == 1
+
+    def test_workers_capped(self):
+        rows = [_row("big", 0.0, 128, 3600.0)]
+        trace = rows_to_trace(rows, max_workers=16)
+        assert trace[0].num_workers == 16
+
+    def test_deterministic_model_sampling(self):
+        rows = [_row(str(i), i * 10.0, 1, 50000.0) for i in range(10)]
+        a = rows_to_trace(rows, seed=4)
+        b = rows_to_trace(rows, seed=4)
+        assert list(a) == list(b)
+
+    def test_empty(self):
+        assert len(rows_to_trace([])) == 0
+
+
+class TestLoadCSV:
+    def test_load_roundtrip(self, tmp_path):
+        path = tmp_path / "philly.csv"
+        path.write_text(
+            "jobid,submitted_time,num_gpus,runtime_s,extra\n"
+            "j1,100,1,1800,ignored\n"
+            "j2,200,2,7200,ignored\n"
+            "j3,300,0,100,ignored\n"  # invalid: 0 GPUs
+        )
+        trace = load_msr_trace(path, seed=2)
+        assert len(trace) == 2
+
+    def test_max_jobs(self, tmp_path):
+        path = tmp_path / "philly.csv"
+        lines = ["jobid,submitted_time,num_gpus,runtime_s"]
+        lines += [f"j{i},{i * 100},1,3600" for i in range(10)]
+        path.write_text("\n".join(lines) + "\n")
+        trace = load_msr_trace(path, max_jobs=3)
+        assert len(trace) == 3
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("jobid,num_gpus\nj1,1\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            load_msr_trace(path)

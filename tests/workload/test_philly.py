@@ -1,0 +1,110 @@
+"""Unit tests for the synthetic Philly-style trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.throughput import default_throughput_matrix
+
+
+class TestConfigValidation:
+    def test_defaults_ok(self):
+        cfg = PhillyTraceConfig()
+        assert cfg.num_jobs == 480  # the paper's job count
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_jobs": -1},
+            {"arrival_pattern": "bursty"},
+            {"jobs_per_hour": 0.0},
+            {"max_workers": 0},
+            {"demand_pmf": {}},
+            {"demand_pmf": {1: -0.5}},
+            {"demand_pmf": {1: 0.0}},
+            {"category_weights": {"HUGE": 1.0}},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            PhillyTraceConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = PhillyTraceConfig(num_jobs=40, seed=5)
+        a = generate_philly_trace(cfg)
+        b = generate_philly_trace(cfg)
+        assert list(a) == list(b)
+
+    def test_seed_changes_trace(self):
+        a = generate_philly_trace(PhillyTraceConfig(num_jobs=40, seed=1))
+        b = generate_philly_trace(PhillyTraceConfig(num_jobs=40, seed=2))
+        assert list(a) != list(b)
+
+    def test_static_pattern(self):
+        trace = generate_philly_trace(PhillyTraceConfig(num_jobs=10, seed=0))
+        assert trace.is_static()
+
+    def test_continuous_pattern_monotone(self):
+        trace = generate_philly_trace(
+            PhillyTraceConfig(
+                num_jobs=30, arrival_pattern="continuous", jobs_per_hour=60, seed=0
+            )
+        )
+        arrivals = [j.arrival_time for j in trace]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0
+
+    def test_max_workers_respected(self):
+        trace = generate_philly_trace(
+            PhillyTraceConfig(num_jobs=100, seed=0, max_workers=2)
+        )
+        assert max(j.num_workers for j in trace) <= 2
+
+    def test_gpu_hours_match_categories(self):
+        """Generated work lands in the sampled category's GPU-hour range."""
+        from repro.workload.categories import CATEGORIES
+
+        matrix = default_throughput_matrix()
+        trace = generate_philly_trace(PhillyTraceConfig(num_jobs=60, seed=3))
+        for job in trace:
+            gpu_hours = job.total_iterations / (
+                3600.0 * matrix.rate(job.model.name, "V100")
+            )
+            cat = CATEGORIES[job.model.size_category]
+            # Epoch rounding can nudge a job slightly past a bucket edge.
+            assert 0.4 * cat.gpu_hours_lo <= gpu_hours <= 1.2 * cat.gpu_hours_hi, (
+                f"job {job.job_id} ({cat.label}) has {gpu_hours:.2f} GPU-h, "
+                f"outside ({cat.gpu_hours_lo}, {cat.gpu_hours_hi}]"
+            )
+
+    def test_demand_distribution_shape(self):
+        trace = generate_philly_trace(PhillyTraceConfig(num_jobs=2000, seed=0))
+        workers = np.array([j.num_workers for j in trace])
+        # Heavy single-GPU dominance, like the Philly analysis.
+        assert np.mean(workers == 1) > 0.5
+        assert set(np.unique(workers)) <= {1, 2, 4, 8, 16}
+
+    def test_category_weights(self):
+        trace = generate_philly_trace(
+            PhillyTraceConfig(
+                num_jobs=200,
+                seed=0,
+                category_weights={"S": 1.0, "M": 0.0, "L": 0.0, "XL": 0.0},
+            )
+        )
+        assert all(j.model.size_category == "S" for j in trace)
+
+    def test_zero_category_weights_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            generate_philly_trace(
+                PhillyTraceConfig(
+                    num_jobs=5,
+                    seed=0,
+                    category_weights={"S": 0.0},
+                )
+            )
+
+    def test_empty_trace(self):
+        assert len(generate_philly_trace(PhillyTraceConfig(num_jobs=0))) == 0

@@ -1,0 +1,102 @@
+"""Unit tests for the throughput matrix."""
+
+import numpy as np
+import pytest
+
+from repro.workload.throughput import (
+    DEFAULT_THROUGHPUTS,
+    ThroughputMatrix,
+    default_throughput_matrix,
+)
+
+
+@pytest.fixture
+def tiny():
+    return ThroughputMatrix(
+        {
+            "fast-model": {"V100": 10.0, "K80": 1.0},
+            "flat-model": {"V100": 4.0, "K80": 2.0},
+        }
+    )
+
+
+class TestLookups:
+    def test_rate(self, tiny):
+        assert tiny.rate("fast-model", "V100") == 10.0
+        assert tiny.rate("fast-model", "P100") == 0.0  # unknown pair
+        assert tiny.rate("nope", "V100") == 0.0
+
+    def test_supports(self, tiny):
+        assert tiny.supports("fast-model", "K80")
+        assert not tiny.supports("fast-model", "P100")
+
+    def test_best_and_worst(self, tiny):
+        assert tiny.best_type("fast-model") == "V100"
+        assert tiny.worst_type("fast-model") == "K80"
+        assert tiny.max_rate("flat-model") == 4.0
+        assert tiny.min_rate("flat-model") == 2.0
+
+    def test_best_with_candidates(self, tiny):
+        assert tiny.best_type("fast-model", candidates=["K80"]) == "K80"
+        with pytest.raises(ValueError):
+            tiny.best_type("fast-model", candidates=["P100"])
+
+    def test_speedup(self, tiny):
+        assert tiny.speedup("fast-model", "V100", "K80") == 10.0
+        with pytest.raises(ValueError):
+            tiny.speedup("fast-model", "V100", "P100")
+
+    def test_models_and_types_sorted(self, tiny):
+        assert tiny.models() == ("fast-model", "flat-model")
+        assert tiny.gpu_types() == ("K80", "V100")
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputMatrix({"m": {"V100": -1.0}})
+
+
+class TestDerivations:
+    def test_scaled(self, tiny):
+        doubled = tiny.scaled(2.0)
+        assert doubled.rate("fast-model", "V100") == 20.0
+        assert tiny.rate("fast-model", "V100") == 10.0  # original intact
+
+    def test_scaled_validates(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.scaled(0.0)
+
+    def test_restricted(self, tiny):
+        only_k80 = tiny.restricted(["K80"])
+        assert not only_k80.supports("fast-model", "V100")
+        assert only_k80.rate("fast-model", "K80") == 1.0
+
+    def test_with_model(self, tiny):
+        extended = tiny.with_model("new", {"V100": 7.0})
+        assert extended.rate("new", "V100") == 7.0
+        assert "new" not in tiny.rates
+
+    def test_as_array(self, tiny):
+        arr = tiny.as_array(["fast-model", "flat-model"], ["V100", "K80", "P100"])
+        assert arr.shape == (2, 3)
+        np.testing.assert_allclose(arr[0], [10.0, 1.0, 0.0])
+
+
+class TestDefaults:
+    def test_paper_speedup_shapes(self):
+        """The Gavel observations the paper quotes (Sec. I)."""
+        m = default_throughput_matrix()
+        # ResNet-50: ~10× V100 over K80.
+        assert m.speedup("resnet50", "V100", "K80") == pytest.approx(10.0, rel=0.05)
+        # A3C-style RL: only ~2×.
+        assert m.speedup("a3c", "V100", "K80") == pytest.approx(2.0, rel=0.05)
+
+    def test_all_zoo_models_on_paper_types(self):
+        m = default_throughput_matrix()
+        for model in DEFAULT_THROUGHPUTS:
+            for t in ("V100", "P100", "K80"):
+                assert m.supports(model, t), (model, t)
+
+    def test_v100_dominates_k80_everywhere(self):
+        m = default_throughput_matrix()
+        for model in DEFAULT_THROUGHPUTS:
+            assert m.rate(model, "V100") > m.rate(model, "K80")

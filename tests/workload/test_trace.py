@@ -1,0 +1,86 @@
+"""Unit tests for Trace containers and I/O."""
+
+import pytest
+
+from repro.workload.trace import Trace
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        [
+            make_job(0, "resnet18", arrival=10.0),
+            make_job(1, "cyclegan", arrival=0.0, workers=2),
+            make_job(2, "lstm", arrival=5.0),
+        ]
+    )
+
+
+class TestContainer:
+    def test_sorted_by_arrival(self, trace):
+        assert [j.job_id for j in trace] == [1, 2, 0]
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Trace([make_job(0), make_job(0, "lstm")])
+
+    def test_lookup(self, trace):
+        assert trace.job(2).model.name == "lstm"
+        with pytest.raises(KeyError):
+            trace.job(99)
+
+    def test_horizon(self, trace):
+        assert trace.horizon == 10.0
+        assert Trace([]).horizon == 0.0
+
+    def test_total_workers(self, trace):
+        assert trace.total_workers_requested == 4
+
+    def test_head(self, trace):
+        assert [j.job_id for j in trace.head(2)] == [1, 2]
+
+    def test_filtered(self, trace):
+        small = trace.filtered(lambda j: j.num_workers == 1)
+        assert len(small) == 2
+
+    def test_static_detection(self, trace):
+        assert not trace.is_static()
+        assert trace.as_static().is_static()
+
+    def test_shifted_to_zero(self):
+        t = Trace([make_job(0, arrival=100.0), make_job(1, arrival=150.0)])
+        shifted = t.shifted_to_zero()
+        assert [j.arrival_time for j in shifted] == [0.0, 50.0]
+
+    def test_concat(self, trace):
+        other = Trace([make_job(10, arrival=1.0)])
+        merged = Trace.concat([trace, other])
+        assert len(merged) == 4
+
+
+class TestIO:
+    def test_csv_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        restored = Trace.from_csv(path)
+        assert list(restored) == list(trace)
+
+    def test_jsonl_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        restored = Trace.from_jsonl(path)
+        assert list(restored) == list(trace)
+
+    def test_csv_missing_columns(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("job_id,model\n0,resnet18\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            Trace.from_csv(path)
+
+    def test_jsonl_skips_blank_lines(self, trace, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        trace.to_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(Trace.from_jsonl(path)) == len(trace)
