@@ -1,0 +1,49 @@
+"""Scheduler correctness analysis: static lint pass + runtime sanitizer.
+
+Two coordinated layers guard the invariants the reproduction's
+correctness rests on (see ``docs/analysis.md``):
+
+* :mod:`repro.analysis.lint` — a custom AST linter with
+  scheduler-specific rules (float equality on prices/payoffs, unseeded
+  randomness in deterministic paths, mutable defaults, unordered set
+  iteration feeding allocation decisions, swallowed exceptions).
+  Runnable as ``python -m repro.analysis.lint src/``.
+* :mod:`repro.analysis.sanitizer` — an opt-in
+  :class:`~repro.analysis.sanitizer.InvariantSanitizer` that checks,
+  every scheduling round, capacity conservation per (server, GPU-type),
+  gang completeness, dual-price bounds (Eqs. 5-8), positive admission
+  payoffs, and the Lemma-2 primal/dual increment relationship.
+
+Submodules are re-exported lazily so ``python -m repro.analysis.lint``
+does not import the module twice (once via the package, once as
+``__main__``).
+"""
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from repro.analysis.lint import Finding, lint_paths, lint_source
+    from repro.analysis.sanitizer import InvariantSanitizer, InvariantViolation
+
+__all__ = [
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "InvariantSanitizer",
+    "InvariantViolation",
+]
+
+_LINT_NAMES = {"Finding", "lint_paths", "lint_source"}
+_SANITIZER_NAMES = {"InvariantSanitizer", "InvariantViolation"}
+
+
+def __getattr__(name: str):
+    if name in _LINT_NAMES:
+        from repro.analysis import lint
+
+        return getattr(lint, name)
+    if name in _SANITIZER_NAMES:
+        from repro.analysis import sanitizer
+
+        return getattr(sanitizer, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

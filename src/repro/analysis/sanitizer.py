@@ -1,0 +1,357 @@
+"""Opt-in runtime invariant checking for simulation runs.
+
+The paper states the invariants in prose; the engine enforces a subset
+at decision boundaries.  :class:`InvariantSanitizer` re-derives all of
+them independently, every round, from first principles:
+
+* **capacity conservation** — per ``(server, GPU-type)`` slot,
+  ``0 ≤ free ≤ capacity`` and the devices claimed by running gangs
+  exactly account for ``capacity − free`` (constraint 1d);
+* **gang completeness** — every running job holds exactly ``W_j``
+  workers and every non-running job holds none (constraint 1e);
+* **price bounds** — every slot's dual price satisfies
+  ``U_min^r ≤ k_h^r(γ) ≤ U_max^r`` (Eqs. 5-8);
+* **positive payoff** — every job admitted this round earned
+  ``μ_j > 0`` (Algorithm 2, line 33);
+* **primal/dual increments** — each audited round satisfies
+  ``P_j − P_{j−1} ≥ (D_j − D_{j−1}) / α`` (Lemma 2).
+
+Attach one to an engine (``SimulationEngine(..., sanitizer=...)`` or
+``simulate(..., sanitizer=...)``); it is called after every scheduler
+decision is applied.  A violation raises a structured
+:class:`InvariantViolation` carrying the round index, simulated time,
+offending job, and the observed values — or, in ``collect`` mode,
+accumulates them for post-mortem inspection.
+
+The per-invariant ``check_*`` methods are public so tests (and
+downstream users with custom schedulers) can aim them at hand-crafted
+states.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.cluster.state import ClusterState
+from repro.sim.progress import JobRuntime, JobState
+
+__all__ = ["InvariantViolation", "InvariantSanitizer"]
+
+
+class InvariantViolation(RuntimeError):
+    """A runtime invariant failed; carries structured context.
+
+    Attributes
+    ----------
+    rule:
+        Which invariant failed: ``"capacity"``, ``"gang"``,
+        ``"price-bounds"``, ``"payoff"``, or ``"primal-dual"``.
+    round_index / now / job_id:
+        Where in the run it happened (``None`` when not applicable).
+    details:
+        The offending values (slot, counts, bounds, ...).
+    """
+
+    def __init__(
+        self,
+        rule: str,
+        message: str,
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+        job_id: Optional[int] = None,
+        details: Optional[Mapping[str, Any]] = None,
+    ):
+        self.rule = rule
+        self.round_index = round_index
+        self.now = now
+        self.job_id = job_id
+        self.details = dict(details or {})
+        where = []
+        if round_index is not None:
+            where.append(f"round {round_index}")
+        if now is not None:
+            where.append(f"t={now:g}s")
+        if job_id is not None:
+            where.append(f"job {job_id}")
+        prefix = f"[{rule}" + (f" @ {', '.join(where)}" if where else "") + "] "
+        extras = "; ".join(f"{k}={v}" for k, v in self.details.items())
+        super().__init__(prefix + message + (f" ({extras})" if extras else ""))
+
+
+@dataclass
+class InvariantSanitizer:
+    """Per-round invariant checker (see module docstring).
+
+    Parameters
+    ----------
+    rel_tol / abs_tol:
+        Tolerances for the float-valued checks (price bounds, Lemma 2).
+        Counts (capacity, gangs) are checked exactly.
+    mode:
+        ``"raise"`` (default) raises on the first violation;
+        ``"collect"`` records every violation in :attr:`violations` and
+        keeps going — useful for surveying a broken run.
+    """
+
+    rel_tol: float = 1e-6
+    abs_tol: float = 1e-9
+    mode: str = "raise"
+    violations: list[InvariantViolation] = field(default_factory=list)
+    rounds_checked: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in {"raise", "collect"}:
+            raise ValueError(f"mode must be 'raise' or 'collect', got {self.mode!r}")
+        if self.rel_tol < 0 or self.abs_tol < 0:
+            raise ValueError("tolerances must be non-negative")
+
+    # ------------------------------------------------------------- emission --
+    def _emit(self, violation: InvariantViolation) -> None:
+        self.violations.append(violation)
+        if self.mode == "raise":
+            raise violation
+
+    @property
+    def ok(self) -> bool:
+        """No violation observed so far (the useful assert in collect mode)."""
+        return not self.violations
+
+    # ------------------------------------------------------ invariant checks --
+    def check_capacity(
+        self,
+        state: ClusterState,
+        runtimes: Iterable[JobRuntime] = (),
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Conservation per slot: ``0 ≤ free ≤ cap`` and gangs account for use."""
+        claimed: dict[tuple[int, str], int] = {}
+        claimants: dict[tuple[int, str], list[int]] = {}
+        for rt in runtimes:
+            if rt.state is not JobState.RUNNING:
+                continue
+            for slot, count in rt.allocation.placements.items():
+                claimed[slot] = claimed.get(slot, 0) + count
+                claimants.setdefault(slot, []).append(rt.job_id)
+        for slot in state.slots:
+            node_id, type_name = slot
+            cap = state.capacity(node_id, type_name)
+            free = state.free(node_id, type_name)
+            if free < 0 or free > cap:
+                self._emit(
+                    InvariantViolation(
+                        "capacity",
+                        f"free count outside [0, capacity] at slot {slot}",
+                        round_index=round_index,
+                        now=now,
+                        details={"slot": slot, "free": free, "capacity": cap},
+                    )
+                )
+                continue
+            used = cap - free
+            held = claimed.pop(slot, 0)
+            if held != used:
+                self._emit(
+                    InvariantViolation(
+                        "capacity",
+                        f"running gangs hold {held} device(s) at slot {slot} "
+                        f"but the state records {used} in use",
+                        round_index=round_index,
+                        now=now,
+                        details={
+                            "slot": slot,
+                            "held_by_gangs": held,
+                            "state_used": used,
+                            "jobs": sorted(claimants.get(slot, [])),
+                        },
+                    )
+                )
+        for slot, held in sorted(claimed.items()):
+            self._emit(
+                InvariantViolation(
+                    "capacity",
+                    f"running gangs hold {held} device(s) at unknown slot {slot}",
+                    round_index=round_index,
+                    now=now,
+                    details={"slot": slot, "held_by_gangs": held,
+                             "jobs": sorted(claimants.get(slot, []))},
+                )
+            )
+
+    def check_gangs(
+        self,
+        runtimes: Iterable[JobRuntime],
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """All-or-nothing gangs: RUNNING ⇒ exactly ``W_j``; else zero."""
+        for rt in runtimes:
+            held = rt.allocation.total_workers
+            if rt.state is JobState.RUNNING:
+                if held != rt.job.num_workers:
+                    self._emit(
+                        InvariantViolation(
+                            "gang",
+                            f"running job holds {held} worker(s), gang size is "
+                            f"{rt.job.num_workers}",
+                            round_index=round_index,
+                            now=now,
+                            job_id=rt.job_id,
+                            details={
+                                "held": held,
+                                "num_workers": rt.job.num_workers,
+                            },
+                        )
+                    )
+            elif held != 0:
+                self._emit(
+                    InvariantViolation(
+                        "gang",
+                        f"{rt.state.value} job holds {held} worker(s); only "
+                        "running jobs may hold devices",
+                        round_index=round_index,
+                        now=now,
+                        job_id=rt.job_id,
+                        details={"held": held, "state": rt.state.value},
+                    )
+                )
+
+    def check_price_bounds(
+        self,
+        prices: Any,
+        state: ClusterState,
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """``U_min^r ≤ k_h^r(γ) ≤ U_max^r`` at the current occupancy (Eq. 5).
+
+        ``prices`` is any object with the :class:`~repro.core.pricing.PriceBook`
+        surface (``u_min`` / ``u_max`` mappings and ``price(node, type,
+        state)``), so custom price functions are checkable too.
+        """
+        for node_id, type_name in state.slots:
+            lo = prices.u_min.get(type_name, 0.0)
+            hi = prices.u_max.get(type_name, 0.0)
+            k = prices.price(node_id, type_name, state)
+            slack = self.rel_tol * max(abs(lo), abs(hi)) + self.abs_tol
+            if k < lo - slack or k > hi + slack:
+                self._emit(
+                    InvariantViolation(
+                        "price-bounds",
+                        f"price of slot ({node_id}, {type_name!r}) escaped "
+                        "its calibrated bounds",
+                        round_index=round_index,
+                        now=now,
+                        details={
+                            "slot": (node_id, type_name),
+                            "price": k,
+                            "u_min": lo,
+                            "u_max": hi,
+                            "occupancy": state.used(node_id, type_name),
+                        },
+                    )
+                )
+
+    def check_payoffs(
+        self,
+        chosen: Mapping[int, Any],
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Every admitted job earned a strictly positive payoff ``μ_j``."""
+        for job_id in sorted(chosen):
+            candidate = chosen[job_id]
+            payoff = candidate.payoff
+            if not payoff > 0.0 or not math.isfinite(payoff):
+                self._emit(
+                    InvariantViolation(
+                        "payoff",
+                        "admitted job has non-positive payoff; admission "
+                        "requires μ_j > 0 (Algorithm 2, line 33)",
+                        round_index=round_index,
+                        now=now,
+                        job_id=job_id,
+                        details={
+                            "payoff": payoff,
+                            "utility": getattr(candidate, "utility", None),
+                            "cost": getattr(candidate, "cost", None),
+                        },
+                    )
+                )
+
+    def check_round_audit(
+        self,
+        record: Any,
+        *,
+        round_index: Optional[int] = None,
+    ) -> None:
+        """Lemma 2 on one :class:`~repro.core.scheduler.RoundAudit` record:
+        ``primal_increment ≥ dual_increment / α`` (within tolerance)."""
+        alpha = max(record.alpha, 1.0)
+        bound = record.dual_increment / alpha
+        slack = self.rel_tol * max(abs(bound), abs(record.primal_increment))
+        if record.primal_increment < bound - slack - self.abs_tol:
+            self._emit(
+                InvariantViolation(
+                    "primal-dual",
+                    "round violates Lemma 2: primal increment below "
+                    "dual increment / α",
+                    round_index=round_index,
+                    now=getattr(record, "now", None),
+                    details={
+                        "primal_increment": record.primal_increment,
+                        "dual_increment": record.dual_increment,
+                        "alpha": record.alpha,
+                        "bound": bound,
+                    },
+                )
+            )
+
+    # ------------------------------------------------------------ engine hook --
+    def on_round(
+        self,
+        *,
+        round_index: int,
+        now: float,
+        runtimes: Mapping[int, JobRuntime],
+        state: ClusterState,
+        scheduler: Any,
+    ) -> None:
+        """Full sweep after one applied scheduling decision.
+
+        The structural invariants (capacity, gangs) are always checked.
+        The pricing invariants run when the scheduler (or a wrapped
+        ``inner`` scheduler, e.g. under profiling) exposes Hadar's
+        introspection surface: ``last_prices``, ``last_chosen``, and
+        ``audit``.
+        """
+        self.rounds_checked += 1
+        jobs = runtimes.values()
+        self.check_capacity(state, jobs, round_index=round_index, now=now)
+        self.check_gangs(jobs, round_index=round_index, now=now)
+
+        inner = scheduler
+        while inner is not None and not hasattr(inner, "last_prices"):
+            inner = getattr(inner, "inner", None)
+        if inner is None:
+            return
+        prices = inner.last_prices
+        if prices is not None:
+            # Bounds are evaluated on a synthetic sweep of the *current*
+            # occupancy; Eq. 5 must hold at whatever γ the round ended on.
+            self.check_price_bounds(
+                prices, state, round_index=round_index, now=now
+            )
+        chosen = getattr(inner, "last_chosen", None)
+        if chosen:
+            self.check_payoffs(chosen, round_index=round_index, now=now)
+        audit = getattr(inner, "audit", None)
+        if audit:
+            self.check_round_audit(audit[-1], round_index=round_index)

@@ -110,7 +110,7 @@ class ThroughputEstimator:
         per_worker = delta_iters / (delta_seconds * workers * max(comm_penalty, 1e-9))
         model = rt.job.model.name
         bottleneck = min(
-            allocation.gpu_types, key=lambda t: (self.rate(model, t), t)
+            sorted(allocation.gpu_types), key=lambda t: (self.rate(model, t), t)
         )
         self.observe(model, bottleneck, per_worker)
 

@@ -190,7 +190,9 @@ def find_alloc(
     best_key: Optional[tuple] = None
     best: Optional[tuple[_Picks, float, float, float, float, float]] = None
     move_delay: Optional[float] = None  # same for every non-current candidate
-    for picks in candidates:
+    # Iteration order cannot leak into the result: the selection key ends
+    # with the full picks tuple, a total order over candidates.
+    for picks in candidates:  # repro-lint: disable=REP004
         bottleneck = min(rate_of.get(t) or matrix.rate(model, t) for _, t, _ in picks)
         if bottleneck <= 0.0:
             continue

@@ -25,6 +25,7 @@ from typing import Mapping, Optional
 
 from repro.cluster.allocation import Allocation
 from repro.core.dp import DPAllocator, DPConfig
+from repro.core.find_alloc import AllocationCandidate
 from repro.core.pricing import PriceBook, PricingConfig
 from repro.core.utility import NormalizedThroughputUtility, Utility
 from repro.sim.checkpoint import CheckpointModel, FixedDelayCheckpoint
@@ -84,6 +85,9 @@ class HadarScheduler(Scheduler):
         self.last_alpha: float = 1.0
         """α from the most recent round's price book (theory/Fig. inspection)."""
         self.last_prices: Optional[PriceBook] = None
+        self.last_chosen: dict[int, AllocationCandidate] = {}
+        """Jobs admitted by the most recent round's DP, with their costed
+        candidates (read by the invariant sanitizer's μ_j > 0 check)."""
         self.audit: list[RoundAudit] = []
         """Per-round primal/dual records (populated when record_audit)."""
 
@@ -94,6 +98,7 @@ class HadarScheduler(Scheduler):
     def reset(self) -> None:
         self.last_alpha = 1.0
         self.last_prices = None
+        self.last_chosen = {}
         self.audit.clear()
 
     # ------------------------------------------------------------------ API --
@@ -109,6 +114,7 @@ class HadarScheduler(Scheduler):
             pinned = {rt.job_id: rt.allocation for rt in ctx.running}
 
         if not queue:
+            self.last_chosen = {}
             return pinned
 
         prices = PriceBook.calibrate(
@@ -132,6 +138,7 @@ class HadarScheduler(Scheduler):
             config=cfg.dp,
         )
         chosen = allocator.allocate(queue, state)
+        self.last_chosen = dict(chosen)
 
         if cfg.record_audit:
             fresh = ctx.fresh_state()

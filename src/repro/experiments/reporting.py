@@ -281,7 +281,7 @@ def _ablations(scale_name: str) -> str:
 def generate_report(scale_name: Optional[str] = None) -> str:
     """Build the full markdown report; takes minutes at larger scales."""
     scale = resolve_scale(scale_name)
-    started = time.time()
+    started = time.monotonic()
     parts = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -319,7 +319,7 @@ def generate_report(scale_name: Optional[str] = None) -> str:
         "  keeps the cluster busier than the paper's Fig. 4 suggests, while",
         "  still losing heavily on JCT/FTF as in the paper.",
         "",
-        f"_Report generated in {time.time() - started:.0f} s._",
+        f"_Report generated in {time.monotonic() - started:.0f} s._",
         "",
     ]
     return "\n".join(parts)

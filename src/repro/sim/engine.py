@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 import time as _time
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence
 
 from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
 from repro.cluster.cluster import Cluster
@@ -32,6 +32,9 @@ from repro.sim.stragglers import StragglerModel
 from repro.sim.telemetry import UtilizationRecorder
 from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
 from repro.workload.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import InvariantSanitizer
 
 __all__ = ["SimulationEngine", "SimulationResult", "simulate", "SchedulerProtocolError"]
 
@@ -125,6 +128,8 @@ class SimulationEngine:
     max_time: float = 10 * 365 * 24 * 3600.0
     stragglers: Optional[StragglerModel] = None
     """Optional failure injection; see :mod:`repro.sim.stragglers`."""
+    sanitizer: Optional["InvariantSanitizer"] = None
+    """Optional per-round invariant checks; see :mod:`repro.analysis.sanitizer`."""
 
     def __post_init__(self) -> None:
         if self.round_length <= 0:
@@ -331,6 +336,14 @@ class SimulationEngine:
         self._validate_target(target, runtimes)
         changed = self._apply_target(target, runtimes, state, events, now)
         telemetry.record(now, state.used_by_type())
+        if self.sanitizer is not None:
+            self.sanitizer.on_round(
+                round_index=len(decision_seconds),
+                now=now,
+                runtimes=runtimes,
+                state=state,
+                scheduler=self.scheduler,
+            )
         return changed
 
     def _validate_target(
@@ -435,8 +448,9 @@ class SimulationEngine:
             return
         rt.rounds_scheduled += 1
         model = rt.job.model.name
+        # Sorted so rate ties attribute the round to the same type every run.
         bottleneck = min(
-            rt.allocation.gpu_types, key=lambda t: self.matrix.rate(model, t)
+            sorted(rt.allocation.gpu_types), key=lambda t: self.matrix.rate(model, t)
         )
         rt.rounds_by_type[bottleneck] = rt.rounds_by_type.get(bottleneck, 0) + 1
 
@@ -502,6 +516,7 @@ def simulate(
     checkpoint: Optional[CheckpointModel] = None,
     max_time: Optional[float] = None,
     stragglers: Optional[StragglerModel] = None,
+    sanitizer: Optional["InvariantSanitizer"] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     kwargs = {}
@@ -515,6 +530,7 @@ def simulate(
         round_length=round_length,
         checkpoint=checkpoint or FixedDelayCheckpoint(),
         stragglers=stragglers,
+        sanitizer=sanitizer,
         **kwargs,
     )
     return engine.run()

@@ -43,9 +43,9 @@ def realized_rate(
     if not allocation:
         return 0.0
     model = job.model.name
-    rates = [matrix.rate(model, t) for t in allocation.gpu_types]
+    rates = [matrix.rate(model, t) for t in sorted(allocation.gpu_types)]
     if min(rates) <= 0.0:
-        bad = [t for t in allocation.gpu_types if matrix.rate(model, t) <= 0.0]
+        bad = [t for t in sorted(allocation.gpu_types) if matrix.rate(model, t) <= 0.0]
         raise ValueError(f"model {model!r} cannot run on GPU type(s) {bad}")
     bottleneck = min(rates)
     penalty = cluster.comm.throughput_penalty(

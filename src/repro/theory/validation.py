@@ -56,7 +56,7 @@ def check_price_boundaries(
     hi = prices.u_max.get(type_name, 0.0)
     curve = _price_curve(prices, type_name, capacity)
     if hi <= 0.0:
-        return bool(np.all(curve == 0.0))
+        return bool(np.all(np.abs(curve) <= _REL_TOL))
     return math.isclose(curve[0], lo, rel_tol=_REL_TOL) and math.isclose(
         curve[-1], hi, rel_tol=_REL_TOL
     )

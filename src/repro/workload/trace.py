@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
@@ -66,7 +67,7 @@ class Trace:
 
     def is_static(self) -> bool:
         """True when every job arrives at t=0 (the paper's static pattern)."""
-        return all(j.arrival_time == 0.0 for j in self.jobs)
+        return all(math.isclose(j.arrival_time, 0.0, abs_tol=1e-9) for j in self.jobs)
 
     def filtered(self, predicate: Callable[[Job], bool]) -> "Trace":
         return Trace([j for j in self.jobs if predicate(j)])

@@ -1,0 +1,251 @@
+"""The REPxxx linter: each rule fires on a seeded fixture, stays quiet on
+clean code, honours suppressions, and passes over the shipped ``src/``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    ALL_RULES,
+    FloatEqualityRule,
+    MutableDefaultRule,
+    NondeterminismRule,
+    SilentExceptionRule,
+    UnorderedIterationRule,
+    lint_paths,
+    lint_source,
+    main,
+)
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+
+CORE = "src/repro/core/fake.py"
+"""Synthetic path inside the determinism-critical scope."""
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class TestFloatEquality:
+    def test_float_literal_comparison_flagged(self):
+        findings = lint_source("if x == 0.0:\n    pass\n", CORE)
+        assert rules_of(findings) == ["REP001"]
+
+    def test_negative_literal_and_noteq_flagged(self):
+        assert rules_of(lint_source("ok = y != -1.5\n", CORE)) == ["REP001"]
+
+    def test_price_like_names_flagged_without_literal(self):
+        findings = lint_source("if a.payoff == b.payoff:\n    pass\n", CORE)
+        assert rules_of(findings) == ["REP001"]
+
+    def test_int_comparison_not_flagged(self):
+        assert lint_source("if n == 0:\n    pass\n", CORE) == []
+
+    def test_ordering_comparison_not_flagged(self):
+        assert lint_source("if payoff <= 0.0:\n    pass\n", CORE) == []
+
+
+class TestNondeterminism:
+    def test_time_time_flagged_in_core(self):
+        src = "import time\nstart = time.time()\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP002"]
+
+    def test_time_time_through_alias(self):
+        src = "import time as _time\nstart = _time.time()\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP002"]
+
+    def test_monotonic_and_perf_counter_allowed(self):
+        src = "import time\na = time.monotonic()\nb = time.perf_counter()\n"
+        assert lint_source(src, CORE) == []
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP002"]
+
+    def test_seeded_default_rng_allowed(self):
+        src = "import numpy as np\nrng = np.random.default_rng(42)\n"
+        assert lint_source(src, CORE) == []
+
+    def test_stdlib_random_flagged(self):
+        src = "import random\nx = random.random()\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP002"]
+
+    def test_legacy_numpy_global_flagged(self):
+        src = "import numpy as np\nx = np.random.rand(3)\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP002"]
+
+    def test_out_of_scope_file_not_flagged(self):
+        src = "import time\nstart = time.time()\n"
+        assert lint_source(src, "src/repro/experiments/fake.py") == []
+
+
+class TestMutableDefault:
+    def test_list_default_flagged(self):
+        assert rules_of(lint_source("def f(x=[]):\n    pass\n", CORE)) == ["REP003"]
+
+    def test_dict_call_default_flagged(self):
+        assert rules_of(lint_source("def f(x=dict()):\n    pass\n", CORE)) == ["REP003"]
+
+    def test_kwonly_default_flagged(self):
+        assert rules_of(lint_source("def f(*, x={}):\n    pass\n", CORE)) == ["REP003"]
+
+    def test_none_default_allowed(self):
+        assert lint_source("def f(x=None, y=()):\n    pass\n", CORE) == []
+
+
+class TestUnorderedIteration:
+    def test_for_over_set_call_flagged(self):
+        src = "def f(items):\n    for x in set(items):\n        use(x)\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP004"]
+
+    def test_for_over_set_variable_flagged(self):
+        src = (
+            "def f(items):\n"
+            "    pending = {i.key for i in items}\n"
+            "    for x in pending:\n"
+            "        place(x)\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["REP004"]
+
+    def test_annotated_set_variable_flagged(self):
+        src = (
+            "def f():\n"
+            "    seen: set[str] = set()\n"
+            "    return [x for x in seen]\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["REP004"]
+
+    def test_min_with_key_over_set_flagged(self):
+        src = "def f(types):\n    return min(frozenset(types), key=rate)\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP004"]
+
+    def test_sorted_wrapping_allowed(self):
+        src = (
+            "def f(items):\n"
+            "    pending = {i.key for i in items}\n"
+            "    for x in sorted(pending):\n"
+            "        place(x)\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_order_free_reducers_exempt(self):
+        src = (
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    return min(r(x) for x in s), any(x > 0 for x in s), len(s)\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_membership_test_not_flagged(self):
+        src = "def f(x):\n    return x in {'a', 'b'}\n"
+        assert lint_source(src, CORE) == []
+
+
+class TestSilentException:
+    def test_bare_except_flagged_in_engine_path(self):
+        src = "try:\n    go()\nexcept:\n    pass\n"
+        assert rules_of(lint_source(src, "src/repro/sim/fake.py")) == ["REP005"]
+
+    def test_swallowed_broad_exception_flagged(self):
+        src = "try:\n    go()\nexcept Exception:\n    pass\n"
+        assert rules_of(lint_source(src, "src/repro/baselines/fake.py")) == ["REP005"]
+
+    def test_handled_broad_exception_allowed(self):
+        src = "try:\n    go()\nexcept Exception as exc:\n    raise RuntimeError(str(exc))\n"
+        assert lint_source(src, "src/repro/sim/fake.py") == []
+
+    def test_narrow_swallow_allowed(self):
+        src = "try:\n    go()\nexcept KeyError:\n    pass\n"
+        assert lint_source(src, "src/repro/sim/fake.py") == []
+
+    def test_out_of_scope_not_flagged(self):
+        src = "try:\n    go()\nexcept:\n    pass\n"
+        assert lint_source(src, "src/repro/metrics/fake.py") == []
+
+
+class TestSuppression:
+    def test_disable_specific_rule(self):
+        src = "if x == 0.0:  # repro-lint: disable=REP001\n    pass\n"
+        assert lint_source(src, CORE) == []
+
+    def test_disable_all(self):
+        src = "if x == 0.0:  # repro-lint: disable=all\n    pass\n"
+        assert lint_source(src, CORE) == []
+
+    def test_disable_other_rule_does_not_waive(self):
+        src = "if x == 0.0:  # repro-lint: disable=REP005\n    pass\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP001"]
+
+
+class TestDriver:
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", CORE)
+        assert rules_of(findings) == ["REP000"]
+
+    def test_finding_format_is_clickable(self):
+        finding = lint_source("x = 1.0 == y\n", CORE)[0]
+        assert finding.format().startswith(f"{CORE}:1:")
+        assert "REP001" in finding.format()
+
+    def test_main_exits_nonzero_on_seeded_violation(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "core" / "seeded.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nprice = time.time()\nok = price == 1.0\n")
+        code = main([str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "REP001" in out and "REP002" in out
+        assert f"{bad}:2:" in out and f"{bad}:3:" in out
+
+    def test_main_exits_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text("def f(n):\n    return n + 1\n")
+        assert main([str(tmp_path)]) == 0
+
+    def test_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = y == 0.5\n")
+        code = main(["--json", str(tmp_path)])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload[0]["rule"] == "REP001"
+        assert payload[0]["line"] == 1
+
+    def test_rule_selection(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("x = y == 0.5\ndef f(a=[]):\n    pass\n")
+        assert main(["--rules", "REP003", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP003" in out and "REP001" not in out
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--rules", "REP999", str(tmp_path)])
+
+    def test_nonexistent_path_rejected(self, tmp_path):
+        # A typo'd path must not silently pass the CI gate.
+        with pytest.raises(SystemExit):
+            main([str(tmp_path / "no_such_dir")])
+
+
+class TestShippedTreeIsClean:
+    """The permanent gate: the linter must pass over the shipped sources."""
+
+    def test_src_tree_has_no_findings(self):
+        findings = lint_paths([SRC_ROOT / "repro"])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_every_rule_has_id_and_doc(self):
+        ids = [cls.rule_id for cls in ALL_RULES]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+        for cls in (
+            FloatEqualityRule,
+            NondeterminismRule,
+            MutableDefaultRule,
+            UnorderedIterationRule,
+            SilentExceptionRule,
+        ):
+            assert cls.__doc__
