@@ -1,0 +1,175 @@
+"""Record (and regression-check) the DP hot-path benchmark.
+
+Runs the golden-parity scenarios twice — once through the shipped
+round-scoped caches, once in ``round_caching=False`` reference mode — and
+writes ``benchmarks/BENCH_dp_hotpath.json``: per-scenario wall-clock,
+the ``RoundStats`` counters, and the cached/reference reduction ratios
+(see ``docs/performance.md`` for how to read the file).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_bench.py
+    PYTHONPATH=src python benchmarks/record_bench.py --output /tmp/bench.json
+    PYTHONPATH=src python benchmarks/record_bench.py \
+        --check benchmarks/BENCH_dp_hotpath.json
+
+``--check`` reruns the cached scenarios and exits 1 if any is more than
+``--threshold`` (default 2.0) times slower than the baseline file — the
+CI smoke gate.  Counter ratios are machine-independent; wall-clock is
+noisy, hence the generous threshold.
+
+Scale follows ``REPRO_SCALE`` (quick/default/full) like every bench.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import bench_scale  # noqa: E402
+
+from repro.cluster.cluster import simulated_cluster  # noqa: E402
+from repro.core.dp import DPConfig  # noqa: E402
+from repro.core.scheduler import HadarConfig, HadarScheduler  # noqa: E402
+from repro.sim.engine import SimulationResult, simulate  # noqa: E402
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace  # noqa: E402
+
+SEEDS = (1, 2, 3)
+JOBS_BY_SCALE = {"quick": 14, "default": 24, "full": 40}
+DEFAULT_OUTPUT = Path(__file__).with_name("BENCH_dp_hotpath.json")
+
+
+def _run(seed: int, num_jobs: int, cached: bool) -> tuple[float, SimulationResult]:
+    cluster = simulated_cluster()
+    trace = generate_philly_trace(PhillyTraceConfig(num_jobs=num_jobs, seed=seed))
+    scheduler = HadarScheduler(
+        HadarConfig(dp=DPConfig(round_caching=cached))
+    )
+    start = time.perf_counter()
+    result = simulate(cluster, trace, scheduler)
+    return time.perf_counter() - start, result
+
+
+def record(num_jobs: int, scale: str) -> dict:
+    """Measure every scenario in both modes; returns the report dict."""
+    scenarios: dict[str, dict] = {}
+    for seed in SEEDS:
+        cached_s, cached = _run(seed, num_jobs, cached=True)
+        reference_s, reference = _run(seed, num_jobs, cached=False)
+        c_stats, r_stats = cached.hotpath_stats, reference.hotpath_stats
+        evals_c = max(c_stats.get("candidate_evals", 0), 1)
+        runs_c = max(c_stats.get("find_alloc_runs", 0), 1)
+        scenarios[f"hadar/{seed}"] = {
+            "cached": {"wall_s": round(cached_s, 3), "counters": c_stats},
+            "reference": {"wall_s": round(reference_s, 3), "counters": r_stats},
+            "candidate_eval_reduction": round(
+                r_stats.get("candidate_evals", 0) / evals_c, 2
+            ),
+            "find_alloc_run_reduction": round(
+                r_stats.get("find_alloc_runs", 0) / runs_c, 2
+            ),
+            "wall_clock_speedup": round(reference_s / max(cached_s, 1e-9), 2),
+        }
+    reductions = [s["candidate_eval_reduction"] for s in scenarios.values()]
+    speedups = [s["wall_clock_speedup"] for s in scenarios.values()]
+    return {
+        "meta": {
+            "bench": "dp_hotpath",
+            "scale": scale,
+            "num_jobs": num_jobs,
+            "seeds": list(SEEDS),
+            "cluster": "simulated_cluster",
+            "modes": {
+                "cached": "RoundContext caches on (shipped default)",
+                "reference": "DPConfig(round_caching=False), identical schedules",
+            },
+        },
+        "scenarios": scenarios,
+        "summary": {
+            "min_candidate_eval_reduction": min(reductions),
+            "max_candidate_eval_reduction": max(reductions),
+            "min_wall_clock_speedup": min(speedups),
+            "max_wall_clock_speedup": max(speedups),
+        },
+    }
+
+
+def check(report: dict, baseline: dict, threshold: float) -> list[str]:
+    """Latency regressions of ``report`` vs ``baseline`` (cached mode)."""
+    problems: list[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name in sorted(report["scenarios"]):
+        base = base_scenarios.get(name)
+        if base is None:
+            continue
+        now_s = report["scenarios"][name]["cached"]["wall_s"]
+        base_s = base["cached"]["wall_s"]
+        if base_s > 0 and now_s > threshold * base_s:
+            problems.append(
+                f"{name}: cached wall-clock {now_s:.3f}s exceeds "
+                f"{threshold:.1f}x baseline {base_s:.3f}s"
+            )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python benchmarks/record_bench.py",
+        description="Record / regression-check the DP hot-path benchmark.",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help=f"report destination (default: {DEFAULT_OUTPUT.name})",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a baseline report; exit 1 on latency regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="allowed cached wall-clock ratio vs baseline (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    scale = bench_scale()
+    num_jobs = JOBS_BY_SCALE.get(scale, JOBS_BY_SCALE["quick"])
+    print(f"recording dp_hotpath at scale={scale} ({num_jobs} jobs) ...")
+    report = record(num_jobs, scale)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    summary = report["summary"]
+    print(f"wrote {args.output}")
+    print(
+        "candidate-eval reduction: "
+        f"{summary['min_candidate_eval_reduction']:.2f}x - "
+        f"{summary['max_candidate_eval_reduction']:.2f}x; "
+        "wall-clock speedup: "
+        f"{summary['min_wall_clock_speedup']:.2f}x - "
+        f"{summary['max_wall_clock_speedup']:.2f}x"
+    )
+
+    if args.check is not None:
+        baseline = json.loads(args.check.read_text())
+        problems = check(report, baseline, args.threshold)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}")
+            return 1
+        print(f"no latency regression vs {args.check} (threshold {args.threshold}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

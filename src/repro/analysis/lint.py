@@ -12,6 +12,12 @@ Usage::
 
     python -m repro.analysis.lint src/            # human output, exit 1 on findings
     python -m repro.analysis.lint --json src/     # machine output
+    python -m repro.analysis.lint --fix src/      # auto-wrap REP004 iterables
+
+``--fix`` rewrites the *mechanical* REP004 findings in place: the flagged
+set-typed iterable is wrapped in ``sorted(...)``, preserving all other
+formatting.  Only REP004 carries a fix — the other rules require a
+judgement call (tolerance choice, seeding strategy, handler design).
 
 Per-line suppression, with the rule id spelled out so the waiver is
 auditable::
@@ -35,6 +41,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 
 __all__ = [
     "Finding",
+    "Fix",
     "LintRule",
     "FloatEqualityRule",
     "NondeterminismRule",
@@ -42,6 +49,8 @@ __all__ = [
     "UnorderedIterationRule",
     "SilentExceptionRule",
     "ALL_RULES",
+    "apply_fixes",
+    "fix_paths",
     "lint_source",
     "lint_paths",
     "main",
@@ -57,6 +66,36 @@ _ENGINE_PATHS = _DETERMINISTIC_PATHS + ("repro/baselines",)
 
 
 @dataclass(frozen=True, slots=True)
+class Fix:
+    """A mechanical repair: wrap one source span in ``sorted(...)``.
+
+    The span is the flagged iterable *expression* (1-based line, 0-based
+    column, exclusive end — exactly the AST's position attributes), so
+    inserting ``sorted(`` before it and ``)`` after it is always valid
+    Python and touches nothing else on the line.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+
+
+def _fix_span(node: ast.AST) -> Optional[Fix]:
+    """The wrap-in-``sorted`` span for an iterable expression node."""
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return Fix(
+        line=node.lineno,
+        col=node.col_offset,
+        end_line=end_line,
+        end_col=end_col,
+    )
+
+
+@dataclass(frozen=True, slots=True)
 class Finding:
     """One rule violation at a source location."""
 
@@ -65,6 +104,9 @@ class Finding:
     col: int
     rule: str
     message: str
+    fix: Optional[Fix] = None
+    """Attached when the violation has a formatting-preserving mechanical
+    repair (currently only REP004's ``sorted(...)`` wrap)."""
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
@@ -76,6 +118,7 @@ class Finding:
             "col": self.col,
             "rule": self.rule,
             "message": self.message,
+            "fixable": self.fix is not None,
         }
 
 
@@ -112,7 +155,13 @@ class _FileContext:
         self.findings: list[Finding] = []
         self.suppressed = _parse_suppressions(source)
 
-    def report(self, node: ast.AST, rule: LintRule, message: str) -> None:
+    def report(
+        self,
+        node: ast.AST,
+        rule: LintRule,
+        message: str,
+        fix: Optional[Fix] = None,
+    ) -> None:
         line = getattr(node, "lineno", 0)
         waived = self.suppressed.get(line)
         if waived is not None and ("all" in waived or rule.rule_id in waived):
@@ -124,6 +173,7 @@ class _FileContext:
                 col=getattr(node, "col_offset", 0),
                 rule=rule.rule_id,
                 message=message,
+                fix=fix,
             )
         )
 
@@ -447,6 +497,7 @@ class UnorderedIterationRule(LintRule):
                     self,
                     "for-loop over an unordered set; wrap in sorted(...) to "
                     "keep decisions replay-deterministic",
+                    fix=_fix_span(sub.iter),
                 )
             elif isinstance(
                 sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
@@ -458,6 +509,7 @@ class UnorderedIterationRule(LintRule):
                             self,
                             "comprehension over an unordered set; wrap in "
                             "sorted(...) to keep decisions replay-deterministic",
+                            fix=_fix_span(gen.iter),
                         )
                         break
             elif (
@@ -473,6 +525,7 @@ class UnorderedIterationRule(LintRule):
                     self,
                     f"{sub.func.id}(..., key=...) over an unordered set breaks "
                     "ties by hash order; sort the candidates first",
+                    fix=_fix_span(sub.args[0]),
                 )
 
 
@@ -588,6 +641,53 @@ def lint_paths(
     return findings
 
 
+def apply_fixes(source: str, findings: Sequence[Finding]) -> tuple[str, int]:
+    """Apply every attached :class:`Fix` to ``source``.
+
+    Pure text surgery — ``sorted(`` / ``)`` are inserted at the recorded
+    span boundaries, in reverse source order so earlier offsets stay
+    valid; indentation, comments, and line breaks are untouched.  Returns
+    ``(new_source, fixes_applied)``.
+    """
+    lines = source.splitlines(keepends=True)
+    starts: list[int] = []
+    offset = 0
+    for text in lines:
+        starts.append(offset)
+        offset += len(text)
+
+    inserts: list[tuple[int, int, str]] = []
+    applied = 0
+    for finding in findings:
+        fix = finding.fix
+        if fix is None:
+            continue
+        inserts.append((starts[fix.line - 1] + fix.col, 1, "sorted("))
+        inserts.append((starts[fix.end_line - 1] + fix.end_col, 0, ")"))
+        applied += 1
+    # Reverse order keeps every pending offset stable; the priority field
+    # opens nested same-offset spans outside-in.
+    for pos, _, text in sorted(inserts, reverse=True):
+        source = source[:pos] + text + source[pos:]
+    return source, applied
+
+
+def fix_paths(
+    paths: Iterable[str | Path],
+    rules: Optional[Sequence[type[LintRule]]] = None,
+) -> tuple[int, int]:
+    """Rewrite fixable findings in place; returns ``(fixes, files touched)``."""
+    total = files = 0
+    for file in _iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        fixed, applied = apply_fixes(source, lint_source(source, str(file), rules))
+        if applied:
+            file.write_text(fixed, encoding="utf-8")
+            total += applied
+            files += 1
+    return total, files
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
@@ -595,6 +695,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="rewrite mechanical REP004 findings in place (sorted(...) wrap)",
+    )
     parser.add_argument(
         "--rules",
         help="comma-separated rule ids to run (default: all)",
@@ -613,6 +718,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if unknown:
             parser.error(f"unknown rule ids: {sorted(unknown)}")
 
+    if args.fix:
+        fixed, files = fix_paths(args.paths, selected)
+        if not args.json:
+            print(f"fixed {fixed} finding(s) in {files} file(s).")
+
+    # With --fix, re-lint the rewritten tree: anything left needs a human.
     findings = lint_paths(args.paths, selected)
     if args.json:
         print(json.dumps([f.to_dict() for f in findings], indent=2))

@@ -6,11 +6,18 @@ allocation (Hadar's DP explores states recursively and therefore relies on
 cheap :meth:`ClusterState.copy` and a canonical :meth:`ClusterState.key`
 for memoization); the simulation engine keeps one authoritative state for
 "what is running right now".
+
+The slot universe is fixed at construction, so the canonical slot order
+is computed once and shared by every copy: :meth:`allocate` /
+:meth:`release` update the free-count vector in ``O(slots touched)`` and
+:meth:`key` never re-sorts — it just freezes (and caches) the maintained
+vector.  This is what keeps the DP recursion's per-node memo lookups flat
+as the cluster grows (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.cluster.allocation import Allocation
 
@@ -28,7 +35,7 @@ class ClusterState:
     :meth:`allocate` / :meth:`release`, which enforce capacity invariants.
     """
 
-    __slots__ = ("_capacity", "_free")
+    __slots__ = ("_capacity", "_free", "_order", "_index", "_vec", "_key_cache")
 
     def __init__(self, capacity: dict[tuple[int, str], int]):
         for slot, cap in capacity.items():
@@ -36,6 +43,15 @@ class ClusterState:
                 raise ValueError(f"negative capacity for slot {slot}")
         self._capacity: dict[tuple[int, str], int] = dict(capacity)
         self._free: dict[tuple[int, str], int] = dict(capacity)
+        # Canonical slot order, shared (immutable) across every copy.
+        self._order: tuple[tuple[int, str], ...] = tuple(sorted(self._capacity))
+        self._index: dict[tuple[int, str], int] = {
+            slot: i for i, slot in enumerate(self._order)
+        }
+        # Free counts in canonical order; maintained incrementally so
+        # key() needs no sort (and no dict walk).
+        self._vec: list[int] = [self._free[slot] for slot in self._order]
+        self._key_cache: Optional[tuple[int, ...]] = tuple(self._vec)
 
     @classmethod
     def from_cluster(cls, cluster: "Cluster") -> "ClusterState":
@@ -50,7 +66,7 @@ class ClusterState:
     @property
     def slots(self) -> tuple[tuple[int, str], ...]:
         """All ``(node_id, type)`` slots, sorted deterministically."""
-        return tuple(sorted(self._capacity))
+        return self._order
 
     def capacity(self, node_id: int, type_name: str) -> int:
         return self._capacity.get((node_id, type_name), 0)
@@ -75,7 +91,7 @@ class ClusterState:
         return {t: out[t] - free.get(t, 0) for t in out}
 
     def total_free(self) -> int:
-        return sum(self._free.values())
+        return sum(self._vec)
 
     def total_capacity(self) -> int:
         return sum(self._capacity.values())
@@ -89,8 +105,9 @@ class ClusterState:
 
     def free_slots(self) -> Iterable[tuple[tuple[int, str], int]]:
         """Yield ``((node_id, type), free_count)`` for slots with free GPUs."""
-        for slot in sorted(self._free):
-            count = self._free[slot]
+        vec = self._vec
+        for i, slot in enumerate(self._order):
+            count = vec[i]
             if count > 0:
                 yield slot, count
 
@@ -108,6 +125,8 @@ class ClusterState:
             raise ValueError(f"allocation does not fit free capacity: {allocation}")
         for slot, count in allocation.placements.items():
             self._free[slot] -= count
+            self._vec[self._index[slot]] -= count
+        self._key_cache = None
 
     def release(self, allocation: Allocation) -> None:
         """Return the devices of ``allocation``; raises on over-release."""
@@ -120,17 +139,26 @@ class ClusterState:
                 )
         for slot, count in allocation.placements.items():
             self._free[slot] += count
+            self._vec[self._index[slot]] += count
+        self._key_cache = None
 
     # -- copies / keys ----------------------------------------------------
     def copy(self) -> "ClusterState":
         clone = ClusterState.__new__(ClusterState)
         clone._capacity = self._capacity  # immutable by convention: shared
         clone._free = dict(self._free)
+        clone._order = self._order  # shared: the slot universe never changes
+        clone._index = self._index
+        clone._vec = list(self._vec)
+        clone._key_cache = self._key_cache
         return clone
 
     def key(self) -> tuple[int, ...]:
         """Canonical hashable snapshot of free counts (for DP memoization)."""
-        return tuple(self._free[slot] for slot in sorted(self._free))
+        cached = self._key_cache
+        if cached is None:
+            cached = self._key_cache = tuple(self._vec)
+        return cached
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ClusterState):

@@ -13,6 +13,10 @@ The online primal-dual scheduler of Sec. III:
 * :mod:`repro.core.dp` — the ``DP_allocation`` dual subroutine
   (Algorithm 2): exact memoized include/exclude recursion for small
   queues, payoff-density greedy beyond a threshold;
+* :mod:`repro.core.round_context` — the round-scoped allocation engine:
+  per-round frozen lookup tables, incremental pricing, candidate
+  memoization, and the shared ``FIND_ALLOC`` result cache (see
+  ``docs/performance.md``);
 * :mod:`repro.core.scheduler` — :class:`HadarScheduler`, the online
   Algorithm 1 loop;
 * :mod:`repro.core.policies` — one-line constructors binding Hadar to the
@@ -21,8 +25,9 @@ The online primal-dual scheduler of Sec. III:
 
 from repro.core.dp import DPAllocator, DPConfig
 from repro.core.estimator import ProfilingScheduler, ThroughputEstimator
-from repro.core.find_alloc import AllocationCandidate, find_alloc
+from repro.core.find_alloc import AllocationCandidate, cached_find_alloc, find_alloc
 from repro.core.pricing import PriceBook, PricingConfig
+from repro.core.round_context import RoundContext, RoundStats
 from repro.core.scheduler import HadarConfig, HadarScheduler
 from repro.core.policies import hadar_for_objective
 from repro.core.utility import (
@@ -46,8 +51,11 @@ __all__ = [
     "PriceBook",
     "PricingConfig",
     "ProfilingScheduler",
+    "RoundContext",
+    "RoundStats",
     "ThroughputEstimator",
     "Utility",
+    "cached_find_alloc",
     "find_alloc",
     "hadar_for_objective",
 ]

@@ -20,6 +20,14 @@ recursion is replaced by a **payoff-density greedy**: jobs are ranked by
 payoff per requested worker on the round-initial prices, then allocated
 in rank order against the (exponentially rising) prices.  This is the
 switch that gives the near-Gavel scaling of Fig. 7.
+
+Every ``FIND_ALLOC`` call in one ``allocate()`` pass — the exact
+recursion, the greedy ranking walk, and the greedy allocation walk —
+shares one :class:`~repro.core.round_context.RoundContext`, so identical
+``(job, free-capacity-vector)`` subproblems reached along different
+branch orders (and re-reached by the greedy passes) are solved once.
+``DPConfig.round_caching=False`` disables every cache layer for the
+golden-parity reference mode.
 """
 
 from __future__ import annotations
@@ -29,8 +37,13 @@ from typing import Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.state import ClusterState
-from repro.core.find_alloc import AllocationCandidate, DelayEstimator, find_alloc
+from repro.core.find_alloc import (
+    AllocationCandidate,
+    DelayEstimator,
+    cached_find_alloc,
+)
 from repro.core.pricing import PriceBook
+from repro.core.round_context import RoundContext
 from repro.core.utility import Utility
 from repro.sim.progress import JobRuntime
 from repro.workload.throughput import ThroughputMatrix
@@ -48,6 +61,9 @@ class DPConfig:
     """Memo-size cap; overflow falls back to the greedy mid-flight."""
     branch_objective: str = "payoff"
     """``"payoff"`` (primal-dual reading) or ``"cost"`` (literal line 18)."""
+    round_caching: bool = True
+    """Share the round-scoped ``FIND_ALLOC`` caches; ``False`` runs the
+    semantics-identical reference mode (golden-parity baseline)."""
 
     def __post_init__(self) -> None:
         if self.queue_limit < 0:
@@ -76,6 +92,12 @@ class DPAllocator:
     now: float
     delay_estimator: DelayEstimator
     config: DPConfig = DPConfig()
+    context: Optional[RoundContext] = None
+    """The shared round context; built per ``allocate()`` call when absent
+    (a caller-supplied context must be fresh for the round)."""
+
+    last_context: Optional[RoundContext] = None
+    """The context the most recent ``allocate()`` ran with (stats access)."""
 
     def allocate(
         self, queue: Sequence[JobRuntime], state: ClusterState
@@ -84,31 +106,44 @@ class DPAllocator:
         queue = list(queue)
         if not queue:
             return {}
+        ctx = self.context
+        if ctx is None:
+            ctx = RoundContext(
+                prices=self.prices,
+                matrix=self.matrix,
+                cluster=self.cluster,
+                utility=self.utility,
+                now=self.now,
+                delay_estimator=self.delay_estimator,
+                state=state,
+                caching=self.config.round_caching,
+            )
+        self.last_context = ctx
         if len(queue) <= self.config.queue_limit:
             try:
-                chosen = self._solve_exact(queue, state)
+                chosen = self._solve_exact(queue, state, ctx)
             except _MemoOverflow:
-                chosen = self._solve_greedy(queue, state.copy())
+                chosen = self._solve_greedy(queue, state.copy(), ctx)
             else:
                 if self.config.branch_objective == "payoff":
                     # The recursion explores jobs in queue order; the greedy
                     # reorders by payoff density and occasionally finds a
                     # better packing.  Both are cheap at this queue size —
                     # keep whichever earns more.
-                    alt = self._solve_greedy(queue, state.copy())
+                    alt = self._solve_greedy(queue, state.copy(), ctx)
                     if sum(c.payoff for c in alt.values()) > sum(
                         c.payoff for c in chosen.values()
                     ):
                         chosen = alt
         else:
-            chosen = self._solve_greedy(queue, state.copy())
+            chosen = self._solve_greedy(queue, state.copy(), ctx)
         for cand in chosen.values():
             state.allocate(cand.allocation)
         return chosen
 
     # -- exact memoized recursion -------------------------------------------------
     def _solve_exact(
-        self, queue: list[JobRuntime], state: ClusterState
+        self, queue: list[JobRuntime], state: ClusterState, ctx: RoundContext
     ) -> dict[int, AllocationCandidate]:
         memo: dict[
             tuple[int, tuple[int, ...]],
@@ -121,7 +156,8 @@ class DPAllocator:
         ) -> tuple[float, dict[int, AllocationCandidate]]:
             if idx >= len(queue) or branch_state.is_full():
                 return 0.0, {}
-            key = (idx, branch_state.key())
+            state_key = branch_state.key()
+            key = (idx, state_key)
             hit = memo.get(key)
             if hit is not None:
                 return hit
@@ -136,17 +172,9 @@ class DPAllocator:
                 skip_value = skip_value + self._forgone_utility(rt)
             best = (skip_value, skip_plan)
 
-            # Branch 2: allocate via FIND_ALLOC.
-            cand = find_alloc(
-                rt,
-                branch_state,
-                self.prices,
-                self.matrix,
-                self.cluster,
-                self.utility,
-                self.now,
-                self.delay_estimator,
-            )
+            # Branch 2: allocate via FIND_ALLOC (through the round caches;
+            # the DP memo key already carries the free-capacity vector).
+            cand = cached_find_alloc(ctx, rt, branch_state, state_key=state_key)
             if cand is not None:
                 sub_state = branch_state.copy()
                 sub_state.allocate(cand.allocation)
@@ -178,21 +206,12 @@ class DPAllocator:
 
     # -- payoff-density greedy -------------------------------------------------
     def _solve_greedy(
-        self, queue: list[JobRuntime], state: ClusterState
+        self, queue: list[JobRuntime], state: ClusterState, ctx: RoundContext
     ) -> dict[int, AllocationCandidate]:
         # Rank once on round-initial prices: payoff per requested worker.
         ranked: list[tuple[float, int, JobRuntime]] = []
         for rt in queue:
-            cand = find_alloc(
-                rt,
-                state,
-                self.prices,
-                self.matrix,
-                self.cluster,
-                self.utility,
-                self.now,
-                self.delay_estimator,
-            )
+            cand = cached_find_alloc(ctx, rt, state)
             if cand is not None:
                 density = cand.payoff / rt.job.num_workers
                 ranked.append((-density, rt.job_id, rt))
@@ -200,16 +219,7 @@ class DPAllocator:
 
         chosen: dict[int, AllocationCandidate] = {}
         for _, _, rt in ranked:
-            cand = find_alloc(
-                rt,
-                state,
-                self.prices,
-                self.matrix,
-                self.cluster,
-                self.utility,
-                self.now,
-                self.delay_estimator,
-            )
+            cand = cached_find_alloc(ctx, rt, state)
             if cand is None:
                 continue  # prices rose past this job's payoff; filtered out
             state.allocate(cand.allocation)

@@ -23,11 +23,15 @@ placement is always a candidate (with no reallocation delay), which is
 what makes allocations sticky when nothing better appears.
 
 Performance note: this sits inside Hadar's DP recursion and runs hundreds
-of thousands of times per simulation, so candidates stay as raw pick
-tuples — prices are computed once per call, rates once per GPU type, and
-an :class:`~repro.cluster.allocation.Allocation` object is materialized
-only for the winning candidate (see the HPC guide's "profile, then
-optimize the bottleneck").
+of thousands of times per simulation, so all round-constant lookups come
+from a shared :class:`~repro.core.round_context.RoundContext` — per-model
+rate vectors, fastest-first orderings, and per-``(slot, free)`` prices are
+computed once per round, candidate costings are memoized on
+``(picks, local free counts)``, and :func:`cached_find_alloc` short-cuts
+entire searches when a DP branch revisits a ``(job, free-vector)``
+subproblem.  Passing ``ctx=None`` (or a ``caching=False`` context) runs
+the identical search without any sharing — the golden-parity suite pins
+both modes to byte-identical schedules.
 """
 
 from __future__ import annotations
@@ -39,11 +43,12 @@ from repro.cluster.allocation import Allocation
 from repro.cluster.cluster import Cluster
 from repro.cluster.state import ClusterState
 from repro.core.pricing import PriceBook
+from repro.core.round_context import _MISS, RoundContext
 from repro.core.utility import Utility
 from repro.sim.progress import JobRuntime
 from repro.workload.throughput import ThroughputMatrix
 
-__all__ = ["AllocationCandidate", "find_alloc"]
+__all__ = ["AllocationCandidate", "find_alloc", "cached_find_alloc"]
 
 DelayEstimator = Callable[[JobRuntime, Allocation], float]
 """Estimated pause (checkpoint save+load) if the job moves to a new gang."""
@@ -94,6 +99,7 @@ def find_alloc(
     utility: Utility,
     now: float,
     delay_estimator: DelayEstimator,
+    ctx: Optional[RoundContext] = None,
 ) -> Optional[AllocationCandidate]:
     """The best positive-payoff gang for one job, or ``None`` (line 33).
 
@@ -101,42 +107,103 @@ def find_alloc(
     that differs from the job's current placement; the current placement
     itself (when it still fits ``state``) is evaluated delay-free, making
     stable allocations naturally preferred.
+
+    ``ctx`` is the round-scoped context sharing lookups and caches across
+    calls; when omitted, a throwaway non-caching context reproduces the
+    standalone per-call behaviour.  A provided context's frozen fields
+    (prices, matrix, cluster, utility, now, delay estimator) take
+    precedence and must match the other arguments.
     """
+    if ctx is None:
+        ctx = RoundContext(
+            prices=prices,
+            matrix=matrix,
+            cluster=cluster,
+            utility=utility,
+            now=now,
+            delay_estimator=delay_estimator,
+            state=state,
+            caching=False,
+        )
+    return cached_find_alloc(ctx, rt, state)
+
+
+def cached_find_alloc(
+    ctx: RoundContext,
+    rt: JobRuntime,
+    state: ClusterState,
+    state_key: Optional[tuple[int, ...]] = None,
+) -> Optional[AllocationCandidate]:
+    """``find_alloc`` through the round's ``(job, free-vector)`` result cache.
+
+    The DP's allocate/skip recursion reaches the same free-capacity
+    vector along many branch orders; within one round the search result
+    is a pure function of ``(job, state.key())``, so reruns are shared
+    between the exact recursion, the greedy ranking pass, and the greedy
+    allocation walk.  ``state_key`` lets callers that already computed
+    ``state.key()`` (the DP memo does) skip recomputing it.
+    """
+    stats = ctx.stats
+    stats.find_alloc_calls += 1
+    if not ctx.caching:
+        stats.find_alloc_runs += 1
+        return _search(ctx, rt, state)
+    if state_key is None:
+        state_key = state.key()
+    hit = ctx.result_get(rt.job_id, state_key)
+    if hit is not _MISS:
+        stats.result_hits += 1
+        return hit
+    stats.find_alloc_runs += 1
+    result = _search(ctx, rt, state)
+    ctx.result_put(rt.job_id, state_key, result)
+    return result
+
+
+def _search(
+    ctx: RoundContext, rt: JobRuntime, state: ClusterState
+) -> Optional[AllocationCandidate]:
+    """One full candidate generation + evaluation pass."""
     job = rt.job
     model = job.model.name
     w = job.num_workers
 
-    # -- per-call precomputation ------------------------------------------------
+    # -- round-frozen tables (computed once per round, not per call) ----------
+    rate_of = ctx.rates_for(model)
+    usable_desc = ctx.usable_desc(model)
+    if not usable_desc:
+        return None
     free_slots: list[tuple[int, str, int]] = [
         (node_id, type_name, free)
         for (node_id, type_name), free in state.free_slots()
     ]
-    rate_of: dict[str, float] = {}
-    for _, type_name, _ in free_slots:
-        if type_name not in rate_of:
-            rate_of[type_name] = matrix.rate(model, type_name)
-    usable_desc = sorted(
-        (t for t, r in rate_of.items() if r > 0.0),
-        key=lambda t: (-rate_of[t], t),
-    )
-    if not usable_desc:
-        return None
+    free_of: dict[tuple[int, str], int] = {
+        (node_id, type_name): free for node_id, type_name, free in free_slots
+    }
     price_of: dict[tuple[int, str], float] = {
-        (node_id, type_name): prices.price(node_id, type_name, state)
-        for node_id, type_name, _ in free_slots
+        slot: ctx.price(slot, free) for slot, free in free_of.items()
     }
 
     candidates: set[_Picks] = set()
 
     # -- consolidated (line 24): whole gang on one server ----------------------
+    fast_order = ctx.node_fast_order(model)
+    per_node_free: dict[int, int] = {}
     per_node: dict[int, list[tuple[int, str, int]]] = {}
     for node_id, type_name, free in free_slots:
         if rate_of[type_name] > 0.0:
+            per_node_free[node_id] = per_node_free.get(node_id, 0) + free
             per_node.setdefault(node_id, []).append((node_id, type_name, free))
     for node_id, slots in per_node.items():
-        if sum(free for *_, free in slots) < w:
+        if per_node_free[node_id] < w:
             continue
-        fast = sorted(slots, key=lambda s: (-rate_of[s[1]], s[1]))
+        # The frozen fastest-first type order filtered to free slots is
+        # exactly the per-call sort it replaces (type name breaks ties).
+        fast = [
+            (node_id, t, free_of[(node_id, t)])
+            for t in fast_order[node_id]
+            if free_of.get((node_id, t), 0) > 0
+        ]
         picks = _greedy_take(fast, w)
         if picks is not None:
             candidates.add(picks)
@@ -173,7 +240,15 @@ def find_alloc(
                 for (node_id, type_name), count in rt.allocation.placements.items()
             )
         )
-        if all(rate_of.get(t, matrix.rate(model, t)) > 0.0 for _, t, _ in current_picks):
+        usable = True
+        for _, t, _ in current_picks:
+            r = rate_of.get(t)
+            if r is None:  # type outside the cluster inventory (defensive)
+                r = ctx.matrix.rate(model, t)
+            if r <= 0.0:
+                usable = False
+                break
+        if usable:
             candidates.add(current_picks)
 
     if not candidates:
@@ -181,11 +256,15 @@ def find_alloc(
 
     # -- evaluate raw candidates -------------------------------------------------
     model_bytes = job.model.model_bytes
-    comm = cluster.comm
+    comm = ctx.cluster.comm
+    now = ctx.now
+    utility = ctx.utility
     age = now - job.arrival_time
     if age < 0.0:
         age = 0.0
     remaining = rt.remaining_iterations
+    stats = ctx.stats
+    memo = ctx.candidate_memo(rt.job_id)
 
     best_key: Optional[tuple] = None
     best: Optional[tuple[_Picks, float, float, float, float, float]] = None
@@ -193,33 +272,59 @@ def find_alloc(
     # Iteration order cannot leak into the result: the selection key ends
     # with the full picks tuple, a total order over candidates.
     for picks in candidates:  # repro-lint: disable=REP004
-        bottleneck = min(rate_of.get(t) or matrix.rate(model, t) for _, t, _ in picks)
+        is_current = picks == current_picks
+        mkey = None
+        if memo is not None:
+            # A costing depends only on the picks, the picked slots' free
+            # counts (through prices), and the current-placement flag —
+            # shareable across every call in the round.
+            mkey = (
+                picks,
+                tuple(free_of[(n, t)] for n, t, _ in picks),
+                is_current,
+            )
+            cached = memo.get(mkey, _MISS)
+            if cached is not _MISS:
+                stats.candidate_hits += 1
+                if cached is None:
+                    continue
+                cost, u, payoff, rate, jct, multi_node = cached
+                key = (-payoff, cost, multi_node, picks)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (picks, cost, u, payoff, rate, jct)
+                continue
+        stats.candidate_evals += 1
+        bottleneck = min(rate_of.get(t) or ctx.matrix.rate(model, t) for _, t, _ in picks)
         if bottleneck <= 0.0:
+            if memo is not None:
+                memo[mkey] = None
             continue
         nodes = {n for n, _, _ in picks}
         multi_node = len(nodes) > 1
         penalty = comm.throughput_penalty_n(w, multi_node, model_bytes, 1.0 / bottleneck)
         rate = bottleneck * w * penalty
-        if picks == current_picks and rt.slowdown < 1.0:
+        if is_current and rt.slowdown < 1.0:
             # Keeping a straggling gang keeps its degradation; a fresh
             # placement starts with healthy workers (straggler awareness).
             rate *= rt.slowdown
-        base_cost = sum(
-            (price_of[(n, t)] if (n, t) in price_of else prices.price(n, t, state)) * c
-            for n, t, c in picks
-        )
+        base_cost = sum(price_of[(n, t)] * c for n, t, c in picks)
         cost = base_cost / penalty  # comm surcharge: slower gang = pricier time
-        if picks == current_picks:
+        if is_current:
             delay = 0.0
         else:
             if move_delay is None:
-                move_delay = delay_estimator(rt, Allocation.from_pairs(picks))
+                move_delay = ctx.move_delay_for(rt, picks)
             delay = move_delay
         jct = age + delay + remaining / rate
         u = utility.value_for(rt, jct, now)
         payoff = u - cost
         if payoff <= 0.0:
+            if memo is not None:
+                memo[mkey] = None
             continue
+        if memo is not None:
+            memo[mkey] = (cost, u, payoff, rate, jct, multi_node)
         key = (-payoff, cost, multi_node, picks)
         if best_key is None or key < best_key:
             best_key = key

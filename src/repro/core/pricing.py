@@ -84,20 +84,32 @@ class PriceBook:
                 )
 
     # -- Eq. (5) -----------------------------------------------------------
-    def price(self, node_id: int, type_name: str, state: ClusterState) -> float:
-        """Current unit price of a type-``type_name`` device on ``node_id``.
+    def price_given(self, type_name: str, cap: int, free: int) -> float:
+        """Unit price at an explicit occupancy ``γ = cap − free``.
 
-        ``γ`` is read off ``state`` as ``capacity − free``.
+        The price is a pure function of the committed fraction per slot,
+        which is what lets :class:`~repro.core.round_context.RoundContext`
+        memoize it per ``(slot, free count)`` across the DP recursion.
         """
         lo = self.u_min.get(type_name, 0.0)
         hi = self.u_max.get(type_name, 0.0)
         if hi <= 0.0:
             return 0.0  # no queued job can use this type; it is free
-        cap = state.capacity(node_id, type_name)
         if cap <= 0:
             return hi  # slot does not exist: prohibitively priced
-        gamma = cap - state.free(node_id, type_name)
+        gamma = cap - free
         return lo * (hi / lo) ** (gamma / cap)
+
+    def price(self, node_id: int, type_name: str, state: ClusterState) -> float:
+        """Current unit price of a type-``type_name`` device on ``node_id``.
+
+        ``γ`` is read off ``state`` as ``capacity − free``.
+        """
+        return self.price_given(
+            type_name,
+            state.capacity(node_id, type_name),
+            state.free(node_id, type_name),
+        )
 
     def cost_of(self, allocation: Allocation, state: ClusterState) -> float:
         """Σ price × count at the *pre-allocation* prices (Definition 1)."""

@@ -1,0 +1,267 @@
+"""Round-scoped allocation engine context.
+
+Hadar's ``DP_allocation`` re-enters ``FIND_ALLOC`` at every branch of the
+allocate/skip recursion, and the greedy fallback re-walks the whole queue
+twice more — yet almost everything those calls compute is frozen for the
+duration of one scheduling round: the price bounds, the per-model rate
+vectors, the slot universe, and the reallocation-delay estimate.  A
+:class:`RoundContext` is constructed **once per round** and shared by
+every ``find_alloc`` call in that round.  It provides
+
+* frozen per-round lookup tables — per-model rate vectors
+  (:meth:`rates_for`), the fastest-first usable-type order driving the
+  bottleneck tiers (:meth:`usable_desc`), and per-``(model, node)``
+  fastest-first slot orderings (:meth:`node_fast_order`);
+* **incremental pricing** — Eq. (5)'s price is a pure function of a
+  slot's committed fraction, so :meth:`price` memoizes it per
+  ``(slot, free count)``; an ``allocate()``/``release()`` on a branch
+  state implicitly "invalidates" only the touched slots because their
+  free counts (the cache key) change;
+* **candidate memoization** — a costed gang's payoff depends only on the
+  picks and the free counts of the picked slots, so evaluations are
+  shared across every ``find_alloc`` call in the round
+  (:meth:`candidate_memo`);
+* a **result cache** keyed on ``(job_id, state.key())`` used by
+  :func:`repro.core.find_alloc.cached_find_alloc`, so different DP branch
+  orders reaching the same free-capacity vector reuse the full search;
+* instrumentation counters (:class:`RoundStats`) consumed by
+  ``benchmarks/record_bench.py`` and surfaced per simulation through
+  :attr:`repro.sim.engine.SimulationResult.hotpath_stats`.
+
+Construct with ``caching=False`` for the **reference mode**: the same
+search code runs with every cache layer disabled, reproducing the
+pre-context per-call behaviour (the golden-parity suite in
+``tests/core/test_hotpath_parity.py`` proves both modes emit
+byte-identical schedules).
+
+The caches assume what the rest of the round machinery already assumes:
+``prices``, ``now``, every job's runtime snapshot, and the
+``delay_estimator``'s output for a given job are frozen while the context
+lives.  All shipped :class:`~repro.sim.checkpoint.CheckpointModel`
+estimators depend only on the job and whether the gang moves, matching
+``find_alloc``'s long-standing "one move delay per call" shortcut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.state import ClusterState
+    from repro.core.find_alloc import DelayEstimator
+    from repro.core.pricing import PriceBook
+    from repro.core.utility import Utility
+    from repro.sim.progress import JobRuntime
+    from repro.workload.throughput import ThroughputMatrix
+
+__all__ = ["RoundContext", "RoundStats"]
+
+_MISS = object()
+"""Sentinel distinguishing 'not cached' from a cached ``None`` result."""
+
+
+@dataclass
+class RoundStats:
+    """Hot-path instrumentation counters for one scheduling round.
+
+    ``find_alloc_calls`` counts logical requests; ``find_alloc_runs`` the
+    full candidate searches actually executed (calls minus result-cache
+    hits).  ``candidate_evals`` counts cold gang costings — the quantity
+    the ISSUE's ≥3× reduction target is measured on — and
+    ``price_evals`` cold Eq. (5) evaluations.
+    """
+
+    find_alloc_calls: int = 0
+    find_alloc_runs: int = 0
+    result_hits: int = 0
+    candidate_evals: int = 0
+    candidate_hits: int = 0
+    price_evals: int = 0
+    price_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "find_alloc_calls": self.find_alloc_calls,
+            "find_alloc_runs": self.find_alloc_runs,
+            "result_hits": self.result_hits,
+            "candidate_evals": self.candidate_evals,
+            "candidate_hits": self.candidate_hits,
+            "price_evals": self.price_evals,
+            "price_hits": self.price_hits,
+        }
+
+    def merge(self, other: "RoundStats") -> None:
+        self.find_alloc_calls += other.find_alloc_calls
+        self.find_alloc_runs += other.find_alloc_runs
+        self.result_hits += other.result_hits
+        self.candidate_evals += other.candidate_evals
+        self.candidate_hits += other.candidate_hits
+        self.price_evals += other.price_evals
+        self.price_hits += other.price_hits
+
+
+class RoundContext:
+    """Shared per-round lookup tables and caches (see the module docstring)."""
+
+    __slots__ = (
+        "prices",
+        "matrix",
+        "cluster",
+        "utility",
+        "now",
+        "delay_estimator",
+        "caching",
+        "stats",
+        "_caps",
+        "_types",
+        "_price_cache",
+        "_rates",
+        "_usable",
+        "_node_types",
+        "_node_fast",
+        "_move_delay",
+        "_results",
+        "_cand_memo",
+    )
+
+    def __init__(
+        self,
+        *,
+        prices: "PriceBook",
+        matrix: "ThroughputMatrix",
+        cluster: "Cluster",
+        utility: "Utility",
+        now: float,
+        delay_estimator: "DelayEstimator",
+        state: "ClusterState",
+        caching: bool = True,
+    ):
+        self.prices = prices
+        self.matrix = matrix
+        self.cluster = cluster
+        self.utility = utility
+        self.now = now
+        self.delay_estimator = delay_estimator
+        self.caching = caching
+        self.stats = RoundStats()
+        # The slot universe (and each slot's capacity) is immutable for the
+        # round; only free counts move, and they arrive as explicit args.
+        self._caps: dict[tuple[int, str], int] = {
+            slot: state.capacity(*slot) for slot in state.slots
+        }
+        self._types: tuple[str, ...] = tuple(
+            sorted({t for (_, t) in self._caps})
+        )
+        self._node_types: dict[int, list[str]] = {}
+        for node_id, type_name in self._caps:
+            self._node_types.setdefault(node_id, []).append(type_name)
+        self._price_cache: dict[tuple[tuple[int, str], int], float] = {}
+        self._rates: dict[str, dict[str, float]] = {}
+        self._usable: dict[str, tuple[str, ...]] = {}
+        self._node_fast: dict[str, dict[int, tuple[str, ...]]] = {}
+        self._move_delay: dict[int, float] = {}
+        self._results: dict[tuple[int, tuple[int, ...]], Any] = {}
+        self._cand_memo: dict[int, dict] = {}
+
+    # -- incremental pricing ------------------------------------------------
+    def price(self, slot: tuple[int, str], free: int) -> float:
+        """Eq. (5) price of ``slot`` at ``free`` unclaimed devices.
+
+        Memoized per ``(slot, free)`` when caching: a branch state's
+        ``allocate``/``release`` only changes the free counts of the slots
+        it touches, so untouched slots keep hitting their cached entries.
+        """
+        if not self.caching:
+            self.stats.price_evals += 1
+            return self.prices.price_given(slot[1], self._caps.get(slot, 0), free)
+        key = (slot, free)
+        hit = self._price_cache.get(key)
+        if hit is not None:
+            self.stats.price_hits += 1
+            return hit
+        self.stats.price_evals += 1
+        value = self.prices.price_given(slot[1], self._caps.get(slot, 0), free)
+        self._price_cache[key] = value
+        return value
+
+    # -- frozen per-model tables --------------------------------------------
+    def rates_for(self, model: str) -> dict[str, float]:
+        """Per-worker rate of ``model`` on every GPU type in the cluster."""
+        table = self._rates.get(model)
+        if table is None:
+            rate = self.matrix.rate
+            table = {t: rate(model, t) for t in self._types}
+            self._rates[model] = table
+        return table
+
+    def usable_desc(self, model: str) -> tuple[str, ...]:
+        """Usable types fastest-first (the bottleneck-tier order)."""
+        order = self._usable.get(model)
+        if order is None:
+            rates = self.rates_for(model)
+            order = tuple(
+                sorted((t for t, r in rates.items() if r > 0.0),
+                       key=lambda t: (-rates[t], t))
+            )
+            self._usable[model] = order
+        return order
+
+    def node_fast_order(self, model: str) -> dict[int, tuple[str, ...]]:
+        """Per-node usable types fastest-first (consolidated candidates).
+
+        Filtering this frozen order down to a branch state's free slots
+        yields exactly what sorting those free slots per call would —
+        type names break rate ties, so the key is a total order.
+        """
+        per_node = self._node_fast.get(model)
+        if per_node is None:
+            rates = self.rates_for(model)
+            per_node = {
+                node_id: tuple(
+                    sorted((t for t in types if rates[t] > 0.0),
+                           key=lambda t: (-rates[t], t))
+                )
+                for node_id, types in self._node_types.items()
+            }
+            self._node_fast[model] = per_node
+        return per_node
+
+    # -- move-delay sharing ---------------------------------------------------
+    def move_delay_for(self, rt: "JobRuntime", picks) -> float:
+        """The reallocation pause charged to non-current candidates.
+
+        ``find_alloc`` has always charged one delay per call (estimators
+        are constant across target gangs for a fixed job); caching per
+        job extends the same value to every call in the round.
+        """
+        from repro.cluster.allocation import Allocation
+
+        if not self.caching:
+            return self.delay_estimator(rt, Allocation.from_pairs(picks))
+        delay = self._move_delay.get(rt.job_id)
+        if delay is None:
+            delay = self.delay_estimator(rt, Allocation.from_pairs(picks))
+            self._move_delay[rt.job_id] = delay
+        return delay
+
+    # -- cache layers ---------------------------------------------------------
+    def candidate_memo(self, job_id: int) -> Optional[dict]:
+        """The job's candidate-evaluation memo, or ``None`` when disabled."""
+        if not self.caching:
+            return None
+        memo = self._cand_memo.get(job_id)
+        if memo is None:
+            memo = self._cand_memo[job_id] = {}
+        return memo
+
+    def result_get(self, job_id: int, state_key: tuple[int, ...]):
+        """Cached full-search result, or the module sentinel on a miss."""
+        if not self.caching:
+            return _MISS
+        return self._results.get((job_id, state_key), _MISS)
+
+    def result_put(self, job_id: int, state_key: tuple[int, ...], value) -> None:
+        if self.caching:
+            self._results[(job_id, state_key)] = value

@@ -27,6 +27,7 @@ from repro.cluster.allocation import Allocation
 from repro.core.dp import DPAllocator, DPConfig
 from repro.core.find_alloc import AllocationCandidate
 from repro.core.pricing import PriceBook, PricingConfig
+from repro.core.round_context import RoundContext
 from repro.core.utility import NormalizedThroughputUtility, Utility
 from repro.sim.checkpoint import CheckpointModel, FixedDelayCheckpoint
 from repro.sim.interface import Scheduler, SchedulerContext
@@ -88,6 +89,11 @@ class HadarScheduler(Scheduler):
         self.last_chosen: dict[int, AllocationCandidate] = {}
         """Jobs admitted by the most recent round's DP, with their costed
         candidates (read by the invariant sanitizer's μ_j > 0 check)."""
+        self.last_round_stats: dict[str, int] = {}
+        """Hot-path counters of the most recent round's shared
+        :class:`~repro.core.round_context.RoundContext` (FIND_ALLOC calls,
+        cache hits, candidate/price evaluations); the engine aggregates
+        them into :attr:`SimulationResult.hotpath_stats`."""
         self.audit: list[RoundAudit] = []
         """Per-round primal/dual records (populated when record_audit)."""
 
@@ -99,6 +105,7 @@ class HadarScheduler(Scheduler):
         self.last_alpha = 1.0
         self.last_prices = None
         self.last_chosen = {}
+        self.last_round_stats = {}
         self.audit.clear()
 
     # ------------------------------------------------------------------ API --
@@ -128,6 +135,16 @@ class HadarScheduler(Scheduler):
         self.last_prices = prices
         self.last_alpha = prices.alpha()
 
+        round_ctx = RoundContext(
+            prices=prices,
+            matrix=ctx.matrix,
+            cluster=ctx.cluster,
+            utility=cfg.utility,
+            now=ctx.now,
+            delay_estimator=self._estimate_delay,
+            state=state,
+            caching=cfg.dp.round_caching,
+        )
         allocator = DPAllocator(
             prices=prices,
             matrix=ctx.matrix,
@@ -136,9 +153,11 @@ class HadarScheduler(Scheduler):
             now=ctx.now,
             delay_estimator=self._estimate_delay,
             config=cfg.dp,
+            context=round_ctx,
         )
         chosen = allocator.allocate(queue, state)
         self.last_chosen = dict(chosen)
+        self.last_round_stats = round_ctx.stats.as_dict()
 
         if cfg.record_audit:
             fresh = ctx.fresh_state()

@@ -61,6 +61,11 @@ class SimulationResult:
     truncated: bool = False
     rounds_with_change: int = 0
     """Rounds in which at least one job's allocation changed (Sec. IV-A-5)."""
+    hotpath_stats: dict[str, int] = field(default_factory=dict)
+    """Aggregated allocation-engine counters (FIND_ALLOC calls, cache hits,
+    candidate/price evaluations) summed over every round, for schedulers
+    that publish ``last_round_stats`` (Hadar's round context); empty for
+    the baselines.  Consumed by ``benchmarks/record_bench.py``."""
 
     # -- convenience views -----------------------------------------------------
     @property
@@ -166,6 +171,7 @@ class SimulationEngine:
         invocations = 0
         rounds_with_change = 0
         decision_seconds: list[float] = []
+        hotpath_stats: dict[str, int] = {}
         truncated = False
 
         while events and completed < len(runtimes):
@@ -209,7 +215,8 @@ class SimulationEngine:
 
             if needs_scheduler and completed < len(runtimes):
                 changed = self._invoke_scheduler(
-                    runtimes, state, events, telemetry, now, decision_seconds
+                    runtimes, state, events, telemetry, now, decision_seconds,
+                    hotpath_stats,
                 )
                 invocations += 1
                 if event.kind is EventKind.ROUND_BOUNDARY and changed:
@@ -240,6 +247,7 @@ class SimulationEngine:
             decision_seconds=decision_seconds,
             truncated=truncated,
             rounds_with_change=rounds_with_change,
+            hotpath_stats=hotpath_stats,
         )
 
     # -------------------------------------------------------------- helpers --
@@ -307,6 +315,7 @@ class SimulationEngine:
         telemetry: UtilizationRecorder,
         now: float,
         decision_seconds: list[float],
+        hotpath_stats: dict[str, int],
     ) -> bool:
         """Run one scheduling decision and apply the diff; True if changed."""
         waiting = tuple(
@@ -332,6 +341,11 @@ class SimulationEngine:
         t0 = _time.perf_counter()
         target = dict(self.scheduler.schedule(ctx))
         decision_seconds.append(_time.perf_counter() - t0)
+
+        round_stats = getattr(self.scheduler, "last_round_stats", None)
+        if round_stats:
+            for counter, value in round_stats.items():
+                hotpath_stats[counter] = hotpath_stats.get(counter, 0) + value
 
         self._validate_target(target, runtimes)
         changed = self._apply_target(target, runtimes, state, events, now)

@@ -15,12 +15,14 @@ from repro.analysis.lint import (
     NondeterminismRule,
     SilentExceptionRule,
     UnorderedIterationRule,
+    apply_fixes,
     lint_paths,
     lint_source,
     main,
 )
 
-SRC_ROOT = Path(__file__).resolve().parents[2] / "src"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_ROOT = REPO_ROOT / "src"
 
 CORE = "src/repro/core/fake.py"
 """Synthetic path inside the determinism-critical scope."""
@@ -145,6 +147,111 @@ class TestUnorderedIteration:
         assert lint_source(src, CORE) == []
 
 
+class TestFixMode:
+    """``--fix``: mechanical REP004 repairs that preserve formatting."""
+
+    def _fix(self, src: str, path: str = CORE) -> str:
+        fixed, _ = apply_fixes(src, lint_source(src, path))
+        return fixed
+
+    def test_for_loop_iterable_wrapped(self):
+        src = "def f(items):\n    for x in set(items):\n        use(x)\n"
+        fixed = self._fix(src)
+        assert fixed == "def f(items):\n    for x in sorted(set(items)):\n        use(x)\n"
+        assert lint_source(fixed, CORE) == []
+
+    def test_set_variable_wrapped(self):
+        src = (
+            "def f(items):\n"
+            "    pending = {i.key for i in items}\n"
+            "    for x in pending:  # placement order matters\n"
+            "        place(x)\n"
+        )
+        fixed = self._fix(src)
+        assert "for x in sorted(pending):  # placement order matters\n" in fixed
+        assert lint_source(fixed, CORE) == []
+
+    def test_comprehension_generator_wrapped(self):
+        src = "def f(s):\n    s = set(s)\n    return [go(x) for x in s]\n"
+        fixed = self._fix(src)
+        assert "return [go(x) for x in sorted(s)]\n" in fixed
+        assert lint_source(fixed, CORE) == []
+
+    def test_min_with_key_argument_wrapped(self):
+        src = "def f(types):\n    return min(frozenset(types), key=rate)\n"
+        fixed = self._fix(src)
+        assert "min(sorted(frozenset(types)), key=rate)" in fixed
+        assert lint_source(fixed, CORE) == []
+
+    def test_multiline_iterable_wrapped(self):
+        src = (
+            "def f(a, b):\n"
+            "    for x in set(\n"
+            "        a + b\n"
+            "    ):\n"
+            "        use(x)\n"
+        )
+        fixed = self._fix(src)
+        assert "for x in sorted(set(\n" in fixed
+        assert "    )):\n" in fixed
+        assert lint_source(fixed, CORE) == []
+
+    def test_multiple_findings_fixed_in_one_pass(self):
+        src = (
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    for x in s:\n"
+            "        use(x)\n"
+            "    return {y: 1 for y in s}\n"
+        )
+        fixed, applied = apply_fixes(src, lint_source(src, CORE))
+        assert applied == 2
+        assert lint_source(fixed, CORE) == []
+
+    def test_non_mechanical_rules_untouched(self):
+        src = "def f(x=[]):\n    return x == 0.5\n"
+        fixed, applied = apply_fixes(src, lint_source(src, CORE))
+        assert applied == 0
+        assert fixed == src
+
+    def test_suppressed_findings_not_fixed(self):
+        src = (
+            "def f(s):\n"
+            "    s = set(s)\n"
+            "    for x in s:  # repro-lint: disable=REP004\n"
+            "        use(x)\n"
+        )
+        fixed, applied = apply_fixes(src, lint_source(src, CORE))
+        assert applied == 0
+        assert fixed == src
+
+    def test_fixable_flag_in_json_payload(self):
+        findings = lint_source(
+            "def f(s):\n    for x in set(s):\n        use(x)\n", CORE
+        )
+        assert [f.to_dict()["fixable"] for f in findings] == [True]
+        unfixable = lint_source("x = y == 0.5\n", CORE)
+        assert [f.to_dict()["fixable"] for f in unfixable] == [False]
+
+    def test_main_fix_rewrites_and_exits_by_residual(self, tmp_path, capsys):
+        target = tmp_path / "decider.py"
+        target.write_text("def f(s):\n    for x in set(s):\n        use(x)\n")
+        assert main(["--fix", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fixed 1 finding(s) in 1 file(s)." in out
+        assert "sorted(set(s))" in target.read_text()
+
+    def test_main_fix_exits_nonzero_when_findings_remain(self, tmp_path, capsys):
+        target = tmp_path / "mixed.py"
+        target.write_text(
+            "def f(s):\n    for x in set(s):\n        use(x)\n    return s == 0.5\n"
+        )
+        assert main(["--fix", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "fixed 1 finding(s)" in out
+        assert "REP001" in out  # the judgement-call finding survives
+
+
 class TestSilentException:
     def test_bare_except_flagged_in_engine_path(self):
         src = "try:\n    go()\nexcept:\n    pass\n"
@@ -232,10 +339,15 @@ class TestDriver:
 
 
 class TestShippedTreeIsClean:
-    """The permanent gate: the linter must pass over the shipped sources."""
+    """The permanent gate: the linter must pass over the shipped sources —
+    the library, the benchmark drivers, and the runnable examples (the CI
+    lint step covers the same three trees)."""
 
-    def test_src_tree_has_no_findings(self):
-        findings = lint_paths([SRC_ROOT / "repro"])
+    @pytest.mark.parametrize(
+        "tree", ["src/repro", "benchmarks", "examples"]
+    )
+    def test_shipped_tree_has_no_findings(self, tree):
+        findings = lint_paths([REPO_ROOT / tree])
         assert findings == [], "\n".join(f.format() for f in findings)
 
     def test_every_rule_has_id_and_doc(self):
