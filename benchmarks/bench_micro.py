@@ -115,6 +115,19 @@ def test_micro_full_hadar_simulation_small(benchmark):
 
 
 @pytest.mark.benchmark(group="micro")
+def test_micro_engine_event_loop(benchmark):
+    """The kernel + phase pipeline in isolation: drive a full run with the
+    cheap Tiresias policy so event dispatch, rate integration, and dirty-set
+    re-prediction dominate the wall-clock instead of the DP search."""
+    from repro.baselines import TiresiasScheduler
+
+    trace = generate_philly_trace(PhillyTraceConfig(num_jobs=24, seed=3))
+    benchmark.pedantic(
+        lambda: simulate(CLUSTER, trace, TiresiasScheduler()), rounds=1, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="micro")
 def test_micro_scheduler_context_build(benchmark):
     jobs = _queued_jobs(128)
 

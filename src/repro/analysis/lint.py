@@ -48,6 +48,7 @@ __all__ = [
     "MutableDefaultRule",
     "UnorderedIterationRule",
     "SilentExceptionRule",
+    "UnorderedFloatSumRule",
     "ALL_RULES",
     "apply_fixes",
     "fix_paths",
@@ -453,17 +454,18 @@ class UnorderedIterationRule(LintRule):
             "set", "frozenset", "Set", "FrozenSet", "AbstractSet",
         }
 
-    def _set_names(self, scope: ast.AST) -> set[str]:
+    @classmethod
+    def _set_names(cls, scope: ast.AST) -> set[str]:
         """Local names bound to set-typed values inside one scope."""
         names: set[str] = set()
         for node in _scope_nodes(scope):
-            if isinstance(node, ast.Assign) and self._is_set_expr(node.value):
+            if isinstance(node, ast.Assign) and cls._is_set_expr(node.value):
                 for tgt in node.targets:
                     if isinstance(tgt, ast.Name):
                         names.add(tgt.id)
             elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-                if (node.value is not None and self._is_set_expr(node.value)) or (
-                    self._is_set_annotation(node.annotation)
+                if (node.value is not None and cls._is_set_expr(node.value)) or (
+                    cls._is_set_annotation(node.annotation)
                 ):
                     names.add(node.target.id)
         return names
@@ -574,12 +576,62 @@ class SilentExceptionRule(LintRule):
                 )
 
 
+# --------------------------------------------------------------------------- #
+# REP006 — float accumulation over unordered containers
+# --------------------------------------------------------------------------- #
+
+class UnorderedFloatSumRule(LintRule):
+    """``sum()`` accumulating directly over an unordered container.
+
+    Float addition is not associative: ``sum`` over a ``set`` or
+    ``frozenset`` folds in hash/insertion order, so two replays of the
+    same trace can disagree in the last ulp — enough to flip an admission
+    threshold (REP001's failure mode, manufactured one step earlier).
+    Sort the operands first (``sum(sorted(xs))``) or use ``math.fsum``,
+    whose correctly-rounded result is order-independent by construction.
+
+    Complements REP004, which covers explicit *iteration* (loops,
+    comprehensions, keyed ``min``/``max``); a bare ``sum(prices)`` over a
+    set-typed name iterates inside the builtin and slips REP004's net.
+    Deliberately carries no ``--fix``: both repairs change the
+    accumulated bits, and *which* order becomes canonical (sorted fold vs
+    exact ``fsum``) is a judgement call per call site.
+    """
+
+    rule_id = "REP006"
+
+    def visit(self, node: ast.AST, ctx: _FileContext) -> None:
+        if not isinstance(node, (ast.Module, ast.FunctionDef, ast.AsyncFunctionDef)):
+            return
+        set_names = UnorderedIterationRule._set_names(node)
+        for sub in _scope_nodes(node):
+            if not (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Name)
+                and sub.func.id == "sum"
+                and sub.args
+            ):
+                continue
+            arg = sub.args[0]
+            if UnorderedIterationRule._is_set_expr(arg) or (
+                isinstance(arg, ast.Name) and arg.id in set_names
+            ):
+                ctx.report(
+                    sub,
+                    self,
+                    "sum() over an unordered set accumulates floats in hash "
+                    "order (non-associative); sort the operands — "
+                    "sum(sorted(...)) — or use math.fsum",
+                )
+
+
 ALL_RULES: tuple[type[LintRule], ...] = (
     FloatEqualityRule,
     NondeterminismRule,
     MutableDefaultRule,
     UnorderedIterationRule,
     SilentExceptionRule,
+    UnorderedFloatSumRule,
 )
 
 
@@ -691,7 +743,7 @@ def fix_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Scheduler-specific static analysis (REP001-REP005).",
+        description="Scheduler-specific static analysis (REP001-REP006).",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     parser.add_argument("--json", action="store_true", help="machine-readable output")

@@ -16,6 +16,17 @@ them independently, every round, from first principles:
 * **primal/dual increments** — each audited round satisfies
   ``P_j − P_{j−1} ≥ (D_j − D_{j−1}) / α`` (Lemma 2).
 
+The baselines get their own invariants, dispatched off each scheduler's
+public introspection surface:
+
+* **Gavel LP feasibility** — the time-fraction matrix ``Y`` behind every
+  decision satisfies ``0 ≤ Y ≤ 1``, per-job row sums ``Σ_r Y[j,r] ≤ 1``,
+  and per-type weighted column sums ``Σ_j W_j·Y[j,r] ≤ C_r`` (the LP's
+  own constraints, re-checked as residuals on the solver output);
+* **Tiresias queue monotonicity** — demotion to the low-priority queue
+  is one-way (PromoteKnob disabled), and the demoted set is exactly the
+  active jobs whose attained service crossed the queue threshold.
+
 Attach one to an engine (``SimulationEngine(..., sanitizer=...)`` or
 ``simulate(..., sanitizer=...)``); it is called after every scheduler
 decision is applied.  A violation raises a structured
@@ -47,7 +58,8 @@ class InvariantViolation(RuntimeError):
     ----------
     rule:
         Which invariant failed: ``"capacity"``, ``"gang"``,
-        ``"price-bounds"``, ``"payoff"``, or ``"primal-dual"``.
+        ``"price-bounds"``, ``"payoff"``, ``"primal-dual"``,
+        ``"gavel-feasibility"``, or ``"queue-monotonicity"``.
     round_index / now / job_id:
         Where in the run it happened (``None`` when not applicable).
     details:
@@ -101,6 +113,8 @@ class InvariantSanitizer:
     mode: str = "raise"
     violations: list[InvariantViolation] = field(default_factory=list)
     rounds_checked: int = 0
+    # Jobs ever seen demoted — the reference set for one-way demotion.
+    _tiresias_seen: set[int] = field(default_factory=set, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.mode not in {"raise", "collect"}:
@@ -314,6 +328,145 @@ class InvariantSanitizer:
                 )
             )
 
+    def check_gavel_feasibility(
+        self,
+        allocation_matrix: Any,
+        workers: Mapping[int, int],
+        capacity: Mapping[str, int],
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Residual check of Gavel's LP constraints on a solved ``Y``.
+
+        ``allocation_matrix`` is anything with the
+        :class:`~repro.baselines.gavel.policy.AllocationMatrix` surface
+        (``job_ids``, ``types``, ``fraction``); ``workers`` maps job id to
+        gang size ``W_j`` and ``capacity`` maps GPU type to device count
+        ``C_r``.  Verifies ``0 ≤ Y[j,r] ≤ 1``, ``Σ_r Y[j,r] ≤ 1`` per job,
+        and ``Σ_j W_j·Y[j,r] ≤ C_r`` per type, all within tolerance.
+        """
+        entry_slack = self.rel_tol + self.abs_tol
+        col_used: dict[str, float] = {t: 0.0 for t in allocation_matrix.types}
+        for job_id in allocation_matrix.job_ids:
+            row_sum = 0.0
+            for type_name in allocation_matrix.types:
+                y = allocation_matrix.fraction(job_id, type_name)
+                if y < -entry_slack or y > 1.0 + entry_slack:
+                    self._emit(
+                        InvariantViolation(
+                            "gavel-feasibility",
+                            f"Y entry for type {type_name!r} escaped [0, 1]",
+                            round_index=round_index,
+                            now=now,
+                            job_id=job_id,
+                            details={"type": type_name, "fraction": y},
+                        )
+                    )
+                row_sum += y
+                col_used[type_name] += workers.get(job_id, 0) * y
+            if row_sum > 1.0 + self.rel_tol + self.abs_tol:
+                self._emit(
+                    InvariantViolation(
+                        "gavel-feasibility",
+                        "job's time fractions sum past 1 "
+                        "(it would run on >1 type at once)",
+                        round_index=round_index,
+                        now=now,
+                        job_id=job_id,
+                        details={"row_sum": row_sum},
+                    )
+                )
+        for type_name in allocation_matrix.types:
+            cap = float(capacity.get(type_name, 0))
+            used = col_used[type_name]
+            if used > cap + self.rel_tol * max(cap, 1.0) + self.abs_tol:
+                self._emit(
+                    InvariantViolation(
+                        "gavel-feasibility",
+                        f"expected demand on type {type_name!r} exceeds "
+                        "its device capacity",
+                        round_index=round_index,
+                        now=now,
+                        details={
+                            "type": type_name,
+                            "weighted_demand": used,
+                            "capacity": cap,
+                        },
+                    )
+                )
+
+    def check_tiresias_monotonicity(
+        self,
+        demoted: Iterable[int],
+        runtimes: Mapping[int, JobRuntime],
+        threshold: float,
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Two-queue LAS with PromoteKnob disabled (one-way demotion).
+
+        A job seen in the low-priority queue once must stay there for the
+        rest of the run; every demoted job must have actually crossed the
+        attained-service ``threshold`` (service never shrinks, so this
+        holds at any later observation too); and every still-active job
+        past the threshold must have been demoted.  The sanitizer keeps
+        the union of all demoted sets it has observed as the reference.
+        """
+        demoted = set(demoted)
+        slack = self.rel_tol * threshold + self.abs_tol
+        promoted = self._tiresias_seen - demoted
+        for job_id in sorted(promoted):
+            self._emit(
+                InvariantViolation(
+                    "queue-monotonicity",
+                    "job returned to the high-priority queue; demotion "
+                    "is one-way (PromoteKnob disabled)",
+                    round_index=round_index,
+                    now=now,
+                    job_id=job_id,
+                )
+            )
+        self._tiresias_seen |= demoted
+        for job_id in sorted(demoted):
+            rt = runtimes.get(job_id)
+            if rt is None:
+                continue
+            if rt.attained_service < threshold - slack:
+                self._emit(
+                    InvariantViolation(
+                        "queue-monotonicity",
+                        "demoted job never reached the queue threshold",
+                        round_index=round_index,
+                        now=now,
+                        job_id=job_id,
+                        details={
+                            "attained_service": rt.attained_service,
+                            "threshold": threshold,
+                        },
+                    )
+                )
+        for job_id in sorted(runtimes):
+            rt = runtimes[job_id]
+            if rt.state is JobState.COMPLETE or job_id in demoted:
+                continue
+            if rt.attained_service >= threshold + slack:
+                self._emit(
+                    InvariantViolation(
+                        "queue-monotonicity",
+                        "active job crossed the queue threshold but was "
+                        "not demoted",
+                        round_index=round_index,
+                        now=now,
+                        job_id=job_id,
+                        details={
+                            "attained_service": rt.attained_service,
+                            "threshold": threshold,
+                        },
+                    )
+                )
+
     # ------------------------------------------------------------ engine hook --
     def on_round(
         self,
@@ -327,31 +480,69 @@ class InvariantSanitizer:
         """Full sweep after one applied scheduling decision.
 
         The structural invariants (capacity, gangs) are always checked.
-        The pricing invariants run when the scheduler (or a wrapped
-        ``inner`` scheduler, e.g. under profiling) exposes Hadar's
-        introspection surface: ``last_prices``, ``last_chosen``, and
-        ``audit``.
+        Scheduler-specific invariants dispatch off each scheduler's
+        introspection surface, found by walking the ``inner`` chain of
+        wrappers (e.g. under profiling): Hadar exposes ``last_prices`` /
+        ``last_chosen`` / ``audit``, Gavel ``last_allocation_matrix``,
+        and Tiresias ``demoted_jobs`` / ``queue_threshold``.
         """
         self.rounds_checked += 1
         jobs = runtimes.values()
         self.check_capacity(state, jobs, round_index=round_index, now=now)
         self.check_gangs(jobs, round_index=round_index, now=now)
 
-        inner = scheduler
-        while inner is not None and not hasattr(inner, "last_prices"):
-            inner = getattr(inner, "inner", None)
-        if inner is None:
-            return
-        prices = inner.last_prices
-        if prices is not None:
-            # Bounds are evaluated on a synthetic sweep of the *current*
-            # occupancy; Eq. 5 must hold at whatever γ the round ended on.
-            self.check_price_bounds(
-                prices, state, round_index=round_index, now=now
+        hadar = self._unwrap(scheduler, "last_prices")
+        if hadar is not None:
+            prices = hadar.last_prices
+            if prices is not None:
+                # Bounds are evaluated on a synthetic sweep of the *current*
+                # occupancy; Eq. 5 must hold at whatever γ the round ended on.
+                self.check_price_bounds(
+                    prices, state, round_index=round_index, now=now
+                )
+            chosen = getattr(hadar, "last_chosen", None)
+            if chosen:
+                self.check_payoffs(chosen, round_index=round_index, now=now)
+            audit = getattr(hadar, "audit", None)
+            if audit:
+                self.check_round_audit(audit[-1], round_index=round_index)
+
+        gavel = self._unwrap(scheduler, "last_allocation_matrix")
+        if gavel is not None and gavel.last_allocation_matrix is not None:
+            workers = {
+                rt.job_id: rt.job.num_workers for rt in runtimes.values()
+            }
+            self.check_gavel_feasibility(
+                gavel.last_allocation_matrix,
+                workers,
+                self._capacity_by_type(state),
+                round_index=round_index,
+                now=now,
             )
-        chosen = getattr(inner, "last_chosen", None)
-        if chosen:
-            self.check_payoffs(chosen, round_index=round_index, now=now)
-        audit = getattr(inner, "audit", None)
-        if audit:
-            self.check_round_audit(audit[-1], round_index=round_index)
+
+        tiresias = self._unwrap(scheduler, "demoted_jobs")
+        if tiresias is not None:
+            self.check_tiresias_monotonicity(
+                tiresias.demoted_jobs,
+                runtimes,
+                tiresias.queue_threshold,
+                round_index=round_index,
+                now=now,
+            )
+
+    @staticmethod
+    def _unwrap(scheduler: Any, attr: str) -> Any:
+        """The first scheduler in the wrapper chain exposing ``attr``."""
+        inner = scheduler
+        while inner is not None and not hasattr(inner, attr):
+            inner = getattr(inner, "inner", None)
+        return inner
+
+    @staticmethod
+    def _capacity_by_type(state: ClusterState) -> dict[str, int]:
+        capacity: dict[str, int] = {}
+        for node_id, type_name in state.slots:
+            capacity[type_name] = (
+                capacity.get(type_name, 0) + state.capacity(node_id, type_name)
+            )
+        return capacity

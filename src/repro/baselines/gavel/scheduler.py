@@ -72,6 +72,13 @@ class GavelScheduler(Scheduler):
         self._cached_matrix = None
         self._cached_key = None
 
+    @property
+    def last_allocation_matrix(self) -> Optional[AllocationMatrix]:
+        """The ``Y`` matrix behind the most recent decision (introspection
+        surface for :class:`~repro.analysis.sanitizer.InvariantSanitizer`;
+        ``None`` before the first scheduling round)."""
+        return self._cached_matrix
+
     # ------------------------------------------------------------------ API --
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         active = ctx.active

@@ -61,6 +61,17 @@ class TiresiasScheduler(Scheduler):
     def reset(self) -> None:
         self._demoted.clear()
 
+    @property
+    def demoted_jobs(self) -> frozenset[int]:
+        """Jobs currently in the low-priority queue (introspection surface
+        for :class:`~repro.analysis.sanitizer.InvariantSanitizer`)."""
+        return frozenset(self._demoted)
+
+    @property
+    def queue_threshold(self) -> float:
+        """The attained-service boundary between the two queues."""
+        return self.config.queue_threshold_gpu_s
+
     # ------------------------------------------------------------------ API --
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         active = list(ctx.active)

@@ -32,7 +32,7 @@ from repro.core.utility import Utility
 from repro.sim.progress import JobRuntime
 from repro.workload.throughput import ThroughputMatrix
 
-__all__ = ["PricingConfig", "PriceBook"]
+__all__ = ["PricingConfig", "PriceBook", "PriceCalibrator"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,6 +55,11 @@ class PricingConfig:
     eta: float | None = None
     min_ratio: float = math.e
     horizon_slack: float = 1.0
+    incremental: bool = True
+    """Reuse Eq. (8) records across rounds via a persistent
+    :class:`PriceCalibrator` (``False`` re-derives every job every round —
+    the reference mode the parity suite pins the incremental path against;
+    both produce byte-identical books)."""
 
     def __post_init__(self) -> None:
         if self.eta is not None and self.eta <= 0:
@@ -145,25 +150,113 @@ class PriceBook:
         which a job earns its smallest utility) is estimated online as
         ``now + horizon_slack × Σ_j t_j^max`` — the serial worst-case
         drain time of the current queue on the slowest devices.
+
+        This is the full-rescan entry point: a throwaway
+        :class:`PriceCalibrator` with every job dirty.  Round-based
+        callers that want the Eq. (8) records reused across rounds keep a
+        calibrator of their own (see :class:`PriceCalibrator`); both
+        routes run the same code and produce byte-identical books.
         """
-        types = sorted({t for (_, t) in state.slots})
+        return PriceCalibrator(config).calibrate(jobs, matrix, utility, state, now)
+
+
+class PriceCalibrator:
+    """Round-over-round Eqs. (6)-(8) calibration with dirty-job reuse.
+
+    A job's Eq. (8) record — ``t_j^max`` and the per-type ``t_j^min`` —
+    is a pure function of its remaining iterations and gang size, so
+    across rounds only the jobs whose remaining work actually moved (the
+    ones that ran since the last call, plus fresh arrivals) are
+    re-derived; everything queued reuses its record, making the per-round
+    record upkeep O(changed jobs).  The *aggregation* over the records
+    (the horizon ``T``, the η premise, and the ``U_min^r``/``U_max^r``
+    folds) shifts every round as ``now`` advances, so it re-runs in the
+    reference job order with the reference operations — which is what
+    keeps the resulting book byte-identical to a from-scratch
+    :meth:`PriceBook.calibrate` of the same queue.
+
+    The calibrator assumes the slot universe and the throughput matrix
+    are immutable for its lifetime (both hold during a simulation);
+    :meth:`reset` clears everything for a new run.
+    """
+
+    __slots__ = ("config", "_types", "_model_rates", "_records", "last_jobs", "last_dirty")
+
+    def __init__(self, config: PricingConfig = PricingConfig()):
+        self.config = config
+        self._types: list[str] | None = None
+        # model -> (rate-by-type, min supported rate or None)
+        self._model_rates: dict[str, tuple[dict[str, float], float | None]] = {}
+        # job_id -> (remaining, W, t_max, {type: t_min_r})
+        self._records: dict[int, tuple[float, int, float, dict[str, float]]] = {}
+        self.last_jobs = 0
+        """Usable jobs seen by the most recent :meth:`calibrate` call."""
+        self.last_dirty = 0
+        """How many of them needed their Eq. (8) record re-derived."""
+
+    def reset(self) -> None:
+        self._types = None
+        self._model_rates.clear()
+        self._records.clear()
+        self.last_jobs = 0
+        self.last_dirty = 0
+
+    def _rates_for(self, matrix: ThroughputMatrix, model: str, types: list[str]):
+        entry = self._model_rates.get(model)
+        if entry is None:
+            by_type = {t: matrix.rate(model, t) for t in types}
+            supported = [by_type[t] for t in types if matrix.supports(model, t)]
+            entry = (by_type, min(supported) if supported else None)
+            self._model_rates[model] = entry
+        return entry
+
+    def calibrate(
+        self,
+        jobs: Sequence[JobRuntime],
+        matrix: ThroughputMatrix,
+        utility: Utility,
+        state: ClusterState,
+        now: float,
+    ) -> PriceBook:
+        config = self.config
+        types = self._types
+        if types is None:
+            types = self._types = sorted({t for (_, t) in state.slots})
         usable = [rt for rt in jobs if rt.remaining_iterations > 0]
+        self.last_jobs = len(usable)
+        self.last_dirty = 0
         if not usable:
             zero = {t: 0.0 for t in types}
-            return cls(u_min=zero, u_max=dict(zero), eta=1.0)
+            return PriceBook(u_min=zero, u_max=dict(zero), eta=1.0)
 
         # t_j^min / t_j^max per job (Eq. 8), restricted to present types.
+        # Records carry over while (remaining, W) is unchanged; rebuilding
+        # the mapping each round drops records of departed jobs.
+        records = self._records
+        fresh: dict[int, tuple[float, int, float, dict[str, float]]] = {}
         t_max: dict[int, float] = {}
         for rt in usable:
-            model = rt.job.model.name
-            rates = [matrix.rate(model, t) for t in types if matrix.supports(model, t)]
-            if not rates:
-                raise ValueError(
-                    f"job {rt.job_id} ({model}) runs on no GPU type in the cluster"
-                )
-            t_max[rt.job_id] = rt.remaining_iterations / (
-                rt.job.num_workers * min(rates)
-            )
+            job = rt.job
+            remaining = rt.remaining_iterations
+            w = job.num_workers
+            rec = records.get(rt.job_id)
+            if rec is None or rec[0] != remaining or rec[1] != w:
+                self.last_dirty += 1
+                model = job.model.name
+                by_type, min_rate = self._rates_for(matrix, model, types)
+                if min_rate is None:
+                    raise ValueError(
+                        f"job {rt.job_id} ({model}) runs on no GPU type in the cluster"
+                    )
+                t_min = {
+                    r: remaining / (w * rate)
+                    for r, rate in by_type.items()
+                    if rate > 0.0
+                }
+                rec = (remaining, w, remaining / (w * min_rate), t_min)
+            fresh[rt.job_id] = rec
+            t_max[rt.job_id] = rec[2]
+        self._records = fresh
 
         horizon = now + config.horizon_slack * sum(t_max.values())
 
@@ -188,11 +281,11 @@ class PriceBook:
             lo = math.inf
             for rt in usable:
                 job = rt.job
-                rate = matrix.rate(job.model.name, r)
-                if rate <= 0.0:
+                # Fastest completion *using type r*: full gang of type r
+                # (absent from the record when the type is unusable).
+                t_min_r = fresh[rt.job_id][3].get(r)
+                if t_min_r is None:
                     continue
-                # Fastest completion *using type r*: full gang of type r.
-                t_min_r = rt.remaining_iterations / (job.num_workers * rate)
                 jct_best = max(now - job.arrival_time, 0.0) + t_min_r
                 hi = max(hi, utility.value_for(rt, jct_best, now) / job.num_workers)
                 # Smallest utility: the job drags on until the horizon.
@@ -212,4 +305,4 @@ class PriceBook:
             lo = max(lo, 1e-300)
             u_max[r] = hi
             u_min[r] = lo
-        return cls(u_min=u_min, u_max=u_max, eta=eta)
+        return PriceBook(u_min=u_min, u_max=u_max, eta=eta)

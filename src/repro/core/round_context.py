@@ -69,8 +69,14 @@ class RoundStats:
     ``find_alloc_calls`` counts logical requests; ``find_alloc_runs`` the
     full candidate searches actually executed (calls minus result-cache
     hits).  ``candidate_evals`` counts cold gang costings — the quantity
-    the ISSUE's ≥3× reduction target is measured on — and
-    ``price_evals`` cold Eq. (5) evaluations.
+    the ≥3× reduction target is measured on — and ``price_evals`` cold
+    Eq. (5) evaluations.  ``generation_runs``/``generation_hits`` track
+    the shared candidate-generation cache (one generation per
+    ``(model, gang size, free-capacity vector)``), ``physics_evals``/
+    ``physics_hits`` the job-independent gang-physics layer (bottleneck
+    rate, comm penalty, price cost), and ``calib_jobs``/``calib_dirty``
+    the incremental price calibration's dirty set (jobs seen vs. jobs
+    whose Eq. (8) record had to be recomputed).
     """
 
     find_alloc_calls: int = 0
@@ -80,6 +86,12 @@ class RoundStats:
     candidate_hits: int = 0
     price_evals: int = 0
     price_hits: int = 0
+    generation_runs: int = 0
+    generation_hits: int = 0
+    physics_evals: int = 0
+    physics_hits: int = 0
+    calib_jobs: int = 0
+    calib_dirty: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -90,6 +102,12 @@ class RoundStats:
             "candidate_hits": self.candidate_hits,
             "price_evals": self.price_evals,
             "price_hits": self.price_hits,
+            "generation_runs": self.generation_runs,
+            "generation_hits": self.generation_hits,
+            "physics_evals": self.physics_evals,
+            "physics_hits": self.physics_hits,
+            "calib_jobs": self.calib_jobs,
+            "calib_dirty": self.calib_dirty,
         }
 
     def merge(self, other: "RoundStats") -> None:
@@ -100,6 +118,12 @@ class RoundStats:
         self.candidate_hits += other.candidate_hits
         self.price_evals += other.price_evals
         self.price_hits += other.price_hits
+        self.generation_runs += other.generation_runs
+        self.generation_hits += other.generation_hits
+        self.physics_evals += other.physics_evals
+        self.physics_hits += other.physics_hits
+        self.calib_jobs += other.calib_jobs
+        self.calib_dirty += other.calib_dirty
 
 
 class RoundContext:
@@ -124,6 +148,13 @@ class RoundContext:
         "_move_delay",
         "_results",
         "_cand_memo",
+        "_gen_cache",
+        "_phys_memo",
+        "_usable_set",
+        "_node_cache",
+        "_node_picks",
+        "_rate_rank",
+        "_xserver",
     )
 
     def __init__(
@@ -164,6 +195,13 @@ class RoundContext:
         self._move_delay: dict[int, float] = {}
         self._results: dict[tuple[int, tuple[int, ...]], Any] = {}
         self._cand_memo: dict[int, dict] = {}
+        self._gen_cache: dict[tuple, tuple] = {}
+        self._phys_memo: dict[tuple[str, int], dict] = {}
+        self._usable_set: dict[str, frozenset[str]] = {}
+        self._node_cache: dict[tuple, tuple] = {}
+        self._node_picks: dict[tuple, tuple] = {}
+        self._rate_rank: dict[str, tuple[dict[str, int], tuple[int, ...]]] = {}
+        self._xserver: dict[tuple, tuple] = {}
 
     # -- incremental pricing ------------------------------------------------
     def price(self, slot: tuple[int, str], free: int) -> float:
@@ -247,6 +285,124 @@ class RoundContext:
         return delay
 
     # -- cache layers ---------------------------------------------------------
+    def generation_get(self, shape: tuple, state_key: tuple[int, ...]):
+        """Cached shared candidate generation, or the sentinel on a miss.
+
+        Candidate *generation* (the consolidated and cross-server gang
+        families of Algorithm 2, lines 24-25) reads the model's rates only
+        through order comparisons — the usable-type order and its rate-tie
+        structure (:meth:`rate_rank`) — plus the gang size, the free
+        vector, and the round-frozen prices; never the job's identity or
+        the rate *values*.  ``shape`` is ``(usable_desc, rank_sig, W)``,
+        so even different models share one generation per reachable state
+        when their type orders agree.  Callers must only use this in
+        caching mode.
+        """
+        return self._gen_cache.get((shape, state_key), _MISS)
+
+    def generation_put(
+        self, shape: tuple, state_key: tuple[int, ...], value: tuple
+    ) -> None:
+        self._gen_cache[(shape, state_key)] = value
+
+    def physics_memo(self, model: str, workers: int) -> dict:
+        """Job-independent gang physics memo for one ``(model, W)`` pair.
+
+        Keyed ``(picks, picked slots' free counts)`` → ``(cost, rate,
+        multi_node)`` or ``None`` for an unusable gang: the bottleneck
+        rate, the ring-allreduce penalty, and the price cost of a
+        candidate depend on the model and gang size but not on which job
+        of that shape is asking.  The per-*job* quantities (JCT, utility,
+        payoff) stay in :meth:`candidate_memo`.
+        """
+        key = (model, workers)
+        memo = self._phys_memo.get(key)
+        if memo is None:
+            memo = self._phys_memo[key] = {}
+        return memo
+
+    def usable_set(self, model: str) -> frozenset[str]:
+        """The *set* of usable types — the model-independent slice of
+        :meth:`usable_desc`, used to key node-family sharing across models."""
+        s = self._usable_set.get(model)
+        if s is None:
+            s = frozenset(self.usable_desc(model))
+            self._usable_set[model] = s
+        return s
+
+    def node_family_get(self, usable: frozenset, state_key: tuple[int, ...]):
+        """Cached per-state node structures, or the sentinel on a miss.
+
+        The free-slot list, free/price lookup dicts, per-node groupings,
+        and per-node cheapest-first slot orders read only the free vector,
+        the round-frozen prices, and *which* types are usable — not the
+        model's actual rates.  Models sharing a usable-type set therefore
+        share them at every reachable state, a strictly coarser key than
+        the ``(model, W, state)`` generation cache above.
+        """
+        return self._node_cache.get((usable, state_key), _MISS)
+
+    def node_family_put(
+        self, usable: frozenset, state_key: tuple[int, ...], value: tuple
+    ) -> None:
+        self._node_cache[(usable, state_key)] = value
+
+    def node_picks_get(
+        self, usable: frozenset, workers: int, state_key: tuple[int, ...]
+    ):
+        """Cached consolidated cheapest-first gangs (model-independent)."""
+        return self._node_picks.get((usable, workers, state_key), _MISS)
+
+    def node_picks_put(
+        self,
+        usable: frozenset,
+        workers: int,
+        state_key: tuple[int, ...],
+        value: tuple,
+    ) -> None:
+        self._node_picks[(usable, workers, state_key)] = value
+
+    def rate_rank(self, model: str) -> tuple[dict[str, int], tuple[int, ...]]:
+        """Rate-tie group index per usable type, plus its signature tuple.
+
+        Walking :meth:`usable_desc` (fastest-first), each strictly slower
+        rate opens a new group; exactly-equal rates share one.  For slots
+        of usable types, sorting by ``rank[t]`` therefore agrees with
+        sorting by ``-rate[t]`` comparison-for-comparison — the rank is a
+        model-free stand-in for the rate in cross-server sort keys, which
+        lets models with different rate *values* but the same type order
+        and tie structure share one sorted slot list per state.
+        """
+        hit = self._rate_rank.get(model)
+        if hit is None:
+            rates = self.rates_for(model)
+            rank: dict[str, int] = {}
+            sig: list[int] = []
+            prev: Optional[float] = None
+            group = -1
+            for t in self.usable_desc(model):
+                r = rates[t]
+                if r != prev:
+                    group += 1
+                    prev = r
+                rank[t] = group
+                sig.append(group)
+            hit = (rank, tuple(sig))
+            self._rate_rank[model] = hit
+        return hit
+
+    def xserver_get(self, key: tuple):
+        """Cached cross-server ordered slot lists, or the sentinel on a miss.
+
+        Keyed ``(usable_desc, rate-rank signature, state key)`` — the
+        exact inputs the cheapest-first/fastest-first whole-cluster orders
+        and the per-tier free totals depend on (see :meth:`rate_rank`).
+        """
+        return self._xserver.get(key, _MISS)
+
+    def xserver_put(self, key: tuple, value: tuple) -> None:
+        self._xserver[key] = value
+
     def candidate_memo(self, job_id: int) -> Optional[dict]:
         """The job's candidate-evaluation memo, or ``None`` when disabled."""
         if not self.caching:

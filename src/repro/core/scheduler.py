@@ -20,13 +20,14 @@ average job's allocation).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.cluster.allocation import Allocation
 from repro.core.dp import DPAllocator, DPConfig
 from repro.core.find_alloc import AllocationCandidate
-from repro.core.pricing import PriceBook, PricingConfig
+from repro.core.pricing import PriceBook, PriceCalibrator, PricingConfig
 from repro.core.round_context import RoundContext
 from repro.core.utility import NormalizedThroughputUtility, Utility
 from repro.sim.checkpoint import CheckpointModel, FixedDelayCheckpoint
@@ -96,6 +97,12 @@ class HadarScheduler(Scheduler):
         them into :attr:`SimulationResult.hotpath_stats`."""
         self.audit: list[RoundAudit] = []
         """Per-round primal/dual records (populated when record_audit)."""
+        self.last_calibration_s: float = 0.0
+        """Wall-clock seconds the most recent round spent in Eqs. (6)-(8)
+        (read by the engine's per-phase timing breakdown)."""
+        self._calibrator: Optional[PriceCalibrator] = None
+        """Persistent across rounds when ``pricing.incremental``; rebuilt
+        per round (every job dirty) in reference mode."""
 
     @property
     def name(self) -> str:
@@ -107,6 +114,8 @@ class HadarScheduler(Scheduler):
         self.last_chosen = {}
         self.last_round_stats = {}
         self.audit.clear()
+        self.last_calibration_s = 0.0
+        self._calibrator = None
 
     # ------------------------------------------------------------------ API --
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
@@ -124,14 +133,21 @@ class HadarScheduler(Scheduler):
             self.last_chosen = {}
             return pinned
 
-        prices = PriceBook.calibrate(
+        calib_start = time.perf_counter()
+        if cfg.pricing.incremental:
+            calibrator = self._calibrator
+            if calibrator is None:
+                calibrator = self._calibrator = PriceCalibrator(cfg.pricing)
+        else:
+            calibrator = PriceCalibrator(cfg.pricing)
+        prices = calibrator.calibrate(
             jobs=queue,
             matrix=ctx.matrix,
             utility=cfg.utility,
             state=ctx.fresh_state(),
             now=ctx.now,
-            config=cfg.pricing,
         )
+        self.last_calibration_s = time.perf_counter() - calib_start
         self.last_prices = prices
         self.last_alpha = prices.alpha()
 
@@ -157,6 +173,8 @@ class HadarScheduler(Scheduler):
         )
         chosen = allocator.allocate(queue, state)
         self.last_chosen = dict(chosen)
+        round_ctx.stats.calib_jobs = calibrator.last_jobs
+        round_ctx.stats.calib_dirty = calibrator.last_dirty
         self.last_round_stats = round_ctx.stats.as_dict()
 
         if cfg.record_audit:

@@ -1,18 +1,27 @@
-"""The trace-driven simulation engine.
+"""The trace-driven simulation engine — orchestration of a layered pipeline.
 
 A continuous-rate discrete-event simulator (see DESIGN.md §4): running
 jobs advance at constant rates between events; events are job arrivals,
-round boundaries (for round-based schedulers), and predicted completions.
-On every event the engine
+round boundaries (for round-based schedulers), predicted completions, and
+injected faults.  The engine itself is now a thin orchestrator over four
+layers:
 
-1. integrates all running jobs' progress exactly up to the event time,
-2. finalizes any jobs that just completed (freeing their devices),
-3. lets the scheduler react where its contract says so, and
-4. re-predicts completion times for jobs whose rate or pause changed.
+1. the **event kernel** (:mod:`repro.sim.kernel`) owns the heap, the
+   deterministic same-timestamp ordering, and the lazy-deletion staleness
+   rules for revocable events;
+2. the **progress ledger** (:mod:`repro.sim.progress`) integrates every
+   live job's progress to each event time, finalizes completions, and
+   tracks the dirty set of jobs needing completion re-prediction;
+3. the **scheduler phase** (:mod:`repro.sim.phases`) invokes the
+   scheduler behind the :class:`~repro.sim.interface.Scheduler` contract,
+   validates the decision against the gang constraint (1e) and cluster
+   capacity (1d) — a buggy scheduler fails loudly instead of silently
+   overcommitting — and applies the diff;
+4. the **telemetry/sanitizer phases** hook utilization sampling and
+   invariant checks into the pipeline.
 
-The engine validates every scheduler decision against the gang constraint
-(1e) and cluster capacity (1d) — a buggy scheduler fails loudly instead of
-silently overcommitting.
+Per-phase wall-clock totals are surfaced as
+:attr:`SimulationResult.phase_timings`.
 """
 
 from __future__ import annotations
@@ -20,14 +29,21 @@ from __future__ import annotations
 import math
 import time as _time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Mapping, Optional
 
-from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
 from repro.cluster.cluster import Cluster
 from repro.sim.checkpoint import CheckpointModel, FixedDelayCheckpoint
-from repro.sim.events import EventKind, EventQueue
-from repro.sim.interface import Scheduler, SchedulerContext, realized_rate, validate_gang
-from repro.sim.progress import JobRuntime, JobState
+from repro.sim.events import EventKind
+from repro.sim.interface import Scheduler
+from repro.sim.kernel import EventKernel
+from repro.sim.phases import (
+    PhaseTimings,
+    SanitizerPhase,
+    SchedulerPhase,
+    SchedulerProtocolError,
+    TelemetryPhase,
+)
+from repro.sim.progress import JobRuntime, JobState, ProgressLedger
 from repro.sim.stragglers import StragglerModel
 from repro.sim.telemetry import UtilizationRecorder
 from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
@@ -40,10 +56,6 @@ __all__ = ["SimulationEngine", "SimulationResult", "simulate", "SchedulerProtoco
 
 DEFAULT_ROUND_LENGTH_S = 360.0
 """The paper's 6-minute scheduling round."""
-
-
-class SchedulerProtocolError(RuntimeError):
-    """A scheduler returned an invalid decision (gang/capacity violation)."""
 
 
 @dataclass
@@ -66,6 +78,12 @@ class SimulationResult:
     candidate/price evaluations) summed over every round, for schedulers
     that publish ``last_round_stats`` (Hadar's round context); empty for
     the baselines.  Consumed by ``benchmarks/record_bench.py``."""
+    phase_timings: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per engine phase (event dispatch, progress
+    integration, completion re-prediction, price calibration, scheduler
+    decision) — see :class:`~repro.sim.phases.PhaseTimings`.  Consumed by
+    ``benchmarks/record_bench.py`` so the next engine bottleneck is
+    measured, not guessed."""
 
     # -- convenience views -----------------------------------------------------
     @property
@@ -156,46 +174,54 @@ class SimulationEngine:
             job.job_id: JobRuntime(job=job) for job in self.trace
         }
         state = self.cluster.fresh_state()
-        events = EventQueue()
-        telemetry = UtilizationRecorder()
-        telemetry.record(0.0, state.used_by_type())
+        kernel = EventKernel()
+        ledger = ProgressLedger(runtimes)
+        telemetry = TelemetryPhase()
+        sanitizer_phase = SanitizerPhase(self.sanitizer)
+        scheduler_phase = SchedulerPhase(
+            scheduler=self.scheduler,
+            cluster=self.cluster,
+            matrix=self.matrix,
+            round_length=self.round_length,
+            checkpoint=self.checkpoint,
+            on_place=self._schedule_straggler_onset if self.stragglers else None,
+        )
+        self._kernel = kernel
+        self._ledger = ledger
+        timings = PhaseTimings()
+        telemetry.record_utilization(0.0, state)
 
         for job in self.trace:
-            events.push(job.arrival_time, EventKind.ARRIVAL, payload=job.job_id)
+            kernel.push_arrival(job.arrival_time, job.job_id)
         if self.scheduler.round_based and len(self.trace):
             first_round = self._round_at_or_after(self.trace[0].arrival_time)
-            events.push(first_round, EventKind.ROUND_BOUNDARY)
+            kernel.push_round_boundary(first_round)
 
         completed = 0
         now = 0.0
-        invocations = 0
         rounds_with_change = 0
-        decision_seconds: list[float] = []
-        hotpath_stats: dict[str, int] = {}
         truncated = False
+        loop_s = 0.0
 
-        while events and completed < len(runtimes):
-            event = events.pop()
+        while kernel and completed < len(runtimes):
+            tick = _time.perf_counter()
+            event = kernel.pop()
             if event.time > self.max_time:
                 truncated = True
+                loop_s += _time.perf_counter() - tick
                 break
-            if event.kind is EventKind.COMPLETION:
-                rt = runtimes[event.payload]
-                if event.generation != rt.generation or rt.state is JobState.COMPLETE:
-                    continue  # stale prediction
-            elif event.kind in (
-                EventKind.STRAGGLER_ONSET,
-                EventKind.STRAGGLER_RECOVERY,
-            ):
-                rt = runtimes[event.payload]
-                if event.generation != rt.alloc_epoch or rt.state is not JobState.RUNNING:
-                    continue  # the gang moved or finished; the fault is moot
+            if kernel.is_stale(event, runtimes):
+                loop_s += _time.perf_counter() - tick
+                continue
             now = event.time
 
-            for rt in runtimes.values():
-                if rt.state in (JobState.RUNNING, JobState.QUEUED):
-                    rt.advance_to(now)
-            completed += self._finalize_completions(runtimes, state, telemetry, now)
+            t0 = _time.perf_counter()
+            ledger.integrate_to(now)
+            finished = ledger.finalize_completions(state, now)
+            timings.integration_s += _time.perf_counter() - t0
+            if finished:
+                completed += finished
+                telemetry.record_utilization(now, state)
 
             needs_scheduler = False
             if event.kind is EventKind.ARRIVAL:
@@ -207,47 +233,53 @@ class SimulationEngine:
                 needs_scheduler = self.scheduler.reacts_to_events
             elif event.kind is EventKind.ROUND_BOUNDARY:
                 needs_scheduler = True
-                self._push_next_round(events, runtimes, completed, now)
+                self._push_next_round(kernel, runtimes, completed, now)
             elif event.kind is EventKind.STRAGGLER_ONSET:
-                self._apply_straggler_onset(runtimes[event.payload], events, now)
+                self._apply_straggler_onset(runtimes[event.payload], now, timings)
             elif event.kind is EventKind.STRAGGLER_RECOVERY:
-                self._apply_straggler_recovery(runtimes[event.payload], events, now)
+                self._apply_straggler_recovery(runtimes[event.payload], now, timings)
 
             if needs_scheduler and completed < len(runtimes):
-                changed = self._invoke_scheduler(
-                    runtimes, state, events, telemetry, now, decision_seconds,
-                    hotpath_stats,
+                changed = scheduler_phase.invoke(ledger, kernel, state, now, timings)
+                telemetry.record_utilization(now, state)
+                sanitizer_phase.after_decision(
+                    round_index=scheduler_phase.invocations,
+                    now=now,
+                    runtimes=runtimes,
+                    state=state,
+                    scheduler=self.scheduler,
                 )
-                invocations += 1
                 if event.kind is EventKind.ROUND_BOUNDARY and changed:
                     rounds_with_change += 1
-            telemetry.record_queue(
-                now,
-                sum(1 for rt in runtimes.values() if rt.state is JobState.QUEUED),
-            )
+            telemetry.record_queue_depth(now, runtimes)
+            loop_s += _time.perf_counter() - tick
 
         if completed < len(runtimes):
             truncated = True
         end_time = max(
             (rt.finish_time for rt in runtimes.values() if rt.finish_time), default=now
         )
-        telemetry.record(end_time, state.used_by_type())
-        telemetry.record_queue(
-            end_time,
-            sum(1 for rt in runtimes.values() if rt.state is JobState.QUEUED),
+        telemetry.record_utilization(end_time, state)
+        telemetry.record_queue_depth(end_time, runtimes)
+        # The dispatch bucket is the loop residual: everything outside the
+        # explicitly timed integration/re-prediction/decision phases.
+        timings.event_dispatch_s = max(
+            0.0,
+            loop_s - timings.integration_s - timings.repredict_s - timings.decision_s,
         )
         return SimulationResult(
             scheduler_name=self.scheduler.name,
             cluster=self.cluster,
             round_length=self.round_length,
             runtimes=runtimes,
-            telemetry=telemetry,
+            telemetry=telemetry.recorder,
             end_time=end_time,
-            scheduling_invocations=invocations,
-            decision_seconds=decision_seconds,
+            scheduling_invocations=scheduler_phase.invocations,
+            decision_seconds=scheduler_phase.decision_seconds,
             truncated=truncated,
             rounds_with_change=rounds_with_change,
-            hotpath_stats=hotpath_stats,
+            hotpath_stats=scheduler_phase.hotpath_stats,
+            phase_timings=timings.as_dict(),
         )
 
     # -------------------------------------------------------------- helpers --
@@ -257,7 +289,7 @@ class SimulationEngine:
 
     def _push_next_round(
         self,
-        events: EventQueue,
+        kernel: EventKernel,
         runtimes: Mapping[int, JobRuntime],
         completed: int,
         now: float,
@@ -270,7 +302,7 @@ class SimulationEngine:
             for rt in runtimes.values()
         )
         if active:
-            events.push(now + self.round_length, EventKind.ROUND_BOUNDARY)
+            kernel.push_round_boundary(now + self.round_length)
             return
         pending = [
             rt.job.arrival_time
@@ -281,243 +313,43 @@ class SimulationEngine:
             nxt = self._round_at_or_after(min(pending))
             if nxt <= now:
                 nxt = now + self.round_length
-            events.push(nxt, EventKind.ROUND_BOUNDARY)
-
-    def _finalize_completions(
-        self,
-        runtimes: Mapping[int, JobRuntime],
-        state,
-        telemetry: UtilizationRecorder,
-        now: float,
-    ) -> int:
-        """Mark done jobs complete, free their devices; returns the count."""
-        finished = 0
-        for rt in runtimes.values():
-            if rt.state is JobState.RUNNING and rt.is_done:
-                rt.state = JobState.COMPLETE
-                rt.finish_time = now
-                rt.rate = 0.0
-                rt.generation += 1
-                if rt.allocation:
-                    state.release(rt.allocation)
-                    rt.allocation = EMPTY_ALLOCATION
-                rt.record_placement(now, EMPTY_ALLOCATION)
-                finished += 1
-        if finished:
-            telemetry.record(now, state.used_by_type())
-        return finished
-
-    def _invoke_scheduler(
-        self,
-        runtimes: dict[int, JobRuntime],
-        state,
-        events: EventQueue,
-        telemetry: UtilizationRecorder,
-        now: float,
-        decision_seconds: list[float],
-        hotpath_stats: dict[str, int],
-    ) -> bool:
-        """Run one scheduling decision and apply the diff; True if changed."""
-        waiting = tuple(
-            sorted(
-                (rt for rt in runtimes.values() if rt.state is JobState.QUEUED),
-                key=lambda rt: (rt.job.arrival_time, rt.job_id),
-            )
-        )
-        running = tuple(
-            sorted(
-                (rt for rt in runtimes.values() if rt.state is JobState.RUNNING),
-                key=lambda rt: (rt.job.arrival_time, rt.job_id),
-            )
-        )
-        ctx = SchedulerContext(
-            now=now,
-            cluster=self.cluster,
-            matrix=self.matrix,
-            round_length=self.round_length,
-            waiting=waiting,
-            running=running,
-        )
-        t0 = _time.perf_counter()
-        target = dict(self.scheduler.schedule(ctx))
-        decision_seconds.append(_time.perf_counter() - t0)
-
-        round_stats = getattr(self.scheduler, "last_round_stats", None)
-        if round_stats:
-            for counter, value in round_stats.items():
-                hotpath_stats[counter] = hotpath_stats.get(counter, 0) + value
-
-        self._validate_target(target, runtimes)
-        changed = self._apply_target(target, runtimes, state, events, now)
-        telemetry.record(now, state.used_by_type())
-        if self.sanitizer is not None:
-            self.sanitizer.on_round(
-                round_index=len(decision_seconds),
-                now=now,
-                runtimes=runtimes,
-                state=state,
-                scheduler=self.scheduler,
-            )
-        return changed
-
-    def _validate_target(
-        self, target: Mapping[int, Allocation], runtimes: Mapping[int, JobRuntime]
-    ) -> None:
-        for job_id, alloc in target.items():
-            if job_id not in runtimes:
-                raise SchedulerProtocolError(f"unknown job id {job_id} in decision")
-            rt = runtimes[job_id]
-            if rt.state is JobState.COMPLETE and alloc:
-                raise SchedulerProtocolError(
-                    f"scheduler allocated completed job {job_id}"
-                )
-            if rt.state is JobState.PENDING and alloc:
-                raise SchedulerProtocolError(
-                    f"scheduler allocated job {job_id} before its arrival"
-                )
-            try:
-                validate_gang(rt.job, alloc)
-            except ValueError as exc:
-                raise SchedulerProtocolError(str(exc)) from exc
-        # Joint capacity check on a fresh state.
-        probe = self.cluster.fresh_state()
-        for job_id, alloc in target.items():
-            if not alloc:
-                continue
-            if not probe.can_fit(alloc):
-                raise SchedulerProtocolError(
-                    f"decision overcommits capacity at job {job_id}: {alloc}"
-                )
-            probe.allocate(alloc)
-
-    def _apply_target(
-        self,
-        target: dict[int, Allocation],
-        runtimes: dict[int, JobRuntime],
-        state,
-        events: EventQueue,
-        now: float,
-    ) -> bool:
-        """Two-phase diff: release every changed job, then place the new gangs."""
-        changed_jobs: list[tuple[JobRuntime, Allocation]] = []
-        kept_jobs: list[JobRuntime] = []
-        for rt in runtimes.values():
-            if rt.state in (JobState.PENDING, JobState.COMPLETE):
-                continue
-            new = target.get(rt.job_id, EMPTY_ALLOCATION)
-            if new == rt.allocation:
-                if rt.state is JobState.RUNNING and rt.allocation:
-                    kept_jobs.append(rt)
-                continue
-            changed_jobs.append((rt, new))
-
-        for rt, _ in changed_jobs:
-            if rt.allocation:
-                state.release(rt.allocation)
-
-        for rt, new in changed_jobs:
-            old = rt.allocation
-            if new:
-                state.allocate(new)  # validated jointly above
-                delay = self.checkpoint.reallocation_delay(rt.job, old, new)
-                rt.allocation = new
-                rt.state = JobState.RUNNING
-                rt.rate = realized_rate(rt.job, new, self.matrix, self.cluster)
-                rt.resume_time = now + delay
-                rt.overhead_seconds += delay
-                rt.allocation_changes += 1
-                rt.slowdown = 1.0  # fresh workers start healthy
-                rt.alloc_epoch += 1
-                self._schedule_straggler_onset(rt, events, now)
-                if rt.first_start_time is None:
-                    rt.first_start_time = now
-                if old:
-                    rt.preemptions += 1
-            else:
-                rt.allocation = EMPTY_ALLOCATION
-                rt.state = JobState.QUEUED
-                rt.rate = 0.0
-                rt.preemptions += 1
-            rt.generation += 1
-            rt.record_placement(now, rt.allocation)
-            self._predict_completion(rt, events, now)
-
-        # Jobs keeping their allocation still pay the periodic checkpoint save.
-        for rt in kept_jobs:
-            steady = self.checkpoint.steady_state_overhead(rt.job)
-            if steady > 0:
-                rt.resume_time = max(rt.resume_time, now) + steady
-                rt.overhead_seconds += steady
-                rt.generation += 1
-                self._predict_completion(rt, events, now)
-            self._bookkeep_round(rt)
-        for rt, new in changed_jobs:
-            if new:
-                self._bookkeep_round(rt)
-        return bool(changed_jobs)
-
-    def _bookkeep_round(self, rt: JobRuntime) -> None:
-        """Track per-type round counts (consumed by Gavel-style priorities)."""
-        if not rt.allocation:
-            return
-        rt.rounds_scheduled += 1
-        model = rt.job.model.name
-        # Sorted so rate ties attribute the round to the same type every run.
-        bottleneck = min(
-            sorted(rt.allocation.gpu_types), key=lambda t: self.matrix.rate(model, t)
-        )
-        rt.rounds_by_type[bottleneck] = rt.rounds_by_type.get(bottleneck, 0) + 1
+            kernel.push_round_boundary(nxt)
 
     # ------------------------------------------------------------ stragglers --
-    def _schedule_straggler_onset(
-        self, rt: JobRuntime, events: EventQueue, now: float
-    ) -> None:
+    def _schedule_straggler_onset(self, rt: JobRuntime, now: float) -> None:
         if self.stragglers is None:
             return
         delay = self.stragglers.sample_onset_delay(self._straggler_rng)
-        events.push(
-            now + delay,
-            EventKind.STRAGGLER_ONSET,
-            payload=rt.job_id,
-            generation=rt.alloc_epoch,
-        )
+        self._kernel.push_straggler_onset(now + delay, rt)
+
+    def _repredict(self, rt: JobRuntime, now: float, timings: PhaseTimings) -> None:
+        t0 = _time.perf_counter()
+        self._ledger.mark_dirty(rt)
+        self._ledger.flush_repredictions(self._kernel, now)
+        timings.repredict_s += _time.perf_counter() - t0
 
     def _apply_straggler_onset(
-        self, rt: JobRuntime, events: EventQueue, now: float
+        self, rt: JobRuntime, now: float, timings: PhaseTimings
     ) -> None:
         assert self.stragglers is not None
         rt.slowdown = self.stragglers.slowdown_factor
         rt.rate *= self.stragglers.slowdown_factor
         rt.straggler_events += 1
         rt.generation += 1
-        self._predict_completion(rt, events, now)
-        events.push(
-            now + self.stragglers.duration_s,
-            EventKind.STRAGGLER_RECOVERY,
-            payload=rt.job_id,
-            generation=rt.alloc_epoch,
-        )
+        self._repredict(rt, now, timings)
+        self._kernel.push_straggler_recovery(now + self.stragglers.duration_s, rt)
 
     def _apply_straggler_recovery(
-        self, rt: JobRuntime, events: EventQueue, now: float
+        self, rt: JobRuntime, now: float, timings: PhaseTimings
     ) -> None:
         if rt.slowdown >= 1.0:
             return  # already cleared by a reallocation
         rt.rate /= rt.slowdown
         rt.slowdown = 1.0
         rt.generation += 1
-        self._predict_completion(rt, events, now)
+        self._repredict(rt, now, timings)
         # The gang is healthy again; the next fault starts its clock now.
-        self._schedule_straggler_onset(rt, events, now)
-
-    def _predict_completion(
-        self, rt: JobRuntime, events: EventQueue, now: float
-    ) -> None:
-        when = rt.predicted_completion(now)
-        if when is not None:
-            events.push(
-                when, EventKind.COMPLETION, payload=rt.job_id, generation=rt.generation
-            )
+        self._schedule_straggler_onset(rt, now)
 
 
 def simulate(

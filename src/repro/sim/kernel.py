@@ -1,0 +1,97 @@
+"""The event kernel — layer 1 of the simulation pipeline.
+
+The kernel owns the event heap and everything about event *identity*:
+deterministic same-timestamp ordering (via :class:`~repro.sim.events.Event`'s
+``(time, kind, seq)`` sort key), the lazy-deletion validity rules for
+revocable events, and the typed push helpers the upper layers use.  It
+knows nothing about progress integration, scheduling policy, or
+telemetry — those are the ledger and phase layers (see
+:mod:`repro.sim.engine`).
+
+Two families of events are revocable predictions rather than facts:
+
+* **Completions** carry the job's ``generation`` at prediction time; any
+  rate/pause change bumps the generation, so a popped completion whose
+  generation no longer matches is stale and silently discarded.
+* **Straggler onsets/recoveries** carry the job's ``alloc_epoch``; moving
+  the gang re-rolls its fault clock, so faults predicted for a previous
+  placement are moot.
+
+:meth:`EventKernel.is_stale` is the single home of both rules.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.progress import JobRuntime, JobState
+
+__all__ = ["EventKernel"]
+
+
+class EventKernel:
+    """The heap plus lazy deletion; the bottom layer of the engine."""
+
+    __slots__ = ("_queue",)
+
+    def __init__(self) -> None:
+        self._queue = EventQueue()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __bool__(self) -> bool:
+        return bool(self._queue)
+
+    def pop(self) -> Event:
+        """Next event in deterministic ``(time, kind, seq)`` order.
+
+        May be stale — callers filter with :meth:`is_stale`.  (Filtering
+        on pop rather than inside the kernel keeps "what happened" and
+        "what it means for a job" separable in tests.)
+        """
+        return self._queue.pop()
+
+    def is_stale(self, event: Event, runtimes: Mapping[int, JobRuntime]) -> bool:
+        """Whether a popped event has been invalidated since it was pushed."""
+        if event.kind is EventKind.COMPLETION:
+            rt = runtimes[event.payload]
+            return event.generation != rt.generation or rt.state is JobState.COMPLETE
+        if event.kind in (EventKind.STRAGGLER_ONSET, EventKind.STRAGGLER_RECOVERY):
+            rt = runtimes[event.payload]
+            return event.generation != rt.alloc_epoch or rt.state is not JobState.RUNNING
+        return False
+
+    # -- typed pushes ---------------------------------------------------------
+    def push_arrival(self, time: float, job_id: int) -> Event:
+        return self._queue.push(time, EventKind.ARRIVAL, payload=job_id)
+
+    def push_round_boundary(self, time: float) -> Event:
+        return self._queue.push(time, EventKind.ROUND_BOUNDARY)
+
+    def push_completion(self, rt: JobRuntime, now: float) -> Event | None:
+        """Predict ``rt``'s completion at its current rate (None if stalled).
+
+        The event is stamped with the job's current generation; any later
+        rate or pause change invalidates it.
+        """
+        when = rt.predicted_completion(now)
+        if when is None:
+            return None
+        return self._queue.push(
+            when, EventKind.COMPLETION, payload=rt.job_id, generation=rt.generation
+        )
+
+    def push_straggler_onset(self, time: float, rt: JobRuntime) -> Event:
+        """A fault for the job's *current* gang (stamped with alloc_epoch)."""
+        return self._queue.push(
+            time, EventKind.STRAGGLER_ONSET, payload=rt.job_id,
+            generation=rt.alloc_epoch,
+        )
+
+    def push_straggler_recovery(self, time: float, rt: JobRuntime) -> Event:
+        return self._queue.push(
+            time, EventKind.STRAGGLER_RECOVERY, payload=rt.job_id,
+            generation=rt.alloc_epoch,
+        )

@@ -1,0 +1,330 @@
+"""The engine's phase pipeline — layers 3 and 4 over the kernel/ledger.
+
+:mod:`repro.sim.engine` orchestrates four layers per event:
+
+1. the :class:`~repro.sim.kernel.EventKernel` pops the event and decides
+   staleness;
+2. the :class:`~repro.sim.progress.ProgressLedger` integrates progress
+   and finalizes completions;
+3. the :class:`SchedulerPhase` (this module) invokes the scheduler
+   behind the :class:`~repro.sim.interface.Scheduler` contract,
+   validates the decision, applies the diff, and flushes the ledger's
+   dirty set into fresh completion predictions;
+4. the :class:`TelemetryPhase` and :class:`SanitizerPhase` hook
+   utilization recording and invariant checks into the pipeline without
+   being inlined in the event loop.
+
+:class:`PhaseTimings` is the wall-clock breakdown across those layers,
+surfaced as :attr:`SimulationResult.phase_timings` and recorded by
+``benchmarks/record_bench.py`` so the next engine bottleneck is measured
+rather than guessed.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping, Optional
+
+from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
+from repro.cluster.cluster import Cluster
+from repro.sim.checkpoint import CheckpointModel
+from repro.sim.interface import Scheduler, SchedulerContext, realized_rate, validate_gang
+from repro.sim.kernel import EventKernel
+from repro.sim.progress import JobRuntime, JobState, ProgressLedger
+from repro.sim.telemetry import UtilizationRecorder
+from repro.workload.throughput import ThroughputMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import InvariantSanitizer
+    from repro.cluster.state import ClusterState
+
+__all__ = [
+    "PhaseTimings",
+    "SchedulerPhase",
+    "TelemetryPhase",
+    "SanitizerPhase",
+    "SchedulerProtocolError",
+]
+
+
+class SchedulerProtocolError(RuntimeError):
+    """A scheduler returned an invalid decision (gang/capacity violation)."""
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds per engine phase over a whole simulation.
+
+    ``event_dispatch_s`` is the loop residual — popping/filtering events,
+    kind dispatch, applying validated decisions, and telemetry — i.e.
+    total loop time minus the three explicitly-timed phases below it.
+    ``calibration_s`` is the slice of ``decision_s`` the scheduler spent
+    in price calibration (Eqs. 6-8), for schedulers that report it.
+    """
+
+    event_dispatch_s: float = 0.0
+    integration_s: float = 0.0
+    repredict_s: float = 0.0
+    calibration_s: float = 0.0
+    decision_s: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "event_dispatch_s": self.event_dispatch_s,
+            "integration_s": self.integration_s,
+            "repredict_s": self.repredict_s,
+            "calibration_s": self.calibration_s,
+            "decision_s": self.decision_s,
+        }
+
+
+class SchedulerPhase:
+    """Layer 3: one scheduling decision — invoke, validate, apply, flush.
+
+    Owns the per-run accumulators the old monolithic engine kept as
+    locals: ``decision_seconds`` (one entry per invocation) and the
+    aggregated ``hotpath_stats`` of schedulers that publish
+    ``last_round_stats``.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        cluster: Cluster,
+        matrix: ThroughputMatrix,
+        round_length: float,
+        checkpoint: CheckpointModel,
+        on_place: Optional[Callable[[JobRuntime, float], None]] = None,
+    ):
+        self.scheduler = scheduler
+        self.cluster = cluster
+        self.matrix = matrix
+        self.round_length = round_length
+        self.checkpoint = checkpoint
+        self.on_place = on_place
+        """Called for every (re)placed gang — the engine hooks straggler
+        fault scheduling here without the phase knowing about faults."""
+        self.decision_seconds: list[float] = []
+        self.hotpath_stats: dict[str, int] = {}
+
+    @property
+    def invocations(self) -> int:
+        return len(self.decision_seconds)
+
+    def invoke(
+        self,
+        ledger: ProgressLedger,
+        kernel: EventKernel,
+        state: "ClusterState",
+        now: float,
+        timings: PhaseTimings,
+    ) -> bool:
+        """Run one scheduling decision and apply the diff; True if changed."""
+        runtimes = ledger.runtimes
+        waiting = tuple(
+            sorted(
+                (rt for rt in runtimes.values() if rt.state is JobState.QUEUED),
+                key=lambda rt: (rt.job.arrival_time, rt.job_id),
+            )
+        )
+        running = tuple(
+            sorted(
+                (rt for rt in runtimes.values() if rt.state is JobState.RUNNING),
+                key=lambda rt: (rt.job.arrival_time, rt.job_id),
+            )
+        )
+        ctx = SchedulerContext(
+            now=now,
+            cluster=self.cluster,
+            matrix=self.matrix,
+            round_length=self.round_length,
+            waiting=waiting,
+            running=running,
+        )
+        t0 = _time.perf_counter()
+        target = dict(self.scheduler.schedule(ctx))
+        elapsed = _time.perf_counter() - t0
+        self.decision_seconds.append(elapsed)
+        timings.decision_s += elapsed
+        timings.calibration_s += getattr(self.scheduler, "last_calibration_s", 0.0)
+
+        round_stats = getattr(self.scheduler, "last_round_stats", None)
+        if round_stats:
+            stats = self.hotpath_stats
+            for counter, value in round_stats.items():
+                stats[counter] = stats.get(counter, 0) + value
+
+        self.validate(target, runtimes)
+        changed = self.apply(target, ledger, kernel, state, now, timings)
+        return changed
+
+    def validate(
+        self, target: Mapping[int, Allocation], runtimes: Mapping[int, JobRuntime]
+    ) -> None:
+        for job_id, alloc in target.items():
+            if job_id not in runtimes:
+                raise SchedulerProtocolError(f"unknown job id {job_id} in decision")
+            rt = runtimes[job_id]
+            if rt.state is JobState.COMPLETE and alloc:
+                raise SchedulerProtocolError(
+                    f"scheduler allocated completed job {job_id}"
+                )
+            if rt.state is JobState.PENDING and alloc:
+                raise SchedulerProtocolError(
+                    f"scheduler allocated job {job_id} before its arrival"
+                )
+            try:
+                validate_gang(rt.job, alloc)
+            except ValueError as exc:
+                raise SchedulerProtocolError(str(exc)) from exc
+        # Joint capacity check on a fresh state.
+        probe = self.cluster.fresh_state()
+        for job_id, alloc in target.items():
+            if not alloc:
+                continue
+            if not probe.can_fit(alloc):
+                raise SchedulerProtocolError(
+                    f"decision overcommits capacity at job {job_id}: {alloc}"
+                )
+            probe.allocate(alloc)
+
+    def apply(
+        self,
+        target: dict[int, Allocation],
+        ledger: ProgressLedger,
+        kernel: EventKernel,
+        state: "ClusterState",
+        now: float,
+        timings: PhaseTimings,
+    ) -> bool:
+        """Two-phase diff: release every changed job, then place the new gangs.
+
+        Only the jobs this decision actually touched — moved, paused, or
+        charged a steady-state checkpoint — enter the ledger's dirty set;
+        the flush at the end re-predicts exactly those completions, in
+        mark order (changed jobs first, then kept jobs, matching the
+        deterministic push order the goldens pin).
+        """
+        runtimes = ledger.runtimes
+        changed_jobs: list[tuple[JobRuntime, Allocation]] = []
+        kept_jobs: list[JobRuntime] = []
+        for rt in runtimes.values():
+            if rt.state in (JobState.PENDING, JobState.COMPLETE):
+                continue
+            new = target.get(rt.job_id, EMPTY_ALLOCATION)
+            if new == rt.allocation:
+                if rt.state is JobState.RUNNING and rt.allocation:
+                    kept_jobs.append(rt)
+                continue
+            changed_jobs.append((rt, new))
+
+        for rt, _ in changed_jobs:
+            if rt.allocation:
+                state.release(rt.allocation)
+
+        for rt, new in changed_jobs:
+            old = rt.allocation
+            if new:
+                state.allocate(new)  # validated jointly above
+                delay = self.checkpoint.reallocation_delay(rt.job, old, new)
+                rt.allocation = new
+                rt.state = JobState.RUNNING
+                rt.rate = realized_rate(rt.job, new, self.matrix, self.cluster)
+                rt.resume_time = now + delay
+                rt.overhead_seconds += delay
+                rt.allocation_changes += 1
+                rt.slowdown = 1.0  # fresh workers start healthy
+                rt.alloc_epoch += 1
+                if self.on_place is not None:
+                    self.on_place(rt, now)
+                if rt.first_start_time is None:
+                    rt.first_start_time = now
+                if old:
+                    rt.preemptions += 1
+            else:
+                rt.allocation = EMPTY_ALLOCATION
+                rt.state = JobState.QUEUED
+                rt.rate = 0.0
+                rt.preemptions += 1
+            rt.generation += 1
+            rt.record_placement(now, rt.allocation)
+            ledger.mark_dirty(rt)
+
+        # Jobs keeping their allocation still pay the periodic checkpoint save.
+        for rt in kept_jobs:
+            steady = self.checkpoint.steady_state_overhead(rt.job)
+            if steady > 0:
+                rt.resume_time = max(rt.resume_time, now) + steady
+                rt.overhead_seconds += steady
+                rt.generation += 1
+                ledger.mark_dirty(rt)
+            self.bookkeep_round(rt)
+        for rt, new in changed_jobs:
+            if new:
+                self.bookkeep_round(rt)
+
+        if ledger.dirty_count:
+            t0 = _time.perf_counter()
+            ledger.flush_repredictions(kernel, now)
+            timings.repredict_s += _time.perf_counter() - t0
+        return bool(changed_jobs)
+
+    def bookkeep_round(self, rt: JobRuntime) -> None:
+        """Track per-type round counts (consumed by Gavel-style priorities)."""
+        if not rt.allocation:
+            return
+        rt.rounds_scheduled += 1
+        model = rt.job.model.name
+        # Sorted so rate ties attribute the round to the same type every run.
+        bottleneck = min(
+            sorted(rt.allocation.gpu_types), key=lambda t: self.matrix.rate(model, t)
+        )
+        rt.rounds_by_type[bottleneck] = rt.rounds_by_type.get(bottleneck, 0) + 1
+
+
+class TelemetryPhase:
+    """Layer 4a: utilization/queue-depth sampling behind one seam."""
+
+    __slots__ = ("recorder",)
+
+    def __init__(self, recorder: Optional[UtilizationRecorder] = None):
+        self.recorder = recorder if recorder is not None else UtilizationRecorder()
+
+    def record_utilization(self, now: float, state: "ClusterState") -> None:
+        self.recorder.record(now, state.used_by_type())
+
+    def record_queue_depth(
+        self, now: float, runtimes: Mapping[int, JobRuntime]
+    ) -> None:
+        self.recorder.record_queue(
+            now,
+            sum(1 for rt in runtimes.values() if rt.state is JobState.QUEUED),
+        )
+
+
+class SanitizerPhase:
+    """Layer 4b: post-decision invariant checks (no-op without a sanitizer)."""
+
+    __slots__ = ("sanitizer",)
+
+    def __init__(self, sanitizer: Optional["InvariantSanitizer"] = None):
+        self.sanitizer = sanitizer
+
+    def after_decision(
+        self,
+        round_index: int,
+        now: float,
+        runtimes: Mapping[int, JobRuntime],
+        state: "ClusterState",
+        scheduler: Scheduler,
+    ) -> None:
+        if self.sanitizer is None:
+            return
+        self.sanitizer.on_round(
+            round_index=round_index,
+            now=now,
+            runtimes=runtimes,
+            state=state,
+            scheduler=scheduler,
+        )

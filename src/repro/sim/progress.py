@@ -1,22 +1,34 @@
-"""Per-job runtime state.
+"""Per-job runtime state and the progress ledger.
 
 A :class:`JobRuntime` wraps an immutable :class:`~repro.workload.job.Job`
 with everything that changes during simulation: iterations completed, the
 current allocation and its realized rate, pause windows for checkpoint
 overhead, and the bookkeeping metrics consume afterwards (queuing delay,
 preemption count, attained service).
+
+The :class:`ProgressLedger` is layer 2 of the engine pipeline (see
+:mod:`repro.sim.engine`): it integrates the continuous-rate progress of
+every live job up to each event time, finalizes completions, and tracks
+the **dirty set** — the jobs whose rate, pause window, or allocation
+changed since the last flush and therefore need a fresh completion
+prediction.  Jobs untouched by a round keep their outstanding predicted
+completion instead of being broadly re-predicted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
 from repro.workload.job import Job
 
-__all__ = ["JobState", "JobRuntime"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.state import ClusterState
+    from repro.sim.kernel import EventKernel
+
+__all__ = ["JobState", "JobRuntime", "ProgressLedger"]
 
 _COMPLETION_EPS = 1e-6
 """Iterations within this of the target count as done (float-integration slack)."""
@@ -145,3 +157,69 @@ class JobRuntime:
             f"JobRuntime(job={self.job_id}, {self.state.value}, "
             f"{self.iterations_done:.0f}/{self.job.total_iterations} iters)"
         )
+
+
+class ProgressLedger:
+    """Progress integration + dirty-set completion re-prediction (layer 2).
+
+    The ledger owns the analytic side of the continuous-rate model: at
+    every event it advances each live job exactly to the event time, and
+    it converts "this job's rate/pause/allocation just changed" into a
+    fresh completion prediction.  The **dirty set** is insertion-ordered,
+    and :meth:`flush_repredictions` pushes in that order — completions at
+    equal ``(time, kind)`` tie-break on push sequence, so preserving the
+    marking order preserves the engine's deterministic event ordering.
+    """
+
+    __slots__ = ("runtimes", "_dirty")
+
+    def __init__(self, runtimes: dict[int, JobRuntime]):
+        self.runtimes = runtimes
+        self._dirty: dict[int, JobRuntime] = {}
+
+    # -- integration ----------------------------------------------------------
+    def integrate_to(self, now: float) -> None:
+        """Advance every RUNNING/QUEUED job's progress exactly to ``now``."""
+        for rt in self.runtimes.values():
+            if rt.state in (JobState.RUNNING, JobState.QUEUED):
+                rt.advance_to(now)
+
+    def finalize_completions(self, state: "ClusterState", now: float) -> int:
+        """Mark done jobs complete, free their devices; returns the count."""
+        finished = 0
+        for rt in self.runtimes.values():
+            if rt.state is JobState.RUNNING and rt.is_done:
+                rt.state = JobState.COMPLETE
+                rt.finish_time = now
+                rt.rate = 0.0
+                rt.generation += 1
+                if rt.allocation:
+                    state.release(rt.allocation)
+                    rt.allocation = EMPTY_ALLOCATION
+                rt.record_placement(now, EMPTY_ALLOCATION)
+                finished += 1
+        return finished
+
+    # -- dirty set ------------------------------------------------------------
+    def mark_dirty(self, rt: JobRuntime) -> None:
+        """Note that ``rt``'s completion prediction is invalid.
+
+        Callers bump ``rt.generation`` themselves (that is what lazily
+        deletes the outstanding prediction); the mark only queues the
+        *new* prediction for the next flush.
+        """
+        self._dirty[rt.job_id] = rt
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def flush_repredictions(self, kernel: "EventKernel", now: float) -> int:
+        """Push one fresh completion prediction per dirty job, in mark order."""
+        pushed = 0
+        if self._dirty:
+            for rt in self._dirty.values():
+                if kernel.push_completion(rt, now) is not None:
+                    pushed += 1
+            self._dirty.clear()
+        return pushed

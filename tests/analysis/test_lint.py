@@ -14,6 +14,7 @@ from repro.analysis.lint import (
     MutableDefaultRule,
     NondeterminismRule,
     SilentExceptionRule,
+    UnorderedFloatSumRule,
     UnorderedIterationRule,
     apply_fixes,
     lint_paths,
@@ -274,6 +275,79 @@ class TestSilentException:
         assert lint_source(src, "src/repro/metrics/fake.py") == []
 
 
+class TestUnorderedFloatSum:
+    def test_sum_over_set_call_flagged(self):
+        src = "def f(prices):\n    return sum(set(prices))\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP006"]
+
+    def test_sum_over_set_display_flagged(self):
+        src = "def f(a, b):\n    return sum({a, b})\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP006"]
+
+    def test_sum_over_set_variable_flagged(self):
+        src = (
+            "def f(gangs):\n"
+            "    costs = {g.cost for g in gangs}\n"
+            "    return sum(costs)\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["REP006"]
+
+    def test_sum_over_annotated_set_variable_flagged(self):
+        src = (
+            "def f():\n"
+            "    seen: frozenset[float] = frozenset()\n"
+            "    return sum(seen)\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["REP006"]
+
+    def test_sum_with_start_argument_flagged(self):
+        src = "def f(xs):\n    return sum(frozenset(xs), 0.0)\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP006"]
+
+    def test_sorted_operands_allowed(self):
+        src = "def f(prices):\n    return sum(sorted(set(prices)))\n"
+        assert lint_source(src, CORE) == []
+
+    def test_math_fsum_exempt(self):
+        src = (
+            "import math\n"
+            "def f(prices):\n"
+            "    return math.fsum(set(prices))\n"
+        )
+        assert lint_source(src, CORE) == []
+
+    def test_sum_over_list_not_flagged(self):
+        src = "def f(xs):\n    return sum(xs) + sum([x * 2 for x in xs])\n"
+        assert lint_source(src, CORE) == []
+
+    def test_comprehension_over_set_left_to_rep004(self):
+        """``sum(g(x) for x in s)`` is iteration — REP004's finding, not a
+        second REP006 report on the same expression."""
+        src = (
+            "def f(gangs):\n"
+            "    s = set(gangs)\n"
+            "    return sum(x.cost for x in s)\n"
+        )
+        assert rules_of(lint_source(src, CORE)) == ["REP004"]
+
+    def test_no_fix_attached(self):
+        """The satellite contract: --fix must not rewrite REP006 findings
+        (forcing an accumulation order is a judgement call)."""
+        src = "def f(prices):\n    return sum(set(prices))\n"
+        findings = lint_source(src, CORE)
+        assert [f.fix for f in findings] == [None]
+        fixed, applied = apply_fixes(src, findings)
+        assert applied == 0
+        assert fixed == src
+
+    def test_suppressible_per_line(self):
+        src = (
+            "def f(xs):\n"
+            "    return sum(set(xs))  # repro-lint: disable=REP006\n"
+        )
+        assert lint_source(src, CORE) == []
+
+
 class TestSuppression:
     def test_disable_specific_rule(self):
         src = "if x == 0.0:  # repro-lint: disable=REP001\n    pass\n"
@@ -359,5 +433,6 @@ class TestShippedTreeIsClean:
             MutableDefaultRule,
             UnorderedIterationRule,
             SilentExceptionRule,
+            UnorderedFloatSumRule,
         ):
             assert cls.__doc__

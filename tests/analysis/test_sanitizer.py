@@ -5,9 +5,11 @@ from __future__ import annotations
 
 from types import SimpleNamespace
 
+import numpy as np
 import pytest
 
 from repro.analysis.sanitizer import InvariantSanitizer, InvariantViolation
+from repro.baselines.gavel.policy import AllocationMatrix
 from repro.cluster.allocation import Allocation
 from repro.cluster.state import ClusterState
 from repro.core import HadarScheduler, ProfilingScheduler
@@ -167,6 +169,126 @@ class TestPrimalDualIncrement:
         )
 
 
+def matrix(job_ids, types, rows):
+    return AllocationMatrix(
+        job_ids=tuple(job_ids),
+        types=tuple(types),
+        values=np.array(rows, dtype=float),
+    )
+
+
+class TestGavelFeasibility:
+    TYPES = ("V100", "K80")
+    CAPACITY = {"V100": 4, "K80": 4}
+
+    def test_entry_outside_unit_interval_fires(self):
+        y = matrix([0], self.TYPES, [[1.5, 0.0]])
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantSanitizer().check_gavel_feasibility(
+                y, {0: 1}, self.CAPACITY, round_index=2
+            )
+        assert exc.value.rule == "gavel-feasibility"
+        assert exc.value.job_id == 0
+        assert exc.value.details["fraction"] == 1.5
+
+    def test_row_sum_past_one_fires(self):
+        # Each entry is a legal fraction, but the job would spend 140%
+        # of its time running.
+        y = matrix([7], self.TYPES, [[0.8, 0.6]])
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantSanitizer().check_gavel_feasibility(
+                y, {7: 2}, self.CAPACITY
+            )
+        assert exc.value.rule == "gavel-feasibility"
+        assert exc.value.details["row_sum"] == pytest.approx(1.4)
+
+    def test_capacity_overcommit_fires(self):
+        # Rows are fine individually; together they promise 3 gangs of 4
+        # workers full-time on 4 V100s.
+        y = matrix([0, 1, 2], self.TYPES, [[1.0, 0.0]] * 3)
+        workers = {0: 4, 1: 4, 2: 4}
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantSanitizer().check_gavel_feasibility(
+                y, workers, self.CAPACITY
+            )
+        assert exc.value.rule == "gavel-feasibility"
+        assert exc.value.details["type"] == "V100"
+        assert exc.value.details["weighted_demand"] == pytest.approx(12.0)
+        assert exc.value.details["capacity"] == 4.0
+
+    def test_feasible_matrix_passes(self):
+        # 2 workers × (0.5 + 0.5) + 4 workers × 0.5 on each type = 3 ≤ 4.
+        y = matrix([0, 1], self.TYPES, [[0.5, 0.5], [0.5, 0.5]])
+        sanitizer = InvariantSanitizer()
+        sanitizer.check_gavel_feasibility(y, {0: 2, 1: 4}, self.CAPACITY)
+        assert sanitizer.ok
+
+    def test_tolerance_absorbs_lp_noise(self):
+        y = matrix([0], self.TYPES, [[1.0 + 1e-9, 0.0]])
+        sanitizer = InvariantSanitizer(rel_tol=1e-6)
+        sanitizer.check_gavel_feasibility(y, {0: 4}, self.CAPACITY)
+        assert sanitizer.ok
+
+
+def las(job_id, attained, state=JobState.QUEUED):
+    rt = JobRuntime(job=make_job(job_id, workers=1))
+    rt.state = state
+    rt.attained_service = attained
+    return rt
+
+
+class TestTiresiasMonotonicity:
+    THRESHOLD = 3600.0
+
+    def test_promotion_back_to_high_queue_fires(self):
+        sanitizer = InvariantSanitizer()
+        rt = las(4, 5000.0)
+        sanitizer.check_tiresias_monotonicity({4}, {4: rt}, self.THRESHOLD)
+        with pytest.raises(InvariantViolation) as exc:
+            sanitizer.check_tiresias_monotonicity(
+                set(), {4: rt}, self.THRESHOLD, round_index=9
+            )
+        assert exc.value.rule == "queue-monotonicity"
+        assert exc.value.job_id == 4
+
+    def test_premature_demotion_fires(self):
+        rt = las(1, 100.0)  # far below the threshold, yet demoted
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantSanitizer().check_tiresias_monotonicity(
+                {1}, {1: rt}, self.THRESHOLD
+            )
+        assert exc.value.rule == "queue-monotonicity"
+        assert exc.value.details["attained_service"] == 100.0
+
+    def test_missed_demotion_fires(self):
+        rt = las(2, 5000.0)  # past the threshold but still in queue 0
+        with pytest.raises(InvariantViolation) as exc:
+            InvariantSanitizer().check_tiresias_monotonicity(
+                set(), {2: rt}, self.THRESHOLD
+            )
+        assert exc.value.rule == "queue-monotonicity"
+        assert exc.value.job_id == 2
+
+    def test_completed_job_is_exempt_from_demotion(self):
+        # A job can cross the threshold in its final round, after the
+        # last demotion sweep that would ever see it.
+        rt = las(3, 5000.0, state=JobState.COMPLETE)
+        sanitizer = InvariantSanitizer()
+        sanitizer.check_tiresias_monotonicity(set(), {3: rt}, self.THRESHOLD)
+        assert sanitizer.ok
+
+    def test_consistent_rounds_pass(self):
+        sanitizer = InvariantSanitizer()
+        hot = las(0, 0.0)
+        cold = las(1, 4000.0)
+        for demoted in ({1}, {1}, {0, 1}):
+            hot.attained_service += 1500.0
+            sanitizer.check_tiresias_monotonicity(
+                demoted, {0: hot, 1: cold}, self.THRESHOLD
+            )
+        assert sanitizer.ok
+
+
 class TestCollectMode:
     def test_collects_instead_of_raising(self):
         sanitizer = InvariantSanitizer(mode="collect")
@@ -211,6 +333,34 @@ class TestEngineIntegration:
         assert result.all_completed
         assert sanitizer.ok
         assert sanitizer.rounds_checked == result.scheduling_invocations
+
+    def test_gavel_matrix_feasibility_checked_end_to_end(
+        self, paper_cluster_cls, trace
+    ):
+        from repro.baselines import GavelScheduler
+
+        scheduler = GavelScheduler()
+        sanitizer = InvariantSanitizer()
+        result = simulate(paper_cluster_cls, trace, scheduler, sanitizer=sanitizer)
+        assert result.all_completed
+        assert sanitizer.ok
+        # The surface the feasibility check consumed every round.
+        assert scheduler.last_allocation_matrix is not None
+
+    def test_tiresias_demotions_stay_monotone_end_to_end(
+        self, paper_cluster_cls, trace
+    ):
+        from repro.baselines import TiresiasScheduler
+        from repro.baselines.tiresias import TiresiasConfig
+
+        # Threshold low enough that demotions actually happen, so the
+        # monotonicity check has a non-trivial set to validate.
+        scheduler = TiresiasScheduler(TiresiasConfig(queue_threshold_gpu_s=600.0))
+        sanitizer = InvariantSanitizer()
+        result = simulate(paper_cluster_cls, trace, scheduler, sanitizer=sanitizer)
+        assert result.all_completed
+        assert sanitizer.ok
+        assert scheduler.demoted_jobs  # the check saw real demotions
 
     def test_profiling_wrapper_still_reaches_hadar_internals(
         self, paper_cluster_cls, trace

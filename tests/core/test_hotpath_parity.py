@@ -24,7 +24,7 @@ from repro.cluster.allocation import Allocation
 from repro.cluster.state import ClusterState
 from repro.core.dp import DPConfig
 from repro.core.find_alloc import cached_find_alloc, find_alloc
-from repro.core.pricing import PriceBook
+from repro.core.pricing import PriceBook, PricingConfig
 from repro.core.round_context import RoundContext
 from repro.core.utility import NormalizedThroughputUtility
 from repro.sim.progress import JobRuntime, JobState
@@ -77,6 +77,24 @@ def test_reference_mode_matches_golden(seed: int) -> None:
     disabled and must land on the identical schedule (only Hadar exercises
     the DP hot path, so only Hadar has a reference mode)."""
     result = _run("hadar", seed, reference=True)
+    assert digest(fingerprint(result)) == GOLDEN[f"hadar/{seed}"]["sha256"]
+
+
+# -- golden parity: calibration modes ------------------------------------------
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_reference_calibration_matches_golden(seed: int) -> None:
+    """``PricingConfig(incremental=False)`` rebuilds the Eq. 6-8 price book
+    from scratch every round; the shipped incremental calibrator (covered by
+    the cached-path tests above) must be byte-identical to it, so both modes
+    pin to the same golden digests."""
+    key = ("hadar", seed, "full-rescan-calibration")
+    if key not in _RESULTS:
+        _RESULTS[key] = run_scenario(
+            "hadar", seed, pricing=PricingConfig(incremental=False)
+        )
+    result = _RESULTS[key]
     assert digest(fingerprint(result)) == GOLDEN[f"hadar/{seed}"]["sha256"]
 
 

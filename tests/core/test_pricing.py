@@ -6,7 +6,7 @@ import pytest
 
 from repro.cluster.allocation import Allocation
 from repro.cluster.state import ClusterState
-from repro.core.pricing import PriceBook, PricingConfig
+from repro.core.pricing import PriceBook, PriceCalibrator, PricingConfig
 from repro.core.utility import NormalizedThroughputUtility
 from repro.sim.progress import JobRuntime, JobState
 
@@ -152,3 +152,73 @@ class TestCalibration:
             PricingConfig(min_ratio=1.0)
         with pytest.raises(ValueError):
             PricingConfig(horizon_slack=0.0)
+
+
+class TestIncrementalCalibrator:
+    """The reused calibrator must be bit-equal to a per-round full rescan."""
+
+    def _books_equal(self, a: PriceBook, b: PriceBook) -> None:
+        assert a.u_min == b.u_min  # exact — no approx; parity is the contract
+        assert a.u_max == b.u_max
+        assert a.eta == b.eta
+
+    def test_matches_full_rescan_across_rounds(self, small_cluster, matrix):
+        """Arrivals, progress, and completions between rounds all land on
+        the same book a from-scratch calibration would produce."""
+        utility = NormalizedThroughputUtility()
+        incremental = PriceCalibrator(PricingConfig())
+        jobs = [
+            queued(make_job(0, "resnet18", workers=2, epochs=2)),
+            queued(make_job(1, "resnet50", workers=4, epochs=1)),
+        ]
+        late = queued(make_job(2, "cyclegan", workers=1, epochs=1))
+
+        def round_at(queue, now):
+            state = small_cluster.fresh_state()
+            got = incremental.calibrate(queue, matrix, utility, state, now)
+            want = PriceBook.calibrate(
+                jobs=queue, matrix=matrix, utility=utility,
+                state=small_cluster.fresh_state(), now=now,
+            )
+            self._books_equal(got, want)
+
+        round_at(jobs, 0.0)
+        round_at(jobs, 60.0)  # unchanged queue, later clock
+        jobs[0].iterations_done = 0.5 * jobs[0].job.total_iterations
+        round_at(jobs, 120.0)  # one job progressed
+        round_at(jobs + [late], 180.0)  # arrival
+        jobs[1].iterations_done = float(jobs[1].job.total_iterations)
+        round_at([jobs[0], late], 240.0)  # completion leaves the queue
+
+    def test_dirty_counts_only_changed_jobs(self, small_cluster, matrix):
+        utility = NormalizedThroughputUtility()
+        calib = PriceCalibrator(PricingConfig())
+        jobs = [
+            queued(make_job(0, "resnet18", workers=2, epochs=2)),
+            queued(make_job(1, "resnet50", workers=4, epochs=1)),
+        ]
+        state = small_cluster.fresh_state()
+        calib.calibrate(jobs, matrix, utility, state, 0.0)
+        assert calib.last_jobs == 2
+        assert calib.last_dirty == 2  # cold start: everything recomputed
+
+        calib.calibrate(jobs, matrix, utility, state, 60.0)
+        assert calib.last_dirty == 0  # remaining work unchanged -> O(delta)=0
+
+        jobs[0].iterations_done = 10.0
+        calib.calibrate(jobs, matrix, utility, state, 120.0)
+        assert calib.last_dirty == 1  # only the job that progressed
+
+        late = queued(make_job(2, "cyclegan", workers=1, epochs=1))
+        calib.calibrate(jobs + [late], matrix, utility, state, 180.0)
+        assert calib.last_dirty == 1  # only the arrival
+
+    def test_reset_forgets_cached_records(self, small_cluster, matrix):
+        utility = NormalizedThroughputUtility()
+        calib = PriceCalibrator(PricingConfig())
+        jobs = [queued(make_job(0, "resnet18", workers=2, epochs=2))]
+        state = small_cluster.fresh_state()
+        calib.calibrate(jobs, matrix, utility, state, 0.0)
+        calib.reset()
+        calib.calibrate(jobs, matrix, utility, state, 60.0)
+        assert calib.last_dirty == 1  # cold again after reset

@@ -1,0 +1,150 @@
+"""Unit tests for the event kernel (layer 1 of the engine pipeline).
+
+The kernel owns deterministic same-timestamp ordering and the
+lazy-deletion validity rules for revocable events; these tests pin both
+directly against :class:`~repro.sim.kernel.EventKernel`, independent of
+the engine that drives it.
+"""
+
+import pytest
+
+from repro.sim.events import EventKind
+from repro.sim.kernel import EventKernel
+from repro.sim.progress import JobRuntime, JobState
+
+from tests.conftest import make_job
+
+
+def running(job_id: int = 0, *, rate: float = 1.0, iters_left: float = 100.0):
+    job = make_job(job_id, "resnet18", workers=1)
+    rt = JobRuntime(job=job)
+    rt.state = JobState.RUNNING
+    rt.rate = rate
+    rt.iterations_done = job.total_iterations - iters_left
+    return rt
+
+
+class TestSameTimestampOrdering:
+    def test_completion_before_arrival_before_round_boundary(self):
+        """The tentpole ordering contract: at one instant, a finishing job
+        frees its devices before the arriving job is seen, and both land
+        before the scheduler runs at the round boundary."""
+        kernel = EventKernel()
+        rt = running(8, rate=10.0, iters_left=20.0)  # completes at t=2.0
+        kernel.push_round_boundary(2.0)
+        kernel.push_arrival(2.0, job_id=7)
+        kernel.push_completion(rt, now=0.0)
+        kinds = [kernel.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.COMPLETION,
+            EventKind.ARRIVAL,
+            EventKind.ROUND_BOUNDARY,
+        ]
+
+    def test_stragglers_order_after_round_boundary(self):
+        kernel = EventKernel()
+        rt = running(1)
+        kernel.push_straggler_recovery(3.0, rt)
+        kernel.push_straggler_onset(3.0, rt)
+        kernel.push_round_boundary(3.0)
+        kinds = [kernel.pop().kind for _ in range(3)]
+        assert kinds == [
+            EventKind.ROUND_BOUNDARY,
+            EventKind.STRAGGLER_ONSET,
+            EventKind.STRAGGLER_RECOVERY,
+        ]
+
+    def test_push_order_breaks_full_ties(self):
+        """Same time, same kind: FIFO by push sequence (determinism)."""
+        kernel = EventKernel()
+        for job_id in (4, 5, 6):
+            kernel.push_arrival(1.0, job_id=job_id)
+        assert [kernel.pop().payload for _ in range(3)] == [4, 5, 6]
+
+    def test_len_and_bool(self):
+        kernel = EventKernel()
+        assert not kernel and len(kernel) == 0
+        kernel.push_arrival(0.0, job_id=1)
+        assert kernel and len(kernel) == 1
+
+
+class TestCompletionPredictions:
+    def test_push_stamps_current_generation(self):
+        kernel = EventKernel()
+        rt = running(3)
+        rt.generation = 5
+        ev = kernel.push_completion(rt, now=0.0)
+        assert ev is not None
+        assert ev.kind is EventKind.COMPLETION
+        assert ev.generation == 5
+        assert ev.time == pytest.approx(100.0)
+
+    def test_stalled_job_yields_no_prediction(self):
+        kernel = EventKernel()
+        rt = running(3, rate=0.0)
+        assert kernel.push_completion(rt, now=0.0) is None
+        assert len(kernel) == 0
+
+    def test_pause_window_delays_prediction(self):
+        kernel = EventKernel()
+        rt = running(3, rate=1.0, iters_left=10.0)
+        rt.resume_time = 50.0
+        ev = kernel.push_completion(rt, now=0.0)
+        assert ev is not None and ev.time == pytest.approx(60.0)
+
+
+class TestStaleness:
+    def test_stale_generation_completion_discarded(self):
+        """A rate change after prediction bumps the generation; the popped
+        event no longer matches and must be reported stale."""
+        kernel = EventKernel()
+        rt = running(2)
+        runtimes = {2: rt}
+        kernel.push_completion(rt, now=0.0)
+        rt.generation += 1  # re-placement / pause changed the trajectory
+        event = kernel.pop()
+        assert kernel.is_stale(event, runtimes)
+
+    def test_current_generation_completion_is_live(self):
+        kernel = EventKernel()
+        rt = running(2)
+        runtimes = {2: rt}
+        kernel.push_completion(rt, now=0.0)
+        assert not kernel.is_stale(kernel.pop(), runtimes)
+
+    def test_completed_job_completion_discarded(self):
+        """Even at a matching generation, a COMPLETE job's leftover
+        prediction is moot (completion was finalized by integration)."""
+        kernel = EventKernel()
+        rt = running(2)
+        runtimes = {2: rt}
+        kernel.push_completion(rt, now=0.0)
+        rt.state = JobState.COMPLETE
+        assert kernel.is_stale(kernel.pop(), runtimes)
+
+    def test_straggler_events_validate_against_alloc_epoch(self):
+        kernel = EventKernel()
+        rt = running(2)
+        rt.alloc_epoch = 3
+        runtimes = {2: rt}
+        kernel.push_straggler_onset(10.0, rt)
+        kernel.push_straggler_recovery(20.0, rt)
+        onset = kernel.pop()
+        assert not kernel.is_stale(onset, runtimes)
+        rt.alloc_epoch += 1  # the gang moved: old fault clock is moot
+        assert kernel.is_stale(kernel.pop(), runtimes)
+
+    def test_straggler_events_stale_for_non_running_jobs(self):
+        kernel = EventKernel()
+        rt = running(2)
+        runtimes = {2: rt}
+        kernel.push_straggler_onset(10.0, rt)
+        rt.state = JobState.QUEUED  # preempted before the fault fired
+        assert kernel.is_stale(kernel.pop(), runtimes)
+
+    def test_arrivals_and_boundaries_never_stale(self):
+        kernel = EventKernel()
+        kernel.push_arrival(1.0, job_id=9)
+        kernel.push_round_boundary(2.0)
+        assert not kernel.is_stale(kernel.pop(), {})
+        assert not kernel.is_stale(kernel.pop(), {})
