@@ -12,6 +12,14 @@ pipeline with the cheap Tiresias policy, so engine overhead (dispatch,
 integration, dirty-set re-prediction) is gated independently of the DP
 search.  Both scenario families flow through the same ``--check`` gate.
 
+Every cached run attaches a :class:`repro.obs.MetricsRegistry`, so the
+recorded counters (RoundStats, ``calib_jobs``/``calib_dirty``, the
+baselines' round stats) come out of the same ``repro_hotpath_total``
+metric family the simulator publishes everywhere else.  Each Hadar
+scenario is additionally rerun with a *disabled* ``DecisionTracer``
+attached; the ``--check`` gate fails if even the least-noisy seed shows
+>= 3% wall-clock overhead on that tracing-off path.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record_bench.py
@@ -43,26 +51,37 @@ from conftest import bench_scale  # noqa: E402
 from repro.cluster.cluster import simulated_cluster  # noqa: E402
 from repro.core.dp import DPConfig  # noqa: E402
 from repro.core.scheduler import HadarConfig, HadarScheduler  # noqa: E402
+from repro.obs import DecisionTracer, MetricsRegistry  # noqa: E402
 from repro.sim.engine import SimulationResult, simulate  # noqa: E402
 from repro.workload.philly import PhillyTraceConfig, generate_philly_trace  # noqa: E402
 
 SEEDS = (1, 2, 3)
 JOBS_BY_SCALE = {"quick": 14, "default": 24, "full": 40}
 DEFAULT_OUTPUT = Path(__file__).with_name("BENCH_dp_hotpath.json")
+TRACING_OVERHEAD_LIMIT_PCT = 3.0
+"""Gate on the disabled-tracer tax: attaching a ``DecisionTracer`` with
+``enabled=False`` must cost < 3% wall-clock vs no tracer at all (the
+minimum over the seeds is compared, so one noisy run cannot fail CI)."""
 
 
 def _phases(result: SimulationResult) -> dict[str, float]:
     return {k: round(v, 4) for k, v in result.phase_timings.items()}
 
 
-def _run(seed: int, num_jobs: int, cached: bool) -> tuple[float, SimulationResult]:
+def _run(
+    seed: int,
+    num_jobs: int,
+    cached: bool,
+    tracer: Optional[DecisionTracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> tuple[float, SimulationResult]:
     cluster = simulated_cluster()
     trace = generate_philly_trace(PhillyTraceConfig(num_jobs=num_jobs, seed=seed))
     scheduler = HadarScheduler(
         HadarConfig(dp=DPConfig(round_caching=cached))
     )
     start = time.perf_counter()
-    result = simulate(cluster, trace, scheduler)
+    result = simulate(cluster, trace, scheduler, tracer=tracer, metrics=metrics)
     return time.perf_counter() - start, result
 
 
@@ -73,17 +92,39 @@ def _run_engine(seed: int, num_jobs: int) -> tuple[float, SimulationResult]:
 
     cluster = simulated_cluster()
     trace = generate_philly_trace(PhillyTraceConfig(num_jobs=num_jobs, seed=seed))
+    metrics = MetricsRegistry()
     start = time.perf_counter()
-    result = simulate(cluster, trace, TiresiasScheduler())
+    result = simulate(cluster, trace, TiresiasScheduler(), metrics=metrics)
     return time.perf_counter() - start, result
+
+
+def _counter_metrics(result: SimulationResult) -> dict[str, dict]:
+    """The registry's counter series for the report (uniform across
+    schedulers: engine counters plus whatever ``last_round_stats`` the
+    policy published — Hadar's RoundStats, the baselines' round stats).
+    Timing metrics are deliberately dropped: they duplicate the wall_s /
+    phase_timings fields and would churn the recorded file."""
+    counters = {}
+    for name, metric in sorted(result.metrics.items()):
+        if metric.get("type") != "counter":
+            continue
+        counters[name] = {
+            "help": metric.get("help", ""),
+            "series": metric.get("series", []),
+        }
+    return counters
 
 
 def record(num_jobs: int, scale: str) -> dict:
     """Measure every scenario in both modes; returns the report dict."""
     scenarios: dict[str, dict] = {}
     for seed in SEEDS:
-        cached_s, cached = _run(seed, num_jobs, cached=True)
+        cached_s, cached = _run(seed, num_jobs, cached=True, metrics=MetricsRegistry())
         reference_s, reference = _run(seed, num_jobs, cached=False)
+        # The tracing-off tax: same scenario with a disabled DecisionTracer
+        # attached — the engine must skip all record building.
+        disabled_tracer = DecisionTracer(sink=[], enabled=False)
+        disabled_s, _ = _run(seed, num_jobs, cached=True, tracer=disabled_tracer)
         c_stats, r_stats = cached.hotpath_stats, reference.hotpath_stats
         evals_c = max(c_stats.get("candidate_evals", 0), 1)
         runs_c = max(c_stats.get("find_alloc_runs", 0), 1)
@@ -92,6 +133,11 @@ def record(num_jobs: int, scale: str) -> dict:
                 "wall_s": round(cached_s, 3),
                 "phase_timings": _phases(cached),
                 "counters": c_stats,
+                "metrics": _counter_metrics(cached),
+            },
+            "tracing_disabled": {
+                "wall_s": round(disabled_s, 3),
+                "overhead_pct": round(100.0 * (disabled_s / max(cached_s, 1e-9) - 1.0), 2),
             },
             "reference": {
                 "wall_s": round(reference_s, 3),
@@ -111,11 +157,13 @@ def record(num_jobs: int, scale: str) -> dict:
         "cached": {
             "wall_s": round(engine_s, 3),
             "phase_timings": _phases(engine_result),
+            "metrics": _counter_metrics(engine_result),
         },
     }
     hadar = [s for s in scenarios.values() if "candidate_eval_reduction" in s]
     reductions = [s["candidate_eval_reduction"] for s in hadar]
     speedups = [s["wall_clock_speedup"] for s in hadar]
+    overheads = [s["tracing_disabled"]["overhead_pct"] for s in hadar]
     return {
         "meta": {
             "bench": "dp_hotpath",
@@ -135,6 +183,7 @@ def record(num_jobs: int, scale: str) -> dict:
             "max_candidate_eval_reduction": max(reductions),
             "min_wall_clock_speedup": min(speedups),
             "max_wall_clock_speedup": max(speedups),
+            "min_tracing_overhead_pct": min(overheads),
         },
     }
 
@@ -154,6 +203,12 @@ def check(report: dict, baseline: dict, threshold: float) -> list[str]:
                 f"{name}: cached wall-clock {now_s:.3f}s exceeds "
                 f"{threshold:.1f}x baseline {base_s:.3f}s"
             )
+    overhead = report.get("summary", {}).get("min_tracing_overhead_pct")
+    if overhead is not None and overhead >= TRACING_OVERHEAD_LIMIT_PCT:
+        problems.append(
+            f"tracing-disabled overhead {overhead:.2f}% on every seed — "
+            f"the off path must cost < {TRACING_OVERHEAD_LIMIT_PCT:.0f}%"
+        )
     return problems
 
 
@@ -196,7 +251,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{summary['max_candidate_eval_reduction']:.2f}x; "
         "wall-clock speedup: "
         f"{summary['min_wall_clock_speedup']:.2f}x - "
-        f"{summary['max_wall_clock_speedup']:.2f}x"
+        f"{summary['max_wall_clock_speedup']:.2f}x; "
+        "tracing-off overhead (min): "
+        f"{summary['min_tracing_overhead_pct']:.2f}%"
     )
 
     if args.check is not None:

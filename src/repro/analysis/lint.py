@@ -49,6 +49,7 @@ __all__ = [
     "UnorderedIterationRule",
     "SilentExceptionRule",
     "UnorderedFloatSumRule",
+    "PrintInLibraryRule",
     "ALL_RULES",
     "apply_fixes",
     "fix_paths",
@@ -625,6 +626,48 @@ class UnorderedFloatSumRule(LintRule):
                 )
 
 
+# --------------------------------------------------------------------------- #
+# REP007 — print() in library code
+# --------------------------------------------------------------------------- #
+
+class PrintInLibraryRule(LintRule):
+    """``print(...)`` in importable library code under ``src/repro``.
+
+    Library output must flow through return values, the metrics registry,
+    or the decision tracer — never stdout: a stray ``print`` in a hot
+    path corrupts piped CLI output (``repro ... --json``), skews decision
+    latency measurements, and cannot be disabled by callers.  Entry-point
+    modules (``cli.py``, ``__main__.py``) are the designated rendering
+    layer and are exempt by filename; anywhere else, route the message
+    through :mod:`logging` or lift the rendering into the CLI — or
+    suppress with the reason stdout is the contract (e.g. a console
+    driver living outside the entry-point files).
+    """
+
+    rule_id = "REP007"
+    applies_to = ("repro/",)
+
+    _ENTRY_POINTS = frozenset({"cli.py", "__main__.py"})
+
+    def applies(self, path: str) -> bool:
+        if not super().applies(path):
+            return False
+        return path.replace("\\", "/").rsplit("/", 1)[-1] not in self._ENTRY_POINTS
+
+    def visit(self, node: ast.AST, ctx: _FileContext) -> None:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            ctx.report(
+                node,
+                self,
+                "print() in library code writes to stdout unconditionally; "
+                "return the data, use logging, or render in cli.py/__main__.py",
+            )
+
+
 ALL_RULES: tuple[type[LintRule], ...] = (
     FloatEqualityRule,
     NondeterminismRule,
@@ -632,6 +675,7 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     UnorderedIterationRule,
     SilentExceptionRule,
     UnorderedFloatSumRule,
+    PrintInLibraryRule,
 )
 
 
@@ -743,7 +787,7 @@ def fix_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Scheduler-specific static analysis (REP001-REP006).",
+        description="Scheduler-specific static analysis (REP001-REP007).",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     parser.add_argument("--json", action="store_true", help="machine-readable output")
@@ -773,17 +817,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.fix:
         fixed, files = fix_paths(args.paths, selected)
         if not args.json:
-            print(f"fixed {fixed} finding(s) in {files} file(s).")
+            # This module doubles as the linter's console entry point;
+            # stdout IS its contract here.
+            print(f"fixed {fixed} finding(s) in {files} file(s).")  # repro-lint: disable=REP007
 
     # With --fix, re-lint the rewritten tree: anything left needs a human.
     findings = lint_paths(args.paths, selected)
     if args.json:
-        print(json.dumps([f.to_dict() for f in findings], indent=2))
+        print(json.dumps([f.to_dict() for f in findings], indent=2))  # repro-lint: disable=REP007
     else:
         for finding in findings:
-            print(finding.format())
+            print(finding.format())  # repro-lint: disable=REP007
         if findings:
-            print(f"\n{len(findings)} finding(s).")
+            print(f"\n{len(findings)} finding(s).")  # repro-lint: disable=REP007
     return 1 if findings else 0
 
 

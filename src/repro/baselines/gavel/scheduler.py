@@ -63,6 +63,11 @@ class GavelScheduler(Scheduler):
         self.config = config or GavelConfig()
         self._cached_matrix: Optional[AllocationMatrix] = None
         self._cached_key: Optional[tuple[int, ...]] = None
+        self._solved_last_round = 0
+        self.last_round_stats: dict[str, int] = {}
+        """Per-round counters (LP solves vs matrix-cache reuses, priority
+        entries, admissions) the engine aggregates into
+        ``SimulationResult.hotpath_stats`` and the metrics registry."""
 
     @property
     def name(self) -> str:
@@ -71,6 +76,8 @@ class GavelScheduler(Scheduler):
     def reset(self) -> None:
         self._cached_matrix = None
         self._cached_key = None
+        self._solved_last_round = 0
+        self.last_round_stats = {}
 
     @property
     def last_allocation_matrix(self) -> Optional[AllocationMatrix]:
@@ -83,7 +90,9 @@ class GavelScheduler(Scheduler):
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         active = ctx.active
         if not active:
+            self.last_round_stats = {}
             return {}
+        self._solved_last_round = 0
         allocation_matrix = self._allocation_matrix(ctx)
 
         # Priority matrix: optimal share per round actually received.
@@ -113,6 +122,12 @@ class GavelScheduler(Scheduler):
                 continue
             state.allocate(gang)
             target[job_id] = gang
+        self.last_round_stats = {
+            "jobs_considered": len(active),
+            "jobs_admitted": len(target),
+            "matrix_solves": self._solved_last_round,
+            "priority_entries": len(entries),
+        }
         return target
 
     # ---------------------------------------------------------------- internal --
@@ -120,6 +135,7 @@ class GavelScheduler(Scheduler):
         active = ctx.active
         key = tuple(sorted(rt.job_id for rt in active))
         if key != self._cached_key or self._cached_matrix is None:
+            self._solved_last_round += 1
             self._cached_matrix = max_min_allocation_matrix(
                 jobs=active,
                 types=ctx.cluster.gpu_types,

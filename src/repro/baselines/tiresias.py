@@ -53,6 +53,11 @@ class TiresiasScheduler(Scheduler):
     def __init__(self, config: Optional[TiresiasConfig] = None):
         self.config = config or TiresiasConfig()
         self._demoted: set[int] = set()
+        self.last_round_stats: dict[str, int] = {}
+        """Per-round counters (demotions, queue depths, admissions) the
+        engine aggregates into ``SimulationResult.hotpath_stats`` and the
+        metrics registry — the baseline's side of the uniform
+        instrumentation surface Hadar's round context publishes."""
 
     @property
     def name(self) -> str:
@@ -60,6 +65,7 @@ class TiresiasScheduler(Scheduler):
 
     def reset(self) -> None:
         self._demoted.clear()
+        self.last_round_stats = {}
 
     @property
     def demoted_jobs(self) -> frozenset[int]:
@@ -76,12 +82,18 @@ class TiresiasScheduler(Scheduler):
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         active = list(ctx.active)
         if not active:
+            self.last_round_stats = {}
             return {}
 
         # Demotion is one-way: once over the threshold, always low queue.
+        demotions = 0
         for rt in active:
-            if rt.attained_service >= self.config.queue_threshold_gpu_s:
+            if (
+                rt.attained_service >= self.config.queue_threshold_gpu_s
+                and rt.job_id not in self._demoted
+            ):
                 self._demoted.add(rt.job_id)
+                demotions += 1
 
         def queue_index(rt: JobRuntime) -> int:
             return 1 if rt.job_id in self._demoted else 0
@@ -97,6 +109,11 @@ class TiresiasScheduler(Scheduler):
                 continue
             state.allocate(gang)
             target[rt.job_id] = gang
+        self.last_round_stats = {
+            "jobs_considered": len(active),
+            "jobs_admitted": len(target),
+            "demotions": demotions,
+        }
         return target
 
     def _pack_single_type(self, ctx, state, rt) -> Allocation | None:

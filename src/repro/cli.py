@@ -118,13 +118,31 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if args.straggler_rate > 0
         else None
     )
+    tracer = metrics = None
+    if args.trace_out:
+        from repro.obs import DecisionTracer
+
+        tracer = DecisionTracer(args.trace_out)
+    if args.metrics_out or args.json:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     result = simulate(
         cluster,
         trace,
         scheduler,
         round_length=args.round_min * 60.0,
         stragglers=stragglers,
+        tracer=tracer,
+        metrics=metrics,
     )
+    if tracer is not None:
+        tracer.close()
+        print(f"trace     : {args.trace_out} ({tracer.records_emitted} records)")
+    if args.metrics_out and metrics is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(metrics.to_json())
+        print(f"metrics   : {args.metrics_out}")
     stats = jct_stats(result)
     util = utilization_summary(result, contended=True)
     ftf = finish_time_fairness(result, default_throughput_matrix())
@@ -242,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--straggler-rate", type=float, default=0.0,
                    help="straggler onsets per job-hour (0 = off)")
     p.add_argument("--json", default=None, help="also dump the result as JSON")
+    p.add_argument("--trace-out", default=None,
+                   help="write a structured decision trace (JSONL; see "
+                        "docs/observability.md and `python -m repro.obs`)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the metrics-registry snapshot as JSON")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="run a scheduler lineup over one workload")

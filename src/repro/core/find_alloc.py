@@ -48,7 +48,13 @@ from repro.core.utility import Utility
 from repro.sim.progress import JobRuntime
 from repro.workload.throughput import ThroughputMatrix
 
-__all__ = ["AllocationCandidate", "find_alloc", "cached_find_alloc"]
+__all__ = [
+    "AllocationCandidate",
+    "AllocationExplanation",
+    "find_alloc",
+    "cached_find_alloc",
+    "explain_alloc",
+]
 
 DelayEstimator = Callable[[JobRuntime, Allocation], float]
 """Estimated pause (checkpoint save+load) if the job moves to a new gang."""
@@ -72,6 +78,35 @@ class AllocationCandidate:
     @property
     def is_admittable(self) -> bool:
         return self.payoff > 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class AllocationExplanation:
+    """Why ``FIND_ALLOC`` would (not) place one job at one state.
+
+    Produced by :func:`explain_alloc` for the decision tracer — never on
+    the hot path.  The family payoffs are the *best payoff within each
+    candidate family regardless of sign* (the search itself discards
+    non-positive payoffs), so a trace can show how far underwater the
+    losing family was:
+
+    * ``consolidated_payoff`` — best single-server gang (line 24);
+    * ``scattered_payoff`` — best cross-server gang (line 25), comm
+      surcharge included;
+    * ``current_payoff`` — keeping the job's existing placement
+      (delay-free), when it still fits.
+
+    ``None`` means the family produced no candidate at this state.
+    ``reason`` is the empty string when ``best`` exists, else one of the
+    trace schema's skip reasons (:data:`repro.obs.schema.SKIP_REASONS`
+    minus ``dp_skipped``/``not_traced``, which only the caller can tell).
+    """
+
+    best: Optional[AllocationCandidate]
+    reason: str
+    consolidated_payoff: Optional[float] = None
+    scattered_payoff: Optional[float] = None
+    current_payoff: Optional[float] = None
 
 
 def _greedy_take(
@@ -348,6 +383,172 @@ def _search_reference(
         payoff=payoff,
         rate=rate,
         estimated_jct=jct,
+    )
+
+
+def explain_alloc(
+    ctx: RoundContext, rt: JobRuntime, state: ClusterState
+) -> AllocationExplanation:
+    """Re-derive one job's ``FIND_ALLOC`` outcome with full diagnostics.
+
+    Runs the reference candidate generation and evaluation, but keeps the
+    best payoff of *every* family regardless of sign (the search discards
+    non-positive payoffs outright) and names the reason no gang survived.
+    Only the decision tracer calls this, once per job per traced round,
+    at the post-decision state — never inside the DP recursion — so it
+    favours clarity over sharing: it reads the round's frozen tables and
+    price memo through ``ctx`` (all value-preserving) but touches neither
+    the candidate/result memos nor, thanks to
+    :meth:`~repro.core.round_context.RoundContext.suspend_stats`, the
+    round's hot-path counters.
+    """
+    job = rt.job
+    model = job.model.name
+    w = job.num_workers
+    with ctx.suspend_stats():
+        rate_of = ctx.rates_for(model)
+        usable_desc = ctx.usable_desc(model)
+        if not usable_desc:
+            return AllocationExplanation(None, "no_usable_type")
+
+        free_slots: list[tuple[int, str, int]] = [
+            (node_id, type_name, free)
+            for (node_id, type_name), free in state.free_slots()
+        ]
+        free_of = {
+            (node_id, type_name): free for node_id, type_name, free in free_slots
+        }
+        price_of = {slot: ctx.price(slot, free) for slot, free in free_of.items()}
+
+        candidates: set[_Picks] = set()
+
+        # Consolidated family (line 24): whole gang on one server.
+        fast_order = ctx.node_fast_order(model)
+        per_node_free: dict[int, int] = {}
+        per_node: dict[int, list[tuple[int, str, int]]] = {}
+        for node_id, type_name, free in free_slots:
+            if rate_of[type_name] > 0.0:
+                per_node_free[node_id] = per_node_free.get(node_id, 0) + free
+                per_node.setdefault(node_id, []).append((node_id, type_name, free))
+        for node_id, slots in per_node.items():
+            if per_node_free[node_id] < w:
+                continue
+            fast = [
+                (node_id, t, free_of[(node_id, t)])
+                for t in fast_order[node_id]
+                if free_of.get((node_id, t), 0) > 0
+            ]
+            picks = _greedy_take(fast, w)
+            if picks is not None:
+                candidates.add(picks)
+            cheap = sorted(slots, key=lambda s: (price_of[(s[0], s[1])], s[1]))
+            picks = _greedy_take(cheap, w)
+            if picks is not None:
+                candidates.add(picks)
+
+        # Cross-server family (line 25): one candidate pair per bottleneck tier.
+        for i in range(len(usable_desc)):
+            allowed = set(usable_desc[: i + 1])
+            slots = [s for s in free_slots if s[1] in allowed]
+            if sum(free for *_, free in slots) < w:
+                continue
+            cheap = sorted(
+                slots, key=lambda s: (price_of[(s[0], s[1])], -rate_of[s[1]], s[0])
+            )
+            picks = _greedy_take(cheap, w)
+            if picks is not None:
+                candidates.add(picks)
+            fast = sorted(
+                slots, key=lambda s: (-rate_of[s[1]], price_of[(s[0], s[1])], s[0])
+            )
+            picks = _greedy_take(fast, w)
+            if picks is not None:
+                candidates.add(picks)
+
+        # The current placement, when it still fits and runs.
+        current_picks: Optional[_Picks] = None
+        if rt.allocation and state.can_fit(rt.allocation):
+            picks = tuple(
+                sorted(
+                    (node_id, type_name, count)
+                    for (node_id, type_name), count in rt.allocation.placements.items()
+                )
+            )
+            if all(
+                (rate_of.get(t) or ctx.matrix.rate(model, t)) > 0.0
+                for _, t, _ in picks
+            ):
+                current_picks = picks
+                candidates.add(picks)
+
+        if not candidates:
+            return AllocationExplanation(None, "insufficient_free")
+
+        # Evaluate every candidate; keep family bests at any payoff sign.
+        model_bytes = job.model.model_bytes
+        comm = ctx.cluster.comm
+        now = ctx.now
+        utility = ctx.utility
+        age = max(now - job.arrival_time, 0.0)
+        remaining = rt.remaining_iterations
+
+        consolidated_payoff: Optional[float] = None
+        scattered_payoff: Optional[float] = None
+        current_payoff: Optional[float] = None
+        best_key: Optional[tuple] = None
+        best: Optional[AllocationCandidate] = None
+        move_delay: Optional[float] = None
+        for picks in candidates:  # repro-lint: disable=REP004
+            bottleneck = min(
+                rate_of.get(t) or ctx.matrix.rate(model, t) for _, t, _ in picks
+            )
+            if bottleneck <= 0.0:
+                continue
+            is_current = picks == current_picks
+            multi_node = len({n for n, _, _ in picks}) > 1
+            penalty = comm.throughput_penalty_n(
+                w, multi_node, model_bytes, 1.0 / bottleneck
+            )
+            rate = bottleneck * w * penalty
+            if is_current and rt.slowdown < 1.0:
+                rate *= rt.slowdown
+            cost = sum(price_of[(n, t)] * c for n, t, c in picks) / penalty
+            if is_current:
+                delay = 0.0
+            else:
+                if move_delay is None:
+                    move_delay = ctx.move_delay_for(rt, picks)
+                delay = move_delay
+            jct = age + delay + remaining / rate
+            u = utility.value_for(rt, jct, now)
+            payoff = u - cost
+            if is_current and (current_payoff is None or payoff > current_payoff):
+                current_payoff = payoff
+            if multi_node:
+                if scattered_payoff is None or payoff > scattered_payoff:
+                    scattered_payoff = payoff
+            elif consolidated_payoff is None or payoff > consolidated_payoff:
+                consolidated_payoff = payoff
+            if payoff <= 0.0:
+                continue
+            key = (-payoff, cost, multi_node, picks)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = AllocationCandidate(
+                    allocation=Allocation.from_pairs(picks),
+                    cost=cost,
+                    utility=u,
+                    payoff=payoff,
+                    rate=rate,
+                    estimated_jct=jct,
+                )
+
+    return AllocationExplanation(
+        best=best,
+        reason="" if best is not None else "negative_payoff",
+        consolidated_payoff=consolidated_payoff,
+        scattered_payoff=scattered_payoff,
+        current_payoff=current_payoff,
     )
 
 

@@ -123,6 +123,28 @@ class PriceBook:
             for (node_id, type_name), count in allocation.placements.items()
         )
 
+    def slot_prices(self, state: ClusterState) -> list[dict]:
+        """Every (server, GPU-type) slot's current Eq. (5) price, sorted.
+
+        The decision tracer's per-round price table: one entry per slot
+        with its occupancy (``capacity``/``free``) and the resulting unit
+        price.  Pure reads — safe to call at any point in a round.
+        """
+        out = []
+        for node_id, type_name in sorted(state.slots):
+            cap = state.capacity(node_id, type_name)
+            free = state.free(node_id, type_name)
+            out.append(
+                {
+                    "node": node_id,
+                    "gpu_type": type_name,
+                    "price": self.price_given(type_name, cap, free),
+                    "free": free,
+                    "capacity": cap,
+                }
+            )
+        return out
+
     def alpha(self) -> float:
         """The competitive-ratio factor ``α = max_r(1, ln(U_max^r/U_min^r))``."""
         best = 1.0

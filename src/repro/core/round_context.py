@@ -44,8 +44,9 @@ estimators depend only on the job and whether the gang moves, matching
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import Cluster
@@ -202,6 +203,25 @@ class RoundContext:
         self._node_picks: dict[tuple, tuple] = {}
         self._rate_rank: dict[str, tuple[dict[str, int], tuple[int, ...]]] = {}
         self._xserver: dict[tuple, tuple] = {}
+
+    # -- instrumentation ------------------------------------------------------
+    @contextmanager
+    def suspend_stats(self) -> Iterator[None]:
+        """Swap in throwaway counters for the duration of the block.
+
+        Diagnostics passes (the decision tracer's post-decision
+        ``explain_alloc`` re-derivations) read the round's caches without
+        perturbing the :class:`RoundStats` the benchmarks and traces
+        report — the hot-path counters must describe the *decision*, not
+        the explanation of it.  Cache contents written inside the block
+        persist; every entry is value-preserving, so that is invisible.
+        """
+        saved = self.stats
+        self.stats = RoundStats()
+        try:
+            yield
+        finally:
+            self.stats = saved
 
     # -- incremental pricing ------------------------------------------------
     def price(self, slot: tuple[int, str], free: int) -> float:

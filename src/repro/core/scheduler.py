@@ -25,8 +25,9 @@ from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.cluster.allocation import Allocation
+from repro.cluster.state import ClusterState
 from repro.core.dp import DPAllocator, DPConfig
-from repro.core.find_alloc import AllocationCandidate
+from repro.core.find_alloc import AllocationCandidate, explain_alloc
 from repro.core.pricing import PriceBook, PriceCalibrator, PricingConfig
 from repro.core.round_context import RoundContext
 from repro.core.utility import NormalizedThroughputUtility, Utility
@@ -100,6 +101,16 @@ class HadarScheduler(Scheduler):
         self.last_calibration_s: float = 0.0
         """Wall-clock seconds the most recent round spent in Eqs. (6)-(8)
         (read by the engine's per-phase timing breakdown)."""
+        self.trace_decisions: bool = False
+        """Build :attr:`last_decision_trace` each round.  Set by the engine
+        when a decision tracer is attached; off by default because the
+        explain pass costs one extra ``FIND_ALLOC``-shaped sweep per job."""
+        self.last_decision_trace: Optional[dict] = None
+        """The most recent round's structured decision record — per-slot
+        Eq. (5) prices and every queued job's outcome with its payoff μ_j,
+        skip reason, and consolidated-vs-scattered breakdown.  ``None``
+        unless :attr:`trace_decisions`; consumed by
+        :class:`~repro.sim.phases.TracePhase`."""
         self._calibrator: Optional[PriceCalibrator] = None
         """Persistent across rounds when ``pricing.incremental``; rebuilt
         per round (every job dirty) in reference mode."""
@@ -115,11 +126,13 @@ class HadarScheduler(Scheduler):
         self.last_round_stats = {}
         self.audit.clear()
         self.last_calibration_s = 0.0
+        self.last_decision_trace = None
         self._calibrator = None
 
     # ------------------------------------------------------------------ API --
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         cfg = self.config
+        self.last_decision_trace = None
         if cfg.reallocate_running:
             queue: list[JobRuntime] = list(ctx.active)
             state = ctx.fresh_state()
@@ -177,6 +190,11 @@ class HadarScheduler(Scheduler):
         round_ctx.stats.calib_dirty = calibrator.last_dirty
         self.last_round_stats = round_ctx.stats.as_dict()
 
+        if self.trace_decisions:
+            self.last_decision_trace = self._build_decision_trace(
+                queue, pinned, chosen, state, prices, round_ctx
+            )
+
         if cfg.record_audit:
             fresh = ctx.fresh_state()
             price_rise = sum(
@@ -209,3 +227,86 @@ class HadarScheduler(Scheduler):
     # ---------------------------------------------------------------- internal --
     def _estimate_delay(self, rt: JobRuntime, new: Allocation) -> float:
         return self.config.checkpoint.reallocation_delay(rt.job, rt.allocation, new)
+
+    def _build_decision_trace(
+        self,
+        queue: list[JobRuntime],
+        pinned: Mapping[int, Allocation],
+        chosen: Mapping[int, AllocationCandidate],
+        state: ClusterState,
+        prices: PriceBook,
+        round_ctx: RoundContext,
+    ) -> dict:
+        """One round's structured decision record (tracing only).
+
+        Every quantity is re-derived at the round's *post-decision* state
+        (``DP_allocation`` mutated ``state`` with the admitted gangs) —
+        the prices are the end-of-round Eq. (5) values the next arrival
+        would face.  For each admitted job the consolidated-vs-scattered
+        breakdown is leave-one-out: its own gang is released, the
+        families are costed, and the gang is restored — "given everyone
+        else's final placement, what did this job's alternatives pay?".
+        Pure reads plus a balanced release/allocate pair on the
+        scheduler's private state copy; the engine never sees it.
+        """
+        from repro.obs.tracer import placements_list
+
+        jobs: list[dict] = []
+        for rt in queue:
+            record: dict = {
+                "job_id": rt.job_id,
+                "model": rt.job.model.name,
+                "num_workers": rt.job.num_workers,
+            }
+            cand = chosen.get(rt.job_id)
+            if cand is not None:
+                state.release(cand.allocation)
+                explanation = explain_alloc(round_ctx, rt, state)
+                state.allocate(cand.allocation)
+                record["outcome"] = (
+                    "kept" if cand.allocation == rt.allocation else "admitted"
+                )
+                record["mu"] = cand.payoff
+                record["allocation"] = placements_list(cand.allocation)
+                record["cost"] = cand.cost
+                record["utility"] = cand.utility
+                record["rate"] = cand.rate
+                record["estimated_jct"] = cand.estimated_jct
+                record["consolidated"] = (
+                    len({n for (n, _) in cand.allocation.placements}) <= 1
+                )
+                record["breakdown"] = {
+                    "consolidated_payoff": explanation.consolidated_payoff,
+                    "scattered_payoff": explanation.scattered_payoff,
+                    "current_payoff": explanation.current_payoff,
+                }
+            else:
+                explanation = explain_alloc(round_ctx, rt, state)
+                record["outcome"] = "skipped"
+                # A positive-payoff gang existed at the final prices yet
+                # the DP left the job out: the branch value said skip.
+                record["reason"] = explanation.reason or "dp_skipped"
+                breakdown = {
+                    "consolidated_payoff": explanation.consolidated_payoff,
+                    "scattered_payoff": explanation.scattered_payoff,
+                    "current_payoff": explanation.current_payoff,
+                }
+                if any(v is not None for v in breakdown.values()):
+                    record["breakdown"] = breakdown
+            jobs.append(record)
+        for job_id in sorted(pinned):
+            alloc = pinned[job_id]
+            if alloc:
+                jobs.append(
+                    {
+                        "job_id": job_id,
+                        "outcome": "kept",
+                        "allocation": placements_list(alloc),
+                    }
+                )
+        return {
+            "jobs": jobs,
+            "prices": prices.slot_prices(state),
+            "alpha": prices.alpha(),
+            "eta": prices.eta,
+        }

@@ -331,7 +331,8 @@ def main() -> None:  # pragma: no cover - CLI shim
     report = generate_report(scale)
     with open(out, "w") as fh:
         fh.write(report)
-    print(f"wrote {out}")
+    # ``python -m repro.experiments.reporting`` entry point: stdout is the UI.
+    print(f"wrote {out}")  # repro-lint: disable=REP007
 
 
 if __name__ == "__main__":  # pragma: no cover

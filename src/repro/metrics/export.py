@@ -49,7 +49,7 @@ def result_to_dict(
                 "completed": rt.finish_time is not None,
             }
         )
-    return {
+    payload: dict[str, Any] = {
         "scheduler": result.scheduler_name,
         "round_length_s": result.round_length,
         "cluster": {
@@ -75,6 +75,9 @@ def result_to_dict(
         },
         "jobs": jobs,
     }
+    if result.metrics:
+        payload["metrics"] = result.metrics
+    return payload
 
 
 def save_result_json(

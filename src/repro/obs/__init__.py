@@ -1,0 +1,67 @@
+"""Unified observability layer: tracing, metrics, and timeline export.
+
+Three pieces, one package:
+
+* :class:`~repro.obs.tracer.DecisionTracer` — opt-in structured decision
+  tracing.  Hand one to :func:`repro.sim.engine.simulate` and the phase
+  pipeline emits a schema-versioned JSONL record per scheduling round:
+  per-slot Eq. (5) dual prices, every job's FIND_ALLOC outcome with its
+  payoff μ_j and the consolidated-vs-scattered breakdown, skip reasons,
+  the applied diff (placements / migrations / preemptions), and the
+  round's cache counters.  Near-zero overhead when disabled.
+* :class:`~repro.obs.registry.MetricsRegistry` — dependency-free
+  counters / gauges / histograms with labeled series.  The engine,
+  schedulers, and calibrator publish into it; the snapshot lands in
+  ``SimulationResult.metrics`` and exports to JSON.
+* :mod:`~repro.obs.perfetto` — trace → Chrome ``trace_event`` timeline
+  that opens in https://ui.perfetto.dev (rounds as frames, per-job
+  allocation lifelines, price counter tracks, wall-clock phase spans).
+
+``python -m repro.obs`` wraps it all in a CLI: ``validate``,
+``summarize`` (slowest rounds, admission/skip rates, price
+trajectories), ``diff`` (decision-level comparison of two traces), and
+``export --perfetto``.  See ``docs/observability.md``.
+"""
+
+from repro.obs.perfetto import export_perfetto, trace_to_perfetto
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.schema import (
+    SKIP_REASONS,
+    TRACE_SCHEMA_VERSION,
+    SchemaError,
+    validate_record,
+    validate_trace,
+)
+from repro.obs.summarize import (
+    TraceDiff,
+    TraceSummary,
+    diff_traces,
+    summarize_trace,
+)
+from repro.obs.tracer import DecisionTracer, load_trace, read_trace
+
+__all__ = [
+    "Counter",
+    "DecisionTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SKIP_REASONS",
+    "SchemaError",
+    "TRACE_SCHEMA_VERSION",
+    "TraceDiff",
+    "TraceSummary",
+    "diff_traces",
+    "export_perfetto",
+    "load_trace",
+    "read_trace",
+    "summarize_trace",
+    "trace_to_perfetto",
+    "validate_record",
+    "validate_trace",
+]

@@ -1,0 +1,272 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+Every subsystem that wants to publish runtime numbers — engine phases,
+the DP hot path, the price calibrator, the baseline schedulers — writes
+into one :class:`MetricsRegistry` instead of growing its own ad-hoc
+``dict`` of counters.  The registry is deliberately tiny (no third-party
+client, no server, no background thread): a metric is a named family of
+labeled series, a series is a float (counter/gauge) or a fixed-bucket
+histogram, and :meth:`MetricsRegistry.snapshot` renders everything as a
+plain JSON-able dict.
+
+Naming conventions (documented in ``docs/observability.md``):
+
+* every metric is prefixed ``repro_``;
+* counters end in ``_total``, timings in ``_seconds``;
+* labels are few and low-cardinality (``phase``, ``scheduler``,
+  ``counter``, ``gpu_type``) — a label value must never be a job id.
+
+A registry is cheap enough to build per simulation; the engine snapshots
+it into :attr:`repro.sim.engine.SimulationResult.metrics` at the end of a
+run.  ``registry=None`` call sites pay one ``is None`` test — the hot
+paths stay clean when metrics are off.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Optional[Mapping[str, str]]) -> _LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing sum, one value per label set."""
+
+    name: str
+    help: str = ""
+    _series: dict[_LabelKey, float] = field(default_factory=dict)
+
+    kind = "counter"
+
+    def inc(
+        self, amount: float = 1.0, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, labels: Optional[Mapping[str, str]] = None) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": self._series[key]}
+            for key in sorted(self._series)
+        ]
+
+
+@dataclass
+class Gauge:
+    """A value that can move both ways (queue depth, price level, α)."""
+
+    name: str
+    help: str = ""
+    _series: dict[_LabelKey, float] = field(default_factory=dict)
+
+    kind = "gauge"
+
+    def set(self, value: float, labels: Optional[Mapping[str, str]] = None) -> None:
+        self._series[_label_key(labels)] = float(value)
+
+    def inc(
+        self, amount: float = 1.0, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, labels: Optional[Mapping[str, str]] = None) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> list[dict]:
+        return [
+            {"labels": dict(key), "value": self._series[key]}
+            for key in sorted(self._series)
+        ]
+
+
+DEFAULT_SECONDS_BUCKETS = (
+    0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+"""Log-ish latency buckets spanning sub-ms event dispatch to multi-second
+DP rounds; every histogram also carries the implicit +Inf bucket."""
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "inf_count", "sum", "min", "max")
+
+    def __init__(self, num_buckets: int):
+        self.counts = [0] * num_buckets
+        self.inf_count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket distribution (cumulative rendering, Prometheus-style)."""
+
+    name: str
+    help: str = ""
+    buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS
+    _series: dict[_LabelKey, _HistogramSeries] = field(default_factory=dict)
+
+    kind = "histogram"
+
+    def __post_init__(self) -> None:
+        bounds = tuple(self.buckets)
+        if not bounds or any(nxt <= prev for nxt, prev in zip(bounds[1:], bounds)):
+            raise ValueError(
+                f"histogram {self.name} bucket bounds must strictly increase"
+            )
+        self.buckets = bounds
+
+    def observe(
+        self, value: float, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
+        key = _label_key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _HistogramSeries(len(self.buckets))
+        idx = bisect_right(self.buckets, value)
+        if idx < len(self.buckets):
+            series.counts[idx] += 1
+        else:
+            series.inf_count += 1
+        series.sum += value
+        if value < series.min:
+            series.min = value
+        if value > series.max:
+            series.max = value
+
+    def count(self, labels: Optional[Mapping[str, str]] = None) -> int:
+        series = self._series.get(_label_key(labels))
+        if series is None:
+            return 0
+        return sum(series.counts) + series.inf_count
+
+    def series(self) -> list[dict]:
+        out = []
+        for key in sorted(self._series):
+            s = self._series[key]
+            cumulative: list[int] = []
+            running = 0
+            for c in s.counts:
+                running += c
+                cumulative.append(running)
+            total = running + s.inf_count
+            out.append(
+                {
+                    "labels": dict(key),
+                    "count": total,
+                    "sum": s.sum,
+                    "min": s.min if total else None,
+                    "max": s.max if total else None,
+                    "buckets": [
+                        {"le": bound, "count": cum}
+                        for bound, cum in zip(self.buckets, cumulative)
+                    ]
+                    + [{"le": "+Inf", "count": total}],
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """Named metric families, each holding labeled series.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: the first call
+    fixes the type (and, for histograms, the buckets); a later call with
+    the same name but a different type raises, so two subsystems cannot
+    silently publish incompatible series under one name.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
+        return self._metrics.get(name)
+
+    def _register(self, metric):
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{existing.kind}, cannot re-register as {metric.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, tuple(buckets)))
+
+    # -- bulk publication ----------------------------------------------------
+    def count_all(
+        self,
+        prefix: str,
+        counters: Mapping[str, int | float],
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> None:
+        """Publish a dict of counters as ``<prefix>_total{counter=<key>}``.
+
+        This is the uniform bridge for pre-existing counter dicts —
+        ``RoundStats.as_dict()``, ``hotpath_stats`` — so every subsystem's
+        numbers land in one namespace without bespoke glue per counter.
+        """
+        metric = self.counter(f"{prefix}_total", help)
+        for key in sorted(counters):
+            merged = {"counter": key}
+            if labels:
+                merged.update(labels)
+            metric.inc(float(counters[key]), labels=merged)
+
+    # -- export ---------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything published so far, as a plain JSON-able dict."""
+        return {
+            name: {
+                "type": metric.kind,
+                "help": metric.help,
+                "series": metric.series(),
+            }
+            for name, metric in sorted(self._metrics.items())
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

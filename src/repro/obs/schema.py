@@ -1,0 +1,332 @@
+"""The decision-trace record schema (versioned, validated, dependency-free).
+
+A trace is a JSONL file: one JSON object per line, every object carrying
+``schema`` (the integer :data:`TRACE_SCHEMA_VERSION`) and ``kind``.  Three
+kinds exist:
+
+``meta``
+    First record of every trace: scheduler name, cluster shape, round
+    length, trace provenance.
+``round``
+    One scheduling invocation: simulated time, per-slot Eq. (5) dual
+    prices, every queued job's FIND_ALLOC outcome (admitted with its
+    payoff μ_j and the consolidated-vs-scattered breakdown, or skipped
+    with a reason), the applied diff (placements, preemptions,
+    migrations), and the round's cache/calibration counters.
+``summary``
+    Last record: run totals (completions, makespan, per-phase seconds).
+
+Validation here is hand-rolled structural checking (required keys, type
+predicates, enum membership) rather than jsonschema — the container has
+no jsonschema, and the checks double as executable documentation of the
+format.  ``docs/observability.md`` renders the same tables for humans.
+
+Compatibility rule: *additive* changes (new optional fields) keep the
+version; renaming/removing/retyping a field bumps
+:data:`TRACE_SCHEMA_VERSION`, and readers must reject newer majors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "SKIP_REASONS",
+    "SchemaError",
+    "validate_record",
+    "validate_trace",
+]
+
+TRACE_SCHEMA_VERSION = 1
+
+SKIP_REASONS = (
+    "no_usable_type",      # no GPU type in the cluster runs this model
+    "insufficient_free",   # fewer free usable devices than W_j anywhere
+    "negative_payoff",     # FIND_ALLOC found candidates, none with μ_j > 0
+    "dp_skipped",          # a positive-payoff gang existed; the DP branch
+                           # (or greedy walk, prices risen) left it out
+    "not_traced",          # scheduler published no per-job outcome
+)
+"""Why a queued job received nothing this round (Hadar semantics; the
+baselines only distinguish admitted vs ``not_traced``)."""
+
+
+class SchemaError(ValueError):
+    """A trace record violates the schema."""
+
+
+def _is_number(x: Any) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def _is_int(x: Any) -> bool:
+    return isinstance(x, int) and not isinstance(x, bool)
+
+
+def _is_str(x: Any) -> bool:
+    return isinstance(x, str)
+
+
+def _is_placement_list(x: Any) -> bool:
+    """``[[node, type, count], ...]`` — a gang rendered as sorted triples."""
+    if not isinstance(x, list):
+        return False
+    for item in x:
+        if not (
+            isinstance(item, (list, tuple))
+            and len(item) == 3
+            and _is_int(item[0])
+            and _is_str(item[1])
+            and _is_int(item[2])
+            and item[2] > 0
+        ):
+            return False
+    return True
+
+
+_Field = tuple[Callable[[Any], bool], str]
+
+
+def _check(
+    record: Mapping[str, Any],
+    where: str,
+    required: Mapping[str, _Field],
+    optional: Mapping[str, _Field] = {},  # read-only  # repro-lint: disable=REP003
+) -> None:
+    for key, (pred, expect) in required.items():
+        if key not in record:
+            raise SchemaError(f"{where}: missing required field {key!r}")
+        if not pred(record[key]):
+            raise SchemaError(
+                f"{where}: field {key!r} must be {expect}, "
+                f"got {record[key]!r}"
+            )
+    for key, (pred, expect) in optional.items():
+        if key in record and not pred(record[key]):
+            raise SchemaError(
+                f"{where}: field {key!r} must be {expect}, "
+                f"got {record[key]!r}"
+            )
+
+
+def _validate_prices(prices: Any, where: str) -> None:
+    if not isinstance(prices, list):
+        raise SchemaError(f"{where}: 'prices' must be a list of slot prices")
+    for i, entry in enumerate(prices):
+        if not isinstance(entry, Mapping):
+            raise SchemaError(f"{where}: prices[{i}] must be an object")
+        _check(
+            entry,
+            f"{where}: prices[{i}]",
+            {
+                "node": (_is_int, "an int node id"),
+                "gpu_type": (_is_str, "a string"),
+                "price": (_is_number, "a number"),
+                "free": (_is_int, "an int"),
+                "capacity": (_is_int, "an int"),
+            },
+        )
+
+
+def _validate_job(job: Any, where: str) -> None:
+    if not isinstance(job, Mapping):
+        raise SchemaError(f"{where} must be an object")
+    _check(
+        job,
+        where,
+        {
+            "job_id": (_is_int, "an int"),
+            "outcome": (
+                lambda x: x in ("admitted", "skipped", "kept"),
+                "'admitted', 'kept', or 'skipped'",
+            ),
+        },
+        optional={
+            "model": (_is_str, "a string"),
+            "num_workers": (_is_int, "an int"),
+        },
+    )
+    outcome = job["outcome"]
+    if outcome in ("admitted", "kept"):
+        _check(
+            job,
+            where,
+            {
+                "allocation": (_is_placement_list, "[[node, type, count], ...]"),
+            },
+            optional={
+                "mu": (_is_number, "a number (the payoff μ_j)"),
+                "cost": (_is_number, "a number"),
+                "utility": (_is_number, "a number"),
+                "rate": (_is_number, "a number"),
+                "estimated_jct": (_is_number, "a number"),
+                "consolidated": (lambda x: isinstance(x, bool), "a bool"),
+                "breakdown": (lambda x: isinstance(x, Mapping), "an object"),
+            },
+        )
+        if outcome == "admitted" and "mu" in job and job["mu"] <= 0.0:
+            raise SchemaError(
+                f"{where}: admitted job carries non-positive payoff "
+                f"mu={job['mu']!r} (violates the μ_j > 0 admission gate)"
+            )
+        breakdown = job.get("breakdown")
+        if breakdown is not None:
+            _check(
+                breakdown,
+                f"{where}: breakdown",
+                {},
+                optional={
+                    "consolidated_payoff": (
+                        lambda x: x is None or _is_number(x),
+                        "a number or null",
+                    ),
+                    "scattered_payoff": (
+                        lambda x: x is None or _is_number(x),
+                        "a number or null",
+                    ),
+                    "current_payoff": (
+                        lambda x: x is None or _is_number(x),
+                        "a number or null",
+                    ),
+                },
+            )
+    elif outcome == "skipped":
+        reason = job.get("reason")
+        if reason not in SKIP_REASONS:
+            raise SchemaError(
+                f"{where}: skipped job needs 'reason' in {SKIP_REASONS}, "
+                f"got {reason!r}"
+            )
+
+
+def _validate_changes(changes: Any, where: str) -> None:
+    if not isinstance(changes, list):
+        raise SchemaError(f"{where}: 'changes' must be a list")
+    for i, entry in enumerate(changes):
+        if not isinstance(entry, Mapping):
+            raise SchemaError(f"{where}: changes[{i}] must be an object")
+        _check(
+            entry,
+            f"{where}: changes[{i}]",
+            {
+                "job_id": (_is_int, "an int"),
+                "change": (
+                    lambda x: x in ("place", "migrate", "preempt"),
+                    "'place', 'migrate', or 'preempt'",
+                ),
+                "old": (_is_placement_list, "[[node, type, count], ...]"),
+                "new": (_is_placement_list, "[[node, type, count], ...]"),
+            },
+        )
+
+
+def validate_record(record: Mapping[str, Any]) -> str:
+    """Validate one parsed trace record; returns its ``kind``.
+
+    Raises :class:`SchemaError` with a field-level message on the first
+    violation.  Unknown extra fields are allowed (additive evolution).
+    """
+    if not isinstance(record, Mapping):
+        raise SchemaError("trace record must be a JSON object")
+    version = record.get("schema")
+    if not _is_int(version):
+        raise SchemaError("record missing integer 'schema' version field")
+    if version > TRACE_SCHEMA_VERSION:
+        raise SchemaError(
+            f"record schema version {version} is newer than supported "
+            f"version {TRACE_SCHEMA_VERSION}"
+        )
+    kind = record.get("kind")
+    if kind == "meta":
+        _check(
+            record,
+            "meta record",
+            {
+                "scheduler": (_is_str, "a string"),
+                "round_length_s": (_is_number, "a number"),
+                "cluster": (lambda x: isinstance(x, Mapping), "an object"),
+            },
+            optional={"num_jobs": (_is_int, "an int")},
+        )
+    elif kind == "round":
+        _check(
+            record,
+            "round record",
+            {
+                "round": (_is_int, "an int round index"),
+                "t": (_is_number, "simulated seconds"),
+                "jobs": (lambda x: isinstance(x, list), "a list"),
+                "changes": (lambda x: isinstance(x, list), "a list"),
+            },
+            optional={
+                "prices": (lambda x: isinstance(x, list), "a list"),
+                "alpha": (_is_number, "a number"),
+                "eta": (_is_number, "a number"),
+                "decision_s": (_is_number, "a number"),
+                "counters": (lambda x: isinstance(x, Mapping), "an object"),
+                "queued": (_is_int, "an int"),
+                "running": (_is_int, "an int"),
+            },
+        )
+        if "prices" in record:
+            _validate_prices(record["prices"], "round record")
+        for i, job in enumerate(record["jobs"]):
+            _validate_job(job, f"round record: jobs[{i}]")
+        _validate_changes(record["changes"], "round record")
+    elif kind == "summary":
+        _check(
+            record,
+            "summary record",
+            {
+                "rounds": (_is_int, "an int"),
+                "completed": (_is_int, "an int"),
+                "end_time": (_is_number, "a number"),
+            },
+            optional={
+                "makespan": (_is_number, "a number"),
+                "truncated": (lambda x: isinstance(x, bool), "a bool"),
+                "phase_timings": (lambda x: isinstance(x, Mapping), "an object"),
+                "hotpath_stats": (lambda x: isinstance(x, Mapping), "an object"),
+            },
+        )
+    else:
+        raise SchemaError(
+            f"record 'kind' must be 'meta', 'round', or 'summary', got {kind!r}"
+        )
+    return kind
+
+
+def validate_trace(
+    records: Iterable[Mapping[str, Any]],
+) -> Iterator[tuple[int, str]]:
+    """Validate a record stream; yields ``(index, kind)`` per record.
+
+    Structural stream rules: record 0 must be ``meta``; at most one
+    ``summary``, and nothing may follow it.  Additionally, a trace whose
+    meta record names the ``hadar`` scheduler must carry the payoff
+    ``mu`` on every admitted job (Algorithm 1 admits only on μ_j > 0;
+    the per-record positivity check then applies) — baselines have no
+    payoff and may omit it.
+    """
+    saw_summary = False
+    requires_mu = False
+    index = -1
+    for index, record in enumerate(records):
+        if saw_summary:
+            raise SchemaError(f"record {index}: records after the summary")
+        kind = validate_record(record)
+        if index == 0 and kind != "meta":
+            raise SchemaError("record 0 must be the 'meta' record")
+        if kind == "meta":
+            requires_mu = record.get("scheduler") == "hadar"
+        elif kind == "round" and requires_mu:
+            for i, job in enumerate(record.get("jobs", ())):
+                if job.get("outcome") == "admitted" and "mu" not in job:
+                    raise SchemaError(
+                        f"record {index}: jobs[{i}]: hadar trace admitted "
+                        f"job {job.get('job_id')} without its payoff 'mu'"
+                    )
+        if kind == "summary":
+            saw_summary = True
+        yield index, kind

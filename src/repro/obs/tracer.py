@@ -1,0 +1,140 @@
+"""The structured decision tracer — JSONL emission behind one ``enabled`` bit.
+
+A :class:`DecisionTracer` is handed to
+:func:`repro.sim.engine.simulate` (``tracer=...``); the engine's
+``TracePhase`` builds one schema-versioned record per scheduling round
+(see :mod:`repro.obs.schema`) and the tracer serializes it.  Design
+constraints, in order:
+
+1. **Near-zero overhead when disabled.**  The phase pipeline checks one
+   ``tracer.enabled`` bool per round and a pre-hoisted ``None`` test per
+   event; no record is built, no string is formatted, nothing allocates.
+2. **Semantics-preserving when enabled.**  The tracer only *reads*
+   scheduler/engine state after decisions are applied; the golden-parity
+   suite pins traced and untraced runs to byte-identical schedules.
+3. **Streaming.**  Records are written (and flushed on close) as the run
+   progresses, so a crashed or truncated simulation still leaves a
+   readable prefix.
+
+``DecisionTracer(path)`` owns the file and is a context manager;
+``DecisionTracer(sink=...)`` appends parsed records to any ``append``-able
+(used by in-memory tests and the CLI round-trips).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Optional, TextIO, Union
+
+from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_record
+
+__all__ = ["DecisionTracer", "read_trace", "load_trace", "placements_list"]
+
+
+class DecisionTracer:
+    """Streams schema-versioned decision records to a JSONL file or sink.
+
+    Parameters
+    ----------
+    path:
+        Destination JSONL file (parent directories are created).  Mutually
+        exclusive with ``sink``.
+    sink:
+        Any object with ``append`` (e.g. a list) receiving record dicts
+        instead of serialized lines.
+    validate:
+        Validate every record against the schema on emit (cheap; on by
+        default so a malformed producer fails at the source, not in the
+        reader).
+    enabled:
+        Start disabled to pre-wire a tracer without paying for it; the
+        phase pipeline re-reads this every round.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        *,
+        sink: Optional[Any] = None,
+        validate: bool = True,
+        enabled: bool = True,
+    ):
+        if path is not None and sink is not None:
+            raise ValueError("pass either path or sink, not both")
+        self.enabled = enabled
+        self.validate = validate
+        self.records_emitted = 0
+        self._sink = sink
+        self._path = Path(path) if path is not None else None
+        self._fh: Optional[TextIO] = None
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    # -- lifecycle -----------------------------------------------------------
+    def _file(self) -> TextIO:
+        if self._fh is None:
+            assert self._path is not None
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self._path.open("w", encoding="utf-8")
+        return self._fh
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "DecisionTracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- emission --------------------------------------------------------------
+    def emit(self, record: dict) -> None:
+        """Serialize one record (stamping the schema version)."""
+        if not self.enabled:
+            return
+        record.setdefault("schema", TRACE_SCHEMA_VERSION)
+        if self.validate:
+            validate_record(record)
+        self.records_emitted += 1
+        if self._sink is not None:
+            self._sink.append(record)
+            return
+        if self._path is None:
+            raise ValueError("tracer has neither a path nor a sink")
+        json.dump(record, self._file(), separators=(",", ":"), sort_keys=True)
+        self._file().write("\n")
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[dict]:
+    """Stream parsed records from a JSONL trace file."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+
+
+def load_trace(path: Union[str, Path]) -> list[dict]:
+    """Read a whole trace into memory (summarize/diff/export helpers)."""
+    return list(read_trace(path))
+
+
+def placements_list(allocation) -> list[list]:
+    """Render an :class:`~repro.cluster.allocation.Allocation` (or any
+    ``{(node, type): count}`` mapping, or ``None``) as the trace schema's
+    sorted ``[[node, type, count], ...]`` triples."""
+    if not allocation:
+        return []
+    placements = getattr(allocation, "placements", allocation)
+    return sorted([n, t, c] for (n, t), c in placements.items())

@@ -42,6 +42,7 @@ from repro.sim.phases import (
     SchedulerPhase,
     SchedulerProtocolError,
     TelemetryPhase,
+    TracePhase,
 )
 from repro.sim.progress import JobRuntime, JobState, ProgressLedger
 from repro.sim.stragglers import StragglerModel
@@ -51,6 +52,8 @@ from repro.workload.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.sanitizer import InvariantSanitizer
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracer import DecisionTracer
 
 __all__ = ["SimulationEngine", "SimulationResult", "simulate", "SchedulerProtocolError"]
 
@@ -74,16 +77,23 @@ class SimulationResult:
     rounds_with_change: int = 0
     """Rounds in which at least one job's allocation changed (Sec. IV-A-5)."""
     hotpath_stats: dict[str, int] = field(default_factory=dict)
-    """Aggregated allocation-engine counters (FIND_ALLOC calls, cache hits,
-    candidate/price evaluations) summed over every round, for schedulers
-    that publish ``last_round_stats`` (Hadar's round context); empty for
-    the baselines.  Consumed by ``benchmarks/record_bench.py``."""
+    """Per-round scheduler counters summed over every round, for
+    schedulers that publish ``last_round_stats``: Hadar's round-context
+    allocation-engine counters (FIND_ALLOC calls, cache hits,
+    candidate/price evaluations, calibration dirty set), Gavel's matrix
+    solves, Tiresias's demotions.  Consumed by
+    ``benchmarks/record_bench.py`` and the metrics registry."""
     phase_timings: dict[str, float] = field(default_factory=dict)
     """Wall-clock seconds per engine phase (event dispatch, progress
     integration, completion re-prediction, price calibration, scheduler
     decision) — see :class:`~repro.sim.phases.PhaseTimings`.  Consumed by
     ``benchmarks/record_bench.py`` so the next engine bottleneck is
     measured, not guessed."""
+    metrics: dict = field(default_factory=dict)
+    """Snapshot of the run's :class:`~repro.obs.registry.MetricsRegistry`
+    (phase seconds, round/completion counters, the decision-latency
+    histogram, hot-path and calibration counters) — empty unless a
+    registry was attached.  JSON-able; see ``docs/observability.md``."""
 
     # -- convenience views -----------------------------------------------------
     @property
@@ -153,6 +163,15 @@ class SimulationEngine:
     """Optional failure injection; see :mod:`repro.sim.stragglers`."""
     sanitizer: Optional["InvariantSanitizer"] = None
     """Optional per-round invariant checks; see :mod:`repro.analysis.sanitizer`."""
+    tracer: Optional["DecisionTracer"] = None
+    """Optional structured decision tracing; when attached and enabled, a
+    :class:`~repro.sim.phases.TracePhase` emits one schema-versioned JSONL
+    record per scheduling round (see :mod:`repro.obs`)."""
+    metrics: Optional["MetricsRegistry"] = None
+    """Optional metrics registry; the engine publishes phase timings,
+    round/completion counters, decision latencies, and the schedulers'
+    hot-path counters into it, and snapshots it into
+    :attr:`SimulationResult.metrics`."""
 
     def __post_init__(self) -> None:
         if self.round_length <= 0:
@@ -188,6 +207,16 @@ class SimulationEngine:
         )
         self._kernel = kernel
         self._ledger = ledger
+        trace_phase = TracePhase(self.tracer)
+        tracing = trace_phase.enabled
+        scheduler_phase.capture_changes = tracing
+        if hasattr(self.scheduler, "trace_decisions"):
+            # Schedulers exposing the flag (Hadar) build their structured
+            # per-round decision record only while a tracer is live.
+            self.scheduler.trace_decisions = tracing
+        trace_phase.emit_meta(
+            self.scheduler, self.cluster, self.round_length, len(self.trace)
+        )
         timings = PhaseTimings()
         telemetry.record_utilization(0.0, state)
 
@@ -249,6 +278,14 @@ class SimulationEngine:
                     state=state,
                     scheduler=self.scheduler,
                 )
+                if tracing:
+                    trace_phase.after_decision(
+                        round_index=scheduler_phase.invocations,
+                        now=now,
+                        runtimes=runtimes,
+                        scheduler=self.scheduler,
+                        scheduler_phase=scheduler_phase,
+                    )
                 if event.kind is EventKind.ROUND_BOUNDARY and changed:
                     rounds_with_change += 1
             telemetry.record_queue_depth(now, runtimes)
@@ -267,7 +304,7 @@ class SimulationEngine:
             0.0,
             loop_s - timings.integration_s - timings.repredict_s - timings.decision_s,
         )
-        return SimulationResult(
+        result = SimulationResult(
             scheduler_name=self.scheduler.name,
             cluster=self.cluster,
             round_length=self.round_length,
@@ -281,6 +318,60 @@ class SimulationEngine:
             hotpath_stats=scheduler_phase.hotpath_stats,
             phase_timings=timings.as_dict(),
         )
+        trace_phase.emit_summary(
+            rounds=result.scheduling_invocations,
+            completed=completed,
+            end_time=end_time,
+            makespan=result.makespan(),
+            truncated=truncated,
+            phase_timings=result.phase_timings,
+            hotpath_stats=result.hotpath_stats,
+        )
+        if self.metrics is not None:
+            self._publish_metrics(result)
+            result.metrics = self.metrics.snapshot()
+        return result
+
+    def _publish_metrics(self, result: SimulationResult) -> None:
+        """Publish the finished run into the attached registry.
+
+        Naming follows ``docs/observability.md``: everything ``repro_``-
+        prefixed, counters end in ``_total``, timings in ``_seconds``,
+        labels low-cardinality (``scheduler``, ``phase``, ``counter``).
+        Publication happens once at the end of the run, so attaching a
+        registry adds nothing to the event loop.
+        """
+        registry = self.metrics
+        assert registry is not None
+        labels = {"scheduler": result.scheduler_name}
+        phase_gauge = registry.gauge(
+            "repro_engine_phase_seconds",
+            "Wall-clock seconds per engine phase over the whole run",
+        )
+        for phase, seconds in result.phase_timings.items():
+            phase_gauge.set(seconds, labels={**labels, "phase": phase})
+        registry.counter(
+            "repro_engine_rounds_total", "Scheduler invocations"
+        ).inc(result.scheduling_invocations, labels=labels)
+        registry.counter(
+            "repro_jobs_completed_total", "Jobs that ran to completion"
+        ).inc(len(result.completed), labels=labels)
+        registry.counter(
+            "repro_rounds_with_change_total",
+            "Rounds in which at least one job's allocation changed",
+        ).inc(result.rounds_with_change, labels=labels)
+        latency = registry.histogram(
+            "repro_decision_seconds", "Per-round scheduler decision latency"
+        )
+        for seconds in result.decision_seconds:
+            latency.observe(seconds, labels=labels)
+        if result.hotpath_stats:
+            registry.count_all(
+                "repro_hotpath",
+                result.hotpath_stats,
+                labels=labels,
+                help="Allocation-engine and calibration hot-path counters",
+            )
 
     # -------------------------------------------------------------- helpers --
     def _round_at_or_after(self, t: float) -> float:
@@ -363,6 +454,8 @@ def simulate(
     max_time: Optional[float] = None,
     stragglers: Optional[StragglerModel] = None,
     sanitizer: Optional["InvariantSanitizer"] = None,
+    tracer: Optional["DecisionTracer"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     kwargs = {}
@@ -377,6 +470,8 @@ def simulate(
         checkpoint=checkpoint or FixedDelayCheckpoint(),
         stragglers=stragglers,
         sanitizer=sanitizer,
+        tracer=tracer,
+        metrics=metrics,
         **kwargs,
     )
     return engine.run()

@@ -38,12 +38,14 @@ from repro.workload.throughput import ThroughputMatrix
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.sanitizer import InvariantSanitizer
     from repro.cluster.state import ClusterState
+    from repro.obs.tracer import DecisionTracer
 
 __all__ = [
     "PhaseTimings",
     "SchedulerPhase",
     "TelemetryPhase",
     "SanitizerPhase",
+    "TracePhase",
     "SchedulerProtocolError",
 ]
 
@@ -107,6 +109,15 @@ class SchedulerPhase:
         fault scheduling here without the phase knowing about faults."""
         self.decision_seconds: list[float] = []
         self.hotpath_stats: dict[str, int] = {}
+        self.capture_changes = False
+        """Keep the applied diff of each invocation in :attr:`last_changes`
+        (set by the engine when a decision tracer is enabled; the
+        tracing-off cost is one bool test per invocation)."""
+        self.last_changes: list[tuple[int, Allocation, Allocation]] = []
+        """``(job_id, old, new)`` per job the latest decision moved,
+        paused, or placed — captured before the diff is applied."""
+        self.last_queue_depth: tuple[int, int] = (0, 0)
+        """``(queued, running)`` jobs presented to the latest invocation."""
 
     @property
     def invocations(self) -> int:
@@ -134,6 +145,7 @@ class SchedulerPhase:
                 key=lambda rt: (rt.job.arrival_time, rt.job_id),
             )
         )
+        self.last_queue_depth = (len(waiting), len(running))
         ctx = SchedulerContext(
             now=now,
             cluster=self.cluster,
@@ -219,6 +231,13 @@ class SchedulerPhase:
                 continue
             changed_jobs.append((rt, new))
 
+        if self.capture_changes:
+            # Snapshot old→new before any mutation below rewrites
+            # ``rt.allocation``; allocations are immutable values.
+            self.last_changes = [
+                (rt.job_id, rt.allocation, new) for rt, new in changed_jobs
+            ]
+
         for rt, _ in changed_jobs:
             if rt.allocation:
                 state.release(rt.allocation)
@@ -301,6 +320,157 @@ class TelemetryPhase:
             now,
             sum(1 for rt in runtimes.values() if rt.state is JobState.QUEUED),
         )
+
+
+class TracePhase:
+    """Layer 4c: opt-in structured decision tracing (no-op without a tracer).
+
+    Builds one schema-versioned record per scheduling round from what the
+    round already produced — the scheduler's
+    ``last_decision_trace``/``last_round_stats`` introspection surfaces
+    and the :class:`SchedulerPhase`'s captured diff — and hands it to the
+    :class:`~repro.obs.tracer.DecisionTracer`.  Schedulers that publish
+    no decision trace (the baselines) get a generic record: outcomes
+    reconstructed from the applied diff, skipped jobs tagged
+    ``not_traced``.  When no tracer is attached (or it is disabled) every
+    entry point is a single attribute test.
+    """
+
+    __slots__ = ("tracer",)
+
+    def __init__(self, tracer: Optional["DecisionTracer"] = None):
+        self.tracer = tracer
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer is not None and self.tracer.enabled
+
+    def emit_meta(
+        self,
+        scheduler: Scheduler,
+        cluster: Cluster,
+        round_length: float,
+        num_jobs: int,
+    ) -> None:
+        if not self.enabled:
+            return
+        assert self.tracer is not None
+        self.tracer.emit(
+            {
+                "kind": "meta",
+                "scheduler": scheduler.name,
+                "round_length_s": round_length,
+                "cluster": {
+                    "total_gpus": cluster.total_gpus,
+                    "gpus_by_type": dict(
+                        sorted(cluster.capacity_by_type().items())
+                    ),
+                },
+                "num_jobs": num_jobs,
+            }
+        )
+
+    def after_decision(
+        self,
+        round_index: int,
+        now: float,
+        runtimes: Mapping[int, JobRuntime],
+        scheduler: Scheduler,
+        scheduler_phase: SchedulerPhase,
+    ) -> None:
+        if not self.enabled:
+            return
+        assert self.tracer is not None
+        from repro.obs.tracer import placements_list
+
+        queued, running = scheduler_phase.last_queue_depth
+        record: dict = {
+            "kind": "round",
+            "round": round_index,
+            "t": now,
+            "queued": queued,
+            "running": running,
+        }
+        if scheduler_phase.decision_seconds:
+            record["decision_s"] = scheduler_phase.decision_seconds[-1]
+        decision = getattr(scheduler, "last_decision_trace", None)
+        if decision is not None:
+            record["jobs"] = decision["jobs"]
+            record["prices"] = decision["prices"]
+            record["alpha"] = decision["alpha"]
+            record["eta"] = decision["eta"]
+        else:
+            record["jobs"] = self._generic_jobs(runtimes, scheduler_phase)
+        counters = getattr(scheduler, "last_round_stats", None)
+        if counters:
+            record["counters"] = dict(counters)
+        record["changes"] = [
+            {
+                "job_id": job_id,
+                "change": (
+                    "preempt" if not new else ("place" if not old else "migrate")
+                ),
+                "old": placements_list(old),
+                "new": placements_list(new),
+            }
+            for job_id, old, new in scheduler_phase.last_changes
+        ]
+        self.tracer.emit(record)
+
+    @staticmethod
+    def _generic_jobs(
+        runtimes: Mapping[int, JobRuntime], scheduler_phase: SchedulerPhase
+    ) -> list[dict]:
+        """Outcomes reconstructed from post-apply state (baseline fallback)."""
+        from repro.obs.tracer import placements_list
+
+        changed = {job_id for job_id, _, _ in scheduler_phase.last_changes}
+        jobs: list[dict] = []
+        for rt in sorted(runtimes.values(), key=lambda r: r.job_id):
+            if rt.state is JobState.RUNNING and rt.allocation:
+                jobs.append(
+                    {
+                        "job_id": rt.job_id,
+                        "outcome": "admitted" if rt.job_id in changed else "kept",
+                        "allocation": placements_list(rt.allocation),
+                    }
+                )
+            elif rt.state is JobState.QUEUED:
+                jobs.append(
+                    {
+                        "job_id": rt.job_id,
+                        "outcome": "skipped",
+                        "reason": "not_traced",
+                    }
+                )
+        return jobs
+
+    def emit_summary(
+        self,
+        *,
+        rounds: int,
+        completed: int,
+        end_time: float,
+        makespan: float,
+        truncated: bool,
+        phase_timings: Mapping[str, float],
+        hotpath_stats: Mapping[str, int],
+    ) -> None:
+        if not self.enabled:
+            return
+        assert self.tracer is not None
+        record: dict = {
+            "kind": "summary",
+            "rounds": rounds,
+            "completed": completed,
+            "end_time": end_time,
+            "makespan": makespan,
+            "truncated": truncated,
+            "phase_timings": dict(phase_timings),
+        }
+        if hotpath_stats:
+            record["hotpath_stats"] = dict(hotpath_stats)
+        self.tracer.emit(record)
 
 
 class SanitizerPhase:

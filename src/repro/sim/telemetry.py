@@ -89,15 +89,20 @@ class UtilizationRecorder:
         out: dict[str, float] = {}
         if not self.times or end == start:
             return out
-        times = self.times + [end]
-        for i, snapshot in enumerate(self.used_by_type):
-            seg_start = min(max(times[i], start), end)
-            seg_end = min(max(times[i + 1], start), end)
-            width = max(0.0, seg_end - seg_start)
-            if width <= 0:
-                continue
-            for type_name, count in snapshot.items():
-                out[type_name] = out.get(type_name, 0.0) + count * width
+        times = np.asarray(self.times, dtype=float)
+        seg_start = np.clip(times, start, end)
+        seg_end = np.clip(np.append(times[1:], end), start, end)
+        widths = np.maximum(0.0, seg_end - seg_start)
+        type_names = sorted({t for snap in self.used_by_type for t in snap})
+        for type_name in type_names:
+            counts = np.fromiter(
+                (snap.get(type_name, 0) for snap in self.used_by_type),
+                dtype=float,
+                count=len(self.used_by_type),
+            )
+            busy = float(counts @ widths)
+            if busy > 0.0:
+                out[type_name] = busy
         return out
 
     def average_utilization(

@@ -13,6 +13,7 @@ from repro.analysis.lint import (
     FloatEqualityRule,
     MutableDefaultRule,
     NondeterminismRule,
+    PrintInLibraryRule,
     SilentExceptionRule,
     UnorderedFloatSumRule,
     UnorderedIterationRule,
@@ -348,6 +349,33 @@ class TestUnorderedFloatSum:
         assert lint_source(src, CORE) == []
 
 
+class TestPrintInLibrary:
+    def test_print_in_library_module_flagged(self):
+        src = "def f(x):\n    print(x)\n    return x\n"
+        assert rules_of(lint_source(src, "src/repro/metrics/jct.py")) == ["REP007"]
+
+    def test_print_outside_repro_tree_ignored(self):
+        src = "print('hello')\n"
+        assert lint_source(src, "benchmarks/record_bench.py") == []
+
+    def test_cli_module_exempt(self):
+        src = "print('scheduler : hadar')\n"
+        assert lint_source(src, "src/repro/cli.py") == []
+
+    def test_dunder_main_exempt(self):
+        src = "print('OK: 10 records')\n"
+        assert lint_source(src, "src/repro/obs/__main__.py") == []
+
+    def test_method_named_print_not_flagged(self):
+        # Only the builtin is stdout; a .print() method is the caller's API.
+        src = "def f(table):\n    table.print()\n"
+        assert lint_source(src, "src/repro/metrics/table.py") == []
+
+    def test_suppressible_per_line(self):
+        src = "def f(x):\n    print(x)  # repro-lint: disable=REP007\n"
+        assert lint_source(src, "src/repro/metrics/jct.py") == []
+
+
 class TestSuppression:
     def test_disable_specific_rule(self):
         src = "if x == 0.0:  # repro-lint: disable=REP001\n    pass\n"
@@ -434,5 +462,6 @@ class TestShippedTreeIsClean:
             UnorderedIterationRule,
             SilentExceptionRule,
             UnorderedFloatSumRule,
+            PrintInLibraryRule,
         ):
             assert cls.__doc__

@@ -47,10 +47,17 @@ def make_scheduler(name: str, **hadar_kwargs):
     raise ValueError(f"unknown scheduler {name!r}")
 
 
-def run_scenario(name: str, seed: int, **hadar_kwargs) -> "SimulationResult":
+def run_scenario(
+    name: str, seed: int, engine_kwargs: dict | None = None, **hadar_kwargs
+) -> "SimulationResult":
+    """One parity scenario; ``engine_kwargs`` flow to :func:`simulate`
+    (the observability-parity suite attaches ``tracer=``/``metrics=``
+    here and expects the same fingerprints)."""
     cluster = simulated_cluster()
     trace = generate_philly_trace(PhillyTraceConfig(num_jobs=NUM_JOBS, seed=seed))
-    return simulate(cluster, trace, make_scheduler(name, **hadar_kwargs))
+    return simulate(
+        cluster, trace, make_scheduler(name, **hadar_kwargs), **(engine_kwargs or {})
+    )
 
 
 def fingerprint(result: "SimulationResult") -> dict:

@@ -1,0 +1,65 @@
+"""Observability must be a pure observer.
+
+Re-runs the golden hot-path scenarios with a live DecisionTracer and
+MetricsRegistry attached and requires the *same* schedule fingerprints
+as ``tests/core/test_hotpath_parity.py`` — tracing and metrics may read
+scheduler state but must never perturb a single decision.  The traces
+produced along the way must also be schema-valid end to end.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import DecisionTracer, MetricsRegistry, validate_trace
+
+from tests.core._hotpath_fingerprint import (
+    SCHEDULER_NAMES,
+    SEEDS,
+    digest,
+    fingerprint,
+    run_scenario,
+)
+
+GOLDEN_PATH = Path(__file__).with_name("golden_hotpath.json")
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_tracing_and_metrics_preserve_schedules(name, seed):
+    sink: list[dict] = []
+    tracer = DecisionTracer(sink=sink)
+    metrics = MetricsRegistry()
+    result = run_scenario(
+        name, seed, engine_kwargs={"tracer": tracer, "metrics": metrics}
+    )
+
+    golden = GOLDEN[f"{name}/{seed}"]
+    assert digest(fingerprint(result)) == golden["sha256"], (
+        f"{name}/seed={seed}: attaching the tracer/metrics changed the "
+        f"schedule — observability must not influence decisions"
+    )
+    assert repr(result.makespan()) == golden["makespan"]
+    assert len(result.completed) == golden["completed"]
+
+    # The by-product trace is schema-valid and complete.
+    kinds = [kind for _, kind in validate_trace(sink)]
+    assert kinds[0] == "meta" and kinds[-1] == "summary"
+    assert kinds.count("round") == result.scheduling_invocations
+
+    # Metrics landed in the result snapshot with matching aggregates.
+    rounds_series = result.metrics["repro_engine_rounds_total"]["series"]
+    assert rounds_series[0]["value"] == result.scheduling_invocations
+    completed_series = result.metrics["repro_jobs_completed_total"]["series"]
+    assert completed_series[0]["value"] == len(result.completed)
+
+
+def test_disabled_tracer_also_preserves_schedules():
+    name, seed = "hadar", SEEDS[0]
+    result = run_scenario(
+        name, seed,
+        engine_kwargs={"tracer": DecisionTracer(sink=[], enabled=False)},
+    )
+    assert digest(fingerprint(result)) == GOLDEN[f"{name}/{seed}"]["sha256"]

@@ -1,0 +1,85 @@
+"""``python -m repro.obs`` subcommands, driven through main()."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+from tests.obs.test_schema import meta, round_record
+from tests.obs.test_summarize import synthetic_trace
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("".join(json.dumps(r) + "\n" for r in synthetic_trace()))
+    return path
+
+
+class TestValidate:
+    def test_valid_trace_exits_zero(self, trace_file, capsys):
+        assert main(["validate", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "OK: 5 records" in out
+
+    def test_schema_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        records = [meta(), round_record(jobs=[
+            {"job_id": 1, "outcome": "skipped", "reason": "felt_like_it"}
+        ])]
+        bad.write_text("".join(json.dumps(r) + "\n" for r in records))
+        assert main(["validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_empty_trace_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["validate", str(empty)]) == 1
+        assert "no records" in capsys.readouterr().err
+
+
+class TestSummarize:
+    def test_json_payload(self, trace_file, capsys):
+        assert main(["summarize", str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scheduler"] == "hadar"
+        assert payload["rounds"] == 3
+        assert payload["skip_reasons"] == {"negative_payoff": 2, "dp_skipped": 1}
+        assert "price_trajectories" in payload
+
+    def test_human_output(self, trace_file, capsys):
+        assert main(["summarize", str(trace_file), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler        : hadar" in out
+        assert "slowest rounds   : (top 1)" in out
+        assert "price trajectory" in out
+
+
+class TestDiff:
+    def test_identical_exits_zero(self, trace_file, capsys):
+        assert main(["diff", str(trace_file), str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["decisions_match"] is True
+        assert payload["first_divergence"] is None
+
+    def test_divergent_exits_one(self, trace_file, tmp_path, capsys):
+        records = synthetic_trace()
+        records[1]["jobs"][0]["allocation"] = [[1, "K80", 2]]
+        other = tmp_path / "other.jsonl"
+        other.write_text("".join(json.dumps(r) + "\n" for r in records))
+        assert main(["diff", str(trace_file), str(other)]) == 1
+        assert "DIVERGE" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_perfetto_export_writes_default_path(self, trace_file, capsys):
+        assert main(["export", str(trace_file), "--perfetto"]) == 0
+        out_path = trace_file.with_suffix(".perfetto.json")
+        doc = json.loads(out_path.read_text())
+        assert doc["otherData"]["source"] == "repro.obs"
+        assert "ui.perfetto.dev" in capsys.readouterr().out
+
+    def test_export_without_format_exits_two(self, trace_file, capsys):
+        assert main(["export", str(trace_file)]) == 2
+        assert "--perfetto" in capsys.readouterr().err

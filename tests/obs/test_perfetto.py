@@ -1,0 +1,98 @@
+"""trace_to_perfetto: the Chrome trace_event document structure."""
+
+import json
+
+import pytest
+
+from repro.obs import export_perfetto, trace_to_perfetto
+from repro.obs.perfetto import _SIM_SCALE_US, _gang_label
+
+from tests.obs.test_schema import meta, round_record, summary
+from tests.obs.test_summarize import synthetic_trace
+
+
+def events_of(doc, **match):
+    return [
+        e for e in doc["traceEvents"]
+        if all(e.get(k) == v for k, v in match.items())
+    ]
+
+
+class TestGangLabel:
+    def test_single_and_multi_node(self):
+        assert _gang_label([[0, "V100", 2]]) == "2×V100@n0"
+        assert _gang_label([[0, "V100", 2], [1, "K80", 1]]) == "2×V100@n0+1×K80@n1"
+        assert _gang_label([]) == "idle"
+
+
+class TestDocument:
+    def test_envelope(self):
+        doc = trace_to_perfetto(synthetic_trace())
+        assert doc["displayTimeUnit"] == "ms"
+        assert doc["otherData"]["scheduler"] == "hadar"
+        assert all({"ph", "pid"} <= set(e) for e in doc["traceEvents"])
+
+    def test_round_frames_on_sim_axis(self):
+        doc = trace_to_perfetto(synthetic_trace())
+        frames = events_of(doc, ph="X", cat="round")
+        assert [f["name"] for f in frames] == ["round 0", "round 1", "round 2"]
+        # Frames span to the next round; 1 sim-second = 1000 trace µs.
+        assert frames[0]["ts"] == 0.0
+        assert frames[0]["dur"] == pytest.approx(360.0 * _SIM_SCALE_US)
+        assert frames[1]["args"]["admitted"] == 2
+        assert frames[1]["args"]["decision_ms"] == pytest.approx(10.0)
+
+    def test_counter_tracks(self):
+        doc = trace_to_perfetto(synthetic_trace())
+        jobs_counters = events_of(doc, ph="C", name="jobs")
+        assert jobs_counters[0]["args"] == {"queued": 3}
+        price_counters = events_of(doc, ph="C", name="mean price (Eq. 5)")
+        assert price_counters[0]["args"] == {"V100": 0.5, "K80": 0.1}
+
+    def test_job_lifelines_follow_changes(self):
+        doc = trace_to_perfetto(synthetic_trace())
+        job1 = sorted(events_of(doc, ph="X", cat="allocation", tid=1),
+                      key=lambda e: e["ts"])
+        # place@0 → migrate@360 → preempt@720: two closed slices, both
+        # ending at a change (never left dangling to "end").
+        assert [(e["name"], e["args"]["until"]) for e in job1] == [
+            ("2×V100@n0", "migrate"), ("2×V100@n1", "preempt"),
+        ]
+        assert job1[0]["dur"] == pytest.approx(360.0 * _SIM_SCALE_US)
+        # Job 2 never gets a closing change: its lifeline runs to end_time.
+        (job2,) = events_of(doc, ph="X", cat="allocation", tid=2)
+        assert job2["args"]["until"] == "end"
+        assert job2["dur"] == pytest.approx((1080.0 - 360.0) * _SIM_SCALE_US)
+        # Each job track is named.
+        names = {e["tid"]: e["args"]["name"]
+                 for e in events_of(doc, ph="M", pid=2, name="thread_name")}
+        assert names == {1: "job 1", 2: "job 2"}
+
+    def test_wall_clock_decision_lane_is_end_to_end(self):
+        doc = trace_to_perfetto(synthetic_trace())
+        lane = sorted(events_of(doc, ph="X", cat="decision"),
+                      key=lambda e: e["ts"])
+        assert [e["ts"] for e in lane] == [0.0, pytest.approx(0.004e6),
+                                           pytest.approx(0.014e6)]
+
+    def test_phase_totals_from_summary(self):
+        trace = [
+            meta(),
+            round_record(),
+            summary(phase_timings={"decision": 0.5, "events": 0.25,
+                                   "idle": 0.0}),
+        ]
+        doc = trace_to_perfetto(trace)
+        lane = sorted(events_of(doc, ph="X", cat="phase"),
+                      key=lambda e: e["ts"])
+        assert [e["name"] for e in lane] == ["decision", "events"]
+        assert lane[1]["ts"] == pytest.approx(0.5e6)
+
+    def test_export_writes_file(self, tmp_path):
+        src = tmp_path / "trace.jsonl"
+        src.write_text(
+            "".join(json.dumps(r) + "\n" for r in synthetic_trace())
+        )
+        out = tmp_path / "sub" / "timeline.json"
+        doc = export_perfetto(src, out)
+        assert json.loads(out.read_text()) == doc

@@ -1,0 +1,156 @@
+"""Schema validation: every rule in `repro.obs.schema`, exercised."""
+
+import pytest
+
+from repro.obs import SKIP_REASONS, SchemaError, validate_record, validate_trace
+from repro.obs.schema import TRACE_SCHEMA_VERSION
+
+
+def meta(scheduler="hadar", **extra):
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "kind": "meta",
+        "scheduler": scheduler,
+        "round_length_s": 360.0,
+        "cluster": {"total_gpus": 8, "gpus_by_type": {"V100": 8}},
+        **extra,
+    }
+
+
+def round_record(jobs=(), changes=(), **extra):
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "kind": "round",
+        "round": 1,
+        "t": 0.0,
+        "jobs": list(jobs),
+        "changes": list(changes),
+        **extra,
+    }
+
+
+def summary(**extra):
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "kind": "summary",
+        "rounds": 1,
+        "completed": 0,
+        "end_time": 360.0,
+        **extra,
+    }
+
+
+def admitted_job(**extra):
+    return {
+        "job_id": 1,
+        "outcome": "admitted",
+        "allocation": [[0, "V100", 2]],
+        "mu": 0.5,
+        **extra,
+    }
+
+
+class TestRecordValidation:
+    def test_all_three_kinds_validate(self):
+        assert validate_record(meta()) == "meta"
+        assert validate_record(round_record()) == "round"
+        assert validate_record(summary()) == "summary"
+
+    def test_missing_schema_version_rejected(self):
+        record = meta()
+        del record["schema"]
+        with pytest.raises(SchemaError, match="schema"):
+            validate_record(record)
+
+    def test_newer_version_rejected(self):
+        record = meta()
+        record["schema"] = TRACE_SCHEMA_VERSION + 1
+        with pytest.raises(SchemaError, match="newer"):
+            validate_record(record)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SchemaError, match="kind"):
+            validate_record({"schema": TRACE_SCHEMA_VERSION, "kind": "bogus"})
+
+    def test_unknown_extra_fields_allowed(self):
+        # Additive evolution: new optional fields must not break readers.
+        validate_record(meta(provenance="unit-test"))
+
+
+class TestJobRecords:
+    def test_admitted_needs_allocation(self):
+        job = admitted_job()
+        del job["allocation"]
+        with pytest.raises(SchemaError, match="allocation"):
+            validate_record(round_record(jobs=[job]))
+
+    def test_admitted_with_nonpositive_mu_rejected(self):
+        with pytest.raises(SchemaError, match="μ_j > 0"):
+            validate_record(round_record(jobs=[admitted_job(mu=-0.1)]))
+        with pytest.raises(SchemaError, match="μ_j > 0"):
+            validate_record(round_record(jobs=[admitted_job(mu=0.0)]))
+
+    def test_admitted_without_mu_is_record_level_valid(self):
+        # Baselines have no payoff; mu is only forced stream-wide for hadar.
+        job = admitted_job()
+        del job["mu"]
+        validate_record(round_record(jobs=[job]))
+
+    def test_malformed_placement_triples_rejected(self):
+        bad = admitted_job(allocation=[[0, "V100", 0]])  # zero count
+        with pytest.raises(SchemaError, match="allocation"):
+            validate_record(round_record(jobs=[bad]))
+
+    @pytest.mark.parametrize("reason", SKIP_REASONS)
+    def test_every_skip_reason_accepted(self, reason):
+        job = {"job_id": 2, "outcome": "skipped", "reason": reason}
+        validate_record(round_record(jobs=[job]))
+
+    def test_unknown_skip_reason_rejected(self):
+        job = {"job_id": 2, "outcome": "skipped", "reason": "felt_like_it"}
+        with pytest.raises(SchemaError, match="reason"):
+            validate_record(round_record(jobs=[job]))
+
+    def test_breakdown_fields_nullable(self):
+        job = admitted_job(
+            breakdown={"consolidated_payoff": 0.4, "scattered_payoff": None}
+        )
+        validate_record(round_record(jobs=[job]))
+        bad = admitted_job(breakdown={"consolidated_payoff": "high"})
+        with pytest.raises(SchemaError, match="consolidated_payoff"):
+            validate_record(round_record(jobs=[bad]))
+
+    def test_changes_validated(self):
+        change = {
+            "job_id": 1,
+            "change": "migrate",
+            "old": [[0, "V100", 2]],
+            "new": [[1, "P100", 2]],
+        }
+        validate_record(round_record(changes=[change]))
+        with pytest.raises(SchemaError, match="change"):
+            validate_record(round_record(changes=[{**change, "change": "swap"}]))
+
+
+class TestStreamRules:
+    def test_first_record_must_be_meta(self):
+        with pytest.raises(SchemaError, match="record 0"):
+            list(validate_trace([round_record()]))
+
+    def test_nothing_after_summary(self):
+        with pytest.raises(SchemaError, match="after the summary"):
+            list(validate_trace([meta(), summary(), round_record()]))
+
+    def test_hadar_admitted_jobs_must_carry_mu(self):
+        job = admitted_job()
+        del job["mu"]
+        with pytest.raises(SchemaError, match="without its payoff"):
+            list(validate_trace([meta("hadar"), round_record(jobs=[job])]))
+
+    def test_baseline_admitted_jobs_may_omit_mu(self):
+        job = admitted_job()
+        del job["mu"]
+        kinds = [k for _, k in validate_trace(
+            [meta("gavel"), round_record(jobs=[job]), summary()]
+        )]
+        assert kinds == ["meta", "round", "summary"]

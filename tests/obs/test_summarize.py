@@ -1,0 +1,128 @@
+"""summarize_trace / diff_traces over hand-built synthetic traces."""
+
+import pytest
+
+from repro.obs import diff_traces, summarize_trace
+
+from tests.obs.test_schema import admitted_job, meta, round_record, summary
+
+
+def skipped(job_id, reason="negative_payoff"):
+    return {"job_id": job_id, "outcome": "skipped", "reason": reason}
+
+
+def prices(**by_type):
+    return [
+        {"node": 0, "gpu_type": gpu, "price": price, "free": 2, "capacity": 4}
+        for gpu, price in by_type.items()
+    ]
+
+
+def synthetic_trace():
+    return [
+        meta(),
+        round_record(
+            round=0, t=0.0, decision_s=0.004, queued=3,
+            jobs=[admitted_job(job_id=1), skipped(2), skipped(3, "dp_skipped")],
+            changes=[{"job_id": 1, "change": "place",
+                      "old": [], "new": [[0, "V100", 2]]}],
+            prices=prices(V100=0.5, K80=0.1),
+        ),
+        round_record(
+            round=1, t=360.0, decision_s=0.010, queued=2,
+            jobs=[{"job_id": 1, "outcome": "kept",
+                   "allocation": [[1, "V100", 2]], "mu": 0.3},
+                  admitted_job(job_id=2)],
+            changes=[{"job_id": 1, "change": "migrate",
+                      "old": [[0, "V100", 2]], "new": [[1, "V100", 2]]},
+                     {"job_id": 2, "change": "place",
+                      "old": [], "new": [[0, "V100", 2]]}],
+            prices=prices(V100=0.8, K80=0.05),
+        ),
+        round_record(
+            round=2, t=720.0, decision_s=0.001,
+            jobs=[skipped(3)],
+            changes=[{"job_id": 1, "change": "preempt",
+                      "old": [[1, "V100", 2]], "new": []}],
+        ),
+        summary(rounds=3, completed=2, end_time=1080.0),
+    ]
+
+
+class TestSummarize:
+    def test_counts_and_rates(self):
+        s = summarize_trace(synthetic_trace())
+        assert s.scheduler == "hadar"
+        assert s.rounds == 3
+        assert (s.admitted, s.kept, s.skipped) == (2, 1, 3)
+        assert s.jobs_seen == 6
+        assert s.admission_rate == pytest.approx(3 / 6)
+        assert s.skip_rate == pytest.approx(3 / 6)
+        assert s.skip_reasons == {"negative_payoff": 2, "dp_skipped": 1}
+        assert s.changes == 4
+        assert (s.placements, s.migrations, s.preemptions) == (2, 1, 1)
+        assert s.total_decision_s == pytest.approx(0.015)
+        assert s.summary_record["completed"] == 2
+
+    def test_slowest_rounds_ordered_and_capped(self):
+        s = summarize_trace(synthetic_trace(), top_k=2)
+        assert [info["round"] for info in s.slowest_rounds] == [1, 0]
+        assert s.slowest_rounds[0]["decision_s"] == pytest.approx(0.010)
+        assert s.slowest_rounds[0]["queued"] == 2
+        assert s.slowest_rounds[0]["admitted"] == 2
+
+    def test_price_trajectories_track_mean_over_rounds(self):
+        s = summarize_trace(synthetic_trace())
+        assert s.price_trajectories["V100"] == {
+            "first": 0.5, "min": 0.5, "max": 0.8, "last": 0.8,
+        }
+        assert s.price_trajectories["K80"]["last"] == pytest.approx(0.05)
+
+    def test_empty_trace(self):
+        s = summarize_trace([])
+        assert s.rounds == 0 and s.admission_rate == 0.0 and s.skip_rate == 0.0
+
+
+class TestDiff:
+    def test_identical_traces_match(self):
+        diff = diff_traces(synthetic_trace(), synthetic_trace())
+        assert diff.decisions_match
+        assert diff.identical_rounds == diff.compared_rounds == 3
+        assert diff.first_divergence is None
+        assert diff.speedup == pytest.approx(1.0)
+
+    def test_allocation_mismatch_is_a_divergence(self):
+        other = synthetic_trace()
+        # Same admitted set, different gang for job 1 in round 1.
+        other[2]["jobs"][0]["allocation"] = [[0, "K80", 2]]
+        diff = diff_traces(synthetic_trace(), other)
+        assert not diff.decisions_match
+        assert diff.first_divergence["round"] == 1
+        assert diff.first_divergence["only_a"] == [1]
+        assert diff.first_divergence["only_b"] == [1]
+
+    def test_round_count_mismatch_fails_even_if_prefix_matches(self):
+        shorter = synthetic_trace()
+        del shorter[3]  # drop round 2
+        diff = diff_traces(synthetic_trace(), shorter)
+        assert diff.compared_rounds == 2
+        assert diff.identical_rounds == 2
+        assert not diff.decisions_match
+
+    def test_latency_comparison(self):
+        fast = synthetic_trace()
+        for record in fast:
+            if record["kind"] == "round":
+                record["decision_s"] = record["decision_s"] / 2
+        diff = diff_traces(synthetic_trace(), fast)
+        assert diff.decisions_match  # latency never affects the verdict
+        assert diff.speedup == pytest.approx(2.0)
+
+    def test_max_divergences_caps_list_not_first(self):
+        other = synthetic_trace()
+        for record in other:
+            if record["kind"] == "round":
+                record["jobs"] = [admitted_job(job_id=99)]
+        diff = diff_traces(synthetic_trace(), other, max_divergences=1)
+        assert len(diff.divergent_rounds) == 1
+        assert diff.first_divergence["round"] == 0

@@ -1,0 +1,84 @@
+"""The DecisionTracer: streaming emission, validation at the source,
+near-free disabled path, and the placement renderer."""
+
+import json
+
+import pytest
+
+from repro.cluster.allocation import Allocation
+from repro.obs import DecisionTracer, SchemaError, load_trace, read_trace
+from repro.obs.schema import TRACE_SCHEMA_VERSION
+from repro.obs.tracer import placements_list
+
+from tests.obs.test_schema import meta, round_record
+
+
+class TestEmission:
+    def test_stamps_schema_version(self):
+        sink = []
+        tracer = DecisionTracer(sink=sink)
+        record = meta()
+        del record["schema"]
+        tracer.emit(record)
+        assert sink[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert tracer.records_emitted == 1
+
+    def test_validates_on_emit(self):
+        tracer = DecisionTracer(sink=[])
+        with pytest.raises(SchemaError):
+            tracer.emit({"kind": "bogus"})
+
+    def test_validation_can_be_disabled(self):
+        sink = []
+        DecisionTracer(sink=sink, validate=False).emit({"kind": "bogus"})
+        assert sink[0]["kind"] == "bogus"
+
+    def test_disabled_tracer_emits_nothing(self):
+        sink = []
+        tracer = DecisionTracer(sink=sink, enabled=False)
+        tracer.emit(meta())
+        assert sink == [] and tracer.records_emitted == 0
+
+    def test_path_and_sink_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ValueError, match="not both"):
+            DecisionTracer(tmp_path / "t.jsonl", sink=[])
+
+    def test_no_destination_raises_on_emit(self):
+        with pytest.raises(ValueError, match="neither"):
+            DecisionTracer().emit(meta())
+
+
+class TestFileRoundTrip:
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "nested" / "trace.jsonl"
+        with DecisionTracer(path) as tracer:
+            tracer.emit(meta())
+            tracer.emit(round_record())
+        records = load_trace(path)
+        assert [r["kind"] for r in records] == ["meta", "round"]
+        # One compact JSON object per line.
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_read_trace_rejects_garbage_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="trace.jsonl:2"):
+            list(read_trace(path))
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "meta"}\n\n{"kind": "summary"}\n')
+        assert len(load_trace(path)) == 2
+
+
+class TestPlacementsList:
+    def test_allocation_rendered_sorted(self):
+        alloc = Allocation({(1, "K80"): 1, (0, "V100"): 2})
+        assert placements_list(alloc) == [[0, "V100", 2], [1, "K80", 1]]
+
+    def test_plain_mapping_and_empty(self):
+        assert placements_list({(0, "V100"): 4}) == [[0, "V100", 4]]
+        assert placements_list(None) == []
+        assert placements_list(Allocation({})) == []

@@ -55,10 +55,47 @@ class TestIntegrals:
         assert util["V100"] == pytest.approx(0.75)
         assert util["K80"] == pytest.approx(0.25)
 
+    def test_by_type_partial_window(self):
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 2, "K80": 1})
+        rec.record(10.0, {"V100": 1})
+        busy = rec.busy_gpu_seconds_by_type(5.0, 15.0)
+        assert busy["V100"] == pytest.approx(2 * 5.0 + 1 * 5.0)
+        assert busy["K80"] == pytest.approx(1 * 5.0)
+
+    def test_by_type_same_instant_overwrite(self):
+        # The last write at a timestamp wins; the integral must use the
+        # overwriting snapshot, not the superseded one.
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 4})
+        rec.record(0.0, {"V100": 1, "K80": 2})
+        busy = rec.busy_gpu_seconds_by_type(0.0, 10.0)
+        assert busy["V100"] == pytest.approx(10.0)
+        assert busy["K80"] == pytest.approx(20.0)
+        assert rec.busy_gpu_seconds(0.0, 10.0) == pytest.approx(30.0)
+
+    def test_by_type_matches_total(self):
+        rec = UtilizationRecorder()
+        rec.record(0.0, {"V100": 3, "K80": 2})
+        rec.record(7.0, {"V100": 1, "P100": 4})
+        rec.record(13.0, {})
+        for lo, hi in [(0.0, 20.0), (3.0, 9.0), (7.0, 7.0), (15.0, 19.0)]:
+            by_type = rec.busy_gpu_seconds_by_type(lo, hi)
+            assert sum(by_type.values()) == pytest.approx(
+                rec.busy_gpu_seconds(lo, hi)
+            )
+
+    def test_by_type_window_before_first_record(self):
+        rec = UtilizationRecorder()
+        rec.record(10.0, {"V100": 2})
+        assert rec.busy_gpu_seconds_by_type(0.0, 5.0) == {}
+
     def test_empty_recorder(self):
         rec = UtilizationRecorder()
         assert rec.busy_gpu_seconds(0.0, 10.0) == 0.0
         assert rec.average_utilization(4, 0.0, 10.0) == 0.0
+        assert rec.busy_gpu_seconds_by_type(0.0, 10.0) == {}
+        assert rec.busy_gpu_seconds_by_type(5.0, 5.0) == {}
 
     def test_validation(self):
         rec = self.make()
@@ -76,6 +113,19 @@ class TestQueueSeries:
         rec.record_queue(25.0, 2)
         rec.record_queue(30.0, 0)
         assert rec.contended_windows(40.0) == [(0.0, 10.0), (25.0, 30.0)]
+
+    def test_contended_windows_clipped_to_end(self):
+        rec = UtilizationRecorder()
+        rec.record_queue(0.0, 1)
+        rec.record_queue(10.0, 0)
+        rec.record_queue(25.0, 2)
+        # `end` falls inside the second contended window: it is clipped,
+        # not dropped and not extended past the horizon.
+        assert rec.contended_windows(27.0) == [(0.0, 10.0), (25.0, 27.0)]
+        # `end` before the window opens: the window vanishes entirely.
+        assert rec.contended_windows(20.0) == [(0.0, 10.0)]
+        # `end` exactly at a window edge produces no zero-width window.
+        assert rec.contended_windows(25.0) == [(0.0, 10.0)]
 
     def test_contended_utilization(self):
         rec = UtilizationRecorder()
