@@ -17,8 +17,10 @@ recorded counters (RoundStats, ``calib_jobs``/``calib_dirty``, the
 baselines' round stats) come out of the same ``repro_hotpath_total``
 metric family the simulator publishes everywhere else.  Each Hadar
 scenario is additionally rerun with a *disabled* ``DecisionTracer``
-attached; the ``--check`` gate fails if even the least-noisy seed shows
->= 3% wall-clock overhead on that tracing-off path.
+attached, and again with an all-rates-zero ``FaultModel`` (the whole
+fault machinery wired in — repair-mode validator, fault phase, empty
+schedule — but no events); the ``--check`` gate fails if even the
+least-noisy seed shows >= 3% wall-clock overhead on either off path.
 
 Usage::
 
@@ -51,6 +53,7 @@ from conftest import bench_scale  # noqa: E402
 from repro.cluster.cluster import simulated_cluster  # noqa: E402
 from repro.core.dp import DPConfig  # noqa: E402
 from repro.core.scheduler import HadarConfig, HadarScheduler  # noqa: E402
+from repro.faults import FaultModel  # noqa: E402
 from repro.obs import DecisionTracer, MetricsRegistry  # noqa: E402
 from repro.sim.engine import SimulationResult, simulate  # noqa: E402
 from repro.workload.philly import PhillyTraceConfig, generate_philly_trace  # noqa: E402
@@ -62,6 +65,10 @@ TRACING_OVERHEAD_LIMIT_PCT = 3.0
 """Gate on the disabled-tracer tax: attaching a ``DecisionTracer`` with
 ``enabled=False`` must cost < 3% wall-clock vs no tracer at all (the
 minimum over the seeds is compared, so one noisy run cannot fail CI)."""
+FAULTS_OVERHEAD_LIMIT_PCT = 3.0
+"""Gate on the faults-disabled tax: attaching an all-rates-zero
+``FaultModel`` (empty schedule, repair-mode validator) must cost < 3%
+wall-clock vs no fault machinery at all (same min-over-seeds rule)."""
 
 
 def _phases(result: SimulationResult) -> dict[str, float]:
@@ -74,6 +81,7 @@ def _run(
     cached: bool,
     tracer: Optional[DecisionTracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    faults: Optional[FaultModel] = None,
 ) -> tuple[float, SimulationResult]:
     cluster = simulated_cluster()
     trace = generate_philly_trace(PhillyTraceConfig(num_jobs=num_jobs, seed=seed))
@@ -81,7 +89,9 @@ def _run(
         HadarConfig(dp=DPConfig(round_caching=cached))
     )
     start = time.perf_counter()
-    result = simulate(cluster, trace, scheduler, tracer=tracer, metrics=metrics)
+    result = simulate(
+        cluster, trace, scheduler, tracer=tracer, metrics=metrics, faults=faults
+    )
     return time.perf_counter() - start, result
 
 
@@ -125,6 +135,8 @@ def record(num_jobs: int, scale: str) -> dict:
         # attached — the engine must skip all record building.
         disabled_tracer = DecisionTracer(sink=[], enabled=False)
         disabled_s, _ = _run(seed, num_jobs, cached=True, tracer=disabled_tracer)
+        # The faults-off tax: all machinery attached, zero fault events.
+        faults_s, _ = _run(seed, num_jobs, cached=True, faults=FaultModel(seed=seed))
         c_stats, r_stats = cached.hotpath_stats, reference.hotpath_stats
         evals_c = max(c_stats.get("candidate_evals", 0), 1)
         runs_c = max(c_stats.get("find_alloc_runs", 0), 1)
@@ -138,6 +150,10 @@ def record(num_jobs: int, scale: str) -> dict:
             "tracing_disabled": {
                 "wall_s": round(disabled_s, 3),
                 "overhead_pct": round(100.0 * (disabled_s / max(cached_s, 1e-9) - 1.0), 2),
+            },
+            "faults_disabled": {
+                "wall_s": round(faults_s, 3),
+                "overhead_pct": round(100.0 * (faults_s / max(cached_s, 1e-9) - 1.0), 2),
             },
             "reference": {
                 "wall_s": round(reference_s, 3),
@@ -164,6 +180,7 @@ def record(num_jobs: int, scale: str) -> dict:
     reductions = [s["candidate_eval_reduction"] for s in hadar]
     speedups = [s["wall_clock_speedup"] for s in hadar]
     overheads = [s["tracing_disabled"]["overhead_pct"] for s in hadar]
+    fault_overheads = [s["faults_disabled"]["overhead_pct"] for s in hadar]
     return {
         "meta": {
             "bench": "dp_hotpath",
@@ -184,6 +201,7 @@ def record(num_jobs: int, scale: str) -> dict:
             "min_wall_clock_speedup": min(speedups),
             "max_wall_clock_speedup": max(speedups),
             "min_tracing_overhead_pct": min(overheads),
+            "min_faults_overhead_pct": min(fault_overheads),
         },
     }
 
@@ -208,6 +226,12 @@ def check(report: dict, baseline: dict, threshold: float) -> list[str]:
         problems.append(
             f"tracing-disabled overhead {overhead:.2f}% on every seed — "
             f"the off path must cost < {TRACING_OVERHEAD_LIMIT_PCT:.0f}%"
+        )
+    fault_overhead = report.get("summary", {}).get("min_faults_overhead_pct")
+    if fault_overhead is not None and fault_overhead >= FAULTS_OVERHEAD_LIMIT_PCT:
+        problems.append(
+            f"faults-disabled overhead {fault_overhead:.2f}% on every seed — "
+            f"the off path must cost < {FAULTS_OVERHEAD_LIMIT_PCT:.0f}%"
         )
     return problems
 
@@ -253,7 +277,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"{summary['min_wall_clock_speedup']:.2f}x - "
         f"{summary['max_wall_clock_speedup']:.2f}x; "
         "tracing-off overhead (min): "
-        f"{summary['min_tracing_overhead_pct']:.2f}%"
+        f"{summary['min_tracing_overhead_pct']:.2f}%; "
+        "faults-off overhead (min): "
+        f"{summary['min_faults_overhead_pct']:.2f}%"
     )
 
     if args.check is not None:

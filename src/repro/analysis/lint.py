@@ -50,6 +50,7 @@ __all__ = [
     "SilentExceptionRule",
     "UnorderedFloatSumRule",
     "PrintInLibraryRule",
+    "UnseededRNGRule",
     "ALL_RULES",
     "apply_fixes",
     "fix_paths",
@@ -60,7 +61,7 @@ __all__ = [
 
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+|all)")
 
-_DETERMINISTIC_PATHS = ("repro/core", "repro/sim", "repro/cluster")
+_DETERMINISTIC_PATHS = ("repro/core", "repro/sim", "repro/cluster", "repro/faults")
 """Replay-critical subtrees: REP002's scope (determinism of simulation)."""
 
 _ENGINE_PATHS = _DETERMINISTIC_PATHS + ("repro/baselines",)
@@ -668,6 +669,67 @@ class PrintInLibraryRule(LintRule):
             )
 
 
+# --------------------------------------------------------------------------- #
+# REP008 — unseeded RNG construction in library code
+# --------------------------------------------------------------------------- #
+
+class UnseededRNGRule(LintRule):
+    """Unseeded RNG construction anywhere under ``src/repro``.
+
+    REP002 bans *every* global-state random call inside the
+    replay-critical subtrees; this rule extends the narrower "no unseeded
+    generator" slice of that contract to the rest of the library
+    (workload synthesis, experiments, analysis helpers).  An
+    ``np.random.default_rng()`` or ``random.Random()`` constructed
+    without a seed gives a different stream per process, so the trace or
+    experiment built from it cannot be regenerated — every generator
+    must take its seed from config (cf. ``PhillyTraceConfig.seed``,
+    ``FaultModel.seed``).  Scoped outside REP002's paths so a single
+    call site is never double-flagged.
+    """
+
+    rule_id = "REP008"
+    applies_to = ("repro/",)
+
+    def applies(self, path: str) -> bool:
+        if not super().applies(path):
+            return False
+        posix = path.replace("\\", "/")
+        return not any(fragment in posix for fragment in _DETERMINISTIC_PATHS)
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        if node.keywords:
+            return False
+        return not node.args or (
+            isinstance(node.args[0], ast.Constant) and node.args[0].value is None
+        )
+
+    def begin_module(self, tree: ast.Module, ctx: _FileContext) -> None:
+        self._aliases = _import_aliases(tree)
+
+    def visit(self, node: ast.AST, ctx: _FileContext) -> None:
+        if not isinstance(node, ast.Call):
+            return
+        target = _canonical(node.func, self._aliases)
+        if target is None:
+            return
+        if target == ("numpy", "random", "default_rng") and self._unseeded(node):
+            ctx.report(
+                node,
+                self,
+                "numpy.random.default_rng() without a seed cannot be "
+                "regenerated; thread a seed from config",
+            )
+        elif target == ("random", "Random") and self._unseeded(node):
+            ctx.report(
+                node,
+                self,
+                "random.Random() without a seed draws an OS-entropy stream; "
+                "thread a seed from config",
+            )
+
+
 ALL_RULES: tuple[type[LintRule], ...] = (
     FloatEqualityRule,
     NondeterminismRule,
@@ -676,6 +738,7 @@ ALL_RULES: tuple[type[LintRule], ...] = (
     SilentExceptionRule,
     UnorderedFloatSumRule,
     PrintInLibraryRule,
+    UnseededRNGRule,
 )
 
 
@@ -787,7 +850,7 @@ def fix_paths(
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Scheduler-specific static analysis (REP001-REP007).",
+        description="Scheduler-specific static analysis (REP001-REP008).",
     )
     parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
     parser.add_argument("--json", action="store_true", help="machine-readable output")

@@ -59,7 +59,8 @@ class InvariantViolation(RuntimeError):
     rule:
         Which invariant failed: ``"capacity"``, ``"gang"``,
         ``"price-bounds"``, ``"payoff"``, ``"primal-dual"``,
-        ``"gavel-feasibility"``, or ``"queue-monotonicity"``.
+        ``"gavel-feasibility"``, ``"queue-monotonicity"``,
+        ``"availability"``, or ``"rollback"``.
     round_index / now / job_id:
         Where in the run it happened (``None`` when not applicable).
     details:
@@ -396,6 +397,135 @@ class InvariantSanitizer:
                     )
                 )
 
+    def check_availability(
+        self,
+        state: ClusterState,
+        runtimes: Iterable[JobRuntime],
+        failed: Mapping[tuple[int, str], int],
+        *,
+        nominal: Optional[Mapping[tuple[int, str], int]] = None,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Fault-availability invariants on the surviving cluster.
+
+        Under fault injection, the live :class:`ClusterState` carries the
+        *surviving* capacity — failed devices are subtracted out.  Checks
+        that no running gang holds devices a failure removed (per slot,
+        the gangs' claims fit within surviving capacity) and, when the
+        ``nominal`` per-slot capacities are supplied, that the fault
+        bookkeeping is consistent: ``surviving + failed == nominal``.
+        """
+        claimed: dict[tuple[int, str], int] = {}
+        claimants: dict[tuple[int, str], list[int]] = {}
+        for rt in runtimes:
+            if rt.state is not JobState.RUNNING:
+                continue
+            for slot, count in rt.allocation.placements.items():
+                claimed[slot] = claimed.get(slot, 0) + count
+                claimants.setdefault(slot, []).append(rt.job_id)
+        for slot, held in sorted(claimed.items()):
+            surviving = (
+                state.capacity(*slot) if slot in set(state.slots) else 0
+            )
+            if held > surviving:
+                self._emit(
+                    InvariantViolation(
+                        "availability",
+                        f"running gangs hold {held} device(s) at slot {slot} "
+                        f"but only {surviving} survive the injected faults",
+                        round_index=round_index,
+                        now=now,
+                        details={
+                            "slot": slot,
+                            "held_by_gangs": held,
+                            "surviving": surviving,
+                            "failed": failed.get(slot, 0),
+                            "jobs": sorted(claimants.get(slot, [])),
+                        },
+                    )
+                )
+        if nominal is not None:
+            for slot in sorted(set(nominal) | set(failed)):
+                surviving = (
+                    state.capacity(*slot) if slot in set(state.slots) else 0
+                )
+                down = failed.get(slot, 0)
+                expected = nominal.get(slot, 0)
+                if surviving + down != expected or down < 0:
+                    self._emit(
+                        InvariantViolation(
+                            "availability",
+                            f"fault bookkeeping inconsistent at slot {slot}: "
+                            "surviving + failed != nominal capacity",
+                            round_index=round_index,
+                            now=now,
+                            details={
+                                "slot": slot,
+                                "surviving": surviving,
+                                "failed": down,
+                                "nominal": expected,
+                            },
+                        )
+                    )
+
+    def check_rollback(
+        self,
+        rt: JobRuntime,
+        remaining_before: float,
+        *,
+        now: Optional[float] = None,
+        fault_id: Optional[int] = None,
+    ) -> None:
+        """Crash-restart accounting on one rolled-back job.
+
+        Called by :class:`~repro.faults.FaultPhase` right after it resets
+        ``rt`` to its checkpoint.  A rollback can only *lose* progress:
+        the job's remaining work must not have decreased, its progress
+        counter must not sit behind the checkpoint it was reset to, and
+        neither may go negative.
+        """
+        slack = self.rel_tol * max(abs(remaining_before), 1.0) + self.abs_tol
+        details = {
+            "fault_id": fault_id,
+            "remaining_before": remaining_before,
+            "remaining_after": rt.remaining_iterations,
+            "checkpoint_iterations": rt.checkpoint_iterations,
+            "iterations_done": rt.iterations_done,
+        }
+        if rt.remaining_iterations < remaining_before - slack:
+            self._emit(
+                InvariantViolation(
+                    "rollback",
+                    "rollback decreased a job's remaining work; a crash "
+                    "restart may only lose progress, never create it",
+                    now=now,
+                    job_id=rt.job_id,
+                    details=details,
+                )
+            )
+        if rt.iterations_done < rt.checkpoint_iterations - self.abs_tol:
+            self._emit(
+                InvariantViolation(
+                    "rollback",
+                    "job progress sits behind the checkpoint it was "
+                    "restored to",
+                    now=now,
+                    job_id=rt.job_id,
+                    details=details,
+                )
+            )
+        if rt.iterations_done < -self.abs_tol or rt.checkpoint_iterations < -self.abs_tol:
+            self._emit(
+                InvariantViolation(
+                    "rollback",
+                    "negative iteration counter after rollback",
+                    now=now,
+                    job_id=rt.job_id,
+                    details=details,
+                )
+            )
+
     def check_tiresias_monotonicity(
         self,
         demoted: Iterable[int],
@@ -476,10 +606,13 @@ class InvariantSanitizer:
         runtimes: Mapping[int, JobRuntime],
         state: ClusterState,
         scheduler: Any,
+        failed: Optional[Mapping[tuple[int, str], int]] = None,
     ) -> None:
         """Full sweep after one applied scheduling decision.
 
-        The structural invariants (capacity, gangs) are always checked.
+        The structural invariants (capacity, gangs) are always checked;
+        under fault injection the engine also passes the live ``failed``
+        mask and the availability invariants run too.
         Scheduler-specific invariants dispatch off each scheduler's
         introspection surface, found by walking the ``inner`` chain of
         wrappers (e.g. under profiling): Hadar exposes ``last_prices`` /
@@ -490,6 +623,10 @@ class InvariantSanitizer:
         jobs = runtimes.values()
         self.check_capacity(state, jobs, round_index=round_index, now=now)
         self.check_gangs(jobs, round_index=round_index, now=now)
+        if failed is not None:
+            self.check_availability(
+                state, jobs, failed, round_index=round_index, now=now
+            )
 
         hadar = self._unwrap(scheduler, "last_prices")
         if hadar is not None:

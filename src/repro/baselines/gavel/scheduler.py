@@ -62,7 +62,7 @@ class GavelScheduler(Scheduler):
     def __init__(self, config: Optional[GavelConfig] = None):
         self.config = config or GavelConfig()
         self._cached_matrix: Optional[AllocationMatrix] = None
-        self._cached_key: Optional[tuple[int, ...]] = None
+        self._cached_key: Optional[tuple] = None
         self._solved_last_round = 0
         self.last_round_stats: dict[str, int] = {}
         """Per-round counters (LP solves vs matrix-cache reuses, priority
@@ -133,13 +133,37 @@ class GavelScheduler(Scheduler):
     # ---------------------------------------------------------------- internal --
     def _allocation_matrix(self, ctx: SchedulerContext) -> AllocationMatrix:
         active = ctx.active
-        key = tuple(sorted(rt.job_id for rt in active))
+        # The LP promises time fractions the round realization must be
+        # able to deliver, so it plans against *surviving* capacity —
+        # under fault injection the nominal inventory overstates what
+        # exists (and the sanitizer's feasibility residual checks the
+        # matrix against the surviving counts).  Without faults the two
+        # are identical.  A job no type can currently host simply waits
+        # this round instead of poisoning the LP.
+        state = ctx.fresh_state()
+        capacity: dict[str, int] = {}
+        for node_id, type_name in state.slots:
+            capacity[type_name] = (
+                capacity.get(type_name, 0) + state.capacity(node_id, type_name)
+            )
+        placeable = tuple(
+            rt for rt in active
+            if any(
+                capacity.get(t, 0) >= rt.job.num_workers
+                and ctx.matrix.rate(rt.job.model.name, t) > 0
+                for t in ctx.cluster.gpu_types
+            )
+        )
+        key = (
+            tuple(sorted(rt.job_id for rt in placeable)),
+            tuple(sorted(capacity.items())),
+        )
         if key != self._cached_key or self._cached_matrix is None:
             self._solved_last_round += 1
             self._cached_matrix = max_min_allocation_matrix(
-                jobs=active,
+                jobs=placeable,
                 types=ctx.cluster.gpu_types,
-                capacity=ctx.cluster.capacity_by_type(),
+                capacity=capacity,
                 matrix=ctx.matrix,
                 solver=self.config.solver,
                 policy=self.config.policy,

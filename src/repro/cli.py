@@ -118,6 +118,15 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if args.straggler_rate > 0
         else None
     )
+    faults = sanitizer = None
+    if args.faults:
+        from repro.faults import FaultModel
+
+        faults = FaultModel.from_spec(args.faults)
+    if args.sanitize:
+        from repro.analysis.sanitizer import InvariantSanitizer
+
+        sanitizer = InvariantSanitizer()
     tracer = metrics = None
     if args.trace_out:
         from repro.obs import DecisionTracer
@@ -133,6 +142,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         scheduler,
         round_length=args.round_min * 60.0,
         stragglers=stragglers,
+        faults=faults,
+        sanitizer=sanitizer,
         tracer=tracer,
         metrics=metrics,
     )
@@ -155,6 +166,19 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"wait      : {stats.mean_total_waiting / 3600:.2f} h mean")
     print(f"util      : {util.overall:.1%} (contended windows)")
     print(f"FTF       : mean {ftf.mean:.2f}   max {ftf.max:.2f}")
+    if faults is not None:
+        fs = result.fault_stats
+        print(f"faults    : {fs.get('node_faults', 0)} node + "
+              f"{fs.get('gpu_faults', 0)} gpu "
+              f"({fs.get('recoveries', 0)} recovered, "
+              f"{fs.get('permanent_faults', 0)} permanent)")
+        print(f"rollbacks : {fs.get('rollbacks', 0)} "
+              f"({fs.get('rollback_seconds', 0.0) / 3600:.2f} h of progress lost)")
+        print(f"rejected  : {len(result.rejections)} decision entr"
+              f"{'y' if len(result.rejections) == 1 else 'ies'} repaired")
+    if sanitizer is not None:
+        print(f"sanitizer : {sanitizer.rounds_checked} rounds checked, "
+              f"{len(sanitizer.violations)} violation(s)")
     if args.json:
         from repro.metrics.export import save_result_json
 
@@ -259,6 +283,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="estimate throughputs online instead of using ground truth")
     p.add_argument("--straggler-rate", type=float, default=0.0,
                    help="straggler onsets per job-hour (0 = off)")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject GPU/node failures; comma-separated k=v spec, "
+                        "e.g. 'node_mtbf_h=24,gpu_mtbf_h=100,mttr_min=10,"
+                        "permanent=0.05,seed=7' (see docs/robustness.md)")
+    p.add_argument("--sanitize", action="store_true",
+                   help="attach the runtime invariant sanitizer "
+                        "(raises on the first violated invariant)")
     p.add_argument("--json", default=None, help="also dump the result as JSON")
     p.add_argument("--trace-out", default=None,
                    help="write a structured decision trace (JSONL; see "

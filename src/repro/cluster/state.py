@@ -142,6 +142,51 @@ class ClusterState:
             self._vec[self._index[slot]] += count
         self._key_cache = None
 
+    # -- fault capacity ---------------------------------------------------
+    def fail(self, node_id: int, type_name: str, count: int) -> None:
+        """Remove ``count`` *free* devices from the slot's capacity.
+
+        Fault injection preempts any gang touching the slot first, so the
+        failed devices are free by the time capacity shrinks.  ``_capacity``
+        is shared across :meth:`copy` clones ("immutable by convention"),
+        so the first fault on a state rebinds it copy-on-write — DP branch
+        copies taken earlier keep seeing the capacity they were born with.
+        """
+        if count < 0:
+            raise ValueError(f"negative fail count {count}")
+        if count == 0:
+            return
+        slot = (node_id, type_name)
+        free = self._free.get(slot, 0)
+        if count > free:
+            raise ValueError(
+                f"cannot fail {count} devices at slot {slot}: only {free} free"
+            )
+        self._capacity = dict(self._capacity)
+        self._capacity[slot] -= count
+        self._free[slot] = free - count
+        self._vec[self._index[slot]] -= count
+        self._key_cache = None
+
+    def restore(self, node_id: int, type_name: str, count: int) -> None:
+        """Return ``count`` previously failed devices to the slot.
+
+        The caller (the fault phase) restores exactly what the matching
+        failure removed, so nominal capacity is never exceeded.
+        """
+        if count < 0:
+            raise ValueError(f"negative restore count {count}")
+        if count == 0:
+            return
+        slot = (node_id, type_name)
+        if slot not in self._index:
+            raise ValueError(f"cannot restore unknown slot {slot}")
+        self._capacity = dict(self._capacity)
+        self._capacity[slot] = self._capacity.get(slot, 0) + count
+        self._free[slot] = self._free.get(slot, 0) + count
+        self._vec[self._index[slot]] += count
+        self._key_cache = None
+
     # -- copies / keys ----------------------------------------------------
     def copy(self) -> "ClusterState":
         clone = ClusterState.__new__(ClusterState)

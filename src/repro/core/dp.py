@@ -33,6 +33,7 @@ golden-parity reference mode.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.cluster.cluster import Cluster
@@ -64,12 +65,20 @@ class DPConfig:
     round_caching: bool = True
     """Share the round-scoped ``FIND_ALLOC`` caches; ``False`` runs the
     semantics-identical reference mode (golden-parity baseline)."""
+    decision_deadline_s: Optional[float] = None
+    """Wall-clock budget for one ``allocate()``'s exact DP search.  When
+    the recursion runs past it, the search is abandoned and the
+    payoff-density greedy answers instead (graceful degradation: a
+    feasible decision on time beats an optimal one late).  ``None``
+    (default) never expires — the historical behaviour."""
 
     def __post_init__(self) -> None:
         if self.queue_limit < 0:
             raise ValueError("queue_limit must be non-negative")
         if self.state_limit < 1:
             raise ValueError("state_limit must be positive")
+        if self.decision_deadline_s is not None and self.decision_deadline_s <= 0:
+            raise ValueError("decision_deadline_s must be positive when set")
         if self.branch_objective not in {"payoff", "cost"}:
             raise ValueError(
                 f"branch_objective must be 'payoff' or 'cost', "
@@ -79,6 +88,10 @@ class DPConfig:
 
 class _MemoOverflow(Exception):
     """Raised internally when the exact DP exceeds its state budget."""
+
+
+class _DeadlineExpired(Exception):
+    """Raised internally when the exact DP runs past its wall-clock budget."""
 
 
 @dataclass
@@ -119,9 +132,17 @@ class DPAllocator:
                 caching=self.config.round_caching,
             )
         self.last_context = ctx
+        deadline = (
+            perf_counter() + self.config.decision_deadline_s
+            if self.config.decision_deadline_s is not None
+            else None
+        )
         if len(queue) <= self.config.queue_limit:
             try:
-                chosen = self._solve_exact(queue, state, ctx)
+                chosen = self._solve_exact(queue, state, ctx, deadline)
+            except _DeadlineExpired:
+                ctx.stats.deadline_hits += 1
+                chosen = self._solve_greedy(queue, state.copy(), ctx)
             except _MemoOverflow:
                 chosen = self._solve_greedy(queue, state.copy(), ctx)
             else:
@@ -143,7 +164,11 @@ class DPAllocator:
 
     # -- exact memoized recursion -------------------------------------------------
     def _solve_exact(
-        self, queue: list[JobRuntime], state: ClusterState, ctx: RoundContext
+        self,
+        queue: list[JobRuntime],
+        state: ClusterState,
+        ctx: RoundContext,
+        deadline: Optional[float] = None,
     ) -> dict[int, AllocationCandidate]:
         memo: dict[
             tuple[int, tuple[int, ...]],
@@ -156,6 +181,8 @@ class DPAllocator:
         ) -> tuple[float, dict[int, AllocationCandidate]]:
             if idx >= len(queue) or branch_state.is_full():
                 return 0.0, {}
+            if deadline is not None and perf_counter() > deadline:
+                raise _DeadlineExpired
             state_key = branch_state.key()
             key = (idx, state_key)
             hit = memo.get(key)

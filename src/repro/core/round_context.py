@@ -93,6 +93,9 @@ class RoundStats:
     physics_hits: int = 0
     calib_jobs: int = 0
     calib_dirty: int = 0
+    deadline_hits: int = 0
+    """Exact DP searches abandoned at ``DPConfig.decision_deadline_s``
+    (each one fell back to the payoff-density greedy)."""
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -109,6 +112,7 @@ class RoundStats:
             "physics_hits": self.physics_hits,
             "calib_jobs": self.calib_jobs,
             "calib_dirty": self.calib_dirty,
+            "deadline_hits": self.deadline_hits,
         }
 
     def merge(self, other: "RoundStats") -> None:
@@ -125,6 +129,7 @@ class RoundStats:
         self.physics_hits += other.physics_hits
         self.calib_jobs += other.calib_jobs
         self.calib_dirty += other.calib_dirty
+        self.deadline_hits += other.deadline_hits
 
 
 class RoundContext:

@@ -13,7 +13,9 @@ One module per evaluation artifact family:
   (Table III, Fig. 10) on the simulated prototype cluster;
 * :mod:`repro.experiments.overhead` — Table IV preemption overheads;
 * :mod:`repro.experiments.ablations` — design-choice ablations beyond the
-  paper (DP vs greedy, branch objective, comm model, utilities).
+  paper (DP vs greedy, branch objective, comm model, utilities);
+* :mod:`repro.experiments.resilience` — degradation curves under fault
+  injection (mean JCT / makespan / utilization vs. node MTBF).
 """
 
 from repro.experiments.config import ExperimentScale, resolve_scale, standard_lineup

@@ -1,0 +1,183 @@
+"""Degradation curves under fault injection (the chaos-harness experiment).
+
+How gracefully does each scheduler degrade as the cluster gets less
+reliable?  For a grid of node MTBF values (``0`` = faults off, the
+baseline point) and the three compared schedulers, one seeded simulation
+runs with the fault model attached — same workload trace, same fault
+seed per MTBF point, so every scheduler faces the *identical* failure
+sequence — and the curve collects mean JCT, makespan, utilization, and
+the resilience bookkeeping (rollbacks, progress lost, repaired decision
+entries).
+
+Usage::
+
+    from repro.experiments.resilience import ResilienceConfig, run_resilience
+
+    points = run_resilience(ResilienceConfig(num_jobs=30))
+    print(render_degradation(points))
+
+Everything is seeded and runs at an arbitrary scale, so tests drive the
+same entry point at a tiny one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.cluster.cluster import simulated_cluster
+from repro.faults import FaultModel
+from repro.metrics.jct import jct_stats
+from repro.sim.engine import DEFAULT_ROUND_LENGTH_S, SimulationResult, simulate
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+
+__all__ = [
+    "ResilienceConfig",
+    "ResiliencePoint",
+    "run_resilience",
+    "render_degradation",
+]
+
+DEFAULT_SCHEDULERS = ("hadar", "gavel", "tiresias")
+
+
+@dataclass(frozen=True, slots=True)
+class ResilienceConfig:
+    """One degradation-curve sweep."""
+
+    node_mtbf_hours: tuple[float, ...] = (0.0, 48.0, 16.0, 8.0)
+    """Per-node MTBF grid, most to least reliable; ``0`` disables faults
+    (the baseline point every degradation is measured against)."""
+    schedulers: tuple[str, ...] = DEFAULT_SCHEDULERS
+    num_jobs: int = 60
+    seed: int = 1
+    """Workload-trace seed."""
+    fault_seed: int = 7
+    """Fault-sequence seed (same per MTBF point across schedulers)."""
+    mttr_s: float = 600.0
+    round_length: float = DEFAULT_ROUND_LENGTH_S
+    max_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.node_mtbf_hours:
+            raise ValueError("node_mtbf_hours must be non-empty")
+        if any(m < 0 for m in self.node_mtbf_hours):
+            raise ValueError("node_mtbf_hours must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class ResiliencePoint:
+    """One (scheduler, failure-rate) sample on the degradation curve."""
+
+    scheduler: str
+    node_mtbf_h: float
+    mean_jct_h: float
+    makespan_h: float
+    utilization: float
+    completed: int
+    num_jobs: int
+    faults: int
+    rollbacks: int
+    rollback_hours: float
+    rejections: int
+
+    def as_dict(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "node_mtbf_h": self.node_mtbf_h,
+            "mean_jct_h": self.mean_jct_h,
+            "makespan_h": self.makespan_h,
+            "utilization": self.utilization,
+            "completed": self.completed,
+            "num_jobs": self.num_jobs,
+            "faults": self.faults,
+            "rollbacks": self.rollbacks,
+            "rollback_hours": self.rollback_hours,
+            "rejections": self.rejections,
+        }
+
+
+def _make_scheduler(name: str):
+    from repro.cli import make_scheduler
+
+    return make_scheduler(name)
+
+
+def _point(
+    name: str, mtbf_h: float, result: SimulationResult, num_jobs: int
+) -> ResiliencePoint:
+    stats = jct_stats(result)
+    fs = result.fault_stats
+    return ResiliencePoint(
+        scheduler=name,
+        node_mtbf_h=mtbf_h,
+        mean_jct_h=stats.mean_hours,
+        makespan_h=result.makespan() / 3600.0,
+        utilization=result.gpu_utilization(),
+        completed=len(result.completed),
+        num_jobs=num_jobs,
+        faults=fs.get("node_faults", 0) + fs.get("gpu_faults", 0),
+        rollbacks=fs.get("rollbacks", 0),
+        rollback_hours=fs.get("rollback_seconds", 0.0) / 3600.0,
+        rejections=len(result.rejections),
+    )
+
+
+def run_resilience(
+    config: ResilienceConfig = ResilienceConfig(),
+) -> list[ResiliencePoint]:
+    """Run the sweep; points ordered (mtbf grid order, scheduler order)."""
+    cluster = simulated_cluster()
+    trace = generate_philly_trace(
+        PhillyTraceConfig(num_jobs=config.num_jobs, seed=config.seed)
+    )
+    sim_kwargs: dict = {"round_length": config.round_length}
+    if config.max_time is not None:
+        sim_kwargs["max_time"] = config.max_time
+    points: list[ResiliencePoint] = []
+    for mtbf_h in config.node_mtbf_hours:
+        faults = (
+            FaultModel(
+                node_mtbf_h=mtbf_h,
+                mttr_s=config.mttr_s,
+                seed=config.fault_seed,
+            )
+            if mtbf_h > 0
+            else None
+        )
+        for name in config.schedulers:
+            result = simulate(
+                cluster,
+                trace,
+                _make_scheduler(name),
+                faults=faults,
+                **sim_kwargs,
+            )
+            points.append(_point(name, mtbf_h, result, config.num_jobs))
+    return points
+
+
+def render_degradation(points: Iterable[ResiliencePoint]) -> str:
+    """Text table: one row per (scheduler, MTBF) point, plus the JCT
+    degradation factor relative to each scheduler's faults-off baseline."""
+    points = list(points)
+    baseline: dict[str, float] = {
+        p.scheduler: p.mean_jct_h for p in points if p.node_mtbf_h <= 0.0
+    }
+    header = (
+        f"{'scheduler':10s} {'mtbf_h':>7s} {'jct_h':>8s} {'x_base':>7s} "
+        f"{'mkspan_h':>9s} {'util':>6s} {'done':>6s} {'faults':>7s} "
+        f"{'rollbk':>7s} {'lost_h':>7s} {'rej':>4s}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in points:
+        base = baseline.get(p.scheduler, 0.0)
+        factor = p.mean_jct_h / base if base > 0 else float("nan")
+        mtbf = f"{p.node_mtbf_h:g}" if p.node_mtbf_h > 0 else "off"
+        lines.append(
+            f"{p.scheduler:10s} {mtbf:>7s} {p.mean_jct_h:8.2f} {factor:7.2f} "
+            f"{p.makespan_h:9.2f} {p.utilization:6.1%} "
+            f"{p.completed:>3d}/{p.num_jobs:<2d} {p.faults:7d} "
+            f"{p.rollbacks:7d} {p.rollback_hours:7.2f} {p.rejections:4d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,33 @@
+"""Fault injection and resilience: failure model, fault phase, validator.
+
+The subsystem has three parts (see ``docs/robustness.md``):
+
+* :class:`FaultModel` / :class:`FaultSchedule` — seeded, pre-generated
+  GPU/node failure+recovery processes (MTBF/MTTR, correlated node
+  failures, optional permanent failures);
+* :class:`FaultPhase` — applies those events inside the engine loop:
+  capacity drops out of the cluster state, hit gangs are preempted and
+  rolled back to their last checkpoint, recoveries restore capacity;
+* :class:`DecisionValidator` / :class:`DecisionRejected` — the
+  reject-and-repair guard that keeps every scheduler's decisions feasible
+  against surviving capacity.
+
+Attach a model with ``simulate(..., faults=FaultModel(...))`` or
+``repro.cli simulate --faults "node_mtbf_h=24,mttr_min=10,seed=7"``.
+"""
+
+from repro.faults.model import FAIL, RECOVER, FaultEvent, FaultModel, FaultSchedule
+from repro.faults.phase import FaultPhase
+from repro.faults.validator import REJECT_REASONS, DecisionRejected, DecisionValidator
+
+__all__ = [
+    "FAIL",
+    "RECOVER",
+    "FaultEvent",
+    "FaultModel",
+    "FaultSchedule",
+    "FaultPhase",
+    "REJECT_REASONS",
+    "DecisionRejected",
+    "DecisionValidator",
+]

@@ -1,0 +1,254 @@
+"""Seeded GPU/node failure and recovery processes.
+
+The model is *pre-generated*: :meth:`FaultModel.build_schedule` draws the
+entire failure/recovery timeline up front from per-node seeded RNG
+streams, so the fault sequence is a pure function of ``(model, cluster
+inventory)`` — independent of anything the scheduler decides and
+therefore identical across schedulers and across repeated runs with the
+same seed (the property the resilience experiment and the chaos CI gate
+rely on).
+
+Two Poisson processes run per node:
+
+* a **node-level** process (``node_mtbf_h``) whose failures take every
+  surviving device attached to the node (correlated failure — a host,
+  PSU, or ToR loss);
+* a **device-level** process (``gpu_mtbf_h`` per device, so a node's
+  hazard rate scales with its device count) whose failures take one GPU,
+  chosen capacity-weighted among the node's types.
+
+Failures repair after an exponential MTTR (``mttr_s``) unless drawn
+permanent (``permanent_fraction``), in which case the capacity never
+returns.  Each failure and its recovery share a ``fault_id`` so the
+:class:`~repro.faults.phase.FaultPhase` can restore exactly the devices
+that failure actually removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+
+__all__ = ["FaultEvent", "FaultModel", "FaultSchedule", "FAIL", "RECOVER"]
+
+FAIL = "fail"
+RECOVER = "recover"
+
+_HOUR_S = 3600.0
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One failure or recovery occurrence in a :class:`FaultSchedule`.
+
+    ``gpu_type is None`` marks a node-level (correlated) failure taking
+    every surviving device on the node; otherwise exactly ``count``
+    devices of that type fail (clamped to surviving capacity at apply
+    time).  A recovery references its failure through ``fault_id``.
+    """
+
+    time: float
+    node_id: int
+    gpu_type: Optional[str]
+    kind: str  # FAIL | RECOVER
+    fault_id: int
+    permanent: bool = False
+    count: int = 1
+
+    @property
+    def is_node_level(self) -> bool:
+        return self.gpu_type is None
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSchedule:
+    """The full pre-generated fault timeline, sorted deterministically."""
+
+    events: tuple[FaultEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def failures(self) -> tuple[FaultEvent, ...]:
+        return tuple(ev for ev in self.events if ev.kind == FAIL)
+
+    @property
+    def recoveries(self) -> tuple[FaultEvent, ...]:
+        return tuple(ev for ev in self.events if ev.kind == RECOVER)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultModel:
+    """Failure-injection parameters (all zeros ⇒ no faults, empty schedule)."""
+
+    node_mtbf_h: float = 0.0
+    """Mean time between *node-level* failures per node, hours (0 = off)."""
+    gpu_mtbf_h: float = 0.0
+    """Mean time between failures per *device*, hours (0 = off); a node
+    with ``n`` devices fails single GPUs at ``n / gpu_mtbf_h`` per hour."""
+    mttr_s: float = 600.0
+    """Mean time to repair (exponential), seconds."""
+    permanent_fraction: float = 0.0
+    """Probability a failure is permanent (capacity never returns)."""
+    seed: int = 0
+    """Root seed; each node derives an independent substream from it."""
+    horizon_s: float = 30 * 24 * 3600.0
+    """Generation horizon; failures past it are not drawn."""
+
+    def __post_init__(self) -> None:
+        if self.node_mtbf_h < 0 or self.gpu_mtbf_h < 0:
+            raise ValueError("MTBF values must be non-negative (0 disables)")
+        if self.mttr_s <= 0:
+            raise ValueError("mttr_s must be positive")
+        if not 0.0 <= self.permanent_fraction <= 1.0:
+            raise ValueError("permanent_fraction must be in [0, 1]")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any failure process is active."""
+        return self.node_mtbf_h > 0 or self.gpu_mtbf_h > 0
+
+    # ------------------------------------------------------------- parsing --
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultModel":
+        """Parse the CLI's ``key=value,key=value`` fault spec.
+
+        Keys: ``node_mtbf_h``, ``gpu_mtbf_h``, ``mttr_s`` (or ``mttr_min``),
+        ``permanent``, ``seed``, ``horizon_h`` (or ``horizon_s``).  Example::
+
+            --faults "node_mtbf_h=24,mttr_min=10,seed=7"
+        """
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"fault spec entry {part!r} is not key=value")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key in ("node_mtbf_h", "gpu_mtbf_h", "mttr_s", "permanent",
+                       "horizon_s", "horizon_h", "mttr_min"):
+                num = float(value)
+                if key == "mttr_min":
+                    kwargs["mttr_s"] = num * 60.0
+                elif key == "horizon_h":
+                    kwargs["horizon_s"] = num * _HOUR_S
+                elif key == "permanent":
+                    kwargs["permanent_fraction"] = num
+                else:
+                    kwargs[key] = num
+            elif key == "seed":
+                kwargs["seed"] = int(value)
+            else:
+                raise ValueError(
+                    f"unknown fault spec key {key!r}; expected one of "
+                    "node_mtbf_h, gpu_mtbf_h, mttr_s, mttr_min, permanent, "
+                    "seed, horizon_h, horizon_s"
+                )
+        return cls(**kwargs)
+
+    # ---------------------------------------------------------- generation --
+    def build_schedule(
+        self, cluster: "Cluster", max_time: Optional[float] = None
+    ) -> FaultSchedule:
+        """Draw the full fault timeline for ``cluster``.
+
+        Deterministic and decision-order-independent: node ``i``'s events
+        come from ``default_rng([seed, i, stream])``, so they do not
+        depend on other nodes, on the scheduler, or on call order.
+        """
+        horizon = self.horizon_s
+        if max_time is not None:
+            horizon = min(horizon, max_time)
+        raw: list[FaultEvent] = []
+        if self.enabled:
+            fault_id = 0
+            for node in sorted(cluster.nodes, key=lambda n: n.node_id):
+                slots = sorted(node.gpus.items())
+                num_devices = sum(count for _, count in slots)
+                if num_devices == 0:
+                    continue
+                if self.node_mtbf_h > 0:
+                    rng = np.random.default_rng([self.seed, node.node_id, 0])
+                    fault_id = self._draw_process(
+                        raw, rng, horizon,
+                        mtbf_s=self.node_mtbf_h * _HOUR_S,
+                        node_id=node.node_id,
+                        slots=None,
+                        fault_id=fault_id,
+                    )
+                if self.gpu_mtbf_h > 0:
+                    rng = np.random.default_rng([self.seed, node.node_id, 1])
+                    fault_id = self._draw_process(
+                        raw, rng, horizon,
+                        mtbf_s=self.gpu_mtbf_h * _HOUR_S / num_devices,
+                        node_id=node.node_id,
+                        slots=slots,
+                        fault_id=fault_id,
+                    )
+        raw.sort(key=lambda ev: (
+            ev.time, 0 if ev.kind == FAIL else 1, ev.node_id, ev.fault_id
+        ))
+        return FaultSchedule(events=tuple(raw))
+
+    def _draw_process(
+        self,
+        out: list[FaultEvent],
+        rng: np.random.Generator,
+        horizon: float,
+        *,
+        mtbf_s: float,
+        node_id: int,
+        slots: Optional[list[tuple[str, int]]],
+        fault_id: int,
+    ) -> int:
+        """One renewal process: fail → (maybe) recover → next failure."""
+        t = 0.0
+        while True:
+            t += float(rng.exponential(mtbf_s))
+            if t >= horizon:
+                return fault_id
+            if slots is None:
+                gpu_type = None  # node-level: takes everything attached
+            else:
+                weights = np.array([c for _, c in slots], dtype=float)
+                pick = int(rng.choice(len(slots), p=weights / weights.sum()))
+                gpu_type = slots[pick][0]
+            permanent = bool(
+                self.permanent_fraction > 0
+                and rng.random() < self.permanent_fraction
+            )
+            out.append(FaultEvent(
+                time=t, node_id=node_id, gpu_type=gpu_type, kind=FAIL,
+                fault_id=fault_id, permanent=permanent,
+            ))
+            if permanent:
+                # The process keeps its own clock but this capacity is
+                # gone; for node-level processes nothing is left to fail.
+                fault_id += 1
+                if slots is None:
+                    return fault_id
+                continue
+            repair = t + max(float(rng.exponential(self.mttr_s)), 1e-9)
+            if repair < horizon:
+                out.append(FaultEvent(
+                    time=repair, node_id=node_id, gpu_type=gpu_type,
+                    kind=RECOVER, fault_id=fault_id,
+                ))
+                t = repair
+                fault_id += 1
+            else:
+                return fault_id + 1

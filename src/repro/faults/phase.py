@@ -1,0 +1,231 @@
+"""The fault phase — applies failure/recovery events to the live run.
+
+Dispatch target for :attr:`~repro.sim.events.EventKind.FAULT` events in
+the engine loop.  On a failure it
+
+1. works out how many devices each touched slot loses (all surviving
+   devices for a node-level failure, ``count`` clamped to surviving
+   capacity for a device failure);
+2. preempts every running gang holding devices the failure needs freed —
+   victims are selected in job-id order — and **rolls each back to its
+   last checkpoint**: ``iterations_done`` returns to
+   ``checkpoint_iterations`` (lost progress = work since the last save,
+   the crash-restart semantics of :mod:`repro.sim.checkpoint`), the job
+   re-queues, and its ``generation``/``alloc_epoch`` both bump so
+   outstanding completion predictions and straggler events for the dead
+   gang go stale in the kernel;
+3. removes the failed devices from :class:`~repro.cluster.state.ClusterState`
+   capacity, so Eq. 5 pricing and every scheduler's planning state see
+   the reduced cluster; and
+4. records exactly what was taken under the event's ``fault_id``, so the
+   paired recovery restores precisely those devices (never exceeding
+   nominal capacity even when failure windows overlap).
+
+The phase also keeps the live ``failed`` mask handed to
+:class:`~repro.sim.interface.SchedulerContext` and the counters the
+engine publishes as ``repro_faults_total`` / ``repro_rollback_seconds_total``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.cluster.allocation import EMPTY_ALLOCATION
+from repro.faults.model import FAIL, FaultModel, FaultSchedule
+from repro.sim.progress import JobRuntime, JobState
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import InvariantSanitizer
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.state import ClusterState
+    from repro.sim.progress import ProgressLedger
+
+__all__ = ["FaultPhase"]
+
+
+class FaultPhase:
+    """Applies a pre-generated :class:`FaultSchedule` to the running sim."""
+
+    def __init__(
+        self,
+        model: FaultModel,
+        cluster: "Cluster",
+        *,
+        max_time: Optional[float] = None,
+        sanitizer: Optional["InvariantSanitizer"] = None,
+        emit: Optional[Callable[[dict], None]] = None,
+    ):
+        self.model = model
+        self.cluster = cluster
+        self.schedule: FaultSchedule = model.build_schedule(cluster, max_time)
+        self.sanitizer = sanitizer
+        self.emit = emit
+        """Trace sink (``DecisionTracer.emit`` when tracing is live)."""
+        self.failed: dict[tuple[int, str], int] = {}
+        """Devices currently lost to faults, per slot — the mask behind
+        :attr:`SchedulerContext.failed`."""
+        self._taken: dict[int, dict[tuple[int, str], int]] = {}
+        """fault_id → devices that failure actually removed per slot."""
+        self.stats: dict[str, int] = {
+            "node_faults": 0,
+            "gpu_faults": 0,
+            "permanent_faults": 0,
+            "recoveries": 0,
+            "gangs_preempted": 0,
+            "rollbacks": 0,
+        }
+        self.rollback_seconds = 0.0
+        self.rollback_iterations = 0.0
+
+    @property
+    def capacity_lost(self) -> int:
+        """Devices currently failed across the cluster."""
+        return sum(self.failed.values())
+
+    # ------------------------------------------------------------- dispatch --
+    def apply(
+        self,
+        index: int,
+        ledger: "ProgressLedger",
+        state: "ClusterState",
+        now: float,
+    ) -> bool:
+        """Apply schedule event ``index``; True if any gang was preempted."""
+        event = self.schedule.events[index]
+        if event.kind == FAIL:
+            return self._apply_failure(event, ledger, state, now)
+        self._apply_recovery(event, state, now)
+        return False
+
+    def _apply_failure(self, event, ledger, state, now) -> bool:
+        # Surviving devices each slot loses (overlapping faults clamp here).
+        want: dict[tuple[int, str], int] = {}
+        if event.is_node_level:
+            for slot in state.slots:
+                if slot[0] == event.node_id:
+                    cap = state.capacity(*slot)
+                    if cap > 0:
+                        want[slot] = cap
+        else:
+            slot = (event.node_id, event.gpu_type)
+            cap = state.capacity(*slot)
+            if cap > 0:
+                want[slot] = min(event.count, cap)
+
+        victims: list[JobRuntime] = []
+        deficits = self._deficits(want, state)
+        if deficits:
+            for rt in sorted(
+                ledger.runtimes.values(), key=lambda r: r.job_id
+            ):
+                if rt.state is not JobState.RUNNING or not rt.allocation:
+                    continue
+                if any(s in deficits for s in rt.allocation.placements):
+                    self._rollback(rt, state, now, event.fault_id)
+                    victims.append(rt)
+                    deficits = self._deficits(want, state)
+                    if not deficits:
+                        break
+        assert not self._deficits(want, state), "fault left devices busy"
+
+        for slot, count in sorted(want.items()):
+            state.fail(slot[0], slot[1], count)
+            self.failed[slot] = self.failed.get(slot, 0) + count
+        if not event.permanent:
+            self._taken[event.fault_id] = want
+
+        scope = "node" if event.is_node_level else "gpu"
+        self.stats["node_faults" if event.is_node_level else "gpu_faults"] += 1
+        if event.permanent:
+            self.stats["permanent_faults"] += 1
+        if self.emit is not None:
+            self.emit({
+                "kind": "gpu_failed",
+                "t": now,
+                "fault_id": event.fault_id,
+                "node": event.node_id,
+                "scope": scope,
+                "permanent": event.permanent,
+                "slots": [
+                    [slot[0], slot[1], count]
+                    for slot, count in sorted(want.items())
+                ],
+                "preempted": [rt.job_id for rt in victims],
+            })
+        return bool(victims)
+
+    def _apply_recovery(self, event, state, now) -> None:
+        taken = self._taken.pop(event.fault_id, {})
+        for slot, count in sorted(taken.items()):
+            state.restore(slot[0], slot[1], count)
+            left = self.failed.get(slot, 0) - count
+            if left > 0:
+                self.failed[slot] = left
+            else:
+                self.failed.pop(slot, None)
+        self.stats["recoveries"] += 1
+        if self.emit is not None:
+            self.emit({
+                "kind": "gpu_recovered",
+                "t": now,
+                "fault_id": event.fault_id,
+                "node": event.node_id,
+                "slots": [
+                    [slot[0], slot[1], count]
+                    for slot, count in sorted(taken.items())
+                ],
+            })
+
+    # ------------------------------------------------------------- rollback --
+    def _rollback(
+        self, rt: JobRuntime, state: "ClusterState", now: float, fault_id: int
+    ) -> None:
+        """Crash-restart ``rt``: re-queue and roll back to its checkpoint."""
+        remaining_before = rt.remaining_iterations
+        lost_iters = max(0.0, rt.iterations_done - rt.checkpoint_iterations)
+        lost_seconds = lost_iters / rt.rate if rt.rate > 0 else 0.0
+        state.release(rt.allocation)
+        rt.allocation = EMPTY_ALLOCATION
+        rt.state = JobState.QUEUED
+        rt.iterations_done = rt.checkpoint_iterations
+        rt.rate = 0.0
+        rt.slowdown = 1.0  # the degraded workers died with the gang
+        rt.preemptions += 1
+        rt.failures += 1
+        rt.rollbacks += 1
+        rt.rollback_seconds += lost_seconds
+        rt.rollback_iterations += lost_iters
+        # Outstanding completion predictions and straggler events both
+        # belong to the dead gang: bump both staleness counters.
+        rt.generation += 1
+        rt.alloc_epoch += 1
+        rt.record_placement(now, EMPTY_ALLOCATION)
+        self.stats["gangs_preempted"] += 1
+        self.stats["rollbacks"] += 1
+        self.rollback_seconds += lost_seconds
+        self.rollback_iterations += lost_iters
+        if self.sanitizer is not None:
+            self.sanitizer.check_rollback(
+                rt, remaining_before, now=now, fault_id=fault_id
+            )
+        if self.emit is not None:
+            self.emit({
+                "kind": "job_rollback",
+                "t": now,
+                "job_id": rt.job_id,
+                "fault_id": fault_id,
+                "lost_iterations": lost_iters,
+                "lost_seconds": lost_seconds,
+            })
+
+    @staticmethod
+    def _deficits(
+        want: dict[tuple[int, str], int], state: "ClusterState"
+    ) -> dict[tuple[int, str], int]:
+        """Slots where fewer devices are free than the failure must take."""
+        out = {}
+        for slot, count in want.items():
+            short = count - state.free(*slot)
+            if short > 0:
+                out[slot] = short
+        return out

@@ -16,6 +16,20 @@ kinds exist:
 ``summary``
     Last record: run totals (completions, makespan, per-phase seconds).
 
+Four more kinds appear only in fault-injected runs (``--faults``):
+
+``gpu_failed`` / ``gpu_recovered``
+    A failure event removing devices from (or a recovery returning them
+    to) the cluster: fault id, node, scope (``node`` or ``gpu``), the
+    per-slot device counts taken/restored, and — for failures — the
+    gangs preempted by it.
+``job_rollback``
+    One crash-restarted gang: the job re-queued and rolled back to its
+    last checkpoint, with the iterations and seconds of progress lost.
+``decision_rejected``
+    One decision entry the :class:`~repro.faults.DecisionValidator`
+    rejected-and-repaired, with its typed reason.
+
 Validation here is hand-rolled structural checking (required keys, type
 predicates, enum membership) rather than jsonschema — the container has
 no jsonschema, and the checks double as executable documentation of the
@@ -33,12 +47,28 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Optional
 __all__ = [
     "TRACE_SCHEMA_VERSION",
     "SKIP_REASONS",
+    "REJECT_REASONS",
     "SchemaError",
     "validate_record",
     "validate_trace",
 ]
 
 TRACE_SCHEMA_VERSION = 1
+
+REJECT_REASONS = (
+    "unknown_job",
+    "completed_job",
+    "not_arrived",
+    "bad_gang",
+    "nonexistent_gpu",
+    "failed_gpu",
+    "occupied_gpu",
+    "overcommit",
+)
+"""Typed reasons on ``decision_rejected`` records.  This module stays
+dependency-free, so the tuple is mirrored from
+:data:`repro.faults.validator.REJECT_REASONS` (a test pins the two
+equal)."""
 
 SKIP_REASONS = (
     "no_usable_type",      # no GPU type in the cluster runs this model
@@ -290,9 +320,72 @@ def validate_record(record: Mapping[str, Any]) -> str:
                 "hotpath_stats": (lambda x: isinstance(x, Mapping), "an object"),
             },
         )
+    elif kind == "gpu_failed":
+        _check(
+            record,
+            "gpu_failed record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "fault_id": (_is_int, "an int"),
+                "node": (_is_int, "an int node id"),
+                "scope": (lambda x: x in ("node", "gpu"), "'node' or 'gpu'"),
+                "permanent": (lambda x: isinstance(x, bool), "a bool"),
+                "slots": (_is_placement_list, "[[node, type, count], ...]"),
+            },
+            optional={
+                "preempted": (
+                    lambda x: isinstance(x, list) and all(_is_int(j) for j in x),
+                    "a list of int job ids",
+                ),
+            },
+        )
+    elif kind == "gpu_recovered":
+        _check(
+            record,
+            "gpu_recovered record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "fault_id": (_is_int, "an int"),
+                "node": (_is_int, "an int node id"),
+                "slots": (_is_placement_list, "[[node, type, count], ...]"),
+            },
+        )
+    elif kind == "job_rollback":
+        _check(
+            record,
+            "job_rollback record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "job_id": (_is_int, "an int"),
+                "fault_id": (_is_int, "an int"),
+                "lost_iterations": (
+                    lambda x: _is_number(x) and x >= 0, "a non-negative number"
+                ),
+                "lost_seconds": (
+                    lambda x: _is_number(x) and x >= 0, "a non-negative number"
+                ),
+            },
+        )
+    elif kind == "decision_rejected":
+        _check(
+            record,
+            "decision_rejected record",
+            {
+                "round": (_is_int, "an int round index"),
+                "t": (_is_number, "simulated seconds"),
+                "job_id": (_is_int, "an int"),
+                "reason": (
+                    lambda x: x in REJECT_REASONS,
+                    f"one of {REJECT_REASONS}",
+                ),
+                "repaired": (lambda x: isinstance(x, bool), "a bool"),
+            },
+            optional={"detail": (_is_str, "a string")},
+        )
     else:
         raise SchemaError(
-            f"record 'kind' must be 'meta', 'round', or 'summary', got {kind!r}"
+            "record 'kind' must be 'meta', 'round', 'summary', 'gpu_failed', "
+            f"'gpu_recovered', 'job_rollback', or 'decision_rejected', got {kind!r}"
         )
     return kind
 

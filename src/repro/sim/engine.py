@@ -32,6 +32,9 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional
 
 from repro.cluster.cluster import Cluster
+from repro.faults.model import FaultModel
+from repro.faults.phase import FaultPhase
+from repro.faults.validator import DecisionRejected, DecisionValidator
 from repro.sim.checkpoint import CheckpointModel, FixedDelayCheckpoint
 from repro.sim.events import EventKind
 from repro.sim.interface import Scheduler
@@ -94,6 +97,13 @@ class SimulationResult:
     (phase seconds, round/completion counters, the decision-latency
     histogram, hot-path and calibration counters) — empty unless a
     registry was attached.  JSON-able; see ``docs/observability.md``."""
+    fault_stats: dict = field(default_factory=dict)
+    """Fault-injection totals (node/GPU faults, recoveries, gangs
+    preempted, rollbacks, rollback seconds/iterations, devices still
+    failed at end of run) — empty unless ``faults=`` was attached."""
+    rejections: list["DecisionRejected"] = field(default_factory=list)
+    """Every decision entry the validator rejected-and-repaired over the
+    run (empty in strict mode, where a malformed decision raises)."""
 
     # -- convenience views -----------------------------------------------------
     @property
@@ -161,6 +171,11 @@ class SimulationEngine:
     max_time: float = 10 * 365 * 24 * 3600.0
     stragglers: Optional[StragglerModel] = None
     """Optional failure injection; see :mod:`repro.sim.stragglers`."""
+    faults: Optional[FaultModel] = None
+    """Optional GPU/node fault injection; see :mod:`repro.faults`.
+    Attaching a model (even one with all rates zero) routes decisions
+    through a repair-mode :class:`~repro.faults.DecisionValidator`; with
+    no model the engine keeps the historical strict contract."""
     sanitizer: Optional["InvariantSanitizer"] = None
     """Optional per-round invariant checks; see :mod:`repro.analysis.sanitizer`."""
     tracer: Optional["DecisionTracer"] = None
@@ -197,6 +212,14 @@ class SimulationEngine:
         ledger = ProgressLedger(runtimes)
         telemetry = TelemetryPhase()
         sanitizer_phase = SanitizerPhase(self.sanitizer)
+        fault_phase: Optional[FaultPhase] = None
+        if self.faults is not None:
+            fault_phase = FaultPhase(
+                self.faults,
+                self.cluster,
+                max_time=self.max_time,
+                sanitizer=self.sanitizer,
+            )
         scheduler_phase = SchedulerPhase(
             scheduler=self.scheduler,
             cluster=self.cluster,
@@ -204,11 +227,18 @@ class SimulationEngine:
             round_length=self.round_length,
             checkpoint=self.checkpoint,
             on_place=self._schedule_straggler_onset if self.stragglers else None,
+            validator=(
+                DecisionValidator("repair") if fault_phase is not None else None
+            ),
+            fault_phase=fault_phase,
         )
         self._kernel = kernel
         self._ledger = ledger
         trace_phase = TracePhase(self.tracer)
         tracing = trace_phase.enabled
+        if fault_phase is not None and tracing:
+            assert self.tracer is not None
+            fault_phase.emit = self.tracer.emit
         scheduler_phase.capture_changes = tracing
         if hasattr(self.scheduler, "trace_decisions"):
             # Schedulers exposing the flag (Hadar) build their structured
@@ -222,6 +252,9 @@ class SimulationEngine:
 
         for job in self.trace:
             kernel.push_arrival(job.arrival_time, job.job_id)
+        if fault_phase is not None:
+            for index, fault_event in enumerate(fault_phase.schedule.events):
+                kernel.push_fault(fault_event.time, index)
         if self.scheduler.round_based and len(self.trace):
             first_round = self._round_at_or_after(self.trace[0].arrival_time)
             kernel.push_round_boundary(first_round)
@@ -267,6 +300,11 @@ class SimulationEngine:
                 self._apply_straggler_onset(runtimes[event.payload], now, timings)
             elif event.kind is EventKind.STRAGGLER_RECOVERY:
                 self._apply_straggler_recovery(runtimes[event.payload], now, timings)
+            elif event.kind is EventKind.FAULT:
+                assert fault_phase is not None
+                if fault_phase.apply(event.payload, ledger, state, now):
+                    telemetry.record_utilization(now, state)
+                needs_scheduler = self.scheduler.reacts_to_events
 
             if needs_scheduler and completed < len(runtimes):
                 changed = scheduler_phase.invoke(ledger, kernel, state, now, timings)
@@ -277,6 +315,9 @@ class SimulationEngine:
                     runtimes=runtimes,
                     state=state,
                     scheduler=self.scheduler,
+                    failed=(
+                        fault_phase.failed if fault_phase is not None else None
+                    ),
                 )
                 if tracing:
                     trace_phase.after_decision(
@@ -317,7 +358,15 @@ class SimulationEngine:
             rounds_with_change=rounds_with_change,
             hotpath_stats=scheduler_phase.hotpath_stats,
             phase_timings=timings.as_dict(),
+            rejections=list(scheduler_phase.validator.rejections),
         )
+        if fault_phase is not None:
+            result.fault_stats = {
+                **fault_phase.stats,
+                "rollback_seconds": fault_phase.rollback_seconds,
+                "rollback_iterations": fault_phase.rollback_iterations,
+                "capacity_lost": fault_phase.capacity_lost,
+            }
         trace_phase.emit_summary(
             rounds=result.scheduling_invocations,
             completed=completed,
@@ -372,6 +421,31 @@ class SimulationEngine:
                 labels=labels,
                 help="Allocation-engine and calibration hot-path counters",
             )
+        if "deadline_hits" in result.hotpath_stats:
+            registry.counter(
+                "repro_decision_deadline_hits_total",
+                "DP searches abandoned at the decision deadline (greedy fallback)",
+            ).inc(result.hotpath_stats["deadline_hits"], labels=labels)
+        if result.fault_stats:
+            faults = registry.counter(
+                "repro_faults_total", "Injected fault events by kind"
+            )
+            for kind in ("node_faults", "gpu_faults", "recoveries"):
+                faults.inc(result.fault_stats.get(kind, 0), labels={**labels, "kind": kind})
+            registry.counter(
+                "repro_rollback_seconds_total",
+                "Simulated seconds of progress lost to crash-restart rollbacks",
+            ).inc(result.fault_stats.get("rollback_seconds", 0.0), labels=labels)
+        if result.rejections:
+            rejected = registry.counter(
+                "repro_decisions_rejected_total",
+                "Decision entries rejected-and-repaired by the validator, by reason",
+            )
+            by_reason: dict[str, int] = {}
+            for rejection in result.rejections:
+                by_reason[rejection.reason] = by_reason.get(rejection.reason, 0) + 1
+            for reason, count in sorted(by_reason.items()):
+                rejected.inc(count, labels={**labels, "reason": reason})
 
     # -------------------------------------------------------------- helpers --
     def _round_at_or_after(self, t: float) -> float:
@@ -453,6 +527,7 @@ def simulate(
     checkpoint: Optional[CheckpointModel] = None,
     max_time: Optional[float] = None,
     stragglers: Optional[StragglerModel] = None,
+    faults: Optional[FaultModel] = None,
     sanitizer: Optional["InvariantSanitizer"] = None,
     tracer: Optional["DecisionTracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
@@ -469,6 +544,7 @@ def simulate(
         round_length=round_length,
         checkpoint=checkpoint or FixedDelayCheckpoint(),
         stragglers=stragglers,
+        faults=faults,
         sanitizer=sanitizer,
         tracer=tracer,
         metrics=metrics,

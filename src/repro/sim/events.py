@@ -31,6 +31,11 @@ class EventKind(IntEnum):
     ROUND_BOUNDARY = 2
     STRAGGLER_ONSET = 3
     STRAGGLER_RECOVERY = 4
+    FAULT = 5
+    """A device failure or recovery from a pre-generated
+    :class:`~repro.faults.FaultSchedule`; ``payload`` is the event's index
+    into the schedule.  Appended after the existing kinds — their values
+    break same-timestamp ties and are pinned by the golden suite."""
 
 
 @dataclass(frozen=True, slots=True, order=True)

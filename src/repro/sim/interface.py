@@ -15,7 +15,7 @@ penalty for non-consolidated placements.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from repro.cluster.allocation import Allocation
@@ -25,7 +25,17 @@ from repro.sim.progress import JobRuntime
 from repro.workload.job import Job
 from repro.workload.throughput import ThroughputMatrix
 
-__all__ = ["SchedulerContext", "Scheduler", "realized_rate", "validate_gang"]
+__all__ = [
+    "SchedulerContext",
+    "Scheduler",
+    "SchedulerProtocolError",
+    "realized_rate",
+    "validate_gang",
+]
+
+
+class SchedulerProtocolError(RuntimeError):
+    """A scheduler returned an invalid decision (gang/capacity violation)."""
 
 
 def realized_rate(
@@ -80,6 +90,12 @@ class SchedulerContext:
     round_length: float
     waiting: Sequence[JobRuntime]
     running: Sequence[JobRuntime]
+    failed: Mapping[tuple[int, str], int] = field(default_factory=dict)
+    """Devices currently lost to injected faults, per ``(node, type)`` slot
+    (empty unless a :class:`~repro.faults.FaultModel` is attached).  The
+    state builders below subtract these, so every scheduler that plans on
+    :meth:`fresh_state` / :meth:`occupied_state` sees surviving capacity —
+    and Eq. 5 prices, which read capacity off the state, rise with it."""
 
     @property
     def active(self) -> tuple[JobRuntime, ...]:
@@ -89,12 +105,20 @@ class SchedulerContext:
         return tuple(combined)
 
     def fresh_state(self) -> ClusterState:
-        """An all-free state: schedulers that re-plan from scratch start here."""
-        return self.cluster.fresh_state()
+        """An all-free state: schedulers that re-plan from scratch start here.
+
+        "All-free" means *surviving* capacity: devices currently failed
+        (see :attr:`failed`) are subtracted before the scheduler plans.
+        """
+        state = self.cluster.fresh_state()
+        if self.failed:
+            for (node_id, type_name), count in sorted(self.failed.items()):
+                state.fail(node_id, type_name, count)
+        return state
 
     def occupied_state(self) -> ClusterState:
         """State with the *running* jobs' current allocations claimed."""
-        state = self.cluster.fresh_state()
+        state = self.fresh_state()
         for rt in self.running:
             if rt.allocation:
                 state.allocate(rt.allocation)

@@ -95,3 +95,10 @@ class EventKernel:
             time, EventKind.STRAGGLER_RECOVERY, payload=rt.job_id,
             generation=rt.alloc_epoch,
         )
+
+    def push_fault(self, time: float, index: int) -> Event:
+        """A device failure/recovery; ``index`` points into the run's
+        :class:`~repro.faults.FaultSchedule`.  Faults are facts, not
+        revocable predictions, so they carry no generation and are never
+        stale."""
+        return self._queue.push(time, EventKind.FAULT, payload=index)

@@ -28,8 +28,14 @@ from typing import TYPE_CHECKING, Callable, Mapping, Optional
 
 from repro.cluster.allocation import EMPTY_ALLOCATION, Allocation
 from repro.cluster.cluster import Cluster
+from repro.faults.validator import DecisionValidator
 from repro.sim.checkpoint import CheckpointModel
-from repro.sim.interface import Scheduler, SchedulerContext, realized_rate, validate_gang
+from repro.sim.interface import (
+    Scheduler,
+    SchedulerContext,
+    SchedulerProtocolError,
+    realized_rate,
+)
 from repro.sim.kernel import EventKernel
 from repro.sim.progress import JobRuntime, JobState, ProgressLedger
 from repro.sim.telemetry import UtilizationRecorder
@@ -38,6 +44,7 @@ from repro.workload.throughput import ThroughputMatrix
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.sanitizer import InvariantSanitizer
     from repro.cluster.state import ClusterState
+    from repro.faults.phase import FaultPhase
     from repro.obs.tracer import DecisionTracer
 
 __all__ = [
@@ -48,10 +55,6 @@ __all__ = [
     "TracePhase",
     "SchedulerProtocolError",
 ]
-
-
-class SchedulerProtocolError(RuntimeError):
-    """A scheduler returned an invalid decision (gang/capacity violation)."""
 
 
 @dataclass
@@ -98,6 +101,8 @@ class SchedulerPhase:
         round_length: float,
         checkpoint: CheckpointModel,
         on_place: Optional[Callable[[JobRuntime, float], None]] = None,
+        validator: Optional[DecisionValidator] = None,
+        fault_phase: Optional["FaultPhase"] = None,
     ):
         self.scheduler = scheduler
         self.cluster = cluster
@@ -107,6 +112,17 @@ class SchedulerPhase:
         self.on_place = on_place
         """Called for every (re)placed gang — the engine hooks straggler
         fault scheduling here without the phase knowing about faults."""
+        self.validator = validator if validator is not None else DecisionValidator()
+        """Strict by default (malformed decisions raise, the historical
+        contract); the engine switches to ``repair`` mode when fault
+        injection is attached."""
+        self.fault_phase = fault_phase
+        """Source of the live failed-capacity mask handed to every
+        :class:`SchedulerContext` (None without fault injection)."""
+        nominal_state = cluster.fresh_state()
+        self._nominal = {
+            slot: nominal_state.capacity(*slot) for slot in nominal_state.slots
+        }
         self.decision_seconds: list[float] = []
         self.hotpath_stats: dict[str, int] = {}
         self.capture_changes = False
@@ -153,6 +169,11 @@ class SchedulerPhase:
             round_length=self.round_length,
             waiting=waiting,
             running=running,
+            failed=(
+                dict(self.fault_phase.failed)
+                if self.fault_phase is not None
+                else {}
+            ),
         )
         t0 = _time.perf_counter()
         target = dict(self.scheduler.schedule(ctx))
@@ -167,39 +188,27 @@ class SchedulerPhase:
             for counter, value in round_stats.items():
                 stats[counter] = stats.get(counter, 0) + value
 
-        self.validate(target, runtimes)
+        # Reject-and-repair (or raise, in strict mode) against a probe at
+        # *surviving* capacity — same mask the scheduler planned with.
+        target = self.validator.check(
+            target, runtimes, ctx.fresh_state(), nominal=self._nominal
+        )
         changed = self.apply(target, ledger, kernel, state, now, timings)
         return changed
+
+    @property
+    def last_rejections(self):
+        """Typed ``DecisionRejected`` outcomes of the latest invocation."""
+        return self.validator.last_rejections
 
     def validate(
         self, target: Mapping[int, Allocation], runtimes: Mapping[int, JobRuntime]
     ) -> None:
-        for job_id, alloc in target.items():
-            if job_id not in runtimes:
-                raise SchedulerProtocolError(f"unknown job id {job_id} in decision")
-            rt = runtimes[job_id]
-            if rt.state is JobState.COMPLETE and alloc:
-                raise SchedulerProtocolError(
-                    f"scheduler allocated completed job {job_id}"
-                )
-            if rt.state is JobState.PENDING and alloc:
-                raise SchedulerProtocolError(
-                    f"scheduler allocated job {job_id} before its arrival"
-                )
-            try:
-                validate_gang(rt.job, alloc)
-            except ValueError as exc:
-                raise SchedulerProtocolError(str(exc)) from exc
-        # Joint capacity check on a fresh state.
-        probe = self.cluster.fresh_state()
-        for job_id, alloc in target.items():
-            if not alloc:
-                continue
-            if not probe.can_fit(alloc):
-                raise SchedulerProtocolError(
-                    f"decision overcommits capacity at job {job_id}: {alloc}"
-                )
-            probe.allocate(alloc)
+        """Strict one-shot validation (kept for direct/test use; the
+        invoke path goes through :attr:`validator` instead)."""
+        DecisionValidator("strict").check(
+            target, runtimes, self.cluster.fresh_state(), nominal=self._nominal
+        )
 
     def apply(
         self,
@@ -266,6 +275,9 @@ class SchedulerPhase:
                 rt.state = JobState.QUEUED
                 rt.rate = 0.0
                 rt.preemptions += 1
+            # A scheduler-driven change is graceful: state is saved before
+            # the gang moves or pauses, unlike a crash (see FaultPhase).
+            rt.checkpoint_iterations = rt.iterations_done
             rt.generation += 1
             rt.record_placement(now, rt.allocation)
             ledger.mark_dirty(rt)
@@ -278,6 +290,9 @@ class SchedulerPhase:
                 rt.overhead_seconds += steady
                 rt.generation += 1
                 ledger.mark_dirty(rt)
+            # The periodic save itself: a crash later in the round rolls
+            # back only to this boundary's progress.
+            rt.checkpoint_iterations = rt.iterations_done
             self.bookkeep_round(rt)
         for rt, new in changed_jobs:
             if new:
@@ -383,6 +398,13 @@ class TracePhase:
         assert self.tracer is not None
         from repro.obs.tracer import placements_list
 
+        for rejection in scheduler_phase.last_rejections:
+            self.tracer.emit({
+                "kind": "decision_rejected",
+                "round": round_index,
+                "t": now,
+                **rejection.as_record(),
+            })
         queued, running = scheduler_phase.last_queue_depth
         record: dict = {
             "kind": "round",
@@ -488,6 +510,7 @@ class SanitizerPhase:
         runtimes: Mapping[int, JobRuntime],
         state: "ClusterState",
         scheduler: Scheduler,
+        failed: Optional[Mapping[tuple[int, str], int]] = None,
     ) -> None:
         if self.sanitizer is None:
             return
@@ -497,4 +520,5 @@ class SanitizerPhase:
             runtimes=runtimes,
             state=state,
             scheduler=scheduler,
+            failed=failed,
         )

@@ -59,6 +59,20 @@ class JobRuntime:
     the job resets it (fresh workers)."""
     straggler_events: int = 0
     """Straggler onsets this job has suffered (failure-injection metric)."""
+    checkpoint_iterations: float = 0.0
+    """Iterations captured by the last checkpoint save.  Saves happen at
+    placement and at every round boundary the job survives (the periodic
+    save whose cost is ``CheckpointModel.steady_state_overhead``); a
+    device failure rolls ``iterations_done`` back to this value."""
+    failures: int = 0
+    """Device/node failures that hit this job's gang (fault injection)."""
+    rollbacks: int = 0
+    """Crash-restart rollbacks to the last checkpoint this job suffered."""
+    rollback_seconds: float = 0.0
+    """Simulated work-seconds lost to rollbacks (progress since the last
+    checkpoint save, re-done after each crash restart)."""
+    rollback_iterations: float = 0.0
+    """Iterations discarded across all rollbacks."""
     resume_time: float = 0.0
     """Time until which the job is paused for checkpoint/restart overhead."""
     last_integrated: float = 0.0

@@ -11,20 +11,61 @@ decision.  The engine's event sequence is deterministic for a fixed
 (cluster, trace, scheduler contract), so replays line up exactly; a
 replay that runs out of recorded decisions keeps everything unchanged
 (and reports it via :attr:`ReplayScheduler.exhausted`).
+
+A replay against a *different* world — another trace, another cluster, or
+a fault-injected run whose capacity no longer fits the recorded gangs —
+is a **divergence**.  By default (``strict=True``) the replay fails
+loudly with a typed :class:`ReplayDiverged` carrying the invocation
+index, job and reason; under ``strict=False`` the offending entries are
+skipped instead and every skip is reported in
+:attr:`ReplayScheduler.divergences`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.cluster.allocation import Allocation
 from repro.sim.interface import Scheduler, SchedulerContext
 
-__all__ = ["RecordingScheduler", "ReplayScheduler", "save_decisions", "load_decisions"]
+__all__ = [
+    "RecordingScheduler",
+    "ReplayScheduler",
+    "ReplayDiverged",
+    "save_decisions",
+    "load_decisions",
+]
 
 Decision = dict[int, Allocation]
+
+
+class ReplayDiverged(RuntimeError):
+    """A recorded decision no longer matches the world it replays into.
+
+    Attributes carry the structured context: ``invocation`` (0-based
+    replay index), ``job_id`` (``None`` for stream-level divergences),
+    and ``reason`` (``"unknown_job"``, ``"unknown_slot"``, or
+    ``"capacity"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invocation: int,
+        job_id: Optional[int] = None,
+        reason: str = "unknown_job",
+    ):
+        super().__init__(
+            f"replay diverged at invocation {invocation}"
+            + (f", job {job_id}" if job_id is not None else "")
+            + f": {message}"
+        )
+        self.invocation = invocation
+        self.job_id = job_id
+        self.reason = reason
 
 
 class RecordingScheduler(Scheduler):
@@ -69,12 +110,20 @@ class ReplayScheduler(Scheduler):
         *,
         round_based: bool = True,
         reacts_to_events: bool = False,
+        strict: bool = True,
     ):
         self._decisions = [dict(d) for d in decisions]
         self._cursor = 0
         self.exhausted = False
         self.round_based = round_based
         self.reacts_to_events = reacts_to_events
+        self.strict = strict
+        """Raise :class:`ReplayDiverged` on the first mismatch; with
+        ``False``, skip the offending entries and report them in
+        :attr:`divergences` instead."""
+        self.divergences: list[dict] = []
+        """One report per skipped entry (``strict=False``):
+        ``{invocation, job_id, reason, detail}``."""
 
     @property
     def name(self) -> str:
@@ -83,20 +132,68 @@ class ReplayScheduler(Scheduler):
     def reset(self) -> None:
         self._cursor = 0
         self.exhausted = False
+        self.divergences.clear()
+
+    def _diverge(
+        self, invocation: int, job_id: Optional[int], reason: str, detail: str
+    ) -> None:
+        if self.strict:
+            raise ReplayDiverged(
+                detail, invocation=invocation, job_id=job_id, reason=reason
+            )
+        self.divergences.append(
+            {
+                "invocation": invocation,
+                "job_id": job_id,
+                "reason": reason,
+                "detail": detail,
+            }
+        )
 
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         if self._cursor >= len(self._decisions):
             self.exhausted = True
             # Keep the world as it is: re-assert current placements.
             return {rt.job_id: rt.allocation for rt in ctx.running}
+        invocation = self._cursor
         decision = self._decisions[self._cursor]
         self._cursor += 1
-        # Drop entries for jobs that no longer exist in this run's context
-        # (defensive: replaying against a different trace is user error,
-        # but the engine's validation gives clearer failures than a crash
-        # here would).
         active_ids = {rt.job_id for rt in ctx.active}
-        return {j: a for j, a in decision.items() if j in active_ids}
+        probe = ctx.fresh_state()
+        known_slots = set(probe.slots)
+        target: Decision = {}
+        for job_id, alloc in decision.items():
+            if job_id not in active_ids:
+                self._diverge(
+                    invocation,
+                    job_id,
+                    "unknown_job",
+                    f"recorded decision names job {job_id}, absent from "
+                    "this run's context",
+                )
+                continue
+            if alloc and any(s not in known_slots for s in alloc.placements):
+                self._diverge(
+                    invocation,
+                    job_id,
+                    "unknown_slot",
+                    f"recorded gang {alloc} references a slot this "
+                    "cluster does not have",
+                )
+                continue
+            if alloc and not probe.can_fit(alloc):
+                self._diverge(
+                    invocation,
+                    job_id,
+                    "capacity",
+                    f"recorded gang {alloc} no longer fits the replay "
+                    "cluster's free capacity",
+                )
+                continue
+            if alloc:
+                probe.allocate(alloc)
+            target[job_id] = alloc
+        return target
 
 
 # ------------------------------------------------------------------- disk --

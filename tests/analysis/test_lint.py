@@ -17,6 +17,7 @@ from repro.analysis.lint import (
     SilentExceptionRule,
     UnorderedFloatSumRule,
     UnorderedIterationRule,
+    UnseededRNGRule,
     apply_fixes,
     lint_paths,
     lint_source,
@@ -440,6 +441,45 @@ class TestDriver:
             main([str(tmp_path / "no_such_dir")])
 
 
+class TestUnseededRNG:
+    """REP008: unseeded generator construction outside REP002's scope."""
+
+    WORKLOAD = "src/repro/workload/fake.py"
+
+    def test_unseeded_default_rng_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(lint_source(src, self.WORKLOAD)) == ["REP008"]
+
+    def test_explicit_none_seed_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng(None)\n"
+        assert rules_of(lint_source(src, self.WORKLOAD)) == ["REP008"]
+
+    def test_stdlib_random_flagged(self):
+        src = "import random\nrng = random.Random()\n"
+        assert rules_of(lint_source(src, self.WORKLOAD)) == ["REP008"]
+
+    def test_seeded_construction_allowed(self):
+        src = (
+            "import random\n"
+            "import numpy as np\n"
+            "a = np.random.default_rng(7)\n"
+            "b = np.random.default_rng([seed, node_id])\n"
+            "c = np.random.default_rng(seed=cfg.seed)\n"
+            "d = random.Random(3)\n"
+        )
+        assert lint_source(src, self.WORKLOAD) == []
+
+    def test_deterministic_paths_left_to_rep002(self):
+        # Inside REP002's scope the same call is its finding, not REP008's.
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(lint_source(src, CORE)) == ["REP002"]
+        assert rules_of(lint_source(src, "src/repro/faults/fake.py")) == ["REP002"]
+
+    def test_out_of_library_not_flagged(self):
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert lint_source(src, "tests/fake.py") == []
+
+
 class TestShippedTreeIsClean:
     """The permanent gate: the linter must pass over the shipped sources —
     the library, the benchmark drivers, and the runnable examples (the CI
@@ -463,5 +503,6 @@ class TestShippedTreeIsClean:
             SilentExceptionRule,
             UnorderedFloatSumRule,
             PrintInLibraryRule,
+            UnseededRNGRule,
         ):
             assert cls.__doc__

@@ -1,0 +1,59 @@
+"""The degradation-curve sweep: tiny-scale end-to-end run and rendering."""
+
+import pytest
+
+from repro.experiments.resilience import (
+    ResilienceConfig,
+    ResiliencePoint,
+    render_degradation,
+    run_resilience,
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_resilience(ResilienceConfig(
+        node_mtbf_hours=(0.0, 8.0),
+        schedulers=("hadar", "tiresias"),
+        num_jobs=8,
+        mttr_s=300.0,
+    ))
+
+
+class TestSweep:
+    def test_grid_order_and_size(self, points):
+        assert [(p.node_mtbf_h, p.scheduler) for p in points] == [
+            (0.0, "hadar"), (0.0, "tiresias"), (8.0, "hadar"), (8.0, "tiresias"),
+        ]
+
+    def test_baseline_point_has_no_faults(self, points):
+        for p in points:
+            if p.node_mtbf_h <= 0:
+                assert p.faults == 0 and p.rollbacks == 0 and p.rejections == 0
+
+    def test_every_point_completes_the_workload(self, points):
+        assert all(p.completed == p.num_jobs for p in points)
+
+    def test_faulty_points_record_faults(self, points):
+        assert all(p.faults > 0 for p in points if p.node_mtbf_h > 0)
+
+    def test_as_dict_roundtrips_fields(self, points):
+        d = points[0].as_dict()
+        assert d["scheduler"] == "hadar"
+        assert set(d) == {f for f in ResiliencePoint.__slots__}
+
+    def test_render_includes_degradation_factor(self, points):
+        table = render_degradation(points)
+        assert "x_base" in table
+        assert "off" in table  # the faults-off baseline rows
+        assert len(table.splitlines()) == 2 + len(points)
+
+
+class TestConfigValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ResilienceConfig(node_mtbf_hours=())
+
+    def test_negative_mtbf_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ResilienceConfig(node_mtbf_hours=(-1.0,))

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.obs import SKIP_REASONS, SchemaError, validate_record, validate_trace
-from repro.obs.schema import TRACE_SCHEMA_VERSION
+from repro.obs.schema import REJECT_REASONS, TRACE_SCHEMA_VERSION
 
 
 def meta(scheduler="hadar", **extra):
@@ -154,3 +154,71 @@ class TestStreamRules:
             [meta("gavel"), round_record(jobs=[job]), summary()]
         )]
         assert kinds == ["meta", "round", "summary"]
+
+
+def fault_record(kind="gpu_failed", **extra):
+    base = {
+        "gpu_failed": {
+            "t": 100.0, "fault_id": 0, "node": 3, "scope": "node",
+            "permanent": False, "slots": [[3, "V100", 4]], "preempted": [7],
+        },
+        "gpu_recovered": {
+            "t": 700.0, "fault_id": 0, "node": 3, "slots": [[3, "V100", 4]],
+        },
+        "job_rollback": {
+            "t": 100.0, "job_id": 7, "fault_id": 0,
+            "lost_iterations": 120.0, "lost_seconds": 12.0,
+        },
+        "decision_rejected": {
+            "round": 4, "t": 1440.0, "job_id": 9, "reason": "failed_gpu",
+            "repaired": True, "detail": "gang no longer fits",
+        },
+    }[kind]
+    return {"schema": TRACE_SCHEMA_VERSION, "kind": kind, **base, **extra}
+
+
+class TestFaultRecords:
+    """The four additive fault-subsystem kinds (docs/robustness.md)."""
+
+    @pytest.mark.parametrize(
+        "kind", ["gpu_failed", "gpu_recovered", "job_rollback", "decision_rejected"]
+    )
+    def test_well_formed_records_validate(self, kind):
+        validate_record(fault_record(kind))
+
+    def test_fault_records_allowed_mid_stream(self):
+        kinds = [k for _, k in validate_trace([
+            meta("gavel"), fault_record("gpu_failed"),
+            fault_record("job_rollback"), round_record(),
+            fault_record("gpu_recovered"), summary(),
+        ])]
+        assert kinds == [
+            "meta", "gpu_failed", "job_rollback", "round", "gpu_recovered",
+            "summary",
+        ]
+
+    def test_bad_scope_rejected(self):
+        with pytest.raises(SchemaError, match="scope"):
+            validate_record(fault_record("gpu_failed", scope="rack"))
+
+    def test_malformed_slots_rejected(self):
+        with pytest.raises(SchemaError, match="slots"):
+            validate_record(fault_record("gpu_recovered", slots=[[3, "V100"]]))
+
+    def test_negative_loss_rejected(self):
+        with pytest.raises(SchemaError, match="lost_iterations"):
+            validate_record(fault_record("job_rollback", lost_iterations=-1.0))
+
+    def test_unknown_reject_reason_rejected(self):
+        with pytest.raises(SchemaError, match="reason"):
+            validate_record(fault_record("decision_rejected", reason="cosmic_ray"))
+
+    @pytest.mark.parametrize("reason", REJECT_REASONS)
+    def test_every_reject_reason_accepted(self, reason):
+        validate_record(fault_record("decision_rejected", reason=reason))
+
+    def test_reject_reasons_mirror_stays_in_sync(self):
+        # schema stays dependency-free; the mirror is pinned here instead.
+        from repro.faults.validator import REJECT_REASONS as validator_reasons
+
+        assert REJECT_REASONS == validator_reasons
