@@ -1,0 +1,55 @@
+"""Whole-program dataflow analysis (tier 2 of ``repro.analysis``).
+
+Where :mod:`repro.analysis.lint` checks single lines, this package
+builds a project-wide symbol table and call graph and runs three
+interprocedural passes over extracted per-file facts:
+
+* :mod:`~repro.analysis.flow.taint` — REP009 determinism taint,
+* :mod:`~repro.analysis.flow.memo` — REP010 cache-key coherence,
+* :mod:`~repro.analysis.flow.purity` — REP011 phase purity.
+
+Entry points: :func:`analyze_paths` (library) and ``python -m
+repro.analysis flow`` (CLI, via :mod:`repro.analysis.__main__`).
+"""
+
+from repro.analysis.flow.baseline import (
+    filter_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.flow.cache import FactsCache
+from repro.analysis.flow.config import (
+    DEFAULT_CONFIG,
+    FlowConfig,
+    FunctionContract,
+    MemoSpec,
+    PhaseContract,
+)
+from repro.analysis.flow.memo import run_memo
+from repro.analysis.flow.project import ProjectIndex, extract_file_facts
+from repro.analysis.flow.purity import run_purity
+from repro.analysis.flow.runner import FLOW_RULES, FlowReport, analyze_paths
+from repro.analysis.flow.sarif import to_sarif, write_sarif
+from repro.analysis.flow.taint import run_taint
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "FLOW_RULES",
+    "FactsCache",
+    "FlowConfig",
+    "FlowReport",
+    "FunctionContract",
+    "MemoSpec",
+    "PhaseContract",
+    "ProjectIndex",
+    "analyze_paths",
+    "extract_file_facts",
+    "filter_baseline",
+    "load_baseline",
+    "run_memo",
+    "run_purity",
+    "run_taint",
+    "to_sarif",
+    "write_sarif",
+    "write_baseline",
+]

@@ -1,0 +1,79 @@
+"""Baseline (accepted-findings) mechanism shared by lint and flow.
+
+A baseline file is a JSON list of finding keys — ``rule``, ``path``,
+and a message prefix — that are accepted as known debt and filtered
+from gate output.  The repository policy for REP009–REP011 is a
+*permanently empty* baseline (real findings get fixed, sanctioned seams
+get inline ``# repro-lint: disable=`` comments with a justification);
+the mechanism exists so a future migration can stage large sweeps
+without turning the gate off, and so ``--write-baseline`` can snapshot
+the current state during such a migration.
+
+Baseline entries match on ``path`` + ``rule`` + message prefix rather
+than line numbers, so unrelated edits above a baselined finding don't
+resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.lint import Finding
+
+__all__ = ["filter_baseline", "load_baseline", "write_baseline"]
+
+
+def load_baseline(path: Union[str, Path, None]) -> list[dict]:
+    if path is None:
+        return []
+    p = Path(path)
+    if not p.exists():
+        return []
+    blob = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(blob, list):
+        raise ValueError(f"{path}: baseline must be a JSON list")
+    return blob
+
+
+def _matches(finding: Finding, entry: dict) -> bool:
+    return (
+        entry.get("rule") == finding.rule
+        and entry.get("path") == finding.path
+        and finding.message.startswith(entry.get("message_prefix", ""))
+    )
+
+
+def filter_baseline(
+    findings: Iterable[Finding], baseline: list[dict]
+) -> tuple[list[Finding], int]:
+    """(kept findings, number suppressed by the baseline)."""
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        if any(_matches(finding, entry) for entry in baseline):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def write_baseline(
+    findings: Iterable[Finding], path: Union[str, Path]
+) -> int:
+    entries = [
+        {
+            "rule": f.rule,
+            "path": f.path,
+            "message_prefix": f.message[:80],
+        }
+        for f in sorted(
+            findings, key=lambda f: (f.path, f.rule, f.message)
+        )
+    ]
+    Path(path).write_text(
+        json.dumps(entries, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return len(entries)

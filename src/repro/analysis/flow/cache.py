@@ -1,0 +1,85 @@
+"""Incremental analysis cache: per-file facts keyed by content hash.
+
+Extraction (AST walking, root collapse) dominates the analyzer's cost;
+the interprocedural fixpoints over extracted facts are cheap and always
+re-run.  The cache therefore stores one JSON blob per analyzed file —
+its :class:`~repro.analysis.flow.project.FileFacts` — keyed by the
+sha256 of the file's bytes, under a *fingerprint* combining the
+extraction abstraction version (:data:`FACTS_VERSION`) and the flow
+config digest.  Any mismatch invalidates the whole store, so a config
+or analyzer change can never serve stale facts.
+
+The store is a single JSON file (default ``.repro-flow-cache.json`` in
+the working directory, gitignored); CI keeps it between the cold and
+warm gate runs to assert the warm-path wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.flow.project import FACTS_VERSION, FileFacts
+
+__all__ = ["DEFAULT_CACHE_PATH", "FactsCache"]
+
+DEFAULT_CACHE_PATH = ".repro-flow-cache.json"
+
+
+class FactsCache:
+    def __init__(
+        self,
+        path: Union[str, Path, None] = DEFAULT_CACHE_PATH,
+        *,
+        config_digest: str = "",
+    ):
+        self.path = Path(path) if path is not None else None
+        self.fingerprint = f"facts-v{FACTS_VERSION}+cfg-{config_digest}"
+        self.hits = 0
+        self.misses = 0
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        if self.path is None or not self.path.exists():
+            return
+        try:
+            blob = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if blob.get("fingerprint") != self.fingerprint:
+            return
+        entries = blob.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, path: str, sha256: str) -> Optional[FileFacts]:
+        entry = self._entries.get(path)
+        if entry is None or entry.get("sha256") != sha256:
+            self.misses += 1
+            return None
+        try:
+            facts = FileFacts.from_dict(entry["facts"])
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts
+
+    def put(self, facts: FileFacts) -> None:
+        self._entries[facts.path] = {
+            "sha256": facts.sha256,
+            "facts": facts.to_dict(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        blob = {"fingerprint": self.fingerprint, "files": self._entries}
+        self.path.write_text(
+            json.dumps(blob, separators=(",", ":")), encoding="utf-8"
+        )
+        self._dirty = False

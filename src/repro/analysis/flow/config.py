@@ -1,0 +1,269 @@
+"""Flow-analysis policy: what the interprocedural passes enforce.
+
+Everything repo-specific lives here, declaratively — the pass engines
+in :mod:`~repro.analysis.flow.taint` / ``memo`` / ``purity`` are
+generic over a :class:`FlowConfig`.  :data:`DEFAULT_CONFIG` encodes the
+contracts this repository's reproducibility claims rest on:
+
+* **REP009 sinks** — scheduler decisions (every ``Scheduler.schedule``
+  implementation, the ``find_alloc`` family, ``ClusterState``
+  allocate/release arguments) admit *no* nondeterministic taint; trace
+  emission admits ``measurement`` (monotonic latencies are part of the
+  trace schema) but nothing else; regenerable report artifacts admit
+  nothing, measurement included — their bytes must be reproducible.
+* **REP010 memo specs** — one :class:`MemoSpec` per memo layer in
+  ``core/round_context.py`` / ``core/find_alloc.py``.  Every parameter
+  must be classified; ``guarded`` parameters carry the exact attribute
+  read set the memo key captures, and ``invariant`` parameters are
+  recorded human proof obligations (each ``note`` says why the key may
+  omit them).  A spec that matches no function is itself a finding, so
+  renames can't silently retire a contract.
+* **REP011 contracts** — observer phases/classes must have no write
+  effects on protected simulation state; mutator phases may reach it
+  only through their sanctioned seam methods.
+
+Specs are matched by trailing qualname components, so fixture packages
+under ``tests/analysis/flow/`` exercise the same default policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CallSink",
+    "DEFAULT_CONFIG",
+    "FlowConfig",
+    "FunctionContract",
+    "MemoSpec",
+    "PhaseContract",
+    "ReturnSink",
+    "TAINT_KINDS",
+]
+
+TAINT_KINDS = ("wallclock", "env", "rng", "measurement")
+ALL_KINDS = frozenset(TAINT_KINDS)
+
+
+@dataclass(frozen=True)
+class ReturnSink:
+    """A function whose *return value* is a determinism sink."""
+
+    suffix: str
+    forbids: tuple[str, ...]
+    desc: str
+
+
+@dataclass(frozen=True)
+class CallSink:
+    """A callee whose *arguments* are a determinism sink."""
+
+    suffix: str
+    forbids: tuple[str, ...]
+    desc: str
+
+
+@dataclass(frozen=True)
+class MemoSpec:
+    """Key-coherence contract for one memoized function.
+
+    ``key_params`` are captured by the memo key (reads unrestricted);
+    ``ignored_params`` are round-frozen machinery (the context/self);
+    ``guarded`` parameters are mutable state whose reads must stay
+    within the listed attribute/method names; ``invariant_params`` are
+    explicitly waived, with the justification carried in ``note``.
+    """
+
+    function: str
+    key_params: tuple[str, ...] = ()
+    ignored_params: tuple[str, ...] = ()
+    guarded: tuple[tuple[str, tuple[str, ...]], ...] = ()
+    invariant_params: tuple[str, ...] = ()
+    note: str = ""
+
+    def guarded_map(self) -> dict[str, tuple[str, ...]]:
+        return dict(self.guarded)
+
+
+@dataclass(frozen=True)
+class PhaseContract:
+    """Write-effect contract for one phase/observer class."""
+
+    cls: str
+    role: str  # "observer" | "mutator"
+    seams: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class FunctionContract:
+    """Named parameters of one function that must not be written."""
+
+    suffix: str
+    pure_params: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FlowConfig:
+    return_sinks: tuple[ReturnSink, ...] = ()
+    call_sinks: tuple[CallSink, ...] = ()
+    memo_specs: tuple[MemoSpec, ...] = ()
+    contracts: tuple[PhaseContract, ...] = ()
+    function_contracts: tuple[FunctionContract, ...] = ()
+    protected_types: tuple[str, ...] = ()
+
+    def digest(self) -> str:
+        """Stable hash folded into the incremental-cache fingerprint."""
+        blob = json.dumps(
+            {
+                "return_sinks": [vars(s) for s in self.return_sinks],
+                "call_sinks": [vars(s) for s in self.call_sinks],
+                "memo_specs": [
+                    {
+                        "function": m.function,
+                        "key": m.key_params,
+                        "ignored": m.ignored_params,
+                        "guarded": m.guarded,
+                        "invariant": m.invariant_params,
+                    }
+                    for m in self.memo_specs
+                ],
+                "contracts": [vars(c) for c in self.contracts],
+                "function_contracts": [
+                    vars(c) for c in self.function_contracts
+                ],
+                "protected": self.protected_types,
+            },
+            sort_keys=True,
+            # frozensets must serialize in a hash-seed-independent order
+            # or the digest (and the cache fingerprint) churns per run.
+            default=sorted,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+#: Reads of a mutable ``ClusterState`` that every find-alloc memo key
+#: captures: the free-capacity vector (``key``/``free``/``free_slots``)
+#: and its derived fit predicate.  Anything else read off the state by a
+#: memoized function is a cache-coherence bug.
+_STATE_KEY_READS = ("key", "free", "free_slots", "can_fit")
+
+DEFAULT_CONFIG = FlowConfig(
+    return_sinks=(
+        ReturnSink(
+            suffix=".schedule",
+            forbids=TAINT_KINDS,
+            desc="scheduler decision (Scheduler.schedule return)",
+        ),
+        ReturnSink(
+            suffix="find_alloc.find_alloc",
+            forbids=TAINT_KINDS,
+            desc="allocation decision (find_alloc return)",
+        ),
+        ReturnSink(
+            suffix="find_alloc.cached_find_alloc",
+            forbids=TAINT_KINDS,
+            desc="allocation decision (cached_find_alloc return)",
+        ),
+        ReturnSink(
+            suffix="reporting.generate_report",
+            forbids=TAINT_KINDS,
+            desc="reproducible artifact (generated EXPERIMENTS report)",
+        ),
+    ),
+    call_sinks=(
+        CallSink(
+            suffix="ClusterState.allocate",
+            forbids=TAINT_KINDS,
+            desc="simulation state mutation (ClusterState.allocate)",
+        ),
+        CallSink(
+            suffix="ClusterState.release",
+            forbids=TAINT_KINDS,
+            desc="simulation state mutation (ClusterState.release)",
+        ),
+        CallSink(
+            suffix="DecisionTracer.emit",
+            forbids=("wallclock", "env", "rng"),
+            desc="trace emission (DecisionTracer.emit)",
+        ),
+    ),
+    memo_specs=(
+        MemoSpec(
+            function="RoundContext.price",
+            key_params=("slot", "free"),
+            ignored_params=("self",),
+            note="Eq. (5) price is a pure function of (slot, free) given "
+            "the round-frozen PriceBook on self.",
+        ),
+        MemoSpec(
+            function="RoundContext.move_delay_for",
+            key_params=("rt",),
+            ignored_params=("self",),
+            invariant_params=("picks",),
+            note="find_alloc has always charged exactly one reallocation "
+            "delay per (job, round) regardless of the candidate picks; "
+            "the key omits picks by that documented contract (see the "
+            "move_delay_for docstring). The estimator may only read the "
+            "job, not the picks.",
+        ),
+        MemoSpec(
+            function="find_alloc.cached_find_alloc",
+            key_params=("rt", "state_key"),
+            ignored_params=("ctx",),
+            guarded=(("state", _STATE_KEY_READS),),
+            note="Result cache keyed (job_id, state.key()); the search "
+            "may read the state only through the free-capacity vector "
+            "the key captures.",
+        ),
+        MemoSpec(
+            function="find_alloc._search_cached",
+            key_params=("rt", "state_key"),
+            ignored_params=("ctx",),
+            guarded=(("state", _STATE_KEY_READS),),
+            note="Body of the (job_id, state.key()) result cache.",
+        ),
+        MemoSpec(
+            function="find_alloc._generate_candidates",
+            key_params=("w", "usable_desc", "state_key"),
+            ignored_params=("ctx",),
+            guarded=(("state", _STATE_KEY_READS),),
+            invariant_params=("model", "rate_of"),
+            note="Generation cache keyed (usable_desc, rate-rank "
+            "signature, W, state_key). model/rate_of influence the "
+            "result only through the captured usable order and rank "
+            "signature — the PR 3 equivalence argument in the "
+            "_generate_candidates docstring.",
+        ),
+    ),
+    contracts=(
+        PhaseContract(cls="TelemetryPhase", role="observer"),
+        PhaseContract(cls="SanitizerPhase", role="observer"),
+        PhaseContract(cls="TracePhase", role="observer"),
+        PhaseContract(cls="InvariantSanitizer", role="observer"),
+        PhaseContract(cls="DecisionTracer", role="observer"),
+        PhaseContract(
+            cls="SchedulerPhase",
+            role="mutator",
+            seams=("invoke", "apply", "bookkeep_round"),
+        ),
+        PhaseContract(cls="FaultPhase", role="mutator", seams=("apply",)),
+    ),
+    function_contracts=(
+        FunctionContract(
+            suffix="HadarScheduler._build_decision_trace",
+            pure_params=("state",),
+        ),
+        FunctionContract(
+            suffix="find_alloc.explain_alloc",
+            pure_params=("rt", "state"),
+        ),
+    ),
+    protected_types=(
+        "ClusterState",
+        "ProgressLedger",
+        "EventKernel",
+        "JobRuntime",
+    ),
+)

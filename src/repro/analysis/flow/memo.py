@@ -1,0 +1,191 @@
+"""REP010 — cache-key coherence for the round-context memo layers.
+
+For every :class:`~repro.analysis.flow.config.MemoSpec` the pass
+computes the memoized function's *transitive* attribute reads of each
+parameter (a fixpoint over the call graph, so a read three helpers deep
+still counts) and checks the spec's classification:
+
+* every parameter must be classified (key / ignored / guarded /
+  invariant) — an unclassified parameter is exactly the "memo key
+  forgot an input" bug class that PR 2/3's byte-parity relies on never
+  shipping;
+* a ``guarded`` parameter's reads must be a subset of the allowed
+  attribute/method names (for the find-alloc layers: the free-capacity
+  vector reads that ``state.key()`` captures);
+* a spec that matches no function, or names a parameter the function
+  does not have, is config drift and fires too.
+
+``invariant_params`` are recorded waivers — the spec's ``note`` carries
+the human proof of why the key may omit them, and the committed fixture
+suite demonstrates what fires when such a waiver is absent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.lint import Finding
+from repro.analysis.flow.config import FlowConfig, MemoSpec
+from repro.analysis.flow.project import FunctionFacts, ProjectIndex
+from repro.analysis.flow.resolve import Resolver, find_matching, short
+
+__all__ = ["run_memo"]
+
+RULE = "REP010"
+
+ReadWitness = tuple[str, int]  # (path, line)
+
+
+class _ReadsEngine:
+    """Transitive per-parameter attribute-read summaries."""
+
+    def __init__(self, index: ProjectIndex, resolver: Resolver):
+        self.index = index
+        self.resolver = resolver
+        self.reads: dict[str, dict[str, dict[str, ReadWitness]]] = {}
+
+    def solve(self) -> None:
+        functions = list(self.index.functions.values())
+        # Seed with direct reads.
+        for fn in functions:
+            facts_file = self.index.file_for(fn.qualname)
+            path = facts_file.path if facts_file else "<unknown>"
+            per_param: dict[str, dict[str, ReadWitness]] = {}
+            for read in fn.reads:
+                attr = read.attrs[0] if read.attrs else "<value>"
+                for root in read.roots:
+                    if root.startswith("p:"):
+                        per_param.setdefault(root[2:], {}).setdefault(
+                            attr, (path, read.line)
+                        )
+            self.reads[fn.qualname] = per_param
+        # Propagate through calls: a callee's reads of its parameter are
+        # reads of whatever the caller bound to it.
+        for _ in range(max(4, len(functions))):
+            changed = False
+            for fn in functions:
+                mine = self.reads[fn.qualname]
+                for call in fn.calls:
+                    for callee in self.resolver.callees(fn, call):
+                        callee_fn = self.index.functions.get(callee)
+                        if callee_fn is None:
+                            continue
+                        theirs = self.reads.get(callee, {})
+                        if not theirs:
+                            continue
+                        bound = self.resolver.bindings(call, callee_fn)
+                        for q, attrs in theirs.items():
+                            if q in ("self", "cls"):
+                                # A method's reads of its own attributes
+                                # surface at the call site as the method
+                                # -name chain read (state.key()), not as
+                                # reads of the receiver's privates.
+                                continue
+                            arg = bound.get(q)
+                            if arg is None:
+                                continue
+                            for root in arg.id_roots:
+                                if not root.startswith("p:"):
+                                    continue
+                                target = mine.setdefault(root[2:], {})
+                                for attr, witness in attrs.items():
+                                    if attr not in target:
+                                        target[attr] = witness
+                                        changed = True
+            if not changed:
+                return
+
+
+def _check_spec(
+    spec: MemoSpec,
+    fn: FunctionFacts,
+    reads: dict[str, dict[str, ReadWitness]],
+    index: ProjectIndex,
+) -> list[Finding]:
+    facts_file = index.file_for(fn.qualname)
+    path = facts_file.path if facts_file else "<unknown>"
+    out: list[Finding] = []
+
+    def report(line: int, message: str) -> None:
+        if facts_file is not None and facts_file.suppressed(line, RULE):
+            return
+        out.append(
+            Finding(path=path, line=line, col=0, rule=RULE, message=message)
+        )
+
+    guarded = spec.guarded_map()
+    classified = (
+        set(spec.key_params)
+        | set(spec.ignored_params)
+        | set(spec.invariant_params)
+        | set(guarded)
+    )
+    for named in sorted(classified):
+        if named not in fn.params:
+            report(
+                fn.line,
+                f"MemoSpec for {short(fn.qualname)} names parameter "
+                f"'{named}' which the function does not have "
+                "(spec drift after a rename?)",
+            )
+    for param in fn.params:
+        if param in classified:
+            continue
+        report(
+            fn.line,
+            f"memoized {short(fn.qualname)} has unclassified parameter "
+            f"'{param}': not part of the memo key, not declared "
+            "ignored/guarded/invariant — the cache can return stale "
+            "results when it varies",
+        )
+    fn_reads = reads.get(fn.qualname, {})
+    for param, allowed in sorted(guarded.items()):
+        for attr, (rpath, rline) in sorted(fn_reads.get(param, {}).items()):
+            if attr in allowed:
+                continue
+            report(
+                rline if rpath == path else fn.line,
+                f"memoized {short(fn.qualname)} reads '{param}.{attr}' "
+                f"(at {rpath}:{rline}) but the memo key only captures "
+                f"{', '.join(allowed)} — a state change invisible to the "
+                "key would be served stale",
+            )
+    return out
+
+
+def run_memo(
+    index: ProjectIndex,
+    config: FlowConfig,
+    resolver: Optional[Resolver] = None,
+) -> list[Finding]:
+    resolver = resolver or Resolver(index)
+    engine = _ReadsEngine(index, resolver)
+    engine.solve()
+    out: list[Finding] = []
+    for spec in config.memo_specs:
+        matches = find_matching(index, spec.function)
+        if not matches:
+            # Unless nothing matching the spec's *module* is in the
+            # analyzed set (partial analysis, e.g. fixture dirs), a spec
+            # with no target is drift.
+            module_hint = spec.function.split(".")[0]
+            if any(
+                module_hint in qual for qual in index.functions
+            ):
+                out.append(
+                    Finding(
+                        path="<config>",
+                        line=0,
+                        col=0,
+                        rule=RULE,
+                        message=(
+                            f"MemoSpec '{spec.function}' matches no "
+                            "analyzed function (renamed without updating "
+                            "the spec?)"
+                        ),
+                    )
+                )
+            continue
+        for fn in matches:
+            out.extend(_check_spec(spec, fn, engine.reads, index))
+    return sorted(out, key=lambda f: (f.path, f.line, f.message))

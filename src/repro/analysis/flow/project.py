@@ -1,0 +1,1345 @@
+"""Per-file fact extraction for the whole-program flow analyzer.
+
+This module turns one Python source file into a JSON-serializable
+:class:`FileFacts` bundle: for every function, the *roots* that each
+expression can alias or contain, the calls it makes, the attribute
+chains it reads, the writes it performs, and the values it returns.
+The interprocedural passes (:mod:`repro.analysis.flow.taint`,
+:mod:`~repro.analysis.flow.memo`, :mod:`~repro.analysis.flow.purity`)
+never look at an AST — they solve fixpoints over these facts, which is
+what makes the incremental cache (:mod:`repro.analysis.flow.cache`)
+sound: facts depend only on the file's bytes and :data:`FACTS_VERSION`.
+
+Abstraction
+-----------
+Values are collapsed, flow-insensitively, onto sets of *roots*:
+
+``p:<name>``
+    a parameter of the enclosing function,
+``c:<index>``
+    the result of call site ``<index>`` within the function,
+``g:<dotted>``
+    a module-level / imported name,
+``s:<index>``
+    a recognized nondeterminism source (see :data:`TAINT_SOURCES`).
+
+Each expression carries two root sets.  *Identity* roots answer "which
+parameter's object graph does mutating this value touch?" — fresh
+containers (literals, ``dict(...)``, comprehensions, f-strings) have no
+identity roots, while iteration and accessor methods (``values``,
+``items``, ``get``, …) keep the container's, because the elements are
+shared.  *Data* roots answer "whose bytes influenced this value?" and
+are unioned through every operator and call.  The split is what lets
+``record = {...}; record["jobs"] = x`` stay invisible to the purity
+pass while ``for rt in runtimes.values(): rt.rate = 0`` is a write on
+``runtimes``.
+
+Known unsoundness (documented, deliberate): taint and effects are not
+tracked through the heap (a value stored on ``self`` in one method and
+read in another is two independent facts), nested ``def``/``lambda``
+bodies are opaque, and method calls that cannot be resolved to a
+project function are assumed effect-free unless the method name is a
+builtin mutator (``append``, ``update``, …).
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.flow.cache import FactsCache
+
+from repro.analysis.lint import (
+    _canonical,
+    _dotted_name,
+    _import_aliases,
+    _parse_suppressions,
+)
+
+__all__ = [
+    "FACTS_VERSION",
+    "ArgInfo",
+    "CallFact",
+    "ClassFacts",
+    "FileFacts",
+    "FunctionFacts",
+    "ProjectIndex",
+    "ReadFact",
+    "ReturnFact",
+    "SourceFact",
+    "WriteFact",
+    "extract_file_facts",
+    "module_name_for",
+]
+
+FACTS_VERSION = 1
+"""Bumped whenever the extraction abstraction changes; part of the
+cache fingerprint so stale per-file facts are never reused."""
+
+# --------------------------------------------------------------------------- #
+# Source / mutator tables (extraction-level: part of FACTS_VERSION)
+# --------------------------------------------------------------------------- #
+
+#: Canonical dotted call targets that *produce* nondeterministic values,
+#: mapped to a taint kind.  ``measurement`` is split from ``wallclock``
+#: because monotonic timers are sanctioned in trace latency fields but
+#: not in decisions or reproducible artifacts.
+TAINT_SOURCES: dict[tuple[str, ...], str] = {
+    ("time", "time"): "wallclock",
+    ("time", "time_ns"): "wallclock",
+    ("datetime", "datetime", "now"): "wallclock",
+    ("datetime", "datetime", "utcnow"): "wallclock",
+    ("datetime", "datetime", "today"): "wallclock",
+    ("datetime", "date", "today"): "wallclock",
+    ("time", "monotonic"): "measurement",
+    ("time", "monotonic_ns"): "measurement",
+    ("time", "perf_counter"): "measurement",
+    ("time", "perf_counter_ns"): "measurement",
+    ("time", "process_time"): "measurement",
+    ("time", "process_time_ns"): "measurement",
+    ("os", "getenv"): "env",
+    ("os", "environ"): "env",
+    ("platform", "node"): "env",
+    ("socket", "gethostname"): "env",
+    ("os", "urandom"): "rng",
+    ("uuid", "uuid1"): "rng",
+    ("uuid", "uuid4"): "rng",
+}
+
+#: Dotted prefixes whose every call yields ``rng`` taint (module-level
+#: RNG state: ``random.random()``, legacy ``numpy.random.rand()``, any
+#: ``secrets`` helper).
+RNG_PREFIXES: tuple[tuple[str, ...], ...] = (
+    ("random",),
+    ("numpy", "random"),
+    ("secrets",),
+)
+
+#: RNG constructors that are sources only when called with no seed.
+UNSEEDED_CTORS: frozenset[tuple[str, ...]] = frozenset(
+    {("numpy", "random", "default_rng"), ("random", "Random")}
+)
+
+#: Method names that mutate their builtin receiver in place.
+MUTATOR_METHODS: frozenset[str] = frozenset(
+    {
+        "append", "extend", "insert", "add", "discard", "remove",
+        "pop", "popitem", "clear", "update", "setdefault",
+        "sort", "reverse", "appendleft", "popleft", "__setitem__",
+    }
+)
+
+#: Accessor methods whose result shares structure with the receiver —
+#: mutating (or iterating) the result reaches the receiver's elements.
+ACCESSOR_METHODS: frozenset[str] = frozenset(
+    {"values", "items", "keys", "get", "setdefault", "most_common"}
+)
+
+#: Builtins whose result aliases its arguments' objects (a sorted list
+#: holds the same elements), so identity flows through them — but a
+#: fresh result of an ordinary call does *not* pick up its receiver's
+#: identity, which keeps locals derived from ``state.free_slots()``
+#: from being mistaken for the state itself.
+CONTAINER_TRANSPARENT: frozenset[str] = frozenset(
+    {
+        "sorted", "list", "tuple", "set", "frozenset", "dict",
+        "reversed", "enumerate", "zip", "filter", "iter", "next",
+        "min", "max",
+    }
+)
+
+
+# --------------------------------------------------------------------------- #
+# Fact records
+# --------------------------------------------------------------------------- #
+
+Root = str
+
+
+@dataclass(frozen=True)
+class ArgInfo:
+    """Root sets of one call argument."""
+
+    id_roots: tuple[Root, ...]
+    data_roots: tuple[Root, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"id": list(self.id_roots), "data": list(self.data_roots)}
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "ArgInfo":
+        return ArgInfo(tuple(d["id"]), tuple(d["data"]))
+
+
+@dataclass(frozen=True)
+class SourceFact:
+    """One recognized nondeterminism source expression."""
+
+    index: int
+    kind: str
+    desc: str
+    line: int
+
+
+@dataclass(frozen=True)
+class CallFact:
+    """One call site.
+
+    ``func`` is the canonical dotted target for plain calls (``None``
+    for method calls on local values); method calls carry the receiver's
+    identity roots, the attribute chain between the base and the method,
+    and the method name.
+    """
+
+    index: int
+    line: int
+    func: Optional[tuple[str, ...]]
+    recv_roots: tuple[Root, ...]
+    recv_attrs: tuple[str, ...]
+    method: Optional[str]
+    args: tuple[ArgInfo, ...]
+    kwargs: tuple[tuple[str, ArgInfo], ...]
+
+
+@dataclass(frozen=True)
+class ReadFact:
+    """An attribute/method chain read rooted at ``roots``."""
+
+    roots: tuple[Root, ...]
+    attrs: tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class WriteFact:
+    """A write (assignment, del, or mutator-method call) through a chain."""
+
+    roots: tuple[Root, ...]
+    attrs: tuple[str, ...]
+    line: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class ReturnFact:
+    id_roots: tuple[Root, ...]
+    data_roots: tuple[Root, ...]
+    line: int
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the interprocedural passes know about one function."""
+
+    qualname: str
+    module: str
+    name: str
+    cls: Optional[str]
+    line: int
+    params: tuple[str, ...]
+    param_annotations: dict[str, tuple[str, ...]]
+    return_annotation: tuple[str, ...]
+    sources: list[SourceFact] = field(default_factory=list)
+    calls: list[CallFact] = field(default_factory=list)
+    reads: list[ReadFact] = field(default_factory=list)
+    writes: list[WriteFact] = field(default_factory=list)
+    returns: list[ReturnFact] = field(default_factory=list)
+    local_types: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "module": self.module,
+            "name": self.name,
+            "cls": self.cls,
+            "line": self.line,
+            "params": list(self.params),
+            "param_annotations": {
+                k: list(v) for k, v in self.param_annotations.items()
+            },
+            "return_annotation": list(self.return_annotation),
+            "sources": [
+                [s.index, s.kind, s.desc, s.line] for s in self.sources
+            ],
+            "calls": [
+                {
+                    "i": c.index,
+                    "line": c.line,
+                    "func": list(c.func) if c.func else None,
+                    "recv": list(c.recv_roots),
+                    "attrs": list(c.recv_attrs),
+                    "method": c.method,
+                    "args": [a.to_dict() for a in c.args],
+                    "kwargs": [[k, a.to_dict()] for k, a in c.kwargs],
+                }
+                for c in self.calls
+            ],
+            "reads": [
+                [list(r.roots), list(r.attrs), r.line] for r in self.reads
+            ],
+            "writes": [
+                [list(w.roots), list(w.attrs), w.line, w.reason]
+                for w in self.writes
+            ],
+            "returns": [
+                [list(r.id_roots), list(r.data_roots), r.line]
+                for r in self.returns
+            ],
+            "local_types": {k: list(v) for k, v in self.local_types.items()},
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "FunctionFacts":
+        return FunctionFacts(
+            qualname=d["qualname"],
+            module=d["module"],
+            name=d["name"],
+            cls=d["cls"],
+            line=d["line"],
+            params=tuple(d["params"]),
+            param_annotations={
+                k: tuple(v) for k, v in d["param_annotations"].items()
+            },
+            return_annotation=tuple(d["return_annotation"]),
+            sources=[SourceFact(*row) for row in d["sources"]],
+            calls=[
+                CallFact(
+                    index=c["i"],
+                    line=c["line"],
+                    func=tuple(c["func"]) if c["func"] else None,
+                    recv_roots=tuple(c["recv"]),
+                    recv_attrs=tuple(c["attrs"]),
+                    method=c["method"],
+                    args=tuple(ArgInfo.from_dict(a) for a in c["args"]),
+                    kwargs=tuple(
+                        (k, ArgInfo.from_dict(a)) for k, a in c["kwargs"]
+                    ),
+                )
+                for c in d["calls"]
+            ],
+            reads=[
+                ReadFact(tuple(r[0]), tuple(r[1]), r[2]) for r in d["reads"]
+            ],
+            writes=[
+                WriteFact(tuple(w[0]), tuple(w[1]), w[2], w[3])
+                for w in d["writes"]
+            ],
+            returns=[
+                ReturnFact(tuple(r[0]), tuple(r[1]), r[2])
+                for r in d["returns"]
+            ],
+            local_types={k: tuple(v) for k, v in d["local_types"].items()},
+        )
+
+
+@dataclass
+class ClassFacts:
+    """Class shape: bases, methods, and inferred ``self.<attr>`` types."""
+
+    qualname: str
+    module: str
+    name: str
+    line: int
+    bases: tuple[tuple[str, ...], ...]
+    methods: tuple[str, ...]
+    attr_types: dict[str, tuple[str, ...]]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "module": self.module,
+            "name": self.name,
+            "line": self.line,
+            "bases": [list(b) for b in self.bases],
+            "methods": list(self.methods),
+            "attr_types": {k: list(v) for k, v in self.attr_types.items()},
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "ClassFacts":
+        return ClassFacts(
+            qualname=d["qualname"],
+            module=d["module"],
+            name=d["name"],
+            line=d["line"],
+            bases=tuple(tuple(b) for b in d["bases"]),
+            methods=tuple(d["methods"]),
+            attr_types={k: tuple(v) for k, v in d["attr_types"].items()},
+        )
+
+
+@dataclass
+class FileFacts:
+    """All facts for one source file, plus its suppression map."""
+
+    path: str
+    module: str
+    sha256: str
+    functions: dict[str, FunctionFacts]
+    classes: dict[str, ClassFacts]
+    suppressions: dict[int, tuple[str, ...]]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "module": self.module,
+            "sha256": self.sha256,
+            "functions": {
+                k: f.to_dict() for k, f in self.functions.items()
+            },
+            "classes": {k: c.to_dict() for k, c in self.classes.items()},
+            "suppressions": {
+                str(k): list(v) for k, v in self.suppressions.items()
+            },
+        }
+
+    @staticmethod
+    def from_dict(d: dict[str, Any]) -> "FileFacts":
+        return FileFacts(
+            path=d["path"],
+            module=d["module"],
+            sha256=d["sha256"],
+            functions={
+                k: FunctionFacts.from_dict(f)
+                for k, f in d["functions"].items()
+            },
+            classes={
+                k: ClassFacts.from_dict(c) for k, c in d["classes"].items()
+            },
+            suppressions={
+                int(k): tuple(v) for k, v in d["suppressions"].items()
+            },
+        )
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        waived = self.suppressions.get(line, ())
+        return rule in waived or "all" in waived
+
+
+# --------------------------------------------------------------------------- #
+# Module / annotation helpers
+# --------------------------------------------------------------------------- #
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, rooted after any ``src`` segment."""
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        # Keep at most the trailing path components that are identifiers,
+        # so out-of-tree fixture dirs still get stable dotted names.
+        parts = [p for p in parts if p not in ("/", "")]
+        while parts and not parts[0].isidentifier():
+            parts.pop(0)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts) or path.stem
+
+
+def _annotation_names(node: Optional[ast.AST]) -> tuple[str, ...]:
+    """All identifiers mentioned in an annotation (string forms included)."""
+    if node is None:
+        return ()
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return ()
+    names: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+        elif isinstance(sub, ast.Constant) and isinstance(sub.value, str):
+            try:
+                inner = ast.parse(sub.value, mode="eval").body
+            except SyntaxError:
+                continue
+            names.extend(_annotation_names(inner))
+    return tuple(dict.fromkeys(names))
+
+
+def _all_params(node: ast.AST) -> list[ast.arg]:
+    a = node.args
+    return [*a.posonlyargs, *a.args, *a.kwonlyargs] + (
+        [a.vararg] if a.vararg else []
+    ) + ([a.kwarg] if a.kwarg else [])
+
+
+@dataclass(frozen=True)
+class _Info:
+    """Root sets of one evaluated expression."""
+
+    id_roots: frozenset[Root]
+    data_roots: frozenset[Root]
+
+
+_EMPTY = _Info(frozenset(), frozenset())
+
+
+def _merge(infos: Iterable[_Info]) -> _Info:
+    ids: set[Root] = set()
+    data: set[Root] = set()
+    for info in infos:
+        ids |= info.id_roots
+        data |= info.data_roots
+    return _Info(frozenset(ids), frozenset(data))
+
+
+# --------------------------------------------------------------------------- #
+# Per-function extraction
+# --------------------------------------------------------------------------- #
+
+class _FunctionExtractor:
+    """Two-pass flow-insensitive extraction for one function body.
+
+    Pass A collects name-binding equations and solves the local root
+    environment to a fixpoint; pass B re-walks the body with the final
+    environment and emits source/call/read/write/return facts exactly
+    once each.
+    """
+
+    def __init__(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        *,
+        module: str,
+        qualname: str,
+        cls: Optional[str],
+        aliases: dict[str, tuple[str, ...]],
+        project_classes: frozenset[str],
+    ):
+        self.node = node
+        self.aliases = aliases
+        self.project_classes = project_classes
+        params = tuple(a.arg for a in _all_params(node))
+        self.facts = FunctionFacts(
+            qualname=qualname,
+            module=module,
+            name=node.name,
+            cls=cls,
+            line=node.lineno,
+            params=params,
+            param_annotations={
+                a.arg: _annotation_names(a.annotation)
+                for a in _all_params(node)
+                if a.annotation is not None
+            },
+            return_annotation=_annotation_names(node.returns),
+        )
+        self.env: dict[str, _Info] = {
+            p: _Info(frozenset({f"p:{p}"}), frozenset({f"p:{p}"}))
+            for p in params
+        }
+        self.local_types: dict[str, set[str]] = {
+            p: {
+                n
+                for n in self.facts.param_annotations.get(p, ())
+                if n in project_classes
+            }
+            for p in params
+        }
+        self._bindings: list[tuple[str, ast.AST, str]] = []
+        self._call_ids: dict[int, int] = {}
+        self._call_counter = 0
+        self._source_ids: dict[int, SourceFact] = {}
+        self._emitted_sources: set[int] = set()
+        self._emitting = False
+        self._reads_seen: set[ReadFact] = set()
+        self._writes_seen: set[WriteFact] = set()
+
+    # -- driver ---------------------------------------------------------------
+    def run(self) -> FunctionFacts:
+        body = self.node.body
+        self._collect_bindings(body)
+        self._solve_env()
+        self._emitting = True
+        for stmt in body:
+            self._emit_stmt(stmt)
+        self.facts.local_types = {
+            k: tuple(sorted(v)) for k, v in self.local_types.items() if v
+        }
+        return self.facts
+
+    # -- pass A: bindings -----------------------------------------------------
+    def _collect_bindings(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            for node in self._walk_stmt(stmt):
+                if isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        self._bind_target(target, node.value)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    self._bind_target(node.target, node.value)
+                elif isinstance(node, ast.AugAssign):
+                    self._bind_target(node.target, node.value)
+                elif isinstance(node, ast.NamedExpr):
+                    self._bind_target(node.target, node.value)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    self._bind_target(node.target, node.iter, mode="iter")
+                elif isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        if item.optional_vars is not None:
+                            self._bind_target(
+                                item.optional_vars, item.context_expr
+                            )
+                elif isinstance(node, ast.comprehension):
+                    self._bind_target(node.target, node.iter, mode="iter")
+                elif isinstance(node, ast.Call):
+                    # x.append(v) / x.update(v): v flows into x's data.
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Attribute)
+                        and func.attr in MUTATOR_METHODS
+                    ):
+                        chain = _dotted_name(func.value)
+                        if chain is not None and len(chain) == 1:
+                            for arg in node.args:
+                                self._bindings.append(
+                                    (chain[0], arg, "data")
+                                )
+                            for kw in node.keywords:
+                                self._bindings.append(
+                                    (chain[0], kw.value, "data")
+                                )
+
+    def _walk_stmt(self, stmt: ast.stmt) -> Iterable[ast.AST]:
+        """Walk one statement, skipping nested function/class bodies."""
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+                ):
+                    continue
+                stack.append(child)
+
+    def _bind_target(
+        self, target: ast.AST, value: ast.AST, mode: str = "value"
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._bindings.append((target.id, value, mode))
+            self.env.setdefault(target.id, _EMPTY)
+            self.local_types.setdefault(target.id, set())
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                # Tuple unpack: each element shares the container's
+                # structure, same as iteration.
+                self._bind_target(inner, value, mode="iter")
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value, mode)
+        # Attribute / Subscript targets become WriteFacts in pass B.
+
+    def _solve_env(self) -> None:
+        for _ in range(64):
+            changed = False
+            for name, value, mode in self._bindings:
+                if mode == "data" and name not in self.env:
+                    continue  # mutator call on a global: heap, skipped
+                info = self._eval(value)
+                if mode == "iter":
+                    # Elements alias what the container *is*, not every
+                    # value that influenced it.
+                    info = _Info(
+                        info.id_roots, info.id_roots | info.data_roots
+                    )
+                elif mode == "data":
+                    # Mutator-method argument (x.append(v)): v's bytes
+                    # and objects become reachable from x as data.
+                    info = _Info(
+                        frozenset(), info.id_roots | info.data_roots
+                    )
+                merged = _merge([self.env.get(name, _EMPTY), info])
+                if merged != self.env.get(name, _EMPTY):
+                    self.env[name] = merged
+                    changed = True
+                self._type_bind(name, value, mode)
+            if not changed:
+                return
+
+    def _type_bind(self, name: str, value: ast.AST, mode: str) -> None:
+        types = self.local_types.setdefault(name, set())
+        if isinstance(value, ast.Name):
+            types |= self.local_types.get(value.id, set())
+        elif isinstance(value, ast.Call):
+            dotted = _canonical(value.func, self.aliases)
+            if dotted and dotted[-1] in self.project_classes:
+                types.add(dotted[-1])
+        elif isinstance(value, ast.IfExp):
+            self._type_bind(name, value.body, mode)
+            self._type_bind(name, value.orelse, mode)
+        if mode == "iter":
+            # Element typing: a loop over ``runtimes`` (annotated
+            # ``Mapping[int, JobRuntime]``) types the loop var with every
+            # project class its annotation mentions.
+            chain = _dotted_name(value) or (
+                _dotted_name(value.func)
+                if isinstance(value, ast.Call)
+                else None
+            )
+            if chain:
+                base = chain[0]
+                ann = self.facts.param_annotations.get(base, ())
+                types |= {n for n in ann if n in self.project_classes}
+
+    # -- expression evaluation ------------------------------------------------
+    def _call_index(self, node: ast.Call) -> int:
+        key = id(node)
+        if key not in self._call_ids:
+            self._call_ids[key] = self._call_counter
+            self._call_counter += 1
+        return self._call_ids[key]
+
+    def _source_for(
+        self, node: ast.AST, dotted: tuple[str, ...], *, is_call: bool
+    ) -> Optional[SourceFact]:
+        kind: Optional[str] = None
+        desc = ".".join(dotted)
+        if dotted in TAINT_SOURCES:
+            kind = TAINT_SOURCES[dotted]
+        elif is_call and any(
+            dotted[: len(p)] == p and len(dotted) > len(p)
+            for p in RNG_PREFIXES
+        ):
+            kind = "rng"
+        elif dotted[:2] == ("os", "environ"):
+            kind = "env"
+        if kind is None:
+            return None
+        if is_call and dotted in UNSEEDED_CTORS:
+            call = node if isinstance(node, ast.Call) else None
+            if call is not None and (call.args or call.keywords):
+                return None  # seeded constructor: deterministic
+        key = id(node)
+        fact = self._source_ids.get(key)
+        if fact is None:
+            fact = SourceFact(
+                index=len(self._source_ids),
+                kind=kind,
+                desc=desc + ("()" if is_call else ""),
+                line=getattr(node, "lineno", self.node.lineno),
+            )
+            self._source_ids[key] = fact
+        # Pass A registers the fact; emission happens in pass B, when
+        # the node is revisited with the solved environment.
+        if self._emitting and key not in self._emitted_sources:
+            self._emitted_sources.add(key)
+            self.facts.sources.append(fact)
+        return fact
+
+    def _eval(self, node: ast.AST) -> _Info:
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            dotted = self.aliases.get(node.id, (node.id,))
+            src = self._source_for(node, dotted, is_call=False)
+            if src is not None:
+                root = frozenset({f"s:{src.index}"})
+                return _Info(root, root)
+            root = frozenset({f"g:{'.'.join(dotted)}"})
+            return _Info(root, root)
+        if isinstance(node, ast.Attribute):
+            base = self._eval(node.value)
+            dotted = _canonical(node, self.aliases)
+            if dotted and not self._is_local_chain(node):
+                src = self._source_for(node, dotted, is_call=False)
+                if src is not None:
+                    root = frozenset({f"s:{src.index}"})
+                    return _Info(root, root)
+            self._record_read(node)
+            return base
+        if isinstance(node, ast.Subscript):
+            base = self._eval(node.value)
+            index = self._eval(node.slice)
+            self._record_read(node)
+            # A tainted index selects the value: include index data.
+            return _Info(base.id_roots, base.data_roots | index.data_roots)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            info = _merge(self._eval(e) for e in node.elts)
+            return _Info(info.id_roots, info.id_roots | info.data_roots)
+        if isinstance(node, ast.Dict):
+            parts = [self._eval(v) for v in node.values] + [
+                self._eval(k) for k in node.keys if k is not None
+            ]
+            info = _merge(parts)
+            return _Info(frozenset(), info.id_roots | info.data_roots)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            parts = [self._eval(node.elt)]
+            parts += [self._eval(g.iter) for g in node.generators]
+            info = _merge(parts)
+            return _Info(info.id_roots, info.id_roots | info.data_roots)
+        if isinstance(node, ast.DictComp):
+            parts = [self._eval(node.key), self._eval(node.value)]
+            parts += [self._eval(g.iter) for g in node.generators]
+            info = _merge(parts)
+            return _Info(frozenset(), info.id_roots | info.data_roots)
+        if isinstance(node, ast.IfExp):
+            return _merge([self._eval(node.body), self._eval(node.orelse)])
+        if isinstance(node, (ast.BinOp, ast.BoolOp, ast.Compare, ast.UnaryOp)):
+            children = [
+                self._eval(c)
+                for c in ast.iter_child_nodes(node)
+                if isinstance(c, ast.expr)
+            ]
+            info = _merge(children)
+            return _Info(frozenset(), info.data_roots)
+        if isinstance(node, (ast.JoinedStr, ast.FormattedValue)):
+            children = [
+                self._eval(c)
+                for c in ast.iter_child_nodes(node)
+                if isinstance(c, ast.expr)
+            ]
+            info = _merge(children)
+            return _Info(frozenset(), info.data_roots)
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.Slice):
+            parts = [
+                self._eval(p)
+                for p in (node.lower, node.upper, node.step)
+                if p is not None
+            ]
+            return _Info(frozenset(), _merge(parts).data_roots)
+        if isinstance(node, ast.Await):
+            return self._eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return _EMPTY
+        if isinstance(node, ast.Constant):
+            return _EMPTY
+        children = [
+            self._eval(c)
+            for c in ast.iter_child_nodes(node)
+            if isinstance(c, ast.expr)
+        ]
+        return _merge(children)
+
+    def _is_local_chain(self, node: ast.AST) -> bool:
+        dotted = _dotted_name(node)
+        return bool(dotted) and dotted[0] in self.env
+
+    def _eval_call(self, node: ast.Call) -> _Info:
+        index = self._call_index(node)
+        args = [self._eval(a) for a in node.args]
+        kwargs = [
+            (kw.arg, self._eval(kw.value))
+            for kw in node.keywords
+            if kw.arg is not None
+        ]
+        star_kwargs = [
+            self._eval(kw.value) for kw in node.keywords if kw.arg is None
+        ]
+        arg_data: set[Root] = set()
+        for info in args + [a for _, a in kwargs] + star_kwargs:
+            arg_data |= info.id_roots | info.data_roots
+
+        func = node.func
+        result_id: set[Root] = {f"c:{index}"}
+        recv_roots: tuple[Root, ...] = ()
+        recv_attrs: tuple[str, ...] = ()
+        method: Optional[str] = None
+        canonical: Optional[tuple[str, ...]] = None
+
+        if isinstance(func, ast.Attribute) and not (
+            _dotted_name(func) and not self._is_local_chain(func)
+        ):
+            # Method call on a local value: capture the receiver chain.
+            recv_info = self._eval(func.value)
+            method = func.attr
+            self._record_read(func)  # the method name is a chain read too
+            chain = _dotted_name(func.value)
+            if chain and chain[0] in self.env:
+                recv_attrs = chain[1:]
+            recv_roots = tuple(sorted(recv_info.id_roots))
+            if method in ACCESSOR_METHODS:
+                # The view/element shares the receiver's identity —
+                # but only its identity: data accumulated *into* a
+                # local container is bytes, not aliased objects.
+                result_id |= recv_info.id_roots
+            if method in MUTATOR_METHODS and chain is not None:
+                # Mutator writes are attributed only through name
+                # chains; `d.setdefault(k, []).append(v)` mutates the
+                # anonymous inner list, not anything d aliases.
+                self._record_write(
+                    recv_info.id_roots,
+                    recv_attrs + (method,),
+                    node.lineno,
+                    f"mutator .{method}()",
+                )
+            arg_data |= recv_info.data_roots
+        else:
+            canonical = _canonical(func, self.aliases)
+            if canonical is None:
+                # func is itself a call/subscript — evaluate for effects.
+                inner = self._eval(func)
+                arg_data |= inner.data_roots
+            elif len(canonical) == 1 and canonical[0] in CONTAINER_TRANSPARENT:
+                # sorted(xs) etc. holds the same element objects as xs.
+                for info in args + [a for _, a in kwargs]:
+                    result_id |= info.id_roots
+            if canonical is not None and not (
+                len(canonical) == 1 and canonical[0] in CONTAINER_TRANSPARENT
+            ):
+                src = self._source_for(node, canonical, is_call=True)
+                if src is not None:
+                    root = frozenset({f"s:{src.index}"})
+                    if self._emitting:
+                        self.facts.calls.append(
+                            CallFact(
+                                index=index,
+                                line=node.lineno,
+                                func=canonical,
+                                recv_roots=(),
+                                recv_attrs=(),
+                                method=None,
+                                args=tuple(
+                                    ArgInfo(
+                                        tuple(sorted(a.id_roots)),
+                                        tuple(sorted(a.data_roots)),
+                                    )
+                                    for a in args
+                                ),
+                                kwargs=tuple(
+                                    (k, ArgInfo(
+                                        tuple(sorted(a.id_roots)),
+                                        tuple(sorted(a.data_roots)),
+                                    ))
+                                    for k, a in kwargs
+                                ),
+                            )
+                        )
+                    return _Info(root, root | frozenset(arg_data))
+
+        if self._emitting:
+            self.facts.calls.append(
+                CallFact(
+                    index=index,
+                    line=node.lineno,
+                    func=canonical,
+                    recv_roots=recv_roots,
+                    recv_attrs=recv_attrs,
+                    method=method,
+                    args=tuple(
+                        ArgInfo(
+                            tuple(sorted(a.id_roots)),
+                            tuple(sorted(a.data_roots)),
+                        )
+                        for a in args
+                    ),
+                    kwargs=tuple(
+                        (
+                            k,
+                            ArgInfo(
+                                tuple(sorted(a.id_roots)),
+                                tuple(sorted(a.data_roots)),
+                            ),
+                        )
+                        for k, a in kwargs
+                    ),
+                )
+            )
+        return _Info(
+            frozenset(result_id),
+            frozenset(result_id) | frozenset(arg_data),
+        )
+
+    # -- fact recording -------------------------------------------------------
+    def _record_read(self, node: ast.AST) -> None:
+        if not self._emitting:
+            return
+        chain = _dotted_name(node)
+        attrs: list[str] = []
+        base: ast.AST = node
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            if isinstance(base, ast.Attribute):
+                attrs.append(base.attr)
+            else:
+                attrs.append("[]")
+            base = base.value
+        attrs.reverse()
+        if not isinstance(base, ast.Name) or base.id not in self.env:
+            return
+        del chain
+        roots = tuple(sorted(self.env[base.id].id_roots))
+        if not roots:
+            return
+        fact = ReadFact(roots, tuple(attrs), node.lineno)
+        if fact not in self._reads_seen:
+            self._reads_seen.add(fact)
+            self.facts.reads.append(fact)
+
+    def _record_write(
+        self,
+        roots: frozenset[Root],
+        attrs: tuple[str, ...],
+        line: int,
+        reason: str,
+    ) -> None:
+        if not self._emitting or not roots:
+            return
+        fact = WriteFact(tuple(sorted(roots)), attrs, line, reason)
+        if fact not in self._writes_seen:
+            self._writes_seen.add(fact)
+            self.facts.writes.append(fact)
+
+    # -- pass B: statements ---------------------------------------------------
+    def _emit_stmt(self, stmt: ast.stmt) -> None:
+        for node in self._walk_stmt(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    self._emit_target_write(target, "assign")
+                self._eval(node.value)
+            elif isinstance(node, ast.AnnAssign):
+                self._emit_target_write(node.target, "assign")
+                if node.value is not None:
+                    self._eval(node.value)
+            elif isinstance(node, ast.AugAssign):
+                self._emit_target_write(node.target, "augassign")
+                if isinstance(node.target, (ast.Attribute, ast.Subscript)):
+                    self._record_read(node.target)
+                self._eval(node.value)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    self._emit_target_write(target, "del")
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    info = self._eval(node.value)
+                    self.facts.returns.append(
+                        ReturnFact(
+                            tuple(sorted(info.id_roots)),
+                            tuple(sorted(info.data_roots)),
+                            node.lineno,
+                        )
+                    )
+            elif isinstance(node, ast.Expr):
+                self._eval(node.value)
+            elif isinstance(node, (ast.If, ast.While)):
+                self._eval(node.test)
+            elif isinstance(node, ast.Assert):
+                self._eval(node.test)
+                if node.msg is not None:
+                    self._eval(node.msg)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                self._eval(node.iter)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    self._eval(item.context_expr)
+            elif isinstance(node, ast.Raise):
+                if node.exc is not None:
+                    self._eval(node.exc)
+
+    def _emit_target_write(self, target: ast.AST, reason: str) -> None:
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            attrs: list[str] = []
+            base: ast.AST = target
+            while isinstance(base, (ast.Attribute, ast.Subscript)):
+                if isinstance(base, ast.Attribute):
+                    attrs.append(base.attr)
+                else:
+                    attrs.append("[]")
+                    self._eval(base.slice)  # index reads still count
+                base = base.value
+            attrs.reverse()
+            info = self._eval(base)
+            self._record_write(
+                info.id_roots, tuple(attrs), target.lineno, reason
+            )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._emit_target_write(
+                    elt.value if isinstance(elt, ast.Starred) else elt, reason
+                )
+
+
+# --------------------------------------------------------------------------- #
+# File-level extraction
+# --------------------------------------------------------------------------- #
+
+def _class_attr_types(
+    cls_node: ast.ClassDef,
+    aliases: dict[str, tuple[str, ...]],
+    project_classes: frozenset[str],
+) -> dict[str, tuple[str, ...]]:
+    """Infer ``self.<attr>`` project-class types from method bodies."""
+
+    def value_types(value: ast.AST, anns: dict[str, tuple[str, ...]]) -> set[str]:
+        if isinstance(value, ast.Name):
+            return {n for n in anns.get(value.id, ()) if n in project_classes}
+        if isinstance(value, ast.Call):
+            dotted = _canonical(value.func, aliases)
+            if dotted and dotted[-1] in project_classes:
+                return {dotted[-1]}
+            return set()
+        if isinstance(value, ast.IfExp):
+            return value_types(value.body, anns) | value_types(
+                value.orelse, anns
+            )
+        if isinstance(value, ast.BoolOp):
+            out: set[str] = set()
+            for v in value.values:
+                out |= value_types(v, anns)
+            return out
+        return set()
+
+    out: dict[str, set[str]] = {}
+    for method in cls_node.body:
+        if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        anns = {
+            a.arg: _annotation_names(a.annotation)
+            for a in _all_params(method)
+            if a.annotation is not None
+        }
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                extra = {
+                    n
+                    for n in _annotation_names(node.annotation)
+                    if n in project_classes
+                }
+            else:
+                continue
+            for target in targets:
+                dotted = _dotted_name(target)
+                if dotted and len(dotted) == 2 and dotted[0] == "self":
+                    types = out.setdefault(dotted[1], set())
+                    if node.value is not None:
+                        types |= value_types(node.value, anns)
+                    if isinstance(node, ast.AnnAssign):
+                        types |= extra
+    return {k: tuple(sorted(v)) for k, v in out.items() if v}
+
+
+def extract_file_facts(
+    path: Path,
+    source: Optional[str] = None,
+    *,
+    project_classes: frozenset[str] = frozenset(),
+) -> FileFacts:
+    """Parse one file and extract all function/class facts."""
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    module = module_name_for(path)
+    suppressions = {
+        line: tuple(sorted(rules))
+        for line, rules in _parse_suppressions(source).items()
+    }
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return FileFacts(str(path), module, digest, {}, {}, suppressions)
+    aliases = _import_aliases(tree)
+
+    functions: dict[str, FunctionFacts] = {}
+    classes: dict[str, ClassFacts] = {}
+
+    def handle_function(
+        node: ast.FunctionDef | ast.AsyncFunctionDef, cls: Optional[str]
+    ) -> None:
+        qual = f"{module}.{cls}.{node.name}" if cls else f"{module}.{node.name}"
+        extractor = _FunctionExtractor(
+            node,
+            module=module,
+            qualname=qual,
+            cls=cls,
+            aliases=aliases,
+            project_classes=project_classes,
+        )
+        functions[qual] = extractor.run()
+
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            handle_function(node, None)
+        elif isinstance(node, ast.ClassDef):
+            method_names = []
+            for sub in node.body:
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    handle_function(sub, node.name)
+                    method_names.append(sub.name)
+            classes[f"{module}.{node.name}"] = ClassFacts(
+                qualname=f"{module}.{node.name}",
+                module=module,
+                name=node.name,
+                line=node.lineno,
+                bases=tuple(
+                    b
+                    for b in (
+                        _canonical(base, aliases) for base in node.bases
+                    )
+                    if b is not None
+                ),
+                methods=tuple(method_names),
+                attr_types=_class_attr_types(
+                    node, aliases, project_classes
+                ),
+            )
+    return FileFacts(str(path), module, digest, functions, classes, suppressions)
+
+
+# --------------------------------------------------------------------------- #
+# Project index
+# --------------------------------------------------------------------------- #
+
+class ProjectIndex:
+    """Symbol table over every analyzed file.
+
+    Built in two phases: a cheap scan collects every class name defined
+    anywhere in the project (so parameter annotations can be matched
+    against project classes during extraction), then each file is
+    extracted — through the incremental cache when one is supplied.
+    """
+
+    def __init__(self, files: dict[str, FileFacts]):
+        self.files = files
+        self.functions: dict[str, FunctionFacts] = {}
+        self.classes: dict[str, ClassFacts] = {}
+        self.paths: dict[str, str] = {}
+        for facts in files.values():
+            for qual, fn in facts.functions.items():
+                self.functions[qual] = fn
+                self.paths[qual] = facts.path
+            for qual, cls in facts.classes.items():
+                self.classes[qual] = cls
+                self.paths[qual] = facts.path
+        self.by_class_name: dict[str, list[ClassFacts]] = {}
+        for cls in self.classes.values():
+            self.by_class_name.setdefault(cls.name, []).append(cls)
+        self._subclasses: Optional[dict[str, set[str]]] = None
+
+    # -- construction ---------------------------------------------------------
+    @staticmethod
+    def scan_class_names(sources: dict[Path, str]) -> frozenset[str]:
+        names: set[str] = set()
+        for path, source in sources.items():
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                continue
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ClassDef):
+                    names.add(node.name)
+        return frozenset(names)
+
+    @classmethod
+    def build(
+        cls,
+        paths: Iterable[Path],
+        *,
+        cache: Optional["FactsCache"] = None,
+    ) -> "ProjectIndex":
+        sources = {
+            p: p.read_text(encoding="utf-8") for p in paths
+        }
+        class_names = cls.scan_class_names(sources)
+        files: dict[str, FileFacts] = {}
+        for path, source in sorted(sources.items()):
+            digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+            facts = cache.get(str(path), digest) if cache is not None else None
+            if facts is None:
+                facts = extract_file_facts(
+                    path, source, project_classes=class_names
+                )
+                if cache is not None:
+                    cache.put(facts)
+            files[str(path)] = facts
+        return cls(files)
+
+    # -- lookups --------------------------------------------------------------
+    def file_for(self, qualname: str) -> Optional[FileFacts]:
+        path = self.paths.get(qualname)
+        return self.files.get(path) if path else None
+
+    def suppressed(self, fn: FunctionFacts, line: int, rule: str) -> bool:
+        facts = self.file_for(fn.qualname)
+        return facts.suppressed(line, rule) if facts else False
+
+    def subclasses_of(self, class_name: str) -> set[str]:
+        """Transitive project subclasses (by bare class name)."""
+        if self._subclasses is None:
+            direct: dict[str, set[str]] = {}
+            for cls_facts in self.classes.values():
+                for base in cls_facts.bases:
+                    direct.setdefault(base[-1], set()).add(cls_facts.name)
+            closed: dict[str, set[str]] = {}
+
+            def close(name: str, seen: set[str]) -> set[str]:
+                if name in closed:
+                    return closed[name]
+                out: set[str] = set()
+                for sub in direct.get(name, ()):
+                    if sub in seen:
+                        continue
+                    out.add(sub)
+                    out |= close(sub, seen | {sub})
+                closed[name] = out
+                return out
+
+            for name in list(direct):
+                close(name, {name})
+            self._subclasses = closed
+        return self._subclasses.get(class_name, set())
+
+    def resolve_method(
+        self, type_names: Iterable[str], method: str
+    ) -> set[str]:
+        """Qualnames implementing ``method`` on any of ``type_names``.
+
+        Looks in the named classes, their project base classes, and —
+        for abstract bases like ``Scheduler`` — every project subclass,
+        so calls through an interface conservatively dispatch to all
+        implementations.
+        """
+        out: set[str] = set()
+        for name in type_names:
+            candidates = {name} | self.subclasses_of(name)
+            frontier = list(candidates)
+            seen = set(frontier)
+            while frontier:
+                cls_name = frontier.pop()
+                for cls_facts in self.by_class_name.get(cls_name, ()):
+                    if method in cls_facts.methods:
+                        out.add(f"{cls_facts.module}.{cls_facts.name}.{method}")
+                    for base in cls_facts.bases:
+                        if base[-1] not in seen:
+                            seen.add(base[-1])
+                            frontier.append(base[-1])
+        return out
+
+    def resolve_function(
+        self, dotted: tuple[str, ...], caller_module: Optional[str] = None
+    ) -> set[str]:
+        """Project functions a canonical dotted call target can reach."""
+        name = ".".join(dotted)
+        if name in self.functions:
+            return {name}
+        out: set[str] = set()
+        # A bare name is a same-module helper (imports are already
+        # canonicalized to full dotted paths by the alias map).
+        if len(dotted) == 1:
+            if caller_module is not None:
+                qual = f"{caller_module}.{dotted[0]}"
+                if qual in self.functions:
+                    return {qual}
+            return out
+        # Class constructor: Foo(...) resolves to Foo.__init__ nowhere —
+        # constructors are treated as fresh-value factories.
+        if dotted[-1] in self.by_class_name:
+            return set()
+        suffix = "." + ".".join(dotted[-2:])
+        for qual in self.functions:
+            if qual.endswith(suffix):
+                out.add(qual)
+        return out

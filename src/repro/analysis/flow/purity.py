@@ -1,0 +1,239 @@
+"""REP011 — phase-purity checking via interprocedural write effects.
+
+The pass infers, per function, the set of parameters whose object graph
+the function can mutate: direct attribute/subscript assignments,
+builtin mutator-method calls (``append``/``update``/…), and — through a
+call-graph fixpoint — any callee that writes a parameter the caller
+bound to its own.  Method calls are resolved through parameter
+annotations and the ``self.<attr>`` types inferred from ``__init__``,
+so ``self.sanitizer.on_round(state=state)`` inherits exactly what
+``InvariantSanitizer.on_round`` does to ``state``.
+
+Against those summaries it enforces the phase-pipeline contract from
+``docs/simulator.md``: *observer* classes (``TelemetryPhase``,
+``SanitizerPhase``, ``TracePhase``, the sanitizer and tracer
+themselves) must have **no** write effects on protected simulation
+state (``ClusterState``, ``ProgressLedger``, ``EventKernel``,
+``JobRuntime``) reached through any parameter; *mutator* classes
+(``SchedulerPhase``, ``FaultPhase``) may write protected state only in
+their sanctioned seam methods and the private helpers reachable from
+them inside the same class.  Function contracts additionally pin
+individual diagnostic entry points (``explain_alloc``, the decision
+trace builder) to read-only use of their state parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.lint import Finding
+from repro.analysis.flow.config import FlowConfig, PhaseContract
+from repro.analysis.flow.project import ClassFacts, ProjectIndex
+from repro.analysis.flow.resolve import Resolver, find_matching, short
+
+__all__ = ["run_purity"]
+
+RULE = "REP011"
+
+WriteWitness = tuple[str, str, int]  # (what, path, line)
+
+
+class _EffectsEngine:
+    """Transitive per-parameter write-effect summaries."""
+
+    def __init__(self, index: ProjectIndex, resolver: Resolver):
+        self.index = index
+        self.resolver = resolver
+        self.writes: dict[str, dict[str, WriteWitness]] = {}
+
+    def solve(self) -> None:
+        functions = list(self.index.functions.values())
+        for fn in functions:
+            facts_file = self.index.file_for(fn.qualname)
+            path = facts_file.path if facts_file else "<unknown>"
+            mine: dict[str, WriteWitness] = {}
+            for write in fn.writes:
+                what = ".".join(write.attrs) or "<object>"
+                for root in write.roots:
+                    if root.startswith("p:"):
+                        mine.setdefault(
+                            root[2:],
+                            (f"{write.reason} of .{what}", path, write.line),
+                        )
+            self.writes[fn.qualname] = mine
+        for _ in range(max(4, len(functions))):
+            changed = False
+            for fn in functions:
+                facts_file = self.index.file_for(fn.qualname)
+                path = facts_file.path if facts_file else "<unknown>"
+                mine = self.writes[fn.qualname]
+                for call in fn.calls:
+                    for callee in self.resolver.callees(fn, call):
+                        callee_fn = self.index.functions.get(callee)
+                        if callee_fn is None:
+                            continue
+                        theirs = self.writes.get(callee, {})
+                        if not theirs:
+                            continue
+                        bound = self.resolver.bindings(call, callee_fn)
+                        for q in theirs:
+                            arg = bound.get(q)
+                            if arg is None:
+                                continue
+                            for root in arg.id_roots:
+                                if (
+                                    root.startswith("p:")
+                                    and root[2:] not in mine
+                                ):
+                                    mine[root[2:]] = (
+                                        f"call to {short(callee)} "
+                                        f"(which writes '{q}')",
+                                        path,
+                                        call.line,
+                                    )
+                                    changed = True
+            if not changed:
+                return
+
+
+def _seam_closure(
+    index: ProjectIndex, cls: ClassFacts, seams: tuple[str, ...]
+) -> set[str]:
+    """Seam methods plus same-class methods transitively called on self."""
+    edges: dict[str, set[str]] = {m: set() for m in cls.methods}
+    for method in cls.methods:
+        fn = index.functions.get(f"{cls.module}.{cls.name}.{method}")
+        if fn is None:
+            continue
+        for call in fn.calls:
+            if (
+                call.method in cls.methods
+                and "p:self" in call.recv_roots
+                and not call.recv_attrs
+            ):
+                edges[method].add(call.method)
+    allowed = {m for m in seams if m in cls.methods}
+    frontier = list(allowed)
+    while frontier:
+        for callee in edges.get(frontier.pop(), ()):
+            if callee not in allowed:
+                allowed.add(callee)
+                frontier.append(callee)
+    return allowed
+
+
+def _protected_params(
+    fn_params: tuple[str, ...],
+    annotations: dict[str, tuple[str, ...]],
+    protected: tuple[str, ...],
+) -> dict[str, tuple[str, ...]]:
+    out: dict[str, tuple[str, ...]] = {}
+    for param in fn_params:
+        hits = tuple(
+            n for n in annotations.get(param, ()) if n in protected
+        )
+        if hits:
+            out[param] = hits
+    return out
+
+
+def _check_class(
+    contract: PhaseContract,
+    cls: ClassFacts,
+    index: ProjectIndex,
+    engine: _EffectsEngine,
+    protected: tuple[str, ...],
+) -> list[Finding]:
+    out: list[Finding] = []
+    sanctioned = (
+        _seam_closure(index, cls, contract.seams)
+        if contract.role == "mutator"
+        else set()
+    )
+    for method in cls.methods:
+        if method in sanctioned:
+            continue
+        qual = f"{cls.module}.{cls.name}.{method}"
+        fn = index.functions.get(qual)
+        if fn is None:
+            continue
+        facts_file = index.file_for(qual)
+        path = facts_file.path if facts_file else "<unknown>"
+        writes = engine.writes.get(qual, {})
+        for param, types in sorted(
+            _protected_params(fn.params, fn.param_annotations, protected).items()
+        ):
+            witness = writes.get(param)
+            if witness is None:
+                continue
+            what, wpath, wline = witness
+            line = wline if wpath == path else fn.line
+            if facts_file is not None and facts_file.suppressed(line, RULE):
+                continue
+            role = (
+                f"{contract.role} (outside sanctioned seams "
+                f"{', '.join(contract.seams)})"
+                if contract.role == "mutator"
+                else contract.role
+            )
+            out.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule=RULE,
+                    message=(
+                        f"{cls.name}.{method} is {role} but writes "
+                        f"protected {'/'.join(types)} parameter "
+                        f"'{param}': {what} ({wpath}:{wline})"
+                    ),
+                )
+            )
+    return out
+
+
+def run_purity(
+    index: ProjectIndex,
+    config: FlowConfig,
+    resolver: Optional[Resolver] = None,
+) -> list[Finding]:
+    resolver = resolver or Resolver(index)
+    engine = _EffectsEngine(index, resolver)
+    engine.solve()
+    out: list[Finding] = []
+    for contract in config.contracts:
+        for cls in index.by_class_name.get(contract.cls, ()):
+            out.extend(
+                _check_class(
+                    contract, cls, index, engine, config.protected_types
+                )
+            )
+    for fc in config.function_contracts:
+        for fn in find_matching(index, fc.suffix):
+            facts_file = index.file_for(fn.qualname)
+            path = facts_file.path if facts_file else "<unknown>"
+            writes = engine.writes.get(fn.qualname, {})
+            for param in fc.pure_params:
+                witness = writes.get(param)
+                if witness is None:
+                    continue
+                what, wpath, wline = witness
+                line = wline if wpath == path else fn.line
+                if facts_file is not None and facts_file.suppressed(
+                    line, RULE
+                ):
+                    continue
+                out.append(
+                    Finding(
+                        path=path,
+                        line=line,
+                        col=0,
+                        rule=RULE,
+                        message=(
+                            f"{short(fn.qualname)} must not mutate "
+                            f"'{param}' but does: {what} "
+                            f"({wpath}:{wline})"
+                        ),
+                    )
+                )
+    return sorted(out, key=lambda f: (f.path, f.line, f.message))

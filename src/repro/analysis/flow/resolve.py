@@ -1,0 +1,146 @@
+"""Call resolution over extracted facts: the project call graph.
+
+Bridges :class:`~repro.analysis.flow.project.ProjectIndex` facts to the
+interprocedural passes: given a :class:`CallFact` inside a function,
+:meth:`Resolver.callees` returns the project functions it can reach
+(empty for external calls), and :meth:`Resolver.bindings` maps the call
+site's argument root sets onto the callee's parameter names — including
+the receiver binding to ``self`` for resolved method calls.
+
+Receiver typing uses, in order: the local type environment (parameter
+annotations, constructor assignments), and for ``self.<attr>.m(...)``
+chains the class attribute types inferred from ``__init__``.  Method
+calls that resolve to no project function are *optimistic*: they are
+assumed effect-free unless the method name is a builtin mutator (that
+case is already a :class:`WriteFact` at extraction time).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.flow.project import (
+    ArgInfo,
+    CallFact,
+    FunctionFacts,
+    ProjectIndex,
+)
+
+__all__ = ["Resolver"]
+
+
+class Resolver:
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self._memo: dict[tuple[str, int], frozenset[str]] = {}
+
+    # -- receiver typing ------------------------------------------------------
+    def _attr_types(
+        self, type_names: set[str], attr: str
+    ) -> set[str]:
+        out: set[str] = set()
+        for name in type_names:
+            for cls in self.index.by_class_name.get(name, ()):
+                out |= set(cls.attr_types.get(attr, ()))
+        return out
+
+    def receiver_types(self, fn: FunctionFacts, call: CallFact) -> set[str]:
+        """Project-class types the method receiver may have."""
+        types: set[str] = set()
+        for root in call.recv_roots:
+            if not root.startswith("p:"):
+                continue
+            name = root[2:]
+            if name == "self" and fn.cls is not None:
+                base: set[str] = {fn.cls}
+            else:
+                base = set(fn.local_types.get(name, ()))
+            for attr in call.recv_attrs:
+                base = self._attr_types(base, attr)
+                if not base:
+                    break
+            types |= base
+        # Locals that are not parameters still carry inferred types.
+        if not call.recv_attrs:
+            for root in call.recv_roots:
+                if root.startswith("p:"):
+                    types |= set(fn.local_types.get(root[2:], ()))
+        return types
+
+    # -- resolution -----------------------------------------------------------
+    def callees(self, fn: FunctionFacts, call: CallFact) -> frozenset[str]:
+        key = (fn.qualname, call.index)
+        hit = self._memo.get(key)
+        if hit is not None:
+            return hit
+        out: set[str] = set()
+        if call.func is not None:
+            out = self.index.resolve_function(call.func, fn.module)
+        elif call.method is not None:
+            types = self.receiver_types(fn, call)
+            if types:
+                out = self.index.resolve_method(types, call.method)
+        result = frozenset(out)
+        self._memo[key] = result
+        return result
+
+    # -- argument binding -----------------------------------------------------
+    @staticmethod
+    def bindings(
+        call: CallFact, callee: FunctionFacts
+    ) -> dict[str, ArgInfo]:
+        """Map the call's arg root sets to the callee's parameter names."""
+        params = list(callee.params)
+        bound: dict[str, ArgInfo] = {}
+        positional = params
+        if params and params[0] in ("self", "cls"):
+            if call.method is not None:
+                bound[params[0]] = ArgInfo(call.recv_roots, call.recv_roots)
+            positional = params[1:]
+        for param, arg in zip(positional, call.args):
+            bound[param] = arg
+        for name, arg in call.kwargs:
+            if name in params:
+                bound[name] = arg
+        return bound
+
+    def witness(self, qualname: str) -> tuple[str, int]:
+        """(path, line) of a function, for finding messages."""
+        fn = self.index.functions.get(qualname)
+        if fn is None:
+            return ("<unknown>", 0)
+        facts = self.index.file_for(qualname)
+        return (facts.path if facts else "<unknown>", fn.line)
+
+
+def short(qualname: str) -> str:
+    """Trailing ``Class.method`` / ``module.function`` for messages."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) >= 2 else qualname
+
+
+def suffix_match(qualname: str, suffix: str) -> bool:
+    """True when ``suffix`` matches whole trailing components."""
+    return qualname == suffix or qualname.endswith("." + suffix.lstrip("."))
+
+
+def find_matching(
+    index: ProjectIndex, suffix: str
+) -> list[FunctionFacts]:
+    return [
+        fn
+        for qual, fn in sorted(index.functions.items())
+        if suffix_match(qual, suffix)
+    ]
+
+
+def annotation_classes(
+    fn: FunctionFacts, param: str, universe: tuple[str, ...]
+) -> tuple[str, ...]:
+    """Project/protected classes a parameter's annotation mentions."""
+    ann = fn.param_annotations.get(param, ())
+    return tuple(n for n in ann if n in universe)
+
+
+def self_type(fn: FunctionFacts) -> Optional[str]:
+    return fn.cls

@@ -1,0 +1,205 @@
+"""Flow-analysis driver: discovery, cache, passes, output, budgets.
+
+``python -m repro.analysis flow [paths]`` lands here.  The runner
+builds the :class:`ProjectIndex` (through the incremental cache), runs
+the enabled passes (REP009/REP010/REP011), applies the shared baseline
+filter, and renders text / ``--json`` / ``--sarif`` output.  Exit
+codes: 0 clean, 1 findings, 2 budget exceeded (``--budget-s``, the CI
+wall-clock assertion that keeps the gate from rotting into the slowest
+job).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.analysis.lint import Finding, _iter_python_files
+from repro.analysis.flow.baseline import (
+    filter_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.flow.cache import DEFAULT_CACHE_PATH, FactsCache
+from repro.analysis.flow.config import DEFAULT_CONFIG, FlowConfig
+from repro.analysis.flow.memo import run_memo
+from repro.analysis.flow.project import ProjectIndex
+from repro.analysis.flow.purity import run_purity
+from repro.analysis.flow.resolve import Resolver
+from repro.analysis.flow.sarif import write_sarif
+from repro.analysis.flow.taint import run_taint
+
+__all__ = ["FLOW_RULES", "FlowReport", "analyze_paths", "main"]
+
+FLOW_RULES = ("REP009", "REP010", "REP011")
+
+_PASSES = {
+    "REP009": run_taint,
+    "REP010": run_memo,
+    "REP011": run_purity,
+}
+
+
+@dataclass
+class FlowReport:
+    """Everything one analysis run produced, for callers and tests."""
+
+    findings: list[Finding]
+    baseline_suppressed: int = 0
+    files_analyzed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+    per_pass: dict[str, int] = field(default_factory=dict)
+
+
+def analyze_paths(
+    paths: Sequence[Union[str, Path]],
+    *,
+    config: FlowConfig = DEFAULT_CONFIG,
+    rules: Sequence[str] = FLOW_RULES,
+    cache: Optional[FactsCache] = None,
+    baseline: Optional[list[dict]] = None,
+) -> FlowReport:
+    """Run the flow passes over every ``*.py`` under ``paths``."""
+    started = time.perf_counter()
+    files = sorted(set(_iter_python_files(paths)))
+    index = ProjectIndex.build(files, cache=cache)
+    resolver = Resolver(index)
+    findings: list[Finding] = []
+    per_pass: dict[str, int] = {}
+    for rule in rules:
+        run = _PASSES.get(rule)
+        if run is None:
+            raise SystemExit(f"unknown flow rule: {rule}")
+        produced = run(index, config, resolver)
+        per_pass[rule] = len(produced)
+        findings.extend(produced)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    kept, suppressed = filter_baseline(findings, baseline or [])
+    if cache is not None:
+        cache.save()
+    return FlowReport(
+        findings=kept,
+        baseline_suppressed=suppressed,
+        files_analyzed=len(files),
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else 0,
+        elapsed_s=time.perf_counter() - started,
+        per_pass=per_pass,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis flow",
+        description=(
+            "Whole-program dataflow analysis (REP009 determinism taint, "
+            "REP010 cache-key coherence, REP011 phase purity)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--rules",
+        help=f"comma-separated flow rules (default: {','.join(FLOW_RULES)})",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable findings"
+    )
+    parser.add_argument(
+        "--sarif", metavar="PATH", help="write SARIF 2.1.0 to PATH"
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", help="accepted-findings baseline file"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        help="snapshot current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="PATH",
+        default=DEFAULT_CACHE_PATH,
+        help=f"incremental facts cache (default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the facts cache"
+    )
+    parser.add_argument(
+        "--budget-s",
+        type=float,
+        metavar="SECONDS",
+        help="fail (exit 2) if the analysis wall-clock exceeds this",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print cache/timing counters"
+    )
+    args = parser.parse_args(argv)
+
+    rules = (
+        tuple(r.strip() for r in args.rules.split(",") if r.strip())
+        if args.rules
+        else FLOW_RULES
+    )
+    cache = (
+        None
+        if args.no_cache
+        else FactsCache(args.cache, config_digest=DEFAULT_CONFIG.digest())
+    )
+    baseline = load_baseline(args.baseline)
+    report = analyze_paths(
+        args.paths, rules=rules, cache=cache, baseline=baseline
+    )
+
+    if args.write_baseline:
+        count = write_baseline(report.findings, args.write_baseline)
+        print(f"wrote {count} baseline entries to {args.write_baseline}")  # repro-lint: disable=REP007
+        return 0
+    if args.sarif:
+        write_sarif(report.findings, args.sarif)
+    if args.json:
+        print(  # repro-lint: disable=REP007
+            json.dumps(
+                [f.to_dict() for f in report.findings],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        for finding in report.findings:
+            print(finding.format())  # repro-lint: disable=REP007
+    if args.stats:
+        print(  # repro-lint: disable=REP007
+            f"flow: {report.files_analyzed} files, "
+            f"{sum(report.per_pass.values())} raw findings "
+            f"({', '.join(f'{k}={v}' for k, v in sorted(report.per_pass.items()))}), "
+            f"{report.baseline_suppressed} baselined, "
+            f"cache {report.cache_hits} hits / {report.cache_misses} misses, "
+            f"{report.elapsed_s:.2f}s",
+            file=sys.stderr,
+        )
+    if args.budget_s is not None and report.elapsed_s > args.budget_s:
+        print(  # repro-lint: disable=REP007
+            f"flow: analysis took {report.elapsed_s:.2f}s, over the "
+            f"{args.budget_s:.0f}s budget",
+            file=sys.stderr,
+        )
+        return 2
+    if report.findings:
+        print(  # repro-lint: disable=REP007
+            f"{len(report.findings)} flow finding(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

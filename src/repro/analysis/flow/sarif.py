@@ -1,0 +1,105 @@
+"""SARIF 2.1.0 export for lint and flow findings.
+
+Hand-rolled (the toolchain is dependency-free by policy): one ``run``
+whose driver lists every REP rule with its short description, and one
+``result`` per finding with a physical location.  The output validates
+against the SARIF 2.1.0 schema's required properties and is accepted by
+GitHub code scanning's ``upload-sarif`` action, which is how the CI
+``flow-gate`` job surfaces findings as PR annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.lint import Finding
+
+__all__ = ["RULE_HELP", "to_sarif", "write_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: One-line help per rule id, embedded as driver rule metadata.
+RULE_HELP: dict[str, str] = {
+    "REP000": "File does not parse",
+    "REP001": "Float equality comparison in scheduling logic",
+    "REP002": "Nondeterminism source in a replay-critical path",
+    "REP003": "Bare except swallows scheduling errors",
+    "REP004": "Iteration over unordered set/dict in decision logic",
+    "REP005": "Mutable default argument in engine/scheduler code",
+    "REP006": "Dict/set comprehension fed by unordered iteration",
+    "REP007": "Trace emission outside the sanctioned TracePhase seam",
+    "REP008": "Module-global RNG use outside seeded deterministic paths",
+    "REP009": "Nondeterministic value flows into a decision/trace/artifact sink",
+    "REP010": "Memoized function reads state its memo key does not capture",
+    "REP011": "Phase write-effect contract violation (impure observer or "
+    "mutation outside sanctioned seams)",
+}
+
+
+def to_sarif(findings: Iterable[Finding]) -> dict:
+    findings = list(findings)
+    seen_rules = sorted({f.rule for f in findings} | set(RULE_HELP))
+    rules = [
+        {
+            "id": rule,
+            "shortDescription": {
+                "text": RULE_HELP.get(rule, "repro analysis rule")
+            },
+        }
+        for rule in seen_rules
+    ]
+    rule_index = {rule: i for i, rule in enumerate(seen_rules)}
+    results = [
+        {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index[f.rule],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.col + 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analysis",
+                        "informationUri": (
+                            "https://github.com/repro/repro/blob/main/"
+                            "docs/analysis.md"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def write_sarif(
+    findings: Iterable[Finding], path: Union[str, Path]
+) -> None:
+    Path(path).write_text(
+        json.dumps(to_sarif(findings), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )

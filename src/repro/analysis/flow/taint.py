@@ -1,0 +1,296 @@
+"""REP009 — interprocedural determinism-taint analysis.
+
+Values originating from wall-clock reads, environment lookups, or
+unseeded RNG (see :data:`repro.analysis.flow.project.TAINT_SOURCES`)
+are tracked through assignments, data flow into containers, returns,
+and calls.  A finding fires when a tainted value reaches a sink the
+:class:`~repro.analysis.flow.config.FlowConfig` declares: a scheduler
+decision return, a ``ClusterState`` mutation argument, trace emission,
+or a reproducible report artifact.  ``measurement`` taint (monotonic
+timers) is a separate kind so trace latency fields stay sanctioned
+while decisions and regenerable artifacts still reject it.
+
+The engine runs two fixpoints over the call graph:
+
+* *return taint*: the taint kinds a function's return value can carry,
+  merged from its own sources and its callees' summaries;
+* *param-to-sink chains*: parameters whose values can reach a sink in
+  this function or any transitive callee — so taint introduced in one
+  function and sunk three calls later is reported at the call site
+  that connects them, with the full chain in the message.
+
+Suppression reuses the linter's inline mechanism: a ``# repro-lint:
+disable=REP009`` on the *source* line kills the taint at birth (the
+sanctioned-seam pattern, e.g. the ``REPRO_SCALE`` preset selector), and
+one on the sink line waives that sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.lint import Finding
+from repro.analysis.flow.config import FlowConfig
+from repro.analysis.flow.project import (
+    ArgInfo,
+    CallFact,
+    FunctionFacts,
+    ProjectIndex,
+)
+from repro.analysis.flow.resolve import Resolver, short, suffix_match
+
+__all__ = ["run_taint"]
+
+RULE = "REP009"
+
+Witness = tuple[str, str, int]  # (source desc, path, line)
+
+
+@dataclass(frozen=True)
+class SinkChain:
+    """A path from a parameter to a configured sink."""
+
+    forbids: frozenset[str]
+    desc: str
+    via: tuple[str, ...]
+
+
+def _merge_kinds(
+    into: dict[str, Witness], new: dict[str, Witness]
+) -> bool:
+    changed = False
+    for kind, witness in new.items():
+        if kind not in into:
+            into[kind] = witness
+            changed = True
+    return changed
+
+
+class _TaintEngine:
+    def __init__(
+        self, index: ProjectIndex, config: FlowConfig, resolver: Resolver
+    ):
+        self.index = index
+        self.config = config
+        self.resolver = resolver
+        self.ret_kinds: dict[str, dict[str, Witness]] = {}
+        self.param_sink: dict[str, dict[str, frozenset[SinkChain]]] = {}
+
+    # -- per-function root taint ---------------------------------------------
+    def _root_kinds(self, fn: FunctionFacts) -> dict[str, dict[str, Witness]]:
+        facts_file = self.index.file_for(fn.qualname)
+        path = facts_file.path if facts_file else "<unknown>"
+        out: dict[str, dict[str, Witness]] = {}
+        for src in fn.sources:
+            if facts_file is not None and facts_file.suppressed(src.line, RULE):
+                continue
+            out[f"s:{src.index}"] = {src.kind: (src.desc, path, src.line)}
+        for call in fn.calls:
+            kinds: dict[str, Witness] = {}
+            for callee in self.resolver.callees(fn, call):
+                _merge_kinds(kinds, self.ret_kinds.get(callee, {}))
+            if kinds:
+                out[f"c:{call.index}"] = kinds
+        return out
+
+    def _kinds_of(
+        self,
+        roots: tuple[str, ...],
+        root_kinds: dict[str, dict[str, Witness]],
+    ) -> dict[str, Witness]:
+        out: dict[str, Witness] = {}
+        for root in roots:
+            _merge_kinds(out, root_kinds.get(root, {}))
+        return out
+
+    @staticmethod
+    def _arg_roots(arg: ArgInfo) -> tuple[str, ...]:
+        return tuple(set(arg.id_roots) | set(arg.data_roots))
+
+    # -- sinks ----------------------------------------------------------------
+    def _call_sinks(
+        self, fn: FunctionFacts, call: CallFact
+    ) -> list[tuple[frozenset[str], str]]:
+        """(forbids, desc) for every configured sink this call hits."""
+        out: list[tuple[frozenset[str], str]] = []
+        callees = self.resolver.callees(fn, call)
+        names = set(callees)
+        if call.func is not None:
+            names.add(".".join(call.func))
+        for sink in self.config.call_sinks:
+            if any(suffix_match(name, sink.suffix) for name in names):
+                out.append((frozenset(sink.forbids), sink.desc))
+        return out
+
+    def _return_sink(
+        self, fn: FunctionFacts
+    ) -> Optional[tuple[frozenset[str], str]]:
+        for sink in self.config.return_sinks:
+            if suffix_match(fn.qualname, sink.suffix):
+                return (frozenset(sink.forbids), sink.desc)
+        return None
+
+    # -- fixpoint -------------------------------------------------------------
+    def solve(self) -> None:
+        functions = list(self.index.functions.values())
+        for _ in range(max(4, len(functions))):
+            changed = False
+            for fn in functions:
+                root_kinds = self._root_kinds(fn)
+                ret = self.ret_kinds.setdefault(fn.qualname, {})
+                for ret_fact in fn.returns:
+                    if _merge_kinds(
+                        ret, self._kinds_of(ret_fact.data_roots, root_kinds)
+                    ):
+                        changed = True
+                sinks = self.param_sink.setdefault(fn.qualname, {})
+
+                def add_chain(param: str, chain: SinkChain) -> None:
+                    nonlocal changed
+                    have = sinks.get(param, frozenset())
+                    if chain not in have and len(have) < 8:
+                        sinks[param] = have | {chain}
+                        changed = True
+
+                ret_sink = self._return_sink(fn)
+                if ret_sink is not None:
+                    forbids, desc = ret_sink
+                    for ret_fact in fn.returns:
+                        for root in ret_fact.data_roots:
+                            if root.startswith("p:"):
+                                add_chain(
+                                    root[2:],
+                                    SinkChain(forbids, desc, (fn.qualname,)),
+                                )
+                for call in fn.calls:
+                    for forbids, desc in self._call_sinks(fn, call):
+                        for arg in list(call.args) + [
+                            a for _, a in call.kwargs
+                        ]:
+                            for root in self._arg_roots(arg):
+                                if root.startswith("p:"):
+                                    add_chain(
+                                        root[2:],
+                                        SinkChain(
+                                            forbids, desc, (fn.qualname,)
+                                        ),
+                                    )
+                    for callee in self.resolver.callees(fn, call):
+                        callee_fn = self.index.functions.get(callee)
+                        if callee_fn is None:
+                            continue
+                        callee_sinks = self.param_sink.get(callee, {})
+                        if not callee_sinks:
+                            continue
+                        bound = self.resolver.bindings(call, callee_fn)
+                        for q, chains in callee_sinks.items():
+                            arg = bound.get(q)
+                            if arg is None:
+                                continue
+                            for chain in chains:
+                                if fn.qualname in chain.via:
+                                    continue  # cycle guard
+                                for root in self._arg_roots(arg):
+                                    if root.startswith("p:"):
+                                        add_chain(
+                                            root[2:],
+                                            SinkChain(
+                                                chain.forbids,
+                                                chain.desc,
+                                                (fn.qualname,) + chain.via,
+                                            ),
+                                        )
+            if not changed:
+                return
+
+    # -- findings -------------------------------------------------------------
+    def findings(self) -> list[Finding]:
+        out: dict[tuple, Finding] = {}
+
+        def report(
+            path: str,
+            line: int,
+            kinds: dict[str, Witness],
+            forbids: frozenset[str],
+            desc: str,
+            via: tuple[str, ...] = (),
+        ) -> None:
+            facts = self.index.files.get(path)
+            for kind in sorted(set(kinds) & forbids):
+                if facts is not None and facts.suppressed(line, RULE):
+                    continue
+                src_desc, src_path, src_line = kinds[kind]
+                chain = (
+                    " via " + " -> ".join(short(q) for q in via)
+                    if via
+                    else ""
+                )
+                message = (
+                    f"{kind} taint from {src_desc} "
+                    f"({src_path}:{src_line}) reaches {desc}{chain}"
+                )
+                key = (path, line, kind, desc)
+                if key not in out:
+                    out[key] = Finding(
+                        path=path, line=line, col=0, rule=RULE, message=message
+                    )
+
+        for fn in self.index.functions.values():
+            facts_file = self.index.file_for(fn.qualname)
+            path = facts_file.path if facts_file else "<unknown>"
+            root_kinds = self._root_kinds(fn)
+            if not root_kinds:
+                continue
+            ret_sink = self._return_sink(fn)
+            if ret_sink is not None:
+                forbids, desc = ret_sink
+                for ret_fact in fn.returns:
+                    kinds = self._kinds_of(ret_fact.data_roots, root_kinds)
+                    report(path, ret_fact.line, kinds, forbids, desc)
+            for call in fn.calls:
+                for forbids, desc in self._call_sinks(fn, call):
+                    for arg in list(call.args) + [a for _, a in call.kwargs]:
+                        kinds = self._kinds_of(
+                            self._arg_roots(arg), root_kinds
+                        )
+                        report(path, call.line, kinds, forbids, desc)
+                for callee in self.resolver.callees(fn, call):
+                    callee_fn = self.index.functions.get(callee)
+                    if callee_fn is None:
+                        continue
+                    callee_sinks = self.param_sink.get(callee, {})
+                    if not callee_sinks:
+                        continue
+                    bound = self.resolver.bindings(call, callee_fn)
+                    for q, chains in callee_sinks.items():
+                        arg = bound.get(q)
+                        if arg is None:
+                            continue
+                        kinds = self._kinds_of(
+                            self._arg_roots(arg), root_kinds
+                        )
+                        if not kinds:
+                            continue
+                        for chain in chains:
+                            report(
+                                path,
+                                call.line,
+                                kinds,
+                                chain.forbids,
+                                chain.desc,
+                                chain.via,
+                            )
+        return sorted(
+            out.values(), key=lambda f: (f.path, f.line, f.message)
+        )
+
+
+def run_taint(
+    index: ProjectIndex,
+    config: FlowConfig,
+    resolver: Optional[Resolver] = None,
+) -> list[Finding]:
+    engine = _TaintEngine(index, config, resolver or Resolver(index))
+    engine.solve()
+    return engine.findings()

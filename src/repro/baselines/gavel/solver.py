@@ -112,7 +112,9 @@ def solve_max_min_lp(
     )
     if not result.success:  # pragma: no cover - HiGHS is reliable on this LP
         raise RuntimeError(f"Gavel LP failed: {result.message}")
-    return result.x[:n_y].reshape(num_jobs, num_types)
+    # HiGHS honours bounds only to its primal feasibility tolerance
+    # (~1e-7); snap the solution back into the declared [0, 1] domain.
+    return np.clip(result.x[:n_y], 0.0, 1.0).reshape(num_jobs, num_types)
 
 
 def solve_max_sum_lp(
@@ -158,7 +160,7 @@ def solve_max_sum_lp(
     )
     if not result.success:  # pragma: no cover - HiGHS is reliable on this LP
         raise RuntimeError(f"Gavel max-sum LP failed: {result.message}")
-    return result.x.reshape(num_jobs, num_types)
+    return np.clip(result.x, 0.0, 1.0).reshape(num_jobs, num_types)
 
 
 def water_filling_allocation(

@@ -132,8 +132,11 @@ class DPAllocator:
                 caching=self.config.round_caching,
             )
         self.last_context = ctx
+        # Sanctioned timer-into-decision flow: the deadline fallback
+        # trades determinism for bounded decision latency by design and
+        # is off (None) in every reproducible configuration.
         deadline = (
-            perf_counter() + self.config.decision_deadline_s
+            perf_counter() + self.config.decision_deadline_s  # repro-lint: disable=REP009
             if self.config.decision_deadline_s is not None
             else None
         )

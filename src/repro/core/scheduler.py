@@ -243,11 +243,12 @@ class HadarScheduler(Scheduler):
         (``DP_allocation`` mutated ``state`` with the admitted gangs) —
         the prices are the end-of-round Eq. (5) values the next arrival
         would face.  For each admitted job the consolidated-vs-scattered
-        breakdown is leave-one-out: its own gang is released, the
-        families are costed, and the gang is restored — "given everyone
-        else's final placement, what did this job's alternatives pay?".
-        Pure reads plus a balanced release/allocate pair on the
-        scheduler's private state copy; the engine never sees it.
+        breakdown is leave-one-out: its own gang is released on a
+        throwaway probe copy and the families are costed there — "given
+        everyone else's final placement, what did this job's
+        alternatives pay?".  ``state`` itself is never written, so the
+        audit block downstream reads the exact state it would have seen
+        with tracing off (REP011 enforces this).
         """
         from repro.obs.tracer import placements_list
 
@@ -260,9 +261,9 @@ class HadarScheduler(Scheduler):
             }
             cand = chosen.get(rt.job_id)
             if cand is not None:
-                state.release(cand.allocation)
-                explanation = explain_alloc(round_ctx, rt, state)
-                state.allocate(cand.allocation)
+                probe = state.copy()
+                probe.release(cand.allocation)
+                explanation = explain_alloc(round_ctx, rt, probe)
                 record["outcome"] = (
                     "kept" if cand.allocation == rt.allocation else "admitted"
                 )

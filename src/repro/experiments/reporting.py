@@ -281,7 +281,6 @@ def _ablations(scale_name: str) -> str:
 def generate_report(scale_name: Optional[str] = None) -> str:
     """Build the full markdown report; takes minutes at larger scales."""
     scale = resolve_scale(scale_name)
-    started = time.monotonic()
     parts = [
         "# EXPERIMENTS — paper vs. measured",
         "",
@@ -319,8 +318,6 @@ def generate_report(scale_name: Optional[str] = None) -> str:
         "  keeps the cluster busier than the paper's Fig. 4 suggests, while",
         "  still losing heavily on JCT/FTF as in the paper.",
         "",
-        f"_Report generated in {time.monotonic() - started:.0f} s._",
-        "",
     ]
     return "\n".join(parts)
 
@@ -328,11 +325,16 @@ def generate_report(scale_name: Optional[str] = None) -> str:
 def main() -> None:  # pragma: no cover - CLI shim
     scale = sys.argv[1] if len(sys.argv) > 1 else None
     out = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
+    # Timing stays on stderr: the report itself is a reproducible
+    # artifact and must not embed wall-clock measurements (REP009).
+    started = time.monotonic()
     report = generate_report(scale)
     with open(out, "w") as fh:
         fh.write(report)
     # ``python -m repro.experiments.reporting`` entry point: stdout is the UI.
     print(f"wrote {out}")  # repro-lint: disable=REP007
+    elapsed = time.monotonic() - started
+    print(f"report generated in {elapsed:.0f} s", file=sys.stderr)  # repro-lint: disable=REP007
 
 
 if __name__ == "__main__":  # pragma: no cover

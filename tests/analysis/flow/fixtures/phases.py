@@ -1,0 +1,35 @@
+"""REP011 fixture: an observer phase that writes simulation state.
+
+``TelemetryPhase`` is bound to an *observer* contract in the default
+config; its ``run`` mutates the ``ClusterState``-annotated parameter
+(a mutator-method write reached through an attribute chain), which the
+purity pass must flag.  ``GoodTelemetryPhase`` shows the allowed shape
+— pure reads, private accumulation — and must stay clean.
+"""
+
+
+class ClusterState:
+    """Stand-in with the protected type's name; never imported."""
+
+    def __init__(self):
+        self.dirty = []
+        self.round = 0
+
+
+class TelemetryPhase:
+    """Impure observer: leaves a mark on the state it only observes."""
+
+    def run(self, state: ClusterState):
+        state.dirty.append(1)
+        return len(state.dirty)
+
+
+class GoodTelemetryPhase:
+    """Pure observer: reads the state, accumulates privately."""
+
+    def __init__(self):
+        self.samples = []
+
+    def run(self, state: ClusterState):
+        self.samples.append(state.round)
+        return state.round

@@ -1,0 +1,26 @@
+"""REP009 fixture: wall-clock taint reaching a scheduler decision.
+
+Intentionally broken and never imported by the library — the flow
+tests analyze this file and assert the taint pass fails it.  The
+``time.time()`` call carries a REP002 waiver (the *lint* gate covers
+``tests/`` too and this fixture needs a live nondeterminism source);
+REP009 must still track the value interprocedurally: helper return →
+score → the ``.schedule`` return sink.
+"""
+
+import time
+
+
+def _jitter() -> float:
+    return time.time() * 1e-6  # repro-lint: disable=REP002
+
+
+def _score(job_id: int) -> float:
+    return job_id + _jitter()
+
+
+class JitterScheduler:
+    """Breaks ties with wall-clock noise: different decisions per run."""
+
+    def schedule(self, queue):
+        return {job_id: _score(job_id) for job_id in queue}

@@ -475,9 +475,15 @@ class TestUnseededRNG:
         assert rules_of(lint_source(src, CORE)) == ["REP002"]
         assert rules_of(lint_source(src, "src/repro/faults/fake.py")) == ["REP002"]
 
+    def test_tests_tree_left_to_rep002(self):
+        # The suite is REP002 scope too (flaky-by-construction tests);
+        # REP008 stays out so the site is flagged exactly once.
+        src = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert rules_of(lint_source(src, "tests/fake.py")) == ["REP002"]
+
     def test_out_of_library_not_flagged(self):
         src = "import numpy as np\nrng = np.random.default_rng()\n"
-        assert lint_source(src, "tests/fake.py") == []
+        assert lint_source(src, "scripts/fake.py") == []
 
 
 class TestShippedTreeIsClean:
@@ -490,6 +496,16 @@ class TestShippedTreeIsClean:
     )
     def test_shipped_tree_has_no_findings(self, tree):
         findings = lint_paths([REPO_ROOT / tree])
+        assert findings == [], "\n".join(f.format() for f in findings)
+
+    def test_test_suite_is_deterministic(self):
+        # The determinism rules gate tests/ too: an unseeded stream or a
+        # wall-clock read makes a test flaky by construction.  Fixtures
+        # that need nondeterminism on purpose carry inline waivers.
+        findings = lint_paths(
+            [REPO_ROOT / "tests"],
+            rules=[NondeterminismRule, UnseededRNGRule],
+        )
         assert findings == [], "\n".join(f.format() for f in findings)
 
     def test_every_rule_has_id_and_doc(self):
