@@ -21,6 +21,10 @@ attached, and again with an all-rates-zero ``FaultModel`` (the whole
 fault machinery wired in — repair-mode validator, fault phase, empty
 schedule — but no events); the ``--check`` gate fails if even the
 least-noisy seed shows >= 3% wall-clock overhead on either off path.
+A fourth ``snapshot_overhead`` rerun drives the same scenario through
+the step lifecycle with a full engine snapshot serialized every 25
+rounds (the ``--snapshot-every`` CLI default) and gates that tax the
+same way.
 
 Usage::
 
@@ -69,6 +73,15 @@ FAULTS_OVERHEAD_LIMIT_PCT = 3.0
 """Gate on the faults-disabled tax: attaching an all-rates-zero
 ``FaultModel`` (empty schedule, repair-mode validator) must cost < 3%
 wall-clock vs no fault machinery at all (same min-over-seeds rule)."""
+SNAPSHOT_OVERHEAD_LIMIT_PCT = 3.0
+"""Gate on the checkpointing tax: with a full engine snapshot captured
+and serialized every ``SNAPSHOT_EVERY`` rounds (the CLI's default
+interval), the seconds spent inside snapshot+serialize must be < 3% of
+the run's remaining wall-clock.  Measured directly around the snapshot
+calls (not run-vs-run, which is noise-bound), min over the seeds."""
+SNAPSHOT_EVERY = 25
+"""Rounds between snapshots in the ``snapshot_overhead`` scenario —
+matches the ``--snapshot-every`` CLI default."""
 
 
 def _phases(result: SimulationResult) -> dict[str, float]:
@@ -93,6 +106,47 @@ def _run(
         cluster, trace, scheduler, tracer=tracer, metrics=metrics, faults=faults
     )
     return time.perf_counter() - start, result
+
+
+def _run_snapshotting(
+    seed: int, num_jobs: int
+) -> tuple[float, float, SimulationResult, int]:
+    """The cached Hadar scenario driven through the step lifecycle with a
+    full engine snapshot serialized every ``SNAPSHOT_EVERY`` rounds — the
+    service-mode hot path (``repro.cli serve``).  Returns the total
+    wall-clock, the seconds spent inside snapshot+serialize (the
+    checkpointing tax the gate bounds), the result, and the snapshot
+    count."""
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.snapshot import SnapshotCodec
+
+    cluster = simulated_cluster()
+    trace = generate_philly_trace(PhillyTraceConfig(num_jobs=num_jobs, seed=seed))
+    scheduler = HadarScheduler(HadarConfig(dp=DPConfig(round_caching=True)))
+    engine = SimulationEngine(
+        cluster=cluster,
+        trace=trace,
+        scheduler=scheduler,
+        metrics=MetricsRegistry(),
+    )
+    codec = SnapshotCodec()
+    snapshots = 0
+    snapshot_s = 0.0
+    start = time.perf_counter()
+    engine.start()
+    last = engine.scheduling_invocations
+    more = True
+    while more:
+        more = engine.step()
+        rounds = engine.scheduling_invocations
+        if more and rounds - last >= SNAPSHOT_EVERY:
+            snap_start = time.perf_counter()
+            codec.dumps(engine.snapshot())
+            snapshot_s += time.perf_counter() - snap_start
+            snapshots += 1
+            last = rounds
+    result = engine.stop()
+    return time.perf_counter() - start, snapshot_s, result, snapshots
 
 
 def _run_engine(seed: int, num_jobs: int) -> tuple[float, SimulationResult]:
@@ -137,6 +191,16 @@ def record(num_jobs: int, scale: str) -> dict:
         disabled_s, _ = _run(seed, num_jobs, cached=True, tracer=disabled_tracer)
         # The faults-off tax: all machinery attached, zero fault events.
         faults_s, _ = _run(seed, num_jobs, cached=True, faults=FaultModel(seed=seed))
+        # The checkpointing tax: step-driven run with periodic snapshots.
+        snap_s, snap_cost_s, snap_result, snapshots = _run_snapshotting(
+            seed, num_jobs
+        )
+        if repr(snap_result.end_time) != repr(cached.end_time):
+            raise AssertionError(
+                f"snapshot_overhead run diverged from the batch run at "
+                f"seed {seed}: end_time {snap_result.end_time!r} != "
+                f"{cached.end_time!r}"
+            )
         c_stats, r_stats = cached.hotpath_stats, reference.hotpath_stats
         evals_c = max(c_stats.get("candidate_evals", 0), 1)
         runs_c = max(c_stats.get("find_alloc_runs", 0), 1)
@@ -154,6 +218,14 @@ def record(num_jobs: int, scale: str) -> dict:
             "faults_disabled": {
                 "wall_s": round(faults_s, 3),
                 "overhead_pct": round(100.0 * (faults_s / max(cached_s, 1e-9) - 1.0), 2),
+            },
+            "snapshot_overhead": {
+                "wall_s": round(snap_s, 3),
+                "snapshot_s": round(snap_cost_s, 4),
+                "overhead_pct": round(
+                    100.0 * snap_cost_s / max(snap_s - snap_cost_s, 1e-9), 2
+                ),
+                "snapshots": snapshots,
             },
             "reference": {
                 "wall_s": round(reference_s, 3),
@@ -181,6 +253,7 @@ def record(num_jobs: int, scale: str) -> dict:
     speedups = [s["wall_clock_speedup"] for s in hadar]
     overheads = [s["tracing_disabled"]["overhead_pct"] for s in hadar]
     fault_overheads = [s["faults_disabled"]["overhead_pct"] for s in hadar]
+    snapshot_overheads = [s["snapshot_overhead"]["overhead_pct"] for s in hadar]
     return {
         "meta": {
             "bench": "dp_hotpath",
@@ -202,6 +275,7 @@ def record(num_jobs: int, scale: str) -> dict:
             "max_wall_clock_speedup": max(speedups),
             "min_tracing_overhead_pct": min(overheads),
             "min_faults_overhead_pct": min(fault_overheads),
+            "min_snapshot_overhead_pct": min(snapshot_overheads),
         },
     }
 
@@ -232,6 +306,13 @@ def check(report: dict, baseline: dict, threshold: float) -> list[str]:
         problems.append(
             f"faults-disabled overhead {fault_overhead:.2f}% on every seed — "
             f"the off path must cost < {FAULTS_OVERHEAD_LIMIT_PCT:.0f}%"
+        )
+    snap_overhead = report.get("summary", {}).get("min_snapshot_overhead_pct")
+    if snap_overhead is not None and snap_overhead >= SNAPSHOT_OVERHEAD_LIMIT_PCT:
+        problems.append(
+            f"snapshot overhead {snap_overhead:.2f}% on every seed — "
+            f"periodic checkpointing must cost < "
+            f"{SNAPSHOT_OVERHEAD_LIMIT_PCT:.0f}%"
         )
     return problems
 
@@ -279,7 +360,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "tracing-off overhead (min): "
         f"{summary['min_tracing_overhead_pct']:.2f}%; "
         "faults-off overhead (min): "
-        f"{summary['min_faults_overhead_pct']:.2f}%"
+        f"{summary['min_faults_overhead_pct']:.2f}%; "
+        "snapshot overhead (min): "
+        f"{summary['min_snapshot_overhead_pct']:.2f}%"
     )
 
     if args.check is not None:

@@ -6,7 +6,8 @@ interprocedural passes over extracted per-file facts:
 
 * :mod:`~repro.analysis.flow.taint` — REP009 determinism taint,
 * :mod:`~repro.analysis.flow.memo` — REP010 cache-key coherence,
-* :mod:`~repro.analysis.flow.purity` — REP011 phase purity.
+* :mod:`~repro.analysis.flow.purity` — REP011 phase purity,
+* :mod:`~repro.analysis.flow.snapshots` — REP012 snapshot completeness.
 
 Entry points: :func:`analyze_paths` (library) and ``python -m
 repro.analysis flow`` (CLI, via :mod:`repro.analysis.__main__`).
@@ -24,12 +25,14 @@ from repro.analysis.flow.config import (
     FunctionContract,
     MemoSpec,
     PhaseContract,
+    SnapshotSpec,
 )
 from repro.analysis.flow.memo import run_memo
 from repro.analysis.flow.project import ProjectIndex, extract_file_facts
 from repro.analysis.flow.purity import run_purity
 from repro.analysis.flow.runner import FLOW_RULES, FlowReport, analyze_paths
 from repro.analysis.flow.sarif import to_sarif, write_sarif
+from repro.analysis.flow.snapshots import run_snapshots
 from repro.analysis.flow.taint import run_taint
 
 __all__ = [
@@ -41,6 +44,7 @@ __all__ = [
     "FunctionContract",
     "MemoSpec",
     "PhaseContract",
+    "SnapshotSpec",
     "ProjectIndex",
     "analyze_paths",
     "extract_file_facts",
@@ -48,6 +52,7 @@ __all__ = [
     "load_baseline",
     "run_memo",
     "run_purity",
+    "run_snapshots",
     "run_taint",
     "to_sarif",
     "write_sarif",

@@ -2,7 +2,7 @@
 
 A baseline file is a JSON list of finding keys — ``rule``, ``path``,
 and a message prefix — that are accepted as known debt and filtered
-from gate output.  The repository policy for REP009–REP011 is a
+from gate output.  The repository policy for REP009–REP012 is a
 *permanently empty* baseline (real findings get fixed, sanctioned seams
 get inline ``# repro-lint: disable=`` comments with a justification);
 the mechanism exists so a future migration can stage large sweeps

@@ -40,6 +40,7 @@ __all__ = [
     "MemoSpec",
     "PhaseContract",
     "ReturnSink",
+    "SnapshotSpec",
     "TAINT_KINDS",
 ]
 
@@ -88,6 +89,28 @@ class MemoSpec:
 
 
 @dataclass(frozen=True)
+class SnapshotSpec:
+    """Snapshot-completeness contract for one engine-state class.
+
+    REP012 enumerates every mutable attribute the class can carry —
+    class-level declared fields (dataclass fields) plus every
+    ``self.<attr>`` write in any method — and requires each to be either
+    ``captured`` (serialized by the class's ``state_dict``) or
+    ``waived`` (deliberately not snapshotted; ``note`` carries the
+    justification, typically "per-round transient, every consumer reads
+    it within the round that wrote it" or "pure cache, rebuilt on
+    demand").  A spec naming a class or attribute that no longer exists
+    is config drift and fires too — renames cannot silently retire a
+    snapshot obligation.
+    """
+
+    cls: str
+    captured: tuple[str, ...] = ()
+    waived: tuple[str, ...] = ()
+    note: str = ""
+
+
+@dataclass(frozen=True)
 class PhaseContract:
     """Write-effect contract for one phase/observer class."""
 
@@ -112,6 +135,7 @@ class FlowConfig:
     contracts: tuple[PhaseContract, ...] = ()
     function_contracts: tuple[FunctionContract, ...] = ()
     protected_types: tuple[str, ...] = ()
+    snapshot_specs: tuple[SnapshotSpec, ...] = ()
 
     def digest(self) -> str:
         """Stable hash folded into the incremental-cache fingerprint."""
@@ -134,6 +158,14 @@ class FlowConfig:
                     vars(c) for c in self.function_contracts
                 ],
                 "protected": self.protected_types,
+                "snapshot_specs": [
+                    {
+                        "cls": s.cls,
+                        "captured": s.captured,
+                        "waived": s.waived,
+                    }
+                    for s in self.snapshot_specs
+                ],
             },
             sort_keys=True,
             # frozensets must serialize in a hash-seed-independent order
@@ -265,5 +297,163 @@ DEFAULT_CONFIG = FlowConfig(
         "ProgressLedger",
         "EventKernel",
         "JobRuntime",
+    ),
+    snapshot_specs=(
+        SnapshotSpec(
+            cls="events.EventQueue",
+            captured=("_heap", "_next_seq"),
+            note="Heap array serialized verbatim (a captured heap is a "
+            "valid heap; pops replay in original order) plus the push "
+            "sequence counter.",
+        ),
+        SnapshotSpec(
+            cls="kernel.EventKernel",
+            captured=("_queue",),
+            note="Delegates wholesale to EventQueue.state_dict.",
+        ),
+        SnapshotSpec(
+            cls="progress.JobRuntime",
+            captured=(
+                "job", "state", "iterations_done", "allocation", "rate",
+                "slowdown", "straggler_events", "checkpoint_iterations",
+                "failures", "rollbacks", "rollback_seconds",
+                "rollback_iterations", "resume_time", "last_integrated",
+                "generation", "alloc_epoch", "first_start_time",
+                "finish_time", "preemptions", "allocation_changes",
+                "overhead_seconds", "attained_service", "waiting_seconds",
+                "rounds_scheduled", "rounds_by_type", "history",
+            ),
+            note="Every mutable field, plus the immutable job spec so a "
+            "runtime round-trips standalone.",
+        ),
+        SnapshotSpec(
+            cls="progress.ProgressLedger",
+            captured=("_dirty",),
+            waived=(
+                "runtimes", "allocation", "finish_time", "generation",
+                "rate", "state",
+            ),
+            note="The runtimes table is owned (and captured, in insertion "
+            "order) by the engine; the ledger snapshot is just the dirty "
+            "set's mark order. The remaining names are writes that reach "
+            "JobRuntime objects *through* local aliases of that table "
+            "(finalize_completions' rt.state etc.) — captured on "
+            "JobRuntime, not ledger state.",
+        ),
+        SnapshotSpec(
+            cls="state.ClusterState",
+            captured=("_capacity", "_free"),
+            waived=("_order", "_index", "_vec", "_key_cache"),
+            note="Capacity/free maps captured in insertion order (their "
+            "dict order feeds free_by_type/used_by_type output order). "
+            "_order/_index are the immutable slot universe (validated "
+            "against the restoring cluster); _vec/_key_cache are derived "
+            "caches rebuilt by load_state_dict.",
+        ),
+        SnapshotSpec(
+            cls="pricing.PriceCalibrator",
+            captured=("_types", "_records", "last_jobs", "last_dirty"),
+            waived=("config", "_model_rates"),
+            note="Eq. (8) records captured in insertion order. config is "
+            "immutable; _model_rates is a pure deterministic cache over "
+            "the immutable throughput matrix, rebuilt on demand.",
+        ),
+        SnapshotSpec(
+            cls="scheduler.HadarScheduler",
+            captured=("last_alpha", "_calibrator", "audit"),
+            waived=(
+                "config", "reacts_to_events", "round_based",
+                "trace_decisions", "last_prices", "last_chosen",
+                "last_round_stats", "last_decision_trace",
+                "last_calibration_s",
+            ),
+            note="config/reacts_to_events/round_based are construction-"
+            "time constants; trace_decisions is rewired by the engine at "
+            "restore; the last_* fields are per-round transients — every "
+            "consumer reads them within the round that wrote them.",
+        ),
+        SnapshotSpec(
+            cls="scheduler.GavelScheduler",
+            captured=("_cached_key", "_cached_matrix"),
+            waived=(
+                "config", "reacts_to_events", "round_based",
+                "_solved_last_round", "last_round_stats",
+            ),
+            note="The solved LP matrix is captured (not just its key) so "
+            "restore does not depend on solver determinism. "
+            "_solved_last_round/last_round_stats are per-round "
+            "transients.",
+        ),
+        SnapshotSpec(
+            cls="tiresias.TiresiasScheduler",
+            captured=("_demoted",),
+            waived=("config", "reacts_to_events", "round_based",
+                    "last_round_stats"),
+            note="Only the demotion set survives rounds; the queues are "
+            "recomputed from attained service each invocation.",
+        ),
+        SnapshotSpec(
+            cls="random_sched.RandomScheduler",
+            captured=("_rng",),
+            waived=("_seed", "reacts_to_events", "round_based"),
+            note="RNG position via bit_generator.state; the seed is "
+            "construction-time config.",
+        ),
+        SnapshotSpec(
+            cls="phase.FaultPhase",
+            captured=("failed", "_taken", "stats", "rollback_seconds",
+                      "rollback_iterations"),
+            waived=("model", "cluster", "schedule", "emit", "sanitizer"),
+            note="The fault schedule is a pure function of (model, "
+            "cluster, max_time) regenerated at construction — "
+            "outstanding FAULT events live in the kernel heap snapshot. "
+            "emit/sanitizer are wiring the engine re-establishes.",
+        ),
+        SnapshotSpec(
+            cls="telemetry.UtilizationRecorder",
+            captured=("times", "used_total", "used_by_type",
+                      "queue_times", "queue_depths"),
+            note="All five step-function series, verbatim.",
+        ),
+        SnapshotSpec(
+            cls="registry.MetricsRegistry",
+            captured=("_metrics",),
+            note="Full reconstructible state (state_dict, not the "
+            "cumulative snapshot() rendering); histogram min/max travel "
+            "as hex floats for the ±inf empty-series sentinels.",
+        ),
+        SnapshotSpec(
+            cls="sanitizer.InvariantSanitizer",
+            captured=("rounds_checked", "_tiresias_seen", "violations"),
+            waived=("mode", "abs_tol", "rel_tol"),
+            note="mode/tolerances are construction-time config; "
+            "violations round-trip as structured records.",
+        ),
+        SnapshotSpec(
+            cls="phases.SchedulerPhase",
+            captured=("decision_seconds", "hotpath_stats", "last_changes",
+                      "last_queue_depth", "validator"),
+            waived=(
+                "scheduler", "cluster", "matrix", "round_length",
+                "checkpoint", "on_place", "fault_phase", "capture_changes",
+                "_nominal",
+            ),
+            note="Cross-round accumulators captured (validator via its "
+            "rejections list). The waived names are construction wiring "
+            "the engine re-creates identically at restore.",
+        ),
+        SnapshotSpec(
+            cls="phases.PhaseTimings",
+            captured=("decision_s", "integration_s", "repredict_s",
+                      "event_dispatch_s", "calibration_s"),
+            note="All five wall-clock buckets.",
+        ),
+        SnapshotSpec(
+            cls="arrivals.SubmissionSource",
+            captured=("_rng", "_next_job_id", "_emitted", "_clock"),
+            waived=("jobs_per_hour", "max_jobs", "seed", "template"),
+            note="RNG position + stream counters; rate/bound/seed/"
+            "template are construction-time config.",
+        ),
     ),
 )

@@ -76,9 +76,13 @@ __all__ = [
     "module_name_for",
 ]
 
-FACTS_VERSION = 1
+FACTS_VERSION = 2
 """Bumped whenever the extraction abstraction changes; part of the
-cache fingerprint so stale per-file facts are never reused."""
+cache fingerprint so stale per-file facts are never reused.
+
+Version history: 2 added :attr:`ClassFacts.fields` (class-level
+declared attributes, i.e. dataclass fields) for the REP012
+snapshot-completeness pass."""
 
 # --------------------------------------------------------------------------- #
 # Source / mutator tables (extraction-level: part of FACTS_VERSION)
@@ -338,7 +342,14 @@ class FunctionFacts:
 
 @dataclass
 class ClassFacts:
-    """Class shape: bases, methods, and inferred ``self.<attr>`` types."""
+    """Class shape: bases, methods, fields, inferred ``self.<attr>`` types.
+
+    ``fields`` are *class-level declared* attributes — annotated
+    assignments (dataclass fields) and plain class-variable assignments
+    — which never appear as ``self.<attr>`` writes in ``__init__`` for
+    dataclasses, so the REP012 snapshot pass needs them recorded
+    separately from the per-method write facts.
+    """
 
     qualname: str
     module: str
@@ -347,6 +358,7 @@ class ClassFacts:
     bases: tuple[tuple[str, ...], ...]
     methods: tuple[str, ...]
     attr_types: dict[str, tuple[str, ...]]
+    fields: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -357,6 +369,7 @@ class ClassFacts:
             "bases": [list(b) for b in self.bases],
             "methods": list(self.methods),
             "attr_types": {k: list(v) for k, v in self.attr_types.items()},
+            "fields": list(self.fields),
         }
 
     @staticmethod
@@ -369,6 +382,7 @@ class ClassFacts:
             bases=tuple(tuple(b) for b in d["bases"]),
             methods=tuple(d["methods"]),
             attr_types={k: tuple(v) for k, v in d["attr_types"].items()},
+            fields=tuple(d.get("fields", ())),
         )
 
 
@@ -1064,6 +1078,28 @@ class _FunctionExtractor:
 # File-level extraction
 # --------------------------------------------------------------------------- #
 
+def _class_fields(cls_node: ast.ClassDef) -> tuple[str, ...]:
+    """Class-level declared attribute names, in declaration order.
+
+    Annotated assignments (``x: int = 0`` — dataclass fields) and plain
+    class-variable assignments (``kind = "counter"``) both count;
+    dunders and ``__slots__``-style machinery are skipped (``__slots__``
+    declares *storage*, the attributes themselves show up as writes).
+    """
+    names: list[str] = []
+    for stmt in cls_node.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+        elif isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        for target in targets:
+            if isinstance(target, ast.Name) and not target.id.startswith("__"):
+                if target.id not in names:
+                    names.append(target.id)
+    return tuple(names)
+
+
 def _class_attr_types(
     cls_node: ast.ClassDef,
     aliases: dict[str, tuple[str, ...]],
@@ -1185,6 +1221,7 @@ def extract_file_facts(
                 attr_types=_class_attr_types(
                     node, aliases, project_classes
                 ),
+                fields=_class_fields(node),
             )
     return FileFacts(str(path), module, digest, functions, classes, suppressions)
 

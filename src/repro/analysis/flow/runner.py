@@ -30,18 +30,20 @@ from repro.analysis.flow.config import DEFAULT_CONFIG, FlowConfig
 from repro.analysis.flow.memo import run_memo
 from repro.analysis.flow.project import ProjectIndex
 from repro.analysis.flow.purity import run_purity
+from repro.analysis.flow.snapshots import run_snapshots
 from repro.analysis.flow.resolve import Resolver
 from repro.analysis.flow.sarif import write_sarif
 from repro.analysis.flow.taint import run_taint
 
 __all__ = ["FLOW_RULES", "FlowReport", "analyze_paths", "main"]
 
-FLOW_RULES = ("REP009", "REP010", "REP011")
+FLOW_RULES = ("REP009", "REP010", "REP011", "REP012")
 
 _PASSES = {
     "REP009": run_taint,
     "REP010": run_memo,
     "REP011": run_purity,
+    "REP012": run_snapshots,
 }
 
 
@@ -100,7 +102,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         prog="python -m repro.analysis flow",
         description=(
             "Whole-program dataflow analysis (REP009 determinism taint, "
-            "REP010 cache-key coherence, REP011 phase purity)."
+            "REP010 cache-key coherence, REP011 phase purity, "
+            "REP012 snapshot completeness)."
         ),
     )
     parser.add_argument(

@@ -1,0 +1,169 @@
+"""REP012 — snapshot completeness for the engine-state classes.
+
+The engine's snapshot/restore contract (``sim/snapshot.py``) is only as
+good as each component's ``state_dict``: a mutable attribute that never
+makes it into the snapshot is a silent divergence bug — the restored
+run drifts from the uninterrupted one exactly when that attribute next
+matters.  This pass makes the capture set a *declared* artifact:
+
+* for every :class:`~repro.analysis.flow.config.SnapshotSpec` it
+  enumerates the class's mutable attribute universe — class-level
+  declared fields (dataclass fields, recorded in
+  :attr:`~repro.analysis.flow.project.ClassFacts.fields`) plus every
+  ``self.<attr>`` write in any method body;
+* each attribute must be either ``captured`` (serialized) or ``waived``
+  (deliberately excluded; the spec's ``note`` carries the proof —
+  per-round transients, pure caches, state regenerated at restore);
+* a spec naming a class that no longer exists, an attribute the class
+  no longer has, or the same attribute as both captured and waived, is
+  config drift and fires;
+* a class with a non-empty ``captured`` set must actually define
+  ``state_dict``/``load_state_dict``.
+
+Like REP010's ``invariant_params``, waivers here are recorded human
+proof obligations, not suppressions: they live in ``DEFAULT_CONFIG``
+next to the justification, and the committed fixture suite shows what
+fires when one is missing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.lint import Finding
+from repro.analysis.flow.config import FlowConfig, SnapshotSpec
+from repro.analysis.flow.project import ClassFacts, ProjectIndex
+from repro.analysis.flow.resolve import Resolver
+
+__all__ = ["run_snapshots"]
+
+RULE = "REP012"
+
+#: Attributes every Python object juggles that are never snapshot state.
+_IGNORED = frozenset({"__dict__", "__weakref__"})
+
+
+def _mutable_attrs(
+    index: ProjectIndex, cls: ClassFacts
+) -> dict[str, tuple[str, int]]:
+    """attr -> (where it is established, line), declaration order first."""
+    out: dict[str, tuple[str, int]] = {}
+    for name in cls.fields:
+        out.setdefault(name, ("declared class-level", cls.line))
+    for method in cls.methods:
+        fn = index.functions.get(f"{cls.module}.{cls.name}.{method}")
+        if fn is None:
+            continue
+        for write in fn.writes:
+            if not write.attrs or "p:self" not in write.roots:
+                continue
+            attr = write.attrs[0]
+            if attr in _IGNORED:
+                continue
+            # A bare subscript store through a local alias ("d[k] = v"
+            # where d came off self) mutates an object some *attribute*
+            # already reaches — the attribute itself is in the universe,
+            # the alias write carries no extra name to track.
+            if attr == "[]":
+                continue
+            out.setdefault(
+                attr, (f"written in {cls.name}.{method}", write.line)
+            )
+    return out
+
+
+def _check_class(
+    spec: SnapshotSpec, cls: ClassFacts, index: ProjectIndex
+) -> list[Finding]:
+    out: list[Finding] = []
+    facts_file = index.file_for(cls.qualname)
+    path = facts_file.path if facts_file else "<unknown>"
+
+    def report(line: int, message: str) -> None:
+        if facts_file is not None and facts_file.suppressed(line, RULE):
+            return
+        out.append(Finding(path=path, line=line, col=0, rule=RULE, message=message))
+
+    universe = _mutable_attrs(index, cls)
+    captured = set(spec.captured)
+    waived = set(spec.waived)
+    for attr in sorted(captured & waived):
+        report(
+            cls.line,
+            f"SnapshotSpec for {cls.name} declares '{attr}' both captured "
+            "and waived — pick one",
+        )
+    for attr in sorted((captured | waived) - set(universe)):
+        report(
+            cls.line,
+            f"SnapshotSpec for {cls.name} declares attribute '{attr}' "
+            "which the class neither declares nor writes "
+            "(spec drift after a rename?)",
+        )
+    for attr, (how, line) in sorted(universe.items()):
+        if attr in captured or attr in waived:
+            continue
+        report(
+            line,
+            f"mutable attribute {cls.name}.{attr} ({how}, {path}:{line}) "
+            "is neither captured by the snapshot spec nor explicitly "
+            "waived — a restored engine would silently lose it",
+        )
+    if captured:
+        if "state_dict" not in cls.methods:
+            report(
+                cls.line,
+                f"SnapshotSpec for {cls.name} captures attributes but "
+                "the class defines no state_dict()",
+            )
+        # Restoration is either in-place (load_state_dict) or by
+        # reconstruction (a from_state_dict classmethod) — either closes
+        # the round-trip.
+        if not {"load_state_dict", "from_state_dict"} & set(cls.methods):
+            report(
+                cls.line,
+                f"SnapshotSpec for {cls.name} captures attributes but "
+                "the class defines neither load_state_dict() nor "
+                "from_state_dict()",
+            )
+    return out
+
+
+def run_snapshots(
+    index: ProjectIndex,
+    config: FlowConfig,
+    resolver: Optional[Resolver] = None,
+) -> list[Finding]:
+    out: list[Finding] = []
+    for spec in config.snapshot_specs:
+        parts = spec.cls.split(".")
+        name = parts[-1]
+        matches = [
+            cls
+            for cls in index.by_class_name.get(name, ())
+            if cls.qualname == spec.cls
+            or cls.qualname.endswith("." + spec.cls)
+            or name == spec.cls
+        ]
+        if not matches:
+            # Snapshot specs describe engine-state classes, so drift is
+            # only meaningful when the engine tree itself is analyzed —
+            # fixture-directory runs (which deliberately reuse main-tree
+            # module names) must not fire on every main-tree spec.
+            if "SimulationEngine" in index.by_class_name:
+                out.append(
+                    Finding(
+                        path="<config>",
+                        line=0,
+                        col=0,
+                        rule=RULE,
+                        message=(
+                            f"SnapshotSpec '{spec.cls}' matches no analyzed "
+                            "class (renamed without updating the spec?)"
+                        ),
+                    )
+                )
+            continue
+        for cls in matches:
+            out.extend(_check_class(spec, cls, index))
+    return sorted(out, key=lambda f: (f.path, f.line, f.message))

@@ -134,6 +134,51 @@ class InvariantSanitizer:
         """No violation observed so far (the useful assert in collect mode)."""
         return not self.violations
 
+    # ---------------------------------------------------- engine snapshots --
+    def state_dict(self) -> dict:
+        """Cross-round sanitizer state for engine snapshots.
+
+        Violation ``details`` values may be arbitrary Python objects
+        (slots, tuples); non-JSON-able values are stringified on capture —
+        the structured fields and the formatted message round-trip
+        exactly.
+        """
+        def _jsonable(value):
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            return str(value)
+
+        return {
+            "rounds_checked": self.rounds_checked,
+            "tiresias_seen": sorted(self._tiresias_seen),
+            "violations": [
+                {
+                    "rule": v.rule,
+                    "message": str(v),
+                    "round_index": v.round_index,
+                    "now": v.now,
+                    "job_id": v.job_id,
+                    "details": {k: _jsonable(val) for k, val in v.details.items()},
+                }
+                for v in self.violations
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.rounds_checked = int(state["rounds_checked"])
+        self._tiresias_seen = {int(j) for j in state["tiresias_seen"]}
+        violations = []
+        for rec in state["violations"]:
+            v = InvariantViolation.__new__(InvariantViolation)
+            Exception.__init__(v, rec["message"])
+            v.rule = rec["rule"]
+            v.round_index = rec["round_index"]
+            v.now = rec["now"]
+            v.job_id = rec["job_id"]
+            v.details = dict(rec["details"])
+            violations.append(v)
+        self.violations = violations
+
     # ------------------------------------------------------ invariant checks --
     def check_capacity(
         self,

@@ -79,6 +79,59 @@ class GavelScheduler(Scheduler):
         self._solved_last_round = 0
         self.last_round_stats = {}
 
+    # ---------------------------------------------------- engine snapshots --
+    def state_dict(self) -> dict:
+        """The matrix cache (key + solved ``Y``), for engine snapshots.
+
+        The solved matrix itself is captured — not just the key — so a
+        restored run reuses the exact LP solution the uninterrupted run
+        would have reused, independent of any solver-level variation.
+        ``_solved_last_round``/``last_round_stats`` are per-round
+        transients (overwritten before any cross-round read) and waived.
+        """
+        cached = self._cached_matrix
+        return {
+            "cached_key": (
+                None
+                if self._cached_key is None
+                else [list(self._cached_key[0]),
+                      [[t, c] for t, c in self._cached_key[1]]]
+            ),
+            "cached_matrix": (
+                None
+                if cached is None
+                else {
+                    "job_ids": list(cached.job_ids),
+                    "types": list(cached.types),
+                    "values": [[float(v) for v in row] for row in cached.values],
+                }
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        import numpy as np
+
+        key = state["cached_key"]
+        self._cached_key = (
+            None
+            if key is None
+            else (
+                tuple(int(j) for j in key[0]),
+                tuple((str(t), int(c)) for t, c in key[1]),
+            )
+        )
+        cached = state["cached_matrix"]
+        if cached is None:
+            self._cached_matrix = None
+        else:
+            self._cached_matrix = AllocationMatrix(
+                job_ids=tuple(int(j) for j in cached["job_ids"]),
+                types=tuple(str(t) for t in cached["types"]),
+                values=np.asarray(cached["values"], dtype=float).reshape(
+                    len(cached["job_ids"]), len(cached["types"])
+                ),
+            )
+
     @property
     def last_allocation_matrix(self) -> Optional[AllocationMatrix]:
         """The ``Y`` matrix behind the most recent decision (introspection

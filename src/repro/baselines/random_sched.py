@@ -36,6 +36,16 @@ class RandomScheduler(Scheduler):
     def reset(self) -> None:
         self._rng = np.random.default_rng(self._seed)
 
+    # ---------------------------------------------------- engine snapshots --
+    def state_dict(self) -> dict:
+        """The RNG stream position, so a restored run continues the exact
+        shuffle sequence (``bit_generator.state`` is a JSON-able dict)."""
+        return {"rng": self._rng.bit_generator.state}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng = np.random.default_rng(self._seed)
+        self._rng.bit_generator.state = state["rng"]
+
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         active = list(ctx.active)
         if not active:

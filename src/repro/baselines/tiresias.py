@@ -67,6 +67,15 @@ class TiresiasScheduler(Scheduler):
         self._demoted.clear()
         self.last_round_stats = {}
 
+    # ---------------------------------------------------- engine snapshots --
+    def state_dict(self) -> dict:
+        """The one-way demoted set (``last_round_stats`` is a per-round
+        transient, waived from snapshots)."""
+        return {"demoted": sorted(self._demoted)}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._demoted = {int(job_id) for job_id in state["demoted"]}
+
     @property
     def demoted_jobs(self) -> frozenset[int]:
         """Jobs currently in the low-priority queue (introspection surface

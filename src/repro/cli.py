@@ -109,6 +109,59 @@ def cmd_generate_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_with_snapshots(engine, every: int, directory) -> "SimulationResult":  # noqa: F821
+    """Drive an engine step-by-step, snapshotting every ``every`` rounds.
+
+    Restores from the newest snapshot in ``directory`` when one exists
+    (so re-running the same command after a kill continues the run), and
+    snapshots once more on SIGTERM/SIGINT before exiting cleanly.
+    """
+    import signal
+
+    from pathlib import Path
+
+    from repro.sim.snapshot import SnapshotCodec
+
+    codec = SnapshotCodec()
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    latest = SnapshotCodec.latest(directory)
+    if latest is not None:
+        engine.restore(codec.load(latest))
+        print(f"restored  : {latest} (tick {engine.tick_count})")
+    else:
+        engine.start()
+
+    interrupted = {"flag": False}
+
+    def _request_stop(signum, frame):  # pragma: no cover - signal path
+        interrupted["flag"] = True
+
+    previous = [
+        signal.signal(signal.SIGTERM, _request_stop),
+        signal.signal(signal.SIGINT, _request_stop),
+    ]
+    try:
+        last = engine.scheduling_invocations
+        more = True
+        while more and not interrupted["flag"]:
+            more = engine.step()
+            rounds = engine.scheduling_invocations
+            if every > 0 and rounds - last >= every:
+                path = directory / f"tick-{engine.tick_count:010d}.snapshot.json"
+                codec.save(engine.snapshot(), path)
+                last = rounds
+        if interrupted["flag"] and more:
+            path = directory / f"tick-{engine.tick_count:010d}.snapshot.json"
+            codec.save(engine.snapshot(), path)
+            print(f"interrupted: snapshot saved to {path}")
+            raise SystemExit(0)
+    finally:
+        signal.signal(signal.SIGTERM, previous[0])
+        signal.signal(signal.SIGINT, previous[1])
+    return engine.stop()
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     cluster = make_cluster(args.cluster)
     trace = _load_trace(args)
@@ -136,17 +189,35 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
-    result = simulate(
-        cluster,
-        trace,
-        scheduler,
-        round_length=args.round_min * 60.0,
-        stragglers=stragglers,
-        faults=faults,
-        sanitizer=sanitizer,
-        tracer=tracer,
-        metrics=metrics,
-    )
+    if args.snapshot_dir:
+        from repro.sim.engine import SimulationEngine
+        from repro.workload.throughput import default_throughput_matrix as _dtm
+
+        engine = SimulationEngine(
+            cluster=cluster,
+            trace=trace,
+            scheduler=scheduler,
+            matrix=_dtm(),
+            round_length=args.round_min * 60.0,
+            stragglers=stragglers,
+            faults=faults,
+            sanitizer=sanitizer,
+            tracer=tracer,
+            metrics=metrics,
+        )
+        result = _run_with_snapshots(engine, args.snapshot_every, args.snapshot_dir)
+    else:
+        result = simulate(
+            cluster,
+            trace,
+            scheduler,
+            round_length=args.round_min * 60.0,
+            stragglers=stragglers,
+            faults=faults,
+            sanitizer=sanitizer,
+            tracer=tracer,
+            metrics=metrics,
+        )
     if tracer is not None:
         tracer.close()
         print(f"trace     : {args.trace_out} ({tracer.records_emitted} records)")
@@ -185,6 +256,58 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         save_result_json(result, args.json)
         print(f"json      : {args.json}")
     return 0 if not result.truncated else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Service mode: a long-lived engine fed by a streaming job source.
+
+    Jobs are drawn from a seeded Poisson :class:`SubmissionSource` rather
+    than a fixed trace; the engine snapshots every ``--snapshot-every``
+    scheduler rounds into ``--snapshot-dir`` and again on SIGTERM, and a
+    relaunch with the same arguments restores from the newest snapshot
+    and continues bit-identically.
+    """
+    from repro.sim.engine import SimulationEngine
+    from repro.workload.arrivals import SubmissionSource
+    from repro.workload.trace import Trace
+
+    cluster = make_cluster(args.cluster)
+    scheduler = make_scheduler(args.scheduler)
+    trace = _load_trace(args) if args.trace else Trace(jobs=())
+    first_id = max((j.job_id for j in trace), default=-1) + 1
+    source = SubmissionSource(
+        args.rate,
+        seed=args.seed,
+        max_jobs=args.stream_jobs,
+        first_job_id=first_id,
+    )
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis.sanitizer import InvariantSanitizer
+
+        sanitizer = InvariantSanitizer()
+    engine = SimulationEngine(
+        cluster=cluster,
+        trace=trace,
+        scheduler=scheduler,
+        matrix=default_throughput_matrix(),
+        round_length=args.round_min * 60.0,
+        max_time=args.max_hours * 3600.0,
+        sanitizer=sanitizer,
+        source=source,
+    )
+    result = _run_with_snapshots(engine, args.snapshot_every, args.snapshot_dir)
+    stats = jct_stats(result)
+    print(f"scheduler : {result.scheduler_name}")
+    print(f"jobs done : {len(result.completed)}/{len(result.runtimes)}"
+          + ("  (TRUNCATED)" if result.truncated else ""))
+    print(f"streamed  : {source.emitted} jobs @ {args.rate:.1f}/h (seed {args.seed})")
+    print(f"mean JCT  : {stats.mean_hours:.2f} h   median {stats.median_hours:.2f} h")
+    print(f"makespan  : {result.makespan() / 3600:.2f} h")
+    if sanitizer is not None:
+        print(f"sanitizer : {sanitizer.rounds_checked} rounds checked, "
+              f"{len(sanitizer.violations)} violation(s)")
+    return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -294,9 +417,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", default=None,
                    help="write a structured decision trace (JSONL; see "
                         "docs/observability.md and `python -m repro.obs`)")
+    p.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                   help="checkpoint the engine into DIR (restores from the "
+                        "newest snapshot there when re-run)")
+    p.add_argument("--snapshot-every", type=int, default=25, metavar="N",
+                   help="snapshot every N scheduler rounds (with --snapshot-dir)")
     p.add_argument("--metrics-out", default=None,
                    help="write the metrics-registry snapshot as JSON")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived service mode: streaming submissions + snapshots",
+    )
+    add_workload_args(p)
+    p.add_argument("--scheduler", choices=SCHEDULERS, default="hadar")
+    p.add_argument("--cluster", choices=["simulated", "prototype"], default="simulated")
+    p.add_argument("--round-min", type=float, default=6.0)
+    p.add_argument("--stream-jobs", type=int, default=None, metavar="N",
+                   help="stop the stream after N jobs (default: unbounded)")
+    p.add_argument("--max-hours", type=float, default=24.0 * 30,
+                   help="simulated-time horizon for the service run")
+    p.add_argument("--sanitize", action="store_true",
+                   help="attach the invariant sanitizer")
+    p.add_argument("--snapshot-dir", required=True, metavar="DIR",
+                   help="where snapshots are written / restored from")
+    p.add_argument("--snapshot-every", type=int, default=25, metavar="N",
+                   help="snapshot every N scheduler rounds")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("compare", help="run a scheduler lineup over one workload")
     add_workload_args(p)

@@ -205,6 +205,40 @@ class ClusterState:
             cached = self._key_cache = tuple(self._vec)
         return cached
 
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """Capacity and free counts per slot, in dict insertion order.
+
+        Capacity is part of the state (not just the free counts): fault
+        injection shrinks it copy-on-write via :meth:`fail`, so a restored
+        state must reproduce the surviving inventory, not the as-built one.
+        The list preserves ``_capacity``'s insertion order because
+        ``free_by_type``/``used_by_type`` walk the dicts and downstream
+        consumers serialize their output order.  The derived members
+        (``_vec``/``_key_cache``) rebuild from the two dicts.
+        """
+        return {
+            "slots": [
+                [node_id, type_name, cap, self._free[(node_id, type_name)]]
+                for (node_id, type_name), cap in self._capacity.items()
+            ]
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        for node_id, type_name, _cap, _free in state["slots"]:
+            if (int(node_id), str(type_name)) not in self._index:
+                raise ValueError(
+                    f"snapshot references unknown slot {(node_id, type_name)}"
+                )
+        self._capacity = {
+            (int(n), str(t)): int(cap) for n, t, cap, _ in state["slots"]
+        }
+        self._free = {
+            (int(n), str(t)): int(free) for n, t, _, free in state["slots"]
+        }
+        self._vec = [self._free[slot] for slot in self._order]
+        self._key_cache = tuple(self._vec)
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ClusterState):
             return NotImplemented

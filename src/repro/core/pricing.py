@@ -223,6 +223,41 @@ class PriceCalibrator:
         self.last_jobs = 0
         self.last_dirty = 0
 
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """The cross-round Eq. (8) record cache, insertion-ordered.
+
+        ``_model_rates`` is deliberately *not* captured: it is a pure
+        deterministic cache over the immutable throughput matrix and
+        repopulates identically on demand after restore (waived in the
+        REP012 ``SnapshotSpec``).
+        """
+        return {
+            "types": None if self._types is None else list(self._types),
+            "records": [
+                [job_id, rec[0], rec[1], rec[2], dict(rec[3])]
+                for job_id, rec in self._records.items()
+            ],
+            "last_jobs": self.last_jobs,
+            "last_dirty": self.last_dirty,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        types = state["types"]
+        self._types = None if types is None else [str(t) for t in types]
+        self._model_rates.clear()
+        self._records = {
+            int(job_id): (
+                float(remaining),
+                int(w),
+                float(t_max),
+                {str(t): float(v) for t, v in t_min.items()},
+            )
+            for job_id, remaining, w, t_max, t_min in state["records"]
+        }
+        self.last_jobs = int(state["last_jobs"])
+        self.last_dirty = int(state["last_dirty"])
+
     def _rates_for(self, matrix: ThroughputMatrix, model: str, types: list[str]):
         entry = self._model_rates.get(model)
         if entry is None:

@@ -129,6 +129,57 @@ class HadarScheduler(Scheduler):
         self.last_decision_trace = None
         self._calibrator = None
 
+    # ---------------------------------------------------- engine snapshots --
+    def state_dict(self) -> dict:
+        """Cross-round state: the persistent calibrator and the audit log.
+
+        The ``last_*`` views (prices, chosen candidates, round stats,
+        decision trace, calibration seconds) are per-round transients —
+        every consumer reads them inside the same round that wrote them,
+        and the next :meth:`schedule` call overwrites them before any
+        other read — so they are waived from snapshots (see the REP012
+        ``SnapshotSpec``), as is ``trace_decisions``, which the engine
+        reconfigures from its tracer on restore.
+        """
+        return {
+            "last_alpha": self.last_alpha,
+            "calibrator": (
+                None if self._calibrator is None else self._calibrator.state_dict()
+            ),
+            "audit": [
+                {
+                    "now": a.now,
+                    "primal_increment": a.primal_increment,
+                    "dual_increment": a.dual_increment,
+                    "alpha": a.alpha,
+                    "jobs_admitted": a.jobs_admitted,
+                    "total_payoff": a.total_payoff,
+                    "total_cost": a.total_cost,
+                }
+                for a in self.audit
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.last_alpha = float(state["last_alpha"])
+        if state["calibrator"] is None:
+            self._calibrator = None
+        else:
+            self._calibrator = PriceCalibrator(self.config.pricing)
+            self._calibrator.load_state_dict(state["calibrator"])
+        self.audit = [
+            RoundAudit(
+                now=float(a["now"]),
+                primal_increment=float(a["primal_increment"]),
+                dual_increment=float(a["dual_increment"]),
+                alpha=float(a["alpha"]),
+                jobs_admitted=int(a["jobs_admitted"]),
+                total_payoff=float(a["total_payoff"]),
+                total_cost=float(a["total_cost"]),
+            )
+            for a in state["audit"]
+        ]
+
     # ------------------------------------------------------------------ API --
     def schedule(self, ctx: SchedulerContext) -> Mapping[int, Allocation]:
         cfg = self.config

@@ -82,6 +82,46 @@ class FaultPhase:
         """Devices currently failed across the cluster."""
         return sum(self.failed.values())
 
+    # ------------------------------------------------- engine snapshots --
+    def state_dict(self) -> dict:
+        """The live fault position: failed mask, open windows, counters.
+
+        The :class:`FaultSchedule` itself is *not* captured — it is a pure
+        function of ``(model, cluster, max_time)`` via per-node seeded
+        streams, so a restored phase regenerates the identical schedule at
+        construction (waived in the REP012 ``SnapshotSpec``), and the
+        kernel snapshot already holds which fault events are still
+        outstanding.
+        """
+        return {
+            "failed": [
+                [node_id, type_name, count]
+                for (node_id, type_name), count in self.failed.items()
+            ],
+            "taken": [
+                [
+                    fault_id,
+                    [[n, t, c] for (n, t), c in slots.items()],
+                ]
+                for fault_id, slots in self._taken.items()
+            ],
+            "stats": dict(self.stats),
+            "rollback_seconds": self.rollback_seconds,
+            "rollback_iterations": self.rollback_iterations,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.failed = {
+            (int(n), str(t)): int(c) for n, t, c in state["failed"]
+        }
+        self._taken = {
+            int(fault_id): {(int(n), str(t)): int(c) for n, t, c in slots}
+            for fault_id, slots in state["taken"]
+        }
+        self.stats = {str(k): int(v) for k, v in state["stats"].items()}
+        self.rollback_seconds = float(state["rollback_seconds"])
+        self.rollback_iterations = float(state["rollback_iterations"])
+
     # ------------------------------------------------------------- dispatch --
     def apply(
         self,

@@ -270,3 +270,59 @@ class MetricsRegistry:
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """Full reconstructible state (unlike :meth:`snapshot`, which is a
+        cumulative *rendering* of histograms).  Histogram min/max are hex
+        floats so the ±inf sentinels of an empty series survive JSON."""
+        out: dict = {}
+        for name, metric in self._metrics.items():
+            entry: dict = {"kind": metric.kind, "help": metric.help}
+            if isinstance(metric, Histogram):
+                entry["buckets"] = list(metric.buckets)
+                entry["series"] = [
+                    {
+                        "labels": [list(pair) for pair in key],
+                        "counts": list(s.counts),
+                        "inf_count": s.inf_count,
+                        "sum": s.sum,
+                        "min": s.min.hex(),
+                        "max": s.max.hex(),
+                    }
+                    for key, s in metric._series.items()
+                ]
+            else:
+                entry["series"] = [
+                    {"labels": [list(pair) for pair in key], "value": value}
+                    for key, value in metric._series.items()
+                ]
+            out[name] = entry
+        return out
+
+    def load_state_dict(self, state: dict) -> None:
+        self._metrics = {}
+        for name, entry in state.items():
+            kind = entry["kind"]
+            if kind == "histogram":
+                metric = self.histogram(
+                    name, entry["help"], tuple(entry["buckets"])
+                )
+                for rec in entry["series"]:
+                    key = tuple((str(k), str(v)) for k, v in rec["labels"])
+                    series = _HistogramSeries(len(metric.buckets))
+                    series.counts = [int(c) for c in rec["counts"]]
+                    series.inf_count = int(rec["inf_count"])
+                    series.sum = float(rec["sum"])
+                    series.min = float.fromhex(rec["min"])
+                    series.max = float.fromhex(rec["max"])
+                    metric._series[key] = series
+            else:
+                metric = (
+                    self.counter(name, entry["help"])
+                    if kind == "counter"
+                    else self.gauge(name, entry["help"])
+                )
+                for rec in entry["series"]:
+                    key = tuple((str(k), str(v)) for k, v in rec["labels"])
+                    metric._series[key] = float(rec["value"])

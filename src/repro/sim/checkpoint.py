@@ -13,6 +13,12 @@ storage").  The paper uses two flavours we both implement:
 
 A job keeping exactly its previous allocation pays only the periodic
 checkpoint *save* (Table IV's "w/o reallocation" column).
+
+Naming note: this module charges **simulated seconds** for *job-level*
+checkpoints inside the modeled world.  It is unrelated to the engine's
+own snapshot/restore machinery in :mod:`repro.sim.snapshot`, which
+serializes the *simulator's* state so a long-lived run can survive a
+process restart.
 """
 
 from __future__ import annotations

@@ -2,9 +2,9 @@
 
 A continuous-rate discrete-event simulator (see DESIGN.md §4): running
 jobs advance at constant rates between events; events are job arrivals,
-round boundaries (for round-based schedulers), predicted completions, and
-injected faults.  The engine itself is now a thin orchestrator over four
-layers:
+round boundaries (for round-based schedulers), predicted completions,
+streamed submissions, and injected faults.  The engine itself is now a
+thin orchestrator over four layers:
 
 1. the **event kernel** (:mod:`repro.sim.kernel`) owns the heap, the
    deterministic same-timestamp ordering, and the lazy-deletion staleness
@@ -22,6 +22,30 @@ layers:
 
 Per-phase wall-clock totals are surfaced as
 :attr:`SimulationResult.phase_timings`.
+
+Lifecycle
+---------
+The engine is a checkpointable service, not just a batch loop:
+
+* :meth:`SimulationEngine.start` seeds the kernel and enters the
+  ``running`` state; :meth:`~SimulationEngine.step` processes exactly one
+  event; :meth:`~SimulationEngine.pause` / :meth:`~SimulationEngine.resume`
+  gate stepping; :meth:`~SimulationEngine.stop` finalizes the
+  :class:`SimulationResult`.
+* :meth:`~SimulationEngine.run` is the trivial batch driver —
+  ``start(); while step(): pass; return stop()`` — and produces
+  byte-identical results to the historical monolithic loop.
+* :meth:`~SimulationEngine.snapshot` captures every piece of mutable run
+  state between steps as a versioned
+  :class:`~repro.sim.snapshot.EngineState`;
+  :meth:`~SimulationEngine.restore` rebuilds a freshly constructed engine
+  from one, bit-identically.  **Engine snapshots** (:mod:`repro.sim.snapshot`)
+  are distinct from the **job checkpoint model**
+  (:mod:`repro.sim.checkpoint`), which simulates reallocation/restart
+  overhead of the *jobs* inside the simulation.
+* a :class:`~repro.workload.arrivals.SubmissionSource` streams jobs into
+  the kernel while the engine runs, so the workload need not be known at
+  construction (``repro.cli serve``).
 """
 
 from __future__ import annotations
@@ -50,6 +74,7 @@ from repro.sim.phases import (
 from repro.sim.progress import JobRuntime, JobState, ProgressLedger
 from repro.sim.stragglers import StragglerModel
 from repro.sim.telemetry import UtilizationRecorder
+from repro.workload.arrivals import SubmissionSource
 from repro.workload.throughput import ThroughputMatrix, default_throughput_matrix
 from repro.workload.trace import Trace
 
@@ -57,6 +82,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.analysis.sanitizer import InvariantSanitizer
     from repro.obs.registry import MetricsRegistry
     from repro.obs.tracer import DecisionTracer
+    from repro.sim.snapshot import EngineState
+    from repro.workload.job import Job
 
 __all__ = ["SimulationEngine", "SimulationResult", "simulate", "SchedulerProtocolError"]
 
@@ -187,6 +214,11 @@ class SimulationEngine:
     round/completion counters, decision latencies, and the schedulers'
     hot-path counters into it, and snapshots it into
     :attr:`SimulationResult.metrics`."""
+    source: Optional[SubmissionSource] = None
+    """Optional streaming job source; when attached, the engine pulls jobs
+    one at a time and schedules :attr:`EventKind.SUBMISSION` events while
+    it runs — the workload need not be known at construction.  Streamed
+    job ids must not collide with trace job ids."""
 
     def __post_init__(self) -> None:
         if self.round_length <= 0:
@@ -199,19 +231,46 @@ class SimulationEngine:
                     f"job {job.job_id} requests {job.num_workers} workers but the "
                     f"cluster only has {self.cluster.total_gpus} GPUs"
                 )
+        self._lifecycle = "created"
+        self._paused = False
+        self._result: Optional[SimulationResult] = None
 
-    # ------------------------------------------------------------------ run --
-    def run(self) -> SimulationResult:
+    # ------------------------------------------------------------ lifecycle --
+    @property
+    def is_running(self) -> bool:
+        """Started and not yet stopped (paused still counts as running)."""
+        return self._lifecycle == "running"
+
+    @property
+    def is_paused(self) -> bool:
+        return self._lifecycle == "running" and self._paused
+
+    @property
+    def tick_count(self) -> int:
+        """Events popped from the kernel so far (including stale pops)."""
+        return self._ticks if self._lifecycle != "created" else 0
+
+    @property
+    def scheduling_invocations(self) -> int:
+        """Scheduler rounds run so far (the service front-end's snapshot
+        cadence is expressed in these, not in raw event ticks)."""
+        if self._lifecycle == "created":
+            return 0
+        return self._scheduler_phase.invocations
+
+    def _setup(self) -> None:
+        """Build the run's layers and zero the loop state (no event seeding)."""
         self.scheduler.reset()
         self._straggler_rng = self.stragglers.rng() if self.stragglers else None
         runtimes: dict[int, JobRuntime] = {
             job.job_id: JobRuntime(job=job) for job in self.trace
         }
-        state = self.cluster.fresh_state()
+        self._runtimes = runtimes
+        self._state = self.cluster.fresh_state()
         kernel = EventKernel()
         ledger = ProgressLedger(runtimes)
-        telemetry = TelemetryPhase()
-        sanitizer_phase = SanitizerPhase(self.sanitizer)
+        self._telemetry = TelemetryPhase()
+        self._sanitizer_phase = SanitizerPhase(self.sanitizer)
         fault_phase: Optional[FaultPhase] = None
         if self.faults is not None:
             fault_phase = FaultPhase(
@@ -220,7 +279,8 @@ class SimulationEngine:
                 max_time=self.max_time,
                 sanitizer=self.sanitizer,
             )
-        scheduler_phase = SchedulerPhase(
+        self._fault_phase = fault_phase
+        self._scheduler_phase = SchedulerPhase(
             scheduler=self.scheduler,
             cluster=self.cluster,
             matrix=self.matrix,
@@ -235,11 +295,13 @@ class SimulationEngine:
         self._kernel = kernel
         self._ledger = ledger
         trace_phase = TracePhase(self.tracer)
+        self._trace_phase = trace_phase
         tracing = trace_phase.enabled
+        self._tracing = tracing
         if fault_phase is not None and tracing:
             assert self.tracer is not None
             fault_phase.emit = self.tracer.emit
-        scheduler_phase.capture_changes = tracing
+        self._scheduler_phase.capture_changes = tracing
         if hasattr(self.scheduler, "trace_decisions"):
             # Schedulers exposing the flag (Hadar) build their structured
             # per-round decision record only while a tracer is live.
@@ -247,115 +309,190 @@ class SimulationEngine:
         trace_phase.emit_meta(
             self.scheduler, self.cluster, self.round_length, len(self.trace)
         )
-        timings = PhaseTimings()
-        telemetry.record_utilization(0.0, state)
+        self._timings = PhaseTimings()
+        self._telemetry.record_utilization(0.0, self._state)
 
+        self._completed = 0
+        self._now = 0.0
+        self._rounds_with_change = 0
+        self._truncated = False
+        self._loop_s = 0.0
+        self._ticks = 0
+        self._halted = False
+        self._round_scheduled = False
+        self._pending_submission: Optional["Job"] = None
+        self._paused = False
+        self._result = None
+
+    def start(self) -> None:
+        """Build the run's state and seed the kernel's initial events."""
+        if self._lifecycle != "created":
+            raise RuntimeError(
+                f"cannot start an engine that is {self._lifecycle}; "
+                "build a new engine (or use restore() on a fresh one)"
+            )
+        self._setup()
+        kernel = self._kernel
         for job in self.trace:
             kernel.push_arrival(job.arrival_time, job.job_id)
-        if fault_phase is not None:
-            for index, fault_event in enumerate(fault_phase.schedule.events):
+        if self._fault_phase is not None:
+            for index, fault_event in enumerate(self._fault_phase.schedule.events):
                 kernel.push_fault(fault_event.time, index)
         if self.scheduler.round_based and len(self.trace):
             first_round = self._round_at_or_after(self.trace[0].arrival_time)
             kernel.push_round_boundary(first_round)
+            self._round_scheduled = True
+        if self.source is not None:
+            self._push_next_submission()
+        self._lifecycle = "running"
 
-        completed = 0
-        now = 0.0
-        rounds_with_change = 0
-        truncated = False
-        loop_s = 0.0
+    def pause(self) -> None:
+        """Make :meth:`step` a no-op until :meth:`resume` (state is kept)."""
+        self._require_running("pause")
+        self._paused = True
 
-        while kernel and completed < len(runtimes):
-            tick = _time.perf_counter()
-            event = kernel.pop()
-            if event.time > self.max_time:
-                truncated = True
-                loop_s += _time.perf_counter() - tick
-                break
-            if kernel.is_stale(event, runtimes):
-                loop_s += _time.perf_counter() - tick
-                continue
-            now = event.time
+    def resume(self) -> None:
+        self._require_running("resume")
+        self._paused = False
 
-            t0 = _time.perf_counter()
-            ledger.integrate_to(now)
-            finished = ledger.finalize_completions(state, now)
-            timings.integration_s += _time.perf_counter() - t0
-            if finished:
-                completed += finished
-                telemetry.record_utilization(now, state)
+    def step(self) -> bool:
+        """Process at most one event; True while more work remains.
 
-            needs_scheduler = False
-            if event.kind is EventKind.ARRIVAL:
-                rt = runtimes[event.payload]
-                rt.state = JobState.QUEUED
-                rt.last_integrated = now
-                needs_scheduler = self.scheduler.reacts_to_events
-            elif event.kind is EventKind.COMPLETION:
-                needs_scheduler = self.scheduler.reacts_to_events
-            elif event.kind is EventKind.ROUND_BOUNDARY:
-                needs_scheduler = True
-                self._push_next_round(kernel, runtimes, completed, now)
-            elif event.kind is EventKind.STRAGGLER_ONSET:
-                self._apply_straggler_onset(runtimes[event.payload], now, timings)
-            elif event.kind is EventKind.STRAGGLER_RECOVERY:
-                self._apply_straggler_recovery(runtimes[event.payload], now, timings)
-            elif event.kind is EventKind.FAULT:
-                assert fault_phase is not None
-                if fault_phase.apply(event.payload, ledger, state, now):
-                    telemetry.record_utilization(now, state)
-                needs_scheduler = self.scheduler.reacts_to_events
+        While paused, does nothing and reports whether work remains.
+        """
+        self._require_running("step")
+        if self._paused:
+            return self._has_work()
+        if not self._has_work():
+            return False
+        kernel = self._kernel
+        runtimes = self._runtimes
+        ledger = self._ledger
+        state = self._state
+        timings = self._timings
 
-            if needs_scheduler and completed < len(runtimes):
-                changed = scheduler_phase.invoke(ledger, kernel, state, now, timings)
-                telemetry.record_utilization(now, state)
-                sanitizer_phase.after_decision(
-                    round_index=scheduler_phase.invocations,
+        tick = _time.perf_counter()
+        event = kernel.pop()
+        self._ticks += 1
+        if event.time > self.max_time:
+            self._truncated = True
+            self._halted = True
+            self._loop_s += _time.perf_counter() - tick
+            return False
+        if kernel.is_stale(event, runtimes):
+            self._loop_s += _time.perf_counter() - tick
+            return self._has_work()
+        now = self._now = event.time
+
+        t0 = _time.perf_counter()
+        ledger.integrate_to(now)
+        finished = ledger.finalize_completions(state, now)
+        timings.integration_s += _time.perf_counter() - t0
+        if finished:
+            self._completed += finished
+            self._telemetry.record_utilization(now, state)
+
+        needs_scheduler = False
+        if event.kind is EventKind.ARRIVAL:
+            rt = runtimes[event.payload]
+            rt.state = JobState.QUEUED
+            rt.last_integrated = now
+            needs_scheduler = self.scheduler.reacts_to_events
+        elif event.kind is EventKind.COMPLETION:
+            needs_scheduler = self.scheduler.reacts_to_events
+        elif event.kind is EventKind.ROUND_BOUNDARY:
+            needs_scheduler = True
+            self._round_scheduled = False
+            self._push_next_round(kernel, runtimes, self._completed, now)
+        elif event.kind is EventKind.STRAGGLER_ONSET:
+            self._apply_straggler_onset(runtimes[event.payload], now, timings)
+        elif event.kind is EventKind.STRAGGLER_RECOVERY:
+            self._apply_straggler_recovery(runtimes[event.payload], now, timings)
+        elif event.kind is EventKind.FAULT:
+            fault_phase = self._fault_phase
+            assert fault_phase is not None
+            if fault_phase.apply(event.payload, ledger, state, now):
+                self._telemetry.record_utilization(now, state)
+            needs_scheduler = self.scheduler.reacts_to_events
+        elif event.kind is EventKind.SUBMISSION:
+            self._admit_submission(event.payload, now)
+            needs_scheduler = self.scheduler.reacts_to_events
+
+        if needs_scheduler and self._completed < len(runtimes):
+            changed = self._scheduler_phase.invoke(
+                ledger, kernel, state, now, timings
+            )
+            self._telemetry.record_utilization(now, state)
+            self._sanitizer_phase.after_decision(
+                round_index=self._scheduler_phase.invocations,
+                now=now,
+                runtimes=runtimes,
+                state=state,
+                scheduler=self.scheduler,
+                failed=(
+                    self._fault_phase.failed
+                    if self._fault_phase is not None
+                    else None
+                ),
+            )
+            if self._tracing:
+                self._trace_phase.after_decision(
+                    round_index=self._scheduler_phase.invocations,
                     now=now,
                     runtimes=runtimes,
-                    state=state,
                     scheduler=self.scheduler,
-                    failed=(
-                        fault_phase.failed if fault_phase is not None else None
-                    ),
+                    scheduler_phase=self._scheduler_phase,
                 )
-                if tracing:
-                    trace_phase.after_decision(
-                        round_index=scheduler_phase.invocations,
-                        now=now,
-                        runtimes=runtimes,
-                        scheduler=self.scheduler,
-                        scheduler_phase=scheduler_phase,
-                    )
-                if event.kind is EventKind.ROUND_BOUNDARY and changed:
-                    rounds_with_change += 1
-            telemetry.record_queue_depth(now, runtimes)
-            loop_s += _time.perf_counter() - tick
+            if event.kind is EventKind.ROUND_BOUNDARY and changed:
+                self._rounds_with_change += 1
+        self._telemetry.record_queue_depth(now, runtimes)
+        self._loop_s += _time.perf_counter() - tick
+        return self._has_work()
+
+    def stop(self) -> SimulationResult:
+        """Finalize the run and build the :class:`SimulationResult`.
+
+        Idempotent once stopped (returns the same result object).
+        """
+        if self._lifecycle == "stopped":
+            assert self._result is not None
+            return self._result
+        self._require_running("stop")
+        runtimes = self._runtimes
+        timings = self._timings
+        scheduler_phase = self._scheduler_phase
+        fault_phase = self._fault_phase
+        truncated = self._truncated
+        completed = self._completed
 
         if completed < len(runtimes):
             truncated = True
         end_time = max(
-            (rt.finish_time for rt in runtimes.values() if rt.finish_time), default=now
+            (rt.finish_time for rt in runtimes.values() if rt.finish_time),
+            default=self._now,
         )
-        telemetry.record_utilization(end_time, state)
-        telemetry.record_queue_depth(end_time, runtimes)
+        self._telemetry.record_utilization(end_time, self._state)
+        self._telemetry.record_queue_depth(end_time, runtimes)
         # The dispatch bucket is the loop residual: everything outside the
         # explicitly timed integration/re-prediction/decision phases.
         timings.event_dispatch_s = max(
             0.0,
-            loop_s - timings.integration_s - timings.repredict_s - timings.decision_s,
+            self._loop_s
+            - timings.integration_s
+            - timings.repredict_s
+            - timings.decision_s,
         )
         result = SimulationResult(
             scheduler_name=self.scheduler.name,
             cluster=self.cluster,
             round_length=self.round_length,
             runtimes=runtimes,
-            telemetry=telemetry.recorder,
+            telemetry=self._telemetry.recorder,
             end_time=end_time,
             scheduling_invocations=scheduler_phase.invocations,
             decision_seconds=scheduler_phase.decision_seconds,
             truncated=truncated,
-            rounds_with_change=rounds_with_change,
+            rounds_with_change=self._rounds_with_change,
             hotpath_stats=scheduler_phase.hotpath_stats,
             phase_timings=timings.as_dict(),
             rejections=list(scheduler_phase.validator.rejections),
@@ -367,7 +504,7 @@ class SimulationEngine:
                 "rollback_iterations": fault_phase.rollback_iterations,
                 "capacity_lost": fault_phase.capacity_lost,
             }
-        trace_phase.emit_summary(
+        self._trace_phase.emit_summary(
             rounds=result.scheduling_invocations,
             completed=completed,
             end_time=end_time,
@@ -379,7 +516,114 @@ class SimulationEngine:
         if self.metrics is not None:
             self._publish_metrics(result)
             result.metrics = self.metrics.snapshot()
+        self._lifecycle = "stopped"
+        self._paused = False
+        self._result = result
         return result
+
+    # ------------------------------------------------------------------ run --
+    def run(self) -> SimulationResult:
+        """The batch driver: start (or continue), step to exhaustion, stop.
+
+        On a fresh engine this is the historical one-call run.  On an
+        engine that was just :meth:`restore`-d it continues from the
+        snapshot.  On a stopped engine it starts a fresh run (the
+        historical re-run semantics).
+        """
+        if self._lifecycle == "stopped":
+            self._lifecycle = "created"
+        if self._lifecycle == "created":
+            self.start()
+        if self._paused:
+            self.resume()
+        while self.step():
+            pass
+        return self.stop()
+
+    # ---------------------------------------------------- snapshot / restore --
+    def snapshot(self) -> "EngineState":
+        """Capture every piece of mutable run state between steps.
+
+        This is the *engine* snapshot (service checkpointing, see
+        :mod:`repro.sim.snapshot`) — unrelated to the job checkpoint
+        overhead model in :mod:`repro.sim.checkpoint`.
+        """
+        self._require_running("snapshot")
+        from repro.sim.snapshot import capture_engine_state
+
+        return capture_engine_state(self)
+
+    def restore(self, state: "EngineState") -> None:
+        """Rebuild a freshly constructed engine from a snapshot.
+
+        The engine must be configured identically to the snapshotting one
+        (same scheduler/cluster/round length/attachments) and never
+        started; after restore it is ``running`` and :meth:`step` /
+        :meth:`run` continue bit-identically with the interrupted run.
+        """
+        if self._lifecycle != "created":
+            raise RuntimeError(
+                f"restore requires a freshly constructed engine, not {self._lifecycle}"
+            )
+        from repro.sim.snapshot import apply_engine_state
+
+        self._setup()
+        apply_engine_state(self, state)
+        self._lifecycle = "running"
+
+    # ----------------------------------------------------------- internals --
+    def _require_running(self, what: str) -> None:
+        if self._lifecycle != "running":
+            raise RuntimeError(
+                f"cannot {what}: engine is {self._lifecycle}, not running"
+            )
+
+    def _has_work(self) -> bool:
+        """The loop predicate: outstanding events that can still matter."""
+        if self._halted:
+            return False
+        if not self._kernel:
+            return False
+        if self._completed < len(self._runtimes):
+            return True
+        if self._pending_submission is not None:
+            return True
+        return self.source is not None and not self.source.exhausted
+
+    def _push_next_submission(self) -> None:
+        """Pull the next streamed job and schedule its SUBMISSION event."""
+        assert self.source is not None
+        job = self.source.next_job()
+        if job is None:
+            return
+        if job.num_workers > self.cluster.total_gpus:
+            raise ValueError(
+                f"streamed job {job.job_id} requests {job.num_workers} workers "
+                f"but the cluster only has {self.cluster.total_gpus} GPUs"
+            )
+        if job.job_id in self._runtimes:
+            raise ValueError(
+                f"streamed job id {job.job_id} collides with an existing job; "
+                "configure the source's first_job_id past the trace"
+            )
+        self._pending_submission = job
+        self._kernel.push_submission(job.arrival_time, job.job_id)
+
+    def _admit_submission(self, job_id: int, now: float) -> None:
+        """Enter the pending streamed job into the system (like an arrival)."""
+        job = self._pending_submission
+        assert job is not None and job.job_id == job_id
+        self._pending_submission = None
+        rt = JobRuntime(job=job)
+        rt.state = JobState.QUEUED
+        rt.last_integrated = now
+        self._runtimes[job.job_id] = rt
+        # Re-seed the round-boundary chain if it died while the system was
+        # empty (no active jobs and no pending batch arrivals left).
+        if self.scheduler.round_based and not self._round_scheduled:
+            self._kernel.push_round_boundary(self._round_at_or_after(now))
+            self._round_scheduled = True
+        self._push_next_submission()
 
     def _publish_metrics(self, result: SimulationResult) -> None:
         """Publish the finished run into the attached registry.
@@ -531,6 +775,7 @@ def simulate(
     sanitizer: Optional["InvariantSanitizer"] = None,
     tracer: Optional["DecisionTracer"] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    source: Optional[SubmissionSource] = None,
 ) -> SimulationResult:
     """One-call convenience wrapper around :class:`SimulationEngine`."""
     kwargs = {}
@@ -548,6 +793,7 @@ def simulate(
         sanitizer=sanitizer,
         tracer=tracer,
         metrics=metrics,
+        source=source,
         **kwargs,
     )
     return engine.run()

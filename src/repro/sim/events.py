@@ -9,7 +9,6 @@ cheaper than a decrease-key heap and exact).
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Optional
@@ -36,6 +35,13 @@ class EventKind(IntEnum):
     :class:`~repro.faults.FaultSchedule`; ``payload`` is the event's index
     into the schedule.  Appended after the existing kinds — their values
     break same-timestamp ties and are pinned by the golden suite."""
+    SUBMISSION = 6
+    """A streamed job submission from a
+    :class:`~repro.workload.arrivals.SubmissionSource`; ``payload`` is the
+    job id about to enter the system.  Sorted after every batch kind at a
+    shared timestamp, so a job streamed in at exactly a round tick waits
+    for the next round — appended last to keep the golden tie-break
+    ordering of the existing kinds byte-identical."""
 
 
 @dataclass(frozen=True, slots=True, order=True)
@@ -55,11 +61,18 @@ class Event:
 
 
 class EventQueue:
-    """A deterministic min-heap of events."""
+    """A deterministic min-heap of events.
+
+    The sequence counter is a plain integer (not :func:`itertools.count`)
+    so the queue is snapshotable: :meth:`state_dict` captures the heap
+    array verbatim plus the counter, and :meth:`load_state_dict` restores
+    both — future pushes continue the exact sequence-number stream, which
+    the ``(time, kind, seq)`` sort key depends on for determinism.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._next_seq: int = 0
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -76,7 +89,8 @@ class EventQueue:
     ) -> Event:
         if time < 0:
             raise ValueError(f"event time must be non-negative, got {time}")
-        event = Event(time, kind, next(self._counter), payload, generation)
+        event = Event(time, kind, self._next_seq, payload, generation)
+        self._next_seq += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -88,3 +102,26 @@ class EventQueue:
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next event, or None when empty."""
         return self._heap[0].time if self._heap else None
+
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """The heap in array order (a valid heap as-is) plus the counter."""
+        return {
+            "next_seq": self._next_seq,
+            "heap": [
+                [e.time, int(e.kind), e.seq, e.payload, e.generation]
+                for e in self._heap
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a heap captured by :meth:`state_dict` verbatim.
+
+        The captured array order already satisfies the heap invariant, so
+        no re-heapify happens — pops replay in the exact original order.
+        """
+        self._next_seq = int(state["next_seq"])
+        self._heap = [
+            Event(float(t), EventKind(k), int(seq), int(payload), int(gen))
+            for t, k, seq, payload, gen in state["heap"]
+        ]

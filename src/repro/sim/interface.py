@@ -161,3 +161,20 @@ class Scheduler(ABC):
 
     def reset(self) -> None:
         """Clear any cross-round internal state (called once per simulation)."""
+
+    def state_dict(self) -> dict:
+        """Cross-round internal state for engine snapshots (JSON-able).
+
+        Stateless schedulers inherit this empty default.  Schedulers with
+        cross-round memory (Hadar's price calibrator, Gavel's cached
+        matrix, Tiresias's demoted set, seeded randomness) override both
+        this and :meth:`load_state_dict` so a restored engine continues
+        bit-identically; see :mod:`repro.sim.snapshot`.
+        """
+        return {}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`.
+
+        Called on a freshly :meth:`reset` scheduler during engine restore.
+        """

@@ -102,3 +102,18 @@ class EventKernel:
         revocable predictions, so they carry no generation and are never
         stale."""
         return self._queue.push(time, EventKind.FAULT, payload=index)
+
+    def push_submission(self, time: float, job_id: int) -> Event:
+        """A streamed job submission from a
+        :class:`~repro.workload.arrivals.SubmissionSource`.  Submissions
+        are facts (the source already committed the draw), so like faults
+        they carry no generation and are never stale."""
+        return self._queue.push(time, EventKind.SUBMISSION, payload=job_id)
+
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """The queue's full state (heap array + sequence counter)."""
+        return self._queue.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        self._queue.load_state_dict(state)

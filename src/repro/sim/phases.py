@@ -83,6 +83,17 @@ class PhaseTimings:
             "decision_s": self.decision_s,
         }
 
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict[str, float]:
+        return self.as_dict()
+
+    def load_state_dict(self, state: Mapping[str, float]) -> None:
+        self.event_dispatch_s = float(state["event_dispatch_s"])
+        self.integration_s = float(state["integration_s"])
+        self.repredict_s = float(state["repredict_s"])
+        self.calibration_s = float(state["calibration_s"])
+        self.decision_s = float(state["decision_s"])
+
 
 class SchedulerPhase:
     """Layer 3: one scheduling decision — invoke, validate, apply, flush.
@@ -138,6 +149,55 @@ class SchedulerPhase:
     @property
     def invocations(self) -> int:
         return len(self.decision_seconds)
+
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """Per-run accumulators, including the validator's rejection log.
+
+        ``capture_changes``/``on_place``/``fault_phase`` are wiring the
+        engine reattaches at restore; ``last_changes``/``last_queue_depth``
+        and the validator's ``last_rejections`` are per-round transients
+        overwritten by the next invocation before any cross-round read —
+        all waived in the REP012 ``SnapshotSpec``.
+        """
+        from repro.sim.progress import _alloc_to_record
+
+        return {
+            "decision_seconds": list(self.decision_seconds),
+            "hotpath_stats": dict(self.hotpath_stats),
+            "last_changes": [
+                [job_id, _alloc_to_record(old), _alloc_to_record(new)]
+                for job_id, old, new in self.last_changes
+            ],
+            "last_queue_depth": list(self.last_queue_depth),
+            "rejections": [r.as_record() for r in self.validator.rejections],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        from repro.faults.validator import DecisionRejected
+        from repro.sim.progress import _alloc_from_record
+
+        self.decision_seconds = [float(s) for s in state["decision_seconds"]]
+        self.hotpath_stats = {
+            str(k): int(v) for k, v in state["hotpath_stats"].items()
+        }
+        self.last_changes = [
+            (int(job_id), _alloc_from_record(old), _alloc_from_record(new))
+            for job_id, old, new in state["last_changes"]
+        ]
+        self.last_queue_depth = (
+            int(state["last_queue_depth"][0]),
+            int(state["last_queue_depth"][1]),
+        )
+        self.validator.rejections = [
+            DecisionRejected(
+                job_id=int(r["job_id"]),
+                reason=str(r["reason"]),
+                detail=str(r["detail"]),
+                repaired=bool(r["repaired"]),
+            )
+            for r in state["rejections"]
+        ]
 
     def invoke(
         self,

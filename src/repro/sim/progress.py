@@ -172,6 +172,97 @@ class JobRuntime:
             f"{self.iterations_done:.0f}/{self.job.total_iterations} iters)"
         )
 
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """Every mutable field plus the immutable job spec, JSON-able.
+
+        Floats are stored as plain JSON numbers: CPython's ``repr``/parse
+        round-trip is exact for finite doubles, which is all the engine
+        ever produces here.
+        """
+        return {
+            "job": self.job.to_record(),
+            "state": self.state.value,
+            "iterations_done": self.iterations_done,
+            "allocation": _alloc_to_record(self.allocation),
+            "rate": self.rate,
+            "slowdown": self.slowdown,
+            "straggler_events": self.straggler_events,
+            "checkpoint_iterations": self.checkpoint_iterations,
+            "failures": self.failures,
+            "rollbacks": self.rollbacks,
+            "rollback_seconds": self.rollback_seconds,
+            "rollback_iterations": self.rollback_iterations,
+            "resume_time": self.resume_time,
+            "last_integrated": self.last_integrated,
+            "generation": self.generation,
+            "alloc_epoch": self.alloc_epoch,
+            "first_start_time": self.first_start_time,
+            "finish_time": self.finish_time,
+            "preemptions": self.preemptions,
+            "allocation_changes": self.allocation_changes,
+            "overhead_seconds": self.overhead_seconds,
+            "attained_service": self.attained_service,
+            "waiting_seconds": self.waiting_seconds,
+            "rounds_scheduled": self.rounds_scheduled,
+            "rounds_by_type": dict(self.rounds_by_type),
+            "history": [
+                [t, _alloc_to_record(alloc)] for t, alloc in self.history
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "JobRuntime":
+        rt = cls(job=Job.from_record(state["job"]))
+        rt.state = JobState(state["state"])
+        rt.iterations_done = float(state["iterations_done"])
+        rt.allocation = _alloc_from_record(state["allocation"])
+        rt.rate = float(state["rate"])
+        rt.slowdown = float(state["slowdown"])
+        rt.straggler_events = int(state["straggler_events"])
+        rt.checkpoint_iterations = float(state["checkpoint_iterations"])
+        rt.failures = int(state["failures"])
+        rt.rollbacks = int(state["rollbacks"])
+        rt.rollback_seconds = float(state["rollback_seconds"])
+        rt.rollback_iterations = float(state["rollback_iterations"])
+        rt.resume_time = float(state["resume_time"])
+        rt.last_integrated = float(state["last_integrated"])
+        rt.generation = int(state["generation"])
+        rt.alloc_epoch = int(state["alloc_epoch"])
+        first = state["first_start_time"]
+        rt.first_start_time = None if first is None else float(first)
+        finish = state["finish_time"]
+        rt.finish_time = None if finish is None else float(finish)
+        rt.preemptions = int(state["preemptions"])
+        rt.allocation_changes = int(state["allocation_changes"])
+        rt.overhead_seconds = float(state["overhead_seconds"])
+        rt.attained_service = float(state["attained_service"])
+        rt.waiting_seconds = float(state["waiting_seconds"])
+        rt.rounds_scheduled = int(state["rounds_scheduled"])
+        rt.rounds_by_type = {
+            str(t): int(c) for t, c in state["rounds_by_type"].items()
+        }
+        rt.history = [
+            (float(t), _alloc_from_record(rec)) for t, rec in state["history"]
+        ]
+        return rt
+
+
+def _alloc_to_record(alloc: Allocation) -> list[list]:
+    """An allocation as a sorted, JSON-able placement list."""
+    return [
+        [node_id, type_name, count]
+        for (node_id, type_name), count in sorted(alloc.placements.items())
+    ]
+
+
+def _alloc_from_record(record: list) -> Allocation:
+    if not record:
+        return EMPTY_ALLOCATION
+    return Allocation(
+        {(int(n), str(t)): int(c) for n, t, c in record}
+    )
+
 
 class ProgressLedger:
     """Progress integration + dirty-set completion re-prediction (layer 2).
@@ -237,3 +328,14 @@ class ProgressLedger:
                     pushed += 1
             self._dirty.clear()
         return pushed
+
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """The dirty set's job ids in mark order (runtimes are captured by
+        the engine, which owns their insertion order)."""
+        return {"dirty": list(self._dirty.keys())}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._dirty = {
+            int(job_id): self.runtimes[int(job_id)] for job_id in state["dirty"]
+        }

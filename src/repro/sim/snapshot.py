@@ -1,0 +1,345 @@
+"""Engine snapshots: versioned :class:`EngineState` + :class:`SnapshotCodec`.
+
+This is the **engine-level** checkpointing layer — the serializable image
+of a whole in-flight simulation (event heap, job runtimes, cluster
+occupancy, scheduler internals, RNG streams, telemetry, metrics) that the
+service front-end writes on an interval or a SIGTERM and reads back on
+restart.  It is *unrelated* to :mod:`repro.sim.checkpoint`, which models
+the **job-level** checkpoint/restore *overhead* a reallocated training
+job pays inside the simulated world (Sec. III-C); that module charges
+simulated seconds, this one moves real state between processes.
+
+Determinism contract: for an engine configured identically to the one
+that produced a snapshot, ``restore(loads(dumps(snapshot())))`` followed
+by ``run()`` yields a result byte-identical to the uninterrupted run.
+Three properties make that hold:
+
+* every component exposes ``state_dict()`` / ``load_state_dict()``
+  capturing *all* of its mutable state (insertion orders included —
+  dict order is semantics-bearing in the runtimes table, the dirty set,
+  the calibrator's records and the cluster's free maps);
+* the event heap is serialized verbatim as an array — a captured heap
+  is a valid heap, so no re-heapify happens on restore and pops replay
+  in the exact original order (``(time, kind, seq)`` keys intact);
+* floats travel as plain JSON numbers — CPython's ``repr`` is the
+  shortest round-trip representation and ``json.loads`` parses it back
+  to the identical double — except the ±inf histogram sentinels, which
+  go through ``float.hex()``.
+
+The on-disk envelope is a single JSON document::
+
+    {"format": "repro-engine-snapshot", "version": 1,
+     "checksum": "<sha256 of the canonical state JSON>",
+     "state": {...}}
+
+``SnapshotCodec.loads`` rejects wrong formats, unsupported versions,
+truncated documents and checksum mismatches with :class:`SnapshotError`
+before any state is touched.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import SimulationEngine
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_VERSION",
+    "SnapshotError",
+    "EngineState",
+    "SnapshotCodec",
+    "capture_engine_state",
+    "apply_engine_state",
+]
+
+SNAPSHOT_FORMAT = "repro-engine-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+class SnapshotError(ValueError):
+    """A snapshot cannot be decoded, or does not fit this engine."""
+
+
+def _config_fingerprint(engine: "SimulationEngine") -> dict:
+    """The identity of a run's *immutable* configuration.
+
+    A snapshot only makes sense applied to an engine built the same way;
+    this captures enough to reject obvious mismatches (different
+    scheduler, cluster shape, trace size, or attachment set) without
+    serializing the immutable objects themselves.
+    """
+    return {
+        "scheduler": engine.scheduler.name,
+        "round_length": engine.round_length,
+        "max_time": engine.max_time,
+        "nodes": [
+            [n.node_id, sorted([t, int(c)] for t, c in n.gpus.items())]
+            for n in engine.cluster.nodes
+        ],
+        "num_trace_jobs": len(engine.trace),
+        "stragglers": engine.stragglers is not None,
+        "faults": engine.faults is not None,
+        "source": engine.source is not None,
+        "tracer": engine.tracer is not None,
+        "sanitizer": engine.sanitizer is not None,
+        "metrics": engine.metrics is not None,
+    }
+
+
+@dataclass
+class EngineState:
+    """Everything mutable about an in-flight run, as plain JSON-able data.
+
+    Field-by-field this is the engine's loop state (``lifecycle``), the
+    event kernel (``events``), the job table in insertion order
+    (``jobs``), the progress ledger's dirty set (``ledger``), cluster
+    occupancy (``cluster``), the scheduler's cross-round internals
+    (``scheduler``), the scheduler phase's accumulators
+    (``scheduler_phase``), phase timings, telemetry series, and the
+    optional attachments (faults, straggler RNG, submission source,
+    pending streamed job, sanitizer, metrics) — ``None`` when the
+    snapshotting engine ran without them.
+    """
+
+    version: int
+    config: dict
+    lifecycle: dict
+    events: dict
+    jobs: list
+    ledger: dict
+    cluster: dict
+    scheduler: dict
+    scheduler_phase: dict
+    timings: dict
+    telemetry: dict
+    faults: Optional[dict]
+    straggler_rng: Optional[dict]
+    source: Optional[dict]
+    pending_submission: Optional[list]
+    sanitizer: Optional[dict]
+    metrics: Optional[dict]
+
+    def to_payload(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping) -> "EngineState":
+        try:
+            return cls(**{f.name: payload[f.name] for f in dataclasses.fields(cls)})
+        except KeyError as exc:
+            raise SnapshotError(f"snapshot payload missing field {exc}") from None
+
+
+def capture_engine_state(engine: "SimulationEngine") -> EngineState:
+    """Freeze a *running* engine's mutable state between steps."""
+    return EngineState(
+        version=SNAPSHOT_VERSION,
+        config=_config_fingerprint(engine),
+        lifecycle={
+            "completed": engine._completed,
+            "now": engine._now,
+            "rounds_with_change": engine._rounds_with_change,
+            "truncated": engine._truncated,
+            "loop_s": engine._loop_s,
+            "ticks": engine._ticks,
+            "halted": engine._halted,
+            "paused": engine._paused,
+            "round_scheduled": engine._round_scheduled,
+        },
+        events=engine._kernel.state_dict(),
+        jobs=[rt.state_dict() for rt in engine._runtimes.values()],
+        ledger=engine._ledger.state_dict(),
+        cluster=engine._state.state_dict(),
+        scheduler={
+            "name": engine.scheduler.name,
+            "state": engine.scheduler.state_dict(),
+        },
+        scheduler_phase=engine._scheduler_phase.state_dict(),
+        timings=engine._timings.state_dict(),
+        telemetry=engine._telemetry.recorder.state_dict(),
+        faults=(
+            engine._fault_phase.state_dict()
+            if engine._fault_phase is not None
+            else None
+        ),
+        straggler_rng=(
+            engine._straggler_rng.bit_generator.state
+            if engine._straggler_rng is not None
+            else None
+        ),
+        source=engine.source.state_dict() if engine.source is not None else None,
+        pending_submission=(
+            engine._pending_submission.to_record()
+            if engine._pending_submission is not None
+            else None
+        ),
+        sanitizer=(
+            engine.sanitizer.state_dict() if engine.sanitizer is not None else None
+        ),
+        metrics=engine.metrics.state_dict() if engine.metrics is not None else None,
+    )
+
+
+def apply_engine_state(engine: "SimulationEngine", state: EngineState) -> None:
+    """Load a snapshot into a freshly ``_setup()``-run engine.
+
+    Called by :meth:`SimulationEngine.restore` — the engine has already
+    rebuilt its layers (phases, fault schedule, wiring) exactly as
+    :meth:`~SimulationEngine.start` would; this overwrites every piece
+    of mutable state with the captured values.
+    """
+    from repro.sim.progress import JobRuntime
+    from repro.workload.job import Job
+
+    if state.version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"snapshot version {state.version} unsupported "
+            f"(this build reads version {SNAPSHOT_VERSION})"
+        )
+    expected = _config_fingerprint(engine)
+    if state.config != expected:
+        diffs = sorted(
+            k
+            for k in set(state.config) | set(expected)
+            if state.config.get(k) != expected.get(k)
+        )
+        raise SnapshotError(
+            f"snapshot was taken by a differently configured engine "
+            f"(mismatched: {', '.join(diffs)})"
+        )
+
+    # The runtimes table is rebuilt *in place*: the ledger and the
+    # snapshot's dirty set both refer to this exact dict object, and its
+    # insertion order is the schedulers' iteration order.
+    runtimes = engine._runtimes
+    runtimes.clear()
+    for record in state.jobs:
+        rt = JobRuntime.from_state_dict(record)
+        runtimes[rt.job_id] = rt
+
+    engine._kernel.load_state_dict(state.events)
+    engine._ledger.load_state_dict(state.ledger)
+    engine._state.load_state_dict(state.cluster)
+    engine.scheduler.load_state_dict(state.scheduler["state"])
+    engine._scheduler_phase.load_state_dict(state.scheduler_phase)
+    engine._timings.load_state_dict(state.timings)
+    engine._telemetry.recorder.load_state_dict(state.telemetry)
+    if engine._fault_phase is not None:
+        assert state.faults is not None  # fingerprint guarantees it
+        engine._fault_phase.load_state_dict(state.faults)
+    if engine._straggler_rng is not None:
+        assert state.straggler_rng is not None
+        engine._straggler_rng.bit_generator.state = state.straggler_rng
+    if engine.source is not None:
+        assert state.source is not None
+        engine.source.load_state_dict(state.source)
+    engine._pending_submission = (
+        Job.from_record(state.pending_submission)
+        if state.pending_submission is not None
+        else None
+    )
+    if engine.sanitizer is not None:
+        assert state.sanitizer is not None
+        engine.sanitizer.load_state_dict(state.sanitizer)
+    if engine.metrics is not None:
+        assert state.metrics is not None
+        engine.metrics.load_state_dict(state.metrics)
+
+    lifecycle = state.lifecycle
+    engine._completed = int(lifecycle["completed"])
+    engine._now = float(lifecycle["now"])
+    engine._rounds_with_change = int(lifecycle["rounds_with_change"])
+    engine._truncated = bool(lifecycle["truncated"])
+    engine._loop_s = float(lifecycle["loop_s"])
+    engine._ticks = int(lifecycle["ticks"])
+    engine._halted = bool(lifecycle["halted"])
+    engine._paused = bool(lifecycle["paused"])
+    engine._round_scheduled = bool(lifecycle["round_scheduled"])
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class SnapshotCodec:
+    """Serialize :class:`EngineState` to a checksummed JSON envelope.
+
+    The checksum is the sha256 of the canonical (sorted-keys, no-space)
+    rendering of the state payload.  Re-encoding the parsed state is
+    byte-stable because the original dump already used CPython's
+    shortest-round-trip float ``repr`` — so verification recomputes the
+    exact bytes that were hashed.
+    """
+
+    FORMAT = SNAPSHOT_FORMAT
+    VERSION = SNAPSHOT_VERSION
+
+    def dumps(self, state: EngineState) -> str:
+        payload = state.to_payload()
+        body = _canonical(payload)
+        envelope = {
+            "format": self.FORMAT,
+            "version": self.VERSION,
+            "checksum": hashlib.sha256(body.encode("utf-8")).hexdigest(),
+            "state": payload,
+        }
+        return _canonical(envelope)
+
+    def loads(self, text: str) -> EngineState:
+        try:
+            envelope = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(
+                f"snapshot is not valid JSON (truncated or corrupt): {exc}"
+            ) from None
+        if not isinstance(envelope, dict) or envelope.get("format") != self.FORMAT:
+            raise SnapshotError("not a repro engine snapshot")
+        version = envelope.get("version")
+        if version != self.VERSION:
+            raise SnapshotError(
+                f"snapshot version {version!r} unsupported "
+                f"(this build reads version {self.VERSION})"
+            )
+        payload = envelope.get("state")
+        if not isinstance(payload, dict):
+            raise SnapshotError("snapshot envelope has no state object")
+        body = _canonical(payload)
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if digest != envelope.get("checksum"):
+            raise SnapshotError("snapshot checksum mismatch (corrupt file)")
+        return EngineState.from_payload(payload)
+
+    # -- files ----------------------------------------------------------------
+    def save(self, state: EngineState, path: Union[str, Path]) -> Path:
+        """Write atomically (tmp file + rename) so a kill mid-write never
+        leaves a half-snapshot where the restore path will find it."""
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(self.dumps(state), encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def load(self, path: Union[str, Path]) -> EngineState:
+        return self.loads(Path(path).read_text(encoding="utf-8"))
+
+    @staticmethod
+    def latest(directory: Union[str, Path]) -> Optional[Path]:
+        """The newest ``*.snapshot.json`` in a directory, or None.
+
+        Ties and clock skew are resolved by name (snapshots are written
+        with zero-padded tick counts, so lexicographic order is capture
+        order).
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            return None
+        candidates = sorted(directory.glob("*.snapshot.json"))
+        return candidates[-1] if candidates else None

@@ -28,6 +28,26 @@ class UtilizationRecorder:
     queue_times: list[float] = field(default_factory=list)
     queue_depths: list[int] = field(default_factory=list)
 
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """All five series, verbatim (JSON floats round-trip exactly)."""
+        return {
+            "times": list(self.times),
+            "used_total": list(self.used_total),
+            "used_by_type": [dict(d) for d in self.used_by_type],
+            "queue_times": list(self.queue_times),
+            "queue_depths": list(self.queue_depths),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.times = [float(t) for t in state["times"]]
+        self.used_total = [int(u) for u in state["used_total"]]
+        self.used_by_type = [
+            {str(t): int(c) for t, c in d.items()} for d in state["used_by_type"]
+        ]
+        self.queue_times = [float(t) for t in state["queue_times"]]
+        self.queue_depths = [int(d) for d in state["queue_depths"]]
+
     def record_queue(self, time: float, depth: int) -> None:
         """Record the number of waiting jobs effective from ``time``."""
         if depth < 0:

@@ -5,13 +5,25 @@ The paper evaluates two patterns:
 * **static** — all jobs present at t=0;
 * **continuous** — a Poisson process with inter-arrival rate ``λ``
   (jobs/hour in our API, matching the Fig. 8/9 "input job rate" axes).
+
+For the engine's service mode (long-lived runs that outlive any one
+batch trace) this module also provides :class:`SubmissionSource` — an
+open-ended, seeded Poisson *stream* of jobs drawn one at a time, with a
+resumable RNG so an engine snapshot/restore continues the exact sequence.
 """
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
 
-__all__ = ["static_arrivals", "poisson_arrivals"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workload.job import Job
+
+__all__ = ["static_arrivals", "poisson_arrivals", "SubmissionSource"]
+
+_SOURCE_STREAM = 0x5B11  # seed-sequence spawn key of the submission stream
 
 
 def static_arrivals(num_jobs: int) -> np.ndarray:
@@ -38,3 +50,126 @@ def poisson_arrivals(
     mean_gap_s = 3600.0 / jobs_per_hour
     gaps = rng.exponential(scale=mean_gap_s, size=num_jobs)
     return np.cumsum(gaps)
+
+
+class SubmissionSource:
+    """An open-ended, seeded Poisson stream of job submissions.
+
+    Unlike :func:`poisson_arrivals` (which materializes a whole batch up
+    front), a source draws one job at a time: an exponential inter-arrival
+    gap followed by a Philly-style spec sample (category → model →
+    GPU-hours → gang size), both from a single dedicated
+    ``numpy.random.Generator``.  The engine pulls the next job, schedules
+    a :attr:`~repro.sim.events.EventKind.SUBMISSION` event at its arrival
+    time, and pulls again when that event fires — so the full workload
+    never needs to exist at engine construction.
+
+    Determinism contract: the same ``(template, seed)`` always yields the
+    identical stream, and :meth:`state_dict` / :meth:`load_state_dict`
+    capture the RNG position mid-stream — a restored source continues
+    with the exact jobs the uninterrupted one would have drawn.
+
+    ``max_jobs=None`` streams forever (service mode); bounded sources
+    report :attr:`exhausted` so the engine can terminate batch-style.
+    """
+
+    def __init__(
+        self,
+        jobs_per_hour: float,
+        *,
+        seed: int = 0,
+        max_jobs: Optional[int] = None,
+        first_job_id: int = 0,
+        template: Optional["PhillyTraceConfig"] = None,  # noqa: F821
+    ):
+        if jobs_per_hour <= 0:
+            raise ValueError("jobs_per_hour must be positive")
+        if max_jobs is not None and max_jobs < 0:
+            raise ValueError("max_jobs must be non-negative")
+        # Deferred import: philly imports this module at top level.
+        from repro.workload.philly import PhillyTraceConfig
+
+        self.jobs_per_hour = float(jobs_per_hour)
+        self.seed = int(seed)
+        self.max_jobs = max_jobs
+        self.template = template or PhillyTraceConfig(
+            num_jobs=0, arrival_pattern="continuous", jobs_per_hour=jobs_per_hour
+        )
+        self._rng = np.random.default_rng([self.seed, _SOURCE_STREAM])
+        self._next_job_id = int(first_job_id)
+        self._emitted = 0
+        self._clock = 0.0
+
+    # -- stream ---------------------------------------------------------------
+    @property
+    def exhausted(self) -> bool:
+        """True once a bounded source has drawn its last job."""
+        return self.max_jobs is not None and self._emitted >= self.max_jobs
+
+    @property
+    def emitted(self) -> int:
+        """Jobs drawn so far (including any not yet dispatched)."""
+        return self._emitted
+
+    def next_job(self) -> Optional["Job"]:
+        """Draw the next submission, or None when the source is exhausted."""
+        if self.exhausted:
+            return None
+        self._clock += float(
+            self._rng.exponential(scale=3600.0 / self.jobs_per_hour)
+        )
+        job = self._draw_spec(self._next_job_id, self._clock)
+        self._next_job_id += 1
+        self._emitted += 1
+        return job
+
+    def _draw_spec(self, job_id: int, arrival_time: float) -> "Job":
+        """One Philly-style job sample (same pipeline as the batch generator)."""
+        from repro.workload.job import Job
+        from repro.workload.models import model_spec
+        from repro.workload.philly import _sample_category, _sample_workers
+        from repro.workload.throughput import default_throughput_matrix
+
+        cfg = self.template
+        rng = self._rng
+        category = _sample_category(cfg, rng)
+        model_name = str(rng.choice(sorted(category.models)))
+        model = model_spec(model_name)
+        gpu_hours = float(
+            rng.uniform(max(category.gpu_hours_lo, 1e-3), category.gpu_hours_hi)
+        )
+        workers = _sample_workers(cfg, rng)
+        ref_rate = default_throughput_matrix().rate(model_name, cfg.reference_type)
+        if ref_rate <= 0:
+            raise ValueError(
+                f"model {model_name!r} has no throughput on reference type "
+                f"{cfg.reference_type!r}"
+            )
+        total_iters = gpu_hours * 3600.0 * ref_rate
+        epochs = max(1, round(total_iters / model.iters_per_epoch))
+        return Job(
+            job_id=job_id,
+            model=model,
+            arrival_time=float(arrival_time),
+            num_workers=workers,
+            epochs=epochs,
+            iters_per_epoch=model.iters_per_epoch,
+        )
+
+    # -- engine snapshot support ----------------------------------------------
+    def state_dict(self) -> dict:
+        """RNG position + stream counters (``bit_generator.state`` is a
+        JSON-able dict of plain ints)."""
+        return {
+            "rng": self._rng.bit_generator.state,
+            "next_job_id": self._next_job_id,
+            "emitted": self._emitted,
+            "clock": self._clock,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self._rng = np.random.default_rng([self.seed, _SOURCE_STREAM])
+        self._rng.bit_generator.state = state["rng"]
+        self._next_job_id = int(state["next_job_id"])
+        self._emitted = int(state["emitted"])
+        self._clock = float(state["clock"])

@@ -1,0 +1,56 @@
+"""REP012 fixture: an engine-state class with an unsnapshotted attribute.
+
+``SubmissionSource`` is bound to a :class:`SnapshotSpec` in the default
+config (matched by the ``arrivals.SubmissionSource`` qualname suffix,
+which this fixture module shares with the real one).  The class carries
+every attribute the spec captures or waives — plus ``_carryover``, a
+mutable accumulator that ``state_dict`` forgot.  The snapshot pass must
+flag exactly that attribute: a restored source would silently drop the
+carried-over jobs.  ``GoodSource`` has no spec and must stay clean.
+"""
+
+
+class SubmissionSource:
+    """Stand-in with the real class's name and shape; never imported."""
+
+    def __init__(self):
+        self.jobs_per_hour = 40.0
+        self.max_jobs = None
+        self.seed = 0
+        self.template = None
+        self._rng = [0]
+        self._next_job_id = 0
+        self._emitted = 0
+        self._clock = 0.0
+        self._carryover = []  # the bug: mutable state, never captured
+
+    def next_job(self):
+        self._clock += 1.0
+        self._emitted += 1
+        self._next_job_id += 1
+        self._carryover.append(self._clock)
+        return self._clock
+
+    def state_dict(self):
+        return {
+            "rng": list(self._rng),
+            "next_job_id": self._next_job_id,
+            "emitted": self._emitted,
+            "clock": self._clock,
+        }
+
+    def load_state_dict(self, state):
+        self._rng = list(state["rng"])
+        self._next_job_id = state["next_job_id"]
+        self._emitted = state["emitted"]
+        self._clock = state["clock"]
+
+
+class GoodSource:
+    """No spec binds this class; whatever it does is out of scope."""
+
+    def __init__(self):
+        self.anything = []
+
+    def poke(self):
+        self.anything.append(1)

@@ -25,6 +25,7 @@ REPO_ROOT = HERE.parents[2]
 TAINT_FIXTURE = FIXTURES / "taint_scheduler.py"
 MEMO_FIXTURE = FIXTURES / "find_alloc.py"
 PURITY_FIXTURE = FIXTURES / "phases.py"
+SNAPSHOT_FIXTURE = FIXTURES / "arrivals.py"
 
 
 def rules_of(report):
@@ -91,6 +92,54 @@ class TestPurityPass:
         assert "TelemetryPhase.run" in messages
         assert "'state'" in messages
         assert "GoodTelemetryPhase" not in messages
+
+
+class TestSnapshotPass:
+    """REP012: engine-state attributes must be captured or waived."""
+
+    def test_fixture_fails(self):
+        report = analyze_paths([SNAPSHOT_FIXTURE], rules=("REP012",))
+        assert rules_of(report) == ["REP012"]
+        assert len(report.findings) == 1
+        assert "_carryover" in report.findings[0].message
+        # Classes without a spec are out of scope.
+        assert "GoodSource" not in report.findings[0].message
+
+    def test_suppression_kills_finding(self, tmp_path):
+        source = SNAPSHOT_FIXTURE.read_text(encoding="utf-8").replace(
+            "self._carryover = []",
+            "self._carryover = []  # repro-lint: disable=REP012",
+        )
+        copy = tmp_path / "arrivals.py"
+        copy.write_text(source, encoding="utf-8")
+        report = analyze_paths([copy], rules=("REP012",))
+        assert report.findings == []
+
+    def test_spec_drift_fires_on_full_tree(self, tmp_path):
+        # The full-tree marker (a SimulationEngine class) arms drift
+        # checking; every unmatched spec then fires.
+        copy = tmp_path / "engine.py"
+        copy.write_text("class SimulationEngine:\n    pass\n", encoding="utf-8")
+        report = analyze_paths([copy], rules=("REP012",))
+        drift = [f for f in report.findings if f.path == "<config>"]
+        assert drift, "unmatched specs must fire once the engine is analyzed"
+        assert any("SubmissionSource" in f.message for f in drift)
+
+    def test_fixture_dir_has_no_drift_noise(self):
+        # Fixture modules reuse main-tree module names on purpose; a
+        # fixtures-only run must not report main-tree specs as drift.
+        report = analyze_paths([FIXTURES], rules=("REP012",))
+        assert all(f.path != "<config>" for f in report.findings)
+
+    def test_missing_loader_fires(self, tmp_path):
+        source = SNAPSHOT_FIXTURE.read_text(encoding="utf-8").replace(
+            "def load_state_dict", "def _renamed_loader"
+        )
+        copy = tmp_path / "arrivals.py"
+        copy.write_text(source, encoding="utf-8")
+        report = analyze_paths([copy], rules=("REP012",))
+        messages = "\n".join(f.message for f in report.findings)
+        assert "neither load_state_dict() nor" in messages
 
 
 class TestSelfAnalysisGate:

@@ -1,0 +1,127 @@
+"""Chaos satellite for the checkpointable engine: interrupt a run at
+multiple points, throw the engine away, restore from the serialized
+snapshot, run to completion — the schedule fingerprint must be
+byte-identical to the uninterrupted run.
+
+Every scenario runs with the full observer stack attached (fault
+injection, decision tracer, invariant sanitizer, metrics registry):
+an attribute any of those layers mutates but the snapshot misses shows
+up here as a digest mismatch, not as a subtle drift in production.
+The no-attachment restored runs are additionally pinned against the
+committed goldens in ``golden_hotpath.json`` — restore must not merely
+be self-consistent, it must reproduce the recorded schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.sanitizer import InvariantSanitizer
+from repro.cluster.cluster import simulated_cluster
+from repro.faults import FaultModel
+from repro.obs import DecisionTracer, MetricsRegistry
+from repro.sim.engine import SimulationEngine
+from repro.sim.snapshot import SnapshotCodec
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+
+from tests.core._hotpath_fingerprint import (
+    NUM_JOBS,
+    SCHEDULER_NAMES,
+    SEEDS,
+    digest,
+    fingerprint,
+    make_scheduler,
+)
+
+GOLDEN = json.loads(
+    (Path(__file__).with_name("golden_hotpath.json")).read_text(encoding="utf-8")
+)
+
+#: Interrupt fractions of the run's total event count — early (scheduler
+#: caches still cold) and late (deep into completions and faults).
+CUT_FRACTIONS = (1, 2)  # numerators over 3: T//3 and 2T//3
+
+
+def build_engine(name: str, seed: int, *, chaos: bool) -> SimulationEngine:
+    """One scenario engine; ``chaos=True`` attaches the observer stack.
+
+    Every call builds the full stack from scratch — engines under test
+    and their uninterrupted references must never share mutable parts.
+    """
+    kwargs = {}
+    if chaos:
+        kwargs = dict(
+            faults=FaultModel(
+                node_mtbf_h=6.0, gpu_mtbf_h=120.0, mttr_s=900.0, seed=seed
+            ),
+            tracer=DecisionTracer(sink=[]),
+            sanitizer=InvariantSanitizer(mode="collect"),
+            metrics=MetricsRegistry(),
+        )
+    return SimulationEngine(
+        cluster=simulated_cluster(),
+        trace=generate_philly_trace(
+            PhillyTraceConfig(num_jobs=NUM_JOBS, seed=seed)
+        ),
+        scheduler=make_scheduler(name),
+        **kwargs,
+    )
+
+
+def run_interrupted(name: str, seed: int, cut: int, *, chaos: bool):
+    """Step to the cut, serialize, discard, restore, run to completion."""
+    engine = build_engine(name, seed, chaos=chaos)
+    engine.start()
+    for _ in range(cut):
+        if not engine.step():
+            break
+    blob = SnapshotCodec().dumps(engine.snapshot())
+    del engine  # the restored engine must not lean on the original
+
+    restored = build_engine(name, seed, chaos=chaos)
+    restored.restore(SnapshotCodec().loads(blob))
+    return restored.run()
+
+
+def total_steps(name: str, seed: int, *, chaos: bool) -> int:
+    engine = build_engine(name, seed, chaos=chaos)
+    engine.start()
+    steps = 0
+    while engine.step():
+        steps += 1
+    engine.stop()
+    return steps
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_kill_restore_is_byte_identical_under_chaos(name: str, seed: int):
+    reference = build_engine(name, seed, chaos=True).run()
+    want = digest(fingerprint(reference))
+    steps = total_steps(name, seed, chaos=True)
+    assert steps > 10
+    for numerator in CUT_FRACTIONS:
+        cut = steps * numerator // 3
+        result = run_interrupted(name, seed, cut, chaos=True)
+        assert digest(fingerprint(result)) == want, (
+            f"{name}/{seed}: restored run diverged after snapshot at "
+            f"step {cut}/{steps}"
+        )
+        assert repr(result.end_time) == repr(reference.end_time)
+        assert len(result.completed) == len(reference.completed)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("name", SCHEDULER_NAMES)
+def test_kill_restore_reproduces_goldens(name: str, seed: int):
+    """Plain restored runs must land on the committed golden schedules."""
+    golden = GOLDEN[f"{name}/{seed}"]
+    steps = total_steps(name, seed, chaos=False)
+    cut = steps // 2
+    result = run_interrupted(name, seed, cut, chaos=False)
+    assert digest(fingerprint(result)) == golden["sha256"]
+    assert repr(result.makespan()) == golden["makespan"]
+    assert len(result.completed) == golden["completed"]

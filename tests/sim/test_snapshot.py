@@ -1,0 +1,368 @@
+"""Engine snapshot/restore: round-trip properties, codec rejection,
+lifecycle API, and streaming submission sources.
+
+The headline property — interrupted-and-restored runs are byte-identical
+to uninterrupted ones across schedulers/seeds with every observer
+attached — lives in ``tests/core/test_chaos_snapshot.py`` next to the
+golden fingerprints.  This file covers the mechanisms underneath:
+component state dicts round-tripping exactly (heap order, RNG
+continuations, calibrator records, cluster key), the codec rejecting
+bad envelopes before any state is touched, and the lifecycle guards.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sanitizer import InvariantSanitizer
+from repro.cluster.cluster import simulated_cluster
+from repro.core import HadarScheduler
+from repro.faults import FaultModel
+from repro.obs import MetricsRegistry
+from repro.sim.engine import SimulationEngine, simulate
+from repro.sim.snapshot import (
+    SNAPSHOT_VERSION,
+    SnapshotCodec,
+    SnapshotError,
+    capture_engine_state,
+)
+from repro.workload.arrivals import SubmissionSource
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+from repro.workload.trace import Trace
+
+
+def make_trace(seed: int = 1, num_jobs: int = 10) -> Trace:
+    return generate_philly_trace(
+        PhillyTraceConfig(
+            num_jobs=num_jobs,
+            seed=seed,
+            arrival_pattern="continuous",
+            jobs_per_hour=50.0,
+        )
+    )
+
+
+def make_engine(seed: int = 1, **kwargs) -> SimulationEngine:
+    defaults = dict(
+        cluster=simulated_cluster(),
+        trace=make_trace(seed),
+        scheduler=HadarScheduler(),
+        round_length=300.0,
+        max_time=60 * 24 * 3600.0,
+    )
+    defaults.update(kwargs)
+    return SimulationEngine(**defaults)
+
+
+def loaded_engine(seed: int = 1, steps: int = 150, **kwargs):
+    """An engine advanced ``steps`` events into a run."""
+    engine = make_engine(seed, **kwargs)
+    engine.start()
+    for _ in range(steps):
+        if not engine.step():
+            break
+    return engine
+
+
+class TestLifecycle:
+    def test_run_is_start_step_stop(self):
+        batch = make_engine().run()
+        engine = make_engine()
+        engine.start()
+        while engine.step():
+            pass
+        stepped = engine.stop()
+        assert [rt.finish_time for rt in batch.runtimes.values()] == [
+            rt.finish_time for rt in stepped.runtimes.values()
+        ]
+        assert batch.end_time == stepped.end_time
+
+    def test_start_twice_raises(self):
+        engine = make_engine()
+        engine.start()
+        with pytest.raises(RuntimeError, match="running"):
+            engine.start()
+
+    def test_step_before_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            make_engine().step()
+
+    def test_pause_makes_step_a_noop(self):
+        engine = make_engine()
+        engine.start()
+        engine.step()
+        before = engine.tick_count
+        engine.pause()
+        assert engine.is_paused
+        assert engine.step() is True  # work remains, nothing processed
+        assert engine.tick_count == before
+        engine.resume()
+        assert engine.step() is True
+        assert engine.tick_count == before + 1
+
+    def test_stop_is_idempotent(self):
+        engine = make_engine()
+        engine.start()
+        while engine.step():
+            pass
+        first = engine.stop()
+        assert engine.stop() is first
+
+    def test_snapshot_requires_running(self):
+        engine = make_engine()
+        with pytest.raises(RuntimeError, match="snapshot"):
+            engine.snapshot()
+
+    def test_restore_requires_fresh_engine(self):
+        engine = loaded_engine()
+        state = engine.snapshot()
+        started = make_engine()
+        started.start()
+        with pytest.raises(RuntimeError, match="freshly constructed"):
+            started.restore(state)
+
+
+class TestRoundTrip:
+    """restore(loads(dumps(snapshot()))) reproduces every component."""
+
+    def test_full_state_reproduced_bitwise(self):
+        engine = loaded_engine()
+        blob = SnapshotCodec().dumps(engine.snapshot())
+        restored = make_engine()
+        restored.restore(SnapshotCodec().loads(blob))
+        again = capture_engine_state(restored)
+        assert SnapshotCodec().dumps(again) == blob
+
+    def test_full_state_reproduced_with_all_attachments(self):
+        kwargs = dict(
+            faults=FaultModel(node_mtbf_h=0.5, mttr_s=1800.0, seed=3),
+            sanitizer=InvariantSanitizer(mode="collect"),
+            metrics=MetricsRegistry(),
+        )
+        engine = loaded_engine(steps=300, **kwargs)
+        blob = SnapshotCodec().dumps(engine.snapshot())
+        restored = make_engine(
+            faults=FaultModel(node_mtbf_h=0.5, mttr_s=1800.0, seed=3),
+            sanitizer=InvariantSanitizer(mode="collect"),
+            metrics=MetricsRegistry(),
+        )
+        restored.restore(SnapshotCodec().loads(blob))
+        assert SnapshotCodec().dumps(capture_engine_state(restored)) == blob
+
+    def test_kernel_heap_pops_replay_in_order(self):
+        engine = loaded_engine()
+        state = SnapshotCodec().loads(SnapshotCodec().dumps(engine.snapshot()))
+        restored = make_engine()
+        restored.restore(state)
+        # Pop both kernels dry and compare the exact sequences.
+        mine, theirs = [], []
+        while engine._kernel:
+            e = engine._kernel.pop()
+            mine.append((e.time, int(e.kind), e.seq, e.payload, e.generation))
+        while restored._kernel:
+            e = restored._kernel.pop()
+            theirs.append((e.time, int(e.kind), e.seq, e.payload, e.generation))
+        assert mine == theirs
+        assert len(mine) > 0
+
+    def test_cluster_state_key_identical(self):
+        engine = loaded_engine()
+        restored = make_engine()
+        restored.restore(engine.snapshot())
+        assert restored._state.key() == engine._state.key()
+
+    def test_scheduler_calibrator_records_identical(self):
+        engine = loaded_engine(steps=400)
+        restored = make_engine()
+        restored.restore(engine.snapshot())
+        assert restored.scheduler.state_dict() == engine.scheduler.state_dict()
+
+    def test_rng_continuations_identical(self):
+        from repro.sim.stragglers import StragglerModel
+
+        kwargs = dict(stragglers=StragglerModel(incidence_per_hour=0.2, seed=9))
+        engine = loaded_engine(steps=200, **kwargs)
+        restored = make_engine(
+            stragglers=StragglerModel(incidence_per_hour=0.2, seed=9)
+        )
+        restored.restore(engine.snapshot())
+        assert (
+            restored._straggler_rng.bit_generator.state
+            == engine._straggler_rng.bit_generator.state
+        )
+        # And the streams actually continue identically.
+        assert [restored._straggler_rng.random() for _ in range(8)] == [
+            engine._straggler_rng.random() for _ in range(8)
+        ]
+
+    def test_restored_run_matches_uninterrupted(self):
+        reference = make_engine().run()
+        engine = loaded_engine()
+        restored = make_engine()
+        restored.restore(engine.snapshot())
+        result = restored.run()
+        assert [
+            (rt.job_id, rt.finish_time, rt.iterations_done, rt.preemptions)
+            for rt in reference.runtimes.values()
+        ] == [
+            (rt.job_id, rt.finish_time, rt.iterations_done, rt.preemptions)
+            for rt in result.runtimes.values()
+        ]
+        assert reference.end_time == result.end_time
+
+
+class TestCodecRejection:
+    def blob(self):
+        return SnapshotCodec().dumps(loaded_engine().snapshot())
+
+    def test_version_mismatch_rejected(self):
+        envelope = json.loads(self.blob())
+        envelope["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SnapshotError, match="version"):
+            SnapshotCodec().loads(json.dumps(envelope))
+
+    def test_truncated_snapshot_rejected(self):
+        blob = self.blob()
+        with pytest.raises(SnapshotError, match="truncated|corrupt"):
+            SnapshotCodec().loads(blob[: len(blob) // 2])
+
+    def test_corrupted_state_rejected_by_checksum(self):
+        envelope = json.loads(self.blob())
+        envelope["state"]["lifecycle"]["completed"] += 1
+        with pytest.raises(SnapshotError, match="checksum"):
+            SnapshotCodec().loads(json.dumps(envelope))
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SnapshotError, match="not a repro engine snapshot"):
+            SnapshotCodec().loads(json.dumps({"format": "something-else"}))
+
+    def test_missing_field_rejected(self):
+        envelope = json.loads(self.blob())
+        del envelope["state"]["events"]
+        body = json.dumps(
+            envelope["state"], sort_keys=True, separators=(",", ":")
+        )
+        import hashlib
+
+        envelope["checksum"] = hashlib.sha256(body.encode()).hexdigest()
+        with pytest.raises(SnapshotError, match="missing field"):
+            SnapshotCodec().loads(json.dumps(envelope))
+
+    def test_config_mismatch_rejected(self):
+        from repro.baselines import GavelScheduler
+
+        state = loaded_engine().snapshot()
+        other = make_engine(scheduler=GavelScheduler())
+        with pytest.raises(SnapshotError, match="differently configured"):
+            other.restore(state)
+
+    def test_save_load_file_round_trip(self, tmp_path):
+        codec = SnapshotCodec()
+        state = loaded_engine().snapshot()
+        path = codec.save(state, tmp_path / "a.snapshot.json")
+        assert codec.dumps(codec.load(path)) == codec.dumps(state)
+        assert SnapshotCodec.latest(tmp_path) == path
+
+
+class TestSubmissionSource:
+    def drain(self, source):
+        jobs = []
+        while True:
+            job = source.next_job()
+            if job is None:
+                break
+            jobs.append(job)
+        return jobs
+
+    def spec(self, job):
+        return (
+            job.job_id,
+            job.arrival_time,
+            job.model.name,
+            job.num_workers,
+            job.epochs,
+        )
+
+    def test_same_seed_same_stream(self):
+        a = self.drain(SubmissionSource(40.0, seed=7, max_jobs=20))
+        b = self.drain(SubmissionSource(40.0, seed=7, max_jobs=20))
+        assert [self.spec(j) for j in a] == [self.spec(j) for j in b]
+
+    def test_different_seed_different_stream(self):
+        a = self.drain(SubmissionSource(40.0, seed=7, max_jobs=20))
+        b = self.drain(SubmissionSource(40.0, seed=8, max_jobs=20))
+        assert [self.spec(j) for j in a] != [self.spec(j) for j in b]
+
+    def test_arrivals_strictly_increase(self):
+        jobs = self.drain(SubmissionSource(40.0, seed=1, max_jobs=50))
+        times = [j.arrival_time for j in jobs]
+        assert times == sorted(times) and len(set(times)) == len(times)
+
+    def test_resume_continues_exact_stream(self):
+        full = SubmissionSource(40.0, seed=3, max_jobs=30)
+        first = [full.next_job() for _ in range(15)]
+        state = full.state_dict()
+        rest = [full.next_job() for _ in range(15)]
+
+        resumed = SubmissionSource(40.0, seed=3, max_jobs=30)
+        resumed.load_state_dict(state)
+        continued = [resumed.next_job() for _ in range(15)]
+        assert [self.spec(j) for j in continued] == [self.spec(j) for j in rest]
+        assert resumed.exhausted
+        assert first[-1].job_id + 1 == continued[0].job_id
+
+    def test_engine_completes_streamed_jobs(self):
+        source = SubmissionSource(60.0, seed=2, max_jobs=6, first_job_id=100)
+        result = simulate(
+            simulated_cluster(),
+            make_trace(1, num_jobs=4),
+            HadarScheduler(),
+            round_length=300.0,
+            max_time=60 * 24 * 3600.0,
+            source=source,
+        )
+        assert len(result.runtimes) == 10
+        assert {100, 101, 102, 103, 104, 105} <= set(result.runtimes)
+        assert not result.truncated
+        assert all(rt.finish_time is not None for rt in result.runtimes.values())
+
+    def test_streamed_only_run_without_trace(self):
+        source = SubmissionSource(60.0, seed=5, max_jobs=5)
+        result = simulate(
+            simulated_cluster(),
+            Trace(jobs=()),
+            HadarScheduler(),
+            round_length=300.0,
+            max_time=60 * 24 * 3600.0,
+            source=source,
+        )
+        assert len(result.completed) == 5
+
+    def test_id_collision_with_trace_rejected(self):
+        source = SubmissionSource(60.0, seed=2, max_jobs=1, first_job_id=0)
+        engine = make_engine(source=source)
+        with pytest.raises(ValueError, match="collides"):
+            engine.start()
+
+    def test_snapshot_mid_stream_restores_pending_submission(self):
+        source = SubmissionSource(60.0, seed=2, max_jobs=8, first_job_id=100)
+        engine = make_engine(source=source)
+        engine.start()
+        for _ in range(40):
+            engine.step()
+        assert engine._pending_submission is not None or source.exhausted
+        blob = SnapshotCodec().dumps(engine.snapshot())
+        restored = make_engine(
+            source=SubmissionSource(60.0, seed=2, max_jobs=8, first_job_id=100)
+        )
+        restored.restore(SnapshotCodec().loads(blob))
+        assert SnapshotCodec().dumps(capture_engine_state(restored)) == blob
+        reference = make_engine(
+            source=SubmissionSource(60.0, seed=2, max_jobs=8, first_job_id=100)
+        ).run()
+        result = restored.run()
+        assert [rt.finish_time for rt in reference.runtimes.values()] == [
+            rt.finish_time for rt in result.runtimes.values()
+        ]
