@@ -24,7 +24,11 @@ least-noisy seed shows >= 3% wall-clock overhead on either off path.
 A fourth ``snapshot_overhead`` rerun drives the same scenario through
 the step lifecycle with a full engine snapshot serialized every 25
 rounds (the ``--snapshot-every`` CLI default) and gates that tax the
-same way.
+same way.  A fifth ``metrics_live`` comparison reruns the scenario with
+no observers at all and gates the live per-round publication tax (the
+registry-attached run pays engine families + the health observer every
+round, lock held, so a ``--listen`` endpoint can scrape mid-run) the
+same < 3% min-over-seeds way.
 
 Usage::
 
@@ -82,6 +86,12 @@ calls (not run-vs-run, which is noise-bound), min over the seeds."""
 SNAPSHOT_EVERY = 25
 """Rounds between snapshots in the ``snapshot_overhead`` scenario —
 matches the ``--snapshot-every`` CLI default."""
+METRICS_LIVE_OVERHEAD_LIMIT_PCT = 3.0
+"""Gate on the live-publication tax: the cached run with a
+``MetricsRegistry`` attached (per-round engine families + the
+``ClusterHealthPhase`` observer, published under ``registry.lock`` so a
+``--listen`` endpoint can scrape mid-run) must cost < 3% wall-clock vs
+the same run with no observers at all (min over the seeds)."""
 
 
 def _phases(result: SimulationResult) -> dict[str, float]:
@@ -185,6 +195,9 @@ def record(num_jobs: int, scale: str) -> dict:
     for seed in SEEDS:
         cached_s, cached = _run(seed, num_jobs, cached=True, metrics=MetricsRegistry())
         reference_s, reference = _run(seed, num_jobs, cached=False)
+        # The live-publication tax: the cached run above pays per-round
+        # metrics publication + the health observer; this one runs bare.
+        bare_s, _ = _run(seed, num_jobs, cached=True)
         # The tracing-off tax: same scenario with a disabled DecisionTracer
         # attached — the engine must skip all record building.
         disabled_tracer = DecisionTracer(sink=[], enabled=False)
@@ -210,6 +223,13 @@ def record(num_jobs: int, scale: str) -> dict:
                 "phase_timings": _phases(cached),
                 "counters": c_stats,
                 "metrics": _counter_metrics(cached),
+            },
+            "metrics_live": {
+                "wall_s": round(cached_s, 3),
+                "bare_wall_s": round(bare_s, 3),
+                "overhead_pct": round(
+                    100.0 * (cached_s / max(bare_s, 1e-9) - 1.0), 2
+                ),
             },
             "tracing_disabled": {
                 "wall_s": round(disabled_s, 3),
@@ -254,6 +274,7 @@ def record(num_jobs: int, scale: str) -> dict:
     overheads = [s["tracing_disabled"]["overhead_pct"] for s in hadar]
     fault_overheads = [s["faults_disabled"]["overhead_pct"] for s in hadar]
     snapshot_overheads = [s["snapshot_overhead"]["overhead_pct"] for s in hadar]
+    live_overheads = [s["metrics_live"]["overhead_pct"] for s in hadar]
     return {
         "meta": {
             "bench": "dp_hotpath",
@@ -276,6 +297,7 @@ def record(num_jobs: int, scale: str) -> dict:
             "min_tracing_overhead_pct": min(overheads),
             "min_faults_overhead_pct": min(fault_overheads),
             "min_snapshot_overhead_pct": min(snapshot_overheads),
+            "min_metrics_live_overhead_pct": min(live_overheads),
         },
     }
 
@@ -313,6 +335,13 @@ def check(report: dict, baseline: dict, threshold: float) -> list[str]:
             f"snapshot overhead {snap_overhead:.2f}% on every seed — "
             f"periodic checkpointing must cost < "
             f"{SNAPSHOT_OVERHEAD_LIMIT_PCT:.0f}%"
+        )
+    live_overhead = report.get("summary", {}).get("min_metrics_live_overhead_pct")
+    if live_overhead is not None and live_overhead >= METRICS_LIVE_OVERHEAD_LIMIT_PCT:
+        problems.append(
+            f"live metrics publication overhead {live_overhead:.2f}% on "
+            f"every seed — the attached-registry path must cost < "
+            f"{METRICS_LIVE_OVERHEAD_LIMIT_PCT:.0f}%"
         )
     return problems
 
@@ -362,7 +391,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "faults-off overhead (min): "
         f"{summary['min_faults_overhead_pct']:.2f}%; "
         "snapshot overhead (min): "
-        f"{summary['min_snapshot_overhead_pct']:.2f}%"
+        f"{summary['min_snapshot_overhead_pct']:.2f}%; "
+        "live metrics overhead (min): "
+        f"{summary['min_metrics_live_overhead_pct']:.2f}%"
     )
 
     if args.check is not None:

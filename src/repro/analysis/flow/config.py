@@ -271,6 +271,7 @@ DEFAULT_CONFIG = FlowConfig(
     ),
     contracts=(
         PhaseContract(cls="TelemetryPhase", role="observer"),
+        PhaseContract(cls="ClusterHealthPhase", role="observer"),
         PhaseContract(cls="SanitizerPhase", role="observer"),
         PhaseContract(cls="TracePhase", role="observer"),
         PhaseContract(cls="InvariantSanitizer", role="observer"),
@@ -418,9 +419,12 @@ DEFAULT_CONFIG = FlowConfig(
         SnapshotSpec(
             cls="registry.MetricsRegistry",
             captured=("_metrics",),
+            waived=("lock",),
             note="Full reconstructible state (state_dict, not the "
             "cumulative snapshot() rendering); histogram min/max travel "
-            "as hex floats for the ±inf empty-series sentinels.",
+            "as hex floats for the ±inf empty-series sentinels. The "
+            "exposition lock is process-local wiring rebuilt at "
+            "construction, never state.",
         ),
         SnapshotSpec(
             cls="sanitizer.InvariantSanitizer",

@@ -109,14 +109,24 @@ def cmd_generate_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _run_with_snapshots(engine, every: int, directory) -> "SimulationResult":  # noqa: F821
+def _run_with_snapshots(
+    engine, every: int, directory, server=None, drain_s: float = 0.0
+) -> "SimulationResult":  # noqa: F821
     """Drive an engine step-by-step, snapshotting every ``every`` rounds.
 
     Restores from the newest snapshot in ``directory`` when one exists
     (so re-running the same command after a kill continues the run), and
     snapshots once more on SIGTERM/SIGINT before exiting cleanly.
+
+    With an :class:`~repro.obs.server.ObservabilityServer` attached, the
+    loop flips ``/readyz`` to 200 once stepping begins, reports each
+    snapshot's path for ``/status``, and on SIGTERM flips readiness back
+    off and holds the (still-scrapeable) endpoint up for ``drain_s``
+    seconds before exiting — an orchestrator polling ``/readyz`` sees the
+    503 and stops routing before the process disappears.
     """
     import signal
+    import time as _walltime
 
     from pathlib import Path
 
@@ -129,8 +139,12 @@ def _run_with_snapshots(engine, every: int, directory) -> "SimulationResult":  #
     if latest is not None:
         engine.restore(codec.load(latest))
         print(f"restored  : {latest} (tick {engine.tick_count})")
+        if server is not None:
+            server.note_snapshot(str(latest))
     else:
         engine.start()
+    if server is not None:
+        server.set_ready(True)
 
     interrupted = {"flag": False}
 
@@ -151,15 +165,26 @@ def _run_with_snapshots(engine, every: int, directory) -> "SimulationResult":  #
                 path = directory / f"tick-{engine.tick_count:010d}.snapshot.json"
                 codec.save(engine.snapshot(), path)
                 last = rounds
+                if server is not None:
+                    server.note_snapshot(str(path))
         if interrupted["flag"] and more:
+            if server is not None:
+                server.set_ready(False)
             path = directory / f"tick-{engine.tick_count:010d}.snapshot.json"
             codec.save(engine.snapshot(), path)
+            if server is not None:
+                server.note_snapshot(str(path))
             print(f"interrupted: snapshot saved to {path}")
+            if server is not None and drain_s > 0:
+                _walltime.sleep(drain_s)
             raise SystemExit(0)
     finally:
         signal.signal(signal.SIGTERM, previous[0])
         signal.signal(signal.SIGINT, previous[1])
-    return engine.stop()
+    result = engine.stop()
+    if server is not None:
+        server.set_ready(False)
+    return result
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -180,16 +205,16 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         from repro.analysis.sanitizer import InvariantSanitizer
 
         sanitizer = InvariantSanitizer()
-    tracer = metrics = None
+    tracer = metrics = server = None
     if args.trace_out:
         from repro.obs import DecisionTracer
 
         tracer = DecisionTracer(args.trace_out)
-    if args.metrics_out or args.json:
+    if args.metrics_out or args.json or args.listen:
         from repro.obs import MetricsRegistry
 
         metrics = MetricsRegistry()
-    if args.snapshot_dir:
+    if args.snapshot_dir or args.listen:
         from repro.sim.engine import SimulationEngine
         from repro.workload.throughput import default_throughput_matrix as _dtm
 
@@ -205,7 +230,27 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
         )
-        result = _run_with_snapshots(engine, args.snapshot_every, args.snapshot_dir)
+        if args.listen:
+            from repro.obs import ObservabilityServer, parse_listen
+
+            host, port = parse_listen(args.listen)
+            server = ObservabilityServer(
+                registry=metrics, status_fn=engine.status, host=host, port=port
+            )
+            server.start()
+            print(f"listening : {server.url} (/metrics /healthz /readyz /status)")
+        try:
+            if args.snapshot_dir:
+                result = _run_with_snapshots(
+                    engine, args.snapshot_every, args.snapshot_dir, server=server
+                )
+            else:
+                if server is not None:
+                    server.set_ready(True)
+                result = engine.run()
+        finally:
+            if server is not None:
+                server.stop()
     else:
         result = simulate(
             cluster,
@@ -265,7 +310,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     than a fixed trace; the engine snapshots every ``--snapshot-every``
     scheduler rounds into ``--snapshot-dir`` and again on SIGTERM, and a
     relaunch with the same arguments restores from the newest snapshot
-    and continues bit-identically.
+    and continues bit-identically.  ``--listen HOST:PORT`` attaches the
+    live observability endpoint (``/metrics`` ``/healthz`` ``/readyz``
+    ``/status``; see docs/observability.md) and ``--trace-out`` a
+    decision trace, size-rotated every ``--trace-rotate-mb`` MiB.
     """
     from repro.sim.engine import SimulationEngine
     from repro.workload.arrivals import SubmissionSource
@@ -286,6 +334,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.analysis.sanitizer import InvariantSanitizer
 
         sanitizer = InvariantSanitizer()
+    tracer = metrics = server = None
+    if args.trace_out:
+        from repro.obs import DecisionTracer
+
+        tracer = DecisionTracer(args.trace_out, rotate_mb=args.trace_rotate_mb)
+    if args.listen or args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        metrics = MetricsRegistry()
     engine = SimulationEngine(
         cluster=cluster,
         trace=trace,
@@ -294,9 +351,40 @@ def cmd_serve(args: argparse.Namespace) -> int:
         round_length=args.round_min * 60.0,
         max_time=args.max_hours * 3600.0,
         sanitizer=sanitizer,
+        tracer=tracer,
+        metrics=metrics,
         source=source,
     )
-    result = _run_with_snapshots(engine, args.snapshot_every, args.snapshot_dir)
+    if args.listen:
+        from repro.obs import ObservabilityServer, parse_listen
+
+        host, port = parse_listen(args.listen)
+        server = ObservabilityServer(
+            registry=metrics, status_fn=engine.status, host=host, port=port
+        )
+        server.start()
+        print(f"listening : {server.url} (/metrics /healthz /readyz /status)")
+    try:
+        result = _run_with_snapshots(
+            engine,
+            args.snapshot_every,
+            args.snapshot_dir,
+            server=server,
+            drain_s=args.drain_s,
+        )
+    finally:
+        if tracer is not None:
+            tracer.close()
+        if server is not None:
+            server.stop()
+    if tracer is not None:
+        parts = f" + {tracer.parts_rotated} rotated parts" if tracer.parts_rotated else ""
+        print(f"trace     : {args.trace_out} "
+              f"({tracer.records_emitted} records{parts})")
+    if args.metrics_out and metrics is not None:
+        with open(args.metrics_out, "w") as fh:
+            fh.write(metrics.to_json())
+        print(f"metrics   : {args.metrics_out}")
     stats = jct_stats(result)
     print(f"scheduler : {result.scheduler_name}")
     print(f"jobs done : {len(result.completed)}/{len(result.runtimes)}"
@@ -424,6 +512,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="snapshot every N scheduler rounds (with --snapshot-dir)")
     p.add_argument("--metrics-out", default=None,
                    help="write the metrics-registry snapshot as JSON")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="serve live /metrics /healthz /readyz /status while "
+                        "the run steps (see docs/observability.md)")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser(
@@ -444,6 +535,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where snapshots are written / restored from")
     p.add_argument("--snapshot-every", type=int, default=25, metavar="N",
                    help="snapshot every N scheduler rounds")
+    p.add_argument("--listen", default=None, metavar="HOST:PORT",
+                   help="serve live /metrics /healthz /readyz /status "
+                        "(Prometheus text exposition; port 0 = auto-pick)")
+    p.add_argument("--trace-out", default=None,
+                   help="write a structured decision trace (JSONL)")
+    p.add_argument("--trace-rotate-mb", type=float, default=None, metavar="MB",
+                   help="rotate the decision trace when the live file "
+                        "reaches MB MiB (parts: <path>.part-NNNNNN)")
+    p.add_argument("--metrics-out", default=None,
+                   help="write the final metrics-registry snapshot as JSON")
+    p.add_argument("--drain-s", type=float, default=0.0, metavar="S",
+                   help="after SIGTERM, keep serving (with /readyz=503) for "
+                        "S seconds before exiting")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("compare", help="run a scheduler lineup over one workload")

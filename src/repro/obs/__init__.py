@@ -11,23 +11,41 @@ Three pieces, one package:
   round's cache counters.  Near-zero overhead when disabled.
 * :class:`~repro.obs.registry.MetricsRegistry` — dependency-free
   counters / gauges / histograms with labeled series.  The engine,
-  schedulers, and calibrator publish into it; the snapshot lands in
-  ``SimulationResult.metrics`` and exports to JSON.
+  schedulers, and calibrator publish into it (per-round while stepping);
+  the snapshot lands in ``SimulationResult.metrics`` and exports to JSON.
+* :mod:`~repro.obs.server` + :mod:`~repro.obs.exposition` — a stdlib
+  HTTP endpoint (``repro serve --listen``) serving the registry as
+  Prometheus text exposition on ``/metrics`` plus ``/healthz`` /
+  ``/readyz`` / ``/status``, scrape-atomic against the stepping engine.
+* :class:`~repro.obs.health.ClusterHealthPhase` — per-round cluster
+  health: fragmentation, per-type utilization, queue starvation,
+  allocation churn.
 * :mod:`~repro.obs.perfetto` — trace → Chrome ``trace_event`` timeline
   that opens in https://ui.perfetto.dev (rounds as frames, per-job
   allocation lifelines, price counter tracks, wall-clock phase spans).
 
 ``python -m repro.obs`` wraps it all in a CLI: ``validate``,
 ``summarize`` (slowest rounds, admission/skip rates, price
-trajectories), ``diff`` (decision-level comparison of two traces), and
-``export --perfetto``.  See ``docs/observability.md``.
+trajectories), ``diff`` (decision-level comparison of two traces),
+``export --perfetto``, ``watch`` (poll a live endpoint), and
+``lint-exposition``.  See ``docs/observability.md``.
 """
 
+from repro.obs.exposition import (
+    CONTENT_TYPE,
+    lint_exposition,
+    parse_exposition,
+    render,
+)
+from repro.obs.health import ClusterHealthPhase
 from repro.obs.perfetto import export_perfetto, trace_to_perfetto
 from repro.obs.registry import (
+    ALLOWED_LABEL_NAMES,
     Counter,
     Gauge,
     Histogram,
+    MetricLabelError,
+    MetricNameError,
     MetricsRegistry,
 )
 from repro.obs.schema import (
@@ -37,20 +55,34 @@ from repro.obs.schema import (
     validate_record,
     validate_trace,
 )
+from repro.obs.server import ObservabilityServer, parse_listen
 from repro.obs.summarize import (
     TraceDiff,
     TraceSummary,
     diff_traces,
     summarize_trace,
 )
-from repro.obs.tracer import DecisionTracer, load_trace, read_trace
+from repro.obs.tracer import (
+    DecisionTracer,
+    load_trace,
+    load_trace_set,
+    read_trace,
+    read_trace_set,
+    trace_part_paths,
+)
 
 __all__ = [
+    "ALLOWED_LABEL_NAMES",
+    "CONTENT_TYPE",
+    "ClusterHealthPhase",
     "Counter",
     "DecisionTracer",
     "Gauge",
     "Histogram",
+    "MetricLabelError",
+    "MetricNameError",
     "MetricsRegistry",
+    "ObservabilityServer",
     "SKIP_REASONS",
     "SchemaError",
     "TRACE_SCHEMA_VERSION",
@@ -58,9 +90,16 @@ __all__ = [
     "TraceSummary",
     "diff_traces",
     "export_perfetto",
+    "lint_exposition",
     "load_trace",
+    "load_trace_set",
+    "parse_exposition",
+    "parse_listen",
     "read_trace",
+    "read_trace_set",
+    "render",
     "summarize_trace",
+    "trace_part_paths",
     "trace_to_perfetto",
     "validate_record",
     "validate_trace",

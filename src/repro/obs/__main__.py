@@ -1,4 +1,4 @@
-"""``python -m repro.obs`` — inspect, validate, diff, and export traces.
+"""``python -m repro.obs`` — inspect, validate, diff, export, and watch.
 
 Subcommands::
 
@@ -6,6 +6,8 @@ Subcommands::
     python -m repro.obs summarize trace.jsonl [--top 5] [--json]
     python -m repro.obs diff      a.jsonl b.jsonl [--json]
     python -m repro.obs export    trace.jsonl --perfetto -o timeline.json
+    python -m repro.obs watch     http://127.0.0.1:9418 [--interval 2]
+    python -m repro.obs lint-exposition metrics.txt
 
 ``validate`` checks every record against the versioned schema (exit 1 on
 the first violation) — the CI obs-smoke gate.  ``summarize`` prints the
@@ -13,7 +15,12 @@ top-k slowest rounds, admission/skip rates, and per-type price
 trajectories.  ``diff`` compares two traces decision-by-decision (e.g.
 cached vs reference mode) and exits 1 when schedules fork.  ``export
 --perfetto`` writes a Chrome ``trace_event`` file that opens directly in
-``ui.perfetto.dev``.
+``ui.perfetto.dev``.  ``validate``/``summarize``/``diff`` transparently
+accept a size-rotated trace set (``trace.jsonl.part-000000`` … plus the
+live file) as one logical stream.  ``watch`` polls a live
+``repro serve --listen`` endpoint and renders a compact terminal
+summary; ``lint-exposition`` checks scraped ``/metrics`` text against
+the exposition-format contract (the CI serve-smoke gate).
 """
 
 from __future__ import annotations
@@ -21,13 +28,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.obs.perfetto import export_perfetto
 from repro.obs.schema import SchemaError, validate_trace
 from repro.obs.summarize import diff_traces, summarize_trace
-from repro.obs.tracer import load_trace, read_trace
+from repro.obs.tracer import load_trace_set, read_trace_set
 
 __all__ = ["main"]
 
@@ -35,7 +43,7 @@ __all__ = ["main"]
 def cmd_validate(args: argparse.Namespace) -> int:
     kinds: dict[str, int] = {}
     try:
-        for _, kind in validate_trace(read_trace(args.trace)):
+        for _, kind in validate_trace(read_trace_set(args.trace)):
             kinds[kind] = kinds.get(kind, 0) + 1
     except (SchemaError, ValueError) as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
@@ -50,7 +58,7 @@ def cmd_validate(args: argparse.Namespace) -> int:
 
 
 def cmd_summarize(args: argparse.Namespace) -> int:
-    summary = summarize_trace(read_trace(args.trace), top_k=args.top)
+    summary = summarize_trace(read_trace_set(args.trace), top_k=args.top)
     if args.json:
         payload = {
             "scheduler": summary.scheduler,
@@ -114,8 +122,8 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 def cmd_diff(args: argparse.Namespace) -> int:
     diff = diff_traces(
-        load_trace(args.trace_a),
-        load_trace(args.trace_b),
+        load_trace_set(args.trace_a),
+        load_trace_set(args.trace_b),
         max_divergences=args.max_divergences,
     )
     if args.json:
@@ -169,6 +177,47 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Poll a live endpoint and print a compact summary per interval."""
+    import urllib.error
+
+    from repro.obs.watch import render_sample, take_sample
+
+    polls = 0
+    while True:
+        try:
+            sample = take_sample(args.url, timeout=args.timeout)
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            print(f"unreachable: {args.url} ({exc})", file=sys.stderr)
+            return 1
+        if polls:
+            print()
+        print(render_sample(sample))
+        polls += 1
+        if args.count is not None and polls >= args.count:
+            return 0
+        if sample["status"].get("lifecycle") == "stopped":
+            return 0
+        time.sleep(args.interval)
+
+
+def cmd_lint_exposition(args: argparse.Namespace) -> int:
+    from repro.obs.exposition import lint_exposition
+
+    if args.metrics == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(args.metrics).read_text(encoding="utf-8")
+    problems = lint_exposition(text)
+    for problem in problems:
+        print(f"LINT: {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    families = sum(1 for line in text.splitlines() if line.startswith("# TYPE"))
+    print(f"OK: {families} families conform to the exposition format")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs",
@@ -203,6 +252,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("-o", "--out", default=None, help="output path")
     p.set_defaults(func=cmd_export)
+
+    p = sub.add_parser(
+        "watch", help="poll a live serve --listen endpoint and summarize"
+    )
+    p.add_argument("url", help="endpoint base URL, e.g. http://127.0.0.1:9418")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls")
+    p.add_argument("--count", type=int, default=None,
+                   help="stop after N polls (default: until stopped)")
+    p.add_argument("--timeout", type=float, default=5.0,
+                   help="per-request timeout in seconds")
+    p.set_defaults(func=cmd_watch)
+
+    p = sub.add_parser(
+        "lint-exposition",
+        help="check scraped /metrics text against the exposition contract",
+    )
+    p.add_argument("metrics", help="exposition text file, or - for stdin")
+    p.set_defaults(func=cmd_lint_exposition)
     return parser
 
 

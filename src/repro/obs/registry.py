@@ -25,13 +25,90 @@ paths stay clean when metrics are off.
 from __future__ import annotations
 
 import json
+import re
+import threading
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "ALLOWED_LABEL_NAMES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricLabelError",
+    "MetricNameError",
+    "MetricsRegistry",
+]
 
 _LabelKey = tuple[tuple[str, str], ...]
+
+
+class MetricNameError(ValueError):
+    """A metric name violating the registry's naming contract."""
+
+
+class MetricLabelError(ValueError):
+    """A label name outside the registry's low-cardinality allowlist."""
+
+
+ALLOWED_LABEL_NAMES = frozenset(
+    {
+        "counter",
+        "gpu_type",
+        "kind",
+        "phase",
+        "reason",
+        "scheduler",
+        "source",
+        "state",
+    }
+)
+"""Every label name a registry-registered metric may carry.
+
+Labels multiply series cardinality, and the live exposition endpoint
+renders every series on every scrape — so the vocabulary is a closed,
+reviewed set of low-cardinality dimensions.  A job id (unbounded) must
+never become a label value; the decision trace is the per-job surface.
+"""
+
+_NAME_RE = re.compile(r"repro_[a-z][a-z0-9_]*\Z")
+
+
+def _validate_name(metric: "Counter | Gauge | Histogram") -> None:
+    """The naming contract ``docs/observability.md`` documents, enforced.
+
+    Raises :class:`MetricNameError` so misnamed families fail at
+    registration (one loud error at wiring time) instead of shipping
+    nonconforming series to every scraper.
+    """
+    name = metric.name
+    if not _NAME_RE.fullmatch(name):
+        raise MetricNameError(
+            f"metric name {name!r} must match 'repro_[a-z][a-z0-9_]*'"
+        )
+    if metric.kind == "counter" and not name.endswith("_total"):
+        raise MetricNameError(
+            f"counter {name!r} must end in '_total'"
+        )
+    if metric.kind == "histogram" and not name.endswith("_seconds"):
+        raise MetricNameError(
+            f"histogram {name!r} must end in '_seconds' (timings are the "
+            "only histogrammed unit)"
+        )
+    if metric.kind == "gauge" and name.endswith("_total"):
+        raise MetricNameError(
+            f"gauge {name!r} must not end in '_total' (reserved for counters)"
+        )
+
+
+def _validate_labels(name: str, key: _LabelKey) -> None:
+    for label_name, _ in key:
+        if label_name not in ALLOWED_LABEL_NAMES:
+            raise MetricLabelError(
+                f"metric {name!r} uses label {label_name!r}, not in the "
+                f"allowlist {sorted(ALLOWED_LABEL_NAMES)}"
+            )
 
 
 def _label_key(labels: Optional[Mapping[str, str]]) -> _LabelKey:
@@ -49,6 +126,10 @@ class Counter:
     _series: dict[_LabelKey, float] = field(default_factory=dict)
 
     kind = "counter"
+    validate_labels = False
+    """Set by :class:`MetricsRegistry` at registration: new label sets are
+    checked against :data:`ALLOWED_LABEL_NAMES` (existing series are by
+    definition already conformant, so the hot path pays nothing)."""
 
     def inc(
         self, amount: float = 1.0, labels: Optional[Mapping[str, str]] = None
@@ -56,7 +137,27 @@ class Counter:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        current = self._series.get(key)
+        if current is None:
+            if self.validate_labels and key:
+                _validate_labels(self.name, key)
+            current = 0.0
+        self._series[key] = current + amount
+
+    def advance_to(
+        self, target: float, labels: Optional[Mapping[str, str]] = None
+    ) -> None:
+        """Monotonically raise the series to ``target`` (no-op if at/past it).
+
+        The live publication path uses this to mirror cumulative stats
+        another component already owns (fault totals, rejection counts)
+        without keeping a shadow "last published" copy: both the counter
+        and the source stat are engine-snapshot state, so the idempotent
+        top-up stays correct across checkpoint/restore.
+        """
+        delta = target - self.value(labels=labels)
+        if delta > 0:
+            self.inc(delta, labels=labels)
 
     def value(self, labels: Optional[Mapping[str, str]] = None) -> float:
         return self._series.get(_label_key(labels), 0.0)
@@ -77,15 +178,24 @@ class Gauge:
     _series: dict[_LabelKey, float] = field(default_factory=dict)
 
     kind = "gauge"
+    validate_labels = False
 
     def set(self, value: float, labels: Optional[Mapping[str, str]] = None) -> None:
-        self._series[_label_key(labels)] = float(value)
+        key = _label_key(labels)
+        if key not in self._series and self.validate_labels and key:
+            _validate_labels(self.name, key)
+        self._series[key] = float(value)
 
     def inc(
         self, amount: float = 1.0, labels: Optional[Mapping[str, str]] = None
     ) -> None:
         key = _label_key(labels)
-        self._series[key] = self._series.get(key, 0.0) + amount
+        current = self._series.get(key)
+        if current is None:
+            if self.validate_labels and key:
+                _validate_labels(self.name, key)
+            current = 0.0
+        self._series[key] = current + amount
 
     def value(self, labels: Optional[Mapping[str, str]] = None) -> float:
         return self._series.get(_label_key(labels), 0.0)
@@ -125,6 +235,7 @@ class Histogram:
     _series: dict[_LabelKey, _HistogramSeries] = field(default_factory=dict)
 
     kind = "histogram"
+    validate_labels = False
 
     def __post_init__(self) -> None:
         bounds = tuple(self.buckets)
@@ -140,6 +251,8 @@ class Histogram:
         key = _label_key(labels)
         series = self._series.get(key)
         if series is None:
+            if self.validate_labels and key:
+                _validate_labels(self.name, key)
             series = self._series[key] = _HistogramSeries(len(self.buckets))
         idx = bisect_right(self.buckets, value)
         if idx < len(self.buckets):
@@ -191,11 +304,22 @@ class MetricsRegistry:
     ``counter``/``gauge``/``histogram`` are get-or-create: the first call
     fixes the type (and, for histograms, the buckets); a later call with
     the same name but a different type raises, so two subsystems cannot
-    silently publish incompatible series under one name.
+    silently publish incompatible series under one name.  Registration
+    also enforces the naming contract (:class:`MetricNameError`) and arms
+    per-series label-allowlist checks (:class:`MetricLabelError`) —
+    standalone ``Counter()``/``Gauge()``/``Histogram()`` objects stay
+    unvalidated scratch space.
+
+    :attr:`lock` is the concurrency seam with the live exposition server:
+    publishers wrap each logically-atomic batch of updates in ``with
+    registry.lock``, and :func:`repro.obs.exposition.render` /
+    :meth:`snapshot` hold the same lock, so a scrape never reads a torn
+    round.  The lock is reentrant and uncontended in batch runs.
     """
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self.lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -205,6 +329,10 @@ class MetricsRegistry:
 
     def names(self) -> list[str]:
         return sorted(self._metrics)
+
+    def families(self) -> list[Counter | Gauge | Histogram]:
+        """Every registered metric object, name-sorted."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
 
     def get(self, name: str) -> Optional[Counter | Gauge | Histogram]:
         return self._metrics.get(name)
@@ -218,6 +346,8 @@ class MetricsRegistry:
                     f"{existing.kind}, cannot re-register as {metric.kind}"
                 )
             return existing
+        _validate_name(metric)
+        metric.validate_labels = True
         self._metrics[metric.name] = metric
         return metric
 
@@ -248,25 +378,29 @@ class MetricsRegistry:
         This is the uniform bridge for pre-existing counter dicts —
         ``RoundStats.as_dict()``, ``hotpath_stats`` — so every subsystem's
         numbers land in one namespace without bespoke glue per counter.
+        The source dicts are cumulative, so each series is a monotonic
+        ``advance_to`` top-up: the live per-round publication path and the
+        end-of-run publication can both run without double counting.
         """
         metric = self.counter(f"{prefix}_total", help)
         for key in sorted(counters):
             merged = {"counter": key}
             if labels:
                 merged.update(labels)
-            metric.inc(float(counters[key]), labels=merged)
+            metric.advance_to(float(counters[key]), labels=merged)
 
     # -- export ---------------------------------------------------------------
     def snapshot(self) -> dict:
         """Everything published so far, as a plain JSON-able dict."""
-        return {
-            name: {
-                "type": metric.kind,
-                "help": metric.help,
-                "series": metric.series(),
+        with self.lock:
+            return {
+                name: {
+                    "type": metric.kind,
+                    "help": metric.help,
+                    "series": metric.series(),
+                }
+                for name, metric in sorted(self._metrics.items())
             }
-            for name, metric in sorted(self._metrics.items())
-        }
 
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
@@ -276,6 +410,10 @@ class MetricsRegistry:
         """Full reconstructible state (unlike :meth:`snapshot`, which is a
         cumulative *rendering* of histograms).  Histogram min/max are hex
         floats so the ±inf sentinels of an empty series survive JSON."""
+        with self.lock:
+            return self._state_dict_locked()
+
+    def _state_dict_locked(self) -> dict:
         out: dict = {}
         for name, metric in self._metrics.items():
             entry: dict = {"kind": metric.kind, "help": metric.help}

@@ -24,12 +24,23 @@ constraints, in order:
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Any, Iterator, Mapping, Optional, TextIO, Union
 
 from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_record
 
-__all__ = ["DecisionTracer", "read_trace", "load_trace", "placements_list"]
+__all__ = [
+    "DecisionTracer",
+    "read_trace",
+    "load_trace",
+    "read_trace_set",
+    "load_trace_set",
+    "trace_part_paths",
+    "placements_list",
+]
+
+_PART_RE = re.compile(r"\.part-(\d{6})\Z")
 
 
 class DecisionTracer:
@@ -50,6 +61,15 @@ class DecisionTracer:
     enabled:
         Start disabled to pre-wire a tracer without paying for it; the
         phase pipeline re-reads this every round.
+    rotate_mb:
+        Size-based rotation threshold in MiB (path mode only; ``None``
+        disables rotation).  When the live file reaches the threshold it
+        is renamed to ``<path>.part-NNNNNN`` (NNNNNN counting up from 0)
+        and a fresh live file is opened, so a long-lived ``repro serve``
+        never grows one unbounded JSONL.  The logical stream is the part
+        files in order followed by the live file — exactly what
+        :func:`read_trace_set` replays; ``validate``/``summarize``/``diff``
+        in ``python -m repro.obs`` accept the set transparently.
     """
 
     def __init__(
@@ -59,14 +79,24 @@ class DecisionTracer:
         sink: Optional[Any] = None,
         validate: bool = True,
         enabled: bool = True,
+        rotate_mb: Optional[float] = None,
     ):
         if path is not None and sink is not None:
             raise ValueError("pass either path or sink, not both")
+        if rotate_mb is not None:
+            if path is None:
+                raise ValueError("rotate_mb requires a path destination")
+            if rotate_mb <= 0:
+                raise ValueError(f"rotate_mb must be positive (got {rotate_mb})")
         self.enabled = enabled
         self.validate = validate
         self.records_emitted = 0
+        self.parts_rotated = 0
         self._sink = sink
         self._path = Path(path) if path is not None else None
+        self._rotate_bytes = (
+            int(rotate_mb * 1024 * 1024) if rotate_mb is not None else None
+        )
         self._fh: Optional[TextIO] = None
 
     @property
@@ -78,8 +108,28 @@ class DecisionTracer:
         if self._fh is None:
             assert self._path is not None
             self._path.parent.mkdir(parents=True, exist_ok=True)
+            # Opening "w" truncates the live file (fresh-run semantics);
+            # rotated parts from a previous run at the same path would
+            # otherwise prepend stale rounds to this run's logical stream.
+            for stale in trace_part_paths(self._path):
+                stale.unlink()
             self._fh = self._path.open("w", encoding="utf-8")
         return self._fh
+
+    def _maybe_rotate(self) -> None:
+        """Rename the live file to the next part and reopen (path mode)."""
+        if self._rotate_bytes is None or self._fh is None:
+            return
+        if self._fh.tell() < self._rotate_bytes:
+            return
+        assert self._path is not None
+        self._fh.close()
+        part = self._path.with_name(
+            f"{self._path.name}.part-{self.parts_rotated:06d}"
+        )
+        self._path.rename(part)
+        self.parts_rotated += 1
+        self._fh = self._path.open("w", encoding="utf-8")
 
     def close(self) -> None:
         if self._fh is not None:
@@ -108,6 +158,7 @@ class DecisionTracer:
             raise ValueError("tracer has neither a path nor a sink")
         json.dump(record, self._file(), separators=(",", ":"), sort_keys=True)
         self._file().write("\n")
+        self._maybe_rotate()
 
 
 def read_trace(path: Union[str, Path]) -> Iterator[dict]:
@@ -128,6 +179,37 @@ def read_trace(path: Union[str, Path]) -> Iterator[dict]:
 def load_trace(path: Union[str, Path]) -> list[dict]:
     """Read a whole trace into memory (summarize/diff/export helpers)."""
     return list(read_trace(path))
+
+
+def trace_part_paths(base: Union[str, Path]) -> list[Path]:
+    """Rotated part files belonging to ``base``, in rotation order."""
+    base = Path(base)
+    parts = [
+        candidate
+        for candidate in base.parent.glob(f"{base.name}.part-*")
+        if _PART_RE.search(candidate.name)
+    ]
+    parts.sort(key=lambda p: int(_PART_RE.search(p.name).group(1)))  # type: ignore[union-attr]
+    return parts
+
+
+def read_trace_set(path: Union[str, Path]) -> Iterator[dict]:
+    """Stream one logical trace: rotated parts in order, then the live file.
+
+    With no rotation this is exactly :func:`read_trace`, so every reader
+    (validate/summarize/diff/export) can take the set unconditionally.
+    """
+    path = Path(path)
+    parts = trace_part_paths(path)
+    for part in parts:
+        yield from read_trace(part)
+    if path.exists() or not parts:
+        yield from read_trace(path)
+
+
+def load_trace_set(path: Union[str, Path]) -> list[dict]:
+    """Read a whole rotated trace set into memory."""
+    return list(read_trace_set(path))
 
 
 def placements_list(allocation) -> list[list]:

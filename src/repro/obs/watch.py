@@ -1,0 +1,163 @@
+"""Terminal summarizer for a live ``repro serve --listen`` endpoint.
+
+``python -m repro.obs watch http://127.0.0.1:9418`` polls ``/status``
+and ``/metrics`` and renders a compact one-screen summary per poll —
+lifecycle, round/tick progress, queue depth, starvation age, per-type
+utilization and fragmentation, churn totals — without pulling in any
+client library: the scrape is :mod:`urllib`, the decoding is
+:func:`repro.obs.exposition.parse_exposition`.
+
+This module only *gathers and formats* (the ``python -m repro.obs``
+front-end owns the actual terminal I/O), so everything here is testable
+against a canned server without capturing stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Mapping, Optional
+
+from repro.obs.exposition import parse_exposition
+
+__all__ = [
+    "fetch_metrics",
+    "fetch_status",
+    "metric_value",
+    "render_sample",
+    "take_sample",
+]
+
+DEFAULT_TIMEOUT_S = 5.0
+
+
+def _get(url: str, timeout: float) -> bytes:
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.read()
+
+
+def fetch_status(base_url: str, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    """The ``/status`` JSON document of a live endpoint."""
+    return json.loads(_get(f"{base_url.rstrip('/')}/status", timeout))
+
+
+def fetch_metrics(
+    base_url: str, timeout: float = DEFAULT_TIMEOUT_S
+) -> dict[str, dict]:
+    """The ``/metrics`` exposition of a live endpoint, parsed to families."""
+    text = _get(f"{base_url.rstrip('/')}/metrics", timeout).decode("utf-8")
+    return parse_exposition(text)
+
+
+def metric_value(
+    families: Mapping[str, dict],
+    name: str,
+    labels: Optional[Mapping[str, str]] = None,
+) -> Optional[float]:
+    """First sample of ``name`` whose labels include every given pair."""
+    family = families.get(name)
+    if family is None:
+        return None
+    wanted = dict(labels or {})
+    for sample_name, sample_labels, value in family["samples"]:
+        if sample_name != name:
+            continue
+        if all(sample_labels.get(k) == v for k, v in wanted.items()):
+            return value
+    return None
+
+
+def take_sample(base_url: str, timeout: float = DEFAULT_TIMEOUT_S) -> dict:
+    """One joint poll of ``/status`` + ``/metrics``, reduced to a flat dict."""
+    status = fetch_status(base_url, timeout)
+    families = fetch_metrics(base_url, timeout)
+    utilization = {}
+    fragmentation = {}
+    for family_name, out in (
+        ("repro_gpu_utilization_ratio", utilization),
+        ("repro_gpu_fragmentation_ratio", fragmentation),
+    ):
+        family = families.get(family_name)
+        if family is not None:
+            for sample_name, sample_labels, value in family["samples"]:
+                if sample_name == family_name and "gpu_type" in sample_labels:
+                    out[sample_labels["gpu_type"]] = value
+    churn = {}
+    family = families.get("repro_allocation_churn_total")
+    if family is not None:
+        for sample_name, sample_labels, value in family["samples"]:
+            if "kind" in sample_labels:
+                churn[sample_labels["kind"]] = value
+    return {
+        "status": status,
+        "starvation_s": metric_value(
+            families, "repro_queue_starvation_seconds"
+        ),
+        "starved_jobs": metric_value(families, "repro_queue_starved_jobs"),
+        "utilization": utilization,
+        "fragmentation": fragmentation,
+        "churn": churn,
+    }
+
+
+def _fmt_ratio(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:.1%}"
+
+
+def render_sample(sample: dict) -> str:
+    """One poll as a compact multi-line terminal block."""
+    status = sample["status"]
+    lines = [
+        "lifecycle : {lifecycle}  ready={ready}".format(
+            lifecycle=status.get("lifecycle", "?"),
+            ready=status.get("ready", "?"),
+        ),
+        "progress  : round {round}  tick {ticks}  t={sim_h:.2f} h".format(
+            round=status.get("round", 0),
+            ticks=status.get("ticks", 0),
+            sim_h=(status.get("sim_time_s") or 0.0) / 3600.0,
+        ),
+        "jobs      : {done}/{total} done  {queued} queued  {running} running".format(
+            done=status.get("jobs_completed", 0),
+            total=status.get("jobs_total", 0),
+            queued=status.get("jobs_queued", 0),
+            running=status.get("jobs_running", 0),
+        ),
+    ]
+    starvation = sample.get("starvation_s")
+    if starvation is not None:
+        starved = sample.get("starved_jobs") or 0
+        lines.append(
+            f"starvation: oldest wait {starvation / 3600.0:.2f} h"
+            f"  ({starved:.0f} starved)"
+        )
+    utilization = sample.get("utilization") or {}
+    if utilization:
+        util = "  ".join(
+            f"{gpu}={_fmt_ratio(value)}"
+            for gpu, value in sorted(utilization.items())
+        )
+        lines.append(f"util      : {util}")
+    fragmentation = sample.get("fragmentation") or {}
+    if fragmentation:
+        frag = "  ".join(
+            f"{gpu}={value:.2f}"
+            for gpu, value in sorted(fragmentation.items())
+        )
+        lines.append(f"frag      : {frag}")
+    churn = sample.get("churn") or {}
+    if churn:
+        moves = "  ".join(
+            f"{kind}={value:.0f}" for kind, value in sorted(churn.items())
+        )
+        lines.append(f"churn     : {moves}")
+    snapshot = status.get("newest_snapshot")
+    if snapshot:
+        lines.append(
+            "snapshot  : {path} ({age:.0f}s ago)".format(
+                path=snapshot,
+                age=status.get("newest_snapshot_age_s") or 0.0,
+            )
+        )
+    return "\n".join(lines)

@@ -301,7 +301,15 @@ class SimulationEngine:
         if fault_phase is not None and tracing:
             assert self.tracer is not None
             fault_phase.emit = self.tracer.emit
-        self._scheduler_phase.capture_changes = tracing
+        health_phase = None
+        if self.metrics is not None:
+            from repro.obs.health import ClusterHealthPhase
+
+            health_phase = ClusterHealthPhase(self.metrics, self.scheduler.name)
+        self._health_phase = health_phase
+        # The health phase reads the captured decision diff (churn, queue
+        # waits), so capturing is armed whenever either consumer is live.
+        self._scheduler_phase.capture_changes = tracing or health_phase is not None
         if hasattr(self.scheduler, "trace_decisions"):
             # Schedulers exposing the flag (Hadar) build their structured
             # per-round decision record only while a tracer is live.
@@ -445,6 +453,8 @@ class SimulationEngine:
                 )
             if event.kind is EventKind.ROUND_BOUNDARY and changed:
                 self._rounds_with_change += 1
+            if self.metrics is not None:
+                self._publish_round(now)
         self._telemetry.record_queue_depth(now, runtimes)
         self._loop_s += _time.perf_counter() - tick
         return self._has_work()
@@ -625,71 +635,180 @@ class SimulationEngine:
             self._round_scheduled = True
         self._push_next_submission()
 
-    def _publish_metrics(self, result: SimulationResult) -> None:
-        """Publish the finished run into the attached registry.
+    # ------------------------------------------------------------- metrics --
+    def _publish_round(self, now: float) -> None:
+        """Per-round live publication into the attached registry.
+
+        One logically-atomic batch under the registry lock — the
+        exposition server renders under the same lock, so a concurrent
+        ``/metrics`` scrape observes whole rounds, never a torn one.
+        Every cumulative family is a monotonic ``advance_to`` top-up from
+        state the engine already owns, which makes the batch idempotent:
+        the end-of-run publication in :meth:`stop` re-runs it harmlessly,
+        and a restored engine (whose registry travels in the snapshot)
+        continues bit-identically.
+        """
+        registry = self.metrics
+        assert registry is not None
+        with registry.lock:
+            if self._health_phase is not None:
+                self._health_phase.after_decision(
+                    now=now,
+                    runtimes=self._runtimes,
+                    state=self._state,
+                    scheduler_phase=self._scheduler_phase,
+                )
+            self._publish_engine_families(now)
+
+    def _publish_engine_families(self, now: float) -> None:
+        """The engine-owned families (caller holds the registry lock).
 
         Naming follows ``docs/observability.md``: everything ``repro_``-
         prefixed, counters end in ``_total``, timings in ``_seconds``,
         labels low-cardinality (``scheduler``, ``phase``, ``counter``).
-        Publication happens once at the end of the run, so attaching a
-        registry adds nothing to the event loop.
         """
         registry = self.metrics
         assert registry is not None
-        labels = {"scheduler": result.scheduler_name}
-        phase_gauge = registry.gauge(
-            "repro_engine_phase_seconds",
-            "Wall-clock seconds per engine phase over the whole run",
-        )
-        for phase, seconds in result.phase_timings.items():
-            phase_gauge.set(seconds, labels={**labels, "phase": phase})
+        phase = self._scheduler_phase
+        labels = {"scheduler": self.scheduler.name}
         registry.counter(
             "repro_engine_rounds_total", "Scheduler invocations"
-        ).inc(result.scheduling_invocations, labels=labels)
+        ).advance_to(phase.invocations, labels=labels)
+        registry.counter(
+            "repro_engine_ticks_total", "Events popped from the kernel"
+        ).advance_to(self._ticks, labels=labels)
         registry.counter(
             "repro_jobs_completed_total", "Jobs that ran to completion"
-        ).inc(len(result.completed), labels=labels)
+        ).advance_to(self._completed, labels=labels)
         registry.counter(
             "repro_rounds_with_change_total",
             "Rounds in which at least one job's allocation changed",
-        ).inc(result.rounds_with_change, labels=labels)
+        ).advance_to(self._rounds_with_change, labels=labels)
+        arrived = sum(
+            1
+            for rt in self._runtimes.values()
+            if rt.state is not JobState.PENDING
+        )
+        registry.counter(
+            "repro_jobs_arrived_total", "Jobs that have entered the system"
+        ).advance_to(arrived, labels=labels)
+        queued, running = phase.last_queue_depth
+        depth = registry.gauge(
+            "repro_queue_depth", "Jobs by lifecycle state at the last decision"
+        )
+        depth.set(queued, labels={**labels, "state": "queued"})
+        depth.set(running, labels={**labels, "state": "running"})
+        registry.gauge(
+            "repro_sim_time_seconds", "Simulated clock of the newest event"
+        ).set(now, labels=labels)
+        if self.source is not None:
+            registry.counter(
+                "repro_submissions_total",
+                "Jobs drawn from the streaming submission source",
+            ).advance_to(
+                self.source.emitted, labels={**labels, "source": "stream"}
+            )
+        phase_gauge = registry.gauge(
+            "repro_engine_phase_seconds",
+            "Wall-clock seconds per engine phase so far",
+        )
+        for bucket, seconds in self._timings.as_dict().items():
+            phase_gauge.set(seconds, labels={**labels, "phase": bucket})
+        # The latency histogram has no advance_to; the series' own count
+        # marks how many entries are already in, so restores line up.
         latency = registry.histogram(
             "repro_decision_seconds", "Per-round scheduler decision latency"
         )
-        for seconds in result.decision_seconds:
+        for seconds in phase.decision_seconds[latency.count(labels=labels):]:
             latency.observe(seconds, labels=labels)
-        if result.hotpath_stats:
+        if phase.hotpath_stats:
             registry.count_all(
                 "repro_hotpath",
-                result.hotpath_stats,
+                phase.hotpath_stats,
                 labels=labels,
                 help="Allocation-engine and calibration hot-path counters",
             )
-        if "deadline_hits" in result.hotpath_stats:
-            registry.counter(
-                "repro_decision_deadline_hits_total",
-                "DP searches abandoned at the decision deadline (greedy fallback)",
-            ).inc(result.hotpath_stats["deadline_hits"], labels=labels)
-        if result.fault_stats:
+            if "deadline_hits" in phase.hotpath_stats:
+                registry.counter(
+                    "repro_decision_deadline_hits_total",
+                    "DP searches abandoned at the decision deadline "
+                    "(greedy fallback)",
+                ).advance_to(phase.hotpath_stats["deadline_hits"], labels=labels)
+        fault_phase = self._fault_phase
+        if fault_phase is not None:
             faults = registry.counter(
                 "repro_faults_total", "Injected fault events by kind"
             )
             for kind in ("node_faults", "gpu_faults", "recoveries"):
-                faults.inc(result.fault_stats.get(kind, 0), labels={**labels, "kind": kind})
+                faults.advance_to(
+                    fault_phase.stats.get(kind, 0), labels={**labels, "kind": kind}
+                )
             registry.counter(
                 "repro_rollback_seconds_total",
                 "Simulated seconds of progress lost to crash-restart rollbacks",
-            ).inc(result.fault_stats.get("rollback_seconds", 0.0), labels=labels)
-        if result.rejections:
+            ).advance_to(fault_phase.rollback_seconds, labels=labels)
+        if phase.validator.rejections:
             rejected = registry.counter(
                 "repro_decisions_rejected_total",
                 "Decision entries rejected-and-repaired by the validator, by reason",
             )
             by_reason: dict[str, int] = {}
-            for rejection in result.rejections:
+            for rejection in phase.validator.rejections:
                 by_reason[rejection.reason] = by_reason.get(rejection.reason, 0) + 1
             for reason, count in sorted(by_reason.items()):
-                rejected.inc(count, labels={**labels, "reason": reason})
+                rejected.advance_to(count, labels={**labels, "reason": reason})
+
+    def _publish_metrics(self, result: SimulationResult) -> None:
+        """Final top-up of the live families at the end of the run.
+
+        Every family is published via monotonic top-ups, so this is the
+        same batch :meth:`_publish_round` runs per round — it exists so a
+        registry attached to a run *without* live consumers still ends up
+        complete, and so the final ``phase_timings`` (whose dispatch
+        bucket is only computed in :meth:`stop`) land in the gauges.
+        """
+        registry = self.metrics
+        assert registry is not None
+        with registry.lock:
+            self._publish_engine_families(self._now)
+
+    # -------------------------------------------------------------- status --
+    def status(self) -> dict:
+        """An operational summary for the live ``/status`` endpoint.
+
+        Safe to call from the exposition server's thread while another
+        thread steps the engine: only scalar attributes are read (no dict
+        iteration), so the worst case is a value one event stale.
+        """
+        if self._lifecycle == "created":
+            return {
+                "lifecycle": "created",
+                "scheduler": self.scheduler.name,
+                "round": 0,
+                "ticks": 0,
+                "sim_time_s": 0.0,
+                "jobs_total": len(self.trace),
+                "jobs_completed": 0,
+                "jobs_queued": 0,
+                "jobs_running": 0,
+                "streamed": None,
+                "truncated": False,
+            }
+        phase = self._scheduler_phase
+        queued, running = phase.last_queue_depth
+        return {
+            "lifecycle": "paused" if self.is_paused else self._lifecycle,
+            "scheduler": self.scheduler.name,
+            "round": phase.invocations,
+            "ticks": self._ticks,
+            "sim_time_s": self._now,
+            "jobs_total": len(self._runtimes),
+            "jobs_completed": self._completed,
+            "jobs_queued": queued,
+            "jobs_running": running,
+            "streamed": self.source.emitted if self.source is not None else None,
+            "truncated": self._truncated,
+        }
 
     # -------------------------------------------------------------- helpers --
     def _round_at_or_after(self, t: float) -> float:

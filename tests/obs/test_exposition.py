@@ -1,0 +1,178 @@
+"""Prometheus text exposition: rendering goldens, parsing, and linting."""
+
+import math
+
+import pytest
+
+from repro.obs import MetricsRegistry, lint_exposition, parse_exposition, render
+from repro.obs.exposition import render_metric
+from repro.obs.registry import Counter, Gauge, Histogram
+
+
+class TestRenderGoldens:
+    """Exact exposition text for every metric kind (format 0.0.4)."""
+
+    def test_counter_with_labels(self):
+        c = Counter("repro_jobs_done_total", "Jobs done")
+        c.inc(3, labels={"scheduler": "hadar"})
+        c.inc(1.5, labels={"scheduler": "gavel"})
+        assert render_metric(c) == (
+            "# HELP repro_jobs_done_total Jobs done\n"
+            "# TYPE repro_jobs_done_total counter\n"
+            'repro_jobs_done_total{scheduler="gavel"} 1.5\n'
+            'repro_jobs_done_total{scheduler="hadar"} 3\n'
+        )
+
+    def test_gauge_unlabeled(self):
+        g = Gauge("repro_queue_depth", "Depth")
+        g.set(7)
+        assert render_metric(g) == (
+            "# HELP repro_queue_depth Depth\n"
+            "# TYPE repro_queue_depth gauge\n"
+            "repro_queue_depth 7\n"
+        )
+
+    def test_histogram_cumulative_buckets(self):
+        h = Histogram("repro_wait_seconds", "Waits", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v, labels={"scheduler": "hadar"})
+        assert render_metric(h) == (
+            "# HELP repro_wait_seconds Waits\n"
+            "# TYPE repro_wait_seconds histogram\n"
+            'repro_wait_seconds_bucket{scheduler="hadar",le="1"} 1\n'
+            'repro_wait_seconds_bucket{scheduler="hadar",le="10"} 2\n'
+            'repro_wait_seconds_bucket{scheduler="hadar",le="+Inf"} 3\n'
+            'repro_wait_seconds_sum{scheduler="hadar"} 105.5\n'
+            'repro_wait_seconds_count{scheduler="hadar"} 3\n'
+        )
+
+    def test_zero_series_scalar_renders_present_with_zero(self):
+        c = Counter("repro_faults_total", "Faults")
+        assert render_metric(c).endswith("repro_faults_total 0\n")
+
+    def test_zero_series_histogram_renders_full_ladder(self):
+        h = Histogram("repro_wait_seconds", "Waits", buckets=(1.0,))
+        text = render_metric(h)
+        assert 'repro_wait_seconds_bucket{le="1"} 0' in text
+        assert 'repro_wait_seconds_bucket{le="+Inf"} 0' in text
+        assert "repro_wait_seconds_sum 0" in text
+        assert "repro_wait_seconds_count 0" in text
+
+    def test_label_value_escaping(self):
+        g = Gauge("repro_a", "x")
+        g.set(1, labels={"reason": 'say "hi"\nback\\slash'})
+        line = render_metric(g).splitlines()[-1]
+        assert line == 'repro_a{reason="say \\"hi\\"\\nback\\\\slash"} 1'
+
+    def test_help_escaping_and_special_values(self):
+        g = Gauge("repro_a", "line1\nline2")
+        g.set(float("inf"), labels={"kind": "hi"})
+        g.set(float("-inf"), labels={"kind": "lo"})
+        text = render_metric(g)
+        assert "# HELP repro_a line1\\nline2" in text
+        assert 'repro_a{kind="hi"} +Inf' in text
+        assert 'repro_a{kind="lo"} -Inf' in text
+
+    def test_registry_render_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_zzz", "z")
+        reg.counter("repro_aaa_total", "a")
+        text = render(reg)
+        assert text.index("repro_aaa_total") < text.index("repro_zzz")
+
+
+class TestParse:
+    def test_round_trip_through_parse(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_rounds_total", "Rounds").inc(
+            5, labels={"scheduler": "hadar"}
+        )
+        reg.histogram("repro_wait_seconds", "Waits", buckets=(1.0,)).observe(0.5)
+        families = parse_exposition(render(reg))
+        assert families["repro_rounds_total"]["type"] == "counter"
+        (sample,) = families["repro_rounds_total"]["samples"]
+        assert sample == ("repro_rounds_total", {"scheduler": "hadar"}, 5.0)
+        hist = families["repro_wait_seconds"]
+        assert hist["type"] == "histogram"
+        names = [s[0] for s in hist["samples"]]
+        assert names.count("repro_wait_seconds_bucket") == 2
+        assert "repro_wait_seconds_sum" in names
+
+    def test_parse_unescapes_label_values(self):
+        families = parse_exposition(
+            "# TYPE repro_a gauge\n"
+            'repro_a{reason="a\\"b\\nc"} 1\n'
+        )
+        (_, labels, _) = families["repro_a"]["samples"][0]
+        assert labels["reason"] == 'a"b\nc'
+
+    def test_parse_special_values(self):
+        families = parse_exposition(
+            "# TYPE repro_a gauge\nrepro_a +Inf\n"
+        )
+        assert families["repro_a"]["samples"][0][2] == math.inf
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_exposition("this is not exposition text\n")
+
+
+class TestLint:
+    def good_text(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_rounds_total", "Rounds").inc(2)
+        reg.gauge("repro_queue_depth", "Depth").set(1)
+        reg.histogram("repro_wait_seconds", "Waits", buckets=(1.0,)).observe(0.5)
+        return render(reg)
+
+    def test_clean_render_lints_clean(self):
+        assert lint_exposition(self.good_text()) == []
+
+    def test_untyped_sample_flagged(self):
+        problems = lint_exposition("repro_orphan 1\n")
+        assert any("without a # TYPE" in p for p in problems)
+
+    def test_nonconforming_name_flagged(self):
+        text = "# HELP bad_name x\n# TYPE bad_name gauge\nbad_name 1\n"
+        assert any("does not match" in p for p in lint_exposition(text))
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = "# HELP repro_rounds x\n# TYPE repro_rounds counter\nrepro_rounds 1\n"
+        assert any("'_total'" in p for p in lint_exposition(text))
+
+    def test_duplicate_series_flagged(self):
+        text = (
+            "# HELP repro_a x\n# TYPE repro_a gauge\n"
+            "repro_a 1\nrepro_a 2\n"
+        )
+        assert any("duplicate series" in p for p in lint_exposition(text))
+
+    def test_histogram_missing_inf_bucket_flagged(self):
+        text = (
+            "# HELP repro_w_seconds x\n# TYPE repro_w_seconds histogram\n"
+            'repro_w_seconds_bucket{le="1"} 1\n'
+            "repro_w_seconds_sum 0.5\nrepro_w_seconds_count 1\n"
+        )
+        assert any("+Inf bucket" in p for p in lint_exposition(text))
+
+    def test_histogram_count_mismatch_flagged(self):
+        text = (
+            "# HELP repro_w_seconds x\n# TYPE repro_w_seconds histogram\n"
+            'repro_w_seconds_bucket{le="1"} 1\n'
+            'repro_w_seconds_bucket{le="+Inf"} 2\n'
+            "repro_w_seconds_sum 0.5\nrepro_w_seconds_count 3\n"
+        )
+        assert any("_count" in p for p in lint_exposition(text))
+
+    def test_noncumulative_buckets_flagged(self):
+        text = (
+            "# HELP repro_w_seconds x\n# TYPE repro_w_seconds histogram\n"
+            'repro_w_seconds_bucket{le="1"} 5\n'
+            'repro_w_seconds_bucket{le="+Inf"} 2\n'
+            "repro_w_seconds_sum 0.5\nrepro_w_seconds_count 2\n"
+        )
+        assert any("not cumulative" in p for p in lint_exposition(text))
+
+    def test_unparseable_text_is_one_problem(self):
+        problems = lint_exposition("}{")
+        assert len(problems) == 1

@@ -1,0 +1,152 @@
+"""Cluster-health metrics: fragmentation math, queue waits, churn."""
+
+import pytest
+
+from repro.cluster.cluster import simulated_cluster
+from repro.obs import MetricsRegistry
+from repro.obs.health import (
+    QUEUE_WAIT_BUCKETS_S,
+    STARVATION_AGE_S,
+    fragmentation_by_type,
+    queued_since,
+)
+from repro.sim.engine import simulate
+from repro.sim.progress import JobRuntime
+from repro.workload.job import Job
+from repro.workload.philly import PhillyTraceConfig, generate_philly_trace
+
+from tests.core._hotpath_fingerprint import make_scheduler
+
+
+class TestFragmentation:
+    def test_all_free_on_one_node_scores_zero(self):
+        scores = fragmentation_by_type([((0, "V100"), 8)])
+        assert scores["V100"] == 0.0
+        assert scores["all"] == 0.0
+
+    def test_evenly_scattered_free_scores_high(self):
+        # 8 free V100s spread 1-per-node: largest block is 1/8th.
+        slots = [((n, "V100"), 1) for n in range(8)]
+        assert fragmentation_by_type(slots)["V100"] == pytest.approx(7 / 8)
+
+    def test_aggregate_is_free_weighted(self):
+        # 2 consolidated K80s (score 0) + 6 scattered V100s (score 2/3):
+        # weighted mean is (2*0 + 6*2/3) / 8.
+        slots = [((0, "K80"), 2)] + [((n, "V100"), 2) for n in range(3)]
+        scores = fragmentation_by_type(slots)
+        assert scores["K80"] == 0.0
+        assert scores["V100"] == pytest.approx(2 / 3)
+        assert scores["all"] == pytest.approx((6 * 2 / 3) / 8)
+
+    def test_no_free_capacity_scores_zero(self):
+        assert fragmentation_by_type([]) == {"all": 0.0}
+
+
+class TestQueuedSince:
+    def make_rt(self, arrival=100.0):
+        from repro.workload.models import model_spec
+
+        return JobRuntime(
+            job=Job(
+                job_id=1,
+                model=model_spec("resnet50"),
+                arrival_time=arrival,
+                num_workers=1,
+                epochs=1,
+                iters_per_epoch=1000,
+            )
+        )
+
+    def test_never_allocated_waits_since_arrival(self):
+        assert queued_since(self.make_rt(arrival=100.0)) == 100.0
+
+    def test_preempted_waits_since_empty_history_entry(self):
+        rt = self.make_rt(arrival=100.0)
+        rt.history.append((200.0, {"(0, 'V100')": 1}))
+        rt.history.append((300.0, {}))  # preemption: empty allocation
+        assert queued_since(rt) == 300.0
+
+
+class TestHealthFamilies:
+    """End-to-end: simulate with a registry and inspect the families."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        metrics = MetricsRegistry()
+        result = simulate(
+            simulated_cluster(),
+            generate_philly_trace(PhillyTraceConfig(num_jobs=12, seed=2)),
+            make_scheduler("hadar"),
+            metrics=metrics,
+        )
+        return result, metrics
+
+    def test_families_registered_and_bucketed(self, run):
+        _, metrics = run
+        for name in (
+            "repro_gpu_fragmentation_ratio",
+            "repro_gpu_utilization_ratio",
+            "repro_queue_starvation_seconds",
+            "repro_queue_starved_jobs",
+            "repro_queue_wait_seconds",
+            "repro_allocation_churn_total",
+        ):
+            assert name in metrics, name
+        wait = metrics.get("repro_queue_wait_seconds")
+        assert tuple(wait.buckets) == QUEUE_WAIT_BUCKETS_S
+
+    def test_fragmentation_and_utilization_cover_every_type(self, run):
+        _, metrics = run
+        frag = metrics.get("repro_gpu_fragmentation_ratio")
+        labels = {
+            s["labels"]["gpu_type"] for s in frag.series()
+        }
+        assert {"V100", "P100", "K80", "all"} <= labels
+        for record in metrics.get("repro_gpu_utilization_ratio").series():
+            assert 0.0 <= record["value"] <= 1.0
+
+    def test_churn_matches_result_accounting(self, run):
+        result, metrics = run
+        churn = metrics.get("repro_allocation_churn_total")
+
+        def kind(k):
+            return churn.value(labels={"scheduler": "hadar", "kind": k})
+
+        # place+migrate entries each bump allocation_changes; migrate and
+        # preempt entries each bump preemptions (a migration is counted
+        # in both per-runtime counters).
+        changes = sum(rt.allocation_changes for rt in result.runtimes.values())
+        preempts = sum(rt.preemptions for rt in result.runtimes.values())
+        assert kind("place") + kind("migrate") == changes > 0
+        assert kind("preempt") + kind("migrate") == preempts
+
+    def test_queue_waits_observed_per_placement_from_queue(self, run):
+        result, metrics = run
+        wait = metrics.get("repro_queue_wait_seconds")
+        places = metrics.get("repro_allocation_churn_total").value(
+            labels={"scheduler": "hadar", "kind": "place"}
+        )
+        assert wait.count(labels={"scheduler": "hadar"}) == places > 0
+
+    def test_starvation_age_is_zero_after_everything_finished(self, run):
+        result, metrics = run
+        assert result.all_completed
+        gauge = metrics.get("repro_queue_starvation_seconds")
+        starved = metrics.get("repro_queue_starved_jobs")
+        # Final rounds drained the queue, so the last published age must
+        # be finite and the starved count zero.
+        assert starved.value(labels={"scheduler": "hadar"}) == 0.0
+        assert gauge.value(labels={"scheduler": "hadar"}) >= 0.0
+
+    def test_health_phase_requires_no_snapshot_state(self):
+        """A restored engine republished from the snapshotted registry
+        continues bit-identically — the phase itself is stateless."""
+        from repro.obs.health import ClusterHealthPhase
+
+        assert ClusterHealthPhase.__slots__  # no __dict__, no hidden state
+        registry = MetricsRegistry()
+        phase = ClusterHealthPhase(registry, "hadar")
+        assert phase.registry is registry
+
+    def test_starvation_threshold_constant(self):
+        assert STARVATION_AGE_S == 4 * 3600.0

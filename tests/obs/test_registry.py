@@ -4,7 +4,15 @@ import json
 
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    ALLOWED_LABEL_NAMES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricLabelError,
+    MetricNameError,
+    MetricsRegistry,
+)
 
 
 class TestCounter:
@@ -128,3 +136,59 @@ class TestRegistry:
         reg.counter("repro_a_total")
         assert len(reg) == 1 and "repro_a_total" in reg
         assert reg.names() == ["repro_a_total"]
+
+
+class TestAdvanceTo:
+    def test_tops_up_to_target_idempotently(self):
+        c = Counter("repro_faults_total")
+        c.advance_to(5, labels={"kind": "node"})
+        c.advance_to(5, labels={"kind": "node"})
+        assert c.value(labels={"kind": "node"}) == 5
+
+    def test_never_moves_backwards(self):
+        c = Counter("repro_faults_total")
+        c.advance_to(5)
+        c.advance_to(3)
+        assert c.value() == 5
+
+    def test_count_all_republishing_does_not_double_count(self):
+        # The engine republishes the same hotpath stats every round;
+        # count_all must converge, not accumulate.
+        reg = MetricsRegistry()
+        stats = {"find_alloc_runs": 7, "cache_hits": 3}
+        for _ in range(3):
+            reg.count_all("repro_hotpath", stats, labels={"scheduler": "hadar"})
+        metric = reg.get("repro_hotpath_total")
+        assert metric.value(
+            labels={"counter": "find_alloc_runs", "scheduler": "hadar"}
+        ) == 7
+
+
+class TestNameAndLabelValidation:
+    def test_bad_metric_name_rejected_at_registration(self):
+        with pytest.raises(MetricNameError):
+            MetricsRegistry().gauge("Bad-Name")
+
+    def test_missing_repro_prefix_rejected(self):
+        with pytest.raises(MetricNameError):
+            MetricsRegistry().counter("rounds_total")
+
+    def test_counter_requires_total_suffix(self):
+        with pytest.raises(MetricNameError):
+            MetricsRegistry().counter("repro_rounds")
+
+    def test_gauge_must_not_end_in_total(self):
+        with pytest.raises(MetricNameError):
+            MetricsRegistry().gauge("repro_depth_total")
+
+    def test_histogram_requires_unit_suffix(self):
+        with pytest.raises(MetricNameError):
+            MetricsRegistry().histogram("repro_latency", buckets=(1.0,))
+
+    def test_unknown_label_name_rejected_at_write(self):
+        c = MetricsRegistry().counter("repro_rounds_total")
+        with pytest.raises(MetricLabelError, match="surprise"):
+            c.inc(labels={"surprise": "x"})
+
+    def test_allowlist_contents_are_the_documented_dimensions(self):
+        assert {"scheduler", "gpu_type", "kind", "phase"} <= ALLOWED_LABEL_NAMES

@@ -6,7 +6,15 @@ import json
 import pytest
 
 from repro.cluster.allocation import Allocation
-from repro.obs import DecisionTracer, SchemaError, load_trace, read_trace
+from repro.obs import (
+    DecisionTracer,
+    SchemaError,
+    load_trace,
+    load_trace_set,
+    read_trace,
+    read_trace_set,
+    trace_part_paths,
+)
 from repro.obs.schema import TRACE_SCHEMA_VERSION
 from repro.obs.tracer import placements_list
 
@@ -71,6 +79,55 @@ class TestFileRoundTrip:
         path = tmp_path / "trace.jsonl"
         path.write_text('{"kind": "meta"}\n\n{"kind": "summary"}\n')
         assert len(load_trace(path)) == 2
+
+
+class TestRotation:
+    def emit_n(self, tracer, n):
+        for _ in range(n):
+            tracer.emit(round_record())
+
+    def test_parts_written_and_read_back_as_one_stream(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        # A round record is a few hundred bytes; 1 KiB forces rotation
+        # after every couple of emits.
+        with DecisionTracer(path, rotate_mb=1 / 1024) as tracer:
+            self.emit_n(tracer, 20)
+            assert tracer.parts_rotated > 0
+            assert tracer.records_emitted == 20
+        parts = trace_part_paths(path)
+        assert len(parts) == tracer.parts_rotated
+        assert [p.name for p in parts] == sorted(p.name for p in parts)
+        assert path.exists()  # the live tail file stays at the base path
+        records = load_trace_set(path)
+        assert len(records) == 20
+        assert all(r["kind"] == "round" for r in records)
+
+    def test_read_trace_set_without_parts_reads_plain_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with DecisionTracer(path) as tracer:
+            tracer.emit(meta())
+        assert [r["kind"] for r in load_trace_set(path)] == ["meta"]
+
+    def test_read_trace_set_missing_everything_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            list(read_trace_set(tmp_path / "absent.jsonl"))
+
+    def test_fresh_run_clears_stale_parts(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        stale = tmp_path / "trace.jsonl.part-000000"
+        stale.write_text('{"kind": "round"}\n')
+        with DecisionTracer(path) as tracer:
+            tracer.emit(meta())
+        assert not stale.exists()
+        assert [r["kind"] for r in load_trace_set(path)] == ["meta"]
+
+    def test_rotate_requires_path_destination(self):
+        with pytest.raises(ValueError, match="path"):
+            DecisionTracer(sink=[], rotate_mb=1.0)
+
+    def test_rotate_mb_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError, match="positive"):
+            DecisionTracer(tmp_path / "t.jsonl", rotate_mb=0)
 
 
 class TestPlacementsList:
