@@ -281,7 +281,11 @@ DEFAULT_CONFIG = FlowConfig(
             role="mutator",
             seams=("invoke", "apply", "bookkeep_round"),
         ),
-        PhaseContract(cls="FaultPhase", role="mutator", seams=("apply",)),
+        PhaseContract(
+            cls="FaultPhase",
+            role="mutator",
+            seams=("apply", "reload", "note_placement"),
+        ),
     ),
     function_contracts=(
         FunctionContract(
@@ -403,12 +407,16 @@ DEFAULT_CONFIG = FlowConfig(
         SnapshotSpec(
             cls="phase.FaultPhase",
             captured=("failed", "_taken", "stats", "rollback_seconds",
-                      "rollback_iterations"),
-            waived=("model", "cluster", "schedule", "emit", "sanitizer"),
-            note="The fault schedule is a pure function of (model, "
-            "cluster, max_time) regenerated at construction — "
-            "outstanding FAULT events live in the kernel heap snapshot. "
-            "emit/sanitizer are wiring the engine re-establishes.",
+                      "rollback_iterations", "_partitions", "_stalled",
+                      "_degraded", "_reloads"),
+            waived=("model", "cluster", "emit", "sanitizer",
+                    "matrix", "_schedules", "_max_time", "_fault_id_limit"),
+            note="Every fault schedule is a pure function of (model|spec, "
+            "cluster, max_time): epoch 0 is regenerated at construction "
+            "and reloaded epochs are replayed from the captured _reloads "
+            "stack (which also rebuilds _fault_id_limit) — outstanding "
+            "FAULT events live in the kernel heap snapshot. "
+            "emit/sanitizer/matrix are wiring the engine re-establishes.",
         ),
         SnapshotSpec(
             cls="telemetry.UtilizationRecorder",

@@ -60,7 +60,8 @@ class InvariantViolation(RuntimeError):
         Which invariant failed: ``"capacity"``, ``"gang"``,
         ``"price-bounds"``, ``"payoff"``, ``"primal-dual"``,
         ``"gavel-feasibility"``, ``"queue-monotonicity"``,
-        ``"availability"``, or ``"rollback"``.
+        ``"availability"``, ``"rollback"``, ``"degraded-rate"``, or
+        ``"partition-stall"``.
     round_index / now / job_id:
         Where in the run it happened (``None`` when not applicable).
     details:
@@ -571,6 +572,81 @@ class InvariantSanitizer:
                 )
             )
 
+    def check_degraded_rate(
+        self,
+        rt: JobRuntime,
+        cap_rate: float,
+        *,
+        now: Optional[float] = None,
+    ) -> None:
+        """A degraded (but not stalled) gang runs in ``(0, nominal]``.
+
+        ``cap_rate`` is the gang's nominal composed rate *without* the
+        degrade factor (realized rate × straggler slowdown).  Degrade
+        windows may only throttle: the retuned rate must stay strictly
+        positive (a throttled gang is never evicted or frozen) and must
+        not exceed the nominal cap (degradation never speeds a gang up).
+        """
+        slack = self.rel_tol * max(abs(cap_rate), 1.0) + self.abs_tol
+        details = {"rate": rt.rate, "nominal_rate": cap_rate}
+        if not rt.rate > 0.0:
+            self._emit(
+                InvariantViolation(
+                    "degraded-rate",
+                    "degraded gang's rate is not strictly positive; only "
+                    "partitions may stall a gang to zero",
+                    now=now,
+                    job_id=rt.job_id,
+                    details=details,
+                )
+            )
+        elif rt.rate > cap_rate + slack:
+            self._emit(
+                InvariantViolation(
+                    "degraded-rate",
+                    "degraded gang runs faster than its nominal rate; a "
+                    "degrade window may only throttle",
+                    now=now,
+                    job_id=rt.job_id,
+                    details=details,
+                )
+            )
+
+    def check_partition_stall(
+        self,
+        stalled: Iterable[int],
+        runtimes: Mapping[int, JobRuntime],
+        *,
+        round_index: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> None:
+        """Partitioned gangs never accrue progress while stalled.
+
+        Every job the fault layer reports as stalled must be observed
+        with a rate of exactly zero — the parameter-sync barrier cannot
+        make progress across a network cut, so any positive rate on a
+        stalled gang is progress accrual the partition forbids.
+        """
+        for job_id in sorted(stalled):
+            rt = runtimes.get(job_id)
+            if rt is None:
+                continue
+            # Exact zero on purpose: the stall path assigns 0.0, so any
+            # other bit pattern is leaked progress, however small.
+            if rt.state is JobState.RUNNING and rt.rate != 0.0:  # repro-lint: disable=REP001
+                self._emit(
+                    InvariantViolation(
+                        "partition-stall",
+                        "gang stalled by a network partition has a "
+                        "non-zero rate (it would accrue progress across "
+                        "the cut)",
+                        round_index=round_index,
+                        now=now,
+                        job_id=job_id,
+                        details={"rate": rt.rate},
+                    )
+                )
+
     def check_tiresias_monotonicity(
         self,
         demoted: Iterable[int],
@@ -652,12 +728,14 @@ class InvariantSanitizer:
         state: ClusterState,
         scheduler: Any,
         failed: Optional[Mapping[tuple[int, str], int]] = None,
+        stalled: Optional[Iterable[int]] = None,
     ) -> None:
         """Full sweep after one applied scheduling decision.
 
         The structural invariants (capacity, gangs) are always checked;
         under fault injection the engine also passes the live ``failed``
-        mask and the availability invariants run too.
+        mask and the availability invariants run too, plus the set of
+        partition-``stalled`` jobs (whose rates must be exactly zero).
         Scheduler-specific invariants dispatch off each scheduler's
         introspection surface, found by walking the ``inner`` chain of
         wrappers (e.g. under profiling): Hadar exposes ``last_prices`` /
@@ -671,6 +749,10 @@ class InvariantSanitizer:
         if failed is not None:
             self.check_availability(
                 state, jobs, failed, round_index=round_index, now=now
+            )
+        if stalled:
+            self.check_partition_stall(
+                stalled, runtimes, round_index=round_index, now=now
             )
 
         hadar = self._unwrap(scheduler, "last_prices")

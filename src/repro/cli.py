@@ -110,13 +110,30 @@ def cmd_generate_trace(args: argparse.Namespace) -> int:
 
 
 def _run_with_snapshots(
-    engine, every: int, directory, server=None, drain_s: float = 0.0
+    engine,
+    every: int,
+    directory,
+    server=None,
+    drain_s: float = 0.0,
+    keep: int = 0,
+    faults_file=None,
 ) -> "SimulationResult":  # noqa: F821
     """Drive an engine step-by-step, snapshotting every ``every`` rounds.
 
-    Restores from the newest snapshot in ``directory`` when one exists
-    (so re-running the same command after a kill continues the run), and
-    snapshots once more on SIGTERM/SIGINT before exiting cleanly.
+    Restores from the snapshot *chain* in ``directory`` when one exists
+    (so re-running the same command after a kill continues the run):
+    candidates are tried newest first, and any the codec rejects as
+    corrupt — e.g. a file truncated by a kill mid-write on a filesystem
+    without the fsync guarantees — are skipped in favor of the next-
+    newest, counted in ``repro_snapshot_restore_fallbacks_total``.  With
+    ``keep > 0`` only the newest ``keep`` snapshots are retained on disk.
+    The engine snapshots once more on SIGTERM/SIGINT before exiting
+    cleanly.
+
+    Live fault reload: SIGHUP re-reads ``faults_file`` (when given) and
+    an attached server's guarded ``POST /admin/faults`` enqueues its
+    body; either way the new spec is spliced into the running engine
+    between steps via :meth:`SimulationEngine.apply_fault_reload`.
 
     With an :class:`~repro.obs.server.ObservabilityServer` attached, the
     loop flips ``/readyz`` to 200 once stepping begins, reports each
@@ -126,44 +143,97 @@ def _run_with_snapshots(
     503 and stops routing before the process disappears.
     """
     import signal
+    import threading
     import time as _walltime
 
     from pathlib import Path
 
-    from repro.sim.snapshot import SnapshotCodec
+    from repro.sim.snapshot import SnapshotCodec, SnapshotError
 
     codec = SnapshotCodec()
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    latest = SnapshotCodec.latest(directory)
-    if latest is not None:
-        engine.restore(codec.load(latest))
-        print(f"restored  : {latest} (tick {engine.tick_count})")
-        if server is not None:
-            server.note_snapshot(str(latest))
-    else:
-        engine.start()
-    if server is not None:
-        server.set_ready(True)
 
     interrupted = {"flag": False}
+    pending_specs: list[str] = []
+    spec_lock = threading.Lock()
+
+    def _queue_spec(spec: str) -> None:
+        with spec_lock:
+            pending_specs.append(spec)
 
     def _request_stop(signum, frame):  # pragma: no cover - signal path
         interrupted["flag"] = True
 
+    # Handlers go in before restore/start: a SIGHUP or SIGTERM landing
+    # while the engine is still warming up must queue, not kill.
     previous = [
-        signal.signal(signal.SIGTERM, _request_stop),
-        signal.signal(signal.SIGINT, _request_stop),
+        (signal.SIGTERM, signal.signal(signal.SIGTERM, _request_stop)),
+        (signal.SIGINT, signal.signal(signal.SIGINT, _request_stop)),
     ]
+    if faults_file is not None and hasattr(signal, "SIGHUP"):
+
+        def _reload_faults(signum, frame):  # pragma: no cover - signal path
+            try:
+                _queue_spec(Path(faults_file).read_text(encoding="utf-8").strip())
+            except OSError as exc:
+                print(f"faults    : cannot read {faults_file}: {exc}",
+                      file=sys.stderr)
+
+        previous.append((signal.SIGHUP, signal.signal(signal.SIGHUP, _reload_faults)))
+    if server is not None:
+        server.fault_reload_fn = _queue_spec
+
+    def _apply_pending_reloads() -> None:
+        if not pending_specs:
+            return
+        with spec_lock:
+            specs = list(pending_specs)
+            pending_specs.clear()
+        for spec in specs:
+            try:
+                info = engine.apply_fault_reload(spec)
+            except (RuntimeError, ValueError) as exc:
+                print(f"faults    : reload rejected: {exc}", file=sys.stderr)
+                continue
+            print(f"faults    : reloaded '{spec}' as epoch {info['epoch']} "
+                  f"({info['events']} future events) at t={info['t']:.0f}s")
+
     try:
+        restored = None
+        skipped = 0
+        for candidate in SnapshotCodec.chain(directory):
+            try:
+                engine.restore(codec.load(candidate))
+            except SnapshotError as exc:
+                print(f"snapshot  : skipping {candidate.name}: {exc}",
+                      file=sys.stderr)
+                skipped += 1
+                continue
+            restored = candidate
+            break
+        if restored is not None:
+            print(f"restored  : {restored} (tick {engine.tick_count})"
+                  + (f" after {skipped} corrupt snapshot(s)" if skipped else ""))
+            if server is not None:
+                server.note_snapshot(str(restored))
+        else:
+            engine.start()
+        if skipped:
+            engine.note_restore_fallbacks(skipped)
+        if server is not None:
+            server.set_ready(True)
+
         last = engine.scheduling_invocations
         more = True
         while more and not interrupted["flag"]:
+            _apply_pending_reloads()
             more = engine.step()
             rounds = engine.scheduling_invocations
             if every > 0 and rounds - last >= every:
                 path = directory / f"tick-{engine.tick_count:010d}.snapshot.json"
                 codec.save(engine.snapshot(), path)
+                SnapshotCodec.prune(directory, keep)
                 last = rounds
                 if server is not None:
                     server.note_snapshot(str(path))
@@ -172,6 +242,7 @@ def _run_with_snapshots(
                 server.set_ready(False)
             path = directory / f"tick-{engine.tick_count:010d}.snapshot.json"
             codec.save(engine.snapshot(), path)
+            SnapshotCodec.prune(directory, keep)
             if server is not None:
                 server.note_snapshot(str(path))
             print(f"interrupted: snapshot saved to {path}")
@@ -179,8 +250,10 @@ def _run_with_snapshots(
                 _walltime.sleep(drain_s)
             raise SystemExit(0)
     finally:
-        signal.signal(signal.SIGTERM, previous[0])
-        signal.signal(signal.SIGINT, previous[1])
+        if server is not None:
+            server.fault_reload_fn = None
+        for signum, handler in previous:
+            signal.signal(signum, handler)
     result = engine.stop()
     if server is not None:
         server.set_ready(False)
@@ -242,7 +315,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         try:
             if args.snapshot_dir:
                 result = _run_with_snapshots(
-                    engine, args.snapshot_every, args.snapshot_dir, server=server
+                    engine,
+                    args.snapshot_every,
+                    args.snapshot_dir,
+                    server=server,
+                    keep=args.snapshot_keep,
                 )
             else:
                 if server is not None:
@@ -288,6 +365,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
               f"{fs.get('gpu_faults', 0)} gpu "
               f"({fs.get('recoveries', 0)} recovered, "
               f"{fs.get('permanent_faults', 0)} permanent)")
+        if (fs.get("partitions") or fs.get("degraded_windows")
+                or fs.get("storage_losses")):
+            print(f"domains   : {fs.get('partitions', 0)} partition(s) "
+                  f"({fs.get('gangs_stalled', 0)} gang-stall(s)), "
+                  f"{fs.get('degraded_windows', 0)} degraded window(s), "
+                  f"{fs.get('storage_losses', 0)} storage loss(es)")
         print(f"rollbacks : {fs.get('rollbacks', 0)} "
               f"({fs.get('rollback_seconds', 0.0) / 3600:.2f} h of progress lost)")
         print(f"rejected  : {len(result.rejections)} decision entr"
@@ -334,6 +417,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         from repro.analysis.sanitizer import InvariantSanitizer
 
         sanitizer = InvariantSanitizer()
+    faults = None
+    spec = args.faults
+    if spec is None and args.faults_file:
+        from pathlib import Path
+
+        spec = Path(args.faults_file).read_text(encoding="utf-8").strip()
+    if spec:
+        from repro.faults import FaultModel
+
+        faults = FaultModel.from_spec(spec)
+    elif args.faults_file or args.admin_token:
+        # Live reload needs a fault phase on the engine; an all-zero
+        # model injects nothing until the first reload arrives.
+        from repro.faults import FaultModel
+
+        faults = FaultModel()
     tracer = metrics = server = None
     if args.trace_out:
         from repro.obs import DecisionTracer
@@ -350,6 +449,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         matrix=default_throughput_matrix(),
         round_length=args.round_min * 60.0,
         max_time=args.max_hours * 3600.0,
+        stragglers=None,
+        faults=faults,
         sanitizer=sanitizer,
         tracer=tracer,
         metrics=metrics,
@@ -360,10 +461,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
         host, port = parse_listen(args.listen)
         server = ObservabilityServer(
-            registry=metrics, status_fn=engine.status, host=host, port=port
+            registry=metrics,
+            status_fn=engine.status,
+            host=host,
+            port=port,
+            admin_token=args.admin_token,
         )
         server.start()
-        print(f"listening : {server.url} (/metrics /healthz /readyz /status)")
+        endpoints = "/metrics /healthz /readyz /status"
+        if args.admin_token:
+            endpoints += " /admin/faults"
+        print(f"listening : {server.url} ({endpoints})")
     try:
         result = _run_with_snapshots(
             engine,
@@ -371,6 +479,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             args.snapshot_dir,
             server=server,
             drain_s=args.drain_s,
+            keep=args.snapshot_keep,
+            faults_file=args.faults_file,
         )
     finally:
         if tracer is not None:
@@ -392,6 +502,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     print(f"streamed  : {source.emitted} jobs @ {args.rate:.1f}/h (seed {args.seed})")
     print(f"mean JCT  : {stats.mean_hours:.2f} h   median {stats.median_hours:.2f} h")
     print(f"makespan  : {result.makespan() / 3600:.2f} h")
+    if faults is not None:
+        fs = result.fault_stats
+        print(f"faults    : {fs.get('node_faults', 0)} node + "
+              f"{fs.get('gpu_faults', 0)} gpu, "
+              f"{fs.get('partitions', 0)} partition(s), "
+              f"{fs.get('degraded_windows', 0)} degraded window(s), "
+              f"{fs.get('storage_losses', 0)} storage loss(es)")
     if sanitizer is not None:
         print(f"sanitizer : {sanitizer.rounds_checked} rounds checked, "
               f"{len(sanitizer.violations)} violation(s)")
@@ -510,6 +627,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "newest snapshot there when re-run)")
     p.add_argument("--snapshot-every", type=int, default=25, metavar="N",
                    help="snapshot every N scheduler rounds (with --snapshot-dir)")
+    p.add_argument("--snapshot-keep", type=int, default=0, metavar="K",
+                   help="retain only the newest K snapshots (0 = unbounded); "
+                        "restores walk the chain past corrupt files")
     p.add_argument("--metrics-out", default=None,
                    help="write the metrics-registry snapshot as JSON")
     p.add_argument("--listen", default=None, metavar="HOST:PORT",
@@ -535,6 +655,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where snapshots are written / restored from")
     p.add_argument("--snapshot-every", type=int, default=25, metavar="N",
                    help="snapshot every N scheduler rounds")
+    p.add_argument("--snapshot-keep", type=int, default=0, metavar="K",
+                   help="retain only the newest K snapshots (0 = unbounded); "
+                        "restores walk the chain past corrupt files")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject faults into the service run (same spec "
+                        "language as `repro simulate --faults`; see "
+                        "docs/robustness.md)")
+    p.add_argument("--faults-file", default=None, metavar="PATH",
+                   help="read the fault spec from PATH; SIGHUP re-reads it "
+                        "and splices the new spec into the live timeline")
+    p.add_argument("--admin-token", default=None, metavar="TOKEN",
+                   help="enable POST /admin/faults on --listen, guarded by "
+                        "the X-Admin-Token header (body = fault spec)")
     p.add_argument("--listen", default=None, metavar="HOST:PORT",
                    help="serve live /metrics /healthz /readyz /status "
                         "(Prometheus text exposition; port 0 = auto-pick)")

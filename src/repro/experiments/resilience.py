@@ -1,13 +1,21 @@
 """Degradation curves under fault injection (the chaos-harness experiment).
 
 How gracefully does each scheduler degrade as the cluster gets less
-reliable?  For a grid of node MTBF values (``0`` = faults off, the
-baseline point) and the three compared schedulers, one seeded simulation
-runs with the fault model attached — same workload trace, same fault
-seed per MTBF point, so every scheduler faces the *identical* failure
+reliable?  For a grid of MTBF values (``0`` = faults off, the baseline
+point) and the three compared schedulers, one seeded simulation runs
+with the fault model attached — same workload trace, same fault seed
+per MTBF point, so every scheduler faces the *identical* failure
 sequence — and the curve collects mean JCT, makespan, utilization, and
 the resilience bookkeeping (rollbacks, progress lost, repaired decision
 entries).
+
+Three fault ``axis`` choices reuse the same grid/machinery:
+
+* ``"node"`` (default) — whole-host crash faults at the grid's MTBF;
+* ``"partition"`` — failure-domain network partitions (spanning gangs
+  stall until the cut heals);
+* ``"degraded"`` — degraded-mode windows throttling nodes to half rate
+  without evicting anything.
 
 Usage::
 
@@ -15,6 +23,7 @@ Usage::
 
     points = run_resilience(ResilienceConfig(num_jobs=30))
     print(render_degradation(points))
+    partitions = run_resilience(ResilienceConfig(axis="partition"))
 
 Everything is seeded and runs at an arbitrary scale, so tests drive the
 same entry point at a tiny one.
@@ -46,8 +55,10 @@ class ResilienceConfig:
     """One degradation-curve sweep."""
 
     node_mtbf_hours: tuple[float, ...] = (0.0, 48.0, 16.0, 8.0)
-    """Per-node MTBF grid, most to least reliable; ``0`` disables faults
-    (the baseline point every degradation is measured against)."""
+    """MTBF grid for the chosen axis, most to least reliable; ``0``
+    disables faults (the baseline point every degradation is measured
+    against).  Despite the name the grid drives whichever fault process
+    ``axis`` selects — the field predates the partition/degraded axes."""
     schedulers: tuple[str, ...] = DEFAULT_SCHEDULERS
     num_jobs: int = 60
     seed: int = 1
@@ -57,12 +68,23 @@ class ResilienceConfig:
     mttr_s: float = 600.0
     round_length: float = DEFAULT_ROUND_LENGTH_S
     max_time: Optional[float] = None
+    axis: str = "node"
+    """Which fault process the MTBF grid drives: ``node`` crash faults,
+    ``partition`` failure-domain cuts, or ``degraded`` throttle windows."""
+    failure_domains: int = 2
+    """Domains the cluster splits into on the ``partition`` axis."""
+    degraded_factor: float = 0.5
+    """Throttle factor for ``degraded``-axis windows."""
 
     def __post_init__(self) -> None:
         if not self.node_mtbf_hours:
             raise ValueError("node_mtbf_hours must be non-empty")
         if any(m < 0 for m in self.node_mtbf_hours):
             raise ValueError("node_mtbf_hours must be non-negative")
+        if self.axis not in ("node", "partition", "degraded"):
+            raise ValueError(
+                "axis must be one of 'node', 'partition', 'degraded'"
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,10 +102,12 @@ class ResiliencePoint:
     rollbacks: int
     rollback_hours: float
     rejections: int
+    axis: str = "node"
 
     def as_dict(self) -> dict:
         return {
             "scheduler": self.scheduler,
+            "axis": self.axis,
             "node_mtbf_h": self.node_mtbf_h,
             "mean_jct_h": self.mean_jct_h,
             "makespan_h": self.makespan_h,
@@ -103,8 +127,19 @@ def _make_scheduler(name: str):
     return make_scheduler(name)
 
 
+_AXIS_FAULT_KEYS = {
+    "node": ("node_faults", "gpu_faults"),
+    "partition": ("partitions",),
+    "degraded": ("degraded_windows",),
+}
+
+
 def _point(
-    name: str, mtbf_h: float, result: SimulationResult, num_jobs: int
+    name: str,
+    mtbf_h: float,
+    result: SimulationResult,
+    num_jobs: int,
+    axis: str = "node",
 ) -> ResiliencePoint:
     stats = jct_stats(result)
     fs = result.fault_stats
@@ -116,10 +151,34 @@ def _point(
         utilization=result.gpu_utilization(),
         completed=len(result.completed),
         num_jobs=num_jobs,
-        faults=fs.get("node_faults", 0) + fs.get("gpu_faults", 0),
+        faults=sum(fs.get(key, 0) for key in _AXIS_FAULT_KEYS[axis]),
         rollbacks=fs.get("rollbacks", 0),
         rollback_hours=fs.get("rollback_seconds", 0.0) / 3600.0,
         rejections=len(result.rejections),
+        axis=axis,
+    )
+
+
+def _axis_model(config: ResilienceConfig, mtbf_h: float) -> FaultModel:
+    """The fault process one grid point injects, per the config's axis."""
+    if config.axis == "partition":
+        return FaultModel(
+            partition_mtbf_h=mtbf_h,
+            partition_duration_s=config.mttr_s,
+            failure_domains=config.failure_domains,
+            seed=config.fault_seed,
+        )
+    if config.axis == "degraded":
+        return FaultModel(
+            degraded_mtbf_h=mtbf_h,
+            degraded_factor=config.degraded_factor,
+            degraded_duration_s=config.mttr_s,
+            seed=config.fault_seed,
+        )
+    return FaultModel(
+        node_mtbf_h=mtbf_h,
+        mttr_s=config.mttr_s,
+        seed=config.fault_seed,
     )
 
 
@@ -136,15 +195,7 @@ def run_resilience(
         sim_kwargs["max_time"] = config.max_time
     points: list[ResiliencePoint] = []
     for mtbf_h in config.node_mtbf_hours:
-        faults = (
-            FaultModel(
-                node_mtbf_h=mtbf_h,
-                mttr_s=config.mttr_s,
-                seed=config.fault_seed,
-            )
-            if mtbf_h > 0
-            else None
-        )
+        faults = _axis_model(config, mtbf_h) if mtbf_h > 0 else None
         for name in config.schedulers:
             result = simulate(
                 cluster,
@@ -153,7 +204,9 @@ def run_resilience(
                 faults=faults,
                 **sim_kwargs,
             )
-            points.append(_point(name, mtbf_h, result, config.num_jobs))
+            points.append(
+                _point(name, mtbf_h, result, config.num_jobs, axis=config.axis)
+            )
     return points
 
 
@@ -165,9 +218,9 @@ def render_degradation(points: Iterable[ResiliencePoint]) -> str:
         p.scheduler: p.mean_jct_h for p in points if p.node_mtbf_h <= 0.0
     }
     header = (
-        f"{'scheduler':10s} {'mtbf_h':>7s} {'jct_h':>8s} {'x_base':>7s} "
-        f"{'mkspan_h':>9s} {'util':>6s} {'done':>6s} {'faults':>7s} "
-        f"{'rollbk':>7s} {'lost_h':>7s} {'rej':>4s}"
+        f"{'scheduler':10s} {'axis':>9s} {'mtbf_h':>7s} {'jct_h':>8s} "
+        f"{'x_base':>7s} {'mkspan_h':>9s} {'util':>6s} {'done':>6s} "
+        f"{'faults':>7s} {'rollbk':>7s} {'lost_h':>7s} {'rej':>4s}"
     )
     lines = [header, "-" * len(header)]
     for p in points:
@@ -175,8 +228,8 @@ def render_degradation(points: Iterable[ResiliencePoint]) -> str:
         factor = p.mean_jct_h / base if base > 0 else float("nan")
         mtbf = f"{p.node_mtbf_h:g}" if p.node_mtbf_h > 0 else "off"
         lines.append(
-            f"{p.scheduler:10s} {mtbf:>7s} {p.mean_jct_h:8.2f} {factor:7.2f} "
-            f"{p.makespan_h:9.2f} {p.utilization:6.1%} "
+            f"{p.scheduler:10s} {p.axis:>9s} {mtbf:>7s} {p.mean_jct_h:8.2f} "
+            f"{factor:7.2f} {p.makespan_h:9.2f} {p.utilization:6.1%} "
             f"{p.completed:>3d}/{p.num_jobs:<2d} {p.faults:7d} "
             f"{p.rollbacks:7d} {p.rollback_hours:7.2f} {p.rejections:4d}"
         )

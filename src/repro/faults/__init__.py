@@ -3,11 +3,17 @@
 The subsystem has three parts (see ``docs/robustness.md``):
 
 * :class:`FaultModel` / :class:`FaultSchedule` — seeded, pre-generated
-  GPU/node failure+recovery processes (MTBF/MTTR, correlated node
-  failures, optional permanent failures);
+  fault processes: GPU/node failure+recovery (MTBF/MTTR, correlated
+  node failures, optional permanent failures), failure-domain network
+  partitions, degraded-mode throttling windows (including post-recovery
+  healing), and checkpoint-storage losses;
 * :class:`FaultPhase` — applies those events inside the engine loop:
   capacity drops out of the cluster state, hit gangs are preempted and
-  rolled back to their last checkpoint, recoveries restore capacity;
+  rolled back to their last checkpoint, partition-spanning gangs stall
+  (or preempt per policy), degraded nodes throttle their gangs without
+  evicting, storage losses invalidate checkpoints, recoveries restore
+  capacity.  Live reloads (``repro serve``) splice new schedules in as
+  epochs;
 * :class:`DecisionValidator` / :class:`DecisionRejected` — the
   reject-and-repair guard that keeps every scheduler's decisions feasible
   against surviving capacity.
@@ -16,13 +22,29 @@ Attach a model with ``simulate(..., faults=FaultModel(...))`` or
 ``repro.cli simulate --faults "node_mtbf_h=24,mttr_min=10,seed=7"``.
 """
 
-from repro.faults.model import FAIL, RECOVER, FaultEvent, FaultModel, FaultSchedule
+from repro.faults.model import (
+    DEGRADE,
+    DEGRADE_END,
+    FAIL,
+    PARTITION,
+    PARTITION_HEAL,
+    RECOVER,
+    STORAGE,
+    FaultEvent,
+    FaultModel,
+    FaultSchedule,
+)
 from repro.faults.phase import FaultPhase
 from repro.faults.validator import REJECT_REASONS, DecisionRejected, DecisionValidator
 
 __all__ = [
     "FAIL",
     "RECOVER",
+    "PARTITION",
+    "PARTITION_HEAL",
+    "DEGRADE",
+    "DEGRADE_END",
+    "STORAGE",
     "FaultEvent",
     "FaultModel",
     "FaultSchedule",

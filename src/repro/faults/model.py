@@ -1,4 +1,4 @@
-"""Seeded GPU/node failure and recovery processes.
+"""Seeded GPU/node failure, partition, degrade, and storage processes.
 
 The model is *pre-generated*: :meth:`FaultModel.build_schedule` draws the
 entire failure/recovery timeline up front from per-node seeded RNG
@@ -8,20 +8,39 @@ therefore identical across schedulers and across repeated runs with the
 same seed (the property the resilience experiment and the chaos CI gate
 rely on).
 
-Two Poisson processes run per node:
+Independent processes, each on its own RNG substream:
 
-* a **node-level** process (``node_mtbf_h``) whose failures take every
-  surviving device attached to the node (correlated failure — a host,
-  PSU, or ToR loss);
-* a **device-level** process (``gpu_mtbf_h`` per device, so a node's
-  hazard rate scales with its device count) whose failures take one GPU,
-  chosen capacity-weighted among the node's types.
+* a **node-level** process (``node_mtbf_h``, stream ``[seed, node, 0]``)
+  whose failures take every surviving device attached to the node
+  (correlated failure — a host, PSU, or ToR loss);
+* a **device-level** process (``gpu_mtbf_h`` per device, stream
+  ``[seed, node, 1]``, so a node's hazard rate scales with its device
+  count) whose failures take one GPU, chosen capacity-weighted among the
+  node's types;
+* a **degraded-mode** process (``degraded_mtbf_h``, stream
+  ``[seed, node, 2]``) that throttles a node's rate without evicting —
+  the :data:`DEGRADE` kind, ended by a paired :data:`DEGRADE_END`;
+* a **failure-domain partition** process (``partition_mtbf_h`` per
+  domain, stream ``[seed, domain, 3]``) emitting :data:`PARTITION`
+  events that isolate one seeded rack/switch group
+  (:meth:`FaultModel.domains`) from the rest of the cluster, healed by a
+  paired :data:`PARTITION_HEAL`;
+* a **checkpoint-storage** process (``storage_mtbf_h`` per tier, stream
+  ``[seed, tier, 4]``) emitting :data:`STORAGE` events that destroy a
+  storage tier's saved checkpoints (no recovery pair — the data is gone).
 
-Failures repair after an exponential MTTR (``mttr_s``) unless drawn
+Node failures repair after an exponential MTTR (``mttr_s``) unless drawn
 permanent (``permanent_fraction``), in which case the capacity never
-returns.  Each failure and its recovery share a ``fault_id`` so the
-:class:`~repro.faults.phase.FaultPhase` can restore exactly the devices
-that failure actually removed.
+returns.  With ``healing_window_s > 0`` a node-level recovery is not
+binary-healthy: the repaired node runs at a seeded reduced rate
+(``rate_factor`` on the RECOVER event) for a healing window closed by a
+pre-scheduled :data:`DEGRADE_END`.  Each failure and its recovery share
+a ``fault_id`` so the :class:`~repro.faults.phase.FaultPhase` can
+restore exactly the devices that failure actually removed.
+
+Every new process draws from a stream disjoint from the original two,
+and all new draws are gated on their knobs — with every new kind
+disabled the schedule is byte-identical to the pre-domain model's.
 """
 
 from __future__ import annotations
@@ -34,31 +53,72 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import Cluster
 
-__all__ = ["FaultEvent", "FaultModel", "FaultSchedule", "FAIL", "RECOVER"]
+__all__ = [
+    "FaultEvent",
+    "FaultModel",
+    "FaultSchedule",
+    "FAIL",
+    "RECOVER",
+    "PARTITION",
+    "PARTITION_HEAL",
+    "DEGRADE",
+    "DEGRADE_END",
+    "STORAGE",
+]
 
 FAIL = "fail"
 RECOVER = "recover"
+PARTITION = "partition"
+PARTITION_HEAL = "partition_heal"
+DEGRADE = "degrade"
+DEGRADE_END = "degrade_end"
+STORAGE = "storage"
+
+#: Deterministic same-timestamp ordering: failures before recoveries
+#: (the original rule), then topology events, then throttles, then
+#: storage losses.
+_KIND_PRIORITY = {
+    FAIL: 0,
+    RECOVER: 1,
+    PARTITION: 2,
+    PARTITION_HEAL: 3,
+    DEGRADE: 4,
+    DEGRADE_END: 5,
+    STORAGE: 6,
+}
 
 _HOUR_S = 3600.0
 
 
 @dataclass(frozen=True, slots=True)
 class FaultEvent:
-    """One failure or recovery occurrence in a :class:`FaultSchedule`.
+    """One occurrence in a :class:`FaultSchedule`.
 
-    ``gpu_type is None`` marks a node-level (correlated) failure taking
-    every surviving device on the node; otherwise exactly ``count``
-    devices of that type fail (clamped to surviving capacity at apply
-    time).  A recovery references its failure through ``fault_id``.
+    For FAIL/RECOVER, ``gpu_type is None`` marks a node-level
+    (correlated) failure taking every surviving device on the node;
+    otherwise exactly ``count`` devices of that type fail (clamped to
+    surviving capacity at apply time).  A recovery references its
+    failure through ``fault_id``; a RECOVER with ``rate_factor < 1``
+    opens a healing window (the node runs throttled for ``heal_s``,
+    closed by a DEGRADE_END sharing the ``fault_id``).
+
+    PARTITION/PARTITION_HEAL isolate/reconnect failure domain
+    ``domain`` (node ids in ``nodes``); DEGRADE/DEGRADE_END throttle a
+    node by ``rate_factor``; STORAGE destroys checkpoint tier ``tier``.
     """
 
     time: float
     node_id: int
     gpu_type: Optional[str]
-    kind: str  # FAIL | RECOVER
+    kind: str  # FAIL | RECOVER | PARTITION | PARTITION_HEAL | DEGRADE | ...
     fault_id: int
     permanent: bool = False
     count: int = 1
+    domain: int = -1
+    nodes: tuple[int, ...] = ()
+    rate_factor: float = 1.0
+    heal_s: float = 0.0
+    tier: int = -1
 
     @property
     def is_node_level(self) -> bool:
@@ -103,6 +163,36 @@ class FaultModel:
     """Root seed; each node derives an independent substream from it."""
     horizon_s: float = 30 * 24 * 3600.0
     """Generation horizon; failures past it are not drawn."""
+    partition_mtbf_h: float = 0.0
+    """Mean time between network partitions *per failure domain*, hours
+    (0 = off; requires ``failure_domains >= 2`` when on)."""
+    partition_duration_s: float = 900.0
+    """Mean partition duration (exponential), seconds."""
+    failure_domains: int = 0
+    """Rack/switch groups the nodes split into (seeded round-robin over
+    a permutation, see :meth:`domains`); 0 = no domain topology."""
+    partition_policy: str = "stall"
+    """What happens to gangs spanning a partition boundary: ``stall``
+    (rate → 0 until the heal) or ``preempt`` (crash-restart rollback)."""
+    degraded_mtbf_h: float = 0.0
+    """Mean time between degraded-mode onsets per node, hours (0 = off)."""
+    degraded_factor: float = 0.5
+    """Degraded-node rate-factor floor; each onset draws its factor
+    uniform(``degraded_factor``, 1)."""
+    degraded_duration_s: float = 1800.0
+    """Mean degraded-window duration (exponential), seconds."""
+    healing_window_s: float = 0.0
+    """Mean post-recovery healing window (exponential), seconds; 0 means
+    repaired nodes return binary-healthy (the pre-domain behaviour)."""
+    healing_factor: float = 0.7
+    """Healing-node rate-factor floor; each node-level recovery draws
+    uniform(``healing_factor``, 1) when healing windows are on."""
+    storage_mtbf_h: float = 0.0
+    """Mean time between checkpoint-storage losses *per tier*, hours
+    (0 = off)."""
+    storage_tiers: int = 1
+    """Checkpoint storage tiers; job ``j`` checkpoints to tier
+    ``j % storage_tiers``."""
 
     def __post_init__(self) -> None:
         if self.node_mtbf_h < 0 or self.gpu_mtbf_h < 0:
@@ -113,21 +203,66 @@ class FaultModel:
             raise ValueError("permanent_fraction must be in [0, 1]")
         if self.horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
+        if (self.partition_mtbf_h < 0 or self.degraded_mtbf_h < 0
+                or self.storage_mtbf_h < 0):
+            raise ValueError("MTBF values must be non-negative (0 disables)")
+        if self.partition_duration_s <= 0 or self.degraded_duration_s <= 0:
+            raise ValueError("partition/degraded durations must be positive")
+        if self.partition_mtbf_h > 0 and self.failure_domains < 2:
+            raise ValueError(
+                "partitions need failure_domains >= 2 (a lone domain has "
+                "no boundary to cut)"
+            )
+        if self.failure_domains < 0:
+            raise ValueError("failure_domains must be non-negative")
+        if self.partition_policy not in ("stall", "preempt"):
+            raise ValueError(
+                "partition_policy must be 'stall' or 'preempt', got "
+                f"{self.partition_policy!r}"
+            )
+        if not 0.0 < self.degraded_factor < 1.0:
+            raise ValueError("degraded_factor must be in (0, 1)")
+        if not 0.0 < self.healing_factor < 1.0:
+            raise ValueError("healing_factor must be in (0, 1)")
+        if self.healing_window_s < 0:
+            raise ValueError("healing_window_s must be non-negative")
+        if self.storage_tiers < 1:
+            raise ValueError("storage_tiers must be at least 1")
 
     @property
     def enabled(self) -> bool:
         """Whether any failure process is active."""
-        return self.node_mtbf_h > 0 or self.gpu_mtbf_h > 0
+        return (self.node_mtbf_h > 0 or self.gpu_mtbf_h > 0
+                or self.partition_mtbf_h > 0 or self.degraded_mtbf_h > 0
+                or self.storage_mtbf_h > 0)
 
     # ------------------------------------------------------------- parsing --
+    _FLOAT_KEYS = (
+        "node_mtbf_h", "gpu_mtbf_h", "mttr_s", "permanent",
+        "horizon_s", "horizon_h", "mttr_min",
+        "partition_mtbf_h", "partition_duration_s", "partition_duration_min",
+        "degraded_mtbf_h", "degraded_factor", "degraded_duration_s",
+        "healing_window_s", "healing_factor", "storage_mtbf_h",
+    )
+    _INT_KEYS = ("seed", "failure_domains", "storage_tiers")
+    _STR_KEYS = ("partition_policy",)
+
     @classmethod
     def from_spec(cls, spec: str) -> "FaultModel":
         """Parse the CLI's ``key=value,key=value`` fault spec.
 
-        Keys: ``node_mtbf_h``, ``gpu_mtbf_h``, ``mttr_s`` (or ``mttr_min``),
-        ``permanent``, ``seed``, ``horizon_h`` (or ``horizon_s``).  Example::
+        Keys: ``node_mtbf_h``, ``gpu_mtbf_h``, ``mttr_s`` (or
+        ``mttr_min``), ``permanent``, ``seed``, ``horizon_h`` (or
+        ``horizon_s``), plus the failure-domain knobs
+        ``partition_mtbf_h``, ``partition_duration_s`` (or ``_min``),
+        ``failure_domains``, ``partition_policy``, the degraded-mode
+        knobs ``degraded_mtbf_h``, ``degraded_factor``,
+        ``degraded_duration_s``, ``healing_window_s``,
+        ``healing_factor``, and the checkpoint-storage knobs
+        ``storage_mtbf_h``, ``storage_tiers``.  Example::
 
             --faults "node_mtbf_h=24,mttr_min=10,seed=7"
+            --faults "partition_mtbf_h=6,failure_domains=3,seed=7"
         """
         kwargs: dict = {}
         for part in spec.split(","):
@@ -139,8 +274,7 @@ class FaultModel:
             key, _, value = part.partition("=")
             key = key.strip()
             value = value.strip()
-            if key in ("node_mtbf_h", "gpu_mtbf_h", "mttr_s", "permanent",
-                       "horizon_s", "horizon_h", "mttr_min"):
+            if key in cls._FLOAT_KEYS:
                 num = float(value)
                 if key == "mttr_min":
                     kwargs["mttr_s"] = num * 60.0
@@ -148,17 +282,38 @@ class FaultModel:
                     kwargs["horizon_s"] = num * _HOUR_S
                 elif key == "permanent":
                     kwargs["permanent_fraction"] = num
+                elif key == "partition_duration_min":
+                    kwargs["partition_duration_s"] = num * 60.0
                 else:
                     kwargs[key] = num
-            elif key == "seed":
-                kwargs["seed"] = int(value)
+            elif key in cls._INT_KEYS:
+                kwargs[key] = int(value)
+            elif key in cls._STR_KEYS:
+                kwargs[key] = value
             else:
+                known = ", ".join(
+                    sorted(cls._FLOAT_KEYS + cls._INT_KEYS + cls._STR_KEYS)
+                )
                 raise ValueError(
-                    f"unknown fault spec key {key!r}; expected one of "
-                    "node_mtbf_h, gpu_mtbf_h, mttr_s, mttr_min, permanent, "
-                    "seed, horizon_h, horizon_s"
+                    f"unknown fault spec key {key!r}; expected one of {known}"
                 )
         return cls(**kwargs)
+
+    # ---------------------------------------------------------- topology --
+    def domains(self, cluster: "Cluster") -> tuple[tuple[int, ...], ...]:
+        """The seeded failure-domain topology: ``failure_domains`` groups
+        of node ids, a round-robin split of a seeded permutation (stream
+        ``[seed, 0, 5]``) — a stable function of (seed, inventory) so a
+        restored run reconstructs the identical racks."""
+        if self.failure_domains <= 0:
+            return ()
+        node_ids = sorted(n.node_id for n in cluster.nodes)
+        rng = np.random.default_rng([self.seed, 0, 5])
+        perm = [node_ids[i] for i in rng.permutation(len(node_ids))]
+        return tuple(
+            tuple(sorted(perm[i::self.failure_domains]))
+            for i in range(self.failure_domains)
+        )
 
     # ---------------------------------------------------------- generation --
     def build_schedule(
@@ -168,7 +323,10 @@ class FaultModel:
 
         Deterministic and decision-order-independent: node ``i``'s events
         come from ``default_rng([seed, i, stream])``, so they do not
-        depend on other nodes, on the scheduler, or on call order.
+        depend on other nodes, on the scheduler, or on call order.  The
+        new processes (degrade/partition/storage) draw in separate loops
+        *after* the node loop, so enabling them never renumbers the
+        fail/recover ``fault_id`` sequence.
         """
         horizon = self.horizon_s
         if max_time is not None:
@@ -176,7 +334,8 @@ class FaultModel:
         raw: list[FaultEvent] = []
         if self.enabled:
             fault_id = 0
-            for node in sorted(cluster.nodes, key=lambda n: n.node_id):
+            nodes = sorted(cluster.nodes, key=lambda n: n.node_id)
+            for node in nodes:
                 slots = sorted(node.gpus.items())
                 num_devices = sum(count for _, count in slots)
                 if num_devices == 0:
@@ -199,8 +358,30 @@ class FaultModel:
                         slots=slots,
                         fault_id=fault_id,
                     )
+            if self.degraded_mtbf_h > 0:
+                for node in nodes:
+                    if sum(node.gpus.values()) == 0:
+                        continue
+                    rng = np.random.default_rng([self.seed, node.node_id, 2])
+                    fault_id = self._draw_degrades(
+                        raw, rng, horizon, node_id=node.node_id,
+                        fault_id=fault_id,
+                    )
+            if self.partition_mtbf_h > 0:
+                for domain_id, members in enumerate(self.domains(cluster)):
+                    rng = np.random.default_rng([self.seed, domain_id, 3])
+                    fault_id = self._draw_partitions(
+                        raw, rng, horizon, domain_id=domain_id,
+                        members=members, fault_id=fault_id,
+                    )
+            if self.storage_mtbf_h > 0:
+                for tier in range(self.storage_tiers):
+                    rng = np.random.default_rng([self.seed, tier, 4])
+                    fault_id = self._draw_storage(
+                        raw, rng, horizon, tier=tier, fault_id=fault_id,
+                    )
         raw.sort(key=lambda ev: (
-            ev.time, 0 if ev.kind == FAIL else 1, ev.node_id, ev.fault_id
+            ev.time, _KIND_PRIORITY[ev.kind], ev.node_id, ev.fault_id
         ))
         return FaultSchedule(events=tuple(raw))
 
@@ -244,11 +425,119 @@ class FaultModel:
                 continue
             repair = t + max(float(rng.exponential(self.mttr_s)), 1e-9)
             if repair < horizon:
+                rate_factor = 1.0
+                heal_s = 0.0
+                # Healing windows are node-level only: the repaired host
+                # comes back throttled (uniform floor..1) for an
+                # exponential window.  The extra draws happen only when
+                # the knob is on, keeping disabled schedules
+                # byte-identical.
+                if slots is None and self.healing_window_s > 0:
+                    rate_factor = float(
+                        rng.uniform(self.healing_factor, 1.0)
+                    )
+                    heal_s = max(
+                        float(rng.exponential(self.healing_window_s)), 1e-9
+                    )
                 out.append(FaultEvent(
                     time=repair, node_id=node_id, gpu_type=gpu_type,
                     kind=RECOVER, fault_id=fault_id,
+                    rate_factor=rate_factor, heal_s=heal_s,
                 ))
+                if heal_s > 0 and repair + heal_s < horizon:
+                    out.append(FaultEvent(
+                        time=repair + heal_s, node_id=node_id, gpu_type=None,
+                        kind=DEGRADE_END, fault_id=fault_id,
+                    ))
                 t = repair
                 fault_id += 1
             else:
                 return fault_id + 1
+
+    def _draw_degrades(
+        self,
+        out: list[FaultEvent],
+        rng: np.random.Generator,
+        horizon: float,
+        *,
+        node_id: int,
+        fault_id: int,
+    ) -> int:
+        """Throttle renewal process: degrade → degrade_end → next."""
+        t = 0.0
+        while True:
+            t += float(rng.exponential(self.degraded_mtbf_h * _HOUR_S))
+            if t >= horizon:
+                return fault_id
+            factor = float(rng.uniform(self.degraded_factor, 1.0))
+            end = t + max(
+                float(rng.exponential(self.degraded_duration_s)), 1e-9
+            )
+            out.append(FaultEvent(
+                time=t, node_id=node_id, gpu_type=None, kind=DEGRADE,
+                fault_id=fault_id, rate_factor=factor,
+            ))
+            if end >= horizon:
+                # Degraded to the end of the run; no closing event.
+                return fault_id + 1
+            out.append(FaultEvent(
+                time=end, node_id=node_id, gpu_type=None, kind=DEGRADE_END,
+                fault_id=fault_id,
+            ))
+            t = end
+            fault_id += 1
+
+    def _draw_partitions(
+        self,
+        out: list[FaultEvent],
+        rng: np.random.Generator,
+        horizon: float,
+        *,
+        domain_id: int,
+        members: tuple[int, ...],
+        fault_id: int,
+    ) -> int:
+        """Partition renewal process for one failure domain."""
+        t = 0.0
+        while True:
+            t += float(rng.exponential(self.partition_mtbf_h * _HOUR_S))
+            if t >= horizon:
+                return fault_id
+            heal = t + max(
+                float(rng.exponential(self.partition_duration_s)), 1e-9
+            )
+            out.append(FaultEvent(
+                time=t, node_id=-1, gpu_type=None, kind=PARTITION,
+                fault_id=fault_id, domain=domain_id, nodes=members,
+            ))
+            if heal >= horizon:
+                # Partitioned to the end of the run; no heal event.
+                return fault_id + 1
+            out.append(FaultEvent(
+                time=heal, node_id=-1, gpu_type=None, kind=PARTITION_HEAL,
+                fault_id=fault_id, domain=domain_id, nodes=members,
+            ))
+            t = heal
+            fault_id += 1
+
+    def _draw_storage(
+        self,
+        out: list[FaultEvent],
+        rng: np.random.Generator,
+        horizon: float,
+        *,
+        tier: int,
+        fault_id: int,
+    ) -> int:
+        """Checkpoint-storage loss process for one tier (no recovery —
+        destroyed checkpoint data does not come back)."""
+        t = 0.0
+        while True:
+            t += float(rng.exponential(self.storage_mtbf_h * _HOUR_S))
+            if t >= horizon:
+                return fault_id
+            out.append(FaultEvent(
+                time=t, node_id=-1, gpu_type=None, kind=STORAGE,
+                fault_id=fault_id, tier=tier,
+            ))
+            fault_id += 1

@@ -77,6 +77,9 @@ def cmd_summarize(args: argparse.Namespace) -> int:
             "total_decision_s": summary.total_decision_s,
             "slowest_rounds": summary.slowest_rounds,
             "price_trajectories": summary.price_trajectories,
+            "fault_events": summary.fault_events,
+            "stalled_gangs": summary.stalled_gangs,
+            "rolled_back_jobs": summary.rolled_back_jobs,
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
@@ -117,6 +120,16 @@ def cmd_summarize(args: argparse.Namespace) -> int:
                 f"  {gpu:>8}: first {traj['first']:.3e}  min {traj['min']:.3e}  "
                 f"max {traj['max']:.3e}  last {traj['last']:.3e}"
             )
+    if summary.fault_events:
+        events = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(summary.fault_events.items())
+        )
+        print(f"fault events     : {events}")
+        print(
+            f"fault impact     : {summary.stalled_gangs} gang-stall(s), "
+            f"{summary.rolled_back_jobs} rollback(s)"
+        )
     return 0
 
 

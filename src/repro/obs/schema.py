@@ -16,7 +16,7 @@ kinds exist:
 ``summary``
     Last record: run totals (completions, makespan, per-phase seconds).
 
-Four more kinds appear only in fault-injected runs (``--faults``):
+Nine more kinds appear only in fault-injected runs (``--faults``):
 
 ``gpu_failed`` / ``gpu_recovered``
     A failure event removing devices from (or a recovery returning them
@@ -29,6 +29,24 @@ Four more kinds appear only in fault-injected runs (``--faults``):
 ``decision_rejected``
     One decision entry the :class:`~repro.faults.DecisionValidator`
     rejected-and-repaired, with its typed reason.
+``network_partition`` / ``partition_healed``
+    A failure-domain cut isolating a node group (and its later heal):
+    the isolated nodes, the partition policy, and the spanning gangs
+    stalled/preempted (resumed, on heal).
+``node_degraded``
+    A degraded-mode window opening on a node (``factor < 1``, or the
+    seeded post-recovery *healing* window, ``healing: true``) or closing
+    (``ended: true``, factor back to 1), with the gangs retuned by it.
+``storage_lost``
+    A checkpoint-storage loss on one tier: every surviving checkpoint on
+    the tier is invalidated, the listed jobs roll back to iteration zero.
+``faultspec_reloaded``
+    A live fault-spec reload (``repro serve`` SIGHUP or
+    ``POST /admin/faults``) spliced into the timeline: the new spec, its
+    schedule epoch, and how many strictly-future events it contributed.
+
+All nine are additive within schema version 1: readers that only know
+the original kinds skip them by ``kind`` without a version bump.
 
 Validation here is hand-rolled structural checking (required keys, type
 predicates, enum membership) rather than jsonschema — the container has
@@ -96,6 +114,10 @@ def _is_int(x: Any) -> bool:
 
 def _is_str(x: Any) -> bool:
     return isinstance(x, str)
+
+
+def _is_int_list(x: Any) -> bool:
+    return isinstance(x, list) and all(_is_int(j) for j in x)
 
 
 def _is_placement_list(x: Any) -> bool:
@@ -382,10 +404,87 @@ def validate_record(record: Mapping[str, Any]) -> str:
             },
             optional={"detail": (_is_str, "a string")},
         )
+    elif kind == "network_partition":
+        _check(
+            record,
+            "network_partition record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "fault_id": (_is_int, "an int"),
+                "domain": (_is_int, "an int failure-domain index"),
+                "nodes": (_is_int_list, "a list of int node ids"),
+                "policy": (
+                    lambda x: x in ("stall", "preempt"),
+                    "'stall' or 'preempt'",
+                ),
+                "stalled": (_is_int_list, "a list of int job ids"),
+                "preempted": (_is_int_list, "a list of int job ids"),
+            },
+        )
+    elif kind == "partition_healed":
+        _check(
+            record,
+            "partition_healed record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "fault_id": (_is_int, "an int"),
+                "domain": (_is_int, "an int failure-domain index"),
+                "nodes": (_is_int_list, "a list of int node ids"),
+                "resumed": (_is_int_list, "a list of int job ids"),
+            },
+        )
+    elif kind == "node_degraded":
+        _check(
+            record,
+            "node_degraded record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "fault_id": (_is_int, "an int"),
+                "node": (_is_int, "an int node id"),
+                "factor": (
+                    lambda x: _is_number(x) and 0.0 < x <= 1.0,
+                    "a number in (0, 1]",
+                ),
+                "jobs": (_is_int_list, "a list of int job ids"),
+            },
+            optional={
+                "ended": (lambda x: isinstance(x, bool), "a bool"),
+                "healing": (lambda x: isinstance(x, bool), "a bool"),
+            },
+        )
+    elif kind == "storage_lost":
+        _check(
+            record,
+            "storage_lost record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "fault_id": (_is_int, "an int"),
+                "tier": (_is_int, "an int storage tier"),
+                "jobs": (_is_int_list, "a list of int job ids"),
+                "lost_iterations": (
+                    lambda x: _is_number(x) and x >= 0, "a non-negative number"
+                ),
+            },
+        )
+    elif kind == "faultspec_reloaded":
+        _check(
+            record,
+            "faultspec_reloaded record",
+            {
+                "t": (_is_number, "simulated seconds"),
+                "spec": (_is_str, "the reloaded fault-spec string"),
+                "epoch": (lambda x: _is_int(x) and x >= 1, "an int >= 1"),
+                "events": (
+                    lambda x: _is_int(x) and x >= 0, "a non-negative int"
+                ),
+            },
+        )
     else:
         raise SchemaError(
             "record 'kind' must be 'meta', 'round', 'summary', 'gpu_failed', "
-            f"'gpu_recovered', 'job_rollback', or 'decision_rejected', got {kind!r}"
+            "'gpu_recovered', 'job_rollback', 'decision_rejected', "
+            "'network_partition', 'partition_healed', 'node_degraded', "
+            f"'storage_lost', or 'faultspec_reloaded', got {kind!r}"
         )
     return kind
 

@@ -20,6 +20,14 @@ thread) that turns the in-process :class:`~repro.obs.registry
     engine's :meth:`~repro.sim.engine.SimulationEngine.status`) plus
     server-side facts: readiness and the age of the newest engine
     snapshot (:meth:`ObservabilityServer.note_snapshot`).
+``POST /admin/faults``
+    Live fault-spec reload, enabled only when the server was built with
+    an ``admin_token`` *and* the owner wired a ``fault_reload_fn``
+    (``repro serve --admin-token``).  The request must carry the token
+    in ``X-Admin-Token`` (403 otherwise); the body is a fault spec in
+    the ``--faults`` k=v language and is enqueued for the engine loop to
+    splice between steps (202).  Disabled, the route 404s like any
+    unknown path, so an unconfigured endpoint exposes nothing.
 
 The server binds before :meth:`~ObservabilityServer.start` returns (port
 ``0`` picks a free port, surfaced via :attr:`~ObservabilityServer.port`),
@@ -103,6 +111,39 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send(404, b"not found\n", "text/plain; charset=utf-8")
 
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        owner = self.server.owner
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if (
+            path != "/admin/faults"
+            or owner.admin_token is None
+            or owner.fault_reload_fn is None
+        ):
+            # An unconfigured admin route is indistinguishable from a
+            # missing one.
+            self._send(404, b"not found\n", "text/plain; charset=utf-8")
+            return
+        token = self.headers.get("X-Admin-Token", "")
+        if not _token_ok(token, owner.admin_token):
+            self._send(403, b"forbidden\n", "text/plain; charset=utf-8")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            length = 0
+        spec = self.rfile.read(max(0, length)).decode("utf-8", "replace").strip()
+        if not spec:
+            self._send(400, b"empty fault spec\n", "text/plain; charset=utf-8")
+            return
+        owner.fault_reload_fn(spec)
+        self._send(202, b"accepted\n", "text/plain; charset=utf-8")
+
+
+def _token_ok(given: str, expected: str) -> bool:
+    import hmac
+
+    return hmac.compare_digest(given.encode("utf-8"), expected.encode("utf-8"))
+
 
 class _Server(ThreadingHTTPServer):
     daemon_threads = True
@@ -118,9 +159,15 @@ class ObservabilityServer:
         status_fn: Optional[Callable[[], dict]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        admin_token: Optional[str] = None,
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.status_fn = status_fn
+        self.admin_token = admin_token
+        """Shared secret for ``POST /admin/faults``; None disables it."""
+        self.fault_reload_fn: Optional[Callable[[str], None]] = None
+        """Callback receiving a posted fault spec (set by the run loop);
+        must be thread-safe — requests arrive on server threads."""
         self._requested = (host, port)
         self._httpd: Optional[_Server] = None
         self._thread: Optional[threading.Thread] = None

@@ -37,6 +37,13 @@ class TraceSummary:
     """Top-k rounds by decision latency: {round, t, decision_s, ...}."""
     price_trajectories: dict[str, dict] = field(default_factory=dict)
     """Per GPU type: first/min/max/last mean Eq. (5) price over rounds."""
+    fault_events: dict[str, int] = field(default_factory=dict)
+    """Counts of the fault-injected record kinds (``gpu_failed``,
+    ``network_partition``, ``storage_lost``, ...); empty for clean runs."""
+    stalled_gangs: int = 0
+    """Gangs stalled across all ``network_partition`` records."""
+    rolled_back_jobs: int = 0
+    """``job_rollback`` records (crash restarts + storage losses)."""
     summary_record: Optional[dict] = None
 
     @property
@@ -66,6 +73,22 @@ def summarize_trace(records: Iterable[dict], top_k: int = 5) -> TraceSummary:
             out.summary_record = record
             continue
         if kind != "round":
+            if kind in (
+                "gpu_failed",
+                "gpu_recovered",
+                "job_rollback",
+                "decision_rejected",
+                "network_partition",
+                "partition_healed",
+                "node_degraded",
+                "storage_lost",
+                "faultspec_reloaded",
+            ):
+                out.fault_events[kind] = out.fault_events.get(kind, 0) + 1
+                if kind == "network_partition":
+                    out.stalled_gangs += len(record.get("stalled", []))
+                elif kind == "job_rollback":
+                    out.rolled_back_jobs += 1
             continue
         out.rounds += 1
         jobs = record.get("jobs", [])

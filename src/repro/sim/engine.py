@@ -278,6 +278,7 @@ class SimulationEngine:
                 self.cluster,
                 max_time=self.max_time,
                 sanitizer=self.sanitizer,
+                matrix=self.matrix,
             )
         self._fault_phase = fault_phase
         self._scheduler_phase = SchedulerPhase(
@@ -329,6 +330,7 @@ class SimulationEngine:
         self._halted = False
         self._round_scheduled = False
         self._pending_submission: Optional["Job"] = None
+        self._restore_fallbacks = 0
         self._paused = False
         self._result = None
 
@@ -362,6 +364,47 @@ class SimulationEngine:
     def resume(self) -> None:
         self._require_running("resume")
         self._paused = False
+
+    def apply_fault_reload(self, spec: str) -> dict:
+        """Splice a new fault spec into the live timeline (``repro serve``).
+
+        The spec is parsed with :meth:`FaultModel.from_spec`, its schedule
+        generated over the same cluster, and every strictly-future event
+        pushed under a fresh *epoch*; already-open windows from prior
+        epochs still close, superseded openers drop.  The splice point is
+        the engine's current simulated time, is recorded in the fault
+        phase's snapshot state (restores replay it), and is traced as a
+        ``faultspec_reloaded`` record — so a run with live reloads is
+        still deterministic given the trace.
+        """
+        self._require_running("reload faults")
+        if self._fault_phase is None:
+            raise RuntimeError(
+                "cannot reload faults: engine was built without fault "
+                "injection (attach a FaultModel to enable live reload)"
+            )
+        info = self._fault_phase.reload(spec, self._kernel, self._now)
+        if self._tracing:
+            assert self.tracer is not None
+            self.tracer.emit(
+                {
+                    "kind": "faultspec_reloaded",
+                    "t": self._now,
+                    "spec": info["spec"],
+                    "epoch": info["epoch"],
+                    "events": info["events"],
+                }
+            )
+        return {**info, "t": self._now}
+
+    def note_restore_fallbacks(self, count: int) -> None:
+        """Record corrupt snapshots skipped while walking the restore chain.
+
+        Called by the service front-end after a successful fallback
+        restore; feeds ``repro_snapshot_restore_fallbacks_total``.
+        """
+        self._require_running("note restore fallbacks")
+        self._restore_fallbacks += int(count)
 
     def step(self) -> bool:
         """Process at most one event; True while more work remains.
@@ -419,8 +462,18 @@ class SimulationEngine:
         elif event.kind is EventKind.FAULT:
             fault_phase = self._fault_phase
             assert fault_phase is not None
+            dirty_before = ledger.dirty_count
             if fault_phase.apply(event.payload, ledger, state, now):
                 self._telemetry.record_utilization(now, state)
+            if ledger.dirty_count > dirty_before:
+                # Partition stalls/heals and degrade windows retune rates
+                # without going through the scheduler phase; re-predict
+                # completions now so the heap reflects the new rates.
+                # (Legacy fail/recover events never mark dirty, keeping
+                # golden runs byte-identical.)
+                t0 = _time.perf_counter()
+                ledger.flush_repredictions(kernel, now)
+                timings.repredict_s += _time.perf_counter() - t0
             needs_scheduler = self.scheduler.reacts_to_events
         elif event.kind is EventKind.SUBMISSION:
             self._admit_submission(event.payload, now)
@@ -439,6 +492,11 @@ class SimulationEngine:
                 scheduler=self.scheduler,
                 failed=(
                     self._fault_phase.failed
+                    if self._fault_phase is not None
+                    else None
+                ),
+                stalled=(
+                    self._fault_phase.stalled_jobs
                     if self._fault_phase is not None
                     else None
                 ),
@@ -739,7 +797,15 @@ class SimulationEngine:
             faults = registry.counter(
                 "repro_faults_total", "Injected fault events by kind"
             )
-            for kind in ("node_faults", "gpu_faults", "recoveries"):
+            for kind in (
+                "node_faults",
+                "gpu_faults",
+                "recoveries",
+                "partitions",
+                "partition_heals",
+                "degraded_windows",
+                "storage_losses",
+            ):
                 faults.advance_to(
                     fault_phase.stats.get(kind, 0), labels={**labels, "kind": kind}
                 )
@@ -747,6 +813,18 @@ class SimulationEngine:
                 "repro_rollback_seconds_total",
                 "Simulated seconds of progress lost to crash-restart rollbacks",
             ).advance_to(fault_phase.rollback_seconds, labels=labels)
+            if fault_phase.stats.get("gangs_stalled", 0):
+                registry.counter(
+                    "repro_gangs_stalled_total",
+                    "Gangs stalled by network partitions (stall policy)",
+                ).advance_to(
+                    fault_phase.stats["gangs_stalled"], labels=labels
+                )
+        if self._restore_fallbacks:
+            registry.counter(
+                "repro_snapshot_restore_fallbacks_total",
+                "Snapshots skipped as corrupt while walking the restore chain",
+            ).advance_to(self._restore_fallbacks, labels=labels)
         if phase.validator.rejections:
             rejected = registry.counter(
                 "repro_decisions_rejected_total",

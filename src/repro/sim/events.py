@@ -49,14 +49,16 @@ class Event:
     """One scheduled occurrence.
 
     Sort key is ``(time, kind, seq)``; ``payload`` is the job id for
-    arrivals/completions and unused for round boundaries.  ``generation``
-    validates completion predictions.
+    arrivals/completions and unused for round boundaries.  Fault events
+    from a live-reloaded schedule carry an ``[epoch, index]`` list
+    payload instead of a plain schedule index.  ``generation`` validates
+    completion predictions.
     """
 
     time: float
     kind: EventKind
     seq: int = field(compare=True)
-    payload: int = field(default=-1, compare=False)
+    payload: "int | list" = field(default=-1, compare=False)
     generation: int = field(default=0, compare=False)
 
 
@@ -84,7 +86,7 @@ class EventQueue:
         self,
         time: float,
         kind: EventKind,
-        payload: int = -1,
+        payload: "int | list" = -1,
         generation: int = 0,
     ) -> Event:
         if time < 0:
@@ -122,6 +124,13 @@ class EventQueue:
         """
         self._next_seq = int(state["next_seq"])
         self._heap = [
-            Event(float(t), EventKind(k), int(seq), int(payload), int(gen))
+            Event(
+                float(t), EventKind(k), int(seq),
+                # Reloaded-fault payloads are [epoch, index] lists; every
+                # other payload is a plain int.
+                [int(p) for p in payload] if isinstance(payload, list)
+                else int(payload),
+                int(gen),
+            )
             for t, k, seq, payload, gen in state["heap"]
         ]

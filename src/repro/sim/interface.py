@@ -96,6 +96,12 @@ class SchedulerContext:
     state builders below subtract these, so every scheduler that plans on
     :meth:`fresh_state` / :meth:`occupied_state` sees surviving capacity —
     and Eq. 5 prices, which read capacity off the state, rise with it."""
+    unreachable: frozenset[int] = frozenset()
+    """Nodes isolated by an active network partition.  Their devices did
+    not fail, but no new gang can reach them: :meth:`fresh_state` hides
+    their capacity (minus what running gangs already hold there, so the
+    keep-current candidate of a fully-inside gang still fits), and Eq. 5
+    prices rise exactly as under physical capacity loss."""
 
     @property
     def active(self) -> tuple[JobRuntime, ...]:
@@ -109,11 +115,31 @@ class SchedulerContext:
 
         "All-free" means *surviving* capacity: devices currently failed
         (see :attr:`failed`) are subtracted before the scheduler plans.
+        Capacity on :attr:`unreachable` (partitioned) nodes is hidden
+        too, except devices held by running gangs — so keeping an
+        in-partition gang in place stays feasible, while nothing new can
+        be planned onto the far side of the cut.  (Accepted edge: a
+        scheduler can hand those held devices to a *different* job only
+        by simultaneously evicting the holder; otherwise the joint
+        capacity check rejects the decision.)
         """
         state = self.cluster.fresh_state()
         if self.failed:
             for (node_id, type_name), count in sorted(self.failed.items()):
                 state.fail(node_id, type_name, count)
+        if self.unreachable:
+            held: dict[tuple[int, str], int] = {}
+            for rt in self.running:
+                if rt.allocation:
+                    for slot, count in rt.allocation.placements.items():
+                        if slot[0] in self.unreachable:
+                            held[slot] = held.get(slot, 0) + count
+            for slot in sorted(state.slots):
+                if slot[0] not in self.unreachable:
+                    continue
+                hide = state.capacity(*slot) - held.get(slot, 0)
+                if hide > 0:
+                    state.fail(slot[0], slot[1], hide)
         return state
 
     def occupied_state(self) -> ClusterState:

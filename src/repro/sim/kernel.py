@@ -96,11 +96,14 @@ class EventKernel:
             generation=rt.alloc_epoch,
         )
 
-    def push_fault(self, time: float, index: int) -> Event:
-        """A device failure/recovery; ``index`` points into the run's
-        :class:`~repro.faults.FaultSchedule`.  Faults are facts, not
-        revocable predictions, so they carry no generation and are never
-        stale."""
+    def push_fault(self, time: float, index: "int | list") -> Event:
+        """A fault occurrence; a plain ``index`` points into the run's
+        epoch-0 :class:`~repro.faults.FaultSchedule`, an ``[epoch,
+        index]`` list into a live-reloaded schedule.  Faults are facts,
+        not revocable predictions, so they carry no generation and are
+        never stale — splice validity for reloaded schedules is decided
+        by ``FaultPhase.apply`` itself (openers from superseded epochs
+        drop, still-open windows close)."""
         return self._queue.push(time, EventKind.FAULT, payload=index)
 
     def push_submission(self, time: float, job_id: int) -> Event:

@@ -234,6 +234,11 @@ class SchedulerPhase:
                 if self.fault_phase is not None
                 else {}
             ),
+            unreachable=(
+                self.fault_phase.unreachable_nodes
+                if self.fault_phase is not None
+                else frozenset()
+            ),
         )
         t0 = _time.perf_counter()
         target = dict(self.scheduler.schedule(ctx))
@@ -324,6 +329,11 @@ class SchedulerPhase:
                 rt.allocation_changes += 1
                 rt.slowdown = 1.0  # fresh workers start healthy
                 rt.alloc_epoch += 1
+                if self.fault_phase is not None:
+                    # The new gang inherits the live topology: degraded
+                    # nodes throttle it, an active partition it spans
+                    # stalls it (and a moved gang sheds any old stall).
+                    self.fault_phase.note_placement(rt)
                 if self.on_place is not None:
                     self.on_place(rt, now)
                 if rt.first_start_time is None:
@@ -335,6 +345,9 @@ class SchedulerPhase:
                 rt.state = JobState.QUEUED
                 rt.rate = 0.0
                 rt.preemptions += 1
+                if self.fault_phase is not None:
+                    # A paused gang sheds its partition stall entry.
+                    self.fault_phase.note_placement(rt)
             # A scheduler-driven change is graceful: state is saved before
             # the gang moves or pauses, unlike a crash (see FaultPhase).
             rt.checkpoint_iterations = rt.iterations_done
@@ -571,6 +584,7 @@ class SanitizerPhase:
         state: "ClusterState",
         scheduler: Scheduler,
         failed: Optional[Mapping[tuple[int, str], int]] = None,
+        stalled: Optional[frozenset[int]] = None,
     ) -> None:
         if self.sanitizer is None:
             return
@@ -581,4 +595,5 @@ class SanitizerPhase:
             state=state,
             scheduler=scheduler,
             failed=failed,
+            stalled=stalled,
         )

@@ -319,27 +319,73 @@ class SnapshotCodec:
 
     # -- files ----------------------------------------------------------------
     def save(self, state: EngineState, path: Union[str, Path]) -> Path:
-        """Write atomically (tmp file + rename) so a kill mid-write never
-        leaves a half-snapshot where the restore path will find it."""
+        """Write durably and atomically.
+
+        The document goes to a tmp file first, which is ``fsync``-ed
+        before the ``os.replace`` rename so a power loss never leaves a
+        renamed-but-empty snapshot, and the directory entry is fsync-ed
+        after the rename so the new name itself survives a crash.  A kill
+        mid-write therefore leaves either the previous chain intact or
+        the previous chain plus one complete new link — never a
+        half-snapshot where the restore path will find it.  (Directory
+        fsync is best-effort: some filesystems refuse ``open(O_RDONLY)``
+        on directories; the rename is still atomic there.)
+        """
         path = Path(path)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(self.dumps(state), encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(self.dumps(state))
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
+        try:
+            dir_fd = os.open(path.parent, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return path
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
         return path
 
     def load(self, path: Union[str, Path]) -> EngineState:
         return self.loads(Path(path).read_text(encoding="utf-8"))
 
     @staticmethod
-    def latest(directory: Union[str, Path]) -> Optional[Path]:
-        """The newest ``*.snapshot.json`` in a directory, or None.
+    def chain(directory: Union[str, Path]) -> list[Path]:
+        """Every ``*.snapshot.json`` in a directory, newest first.
 
+        This is the restore chain: callers try index 0 and walk forward
+        past entries :meth:`load` rejects with :class:`SnapshotError`.
         Ties and clock skew are resolved by name (snapshots are written
         with zero-padded tick counts, so lexicographic order is capture
         order).
         """
         directory = Path(directory)
         if not directory.is_dir():
-            return None
-        candidates = sorted(directory.glob("*.snapshot.json"))
-        return candidates[-1] if candidates else None
+            return []
+        return sorted(directory.glob("*.snapshot.json"), reverse=True)
+
+    @staticmethod
+    def prune(directory: Union[str, Path], keep: int) -> list[Path]:
+        """Delete all but the newest ``keep`` snapshots; returns removals.
+
+        ``keep <= 0`` means unbounded (nothing is deleted).  Races with a
+        concurrent unlink are tolerated.
+        """
+        if keep <= 0:
+            return []
+        removed: list[Path] = []
+        for stale in SnapshotCodec.chain(directory)[keep:]:
+            try:
+                stale.unlink()
+            except OSError:  # pragma: no cover - concurrent cleanup
+                continue
+            removed.append(stale)
+        return removed
+
+    @staticmethod
+    def latest(directory: Union[str, Path]) -> Optional[Path]:
+        """The newest ``*.snapshot.json`` in a directory, or None."""
+        chain = SnapshotCodec.chain(directory)
+        return chain[0] if chain else None

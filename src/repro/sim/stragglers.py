@@ -23,7 +23,26 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["StragglerModel"]
+__all__ = ["StragglerModel", "compose_rate"]
+
+
+def compose_rate(base_rate: float, *factors: float) -> float:
+    """Compose a gang's effective rate from its realized base rate and
+    any number of throttle factors (straggler slowdown, degraded-node
+    factor, post-recovery healing factor, ...).
+
+    The synchronization barrier makes throttles multiplicative and
+    memoryless: the gang runs at the product of whatever is currently
+    dragging it, and a factor of 1.0 is a no-op.  Both the straggler
+    path and the fault phase's degraded-mode path go through this one
+    function so the two failure models can never drift apart on the
+    physics.
+    """
+    rate = base_rate
+    for factor in factors:
+        if factor < 1.0:
+            rate *= factor
+    return rate
 
 
 @dataclass(frozen=True, slots=True)

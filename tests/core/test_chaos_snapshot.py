@@ -55,7 +55,20 @@ def build_engine(name: str, seed: int, *, chaos: bool) -> SimulationEngine:
     if chaos:
         kwargs = dict(
             faults=FaultModel(
-                node_mtbf_h=6.0, gpu_mtbf_h=120.0, mttr_s=900.0, seed=seed
+                node_mtbf_h=6.0,
+                gpu_mtbf_h=120.0,
+                mttr_s=900.0,
+                partition_mtbf_h=12.0,
+                partition_duration_s=1200.0,
+                failure_domains=2,
+                degraded_mtbf_h=8.0,
+                degraded_factor=0.6,
+                degraded_duration_s=1800.0,
+                healing_window_s=600.0,
+                healing_factor=0.7,
+                storage_mtbf_h=24.0,
+                storage_tiers=2,
+                seed=seed,
             ),
             tracer=DecisionTracer(sink=[]),
             sanitizer=InvariantSanitizer(mode="collect"),

@@ -20,8 +20,13 @@ from repro.core import HadarScheduler
 from repro.core.dp import DPConfig
 from repro.core.scheduler import HadarConfig
 from repro.faults import (
+    DEGRADE,
+    DEGRADE_END,
     FAIL,
+    PARTITION,
+    PARTITION_HEAL,
     RECOVER,
+    STORAGE,
     DecisionRejected,
     DecisionValidator,
     FaultEvent,
@@ -137,6 +142,29 @@ class TestFromSpec:
             FaultModel(node_mtbf_h=-1.0)
         with pytest.raises(ValueError, match="permanent_fraction"):
             FaultModel(permanent_fraction=1.5)
+
+    def test_domain_and_degrade_keys(self):
+        model = FaultModel.from_spec(
+            "partition_mtbf_h=6,partition_duration_min=20,failure_domains=3,"
+            "partition_policy=preempt,degraded_mtbf_h=12,degraded_factor=0.4,"
+            "healing_window_s=600,healing_factor=0.8,"
+            "storage_mtbf_h=48,storage_tiers=2,seed=3"
+        )
+        assert model == FaultModel(
+            partition_mtbf_h=6.0, partition_duration_s=1200.0,
+            failure_domains=3, partition_policy="preempt",
+            degraded_mtbf_h=12.0, degraded_factor=0.4,
+            healing_window_s=600.0, healing_factor=0.8,
+            storage_mtbf_h=48.0, storage_tiers=2, seed=3,
+        )
+
+    def test_partitions_need_domains(self):
+        with pytest.raises(ValueError, match="failure_domains >= 2"):
+            FaultModel.from_spec("partition_mtbf_h=6")
+        with pytest.raises(ValueError, match="partition_policy"):
+            FaultModel(partition_policy="panic")
+        with pytest.raises(ValueError, match="degraded_factor"):
+            FaultModel(degraded_factor=1.5)
 
 
 # -- the phase: capacity, preemption, rollback, recovery ----------------------
@@ -319,6 +347,323 @@ class TestSanitizerHooks:
         assert any(
             "behind the checkpoint" in str(v) for v in sanitizer.violations
         )
+
+    def test_degraded_rate_must_stay_in_zero_nominal(self):
+        rt = running(1, Allocation.single(0, "V100", 1), rate=5.0)
+        sanitizer = InvariantSanitizer(mode="collect")
+        sanitizer.check_degraded_rate(rt, cap_rate=10.0)
+        assert sanitizer.ok  # throttled below nominal: fine
+        rt.rate = 12.0  # "degradation" sped the gang up
+        sanitizer.check_degraded_rate(rt, cap_rate=10.0)
+        rt.rate = 0.0  # throttled all the way to a stall
+        sanitizer.check_degraded_rate(rt, cap_rate=10.0)
+        assert [v.rule for v in sanitizer.violations] == [
+            "degraded-rate", "degraded-rate",
+        ]
+
+    def test_partition_stall_check_catches_progress_across_the_cut(self):
+        stalled = running(1, Allocation.single(0, "V100", 1), rate=0.0)
+        leaky = running(2, Allocation.single(0, "V100", 1), rate=3.0)
+        sanitizer = InvariantSanitizer(mode="collect")
+        sanitizer.check_partition_stall([1], {1: stalled, 2: leaky})
+        assert sanitizer.ok
+        sanitizer.check_partition_stall([1, 2], {1: stalled, 2: leaky})
+        assert [v.rule for v in sanitizer.violations] == ["partition-stall"]
+        assert sanitizer.violations[0].job_id == 2
+
+
+# -- failure domains, degraded mode, storage, live reload ---------------------
+
+
+def spanning_and_inside(cluster):
+    """A gang spanning nodes 0-1 and a gang fully inside node 0."""
+    spanning = running(1, Allocation({(0, "V100"): 2, (1, "V100"): 2}))
+    inside = running(2, Allocation.single(0, "V100", 2))
+    state = ClusterState.from_cluster(cluster)
+    state.allocate(spanning.allocation)
+    state.allocate(inside.allocation)
+    return spanning, inside, state
+
+
+PARTITION_EVENTS = (
+    FaultEvent(time=10.0, node_id=-1, gpu_type=None, kind=PARTITION,
+               fault_id=0, domain=0, nodes=(0,)),
+    FaultEvent(time=50.0, node_id=-1, gpu_type=None, kind=PARTITION_HEAL,
+               fault_id=0, domain=0, nodes=(0,)),
+)
+
+
+class TestPartitions:
+    def test_spanning_gang_stalls_inside_gang_keeps_running(self, matrix):
+        cluster = two_node_cluster()
+        spanning, inside, state = spanning_and_inside(cluster)
+        ledger = ProgressLedger({1: spanning, 2: inside})
+        phase = make_phase(cluster, PARTITION_EVENTS, matrix=matrix)
+        changed = phase.apply(0, ledger, state, 10.0)
+        assert not changed  # nothing preempted under the stall policy
+        assert spanning.rate == 0.0
+        assert spanning.state is JobState.RUNNING  # kept, not evicted
+        assert inside.rate == 10.0  # fully inside the cut: unaffected
+        assert phase.stalled_jobs == frozenset({1})
+        assert phase.unreachable_nodes == frozenset({0})
+        assert phase.stats["partitions"] == 1
+        assert phase.stats["gangs_stalled"] == 1
+
+    def test_heal_resumes_the_stalled_gang(self, matrix):
+        from repro.sim.interface import realized_rate
+
+        cluster = two_node_cluster()
+        spanning, inside, state = spanning_and_inside(cluster)
+        ledger = ProgressLedger({1: spanning, 2: inside})
+        phase = make_phase(cluster, PARTITION_EVENTS, matrix=matrix)
+        phase.apply(0, ledger, state, 10.0)
+        phase.apply(1, ledger, state, 50.0)
+        expected = realized_rate(
+            spanning.job, spanning.allocation, matrix, cluster
+        )
+        assert spanning.rate == pytest.approx(expected)
+        assert phase.stalled_jobs == frozenset()
+        assert phase.unreachable_nodes == frozenset()
+        assert phase.stats["partition_heals"] == 1
+
+    def test_preempt_policy_rolls_the_spanning_gang_back(self, matrix):
+        cluster = two_node_cluster()
+        spanning, inside, state = spanning_and_inside(cluster)
+        ledger = ProgressLedger({1: spanning, 2: inside})
+        phase = FaultPhase(
+            FaultModel(partition_policy="preempt"), cluster, matrix=matrix
+        )
+        phase.schedule = FaultSchedule(events=PARTITION_EVENTS)
+        changed = phase.apply(0, ledger, state, 10.0)
+        assert changed
+        assert spanning.state is JobState.QUEUED
+        assert spanning.allocation is EMPTY_ALLOCATION
+        assert spanning.iterations_done == spanning.checkpoint_iterations
+        assert inside.state is JobState.RUNNING
+
+    def test_partition_records_conform_to_schema(self, matrix):
+        from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_record
+
+        cluster = two_node_cluster()
+        spanning, inside, state = spanning_and_inside(cluster)
+        ledger = ProgressLedger({1: spanning, 2: inside})
+        records: list[dict] = []
+        phase = make_phase(
+            cluster, PARTITION_EVENTS, matrix=matrix, emit=records.append
+        )
+        phase.apply(0, ledger, state, 10.0)
+        phase.apply(1, ledger, state, 50.0)
+        assert [r["kind"] for r in records] == [
+            "network_partition", "partition_healed",
+        ]
+        assert records[0]["stalled"] == [1] and records[0]["preempted"] == []
+        assert records[1]["resumed"] == [1]
+        for record in records:
+            validate_record({"schema": TRACE_SCHEMA_VERSION, **record})
+
+    def test_domains_are_seeded_and_cover_the_cluster(self):
+        cluster = simulated_cluster()
+        model = FaultModel(
+            partition_mtbf_h=6.0, failure_domains=3, seed=11
+        )
+        domains = model.domains(cluster)
+        assert domains == model.domains(cluster)  # pure function of seed
+        assert len(domains) == 3
+        members = sorted(n for group in domains for n in group)
+        assert members == sorted(node.node_id for node in cluster.nodes)
+
+
+class TestDegradedMode:
+    def test_degrade_throttles_without_evicting(self, matrix):
+        from repro.sim.interface import realized_rate
+
+        cluster = two_node_cluster()
+        spanning, inside, state = spanning_and_inside(cluster)
+        ledger = ProgressLedger({1: spanning, 2: inside})
+        phase = make_phase(cluster, (
+            FaultEvent(time=10.0, node_id=0, gpu_type=None, kind=DEGRADE,
+                       fault_id=0, rate_factor=0.5),
+            FaultEvent(time=40.0, node_id=0, gpu_type=None, kind=DEGRADE_END,
+                       fault_id=0, rate_factor=1.0),
+        ), matrix=matrix)
+        phase.apply(0, ledger, state, 10.0)
+        for rt in (spanning, inside):  # both have a worker on node 0
+            base = realized_rate(rt.job, rt.allocation, matrix, cluster)
+            assert rt.rate == pytest.approx(base * 0.5)
+            assert rt.state is JobState.RUNNING
+            assert rt.allocation is not EMPTY_ALLOCATION
+        assert phase.node_factor(0) == 0.5
+        assert phase.stats["degraded_windows"] == 1
+        phase.apply(1, ledger, state, 40.0)
+        assert phase.node_factor(0) == 1.0
+        base = realized_rate(inside.job, inside.allocation, matrix, cluster)
+        assert inside.rate == pytest.approx(base)
+
+    def test_gang_runs_at_its_slowest_worker(self, matrix):
+        cluster = two_node_cluster()
+        spanning, _, state = spanning_and_inside(cluster)
+        ledger = ProgressLedger({1: spanning})
+        phase = make_phase(cluster, (
+            FaultEvent(time=10.0, node_id=0, gpu_type=None, kind=DEGRADE,
+                       fault_id=0, rate_factor=0.8),
+            FaultEvent(time=20.0, node_id=1, gpu_type=None, kind=DEGRADE,
+                       fault_id=1, rate_factor=0.4),
+        ), matrix=matrix)
+        phase.apply(0, ledger, state, 10.0)
+        phase.apply(1, ledger, state, 20.0)
+        assert phase.gang_factor(spanning) == 0.4  # min across its nodes
+
+    def test_recovery_healing_window_throttles_the_repaired_node(self, matrix):
+        cluster = two_node_cluster()
+        victim = running(1, Allocation.single(0, "V100", 2))
+        state = ClusterState.from_cluster(cluster)
+        state.allocate(victim.allocation)
+        ledger = ProgressLedger({1: victim})
+        records: list[dict] = []
+        phase = make_phase(cluster, (
+            FaultEvent(time=10.0, node_id=0, gpu_type=None, kind=FAIL,
+                       fault_id=0),
+            FaultEvent(time=30.0, node_id=0, gpu_type=None, kind=RECOVER,
+                       fault_id=0, rate_factor=0.7, heal_s=600.0),
+            FaultEvent(time=630.0, node_id=0, gpu_type=None, kind=DEGRADE_END,
+                       fault_id=0, rate_factor=1.0),
+        ), matrix=matrix, emit=records.append)
+        phase.apply(0, ledger, state, 10.0)
+        phase.apply(1, ledger, state, 30.0)
+        assert phase.node_factor(0) == 0.7  # repaired but still healing
+        healing = [r for r in records if r.get("healing")]
+        assert healing and healing[0]["factor"] == 0.7
+        phase.apply(2, ledger, state, 630.0)
+        assert phase.node_factor(0) == 1.0
+
+    def test_healing_windows_are_generated_with_recoveries(self):
+        model = FaultModel(
+            node_mtbf_h=4.0, mttr_s=600.0, healing_window_s=900.0,
+            healing_factor=0.7, seed=3,
+        )
+        events = model.build_schedule(simulated_cluster()).events
+        healing = [
+            ev for ev in events
+            if ev.kind == RECOVER and ev.rate_factor < 1.0
+        ]
+        assert healing
+        closers = {
+            ev.fault_id for ev in events if ev.kind == DEGRADE_END
+        }
+        for rec in healing:
+            assert 0.7 <= rec.rate_factor < 1.0
+            assert rec.heal_s > 0
+            assert rec.fault_id in closers
+
+
+class TestStorageLoss:
+    def test_running_gang_rolls_back_to_zero(self, matrix):
+        cluster = two_node_cluster()
+        victim = running(1, Allocation.single(0, "V100", 2))
+        state = ClusterState.from_cluster(cluster)
+        state.allocate(victim.allocation)
+        ledger = ProgressLedger({1: victim})
+        phase = make_phase(cluster, (
+            FaultEvent(time=10.0, node_id=-1, gpu_type=None, kind=STORAGE,
+                       fault_id=0, tier=0),
+        ), matrix=matrix)
+        changed = phase.apply(0, ledger, state, 10.0)
+        assert changed
+        assert victim.state is JobState.QUEUED
+        assert victim.checkpoint_iterations == 0.0
+        assert victim.iterations_done == 0.0  # no checkpoint left to keep
+        assert phase.stats["storage_losses"] == 1
+
+    def test_queued_job_loses_its_resume_point(self):
+        cluster = two_node_cluster()
+        rt = running(1, EMPTY_ALLOCATION)
+        rt.state = JobState.QUEUED
+        rt.allocation = EMPTY_ALLOCATION
+        state = ClusterState.from_cluster(cluster)
+        phase = make_phase(cluster, (
+            FaultEvent(time=10.0, node_id=-1, gpu_type=None, kind=STORAGE,
+                       fault_id=0, tier=0),
+        ))
+        phase.apply(0, ProgressLedger({1: rt}), state, 10.0)
+        assert rt.iterations_done == rt.checkpoint_iterations == 0.0
+        assert rt.rollbacks == 1
+
+    def test_other_tiers_are_untouched(self):
+        cluster = two_node_cluster()
+        hit = running(2, EMPTY_ALLOCATION)    # 2 % 2 == tier 0
+        spared = running(1, EMPTY_ALLOCATION)  # 1 % 2 == tier 1
+        for rt in (hit, spared):
+            rt.state = JobState.QUEUED
+            rt.allocation = EMPTY_ALLOCATION
+        phase = FaultPhase(FaultModel(storage_tiers=2), cluster)
+        phase.schedule = FaultSchedule(events=(
+            FaultEvent(time=10.0, node_id=-1, gpu_type=None, kind=STORAGE,
+                       fault_id=0, tier=0),
+        ))
+        state = ClusterState.from_cluster(cluster)
+        phase.apply(0, ProgressLedger({1: spared, 2: hit}), state, 10.0)
+        assert hit.iterations_done == 0.0
+        assert spared.iterations_done == 500.0
+
+
+class TestLiveReload:
+    def reload_phase(self, matrix):
+        cluster = two_node_cluster()
+        phase = make_phase(cluster, (
+            FaultEvent(time=10.0, node_id=0, gpu_type="V100", kind=FAIL,
+                       fault_id=0, count=2),
+            FaultEvent(time=100.0, node_id=0, gpu_type=None, kind=FAIL,
+                       fault_id=1),
+            FaultEvent(time=200.0, node_id=0, gpu_type="V100", kind=RECOVER,
+                       fault_id=0),
+        ), matrix=matrix)
+        return cluster, phase
+
+    def test_reload_splices_a_future_epoch(self, matrix):
+        from repro.sim.kernel import EventKernel
+
+        cluster, phase = self.reload_phase(matrix)
+        kernel = EventKernel()
+        info = phase.reload("node_mtbf_h=8,mttr_min=10,seed=9", kernel, 50.0)
+        assert info["epoch"] == phase.epoch == 1
+        assert info["events"] > 0
+        # Only strictly-future events of the new epoch entered the kernel.
+        assert all(
+            ev.time > 50.0
+            for ev in phase._schedules[1].events[: info["events"]]
+        )
+        # New epoch's fault ids never collide with the old epoch's.
+        old_ids = {ev.fault_id for ev in phase._schedules[0].events}
+        new_ids = {ev.fault_id for ev in phase._schedules[1].events}
+        assert not old_ids & new_ids
+
+    def test_superseded_openers_drop_open_windows_still_close(self, matrix):
+        from repro.sim.kernel import EventKernel
+
+        cluster, phase = self.reload_phase(matrix)
+        state = ClusterState.from_cluster(cluster)
+        ledger = ProgressLedger({})
+        phase.apply(0, ledger, state, 10.0)  # fault 0 opens pre-reload
+        assert state.capacity(0, "V100") == 2
+        phase.reload("gpu_mtbf_h=100,seed=9", EventKernel(), 50.0)
+        # The old epoch's future opener is stale; its open window is not.
+        assert phase.apply(1, ledger, state, 100.0) is False
+        assert phase.stats["stale_fault_events"] == 1
+        assert state.capacity(0, "V100") == 2  # the stale FAIL took nothing
+        phase.apply(2, ledger, state, 200.0)
+        assert state.capacity(0, "V100") == 4  # fault 0's RECOVER applied
+        assert phase.stats["recoveries"] == 1
+
+    def test_reload_replays_through_state_dict(self, matrix):
+        from repro.sim.kernel import EventKernel
+
+        cluster, phase = self.reload_phase(matrix)
+        phase.reload("node_mtbf_h=8,seed=9", EventKernel(), 50.0)
+        twin = make_phase(cluster, tuple(phase._schedules[0].events),
+                          matrix=matrix)
+        twin.load_state_dict(phase.state_dict())
+        assert twin.epoch == phase.epoch
+        assert twin._schedules[1].events == phase._schedules[1].events
 
 
 # -- the validator: strict raises, repair drops -------------------------------

@@ -266,6 +266,67 @@ class TestCodecRejection:
         assert SnapshotCodec.latest(tmp_path) == path
 
 
+class TestSnapshotChain:
+    """The durable snapshot chain: atomic writes, retention, and the
+    restore walk past corrupt members."""
+
+    def chain_of(self, tmp_path, count: int = 3) -> list:
+        codec = SnapshotCodec()
+        engine = make_engine()
+        engine.start()
+        paths = []
+        for i in range(count):
+            for _ in range(40):
+                if not engine.step():
+                    break
+            paths.append(
+                codec.save(engine.snapshot(), tmp_path / f"{i:06d}.snapshot.json")
+            )
+        engine.stop()
+        return paths
+
+    def test_save_leaves_no_temp_files(self, tmp_path):
+        self.chain_of(tmp_path, count=2)
+        leftovers = [p for p in tmp_path.iterdir() if ".tmp" in p.name]
+        assert leftovers == []
+
+    def test_chain_is_newest_first(self, tmp_path):
+        paths = self.chain_of(tmp_path, count=3)
+        assert SnapshotCodec.chain(tmp_path) == list(reversed(paths))
+        assert SnapshotCodec.chain(tmp_path / "missing") == []
+
+    def test_prune_keeps_last_k(self, tmp_path):
+        paths = self.chain_of(tmp_path, count=4)
+        removed = SnapshotCodec.prune(tmp_path, keep=2)
+        assert removed == list(reversed(paths))[2:]
+        assert SnapshotCodec.chain(tmp_path) == list(reversed(paths))[:2]
+
+    def test_prune_zero_keeps_everything(self, tmp_path):
+        paths = self.chain_of(tmp_path, count=3)
+        assert SnapshotCodec.prune(tmp_path, keep=0) == []
+        assert len(SnapshotCodec.chain(tmp_path)) == len(paths)
+
+    def test_restore_walks_past_corrupt_newest(self, tmp_path):
+        """A half-written newest member (the kill-mid-write case) must
+        not strand the chain: the next-newest restores cleanly."""
+        paths = self.chain_of(tmp_path, count=3)
+        newest = paths[-1]
+        newest.write_text(newest.read_text()[: 100], encoding="utf-8")
+        codec = SnapshotCodec()
+        restored = None
+        skipped = 0
+        for candidate in SnapshotCodec.chain(tmp_path):
+            try:
+                restored = codec.load(candidate)
+                break
+            except SnapshotError:
+                skipped += 1
+        assert skipped == 1 and restored is not None
+        engine = make_engine()
+        engine.restore(restored)
+        assert engine.run().completed  # resumes and finishes the workload
+
+
 class TestSubmissionSource:
     def drain(self, source):
         jobs = []
